@@ -1,0 +1,59 @@
+// E9 — §4 online-analysis claim: the analysis is single-pass and in
+// order, so it can run during profiling and the (typically large) trace
+// file never needs to exist.
+//
+// For every benchmark: run the pipeline online and offline, verify the
+// models are identical, and report the memory the offline path had to
+// materialize (trace records) against the online analyzer's constant
+// working set.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "trace/io.h"
+
+int main() {
+  using namespace foray;
+  std::printf("== E9: online (no trace file) vs offline analysis ==\n\n");
+  util::TablePrinter tp({"benchmark", "trace records", "offline trace MB",
+                         "online state KB", "models identical"});
+  for (const auto& b : benchsuite::all_benchmarks()) {
+    core::PipelineOptions online_opts;
+    auto online = core::run_pipeline(b.source, online_opts);
+    core::PipelineOptions offline_opts;
+    offline_opts.offline = true;
+    auto offline = core::run_pipeline(b.source, offline_opts);
+    if (!online.ok || !offline.ok) {
+      std::fprintf(stderr, "%s failed\n", b.name.c_str());
+      return 1;
+    }
+    bool same = online.model.refs.size() == offline.model.refs.size();
+    if (same) {
+      for (size_t i = 0; i < online.model.refs.size(); ++i) {
+        const auto& x = online.model.refs[i];
+        const auto& y = offline.model.refs[i];
+        if (x.instr != y.instr || x.fn.coefs != y.fn.coefs ||
+            x.fn.const_term != y.fn.const_term ||
+            x.exec_count != y.exec_count) {
+          same = false;
+          break;
+        }
+      }
+    }
+    // Offline cost: the binary encoding of the whole trace.
+    const double trace_mb =
+        static_cast<double>(online.trace_records) * 11.0 / 1e6;
+    const double state_kb =
+        static_cast<double>(online.extractor->state_bytes()) / 1e3;
+    char mb[32], kb[32];
+    std::snprintf(mb, sizeof mb, "%.2f", trace_mb);
+    std::snprintf(kb, sizeof kb, "%.1f", state_kb);
+    tp.add_row({b.name, std::to_string(online.trace_records), mb, kb,
+                same ? "yes" : "NO"});
+    if (!same) return 1;
+  }
+  std::printf("%s\n", tp.str().c_str());
+  std::printf("The online analyzer's working set is the loop tree, KBs —\n"
+              "orders of magnitude below the trace volume it replaces.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// E11 — the paper's future work, answered: how input-dependent is the
+// extracted FORAY model?
+//
+// Each benchmark is profiled with three different input seeds (the
+// simulated rand() that perturbs its input data) and the models are
+// diffed pairwise. The methodology-relevant result: affine *structure*
+// (coefficients, partial depth) is essentially input-independent — what
+// drifts with data are trip counts and the population of references in
+// data-dependent control flow.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "foray/model_diff.h"
+
+int main() {
+  using namespace foray;
+  std::printf("== E11: FORAY-model stability across profiling inputs ==\n");
+  std::printf("(three input seeds per benchmark, pairwise model diffs)\n\n");
+
+  util::TablePrinter tp({"benchmark", "refs s1/s2/s3", "structural",
+                         "exact", "detail (s1 vs s2)"});
+  for (const auto& b : benchsuite::all_benchmarks()) {
+    core::ForayModel models[3];
+    size_t counts[3];
+    for (int s = 0; s < 3; ++s) {
+      core::PipelineOptions opts;
+      opts.run.rng_seed = static_cast<uint64_t>(1000 + 77 * s);
+      auto res = core::run_pipeline(b.source, opts);
+      if (!res.ok) {
+        std::fprintf(stderr, "%s failed: %s\n", b.name.c_str(),
+                     res.error.c_str());
+        return 1;
+      }
+      models[s] = std::move(res.model);
+      counts[s] = models[s].refs.size();
+    }
+    double structural = 1.0, exact = 1.0;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i + 1; j < 3; ++j) {
+        auto d = core::diff_models(models[i], models[j]);
+        structural = std::min(structural, d.structural_stability());
+        exact = std::min(exact, d.exact_stability());
+      }
+    }
+    auto d12 = core::diff_models(models[0], models[1]);
+    tp.add_row({b.name,
+                std::to_string(counts[0]) + "/" + std::to_string(counts[1]) +
+                    "/" + std::to_string(counts[2]),
+                util::pct(structural, 1.0), util::pct(exact, 1.0),
+                d12.summary()});
+  }
+  std::printf("%s\n", tp.str().c_str());
+  std::printf(
+      "Reading: 'structural' counts references whose affine function\n"
+      "(coefficients, partial depth) is identical across inputs — the\n"
+      "property SPM buffer planning relies on. Trip drift and one-sided\n"
+      "references come from data-dependent loop bounds and branches.\n");
+  return 0;
+}

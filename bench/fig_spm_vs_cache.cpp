@@ -1,0 +1,64 @@
+// E13 — capacity sweep: SPM (FORAY-GEN-planned buffers) vs cache across
+// on-chip memory sizes, per benchmark.
+//
+// The Banakar-style series behind the paper's premise that SPMs beat
+// caches when software can plan placement — which requires exactly the
+// analyzable references FORAY-GEN recovers. Energy is normalized to the
+// all-DRAM baseline (100% = no on-chip memory).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "spm/address_stream.h"
+#include "spm/cache_sim.h"
+#include "spm/dse.h"
+#include "spm/spm_sim.h"
+
+int main() {
+  using namespace foray;
+  std::printf("== E13: energy vs on-chip capacity, SPM (planned) vs "
+              "cache ==\n");
+  std::printf("(percent of the all-DRAM baseline energy; lower is "
+              "better)\n\n");
+
+  const uint32_t kSizes[] = {512, 1024, 2048, 4096, 8192, 16384};
+
+  for (const auto& b : benchsuite::all_benchmarks()) {
+    auto a = bench::analyze_benchmark(b);
+    const auto& model = a.pipeline.model;
+    auto cands = spm::enumerate_candidates(model);
+
+    util::TablePrinter tp({"capacity", "SPM energy", "cache 2-way",
+                           "cache 4-way"});
+    spm::EnergyModel energy;
+    spm::EnergyReport base = spm::evaluate_baseline(model, energy);
+    for (uint32_t size : kSizes) {
+      spm::DseOptions opts;
+      opts.spm_capacity = size;
+      auto sel = spm::select_buffers(cands, opts);
+      auto rep = spm::evaluate_selection(model, sel, opts);
+
+      double cache_pct[2];
+      int idx = 0;
+      for (int assoc : {2, 4}) {
+        spm::CacheSim cache(spm::CacheConfig{size, 32, assoc});
+        spm::for_each_address(model,
+                              [&](uint32_t addr) { cache.access(addr); });
+        cache_pct[idx++] =
+            100.0 * cache.energy_nj(energy) / base.baseline_nj;
+      }
+      char s[16], c2[16], c4[16];
+      std::snprintf(s, sizeof s, "%.1f%%",
+                    100.0 * rep.total_nj / base.baseline_nj);
+      std::snprintf(c2, sizeof c2, "%.1f%%", cache_pct[0]);
+      std::snprintf(c4, sizeof c4, "%.1f%%", cache_pct[1]);
+      tp.add_row({std::to_string(size) + "B", s, c2, c4});
+    }
+    std::printf("-- %s --\n%s\n", b.name.c_str(), tp.str().c_str());
+  }
+  std::printf(
+      "Reading: with reuse to exploit (susan/fft/lame/gsm) the planned\n"
+      "SPM tracks or beats the cache without tag overheads once the\n"
+      "working set fits; for streaming codes (adpcm) caches burn energy\n"
+      "on misses (>100%%) while the SPM simply stays out of the way.\n");
+  return 0;
+}

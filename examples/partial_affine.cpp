@@ -1,0 +1,96 @@
+// Partial affine expressions: the paper's Figure 7, both cases.
+//
+// Case 1: a function's local array may land at a different address per
+// call chain — the accesses inside the function are regular, the base is
+// not. Case 2: a global array indexed through a data-dependent offset
+// parameter. In both, FORAY-GEN recovers a *partial* affine expression
+// over the innermost M iterators, which downstream SPM analysis can still
+// use "as if no other outer loops existed".
+#include <cstdio>
+
+#include "foray/emitter.h"
+#include "foray/pipeline.h"
+
+namespace {
+
+void report(const char* title, const char* src) {
+  using namespace foray;
+  std::printf("== %s ==\n", title);
+  core::PipelineOptions opts;
+  opts.filter.min_exec = 1;
+  opts.filter.min_locations = 1;
+  auto res = core::run_pipeline(src, opts);
+  if (!res.ok) {
+    std::fprintf(stderr, "pipeline error: %s\n", res.error.c_str());
+    std::exit(1);
+  }
+  int full = 0, partial = 0;
+  for (const auto& r : res.model.refs) {
+    if (r.n() < 2) continue;  // focus on the nested array traffic
+    std::printf("  %s\n", core::describe_reference(r).c_str());
+    (r.partial() ? partial : full)++;
+  }
+  std::printf("  -> %d full, %d partial affine references\n\n", full,
+              partial);
+}
+
+}  // namespace
+
+int main() {
+  // Figure 7, case 2: offset passed as a data-dependent parameter.
+  // (Shown first because it is the cleaner illustration.)
+  report(
+      "Figure 7 case 2: data-dependent offset parameter",
+      "int A[4000]; int lines[10] = {0, 317, 71, 1400, 905, 2212, 1733, "
+      "60, 2801, 3010};\n"
+      "int foo(int offset) {\n"
+      "  int ret = 0;\n"
+      "  for (int i = 0; i < 10; i++)\n"
+      "    for (int j = 0; j < 10; j++)\n"
+      "      ret += A[j + 10 * i + offset];\n"
+      "  return ret;\n"
+      "}\n"
+      "int main(void) {\n"
+      "  int tmp = 0;\n"
+      "  for (int x = 0; x < 10; x++)\n"
+      "    for (int y = 0; y < 10; y++)\n"
+      "      tmp += foo(lines[x]);\n"
+      "  return tmp & 255;\n"
+      "}\n");
+
+  // Figure 7, case 1: a local array whose address depends on the call
+  // chain — reached through two different call depths.
+  report(
+      "Figure 7 case 1: local array at varying stack depths",
+      "int deep(int levels);\n"
+      "int foo(void) {\n"
+      "  int ret = 0;\n"
+      "  int A[100];\n"
+      "  for (int i = 0; i < 10; i++)\n"
+      "    for (int j = 0; j < 10; j++) {\n"
+      "      A[j + 10 * i] = i + j;\n"
+      "      ret += A[j + 10 * i];\n"
+      "    }\n"
+      "  return ret;\n"
+      "}\n"
+      "int deep(int levels) {\n"
+      "  int pad[16];\n"
+      "  pad[0] = levels;\n"
+      "  if (levels > 0) return deep(levels - 1) + pad[0];\n"
+      "  return foo();\n"
+      "}\n"
+      "int depths[6] = {0, 3, 1, 5, 2, 4};\n"
+      "int main(void) {\n"
+      "  int tmp = 0;\n"
+      "  for (int x = 0; x < 6; x++)\n"
+      "    for (int y = 0; y < 3; y++)\n"
+      "      tmp += deep(depths[x]);  // irregular stack depth per x\n"
+      "  return tmp & 255;\n"
+      "}\n");
+
+  std::printf(
+      "Downstream meaning: an SPM technique can still buffer the inner\n"
+      "M loops of a partial reference (the function body's loops in\n"
+      "Figure 7) as if the outer loops did not exist.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// fft-like: fixed-point FFT on 64 points.
+//
+// Matches the paper's observation that fft is the one benchmark already
+// fully in FORAY form: every loop is a canonical for loop, every
+// reference a direct affine subscript (the bit-reversal permutation is
+// replaced by an affine 8x8 transpose reorder, and each butterfly stage
+// is written out with literal strides, as unrolled DSP code commonly is).
+#include "benchsuite/suite.h"
+
+namespace foray::benchsuite {
+
+namespace {
+
+const char* kSource = R"(// fft-like 64-point fixed-point transform (MiniC)
+int re[64];
+int im[64];
+int tmp_re[64];
+int tmp_im[64];
+int tw_re[64];
+int tw_im[64];
+int spectrum[64];
+
+int main(void) {
+  int i;
+  int j;
+  int k;
+  int rounds;
+
+  // Twiddle tables (quadratic phase surrogate, canonical loops).
+  for (i = 0; i < 64; i++) {
+    tw_re[i] = 256 - ((i * i) & 255);
+    tw_im[i] = ((i * 3) & 127) - 64;
+  }
+
+  for (rounds = 0; rounds < 200; rounds++) {
+    // Input frame.
+    for (i = 0; i < 64; i++) {
+      re[i] = (((i * 29 + rounds * 17) & 255) - 128) + rand() % 8;
+      im[i] = 0;
+    }
+
+    // Affine reorder (transpose of the 8x8 view).
+    for (i = 0; i < 8; i++) {
+      for (j = 0; j < 8; j++) {
+        tmp_re[i * 8 + j] = re[j * 8 + i];
+        tmp_im[i * 8 + j] = im[j * 8 + i];
+      }
+    }
+    memcpy(re, tmp_re, 256);
+    memcpy(im, tmp_im, 256);
+
+    // Six butterfly stages with literal strides (1,2,4,8,16,32).
+    for (k = 0; k < 64; k += 2) {
+      for (j = 0; j < 1; j++) {
+        int a = re[k + j]; int b = re[k + j + 1];
+        int c = im[k + j]; int d = im[k + j + 1];
+        re[k + j] = a + b; re[k + j + 1] = a - b;
+        im[k + j] = c + d; im[k + j + 1] = c - d;
+      }
+    }
+    for (k = 0; k < 64; k += 4) {
+      for (j = 0; j < 2; j++) {
+        int a = re[k + j]; int b = (re[k + j + 2] * tw_re[j * 16]) >> 8;
+        int c = im[k + j]; int d = (im[k + j + 2] * tw_re[j * 16]) >> 8;
+        re[k + j] = a + b; re[k + j + 2] = a - b;
+        im[k + j] = c + d; im[k + j + 2] = c - d;
+      }
+    }
+    for (k = 0; k < 64; k += 8) {
+      for (j = 0; j < 4; j++) {
+        int a = re[k + j]; int b = (re[k + j + 4] * tw_re[j * 8]) >> 8;
+        int c = im[k + j]; int d = (im[k + j + 4] * tw_im[j * 8]) >> 8;
+        re[k + j] = a + b; re[k + j + 4] = a - b;
+        im[k + j] = c + d; im[k + j + 4] = c - d;
+      }
+    }
+    for (k = 0; k < 64; k += 16) {
+      for (j = 0; j < 8; j++) {
+        int a = re[k + j]; int b = (re[k + j + 8] * tw_re[j * 4]) >> 8;
+        int c = im[k + j]; int d = (im[k + j + 8] * tw_im[j * 4]) >> 8;
+        re[k + j] = a + b; re[k + j + 8] = a - b;
+        im[k + j] = c + d; im[k + j + 8] = c - d;
+      }
+    }
+    for (k = 0; k < 64; k += 32) {
+      for (j = 0; j < 16; j++) {
+        int a = re[k + j]; int b = (re[k + j + 16] * tw_re[j * 2]) >> 8;
+        int c = im[k + j]; int d = (im[k + j + 16] * tw_im[j * 2]) >> 8;
+        re[k + j] = a + b; re[k + j + 16] = a - b;
+        im[k + j] = c + d; im[k + j + 16] = c - d;
+      }
+    }
+    for (j = 0; j < 32; j++) {
+      int a = re[j]; int b = (re[j + 32] * tw_re[j]) >> 8;
+      int c = im[j]; int d = (im[j + 32] * tw_im[j]) >> 8;
+      re[j] = a + b; re[j + 32] = a - b;
+      im[j] = c + d; im[j + 32] = c - d;
+    }
+
+    // Power spectrum accumulation.
+    for (i = 0; i < 64; i++) {
+      spectrum[i] += (re[i] * re[i] + im[i] * im[i]) >> 12;
+    }
+  }
+
+  {
+    int check = 0;
+    for (i = 0; i < 64; i++) {
+      check += spectrum[i];
+    }
+    printf("fft-like: check=%d\n", check & 65535);
+  }
+  return 0;
+}
+)";
+
+}  // namespace
+
+const Benchmark& fft_like() {
+  static const Benchmark kBench = [] {
+    Benchmark b;
+    b.name = "fft";
+    b.description = "64-point fixed-point FFT: twiddle tables, affine "
+                    "transpose reorder, six literal-stride butterfly "
+                    "stages — everything already in FORAY form";
+    b.source = kSource;
+    b.paper = PaperRow{
+        .lines = 493, .loops = 11,
+        .pct_for = 100, .pct_while = 0, .pct_do = 0,
+        .model_loops = 8, .model_refs = 19,
+        .pct_loops_not_foray = 0, .pct_refs_not_foray = 0,
+        .total_refs = 2420, .total_accesses = 22e6,
+        .total_footprint = 28804,
+        .model_ref_pct = 1, .model_access_pct = 1, .model_fp_pct = 57,
+        .sys_ref_pct = 95, .sys_access_pct = 96, .sys_fp_pct = 43,
+        .other_fp_pct = 29};
+    return b;
+  }();
+  return kBench;
+}
+
+}  // namespace foray::benchsuite

@@ -1,0 +1,127 @@
+#include "benchsuite/generator.h"
+
+#include <sstream>
+
+#include "util/status.h"
+
+namespace foray::benchsuite {
+
+namespace {
+
+/// Renders "base + c0*i0 - c1*i1 ..." skipping zero terms.
+std::string index_expr(int64_t base, const std::vector<int64_t>& coefs,
+                       int nest_id) {
+  std::ostringstream os;
+  os << base;
+  for (size_t k = 0; k < coefs.size(); ++k) {
+    if (coefs[k] == 0) continue;
+    os << (coefs[k] > 0 ? " + " : " - ")
+       << (coefs[k] > 0 ? coefs[k] : -coefs[k]) << " * i" << nest_id << "_"
+       << k;
+  }
+  return os.str();
+}
+
+std::string ind(int depth) { return std::string(2 * (depth + 1), ' '); }
+
+}  // namespace
+
+GeneratedProgram generate_affine_program(const GeneratorOptions& opts) {
+  util::Rng rng(opts.seed);
+  GeneratedProgram out;
+  std::ostringstream decls, body;
+
+  for (int n = 0; n < opts.num_nests; ++n) {
+    ExpectedNest nest;
+    nest.array_name = "A" + std::to_string(n);
+
+    const int depth = static_cast<int>(rng.next_in(1, opts.max_depth));
+    for (int k = 0; k < depth; ++k) {
+      nest.trips.push_back(rng.next_in(opts.min_trip, opts.max_trip));
+      // Innermost coefficient stays non-zero so the reference has an
+      // effective iterator (passes the Step 4 regularity condition).
+      int64_t c = rng.next_in(-opts.max_coef, opts.max_coef);
+      if (k == depth - 1 && c == 0) c = 1 + rng.next_in(0, opts.max_coef - 1);
+      nest.elem_coefs.push_back(c);
+    }
+
+    // Base offset keeps every index non-negative; array length covers
+    // the maximal index.
+    int64_t min_off = 0, max_off = 0;
+    for (int k = 0; k < depth; ++k) {
+      const int64_t reach = nest.elem_coefs[k] * (nest.trips[k] - 1);
+      if (reach < 0) {
+        min_off += reach;
+      } else {
+        max_off += reach;
+      }
+    }
+    nest.elem_base = -min_off;
+    const int64_t len = nest.elem_base + max_off + 1;
+    decls << "int " << nest.array_name << "[" << len << "];\n";
+
+    // Pick a surface syntax.
+    std::vector<NestStyle> styles = {NestStyle::Subscript};
+    if (opts.allow_pointer_for) styles.push_back(NestStyle::PointerFor);
+    if (opts.allow_pointer_while) styles.push_back(NestStyle::PointerWhile);
+    nest.style = styles[rng.next_below(styles.size())];
+
+    body << "  // nest " << n << "\n";
+    body << "  {\n";
+    const bool pointer = nest.style != NestStyle::Subscript;
+    if (pointer) {
+      body << ind(0) << "int *p" << n << " = " << nest.array_name << " + "
+           << nest.elem_base << ";\n";
+    }
+    // Open loops.
+    for (int k = 0; k < depth; ++k) {
+      const std::string iv = "i" + std::to_string(n) + "_" +
+                             std::to_string(k);
+      if (nest.style == NestStyle::PointerWhile) {
+        body << ind(k) << "int " << iv << " = 0;\n";
+        body << ind(k) << "while (" << iv << " < " << nest.trips[k]
+             << ") {\n";
+      } else {
+        body << ind(k) << "for (int " << iv << " = 0; " << iv << " < "
+             << nest.trips[k] << "; " << iv << "++) {\n";
+      }
+    }
+    // Innermost body.
+    if (pointer) {
+      body << ind(depth) << "*p" << n << " = i" << n << "_" << (depth - 1)
+           << " & 127;\n";
+      body << ind(depth) << "p" << n << " += "
+           << nest.elem_coefs[depth - 1] << ";\n";
+    } else {
+      body << ind(depth) << nest.array_name << "["
+           << index_expr(nest.elem_base, nest.elem_coefs, n) << "] = i" << n
+           << "_" << (depth - 1) << " & 127;\n";
+    }
+    // Close loops with pointer re-adjustments between levels.
+    for (int k = depth - 1; k >= 0; --k) {
+      if (nest.style == NestStyle::PointerWhile) {
+        body << ind(k + 1) << "i" << n << "_" << k << "++;\n";
+      }
+      body << ind(k) << "}\n";
+      if (pointer && k > 0) {
+        // Stepping i_{k-1} by one while i_k rewinds from trips[k] to 0.
+        const int64_t adj = nest.elem_coefs[k - 1] -
+                            nest.elem_coefs[k] * nest.trips[k];
+        if (adj != 0) {
+          body << ind(k - 1) << "p" << n << " += " << adj << ";\n";
+        }
+      }
+    }
+    body << "  }\n";
+    out.nests.push_back(std::move(nest));
+  }
+
+  std::ostringstream src;
+  src << "// auto-generated affine program (seed " << opts.seed << ")\n";
+  src << decls.str();
+  src << "int main(void) {\n" << body.str() << "  return 0;\n}\n";
+  out.source = src.str();
+  return out;
+}
+
+}  // namespace foray::benchsuite

@@ -1,0 +1,171 @@
+// gsm-like: GSM full-rate speech encoder front end.
+//
+// Models the gsm structure: per-frame preprocessing, LPC autocorrelation
+// over 160-sample frames (affine two-iterator subscripts s[i-k]),
+// long-term-prediction lag search through pointer arithmetic (statically
+// opaque, dynamically affine), and RPE grid selection with a pointer-walk
+// encoder in a while loop.
+#include "benchsuite/suite.h"
+
+namespace foray::benchsuite {
+
+namespace {
+
+const char* kSource = R"(// gsm-like speech encoder kernel (MiniC)
+int speech[1120];     // 7 frames x 160 samples
+int frame[160];
+int weighted[160];
+int acorr[9];
+int refl[8];
+int history[280];
+int lag_score[81];    // lags 40..120
+int rpe_bits[560];
+int frames_done;
+int total_bits;
+
+int saturate(int v) {
+  if (v > 32767) return 32767;
+  if (v < -32768) return -32768;
+  return v;
+}
+
+int main(void) {
+  int f;
+  int i;
+  int k;
+  int lag;
+
+  // Synthetic speech input (canonical).
+  for (i = 0; i < 1120; i++) {
+    speech[i] = (((i * 37) & 511) - 256) + (rand() & 127) - 64;
+  }
+
+  frames_done = 0;
+  total_bits = 0;
+  f = 0;
+  while (f < 7) {   // frame loop
+    // Frame extraction with offset-compensation preprocessing.
+    for (i = 0; i < 160; i++) {
+      frame[i] = saturate(speech[f * 160 + i] - (speech[f * 160 + i] >> 6));
+    }
+
+    // Pre-emphasis through a short pointer walk.
+    {
+      int *p = frame + 159;
+      int n = 159;
+      while (n > 0) {
+        *p = saturate(*p - ((p[-1] * 28180) >> 15));
+        p--;
+        n--;
+      }
+    }
+
+    // LPC autocorrelation: two-iterator affine subscripts.
+    for (k = 0; k < 9; k++) {
+      int acc = 0;
+      for (i = k; i < 160; i++) {
+        acc += (frame[i] >> 3) * (frame[i - k] >> 3);
+      }
+      acorr[k] = acc;
+    }
+
+    // Schur-style reflection coefficients (tiny loops; filtered out of
+    // the model by Nloc).
+    for (k = 0; k < 8; k++) {
+      refl[k] = acorr[k + 1] / (1 + (acorr[0] >> 10));
+    }
+
+    // Short-term weighting filter.
+    for (i = 0; i < 160; i++) {
+      int acc = frame[i] << 2;
+      for (k = 0; k < 8; k++) {
+        int j = i - k - 1;
+        if (j >= 0) {
+          acc -= (refl[k] * frame[j]) >> 9;
+        }
+      }
+      weighted[i] = saturate(acc);
+    }
+
+    // Update the LTP history ring: shift via the system library, then
+    // append the new frame with a pointer walk.
+    memcpy(history, history + 160, 480);
+    {
+      int *src = weighted;
+      int *dst = history + 120;
+      int n = 160;
+      while (n-- > 0) {
+        *dst++ = *src++;
+      }
+    }
+
+    // Long-term-prediction lag search: *(d - lambda) style accesses,
+    // statically opaque, dynamically affine in (lag, i).
+    for (lag = 0; lag < 81; lag++) {
+      int acc = 0;
+      int *d = history + 120;
+      for (i = 0; i < 40; i++) {
+        acc += (d[i] >> 3) * (*(d + i - lag - 40) >> 3);
+      }
+      lag_score[lag] = acc;
+    }
+
+    // RPE grid encode: pointer walk emitting one code per 3 samples.
+    {
+      int *w = weighted;
+      int *out = rpe_bits + f * 80;
+      int n = 0;
+      while (n < 80) {
+        int v = (w[0] + w[1]) / 2;
+        *out++ = (v >> 4) & 7;
+        w += 2;
+        n++;
+      }
+      total_bits += 3 * 80;
+    }
+
+    frames_done++;
+    f++;
+  }
+
+  {
+    int check = 0;
+    for (i = 0; i < 560; i++) {
+      check += rpe_bits[i];
+    }
+    for (i = 0; i < 81; i++) {
+      check += lag_score[i] & 15;
+    }
+    printf("gsm-like: frames=%d bits=%d check=%d\n", frames_done,
+           total_bits, check & 65535);
+  }
+  return 0;
+}
+)";
+
+}  // namespace
+
+const Benchmark& gsm_like() {
+  static const Benchmark kBench = [] {
+    Benchmark b;
+    b.name = "gsm";
+    b.description = "speech encoding: autocorrelation LPC, weighting "
+                    "filter, LTP lag search via pointer arithmetic, RPE "
+                    "pointer-walk encoder";
+    b.source = kSource;
+    b.paper = PaperRow{
+        .lines = 7089, .loops = 38,
+        .pct_for = 87, .pct_while = 13, .pct_do = 0,
+        .model_loops = 17, .model_refs = 86,
+        .pct_loops_not_foray = 59, .pct_refs_not_foray = 74,
+        .total_refs = 2091, .total_accesses = 37e6,
+        .total_footprint = 16215,
+        .model_ref_pct = 4, .model_access_pct = 32, .model_fp_pct = 5,
+        .sys_ref_pct = 49, .sys_access_pct = 3, .sys_fp_pct = 93,
+        .other_fp_pct = 8};
+    return b;
+  }();
+  return kBench;
+}
+
+}  // namespace foray::benchsuite

@@ -1,0 +1,267 @@
+// jpeg-like: image compression kernel.
+//
+// Models the cjpeg structure the paper's Figure 1 quotes: component /
+// coefficient loops writing through walking pointers, row chunking with a
+// while loop around a counting for loop, per-block forward DCT through a
+// pointer parameter (called from two contexts: luma and chroma), zigzag
+// reordering through a permutation table (deliberately non-affine), and
+// row staging via memcpy (system traffic).
+#include "benchsuite/suite.h"
+
+namespace foray::benchsuite {
+
+namespace {
+
+const char* kSource = R"(// jpeg-like image compression kernel (MiniC)
+int width = 64;
+int height = 48;
+int image[3072];        // 64x48 luma plane
+int chroma[1536];       // 32x48 subsampled chroma
+int coef[3072];
+int ccoef[1536];
+int qtab_luma[64];
+int qtab_chroma[64];
+int zigzag[64] = {
+   0,  1,  8, 16,  9,  2,  3, 10,
+  17, 24, 32, 25, 18, 11,  4,  5,
+  12, 19, 26, 33, 40, 48, 41, 34,
+  27, 20, 13,  6,  7, 14, 21, 28,
+  35, 42, 49, 56, 57, 50, 43, 36,
+  29, 22, 15, 23, 30, 37, 44, 51,
+  58, 59, 52, 45, 38, 31, 39, 46,
+  53, 60, 61, 54, 47, 55, 62, 63};
+int zz_out[3072];
+int last_bitpos[192];   // 3 components x 64 coefficients
+int result_rows[48];
+int rowbuf[64];
+int bit_budget;
+
+void build_qtab(int *tab, int quality) {
+  int i;
+  for (i = 0; i < 64; i++) {
+    tab[i] = 1 + (i * quality) / 32;
+  }
+}
+
+// Forward DCT surrogate on one 8x8 block, through a pointer parameter:
+// the block base is data-dependent, so these references are partial
+// affine (regular inside, shifting base outside).
+void fdct_block(int *blk) {
+  int u;
+  int x;
+  for (u = 0; u < 8; u++) {
+    int s = 0;
+    for (x = 0; x < 8; x++) {
+      s += blk[x * 8 + u];
+    }
+    blk[u] = s - (s >> 3);
+  }
+  for (x = 0; x < 8; x++) {
+    int s = 0;
+    for (u = 0; u < 8; u++) {
+      s += blk[x * 8 + u];
+    }
+    blk[x * 8] = s - (s >> 3);
+  }
+}
+
+int count_bits(int v) {
+  int n = 0;
+  if (v < 0) v = -v;
+  while (v) {            // huffman-ish magnitude loop
+    v >>= 1;
+    n++;
+  }
+  return n;
+}
+
+// JFIF-style marker emission: straight-line cold code, one access per
+// site — the kind of reference real applications have in droves and the
+// Step 4 filter drops.
+int header[96];
+void write_headers(int quality) {
+  header[0] = 255; header[1] = 216;       // SOI
+  header[2] = 255; header[3] = 224;       // APP0
+  header[4] = 0;   header[5] = 16;
+  header[6] = 74;  header[7] = 70;  header[8] = 73; header[9] = 70;
+  header[10] = 0;  header[11] = 1;  header[12] = 1;
+  header[13] = 0;  header[14] = 0;  header[15] = 96;
+  header[16] = 0;  header[17] = 96; header[18] = 0; header[19] = 0;
+  header[20] = 255; header[21] = 219;     // DQT luma
+  header[22] = 0;   header[23] = 67; header[24] = 0;
+  header[25] = 255; header[26] = 219;     // DQT chroma
+  header[27] = 0;   header[28] = 67; header[29] = 1;
+  header[30] = 255; header[31] = 192;     // SOF0
+  header[32] = 0;   header[33] = 17; header[34] = 8;
+  header[35] = 0;   header[36] = 48;      // height
+  header[37] = 0;   header[38] = 64;      // width
+  header[39] = 3;
+  header[40] = 1;  header[41] = 34; header[42] = 0;
+  header[43] = 2;  header[44] = 17; header[45] = 1;
+  header[46] = 3;  header[47] = 17; header[48] = 1;
+  header[49] = 255; header[50] = 196;     // DHT
+  header[51] = 0;   header[52] = 31; header[53] = 0;
+  header[54] = 255; header[55] = 218;     // SOS
+  header[56] = 0;   header[57] = 12; header[58] = 3;
+  header[59] = 1;   header[60] = 0;
+  header[61] = 2;   header[62] = 17;
+  header[63] = 3;   header[64] = 17;
+  header[65] = 0;   header[66] = 63; header[67] = 0;
+  header[68] = quality & 255;
+  header[69] = (quality >> 8) & 255;
+  header[70] = 255; header[71] = 217;     // EOI
+}
+
+int main(void) {
+  int r;
+  int c;
+  int b;
+  int i;
+  int ci;
+  int coefi;
+
+  // Synthetic input image (canonical, statically analyzable loops).
+  for (r = 0; r < 48; r++) {
+    for (c = 0; c < 64; c++) {
+      image[r * 64 + c] = ((r * 7 + c * 3 + rand() % 16) & 255) - 128;
+    }
+  }
+  for (r = 0; r < 48; r++) {
+    for (c = 0; c < 32; c++) {
+      chroma[r * 32 + c] = ((r * 5 + c * 11) & 255) - 128;
+    }
+  }
+
+  build_qtab(qtab_luma, 50);
+  build_qtab(qtab_chroma, 70);
+
+  // Stage rows through a bounce buffer (system-library traffic).
+  for (r = 0; r < 48; r++) {
+    memcpy(rowbuf, image + r * 64, 256);
+    coef[r * 64] = rowbuf[0] + rowbuf[63];
+  }
+
+  write_headers(50);
+
+  // Copy planes into the coefficient arrays with an unrolled pointer
+  // walk inside a while loop (Figure 1 style: not analyzable
+  // statically, and array-access dense like compiled copy loops).
+  {
+    int *src = image;
+    int *dst = coef;
+    int n = 3072;
+    while (n > 0) {
+      dst[0] = src[0];
+      dst[1] = src[1];
+      dst[2] = src[2];
+      dst[3] = src[3];
+      dst += 4;
+      src += 4;
+      n -= 4;
+    }
+  }
+
+  // Per-block forward DCT: luma blocks (context 1).
+  for (b = 0; b < 42; b++) {
+    fdct_block(coef + b * 64);
+  }
+  // Chroma blocks (context 2: same function, different pattern).
+  {
+    int *csrc = chroma;
+    int *cdst = ccoef;
+    int n = 1536;
+    while (n > 0) {
+      cdst[0] = csrc[0];
+      cdst[1] = csrc[1];
+      cdst[2] = csrc[2];
+      cdst[3] = csrc[3];
+      cdst += 4;
+      csrc += 4;
+      n -= 4;
+    }
+  }
+  for (b = 0; b < 24; b++) {
+    fdct_block(ccoef + b * 64);
+  }
+
+  // Quantization (canonical loops, affine refs).
+  for (b = 0; b < 42; b++) {
+    for (i = 0; i < 64; i++) {
+      coef[b * 64 + i] = coef[b * 64 + i] / qtab_luma[i];
+    }
+  }
+  for (b = 0; b < 24; b++) {
+    for (i = 0; i < 64; i++) {
+      ccoef[b * 64 + i] = ccoef[b * 64 + i] / qtab_chroma[i];
+    }
+  }
+
+  // Zigzag reordering: permutation-table index, intentionally not an
+  // affine function of the iterators.
+  for (b = 0; b < 42; b++) {
+    for (i = 0; i < 64; i++) {
+      zz_out[b * 64 + i] = coef[b * 64 + zigzag[i]];
+    }
+  }
+
+  // Figure 1, first excerpt: progression bit positions via pointer walk.
+  {
+    int *last_bitpos_ptr = last_bitpos;
+    for (ci = 0; ci < 3; ci++) {
+      for (coefi = 0; coefi < 64; coefi++) {
+        *last_bitpos_ptr++ = -1;
+      }
+    }
+  }
+
+  // Figure 1, second excerpt: row chunking.
+  {
+    int currow = 0;
+    int numrows = 48;
+    int rowsperchunk = 8;
+    while (currow < numrows) {
+      for (i = rowsperchunk; i > 0; i--) {
+        result_rows[currow++] = currow * 3;
+      }
+    }
+  }
+
+  // Entropy-coding bit budget (while loops inside count_bits).
+  bit_budget = 0;
+  for (b = 0; b < 42; b++) {
+    for (i = 0; i < 64; i++) {
+      bit_budget += count_bits(zz_out[b * 64 + i]);
+    }
+  }
+
+  printf("jpeg-like: bits=%d check=%d\n", bit_budget,
+         coef[100] + ccoef[100] + result_rows[47] + last_bitpos[10]);
+  return 0;
+}
+)";
+
+}  // namespace
+
+const Benchmark& jpeg_like() {
+  static const Benchmark kBench = [] {
+    Benchmark b;
+    b.name = "jpeg";
+    b.description = "image compression: block DCT, quantization, zigzag, "
+                    "pointer-walk plane copies (Figure 1 idioms)";
+    b.source = kSource;
+    b.paper = PaperRow{
+        .lines = 34590, .loops = 169,
+        .pct_for = 65, .pct_while = 34, .pct_do = 1,
+        .model_loops = 73, .model_refs = 73,
+        .pct_loops_not_foray = 41, .pct_refs_not_foray = 38,
+        .total_refs = 6151, .total_accesses = 8.3e6,
+        .total_footprint = 123625,
+        .model_ref_pct = 1, .model_access_pct = 27, .model_fp_pct = 87,
+        .sys_ref_pct = 33, .sys_access_pct = 2, .sys_fp_pct = 9,
+        .other_fp_pct = 91};
+    return b;
+  }();
+  return kBench;
+}
+
+}  // namespace foray::benchsuite

@@ -1,0 +1,229 @@
+// lame-like: MP3 encoder front half.
+//
+// Models the loop-heavy structure of lame: polyphase subband analysis
+// windows, MDCT-style transforms, a psychoacoustic spreading pass,
+// scalefactor-band energy via data-dependent band offsets (partial
+// affine), and the iterative quantization search (do-while loops). A
+// shared windowing helper runs from two contexts (left/right granule) to
+// exercise the inlining advisor.
+#include "benchsuite/suite.h"
+
+namespace foray::benchsuite {
+
+namespace {
+
+const char* kSource = R"(// lame-like MP3 encoder kernel (MiniC)
+int pcm[2048];
+int window_tab[512];
+int poly_out[576];
+int mdct_in[576];
+int mdct_out[576];
+int energy[64];
+int spread[64];
+int sfb_offset[22] = {0, 4, 8, 12, 16, 20, 24, 30, 36, 44, 52, 62,
+                      74, 90, 110, 134, 162, 196, 238, 288, 342, 418};
+int sfb_energy[21];
+int quant[576];
+int bitstream[2048];
+int granule_gain[4];
+int frames_done;
+int transient_energy;
+
+// Windowed dot product over 64 taps at a data-dependent offset. Called
+// from two different granule loops -> two dynamic contexts.
+int window_block(int offset) {
+  int acc = 0;
+  int t;
+  for (t = 0; t < 64; t++) {
+    acc += pcm[offset + t] * window_tab[t & 255];
+  }
+  return acc >> 6;
+}
+
+void mdct36(int *in, int *out, int n) {
+  int i;
+  int j;
+  for (i = 0; i < n; i++) {
+    int s = 0;
+    for (j = 0; j < 36; j++) {
+      s += in[i * 18 + (j >> 1)] * ((j & 1) ? 3 : 5);
+    }
+    out[i * 18] = s >> 4;
+    for (j = 1; j < 18; j++) {
+      out[i * 18 + j] = (in[i * 18 + j] * 7 - s) >> 5;
+    }
+  }
+}
+
+int quantize_granule(int gr) {
+  int step = 8;
+  int over;
+  int iter = 0;
+  // The classic outer quantization loop: iterate until the spectrum
+  // fits the bit budget.
+  do {
+    int i;
+    over = 0;
+    for (i = 0; i < 576; i++) {
+      quant[i] = mdct_out[i] / step;
+      if (quant[i] > 8191) over++;
+      if (quant[i] < -8191) over++;
+    }
+    step += 4;
+    iter++;
+  } while (over > 0 && iter < 8);
+  granule_gain[gr] = step;
+  return iter;
+}
+
+int main(void) {
+  int f;
+  int s;
+  int b;
+  int g;
+  int i;
+  int k;
+
+  // Window table (canonical).
+  for (s = 0; s < 512; s++) {
+    window_tab[s] = 128 - ((s * s) >> 10) % 128;
+  }
+
+  frames_done = 0;
+  f = 0;
+  while (f < 3) {   // frame loop
+    memset(quant, 0, 2304);
+    // Synthesize one frame of PCM.
+    for (s = 0; s < 2048; s++) {
+      pcm[s] = ((((s * 13 + f * 101) & 1023) - 512) >> 1) + rand() % 32;
+    }
+
+    // Transient pre-scan: the window length depends on the signal, so
+    // this loop's trip count is input-dependent (model-stability study).
+    {
+      int active = 1024 + (pcm[16] & 511);
+      int e = 0;
+      for (s = 0; s < active; s++) {
+        e += (pcm[s] >> 4) * (pcm[s] >> 4);
+      }
+      transient_energy = e >> 10;
+    }
+
+    // Polyphase subband analysis: 32 subbands x 18 granule slots.
+    for (b = 0; b < 32; b++) {
+      for (k = 0; k < 18; k++) {
+        poly_out[b * 18 + k] = window_block(b * 32 + k * 16) >> 2;
+      }
+    }
+
+    // Granule staging: bulk copy through the system library, then a
+    // pointer-walk fixup pass (statically opaque).
+    memcpy(mdct_in, poly_out, 2304);
+    {
+      int *dst = mdct_in;
+      int n = 576;
+      while (n-- > 0) {
+        *dst = (*dst * 31) >> 5;
+        dst++;
+      }
+    }
+
+    mdct36(mdct_in, mdct_out, 32);
+
+    // Psychoacoustic energies per band (canonical affine loops).
+    for (b = 0; b < 64; b++) {
+      int e = 0;
+      for (i = 0; i < 9; i++) {
+        e += mdct_out[b * 9 + i] * mdct_out[b * 9 + i];
+      }
+      energy[b] = e >> 8;
+    }
+    // Spreading function: neighborhood smear.
+    for (b = 0; b < 64; b++) {
+      int acc = 0;
+      for (i = 0; i < 5; i++) {
+        int idx = b + i - 2;
+        if (idx < 0) idx = 0;
+        if (idx > 63) idx = 63;
+        acc += energy[idx] >> (i > 2 ? i - 2 : 2 - i);
+      }
+      spread[b] = acc;
+    }
+
+    // Scalefactor-band energies through the offset table: the base of
+    // each inner run is data-dependent (partial affine).
+    for (b = 0; b < 21; b++) {
+      int e = 0;
+      int lo = sfb_offset[b];
+      int hi = sfb_offset[b + 1];
+      for (i = lo; i < hi; i++) {
+        e += mdct_out[i] * mdct_out[i];
+      }
+      sfb_energy[b] = e >> 6;
+    }
+
+    // Two granule contexts of the shared window helper.
+    for (g = 0; g < 2; g++) {
+      int acc = 0;
+      for (k = 0; k < 18; k++) {
+        acc += window_block(1024 + g * 512 + k * 8);
+      }
+      granule_gain[g + 2] = acc & 1023;
+    }
+
+    quantize_granule(0);
+    quantize_granule(1);
+
+    // Bit reservoir drain: do-while over the emitted words.
+    {
+      int *out = bitstream + f * 576;
+      int n = 0;
+      do {
+        *out++ = quant[n] ^ spread[n & 63];
+        n++;
+      } while (n < 576);
+    }
+
+    frames_done++;
+    f++;
+  }
+
+  // Final checksum (keeps everything live).
+  {
+    int check = 0;
+    for (i = 0; i < 576; i++) {
+      check += quant[i] + bitstream[i] + bitstream[576 + i];
+    }
+    printf("lame-like: frames=%d gain=%d check=%d\n", frames_done,
+           granule_gain[0], check);
+  }
+  return 0;
+}
+)";
+
+}  // namespace
+
+const Benchmark& lame_like() {
+  static const Benchmark kBench = [] {
+    Benchmark b;
+    b.name = "lame";
+    b.description = "MP3 encoding: polyphase filterbank, MDCT, "
+                    "psychoacoustics, iterative quantization (do-while), "
+                    "scalefactor bands with data-dependent offsets";
+    b.source = kSource;
+    b.paper = PaperRow{
+        .lines = 22846, .loops = 479,
+        .pct_for = 83, .pct_while = 8, .pct_do = 9,
+        .model_loops = 232, .model_refs = 980,
+        .pct_loops_not_foray = 42, .pct_refs_not_foray = 38,
+        .total_refs = 16805, .total_accesses = 43e6,
+        .total_footprint = 127052,
+        .model_ref_pct = 6, .model_access_pct = 22, .model_fp_pct = 26,
+        .sys_ref_pct = 40, .sys_access_pct = 20, .sys_fp_pct = 33,
+        .other_fp_pct = 66};
+    return b;
+  }();
+  return kBench;
+}
+
+}  // namespace foray::benchsuite

@@ -1,0 +1,22 @@
+#include "benchsuite/suite.h"
+
+#include "util/status.h"
+
+namespace foray::benchsuite {
+
+const std::vector<Benchmark>& all_benchmarks() {
+  static const std::vector<Benchmark> kAll = {
+      jpeg_like(), lame_like(), susan_like(),
+      fft_like(),  gsm_like(),  adpcm_like(),
+  };
+  return kAll;
+}
+
+const Benchmark& get_benchmark(const std::string& name) {
+  for (const auto& b : all_benchmarks()) {
+    if (b.name == name) return b;
+  }
+  throw util::InternalError("unknown benchmark '" + name + "'");
+}
+
+}  // namespace foray::benchsuite

@@ -1,0 +1,64 @@
+// The benchmark suite: six MiniC programs structurally modeled on the
+// MiBench applications the paper evaluates (jpeg, lame, susan, fft, gsm,
+// adpcm).
+//
+// MiBench itself is tens of thousands of lines of host C; these programs
+// are scaled-down substitutes that preserve the properties the paper's
+// tables measure: the loop-form mix (for/while/do), the idioms that
+// defeat static analysis (pointer walks, data-dependent offsets,
+// multi-context functions), the system-library traffic, and the
+// concentration of accesses into few references. Each benchmark carries
+// the paper's reported numbers so the bench binaries can print
+// paper-vs-measured side by side (see DESIGN.md §2 for the substitution
+// rationale).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace foray::benchsuite {
+
+/// Paper-reported values for one MiBench application (Tables I-III).
+struct PaperRow {
+  int lines = 0;
+  int loops = 0;
+  int pct_for = 0;
+  int pct_while = 0;
+  int pct_do = 0;
+  // Table II.
+  int model_loops = 0;
+  int model_refs = 0;
+  int pct_loops_not_foray = 0;
+  int pct_refs_not_foray = 0;
+  // Table III (percent shares; footprints of the three buckets may
+  // overlap).
+  double total_refs = 0;
+  double total_accesses = 0;   ///< absolute
+  double total_footprint = 0;  ///< absolute
+  double model_ref_pct = 0, model_access_pct = 0, model_fp_pct = 0;
+  double sys_ref_pct = 0, sys_access_pct = 0, sys_fp_pct = 0;
+  double other_fp_pct = 0;
+};
+
+struct Benchmark {
+  std::string name;         ///< "jpeg"
+  std::string description;  ///< what the kernel models
+  std::string source;       ///< MiniC program text
+  PaperRow paper;
+};
+
+/// All six benchmarks, in the paper's table order.
+const std::vector<Benchmark>& all_benchmarks();
+
+/// Lookup by name; throws util::InternalError for unknown names.
+const Benchmark& get_benchmark(const std::string& name);
+
+// Individual accessors (defined one per translation unit).
+const Benchmark& jpeg_like();
+const Benchmark& lame_like();
+const Benchmark& susan_like();
+const Benchmark& fft_like();
+const Benchmark& gsm_like();
+const Benchmark& adpcm_like();
+
+}  // namespace foray::benchsuite

@@ -1,0 +1,125 @@
+// susan-like: image recognition (smoothing + corner response).
+//
+// Models susan's structure: a brightness lookup table, 3x3 mask
+// smoothing over a small image with canonical subscripts, and
+// edge/corner scanning passes written as pointer walks inside while
+// loops (the statically-opaque majority of its loops).
+#include "benchsuite/suite.h"
+
+namespace foray::benchsuite {
+
+namespace {
+
+const char* kSource = R"(// susan-like image recognition kernel (MiniC)
+int img[4256];      // 76 x 56
+int smooth[4256];
+int response[4256];
+int corners[256];
+int bright_lut[516];
+int n_corners;
+
+int main(void) {
+  int x;
+  int y;
+  int i;
+  int dx;
+  int dy;
+
+  // Brightness LUT (canonical).
+  for (i = 0; i < 516; i++) {
+    int d = i - 258;
+    bright_lut[i] = 100 / (1 + (d * d) / 120);
+  }
+
+  // Synthetic input image.
+  for (y = 0; y < 56; y++) {
+    for (x = 0; x < 76; x++) {
+      img[y * 76 + x] = (((x * x + y * y) >> 3) + rand() % 32) & 255;
+    }
+  }
+
+  // Clear the response planes through the system library.
+  memset(response, 0, 17024);
+  memset(smooth, 0, 17024);
+
+  // 3x3 smoothing with canonical, statically-affine subscripts.
+  for (y = 1; y < 55; y++) {
+    for (x = 1; x < 75; x++) {
+      int acc = 0;
+      for (dy = 0; dy < 3; dy++) {
+        for (dx = 0; dx < 3; dx++) {
+          acc += img[(y + dy - 1) * 76 + (x + dx - 1)];
+        }
+      }
+      smooth[y * 76 + x] = acc / 9;
+    }
+  }
+
+  // USAN response via pointer walk (statically opaque while loop).
+  {
+    int *p = smooth + 77;
+    int *r = response + 77;
+    int n = 4256 - 154;
+    while (n > 0) {
+      int c = *p;
+      int usan = bright_lut[258 + c - p[-1]] + bright_lut[258 + c - p[1]] +
+                 bright_lut[258 + c - p[-76]] + bright_lut[258 + c - p[76]];
+      *r = usan;
+      p++;
+      r++;
+      n--;
+    }
+  }
+
+  // Corner collection: second walking scan.
+  n_corners = 0;
+  {
+    int *r = response + 77;
+    int remaining = 4256 - 154;
+    while (remaining > 0) {
+      if (*r > 360 && n_corners < 256) {
+        corners[n_corners] = 4256 - 77 - remaining;
+        n_corners++;
+      }
+      r++;
+      remaining--;
+    }
+  }
+
+  {
+    int check = 0;
+    for (i = 0; i < 4256; i++) {
+      check += smooth[i] + response[i];
+    }
+    printf("susan-like: corners=%d check=%d\n", n_corners, check & 65535);
+  }
+  return 0;
+}
+)";
+
+}  // namespace
+
+const Benchmark& susan_like() {
+  static const Benchmark kBench = [] {
+    Benchmark b;
+    b.name = "susan";
+    b.description = "image recognition: LUT smoothing with canonical "
+                    "subscripts, USAN response and corner scan as pointer "
+                    "walks in while loops";
+    b.source = kSource;
+    b.paper = PaperRow{
+        .lines = 2173, .loops = 14,
+        .pct_for = 79, .pct_while = 21, .pct_do = 0,
+        .model_loops = 9, .model_refs = 10,
+        .pct_loops_not_foray = 78, .pct_refs_not_foray = 50,
+        .total_refs = 1162, .total_accesses = 5.0e6,
+        .total_footprint = 24778,
+        .model_ref_pct = 1, .model_access_pct = 66, .model_fp_pct = 72,
+        .sys_ref_pct = 85, .sys_access_pct = 1, .sys_fp_pct = 47,
+        .other_fp_pct = 1};
+    return b;
+  }();
+  return kBench;
+}
+
+}  // namespace foray::benchsuite

@@ -1,0 +1,128 @@
+#include "foray/affine.h"
+
+#include "util/status.h"
+
+namespace foray::core {
+
+int64_t AffineState::predict(std::span<const int64_t> iters) const {
+  int64_t indc = const_term;
+  for (int i = 0; i < n; ++i) {
+    if (coef_known(i)) indc += iters[i] * coef[i];
+  }
+  return indc;
+}
+
+void observe_access(AffineState& st, std::span<const int64_t> iters,
+                    int64_t ind) {
+  const int n = static_cast<int>(iters.size());
+
+  // Step 1: first sight of this reference — record the base address and
+  // mark every coefficient unknown.
+  if (!st.initialized) {
+    st.initialized = true;
+    st.n = n;
+    st.m = n;
+    st.const_term = ind;
+    st.coef.assign(n, AffineState::kUnknown);
+    st.sticky_s.assign(n, 0);
+    st.itp.assign(iters.begin(), iters.end());
+    st.indp = ind;
+    st.observations = 1;
+    return;
+  }
+  FORAY_CHECK(n == st.n, "reference observed at two different nest depths");
+  ++st.observations;
+  if (!st.analyzable) {
+    // Excluded in a previous Step 4; keep ITP/INDP fresh for counters.
+    st.itp.assign(iters.begin(), iters.end());
+    st.indp = ind;
+    return;
+  }
+
+  // Step 2: H = iterators with UNKNOWN coefficient that changed value.
+  int h = 0;
+  int k = -1;
+  for (int i = 0; i < n; ++i) {
+    if (!st.coef_known(i) && iters[i] != st.itp[i]) {
+      ++h;
+      k = i;
+    }
+  }
+
+  if (h == 1) {
+    // Step 3: solve the single newly-determined coefficient.
+    //   IND - INDP = Ck*(ITk - ITPk) + sum_known Ci*(ITi - ITPi)
+    int64_t adj = 0;
+    for (int i = 0; i < n; ++i) {
+      if (i != k && st.coef_known(i) && iters[i] != st.itp[i]) {
+        adj += st.coef[i] * (iters[i] - st.itp[i]);
+      }
+    }
+    const int64_t dit = iters[k] - st.itp[k];
+    const int64_t num = ind - adj - st.indp;
+    if (num % dit == 0) {
+      st.coef[k] = num / dit;
+    }
+    // A non-integral solution means this iterator does not linearly
+    // drive the address; leave it UNKNOWN and let Step 6 absorb the
+    // discrepancy into CONST.
+  } else if (h > 1) {
+    // Step 4: several unknowns changed at once — under-determined;
+    // the paper marks such references non-analyzable.
+    st.analyzable = false;
+    st.itp.assign(iters.begin(), iters.end());
+    st.indp = ind;
+    return;
+  }
+
+  // Step 5: predict with everything known so far.
+  const int64_t indc = st.predict(iters);
+
+  // Step 6: on misprediction, re-fit CONST and shrink the partial range.
+  if (indc != ind) {
+    ++st.mispredictions;
+    for (int i = 0; i < n; ++i) {
+      if (iters[i] == st.itp[i]) st.sticky_s[i] = 1;
+    }
+    st.const_term += ind - indc;
+    // M = (outermost iterator that changed at every misprediction) - 1.
+    st.m = 0;
+    for (int i = 0; i < n; ++i) {
+      if (st.sticky_s[i] == 0) st.m = i;  // i is 0-based: M = i_1based - 1
+    }
+  }
+
+  // Step 7: remember this execution.
+  st.itp.assign(iters.begin(), iters.end());
+  st.indp = ind;
+}
+
+int64_t AffineFunction::evaluate(
+    std::span<const int64_t> iters_outer_first) const {
+  FORAY_CHECK(iters_outer_first.size() == coefs.size(),
+              "iterator count mismatch in AffineFunction::evaluate");
+  int64_t v = const_term;
+  for (size_t i = 0; i < coefs.size(); ++i) {
+    v += coefs[i] * iters_outer_first[i];
+  }
+  return v;
+}
+
+AffineFunction finalize(const AffineState& st) {
+  AffineFunction fn;
+  fn.analyzable = st.analyzable;
+  fn.const_term = st.const_term;
+  fn.m = st.m;
+  fn.coefs.resize(static_cast<size_t>(st.n));
+  fn.known.resize(static_cast<size_t>(st.n));
+  // State is innermost-first; emission order is outermost-first.
+  for (int i = 0; i < st.n; ++i) {
+    const int out = st.n - 1 - i;
+    const bool known = st.coef_known(i);
+    fn.coefs[static_cast<size_t>(out)] = known ? st.coef[i] : 0;
+    fn.known[static_cast<size_t>(out)] = known;
+  }
+  return fn;
+}
+
+}  // namespace foray::core

@@ -1,0 +1,87 @@
+// Algorithm 3: incremental recovery of (partial) affine index expressions.
+//
+// For each memory reference the paper fits
+//
+//     index = CONST + C1*iter1 + C2*iter2 + ... + CN*iterN
+//
+// where iter1 is the *innermost* loop iterator. Coefficients start
+// UNKNOWN and are solved one at a time whenever exactly one
+// unknown-coefficient iterator changed between consecutive executions
+// (Step 3). When the prediction INDC disagrees with the observed address
+// (Step 6), CONST is re-fitted and the expression degrades to a *partial*
+// affine function over the innermost M iterators; the S flags record
+// which iterators were ever innocent (unchanged) at a misprediction, so M
+// ends up just inside the outermost iterator that changed at every
+// misprediction — exactly the paper's rule.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace foray::core {
+
+struct AffineState {
+  static constexpr int64_t kUnknown = INT64_MIN;
+
+  /// Loop nest level N of the reference (0 = outside all loops).
+  int n = 0;
+  /// Number of innermost iterators in the (partial) expression, M <= N.
+  /// Starts at N and only shrinks at mispredictions.
+  int m = 0;
+  int64_t const_term = 0;   ///< CONST
+  std::vector<int64_t> coef;     ///< C1..CN, kUnknown until solved
+  std::vector<int64_t> itp;      ///< ITP1..ITPN: iterators at previous exec
+  std::vector<uint8_t> sticky_s; ///< S1..SN
+  int64_t indp = 0;              ///< INDP: previous address
+  bool initialized = false;
+  /// Cleared in Step 4 when several unknown-coefficient iterators change
+  /// at once; such references are excluded from further consideration.
+  bool analyzable = true;
+  uint64_t observations = 0;
+  uint64_t mispredictions = 0;
+
+  bool is_partial() const { return analyzable && m < n; }
+  bool coef_known(int i) const { return coef[i] != kUnknown; }
+
+  /// True if the final expression contains at least one iterator with a
+  /// known non-zero coefficient within the partial range (the Step 4
+  /// "includes at least one iterator" condition).
+  bool has_effective_iterator() const {
+    for (int i = 0; i < m; ++i) {
+      if (coef_known(i) && coef[i] != 0) return true;
+    }
+    return false;
+  }
+
+  /// Predicted address for iterator values `iters` (innermost first),
+  /// using all currently-known coefficients (Step 5).
+  int64_t predict(std::span<const int64_t> iters) const;
+};
+
+/// Feeds one observed execution of a reference into Algorithm 3.
+/// `iters[0]` is the innermost loop's current normalized iteration count;
+/// `ind` is the accessed address. The first call initializes the state
+/// (Step 1); later calls run Steps 2–7.
+void observe_access(AffineState& st, std::span<const int64_t> iters,
+                    int64_t ind);
+
+/// A finalized affine function in *emission order* (outermost first),
+/// produced from an AffineState at model-build time.
+struct AffineFunction {
+  int64_t const_term = 0;
+  std::vector<int64_t> coefs;   ///< outermost..innermost; 0 if never solved
+  std::vector<bool> known;      ///< per coefficient
+  int m = 0;                    ///< innermost iterators in the partial expr
+  bool analyzable = true;
+
+  int n() const { return static_cast<int>(coefs.size()); }
+  bool partial() const { return m < n(); }
+
+  /// Address at the given iterator values (outermost first).
+  int64_t evaluate(std::span<const int64_t> iters_outer_first) const;
+};
+
+AffineFunction finalize(const AffineState& st);
+
+}  // namespace foray::core

@@ -1,0 +1,41 @@
+// FORAY model emission: renders the model IR as C source.
+//
+// Two renderings:
+//  - emit_minic(): a *valid MiniC program*. Every reference's address
+//    function is rebased to a zero-origin array of exactly the spanned
+//    size, so the program parses, checks and runs on the bundled
+//    simulator. Re-extracting a FORAY model from this program recovers
+//    the same loop trips and coefficients (round-trip property test).
+//  - emit_paper_style(): the display form of the paper's Figure 2/4(d),
+//    with absolute base addresses (not compilable; documentation only).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "foray/model.h"
+
+namespace foray::core {
+
+struct EmitOptions {
+  /// Merge references sharing a loop nest into one emitted nest
+  /// (compact); false emits one nest per reference like Figure 2.
+  bool group_by_nest = true;
+  /// Per-reference provenance comments (instr, context, expression).
+  bool metadata_comments = true;
+};
+
+/// Stable, collision-free array names for every model reference
+/// ("A<instr-hex>", with "_c2", "_c3" suffixes for the same instruction
+/// in additional dynamic contexts).
+std::vector<std::string> assign_array_names(const ForayModel& model);
+
+std::string emit_minic(const ForayModel& model, const EmitOptions& = {});
+
+std::string emit_paper_style(const ForayModel& model);
+
+/// Human-readable form of one reference's affine function, e.g.
+/// "0x7fff5934 + 1*i15 + 103*i12 (full)" — used in reports and hints.
+std::string describe_reference(const ModelReference& ref);
+
+}  // namespace foray::core

@@ -1,0 +1,95 @@
+#include "foray/extractor.h"
+
+#include "util/status.h"
+
+namespace foray::core {
+
+using trace::CheckpointType;
+using trace::Record;
+using trace::RecordType;
+
+Extractor::Extractor(ExtractorOptions opts)
+    : opts_(opts), tree_(opts.hash_index, opts.footprint_cap) {
+  cur_ = tree_.root();
+}
+
+void Extractor::on_record(const Record& r) {
+  ++records_;
+  switch (r.type) {
+    case RecordType::Checkpoint:
+      ++checkpoints_;
+      on_checkpoint(r);
+      break;
+    case RecordType::Access:
+      ++accesses_;
+      on_access(r);
+      break;
+    case RecordType::Call:
+    case RecordType::Ret:
+      // Function boundaries do not affect the loop tree: the model
+      // treats functions as inlined (§4).
+      break;
+  }
+}
+
+void Extractor::on_checkpoint(const Record& r) {
+  switch (r.cp) {
+    case CheckpointType::LoopEnter: {
+      cur_ = cur_->get_or_create_child(r.loop_id);
+      cur_->cur_iter = -1;
+      ++cur_->entries;
+      break;
+    }
+    case CheckpointType::BodyBegin: {
+      // Tolerate traces that omit exit records for early-terminated
+      // loops (the paper's three-checkpoint encoding): pop to the loop.
+      while (cur_->loop_id() != r.loop_id && cur_->parent() != nullptr) {
+        cur_ = cur_->parent();
+      }
+      FORAY_CHECK(cur_->loop_id() == r.loop_id,
+                  "body_begin checkpoint for a loop that never entered");
+      ++cur_->cur_iter;
+      ++cur_->total_iterations;
+      if (cur_->cur_iter + 1 > cur_->max_trip) {
+        cur_->max_trip = cur_->cur_iter + 1;
+      }
+      break;
+    }
+    case CheckpointType::BodyEnd:
+      // Iteration counting keys off body_begin; nothing to update.
+      break;
+    case CheckpointType::LoopExit: {
+      while (cur_->loop_id() != r.loop_id && cur_->parent() != nullptr) {
+        cur_ = cur_->parent();
+      }
+      FORAY_CHECK(cur_->parent() != nullptr,
+                  "loop_exit checkpoint without matching loop_enter");
+      cur_ = cur_->parent();
+      break;
+    }
+  }
+}
+
+void Extractor::on_access(const Record& r) {
+  bool created = false;
+  RefNode* ref = cur_->get_or_create_ref(r.instr, &created);
+  ref->access_size = r.size;
+  ref->kind = r.kind;
+  if (r.is_write) {
+    ref->has_write = true;
+  } else {
+    ref->has_read = true;
+  }
+  ++ref->exec_count;
+  ref->note_address(r.addr);
+
+  // Gather current normalized iterator values, innermost first
+  // (Algorithm 2 hands these to Algorithm 3).
+  iter_buf_.clear();
+  for (LoopNode* n = cur_; n->parent() != nullptr; n = n->parent()) {
+    iter_buf_.push_back(n->cur_iter);
+  }
+  observe_access(ref->affine, iter_buf_, static_cast<int64_t>(r.addr));
+}
+
+}  // namespace foray::core

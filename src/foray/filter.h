@@ -1,0 +1,51 @@
+// Step 4 of Algorithm 1: purge uninteresting memory references.
+//
+// The paper keeps only references that (a) have an affine index
+// expression including at least one iterator, (b) executed at least
+// Nexec times and (c) touch at least Nloc distinct locations, with
+// Nexec = 20 and Nloc = 10 in the paper's experiments. The thresholds
+// drop tiny arrays (better handled by whole-object placement techniques
+// [8][9][10]) and references without reuse — including all the implicit
+// stack/spill traffic the simulator records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "foray/looptree.h"
+
+namespace foray::core {
+
+struct FilterOptions {
+  uint64_t min_exec = 20;       ///< Nexec
+  uint64_t min_locations = 10;  ///< Nloc
+  /// Require at least one iterator with a known non-zero coefficient in
+  /// the (partial) expression — the paper's regularity condition.
+  bool require_iterator = true;
+  /// Keep partial affine references (M < N). The paper keeps them: they
+  /// are what lets SPM analysis still optimize the inner loops.
+  bool keep_partial = true;
+  /// Drop System-kind references (the paper does not model system
+  /// libraries in the FORAY model).
+  bool exclude_system = true;
+};
+
+enum class FilterReason : uint8_t {
+  Kept,
+  NonAnalyzable,    ///< excluded by Algorithm 3 Step 4 (H > 1)
+  NoIterator,       ///< no effective iterator in the expression
+  PartialExcluded,  ///< partial and keep_partial is false
+  TooFewExecs,      ///< exec_count < Nexec
+  TooFewLocations,  ///< footprint < Nloc
+  SystemReference,  ///< traffic from intrinsics / system libraries
+};
+
+const char* filter_reason_name(FilterReason r);
+
+FilterReason classify_reference(const RefNode& ref, const FilterOptions& o);
+
+inline bool passes_filter(const RefNode& ref, const FilterOptions& o) {
+  return classify_reference(ref, o) == FilterReason::Kept;
+}
+
+}  // namespace foray::core

@@ -1,0 +1,71 @@
+#include "foray/inline_advisor.h"
+
+#include <map>
+#include <set>
+
+#include "foray/emitter.h"
+
+namespace foray::core {
+
+std::vector<InlineHint> compute_inline_hints(
+    const ForayModel& model, const instrument::LoopSiteTable& sites) {
+  // A reference's innermost loop tells us which function it (dynamically)
+  // executed in. Group references by (function, instr): the same
+  // instruction in several distinct loop paths means the function was
+  // reached from several contexts.
+  struct PerInstr {
+    std::set<std::vector<int>> contexts;
+    std::vector<const ModelReference*> refs;
+  };
+  std::map<std::pair<int, uint32_t>, PerInstr> by_func_instr;
+
+  for (const auto& ref : model.refs) {
+    if (ref.loop_path.empty()) continue;
+    const int inner_site = ref.loop_path.back();
+    const auto& site = sites.site(inner_site);
+    auto& slot = by_func_instr[{site.func_id, ref.instr}];
+    slot.contexts.insert(ref.loop_path);
+    slot.refs.push_back(&ref);
+  }
+
+  std::map<int, InlineHint> hints;
+  for (const auto& [key, per] : by_func_instr) {
+    if (per.contexts.size() < 2) continue;
+    const int func_id = key.first;
+    InlineHint& hint = hints[func_id];
+    hint.func_id = func_id;
+    hint.contexts =
+        std::max(hint.contexts, static_cast<int>(per.contexts.size()));
+    // Patterns differ when any two contexts disagree on coefficients or
+    // constants of the same instruction.
+    bool differ = false;
+    for (size_t i = 1; i < per.refs.size(); ++i) {
+      if (per.refs[i]->fn.coefs != per.refs[0]->fn.coefs ||
+          per.refs[i]->fn.const_term != per.refs[0]->fn.const_term) {
+        differ = true;
+        break;
+      }
+    }
+    if (differ && !hint.patterns_differ) {
+      hint.patterns_differ = true;
+      for (const ModelReference* r : per.refs) {
+        hint.details.push_back(describe_reference(*r));
+      }
+    }
+  }
+
+  std::vector<InlineHint> out;
+  for (auto& [func_id, hint] : hints) {
+    // Resolve the function name from any loop site of this function.
+    for (const auto& s : sites.sites) {
+      if (s.func_id == func_id) {
+        hint.func_name = s.func_name;
+        break;
+      }
+    }
+    out.push_back(std::move(hint));
+  }
+  return out;
+}
+
+}  // namespace foray::core

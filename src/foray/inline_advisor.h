@@ -1,0 +1,37 @@
+// Inter-function optimization hints (§4 "Inter-function optimizations").
+//
+// The FORAY model has no function hierarchy — functions appear inlined.
+// When the same loop site (hence the function containing it) shows up in
+// several places of the dynamic loop tree, the paper suggests hinting the
+// designer that *duplicating* the function lets each call context's
+// access pattern be optimized separately (Figure 9). The advisor surfaces
+// exactly that: functions whose loops appear under ≥2 distinct contexts,
+// flagging those whose recovered access patterns actually differ.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "foray/model.h"
+#include "instrument/annotator.h"
+
+namespace foray::core {
+
+struct InlineHint {
+  int func_id = -1;
+  std::string func_name;
+  int contexts = 0;  ///< distinct dynamic contexts of the function's loops
+  /// True when at least one reference recovers different affine
+  /// coefficients or constants across contexts — the Figure 9 situation
+  /// where one-size-fits-all optimization would be suboptimal.
+  bool patterns_differ = false;
+  /// Human-readable per-context descriptions of one differing reference.
+  std::vector<std::string> details;
+};
+
+/// Derives duplication hints from a built model. `sites` maps loop ids to
+/// their enclosing functions.
+std::vector<InlineHint> compute_inline_hints(
+    const ForayModel& model, const instrument::LoopSiteTable& sites);
+
+}  // namespace foray::core

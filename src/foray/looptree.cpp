@@ -1,0 +1,85 @@
+#include "foray/looptree.h"
+
+namespace foray::core {
+
+LoopNode* LoopNode::get_or_create_child(int site_id) {
+  if (LoopNode* found = find_child(site_id)) return found;
+  auto child =
+      std::make_unique<LoopNode>(site_id, this, hash_index_, footprint_cap_);
+  LoopNode* raw = child.get();
+  children_.push_back(std::move(child));
+  if (hash_index_) child_index_[site_id] = raw;
+  return raw;
+}
+
+LoopNode* LoopNode::find_child(int site_id) {
+  if (hash_index_) {
+    auto it = child_index_.find(site_id);
+    return it == child_index_.end() ? nullptr : it->second;
+  }
+  for (const auto& c : children_) {
+    if (c->loop_id() == site_id) return c.get();
+  }
+  return nullptr;
+}
+
+RefNode* LoopNode::get_or_create_ref(uint32_t instr, bool* created) {
+  if (RefNode* found = find_ref(instr)) {
+    if (created != nullptr) *created = false;
+    return found;
+  }
+  auto ref = std::make_unique<RefNode>(instr, this, footprint_cap_);
+  RefNode* raw = ref.get();
+  refs_.push_back(std::move(ref));
+  if (hash_index_) ref_index_[instr] = raw;
+  if (created != nullptr) *created = true;
+  return raw;
+}
+
+RefNode* LoopNode::find_ref(uint32_t instr) {
+  if (hash_index_) {
+    auto it = ref_index_.find(instr);
+    return it == ref_index_.end() ? nullptr : it->second;
+  }
+  for (const auto& r : refs_) {
+    if (r->instr == instr) return r.get();
+  }
+  return nullptr;
+}
+
+size_t LoopNode::state_bytes() const {
+  size_t bytes = sizeof(LoopNode);
+  bytes += children_.capacity() * sizeof(void*);
+  bytes += child_index_.size() * (sizeof(int) + sizeof(void*) * 2);
+  bytes += refs_.capacity() * sizeof(void*);
+  bytes += ref_index_.size() * (sizeof(uint32_t) + sizeof(void*) * 2);
+  for (const auto& r : refs_) {
+    bytes += sizeof(RefNode);
+    bytes += r->affine.coef.capacity() * sizeof(int64_t) * 2;
+    bytes += r->affine.sticky_s.capacity();
+    bytes += r->footprint().size() * sizeof(uint32_t) * 2;
+  }
+  return bytes;
+}
+
+size_t LoopTree::state_bytes() const {
+  size_t total = 0;
+  for_each_node(*root_, [&](const LoopNode& n) { total += n.state_bytes(); });
+  return total;
+}
+
+int LoopTree::loop_node_count() const {
+  int n = -1;  // exclude the synthetic root
+  for_each_node(*root_, [&](const LoopNode&) { ++n; });
+  return n;
+}
+
+int LoopTree::ref_node_count() const {
+  int n = 0;
+  for_each_node(*root_, [&](const LoopNode& node) {
+    n += static_cast<int>(node.refs().size());
+  });
+  return n;
+}
+
+}  // namespace foray::core

@@ -1,0 +1,69 @@
+#include "foray/model_diff.h"
+
+#include <map>
+#include <sstream>
+
+namespace foray::core {
+
+namespace {
+using Key = std::pair<uint32_t, std::vector<int>>;
+
+Key key_of(const ModelReference& r) { return {r.instr, r.loop_path}; }
+}  // namespace
+
+ModelDiff diff_models(const ForayModel& a, const ForayModel& b) {
+  ModelDiff out;
+  std::map<Key, const ModelReference*> bmap;
+  for (const auto& r : b.refs) bmap[key_of(r)] = &r;
+
+  std::map<Key, bool> seen_in_a;
+  for (const auto& ra : a.refs) {
+    RefMatch m;
+    m.instr = ra.instr;
+    m.loop_path = ra.loop_path;
+    seen_in_a[key_of(ra)] = true;
+    auto it = bmap.find(key_of(ra));
+    if (it == bmap.end()) {
+      m.status = RefMatchStatus::OnlyInA;
+      ++out.only_a;
+    } else {
+      const ModelReference& rb = *it->second;
+      const bool coefs_same = ra.emitted_coefs() == rb.emitted_coefs() &&
+                              ra.fn.m == rb.fn.m;
+      const bool trips_same = ra.emitted_trips() == rb.emitted_trips();
+      if (coefs_same && trips_same) {
+        m.status = RefMatchStatus::Stable;
+        ++out.stable;
+      } else if (coefs_same) {
+        m.status = RefMatchStatus::TripDrift;
+        ++out.trip_drift;
+      } else {
+        m.status = RefMatchStatus::CoefMismatch;
+        ++out.coef_mismatch;
+      }
+    }
+    out.matches.push_back(std::move(m));
+  }
+  for (const auto& rb : b.refs) {
+    if (!seen_in_a.count(key_of(rb))) {
+      RefMatch m;
+      m.instr = rb.instr;
+      m.loop_path = rb.loop_path;
+      m.status = RefMatchStatus::OnlyInB;
+      ++out.only_b;
+      out.matches.push_back(std::move(m));
+    }
+  }
+  return out;
+}
+
+std::string ModelDiff::summary() const {
+  std::ostringstream os;
+  os << stable << " stable, " << trip_drift << " trip-drift, "
+     << coef_mismatch << " coef-mismatch, " << only_a << "/" << only_b
+     << " one-sided; structural stability "
+     << static_cast<int>(100.0 * structural_stability() + 0.5) << "%";
+  return os.str();
+}
+
+}  // namespace foray::core

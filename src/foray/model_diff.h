@@ -1,0 +1,61 @@
+// FORAY-model comparison across profiling runs.
+//
+// The paper's stated future work is studying how input data affects the
+// extracted model. This module makes that measurable: two models are
+// matched reference-by-reference (instruction x dynamic context) and
+// classified. The useful result for the methodology is that *affine
+// structure* (coefficients, partial depth) is input-independent for the
+// code the model targets, while trip counts and the reference population
+// may drift with data-dependent control flow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "foray/model.h"
+
+namespace foray::core {
+
+enum class RefMatchStatus : uint8_t {
+  Stable,        ///< same coefficients, partial depth, and trips
+  TripDrift,     ///< same affine structure, different trip counts
+  CoefMismatch,  ///< different coefficients or partial depth
+  OnlyInA,
+  OnlyInB,
+};
+
+struct RefMatch {
+  uint32_t instr = 0;
+  std::vector<int> loop_path;
+  RefMatchStatus status = RefMatchStatus::Stable;
+};
+
+struct ModelDiff {
+  int stable = 0;
+  int trip_drift = 0;
+  int coef_mismatch = 0;
+  int only_a = 0;
+  int only_b = 0;
+  std::vector<RefMatch> matches;
+
+  int total() const {
+    return stable + trip_drift + coef_mismatch + only_a + only_b;
+  }
+  /// Share of the union with input-independent affine structure.
+  double structural_stability() const {
+    return total() > 0
+               ? static_cast<double>(stable + trip_drift) / total()
+               : 1.0;
+  }
+  /// Share with identical everything (incl. trips).
+  double exact_stability() const {
+    return total() > 0 ? static_cast<double>(stable) / total() : 1.0;
+  }
+
+  std::string summary() const;
+};
+
+ModelDiff diff_models(const ForayModel& a, const ForayModel& b);
+
+}  // namespace foray::core

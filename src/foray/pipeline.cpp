@@ -1,0 +1,56 @@
+#include "foray/pipeline.h"
+
+#include "minic/parser.h"
+#include "trace/sink.h"
+
+namespace foray::core {
+
+PipelineResult run_pipeline(std::string_view source,
+                            const PipelineOptions& opts) {
+  PipelineResult result;
+
+  // Front end.
+  util::DiagList diags;
+  result.program = minic::parse_program(source, &diags);
+  if (!diags.empty()) {
+    result.error = "parse error:\n" + diags.str();
+    return result;
+  }
+  result.sema = minic::run_sema(result.program.get(), &diags);
+  if (!diags.empty()) {
+    result.error = "sema error:\n" + diags.str();
+    return result;
+  }
+
+  // Step 1 of Algorithm 1: annotate loop sites.
+  result.loop_sites = instrument::annotate_loops(result.program.get());
+
+  // Steps 2 + 3: profile with the analyzer attached (online), or via a
+  // stored trace (offline).
+  result.extractor = std::make_unique<Extractor>(opts.extractor);
+  if (opts.offline) {
+    trace::VectorSink trace_sink;
+    result.run = sim::run_program(*result.program, &trace_sink, opts.run);
+    result.trace_records = trace_sink.size();
+    for (const auto& rec : trace_sink.records()) {
+      result.extractor->on_record(rec);
+    }
+  } else {
+    result.run = sim::run_program(*result.program, result.extractor.get(),
+                                  opts.run);
+    result.trace_records = result.extractor->records_processed();
+  }
+  if (!result.run.ok) {
+    result.error = "simulation error: " + result.run.error;
+    return result;
+  }
+
+  // Step 4 + emission.
+  result.model = build_model(*result.extractor, opts.filter);
+  result.foray_source = emit_minic(result.model, opts.emit);
+  result.foray_paper_style = emit_paper_style(result.model);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace foray::core

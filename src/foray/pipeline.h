@@ -1,0 +1,57 @@
+// One-call FORAY-GEN pipeline (Phase I of the paper's design flow):
+// parse -> sema -> annotate -> profile on the simulator -> extract ->
+// filter -> model + emitted sources + statistics.
+//
+// The default is the paper's online mode: the extractor is the trace sink
+// and no trace is materialized. Offline mode stores the full trace first
+// and replays it (used by the E9 ablation); both produce identical
+// models.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "foray/emitter.h"
+#include "foray/extractor.h"
+#include "foray/filter.h"
+#include "foray/model.h"
+#include "foray/stats.h"
+#include "instrument/annotator.h"
+#include "minic/ast.h"
+#include "minic/sema.h"
+#include "sim/interpreter.h"
+
+namespace foray::core {
+
+struct PipelineOptions {
+  sim::RunOptions run;
+  ExtractorOptions extractor;
+  FilterOptions filter;
+  EmitOptions emit;
+  /// false (default): online analysis during profiling, constant space.
+  /// true: materialize the trace in memory, then analyze.
+  bool offline = false;
+};
+
+struct PipelineResult {
+  bool ok = false;
+  std::string error;  ///< front-end diagnostics or simulator fault
+
+  std::unique_ptr<minic::Program> program;
+  minic::SemaInfo sema;
+  instrument::LoopSiteTable loop_sites;
+  sim::RunResult run;
+  std::unique_ptr<Extractor> extractor;  ///< retains the loop tree
+  ForayModel model;
+  std::string foray_source;       ///< compilable MiniC FORAY model
+  std::string foray_paper_style;  ///< Figure 2-style display form
+
+  /// Trace volume seen by the analyzer (records).
+  uint64_t trace_records = 0;
+};
+
+PipelineResult run_pipeline(std::string_view source,
+                            const PipelineOptions& opts = {});
+
+}  // namespace foray::core

@@ -1,0 +1,66 @@
+#include "foray/stats.h"
+
+#include <set>
+#include <unordered_set>
+
+namespace foray::core {
+
+std::vector<int> executed_loop_sites(const LoopTree& tree) {
+  std::set<int> sites;
+  for_each_node(*tree.root(), [&](const LoopNode& n) {
+    if (n.loop_id() >= 0 && n.entries > 0) sites.insert(n.loop_id());
+  });
+  return std::vector<int>(sites.begin(), sites.end());
+}
+
+LoopMix compute_loop_mix(const LoopTree& tree,
+                         const instrument::LoopSiteTable& sites,
+                         int source_lines) {
+  LoopMix mix;
+  mix.lines = source_lines;
+  for (int id : executed_loop_sites(tree)) {
+    ++mix.total;
+    switch (sites.site(id).kind) {
+      case instrument::LoopKind::For: ++mix.for_loops; break;
+      case instrument::LoopKind::While: ++mix.while_loops; break;
+      case instrument::LoopKind::Do: ++mix.do_loops; break;
+    }
+  }
+  return mix;
+}
+
+BehaviorStats compute_behavior(const LoopTree& tree,
+                               const FilterOptions& filter) {
+  BehaviorStats out;
+  std::unordered_set<uint32_t> fp_total, fp_model, fp_system, fp_other;
+  for_each_node(*tree.root(), [&](const LoopNode& node) {
+    for (const auto& ref : node.refs()) {
+      out.total.refs += 1;
+      out.total.accesses += ref->exec_count;
+      for (uint32_t a : ref->footprint()) fp_total.insert(a);
+
+      BehaviorBucket* bucket = nullptr;
+      std::unordered_set<uint32_t>* fp = nullptr;
+      if (ref->kind == trace::AccessKind::System) {
+        bucket = &out.system;
+        fp = &fp_system;
+      } else if (passes_filter(*ref, filter)) {
+        bucket = &out.model;
+        fp = &fp_model;
+      } else {
+        bucket = &out.other;
+        fp = &fp_other;
+      }
+      bucket->refs += 1;
+      bucket->accesses += ref->exec_count;
+      for (uint32_t a : ref->footprint()) fp->insert(a);
+    }
+  });
+  out.total.footprint = fp_total.size();
+  out.model.footprint = fp_model.size();
+  out.system.footprint = fp_system.size();
+  out.other.footprint = fp_other.size();
+  return out;
+}
+
+}  // namespace foray::core

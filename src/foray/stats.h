@@ -1,0 +1,60 @@
+// Statistics over an extraction — the quantities behind the paper's
+// Tables I, II and III.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "foray/filter.h"
+#include "foray/looptree.h"
+#include "foray/model.h"
+#include "instrument/annotator.h"
+
+namespace foray::core {
+
+/// Table I: benchmark complexity and loop-form distribution. Loop counts
+/// are *executed* loop sites ("excluding the loops that were not executed
+/// during profiling").
+struct LoopMix {
+  int lines = 0;
+  int total = 0;
+  int for_loops = 0;
+  int while_loops = 0;
+  int do_loops = 0;
+
+  double pct_for() const { return total ? 100.0 * for_loops / total : 0; }
+  double pct_while() const { return total ? 100.0 * while_loops / total : 0; }
+  double pct_do() const { return total ? 100.0 * do_loops / total : 0; }
+};
+
+LoopMix compute_loop_mix(const LoopTree& tree,
+                         const instrument::LoopSiteTable& sites,
+                         int source_lines);
+
+/// One bucket of Table III.
+struct BehaviorBucket {
+  uint64_t refs = 0;
+  uint64_t accesses = 0;
+  uint64_t footprint = 0;  ///< distinct addresses (buckets may overlap)
+};
+
+/// Table III: how the FORAY model covers the program's memory behavior.
+/// Buckets follow the paper: references captured by the model, system
+/// library references, everything else. Footprints are computed per
+/// bucket independently, so they may overlap (as in the paper, where
+/// jpeg's three footprint shares add to >100%).
+struct BehaviorStats {
+  BehaviorBucket total;
+  BehaviorBucket model;
+  BehaviorBucket system;
+  BehaviorBucket other;
+};
+
+BehaviorStats compute_behavior(const LoopTree& tree,
+                               const FilterOptions& filter);
+
+/// Loop-site ids that were entered at least once during profiling.
+std::vector<int> executed_loop_sites(const LoopTree& tree);
+
+}  // namespace foray::core

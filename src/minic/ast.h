@@ -1,0 +1,243 @@
+// Abstract syntax tree for MiniC.
+//
+// The tree is a tagged-union style AST: one Expr struct and one Stmt
+// struct, each with a kind discriminator. This keeps the interpreter (the
+// instruction-set-simulator substrate) a single dense switch and makes
+// node identity trivial: every expression carries a unique `node_id`
+// assigned at parse time, from which the simulator derives the synthetic
+// "instruction address" recorded in traces (see sim/interpreter.h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace foray::minic {
+
+// ---------------------------------------------------------------------------
+// Types
+
+enum class BaseType : uint8_t { Void, Char, Short, Int, Float };
+
+/// A MiniC value type: a base type plus pointer indirection depth.
+/// Array-ness lives on declarations (VarDecl::array_len); in expressions
+/// arrays decay to pointers, as in C.
+struct Type {
+  BaseType base = BaseType::Int;
+  int ptr = 0;  ///< pointer indirection levels (0 = scalar value)
+
+  bool is_void() const { return base == BaseType::Void && ptr == 0; }
+  bool is_pointer() const { return ptr > 0; }
+  bool is_float() const { return base == BaseType::Float && ptr == 0; }
+  bool is_integer() const { return !is_float() && !is_pointer() && !is_void(); }
+
+  /// Size in bytes of a value of this type (pointers are 32-bit).
+  int size() const {
+    if (ptr > 0) return 4;
+    switch (base) {
+      case BaseType::Void: return 0;
+      case BaseType::Char: return 1;
+      case BaseType::Short: return 2;
+      case BaseType::Int: return 4;
+      case BaseType::Float: return 4;
+    }
+    return 0;
+  }
+
+  /// The type obtained by dereferencing this pointer type once.
+  Type deref() const {
+    Type t = *this;
+    t.ptr -= 1;
+    return t;
+  }
+  /// The type of &expr where expr has this type.
+  Type address_of() const {
+    Type t = *this;
+    t.ptr += 1;
+    return t;
+  }
+
+  bool operator==(const Type& o) const {
+    return base == o.base && ptr == o.ptr;
+  }
+
+  std::string str() const;
+};
+
+inline Type make_type(BaseType b, int ptr = 0) { return Type{b, ptr}; }
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+enum class ExprKind : uint8_t {
+  IntLit,
+  FloatLit,
+  StrLit,
+  Ident,
+  Unary,
+  Binary,
+  Assign,
+  Cond,   ///< ternary ?:
+  Call,
+  Index,  ///< a[i]
+  Cast,
+};
+
+enum class UnaryOp : uint8_t {
+  Neg,
+  Not,      ///< logical !
+  BitNot,
+  Deref,
+  AddrOf,
+  PreInc,
+  PreDec,
+  PostInc,
+  PostDec,
+};
+
+enum class BinaryOp : uint8_t {
+  Add, Sub, Mul, Div, Mod,
+  Shl, Shr,
+  Lt, Gt, Le, Ge, Eq, Ne,
+  BitAnd, BitOr, BitXor,
+  LogAnd, LogOr,
+};
+
+enum class AssignOp : uint8_t {
+  Assign, AddA, SubA, MulA, DivA, ModA, ShlA, ShrA, AndA, OrA, XorA,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+  int node_id = 0;  ///< unique per translation unit; basis of instr address
+  int line = 0;
+  Type type;        ///< filled in by sema
+
+  // Literal payloads.
+  long long int_val = 0;
+  double float_val = 0.0;
+  std::string str_val;
+
+  // Ident spelling / Call target name.
+  std::string name;
+
+  // Operators.
+  UnaryOp un_op = UnaryOp::Neg;
+  BinaryOp bin_op = BinaryOp::Add;
+  AssignOp as_op = AssignOp::Assign;
+
+  // Children. Meaning depends on kind:
+  //   Unary: a            Binary: a, b        Assign: a (lhs), b (rhs)
+  //   Cond: a ? b : c     Index: a[b]         Cast: a
+  ExprPtr a, b, c;
+  std::vector<ExprPtr> args;  ///< Call arguments
+
+  // Sema results.
+  Type cast_type;               ///< Cast target
+  bool decayed_array = false;   ///< Ident names an array (decays to pointer)
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+
+enum class StmtKind : uint8_t {
+  Expr,
+  Decl,
+  If,
+  While,
+  DoWhile,
+  For,
+  Block,
+  Return,
+  Break,
+  Continue,
+  Empty,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// One declared variable (global or local).
+struct VarDecl {
+  std::string name;
+  Type type;
+  int array_len = -1;  ///< -1: scalar; >=0: array of that many elements
+  ExprPtr init;        ///< scalar initializer (may be null)
+  std::vector<ExprPtr> init_list;  ///< array initializer elements
+  int line = 0;
+  /// Unique node id for the declaration itself — the synthetic "store
+  /// instruction" that writes the initializer. Distinct from the init
+  /// expression's node id so the two never share a trace identity.
+  int node_id = -1;
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  ExprPtr expr;                 // Expr / Return value (may be null)
+  std::vector<VarDecl> decls;   // Decl
+
+  StmtPtr init;                 // For initializer (Expr or Decl stmt)
+  ExprPtr cond;                 // If / While / DoWhile / For (For may be null)
+  ExprPtr step;                 // For increment (may be null)
+  StmtPtr then_branch, else_branch;  // If
+  StmtPtr body;                 // loops
+  std::vector<StmtPtr> stmts;   // Block
+
+  /// Loop site id assigned by the instrumentation pass (Step 1 of
+  /// Algorithm 1); -1 when not a loop or not yet annotated.
+  int loop_id = -1;
+};
+
+// ---------------------------------------------------------------------------
+// Top level
+
+struct Param {
+  std::string name;
+  Type type;
+  int line = 0;
+  /// Unique node id: the synthetic "store instruction" that spills this
+  /// argument into the callee's frame.
+  int node_id = -1;
+};
+
+struct Function {
+  std::string name;
+  Type ret;
+  std::vector<Param> params;
+  StmtPtr body;
+  int line = 0;
+  int func_id = 0;  ///< dense index within Program::funcs
+};
+
+struct Program {
+  std::vector<VarDecl> globals;
+  std::vector<std::unique_ptr<Function>> funcs;
+  int num_nodes = 0;   ///< total expression nodes allocated (node_id bound)
+  int source_lines = 0;
+
+  /// Returns the function with the given name, or nullptr.
+  const Function* find_function(const std::string& name) const {
+    for (const auto& f : funcs)
+      if (f->name == name) return f.get();
+    return nullptr;
+  }
+};
+
+/// The synthetic "text segment" layout: expression node `id` is deemed to
+/// live at instruction address kInstrBase + 4*id, mirroring the
+/// instruction addresses a real ISS (SimpleScalar in the paper) reports.
+inline constexpr uint32_t kInstrBase = 0x400000;
+inline constexpr uint32_t instr_addr_for_node(int node_id) {
+  return kInstrBase + 4u * static_cast<uint32_t>(node_id);
+}
+inline constexpr int node_for_instr_addr(uint32_t addr) {
+  return static_cast<int>((addr - kInstrBase) / 4u);
+}
+
+}  // namespace foray::minic

@@ -1,0 +1,45 @@
+#include "minic/intrinsics.h"
+
+namespace foray::minic {
+
+namespace {
+Type ty_int() { return make_type(BaseType::Int); }
+Type ty_void() { return make_type(BaseType::Void); }
+Type ty_float() { return make_type(BaseType::Float); }
+Type ty_charp() { return make_type(BaseType::Char, 1); }
+}  // namespace
+
+const std::vector<IntrinsicInfo>& all_intrinsics() {
+  static const std::vector<IntrinsicInfo> kTable = {
+      {Intrinsic::Printf, "printf", ty_int(), 1, -1},
+      {Intrinsic::Putchar, "putchar", ty_int(), 1, 1},
+      {Intrinsic::Puts, "puts", ty_int(), 1, 1},
+      {Intrinsic::Malloc, "malloc", ty_charp(), 1, 1},
+      {Intrinsic::Free, "free", ty_void(), 1, 1},
+      {Intrinsic::Memset, "memset", ty_charp(), 3, 3},
+      {Intrinsic::Memcpy, "memcpy", ty_charp(), 3, 3},
+      {Intrinsic::Rand, "rand", ty_int(), 0, 0},
+      {Intrinsic::Srand, "srand", ty_void(), 1, 1},
+      {Intrinsic::Abs, "abs", ty_int(), 1, 1},
+      {Intrinsic::Sqrtf, "sqrtf", ty_float(), 1, 1},
+      {Intrinsic::Sinf, "sinf", ty_float(), 1, 1},
+      {Intrinsic::Cosf, "cosf", ty_float(), 1, 1},
+      {Intrinsic::Expf, "expf", ty_float(), 1, 1},
+      {Intrinsic::Logf, "logf", ty_float(), 1, 1},
+      {Intrinsic::Powf, "powf", ty_float(), 2, 2},
+      {Intrinsic::Fabsf, "fabsf", ty_float(), 1, 1},
+      {Intrinsic::Floorf, "floorf", ty_float(), 1, 1},
+      {Intrinsic::Assert, "assert", ty_void(), 1, 1},
+      {Intrinsic::Exit, "exit", ty_void(), 1, 1},
+  };
+  return kTable;
+}
+
+std::optional<IntrinsicInfo> find_intrinsic(std::string_view name) {
+  for (const auto& info : all_intrinsics()) {
+    if (info.name == name) return info;
+  }
+  return std::nullopt;
+}
+
+}  // namespace foray::minic

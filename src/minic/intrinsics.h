@@ -1,0 +1,56 @@
+// The MiniC intrinsic (built-in) function table.
+//
+// Intrinsics stand in for the system libraries of the paper's platform:
+// their memory traffic is tagged trace::AccessKind::System, which is what
+// gives Table III its "in system calls" category. The front end (sema)
+// uses this table for call checking; the interpreter implements the
+// semantics.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "minic/ast.h"
+
+namespace foray::minic {
+
+enum class Intrinsic {
+  Printf,    ///< printf(fmt, ...) -> int
+  Putchar,   ///< putchar(c) -> int
+  Puts,      ///< puts(s) -> int
+  Malloc,    ///< malloc(n) -> char*
+  Free,      ///< free(p) -> void
+  Memset,    ///< memset(dst, val, n) -> char*   (System-tagged traffic)
+  Memcpy,    ///< memcpy(dst, src, n) -> char*   (System-tagged traffic)
+  Rand,      ///< rand() -> int  (deterministic splitmix64)
+  Srand,     ///< srand(seed) -> void
+  Abs,       ///< abs(x) -> int
+  Sqrtf,     ///< sqrtf(x) -> float
+  Sinf,      ///< sinf(x) -> float
+  Cosf,      ///< cosf(x) -> float
+  Expf,      ///< expf(x) -> float
+  Logf,      ///< logf(x) -> float
+  Powf,      ///< powf(x, y) -> float
+  Fabsf,     ///< fabsf(x) -> float
+  Floorf,    ///< floorf(x) -> float
+  Assert,    ///< assert(cond) -> void; aborts the simulation when cond == 0
+  Exit,      ///< exit(code) -> void; terminates the simulated program
+};
+
+struct IntrinsicInfo {
+  Intrinsic id;
+  std::string_view name;
+  Type ret;
+  int min_args;
+  int max_args;  ///< -1 = variadic
+};
+
+/// Look up an intrinsic by source name; nullopt if `name` is not one.
+std::optional<IntrinsicInfo> find_intrinsic(std::string_view name);
+
+/// All intrinsics (for documentation and tests).
+const std::vector<IntrinsicInfo>& all_intrinsics();
+
+}  // namespace foray::minic

@@ -1,0 +1,352 @@
+#include "minic/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace foray::minic {
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& keyword_map() {
+  static const std::unordered_map<std::string_view, Tok> kMap = {
+      {"void", Tok::kwVoid},         {"char", Tok::kwChar},
+      {"short", Tok::kwShort},       {"int", Tok::kwInt},
+      {"float", Tok::kwFloat},       {"if", Tok::kwIf},
+      {"else", Tok::kwElse},         {"for", Tok::kwFor},
+      {"while", Tok::kwWhile},       {"do", Tok::kwDo},
+      {"return", Tok::kwReturn},     {"break", Tok::kwBreak},
+      {"continue", Tok::kwContinue}, {"const", Tok::kwConst},
+  };
+  return kMap;
+}
+
+}  // namespace
+
+std::string_view tok_name(Tok t) {
+  switch (t) {
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kFloatLit: return "float literal";
+    case Tok::kCharLit: return "char literal";
+    case Tok::kStrLit: return "string literal";
+    case Tok::kIdent: return "identifier";
+    case Tok::kwVoid: return "'void'";
+    case Tok::kwChar: return "'char'";
+    case Tok::kwShort: return "'short'";
+    case Tok::kwInt: return "'int'";
+    case Tok::kwFloat: return "'float'";
+    case Tok::kwIf: return "'if'";
+    case Tok::kwElse: return "'else'";
+    case Tok::kwFor: return "'for'";
+    case Tok::kwWhile: return "'while'";
+    case Tok::kwDo: return "'do'";
+    case Tok::kwReturn: return "'return'";
+    case Tok::kwBreak: return "'break'";
+    case Tok::kwContinue: return "'continue'";
+    case Tok::kwConst: return "'const'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kComma: return "','";
+    case Tok::kSemi: return "';'";
+    case Tok::kQuestion: return "'?'";
+    case Tok::kColon: return "':'";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kAmp: return "'&'";
+    case Tok::kPipe: return "'|'";
+    case Tok::kCaret: return "'^'";
+    case Tok::kTilde: return "'~'";
+    case Tok::kBang: return "'!'";
+    case Tok::kLt: return "'<'";
+    case Tok::kGt: return "'>'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGe: return "'>='";
+    case Tok::kEqEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kAmpAmp: return "'&&'";
+    case Tok::kPipePipe: return "'||'";
+    case Tok::kShl: return "'<<'";
+    case Tok::kShr: return "'>>'";
+    case Tok::kAssign: return "'='";
+    case Tok::kPlusEq: return "'+='";
+    case Tok::kMinusEq: return "'-='";
+    case Tok::kStarEq: return "'*='";
+    case Tok::kSlashEq: return "'/='";
+    case Tok::kPercentEq: return "'%='";
+    case Tok::kAmpEq: return "'&='";
+    case Tok::kPipeEq: return "'|='";
+    case Tok::kCaretEq: return "'^='";
+    case Tok::kShlEq: return "'<<='";
+    case Tok::kShrEq: return "'>>='";
+    case Tok::kPlusPlus: return "'++'";
+    case Tok::kMinusMinus: return "'--'";
+    case Tok::kEof: return "end of file";
+    case Tok::kError: return "invalid token";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string_view source, util::DiagList* diags)
+    : src_(source), diags_(diags) {}
+
+std::vector<Token> Lexer::lex_all() {
+  std::vector<Token> out;
+  for (;;) {
+    Token t = next();
+    bool done = t.kind == Tok::kEof;
+    out.push_back(std::move(t));
+    if (done) break;
+  }
+  return out;
+}
+
+char Lexer::peek(int ahead) const {
+  size_t i = pos_ + static_cast<size_t>(ahead);
+  return i < src_.size() ? src_[i] : '\0';
+}
+
+char Lexer::advance() {
+  char c = peek();
+  ++pos_;
+  if (c == '\n') ++line_;
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (peek() != expected) return false;
+  advance();
+  return true;
+}
+
+void Lexer::skip_ws_and_comments() {
+  for (;;) {
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          diags_->add(line_, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::make(Tok kind) {
+  Token t;
+  t.kind = kind;
+  t.line = line_;
+  t.text = std::string(src_.substr(tok_start_, pos_ - tok_start_));
+  return t;
+}
+
+Token Lexer::error_token(const std::string& msg) {
+  diags_->add(line_, msg);
+  return make(Tok::kError);
+}
+
+Token Lexer::next() {
+  skip_ws_and_comments();
+  tok_start_ = pos_;
+  char c = peek();
+  if (c == '\0') return make(Tok::kEof);
+
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+    return lex_number();
+  }
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    return lex_ident_or_keyword();
+  }
+  if (c == '\'') return lex_char_lit();
+  if (c == '"') return lex_string_lit();
+
+  advance();
+  switch (c) {
+    case '(': return make(Tok::kLParen);
+    case ')': return make(Tok::kRParen);
+    case '{': return make(Tok::kLBrace);
+    case '}': return make(Tok::kRBrace);
+    case '[': return make(Tok::kLBracket);
+    case ']': return make(Tok::kRBracket);
+    case ',': return make(Tok::kComma);
+    case ';': return make(Tok::kSemi);
+    case '?': return make(Tok::kQuestion);
+    case ':': return make(Tok::kColon);
+    case '~': return make(Tok::kTilde);
+    case '+':
+      if (match('+')) return make(Tok::kPlusPlus);
+      if (match('=')) return make(Tok::kPlusEq);
+      return make(Tok::kPlus);
+    case '-':
+      if (match('-')) return make(Tok::kMinusMinus);
+      if (match('=')) return make(Tok::kMinusEq);
+      return make(Tok::kMinus);
+    case '*':
+      if (match('=')) return make(Tok::kStarEq);
+      return make(Tok::kStar);
+    case '/':
+      if (match('=')) return make(Tok::kSlashEq);
+      return make(Tok::kSlash);
+    case '%':
+      if (match('=')) return make(Tok::kPercentEq);
+      return make(Tok::kPercent);
+    case '&':
+      if (match('&')) return make(Tok::kAmpAmp);
+      if (match('=')) return make(Tok::kAmpEq);
+      return make(Tok::kAmp);
+    case '|':
+      if (match('|')) return make(Tok::kPipePipe);
+      if (match('=')) return make(Tok::kPipeEq);
+      return make(Tok::kPipe);
+    case '^':
+      if (match('=')) return make(Tok::kCaretEq);
+      return make(Tok::kCaret);
+    case '!':
+      if (match('=')) return make(Tok::kNe);
+      return make(Tok::kBang);
+    case '=':
+      if (match('=')) return make(Tok::kEqEq);
+      return make(Tok::kAssign);
+    case '<':
+      if (match('<')) {
+        if (match('=')) return make(Tok::kShlEq);
+        return make(Tok::kShl);
+      }
+      if (match('=')) return make(Tok::kLe);
+      return make(Tok::kLt);
+    case '>':
+      if (match('>')) {
+        if (match('=')) return make(Tok::kShrEq);
+        return make(Tok::kShr);
+      }
+      if (match('=')) return make(Tok::kGe);
+      return make(Tok::kGt);
+    default:
+      return error_token(std::string("unexpected character '") + c + "'");
+  }
+}
+
+Token Lexer::lex_number() {
+  bool is_float = false;
+  bool is_hex = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    is_hex = true;
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) advance();
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    if (peek() == '.') {
+      is_float = true;
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      is_float = true;
+      advance();
+      if (peek() == '+' || peek() == '-') advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    }
+  }
+  if (!is_hex && (peek() == 'f' || peek() == 'F')) {
+    is_float = true;
+    advance();
+  }
+  Token t = make(is_float ? Tok::kFloatLit : Tok::kIntLit);
+  std::string spelling = t.text;
+  if (is_float && !spelling.empty() &&
+      (spelling.back() == 'f' || spelling.back() == 'F')) {
+    spelling.pop_back();
+  }
+  if (is_float) {
+    t.float_val = std::strtod(spelling.c_str(), nullptr);
+  } else if (is_hex) {
+    t.int_val = static_cast<long long>(
+        std::strtoull(spelling.c_str() + 2, nullptr, 16));
+  } else {
+    t.int_val = static_cast<long long>(
+        std::strtoull(spelling.c_str(), nullptr, 10));
+  }
+  return t;
+}
+
+Token Lexer::lex_ident_or_keyword() {
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+    advance();
+  }
+  Token t = make(Tok::kIdent);
+  auto it = keyword_map().find(t.text);
+  if (it != keyword_map().end()) t.kind = it->second;
+  return t;
+}
+
+bool Lexer::decode_escape(char* out) {
+  char c = advance();
+  if (c != '\\') {
+    *out = c;
+    return true;
+  }
+  char e = advance();
+  switch (e) {
+    case 'n': *out = '\n'; return true;
+    case 't': *out = '\t'; return true;
+    case 'r': *out = '\r'; return true;
+    case '0': *out = '\0'; return true;
+    case '\\': *out = '\\'; return true;
+    case '\'': *out = '\''; return true;
+    case '"': *out = '"'; return true;
+    default:
+      diags_->add(line_, std::string("unknown escape '\\") + e + "'");
+      *out = e;
+      return false;
+  }
+}
+
+Token Lexer::lex_char_lit() {
+  advance();  // opening quote
+  if (peek() == '\0') return error_token("unterminated char literal");
+  char v = 0;
+  decode_escape(&v);
+  if (!match('\'')) return error_token("unterminated char literal");
+  Token t = make(Tok::kCharLit);
+  t.int_val = static_cast<long long>(static_cast<unsigned char>(v));
+  return t;
+}
+
+Token Lexer::lex_string_lit() {
+  advance();  // opening quote
+  std::string payload;
+  while (peek() != '"') {
+    if (peek() == '\0' || peek() == '\n') {
+      return error_token("unterminated string literal");
+    }
+    char v = 0;
+    decode_escape(&v);
+    payload.push_back(v);
+  }
+  advance();  // closing quote
+  Token t = make(Tok::kStrLit);
+  t.str_val = std::move(payload);
+  return t;
+}
+
+}  // namespace foray::minic

@@ -1,0 +1,44 @@
+// Hand-written lexer for MiniC.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "minic/token.h"
+#include "util/status.h"
+
+namespace foray::minic {
+
+/// Tokenizes a full MiniC translation unit. Lexing never throws; malformed
+/// input produces kError tokens and diagnostics.
+class Lexer {
+ public:
+  Lexer(std::string_view source, util::DiagList* diags);
+
+  /// Lex the whole input, ending with a kEof token.
+  std::vector<Token> lex_all();
+
+ private:
+  Token next();
+  char peek(int ahead = 0) const;
+  char advance();
+  bool match(char expected);
+  void skip_ws_and_comments();
+  Token make(Tok kind);
+  Token lex_number();
+  Token lex_ident_or_keyword();
+  Token lex_char_lit();
+  Token lex_string_lit();
+  /// Decode one (possibly escaped) character of a char/string literal.
+  bool decode_escape(char* out);
+  Token error_token(const std::string& msg);
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  size_t tok_start_ = 0;
+  util::DiagList* diags_;
+};
+
+}  // namespace foray::minic

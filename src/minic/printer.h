@@ -1,0 +1,23 @@
+// Pretty-printer: renders a MiniC AST back to compilable source text.
+//
+// With `annotate_checkpoints` enabled it renders the checkpoint-annotated
+// view of the program the paper shows in Figure 4(b): CHECKPOINT(...)
+// pseudo-calls around every loop, using the loop ids assigned by the
+// instrumentation pass.
+#pragma once
+
+#include <string>
+
+#include "minic/ast.h"
+
+namespace foray::minic {
+
+struct PrintOptions {
+  bool annotate_checkpoints = false;
+  int indent_width = 2;
+};
+
+std::string print_program(const Program& prog, const PrintOptions& opts = {});
+std::string print_expr(const Expr& e);
+
+}  // namespace foray::minic

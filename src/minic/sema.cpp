@@ -1,0 +1,465 @@
+#include "minic/sema.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "minic/intrinsics.h"
+
+namespace foray::minic {
+
+namespace {
+
+std::string Type_str(const Type& t) { return t.str(); }
+
+struct Symbol {
+  Type type;
+  bool is_array = false;
+  int array_len = -1;
+};
+
+class Sema {
+ public:
+  Sema(Program* prog, util::DiagList* diags) : prog_(prog), diags_(diags) {
+    info_.node_func.assign(static_cast<size_t>(prog->num_nodes), -1);
+    info_.node_is_memory_site.assign(static_cast<size_t>(prog->num_nodes), 0);
+  }
+
+  SemaInfo run() {
+    // Register all functions first so forward calls resolve.
+    for (const auto& f : prog_->funcs) {
+      if (funcs_.count(f->name)) {
+        diags_->add(f->line, "duplicate function '" + f->name + "'");
+      }
+      if (find_intrinsic(f->name)) {
+        diags_->add(f->line,
+                    "function '" + f->name + "' shadows an intrinsic");
+      }
+      funcs_[f->name] = f.get();
+    }
+    // Globals.
+    for (auto& g : prog_->globals) {
+      declare(g, /*global=*/true);
+      cur_func_ = -1;
+      if (g.init) check_expr(g.init.get());
+      for (auto& e : g.init_list) check_expr(e.get());
+    }
+    // Function bodies.
+    for (auto& f : prog_->funcs) {
+      cur_func_ = f->func_id;
+      push_scope();
+      for (const auto& p : f->params) {
+        if (p.type.is_void()) {
+          diags_->add(p.line, "parameter '" + p.name + "' has void type");
+        }
+        declare_raw(p.name, Symbol{p.type, false, -1}, p.line);
+      }
+      cur_ret_ = f->ret;
+      loop_depth_ = 0;
+      check_stmt(f->body.get());
+      pop_scope();
+    }
+    if (!funcs_.count("main")) {
+      diags_->add(0, "program has no 'main' function");
+    }
+    return std::move(info_);
+  }
+
+ private:
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() { scopes_.pop_back(); }
+
+  void declare_raw(const std::string& name, Symbol sym, int line) {
+    auto& scope = scopes_.empty() ? globals_ : scopes_.back();
+    if (scope.count(name)) {
+      diags_->add(line, "redeclaration of '" + name + "'");
+    }
+    scope[name] = sym;
+  }
+
+  void declare(const VarDecl& d, bool global) {
+    Symbol sym;
+    sym.type = d.type;
+    sym.is_array = d.array_len >= 0;
+    sym.array_len = d.array_len;
+    if (d.type.is_void() && d.array_len < 0 && d.type.ptr == 0) {
+      diags_->add(d.line, "variable '" + d.name + "' has void type");
+    }
+    if (d.array_len == 0) {
+      diags_->add(d.line, "array '" + d.name + "' has zero length");
+    }
+    if (global) {
+      if (globals_.count(d.name)) {
+        diags_->add(d.line, "redeclaration of global '" + d.name + "'");
+      }
+      globals_[d.name] = sym;
+    } else {
+      declare_raw(d.name, sym, d.line);
+    }
+  }
+
+  const Symbol* lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto f = it->find(name);
+      if (f != it->end()) return &f->second;
+    }
+    auto g = globals_.find(name);
+    if (g != globals_.end()) return &g->second;
+    return nullptr;
+  }
+
+  // -- statements -----------------------------------------------------------
+
+  void check_stmt(Stmt* s) {
+    if (s == nullptr) return;
+    switch (s->kind) {
+      case StmtKind::Expr:
+        check_expr(s->expr.get());
+        break;
+      case StmtKind::Decl:
+        for (auto& d : s->decls) {
+          declare(d, /*global=*/false);
+          if (d.init) {
+            check_expr(d.init.get());
+            check_convertible(d.init->type, d.type, d.line, "initializer");
+          }
+          for (auto& e : d.init_list) check_expr(e.get());
+          if (!d.init_list.empty() && d.array_len >= 0 &&
+              static_cast<int>(d.init_list.size()) > d.array_len) {
+            diags_->add(d.line, "too many initializers for '" + d.name + "'");
+          }
+        }
+        break;
+      case StmtKind::If:
+        check_expr(s->cond.get());
+        check_stmt(s->then_branch.get());
+        check_stmt(s->else_branch.get());
+        break;
+      case StmtKind::While:
+      case StmtKind::DoWhile:
+        check_expr(s->cond.get());
+        ++loop_depth_;
+        check_stmt(s->body.get());
+        --loop_depth_;
+        break;
+      case StmtKind::For:
+        push_scope();
+        check_stmt(s->init.get());
+        if (s->cond) check_expr(s->cond.get());
+        if (s->step) check_expr(s->step.get());
+        ++loop_depth_;
+        check_stmt(s->body.get());
+        --loop_depth_;
+        pop_scope();
+        break;
+      case StmtKind::Block:
+        push_scope();
+        for (auto& st : s->stmts) check_stmt(st.get());
+        pop_scope();
+        break;
+      case StmtKind::Return:
+        if (s->expr) {
+          check_expr(s->expr.get());
+          if (cur_ret_.is_void()) {
+            diags_->add(s->line, "returning a value from a void function");
+          }
+        } else if (!cur_ret_.is_void()) {
+          diags_->add(s->line, "non-void function must return a value");
+        }
+        break;
+      case StmtKind::Break:
+        if (loop_depth_ == 0) diags_->add(s->line, "'break' outside a loop");
+        break;
+      case StmtKind::Continue:
+        if (loop_depth_ == 0) {
+          diags_->add(s->line, "'continue' outside a loop");
+        }
+        break;
+      case StmtKind::Empty:
+        break;
+    }
+  }
+
+  // -- expressions ----------------------------------------------------------
+
+  bool is_lvalue(const Expr* e) const {
+    if (e == nullptr) return false;
+    switch (e->kind) {
+      case ExprKind::Ident:
+        return !e->decayed_array;  // arrays are not assignable
+      case ExprKind::Index:
+        return true;
+      case ExprKind::Unary:
+        return e->un_op == UnaryOp::Deref;
+      default:
+        return false;
+    }
+  }
+
+  void check_convertible(const Type& from, const Type& to, int line,
+                         const char* ctx) {
+    if (from == to) return;
+    // Numeric conversions are implicit; pointer<->pointer allowed (as a
+    // deliberate laxness that keeps benchmark sources terse); pointer<->int
+    // allowed to model address manipulation idioms.
+    if (to.is_void()) {
+      diags_->add(line, std::string("cannot convert to void in ") + ctx);
+      return;
+    }
+    (void)from;
+  }
+
+  Type check_expr(Expr* e) {
+    if (e == nullptr) return make_type(BaseType::Int);
+    info_.node_func[static_cast<size_t>(e->node_id)] = cur_func_;
+    switch (e->kind) {
+      case ExprKind::IntLit:
+        e->type = make_type(BaseType::Int);
+        break;
+      case ExprKind::FloatLit:
+        e->type = make_type(BaseType::Float);
+        break;
+      case ExprKind::StrLit:
+        e->type = make_type(BaseType::Char, 1);
+        break;
+      case ExprKind::Ident: {
+        const Symbol* sym = lookup(e->name);
+        if (sym == nullptr) {
+          diags_->add(e->line, "use of undeclared identifier '" + e->name +
+                                   "'");
+          e->type = make_type(BaseType::Int);
+          break;
+        }
+        if (sym->is_array) {
+          e->type = sym->type.address_of();
+          e->decayed_array = true;
+        } else {
+          e->type = sym->type;
+          info_.node_is_memory_site[static_cast<size_t>(e->node_id)] = 1;
+        }
+        break;
+      }
+      case ExprKind::Unary:
+        e->type = check_unary(e);
+        break;
+      case ExprKind::Binary:
+        e->type = check_binary(e);
+        break;
+      case ExprKind::Assign: {
+        Type lhs = check_expr(e->a.get());
+        Type rhs = check_expr(e->b.get());
+        if (!is_lvalue(e->a.get())) {
+          diags_->add(e->line, "assignment target is not an lvalue");
+        }
+        if (e->as_op != AssignOp::Assign && lhs.is_pointer()) {
+          // Only += and -= make sense on pointers.
+          if (e->as_op != AssignOp::AddA && e->as_op != AssignOp::SubA) {
+            diags_->add(e->line, "invalid compound assignment on pointer");
+          }
+        }
+        check_convertible(rhs, lhs, e->line, "assignment");
+        e->type = lhs;
+        break;
+      }
+      case ExprKind::Cond: {
+        check_expr(e->a.get());
+        Type bt = check_expr(e->b.get());
+        Type ct = check_expr(e->c.get());
+        e->type = (bt.is_float() || ct.is_float()) && !bt.is_pointer() &&
+                          !ct.is_pointer()
+                      ? make_type(BaseType::Float)
+                      : bt;
+        break;
+      }
+      case ExprKind::Call:
+        e->type = check_call(e);
+        break;
+      case ExprKind::Index: {
+        Type base = check_expr(e->a.get());
+        Type idx = check_expr(e->b.get());
+        if (!base.is_pointer()) {
+          diags_->add(e->line, "subscripted value is not a pointer or array");
+          e->type = make_type(BaseType::Int);
+          break;
+        }
+        if (idx.is_float()) {
+          diags_->add(e->line, "array index must be an integer");
+        }
+        e->type = base.deref();
+        info_.node_is_memory_site[static_cast<size_t>(e->node_id)] = 1;
+        break;
+      }
+      case ExprKind::Cast: {
+        check_expr(e->a.get());
+        e->type = e->cast_type;
+        break;
+      }
+    }
+    return e->type;
+  }
+
+  Type check_unary(Expr* e) {
+    Type t = check_expr(e->a.get());
+    switch (e->un_op) {
+      case UnaryOp::Neg:
+        if (t.is_pointer()) {
+          diags_->add(e->line, "cannot negate a pointer");
+        }
+        return t;
+      case UnaryOp::Not:
+        return make_type(BaseType::Int);
+      case UnaryOp::BitNot:
+        if (!t.is_integer()) {
+          diags_->add(e->line, "operand of '~' must be an integer");
+        }
+        return make_type(BaseType::Int);
+      case UnaryOp::Deref:
+        if (!t.is_pointer()) {
+          diags_->add(e->line, "cannot dereference non-pointer type " +
+                                   Type_str(t));
+          return make_type(BaseType::Int);
+        }
+        if (t.deref().is_void()) {
+          diags_->add(e->line, "cannot dereference a void pointer");
+          return make_type(BaseType::Int);
+        }
+        info_.node_is_memory_site[static_cast<size_t>(e->node_id)] = 1;
+        return t.deref();
+      case UnaryOp::AddrOf:
+        if (!is_lvalue(e->a.get())) {
+          diags_->add(e->line, "cannot take the address of an rvalue");
+        }
+        return t.address_of();
+      case UnaryOp::PreInc:
+      case UnaryOp::PreDec:
+      case UnaryOp::PostInc:
+      case UnaryOp::PostDec:
+        if (!is_lvalue(e->a.get())) {
+          diags_->add(e->line, "operand of ++/-- must be an lvalue");
+        }
+        if (t.is_float()) {
+          diags_->add(e->line, "++/-- on float is not supported in MiniC");
+        }
+        return t;
+    }
+    return t;
+  }
+
+  Type check_binary(Expr* e) {
+    Type a = check_expr(e->a.get());
+    Type b = check_expr(e->b.get());
+    switch (e->bin_op) {
+      case BinaryOp::Add:
+        if (a.is_pointer() && b.is_pointer()) {
+          diags_->add(e->line, "cannot add two pointers");
+          return a;
+        }
+        if (a.is_pointer()) return a;
+        if (b.is_pointer()) return b;
+        return arith_type(a, b);
+      case BinaryOp::Sub:
+        if (a.is_pointer() && b.is_pointer()) {
+          if (!(a == b)) {
+            diags_->add(e->line, "subtracting incompatible pointers");
+          }
+          return make_type(BaseType::Int);
+        }
+        if (a.is_pointer()) return a;
+        if (b.is_pointer()) {
+          diags_->add(e->line, "cannot subtract a pointer from an integer");
+          return make_type(BaseType::Int);
+        }
+        return arith_type(a, b);
+      case BinaryOp::Mul:
+      case BinaryOp::Div:
+        if (a.is_pointer() || b.is_pointer()) {
+          diags_->add(e->line, "invalid pointer operands to '*' or '/'");
+          return make_type(BaseType::Int);
+        }
+        return arith_type(a, b);
+      case BinaryOp::Mod:
+      case BinaryOp::Shl:
+      case BinaryOp::Shr:
+      case BinaryOp::BitAnd:
+      case BinaryOp::BitOr:
+      case BinaryOp::BitXor:
+        if (!a.is_integer() || !b.is_integer()) {
+          diags_->add(e->line, "bitwise/mod operands must be integers");
+        }
+        return make_type(BaseType::Int);
+      case BinaryOp::Lt:
+      case BinaryOp::Gt:
+      case BinaryOp::Le:
+      case BinaryOp::Ge:
+      case BinaryOp::Eq:
+      case BinaryOp::Ne:
+      case BinaryOp::LogAnd:
+      case BinaryOp::LogOr:
+        return make_type(BaseType::Int);
+    }
+    return make_type(BaseType::Int);
+  }
+
+  static Type arith_type(const Type& a, const Type& b) {
+    if (a.is_float() || b.is_float()) return make_type(BaseType::Float);
+    return make_type(BaseType::Int);
+  }
+
+  Type check_call(Expr* e) {
+    for (auto& arg : e->args) check_expr(arg.get());
+    if (auto intr = find_intrinsic(e->name)) {
+      int n = static_cast<int>(e->args.size());
+      if (n < intr->min_args ||
+          (intr->max_args >= 0 && n > intr->max_args)) {
+        diags_->add(e->line, "wrong number of arguments to intrinsic '" +
+                                 e->name + "'");
+      }
+      return intr->ret;
+    }
+    auto it = funcs_.find(e->name);
+    if (it == funcs_.end()) {
+      diags_->add(e->line, "call to undeclared function '" + e->name + "'");
+      return make_type(BaseType::Int);
+    }
+    const Function* fn = it->second;
+    if (fn->params.size() != e->args.size()) {
+      diags_->add(e->line, "wrong number of arguments to '" + e->name +
+                               "': expected " +
+                               std::to_string(fn->params.size()) + ", got " +
+                               std::to_string(e->args.size()));
+    }
+    return fn->ret;
+  }
+
+  Program* prog_;
+  util::DiagList* diags_;
+  SemaInfo info_;
+  std::unordered_map<std::string, Symbol> globals_;
+  std::vector<std::unordered_map<std::string, Symbol>> scopes_;
+  std::unordered_map<std::string, const Function*> funcs_;
+  Type cur_ret_;
+  int cur_func_ = -1;
+  int loop_depth_ = 0;
+};
+
+}  // namespace
+
+SemaInfo run_sema(Program* prog, util::DiagList* diags) {
+  Sema sema(prog, diags);
+  return sema.run();
+}
+
+std::string Type::str() const {
+  std::string s;
+  switch (base) {
+    case BaseType::Void: s = "void"; break;
+    case BaseType::Char: s = "char"; break;
+    case BaseType::Short: s = "short"; break;
+    case BaseType::Int: s = "int"; break;
+    case BaseType::Float: s = "float"; break;
+  }
+  for (int i = 0; i < ptr; ++i) s += '*';
+  return s;
+}
+
+}  // namespace foray::minic

@@ -1,0 +1,30 @@
+// Semantic analysis for MiniC: name resolution, type checking and
+// propagation, lvalue validation, call checking against user functions and
+// the intrinsic table.
+//
+// Sema also records, for every expression node, the function it belongs to
+// (Program-level side table) — the inlining advisor and the statistics
+// module use this to attribute dynamic references back to source
+// functions.
+#pragma once
+
+#include "minic/ast.h"
+#include "util/status.h"
+
+namespace foray::minic {
+
+/// Side information produced by sema, stored alongside the Program.
+struct SemaInfo {
+  /// node_id -> func_id of the enclosing function (-1 for globals' inits).
+  std::vector<int> node_func;
+  /// node_id -> 1 if the node is an lvalue expression that denotes a
+  /// memory object (candidate memory-access site).
+  std::vector<uint8_t> node_is_memory_site;
+};
+
+/// Runs semantic analysis in place: fills Expr::type / decayed_array and
+/// returns side info. Errors are appended to `diags`; the returned info is
+/// only meaningful when no errors were produced.
+SemaInfo run_sema(Program* prog, util::DiagList* diags);
+
+}  // namespace foray::minic

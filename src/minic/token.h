@@ -1,0 +1,98 @@
+// Token definitions for the MiniC front-end.
+//
+// MiniC is the C subset this reproduction uses as its program substrate:
+// enough of C to express the MiBench-style idioms FORAY-GEN confronts
+// (pointer walks, all three loop forms, data-dependent offsets, function
+// calls) while staying executable on the bundled instruction-set
+// simulator.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace foray::minic {
+
+enum class Tok {
+  // literals / identifiers
+  kIntLit,
+  kFloatLit,
+  kCharLit,
+  kStrLit,
+  kIdent,
+  // keywords
+  kwVoid,
+  kwChar,
+  kwShort,
+  kwInt,
+  kwFloat,
+  kwIf,
+  kwElse,
+  kwFor,
+  kwWhile,
+  kwDo,
+  kwReturn,
+  kwBreak,
+  kwContinue,
+  kwConst,
+  // punctuation
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemi,
+  kQuestion,
+  kColon,
+  // operators
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAmp,
+  kPipe,
+  kCaret,
+  kTilde,
+  kBang,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kEqEq,
+  kNe,
+  kAmpAmp,
+  kPipePipe,
+  kShl,
+  kShr,
+  kAssign,
+  kPlusEq,
+  kMinusEq,
+  kStarEq,
+  kSlashEq,
+  kPercentEq,
+  kAmpEq,
+  kPipeEq,
+  kCaretEq,
+  kShlEq,
+  kShrEq,
+  kPlusPlus,
+  kMinusMinus,
+  kEof,
+  kError,
+};
+
+/// Human-readable token-kind name for diagnostics.
+std::string_view tok_name(Tok t);
+
+struct Token {
+  Tok kind = Tok::kEof;
+  int line = 0;
+  std::string text;     ///< identifier spelling / literal spelling
+  long long int_val = 0;
+  double float_val = 0.0;
+  std::string str_val;  ///< decoded string literal payload
+};
+
+}  // namespace foray::minic

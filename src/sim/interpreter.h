@@ -1,0 +1,55 @@
+// The MiniC instruction-set simulator (the paper's modified SimpleScalar).
+//
+// Executes a checked, loop-annotated MiniC program and pushes a trace
+// record stream into a trace::Sink:
+//   - checkpoint records around every annotated loop (Step 1/2 of
+//     Algorithm 1),
+//   - one Access record per simulated memory operation, carrying the
+//     synthetic instruction address derived from the AST node id,
+//   - Call/Ret records at user-function boundaries.
+//
+// All program variables live in simulated memory (globals / stack / heap),
+// so scalar and stack traffic shows up in traces exactly like the paper's
+// "references not present explicitly in the source" that Step 4 later
+// filters out. Intrinsics model system libraries; their traffic is tagged
+// AccessKind::System.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "minic/ast.h"
+#include "sim/memory.h"
+#include "trace/sink.h"
+
+namespace foray::sim {
+
+struct RunOptions {
+  uint64_t max_steps = 500'000'000;  ///< evaluation-step guard
+  bool emit_checkpoints = true;
+  bool emit_calls = true;
+  bool trace_scalars = true;  ///< record Scalar-kind accesses
+  bool trace_data = true;     ///< record Data-kind accesses
+  bool trace_system = true;   ///< record System-kind accesses
+  uint64_t rng_seed = 1;      ///< seed of the simulated rand()
+  uint32_t heap_capacity = 1u << 24;
+  uint32_t stack_capacity = 1u << 22;
+  size_t max_output_bytes = 1u << 24;
+};
+
+struct RunResult {
+  bool ok = false;
+  int exit_code = 0;
+  std::string output;     ///< accumulated printf/puts/putchar text
+  std::string error;      ///< populated when !ok
+  int error_line = 0;
+  uint64_t steps = 0;     ///< evaluation steps executed
+  uint64_t accesses = 0;  ///< memory accesses performed (traced or not)
+};
+
+/// Executes `prog` (which must have passed sema) from main(), streaming
+/// trace records into `sink`. The program AST is not modified.
+RunResult run_program(const minic::Program& prog, trace::Sink* sink,
+                      const RunOptions& opts = {});
+
+}  // namespace foray::sim

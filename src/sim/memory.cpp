@@ -1,0 +1,153 @@
+#include "sim/memory.h"
+
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace foray::sim {
+
+namespace {
+uint32_t align_up(uint32_t v, uint32_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+}  // namespace
+
+Memory::Memory(uint32_t heap_capacity, uint32_t stack_capacity)
+    : heap_capacity_(heap_capacity), stack_capacity_(stack_capacity) {}
+
+uint32_t Memory::alloc_global(uint32_t size, uint32_t align) {
+  uint32_t offset = align_up(static_cast<uint32_t>(globals_.size()), align);
+  globals_.resize(offset + size, 0);
+  return kGlobalBase + offset;
+}
+
+uint32_t Memory::alloc_rodata(const std::string& bytes) {
+  uint32_t offset = static_cast<uint32_t>(rodata_.size());
+  rodata_.insert(rodata_.end(), bytes.begin(), bytes.end());
+  rodata_.push_back(0);  // NUL terminator
+  // Keep subsequent blobs aligned for safe word access.
+  rodata_.resize(align_up(static_cast<uint32_t>(rodata_.size()), 4), 0);
+  return kRodataBase + offset;
+}
+
+uint32_t Memory::heap_alloc(uint32_t size) {
+  uint32_t offset = align_up(heap_brk_, 8);
+  if (size > heap_capacity_ || offset > heap_capacity_ - size) {
+    throw RuntimeError("simulated heap exhausted (malloc of " +
+                       std::to_string(size) + " bytes)");
+  }
+  heap_brk_ = offset + size;
+  if (heap_.size() < heap_brk_) heap_.resize(heap_brk_, 0);
+  return kHeapBase + offset;
+}
+
+void Memory::set_sp(uint32_t sp) {
+  if (sp > kStackTop || kStackTop - sp > stack_capacity_) {
+    throw RuntimeError("simulated stack overflow");
+  }
+  sp_ = sp;
+}
+
+uint32_t Memory::stack_alloc(uint32_t size, uint32_t align) {
+  uint32_t new_sp = sp_ - size;
+  new_sp &= ~(align - 1);
+  set_sp(new_sp);
+  return new_sp;
+}
+
+uint8_t* Memory::resolve(uint32_t addr, uint32_t size) {
+  if (addr >= kStackTop - stack_capacity_ && addr + size <= kStackTop) {
+    // Stack bytes are stored top-down: address a maps to
+    // stack_[kStackTop-1-a] ... to keep them contiguous we instead view
+    // the stack as a bottom-up array anchored at (kStackTop - capacity).
+    uint32_t base = kStackTop - stack_capacity_;
+    uint32_t off = addr - base;
+    if (stack_full_.size() < stack_capacity_) {
+      stack_full_.resize(stack_capacity_, 0);
+    }
+    return stack_full_.data() + off;
+  }
+  if (addr >= kRodataBase && addr + size <= kRodataBase + rodata_.size()) {
+    return rodata_.data() + (addr - kRodataBase);
+  }
+  if (addr >= kGlobalBase && addr + size <= kGlobalBase + globals_.size()) {
+    return globals_.data() + (addr - kGlobalBase);
+  }
+  if (addr >= kHeapBase && addr + size <= kHeapBase + heap_brk_) {
+    return heap_.data() + (addr - kHeapBase);
+  }
+  throw RuntimeError("access to unmapped address 0x" + util::to_hex(addr) +
+                     " (" + std::to_string(size) + " bytes)");
+}
+
+int64_t Memory::load_int(uint32_t addr, uint32_t size) {
+  uint8_t* p = resolve(addr, size);
+  switch (size) {
+    case 1: {
+      int8_t v;
+      std::memcpy(&v, p, 1);
+      return v;
+    }
+    case 2: {
+      int16_t v;
+      std::memcpy(&v, p, 2);
+      return v;
+    }
+    case 4: {
+      int32_t v;
+      std::memcpy(&v, p, 4);
+      return v;
+    }
+    default:
+      throw RuntimeError("unsupported load width " + std::to_string(size));
+  }
+}
+
+void Memory::store_int(uint32_t addr, uint32_t size, int64_t value) {
+  uint8_t* p = resolve(addr, size);
+  switch (size) {
+    case 1: {
+      int8_t v = static_cast<int8_t>(value);
+      std::memcpy(p, &v, 1);
+      break;
+    }
+    case 2: {
+      int16_t v = static_cast<int16_t>(value);
+      std::memcpy(p, &v, 2);
+      break;
+    }
+    case 4: {
+      int32_t v = static_cast<int32_t>(value);
+      std::memcpy(p, &v, 4);
+      break;
+    }
+    default:
+      throw RuntimeError("unsupported store width " + std::to_string(size));
+  }
+}
+
+double Memory::load_float(uint32_t addr) {
+  uint8_t* p = resolve(addr, 4);
+  float v;
+  std::memcpy(&v, p, 4);
+  return static_cast<double>(v);
+}
+
+void Memory::store_float(uint32_t addr, double value) {
+  uint8_t* p = resolve(addr, 4);
+  float v = static_cast<float>(value);
+  std::memcpy(p, &v, 4);
+}
+
+uint8_t Memory::load_byte(uint32_t addr) { return *resolve(addr, 1); }
+
+void Memory::store_byte(uint32_t addr, uint8_t value) {
+  *resolve(addr, 1) = value;
+}
+
+uint64_t Memory::mapped_bytes() const {
+  return rodata_.size() + globals_.size() + heap_.size() +
+         stack_full_.size();
+}
+
+}  // namespace foray::sim

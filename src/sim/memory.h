@@ -1,0 +1,87 @@
+// Simulated 32-bit address space.
+//
+// Mirrors the memory map a SimpleScalar-profiled binary would see, so the
+// addresses appearing in traces look like the paper's (globals in low
+// memory, stack near 0x7fffffff):
+//
+//   rodata   0x08000000+   string literals
+//   globals  0x10000000+   global variables
+//   heap     0x20000000+   malloc arena (bump allocator)
+//   stack    ..0x7fffff00  grows downward
+//
+// All loads/stores are bounds- and alignment-tolerant (byte-addressed);
+// touching unmapped memory raises RuntimeError, which the interpreter
+// converts into a failed run.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace foray::sim {
+
+/// Raised for simulated-program faults (OOB access, overflow, bad free).
+class RuntimeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Memory {
+ public:
+  static constexpr uint32_t kRodataBase = 0x08000000;
+  static constexpr uint32_t kGlobalBase = 0x10000000;
+  static constexpr uint32_t kHeapBase = 0x20000000;
+  static constexpr uint32_t kStackTop = 0x7fffff00;
+
+  explicit Memory(uint32_t heap_capacity = 1u << 24,
+                  uint32_t stack_capacity = 1u << 22);
+
+  // -- allocation -----------------------------------------------------------
+
+  /// Allocate zero-initialized global storage; returns its address.
+  uint32_t alloc_global(uint32_t size, uint32_t align = 4);
+
+  /// Intern a read-only blob (string literal, incl. NUL); returns address.
+  uint32_t alloc_rodata(const std::string& bytes);
+
+  /// Bump-allocate from the heap (malloc). 8-byte aligned.
+  uint32_t heap_alloc(uint32_t size);
+
+  // -- stack ----------------------------------------------------------------
+
+  uint32_t sp() const { return sp_; }
+  void set_sp(uint32_t sp);
+  /// Allocate `size` bytes below the current stack pointer.
+  uint32_t stack_alloc(uint32_t size, uint32_t align = 4);
+
+  // -- typed access ---------------------------------------------------------
+
+  /// Load a `size`-byte integer (1, 2 or 4), sign-extending.
+  int64_t load_int(uint32_t addr, uint32_t size);
+  void store_int(uint32_t addr, uint32_t size, int64_t value);
+  double load_float(uint32_t addr);
+  void store_float(uint32_t addr, double value);
+
+  uint8_t load_byte(uint32_t addr);
+  void store_byte(uint32_t addr, uint8_t value);
+
+  /// Total bytes currently mapped (for footprint/limit reporting).
+  uint64_t mapped_bytes() const;
+
+ private:
+  uint8_t* resolve(uint32_t addr, uint32_t size);
+
+  std::vector<uint8_t> rodata_;
+  std::vector<uint8_t> globals_;
+  std::vector<uint8_t> heap_;
+  /// Backing store for [kStackTop - capacity, kStackTop); sized lazily on
+  /// first touch.
+  std::vector<uint8_t> stack_full_;
+  uint32_t heap_brk_ = 0;  ///< bytes of heap handed out
+  uint32_t heap_capacity_;
+  uint32_t stack_capacity_;
+  uint32_t sp_ = kStackTop;
+};
+
+}  // namespace foray::sim

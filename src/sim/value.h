@@ -1,0 +1,54 @@
+// Runtime values for the MiniC instruction-set simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "minic/ast.h"
+
+namespace foray::sim {
+
+/// A runtime value: integers/pointers in `i`, floats in `f`. The static
+/// type tag decides which payload is live and how stores narrow.
+struct Value {
+  minic::Type type;
+  int64_t i = 0;
+  double f = 0.0;
+
+  static Value of_int(int64_t v,
+                      minic::Type t = minic::make_type(minic::BaseType::Int)) {
+    Value x;
+    x.type = t;
+    x.i = v;
+    return x;
+  }
+  static Value of_float(double v) {
+    Value x;
+    x.type = minic::make_type(minic::BaseType::Float);
+    x.f = v;
+    return x;
+  }
+  static Value of_ptr(uint32_t addr, minic::Type pointee) {
+    Value x;
+    x.type = pointee.address_of();
+    x.i = static_cast<int64_t>(addr);
+    return x;
+  }
+  static Value void_value() {
+    Value x;
+    x.type = minic::make_type(minic::BaseType::Void);
+    return x;
+  }
+
+  bool is_float() const { return type.is_float(); }
+
+  int64_t as_int() const {
+    return is_float() ? static_cast<int64_t>(f) : i;
+  }
+  double as_float() const {
+    return is_float() ? f : static_cast<double>(i);
+  }
+  uint32_t as_addr() const { return static_cast<uint32_t>(as_int()); }
+  bool truthy() const { return is_float() ? f != 0.0 : i != 0; }
+};
+
+}  // namespace foray::sim

@@ -1,0 +1,34 @@
+// Address-stream generation from a FORAY model.
+//
+// Replays a model reference's (emitted) loop nest in lexicographic order
+// and produces the exact address sequence its affine function describes.
+// The cache simulator consumes these streams; tests use them to check
+// that an extracted model reproduces the simulator-observed addresses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "foray/model.h"
+
+namespace foray::spm {
+
+/// Invokes `fn(addr)` for every access of `ref`'s emitted nest, in
+/// iteration order (outermost slowest). Returns the number of addresses
+/// produced (product of emitted trips).
+uint64_t for_each_address(const core::ModelReference& ref,
+                          const std::function<void(uint32_t)>& fn);
+
+/// Interleaved stream over all references of a model that share a nest:
+/// per innermost iteration, each reference of the group emits one
+/// address, mirroring how the emitted program executes. Returns the
+/// total accesses produced.
+uint64_t for_each_address(const core::ForayModel& model,
+                          const std::function<void(uint32_t)>& fn);
+
+/// Materializes the (possibly large) stream of one reference.
+std::vector<uint32_t> addresses_of(const core::ModelReference& ref,
+                                   uint64_t limit = 1u << 22);
+
+}  // namespace foray::spm

@@ -1,0 +1,65 @@
+#include "spm/cache_sim.h"
+
+#include "util/status.h"
+
+namespace foray::spm {
+
+namespace {
+bool is_pow2(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+CacheSim::CacheSim(const CacheConfig& cfg) : cfg_(cfg) {
+  FORAY_CHECK(is_pow2(cfg.line_bytes), "cache line size must be 2^k");
+  FORAY_CHECK(cfg.assoc >= 1, "associativity must be >= 1");
+  FORAY_CHECK(cfg.size_bytes >= cfg.line_bytes * cfg.assoc,
+              "cache smaller than one set");
+  num_sets_ = cfg.size_bytes / (cfg.line_bytes * cfg.assoc);
+  FORAY_CHECK(is_pow2(num_sets_), "cache set count must be 2^k");
+  lines_.resize(static_cast<size_t>(num_sets_) * cfg.assoc);
+}
+
+bool CacheSim::access(uint32_t addr) {
+  const uint32_t block = addr / cfg_.line_bytes;
+  const uint32_t set = block & (num_sets_ - 1);
+  const uint32_t tag = block / num_sets_;
+  Line* base = &lines_[static_cast<size_t>(set) * cfg_.assoc];
+  ++stamp_;
+  for (int w = 0; w < cfg_.assoc; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = stamp_;
+      ++hits_;
+      return true;
+    }
+  }
+  // Miss: evict an invalid way if one exists, else the LRU way.
+  Line* victim = base;
+  for (int w = 0; w < cfg_.assoc; ++w) {
+    Line& line = base[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.lru < victim->lru) victim = &line;
+  }
+  ++misses_;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = stamp_;
+  return false;
+}
+
+double CacheSim::energy_nj(const EnergyModel& e) const {
+  const double lookup = e.cache_access_nj(cfg_.size_bytes, cfg_.assoc);
+  const double miss_fill =
+      e.dram_nj * (static_cast<double>(cfg_.line_bytes) / 4.0);
+  return static_cast<double>(accesses()) * lookup +
+         static_cast<double>(misses_) * miss_fill;
+}
+
+void CacheSim::reset() {
+  for (auto& l : lines_) l = Line{};
+  stamp_ = hits_ = misses_ = 0;
+}
+
+}  // namespace foray::spm

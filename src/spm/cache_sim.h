@@ -1,0 +1,58 @@
+// Set-associative LRU cache simulator.
+//
+// The comparison substrate for the SPM argument (Banakar et al. — the
+// paper's reference [1] — motivates SPMs by their energy advantage over
+// caches). Benches feed FORAY-model address streams through this cache
+// and through the SPM configuration and compare energy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spm/energy.h"
+
+namespace foray::spm {
+
+struct CacheConfig {
+  uint32_t size_bytes = 4096;
+  uint32_t line_bytes = 32;
+  int assoc = 2;
+};
+
+class CacheSim {
+ public:
+  explicit CacheSim(const CacheConfig& cfg);
+
+  /// Simulates one access; returns true on hit.
+  bool access(uint32_t addr);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t accesses() const { return hits_ + misses_; }
+  double hit_rate() const {
+    return accesses() ? static_cast<double>(hits_) / accesses() : 0.0;
+  }
+
+  /// Total energy: every access pays the cache lookup; every miss
+  /// additionally fetches a full line from main memory.
+  double energy_nj(const EnergyModel& e) const;
+
+  const CacheConfig& config() const { return cfg_; }
+  void reset();
+
+ private:
+  struct Line {
+    uint32_t tag = 0;
+    bool valid = false;
+    uint64_t lru = 0;  ///< last-use stamp
+  };
+
+  CacheConfig cfg_;
+  uint32_t num_sets_;
+  std::vector<Line> lines_;  ///< sets * assoc, row-major by set
+  uint64_t stamp_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace foray::spm

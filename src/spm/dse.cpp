@@ -1,0 +1,101 @@
+#include "spm/dse.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/status.h"
+
+namespace foray::spm {
+
+double candidate_saving_nj(const BufferCandidate& c, const DseOptions& opts) {
+  const double spm = opts.energy.spm_access_nj(opts.spm_capacity);
+  const double dram = opts.energy.dram_nj;
+  const double before = static_cast<double>(c.spm_accesses) * dram;
+  const double after = static_cast<double>(c.spm_accesses) * spm +
+                       static_cast<double>(c.transfer_words) * (dram + spm);
+  return before - after;
+}
+
+Selection select_buffers(const std::vector<BufferCandidate>& candidates,
+                         const DseOptions& opts) {
+  // Group candidates by reference.
+  std::map<size_t, std::vector<const BufferCandidate*>> groups;
+  for (const auto& c : candidates) {
+    if (c.size_bytes <= opts.spm_capacity &&
+        candidate_saving_nj(c, opts) > 0.0) {
+      groups[c.ref_index].push_back(&c);
+    }
+  }
+  const uint32_t slots = opts.spm_capacity / opts.granule;
+  // dp[w] = best savings using at most w granules; choice tracking per
+  // group layer.
+  std::vector<double> dp(slots + 1, 0.0);
+  std::vector<std::vector<const BufferCandidate*>> pick(
+      slots + 1);  // chosen set achieving dp[w]
+
+  for (const auto& [ref, items] : groups) {
+    (void)ref;
+    std::vector<double> next_dp = dp;
+    auto next_pick = pick;
+    for (const BufferCandidate* c : items) {
+      const uint32_t need = static_cast<uint32_t>(
+          (c->size_bytes + opts.granule - 1) / opts.granule);
+      const double gain = candidate_saving_nj(*c, opts);
+      for (uint32_t w = need; w <= slots; ++w) {
+        const double with = dp[w - need] + gain;
+        if (with > next_dp[w]) {
+          next_dp[w] = with;
+          next_pick[w] = pick[w - need];
+          next_pick[w].push_back(c);
+        }
+      }
+    }
+    dp = std::move(next_dp);
+    pick = std::move(next_pick);
+  }
+
+  Selection sel;
+  uint32_t best_w = 0;
+  for (uint32_t w = 0; w <= slots; ++w) {
+    if (dp[w] > dp[best_w]) best_w = w;
+  }
+  sel.saved_nj = dp[best_w];
+  for (const BufferCandidate* c : pick[best_w]) {
+    sel.chosen.push_back(*c);
+    sel.bytes_used += c->size_bytes;
+  }
+  return sel;
+}
+
+Selection select_buffers_greedy(
+    const std::vector<BufferCandidate>& candidates, const DseOptions& opts) {
+  std::vector<const BufferCandidate*> order;
+  for (const auto& c : candidates) {
+    if (c.size_bytes <= opts.spm_capacity &&
+        candidate_saving_nj(c, opts) > 0.0) {
+      order.push_back(&c);
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [&](const BufferCandidate* a, const BufferCandidate* b) {
+              const double da = candidate_saving_nj(*a, opts) /
+                                static_cast<double>(a->size_bytes);
+              const double db = candidate_saving_nj(*b, opts) /
+                                static_cast<double>(b->size_bytes);
+              return da > db;
+            });
+  Selection sel;
+  std::vector<bool> ref_taken_seen;
+  std::map<size_t, bool> ref_taken;
+  for (const BufferCandidate* c : order) {
+    if (ref_taken[c->ref_index]) continue;
+    if (sel.bytes_used + c->size_bytes > opts.spm_capacity) continue;
+    ref_taken[c->ref_index] = true;
+    sel.chosen.push_back(*c);
+    sel.bytes_used += c->size_bytes;
+    sel.saved_nj += candidate_saving_nj(*c, opts);
+  }
+  return sel;
+}
+
+}  // namespace foray::spm

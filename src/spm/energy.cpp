@@ -1,0 +1,20 @@
+#include "spm/energy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace foray::spm {
+
+double EnergyModel::spm_access_nj(uint32_t bytes) const {
+  const double kb = std::max<double>(bytes, 64.0) / 1024.0;
+  const double doublings = std::max(0.0, std::log2(std::max(kb, 1.0)));
+  return spm_1kb_nj + spm_doubling_nj * doublings;
+}
+
+double EnergyModel::cache_access_nj(uint32_t bytes, int assoc) const {
+  const double base = spm_access_nj(bytes) * cache_overhead;
+  return base + cache_way_overhead * spm_access_nj(bytes) *
+                    std::max(0, assoc - 1);
+}
+
+}  // namespace foray::spm

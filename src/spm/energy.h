@@ -1,0 +1,48 @@
+// Energy model for the memory-subsystem design space (Phase II).
+//
+// Synthetic but literature-shaped (Banakar et al., CODES 2002 — the
+// paper's reference [1]): scratch-pad access energy grows slowly with
+// capacity; a cache access costs an additional tag/associativity factor
+// over an equal-sized SPM; main-memory accesses dominate everything.
+// Absolute numbers are illustrative — every benchmark reports *relative*
+// savings, which is what the paper's argument rests on.
+#pragma once
+
+#include <cstdint>
+
+namespace foray::spm {
+
+struct EnergyModel {
+  /// Energy per 4-byte main-memory (off-chip) access, nJ.
+  double dram_nj = 3.57;
+  /// Energy per access of a 1 KiB scratch pad, nJ.
+  double spm_1kb_nj = 0.19;
+  /// Additive cost per capacity doubling beyond 1 KiB, nJ.
+  double spm_doubling_nj = 0.05;
+  /// Multiplicative overhead of a cache access over an equal-size SPM
+  /// access (tag array + comparators + way muxing).
+  double cache_overhead = 1.46;
+  /// Extra cache overhead per additional way.
+  double cache_way_overhead = 0.18;
+
+  /// Per-access energy of an SPM of `bytes` capacity, nJ.
+  double spm_access_nj(uint32_t bytes) const;
+  /// Per-access energy of a cache of `bytes` capacity and `assoc` ways.
+  double cache_access_nj(uint32_t bytes, int assoc) const;
+};
+
+/// Totals for one evaluated configuration.
+struct EnergyReport {
+  double baseline_nj = 0.0;  ///< every access served by main memory
+  double total_nj = 0.0;     ///< with the evaluated configuration
+  uint64_t spm_accesses = 0;
+  uint64_t dram_accesses = 0;
+  uint64_t transfer_words = 0;  ///< SPM<->DRAM fill traffic (4B words)
+
+  double savings_pct() const {
+    return baseline_nj > 0.0 ? 100.0 * (baseline_nj - total_nj) / baseline_nj
+                             : 0.0;
+  }
+};
+
+}  // namespace foray::spm

@@ -1,0 +1,177 @@
+#include "spm/transform.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "foray/emitter.h"
+#include "util/strings.h"
+
+namespace foray::spm {
+
+namespace {
+
+struct RefLayout {
+  int64_t rebased_base = 0;  ///< base after rebasing to a zero-origin array
+  int64_t array_len = 0;
+  // Split data (selected refs only).
+  int split = 0;             ///< index of first inner coefficient
+  int64_t inner_min = 0;
+  int64_t inner_span = 0;    ///< SPM buffer size in bytes
+};
+
+RefLayout layout_of(const core::ModelReference& ref, int level) {
+  RefLayout lo;
+  auto coefs = ref.emitted_coefs();
+  auto trips = ref.emitted_trips();
+  int64_t min_off = 0, max_off = 0;
+  for (size_t i = 0; i < coefs.size(); ++i) {
+    const int64_t reach = coefs[i] * std::max<int64_t>(trips[i] - 1, 0);
+    (reach < 0 ? min_off : max_off) += reach;
+  }
+  lo.rebased_base = -min_off;
+  lo.array_len = max_off - min_off + ref.access_size;
+  if (level > 0) {
+    lo.split = static_cast<int>(coefs.size()) - level;
+    int64_t imin = 0, imax = 0;
+    for (size_t i = static_cast<size_t>(lo.split); i < coefs.size(); ++i) {
+      const int64_t reach = coefs[i] * std::max<int64_t>(trips[i] - 1, 0);
+      (reach < 0 ? imin : imax) += reach;
+    }
+    lo.inner_min = imin;
+    lo.inner_span = imax - imin + ref.access_size;
+  }
+  return lo;
+}
+
+std::string var(size_t ref_idx, size_t level_idx) {
+  return "i" + std::to_string(ref_idx) + "_" + std::to_string(level_idx);
+}
+
+/// Renders base + sum of coefficient terms over [from, to).
+std::string terms(size_t ref_idx, int64_t base,
+                  const std::vector<int64_t>& coefs, size_t from,
+                  size_t to) {
+  std::ostringstream os;
+  os << base;
+  for (size_t i = from; i < to; ++i) {
+    if (coefs[i] == 0) continue;
+    os << (coefs[i] > 0 ? " + " : " - ")
+       << (coefs[i] > 0 ? coefs[i] : -coefs[i]) << " * "
+       << var(ref_idx, i);
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string emit_transformed(const core::ForayModel& model,
+                             const Selection& selection,
+                             const TransformOptions& opts) {
+  std::map<size_t, int> selected_level;
+  for (const auto& c : selection.chosen) {
+    selected_level[c.ref_index] = c.level;
+  }
+
+  auto names = core::assign_array_names(model);
+  std::ostringstream os;
+  os << "// Transformed FORAY model (Phase II output): selected\n"
+        "// references access scratch-pad buffers; fill/writeback loops\n"
+        "// perform the SPM<->main-memory transfers.\n";
+
+  std::vector<RefLayout> layouts;
+  for (size_t i = 0; i < model.refs.size(); ++i) {
+    auto it = selected_level.find(i);
+    const int level = it == selected_level.end() ? 0 : it->second;
+    RefLayout lo = layout_of(model.refs[i], level);
+    if (opts.metadata_comments) {
+      os << "// " << core::describe_reference(model.refs[i]);
+      if (level > 0) {
+        os << "  [SPM buffer: level " << level << ", " << lo.inner_span
+           << "B]";
+      }
+      os << "\n";
+    }
+    os << "char " << names[i] << "[" << lo.array_len << "];\n";
+    if (level > 0) {
+      os << "char " << opts.buffer_prefix << names[i] << "["
+         << lo.inner_span << "];\n";
+    }
+    layouts.push_back(lo);
+  }
+  os << "int foray_acc;\n\nint main(void) {\n";
+
+  for (size_t i = 0; i < model.refs.size(); ++i) {
+    const auto& ref = model.refs[i];
+    const RefLayout& lo = layouts[i];
+    auto coefs = ref.emitted_coefs();
+    auto trips = ref.emitted_trips();
+    auto it = selected_level.find(i);
+    const int level = it == selected_level.end() ? 0 : it->second;
+    const size_t split = static_cast<size_t>(lo.split);
+    const std::string spm = opts.buffer_prefix + names[i];
+
+    os << "  { // reference " << names[i]
+       << (level > 0 ? " (SPM-buffered)" : " (main memory)") << "\n";
+    std::string pad = "    ";
+    // Outer loops (all of them for unbuffered references).
+    const size_t outer_end = level > 0 ? split : coefs.size();
+    for (size_t d = 0; d < outer_end; ++d) {
+      os << pad << "for (int " << var(i, d) << " = 0; " << var(i, d)
+         << " < " << trips[d] << "; " << var(i, d) << "++) {\n";
+      pad += "  ";
+    }
+    if (level > 0) {
+      const std::string outer_base =
+          terms(i, lo.rebased_base + lo.inner_min, coefs, 0, split);
+      // Fill.
+      os << pad << "{ int base = " << outer_base << ";\n";
+      os << pad << "  for (int f = 0; f < " << lo.inner_span
+         << "; f++) " << spm << "[f] = " << names[i] << "[base + f]; }\n";
+      // Inner loops accessing the buffer.
+      std::string ipad = pad;
+      for (size_t d = split; d < coefs.size(); ++d) {
+        os << ipad << "for (int " << var(i, d) << " = 0; " << var(i, d)
+           << " < " << trips[d] << "; " << var(i, d) << "++) {\n";
+        ipad += "  ";
+      }
+      const std::string inner_index =
+          terms(i, -lo.inner_min, coefs, split, coefs.size());
+      if (ref.has_write) {
+        os << ipad << spm << "[" << inner_index << "] = 1;\n";
+      } else {
+        os << ipad << "foray_acc += " << spm << "[" << inner_index
+           << "];\n";
+      }
+      for (size_t d = coefs.size(); d-- > split;) {
+        ipad.resize(ipad.size() - 2);
+        os << ipad << "}\n";
+      }
+      // Writeback for dirty buffers.
+      if (ref.has_write) {
+        os << pad << "{ int base = " << outer_base << ";\n";
+        os << pad << "  for (int f = 0; f < " << lo.inner_span
+           << "; f++) " << names[i] << "[base + f] = " << spm
+           << "[f]; }\n";
+      }
+    } else {
+      const std::string full_index =
+          terms(i, lo.rebased_base, coefs, 0, coefs.size());
+      if (ref.has_write) {
+        os << pad << names[i] << "[" << full_index << "] = 1;\n";
+      } else {
+        os << pad << "foray_acc += " << names[i] << "[" << full_index
+           << "];\n";
+      }
+    }
+    for (size_t d = outer_end; d-- > 0;) {
+      pad.resize(pad.size() - 2);
+      os << pad << "}\n";
+    }
+    os << "  }\n";
+  }
+  os << "  return 0;\n}\n";
+  return os.str();
+}
+
+}  // namespace foray::spm

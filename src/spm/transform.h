@@ -1,0 +1,34 @@
+// Phase II output: the *transformed* FORAY model code.
+//
+// The paper's Figure 3 flow ends Phase II with "FORAY model source code
+// that is changed to access the scratch pad memory and perform the
+// necessary data transfers between scratch pad buffers and main memory";
+// the designer back-annotates exactly that into the legacy code (Phase
+// III). This module emits that program: for every selected buffer the
+// reference's nest gains a fill loop at the covered level and the access
+// itself is redirected into the SPM buffer array; unselected references
+// keep their main-memory form. The emitted program is valid MiniC — the
+// tests execute it and check the SPM traffic it generates.
+#pragma once
+
+#include <string>
+
+#include "foray/model.h"
+#include "spm/dse.h"
+
+namespace foray::spm {
+
+struct TransformOptions {
+  /// Prefix for SPM buffer array names in the emitted code.
+  std::string buffer_prefix = "spm_";
+  bool metadata_comments = true;
+};
+
+/// Emits the transformed FORAY model: selected references access their
+/// SPM buffer (filled/written back at the covered loop level), the rest
+/// stay on their main-memory arrays.
+std::string emit_transformed(const core::ForayModel& model,
+                             const Selection& selection,
+                             const TransformOptions& opts = {});
+
+}  // namespace foray::spm

@@ -1,0 +1,79 @@
+// The static baseline: what traditional SPM analyses ([5][6][7] in the
+// paper) can see in the *original* source without FORAY-GEN.
+//
+// Those techniques require FORAY form syntactically: canonical `for`
+// loops and direct array subscripts whose index expressions are affine in
+// the enclosing canonical iterators. Everything else — pointer walks,
+// while/do loops, data-dependent offsets — is statically opaque.
+//
+// Joining this analysis with a dynamically-extracted FORAY model yields
+// Table II's right half ("percentage of loops and references that are not
+// in FORAY form in the original program") and the paper's headline ~2x
+// increase in analyzable references.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "foray/model.h"
+#include "instrument/annotator.h"
+#include "minic/ast.h"
+
+namespace foray::staticforay {
+
+struct Analysis {
+  /// Loop ids of canonical for loops: `for (i = c0; i <op> bound; i
+  /// += c)` with a constant bound, whose iterator is never written in the
+  /// body.
+  std::set<int> canonical_loops;
+  /// Expression node ids of array subscripts `arr[e]` on array variables
+  /// where `e` is affine in enclosing canonical iterators and integer
+  /// constants.
+  std::set<int> affine_ref_nodes;
+  /// All loop ids inspected (every loop in the program).
+  int total_loops = 0;
+  /// All memory-referencing sites inspected (subscripts + derefs).
+  int total_ref_sites = 0;
+
+  bool loop_is_canonical(int loop_id) const {
+    return canonical_loops.count(loop_id) > 0;
+  }
+  bool ref_is_affine(int node_id) const {
+    return affine_ref_nodes.count(node_id) > 0;
+  }
+};
+
+/// Analyzes an annotated, sema-checked program.
+Analysis analyze(const minic::Program& prog);
+
+/// Table II, one benchmark: how much of the dynamic FORAY model was
+/// *already* statically expressible.
+struct ConversionStats {
+  int model_loops = 0;  ///< loops representable in FORAY form (dynamic)
+  int model_refs = 0;   ///< references representable in FORAY form
+  int loops_not_foray = 0;  ///< of model_loops, not statically canonical
+  int refs_not_foray = 0;   ///< of model_refs, not statically affine
+
+  double pct_loops_not_foray() const {
+    return model_loops ? 100.0 * loops_not_foray / model_loops : 0.0;
+  }
+  double pct_refs_not_foray() const {
+    return model_refs ? 100.0 * refs_not_foray / model_refs : 0.0;
+  }
+  /// The headline metric: total analyzable refs (with FORAY-GEN) over
+  /// refs already analyzable statically.
+  double ref_increase_factor() const {
+    const int statically = model_refs - refs_not_foray;
+    return statically > 0 ? static_cast<double>(model_refs) / statically
+                          : static_cast<double>(model_refs);
+  }
+};
+
+/// A model reference counts as statically analyzable iff its instruction
+/// is a statically-affine subscript *and* every loop of its emitted nest
+/// is canonical.
+ConversionStats compute_conversion(const core::ForayModel& model,
+                                   const Analysis& analysis);
+
+}  // namespace foray::staticforay

@@ -1,0 +1,264 @@
+#include "trace/io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace foray::trace {
+
+namespace {
+
+const char* cp_name(CheckpointType t) {
+  switch (t) {
+    case CheckpointType::LoopEnter: return "loop_enter";
+    case CheckpointType::BodyBegin: return "body_begin";
+    case CheckpointType::BodyEnd: return "body_end";
+    case CheckpointType::LoopExit: return "loop_exit";
+  }
+  return "?";
+}
+
+bool parse_cp(std::string_view s, CheckpointType* out) {
+  if (s == "loop_enter") *out = CheckpointType::LoopEnter;
+  else if (s == "body_begin") *out = CheckpointType::BodyBegin;
+  else if (s == "body_end") *out = CheckpointType::BodyEnd;
+  else if (s == "loop_exit") *out = CheckpointType::LoopExit;
+  else return false;
+  return true;
+}
+
+const char* kind_name(AccessKind k) {
+  switch (k) {
+    case AccessKind::Data: return "data";
+    case AccessKind::Scalar: return "scalar";
+    case AccessKind::System: return "system";
+  }
+  return "?";
+}
+
+bool parse_kind(std::string_view s, AccessKind* out) {
+  if (s == "data") *out = AccessKind::Data;
+  else if (s == "scalar") *out = AccessKind::Scalar;
+  else if (s == "system") *out = AccessKind::System;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+std::string record_to_text(const Record& r) {
+  std::ostringstream os;
+  switch (r.type) {
+    case RecordType::Checkpoint:
+      os << "Checkpoint: " << cp_name(r.cp) << " " << r.loop_id;
+      break;
+    case RecordType::Access:
+      os << "Instr: " << util::to_hex(r.instr)
+         << " addr: " << util::to_hex(r.addr) << " "
+         << (r.is_write ? "wr" : "rd") << " " << static_cast<int>(r.size)
+         << " " << kind_name(r.kind);
+      break;
+    case RecordType::Call:
+      os << "Call: " << r.func_id;
+      break;
+    case RecordType::Ret:
+      os << "Ret: " << r.func_id;
+      break;
+  }
+  return os.str();
+}
+
+void write_text(std::ostream& os, const std::vector<Record>& records) {
+  for (const Record& r : records) os << record_to_text(r) << '\n';
+}
+
+bool read_text(std::istream& is, std::vector<Record>* out,
+               util::DiagList* diags) {
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    auto toks = util::split_ws(line);
+    if (toks.empty()) continue;
+    if (toks[0] == "Checkpoint:") {
+      CheckpointType cp;
+      int64_t id;
+      if (toks.size() != 3 || !parse_cp(toks[1], &cp) ||
+          !util::parse_i64(toks[2], &id)) {
+        diags->add(lineno, "malformed checkpoint record: " + line);
+        return false;
+      }
+      out->push_back(Record::checkpoint(cp, static_cast<int32_t>(id)));
+    } else if (toks[0] == "Instr:") {
+      uint64_t instr, addr;
+      int64_t size;
+      AccessKind kind;
+      if (toks.size() != 7 || !util::parse_hex(toks[1], &instr) ||
+          toks[2] != "addr:" || !util::parse_hex(toks[3], &addr) ||
+          (toks[4] != "wr" && toks[4] != "rd") ||
+          !util::parse_i64(toks[5], &size) || !parse_kind(toks[6], &kind)) {
+        diags->add(lineno, "malformed access record: " + line);
+        return false;
+      }
+      out->push_back(Record::access(static_cast<uint32_t>(instr),
+                                    static_cast<uint32_t>(addr),
+                                    static_cast<uint8_t>(size),
+                                    toks[4] == "wr", kind));
+    } else if (toks[0] == "Call:" || toks[0] == "Ret:") {
+      int64_t id;
+      if (toks.size() != 2 || !util::parse_i64(toks[1], &id)) {
+        diags->add(lineno, "malformed call/ret record: " + line);
+        return false;
+      }
+      out->push_back(toks[0] == "Call:"
+                         ? Record::call(static_cast<int32_t>(id))
+                         : Record::ret(static_cast<int32_t>(id)));
+    } else {
+      diags->add(lineno, "unknown record: " + line);
+      return false;
+    }
+  }
+  return true;
+}
+
+// Binary layout: 1 tag byte, then a fixed payload per type.
+//   Checkpoint: tag = 0x00 | cp(2 bits << 2) ... use tag byte: (type<<4)|sub
+//   Access:     tag, instr u32, addr u32, size u8, flags u8
+//   Call/Ret:   tag, func u32
+
+namespace {
+
+void put_u32(std::ostream& os, uint32_t v) {
+  char b[4] = {static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+               static_cast<char>((v >> 16) & 0xff),
+               static_cast<char>((v >> 24) & 0xff)};
+  os.write(b, 4);
+}
+
+bool get_u32(std::istream& is, uint32_t* v) {
+  unsigned char b[4];
+  if (!is.read(reinterpret_cast<char*>(b), 4)) return false;
+  *v = static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+       (static_cast<uint32_t>(b[2]) << 16) |
+       (static_cast<uint32_t>(b[3]) << 24);
+  return true;
+}
+
+constexpr char kMagic[4] = {'F', 'T', 'R', 'C'};
+
+}  // namespace
+
+size_t binary_record_size(const Record& r) {
+  switch (r.type) {
+    case RecordType::Checkpoint: return 1 + 4;
+    case RecordType::Access: return 1 + 4 + 4 + 1 + 1;
+    case RecordType::Call:
+    case RecordType::Ret: return 1 + 4;
+  }
+  return 0;
+}
+
+void write_binary(std::ostream& os, const std::vector<Record>& records) {
+  os.write(kMagic, 4);
+  put_u32(os, static_cast<uint32_t>(records.size()));
+  for (const Record& r : records) {
+    uint8_t tag = static_cast<uint8_t>(r.type) << 4;
+    switch (r.type) {
+      case RecordType::Checkpoint:
+        tag |= static_cast<uint8_t>(r.cp);
+        os.put(static_cast<char>(tag));
+        put_u32(os, static_cast<uint32_t>(r.loop_id));
+        break;
+      case RecordType::Access:
+        tag |= static_cast<uint8_t>(r.kind) |
+               (r.is_write ? 0x08 : 0x00);
+        os.put(static_cast<char>(tag));
+        put_u32(os, r.instr);
+        put_u32(os, r.addr);
+        os.put(static_cast<char>(r.size));
+        os.put(0);  // reserved
+        break;
+      case RecordType::Call:
+      case RecordType::Ret:
+        os.put(static_cast<char>(tag));
+        put_u32(os, static_cast<uint32_t>(r.func_id));
+        break;
+    }
+  }
+}
+
+bool read_binary(std::istream& is, std::vector<Record>* out,
+                 util::DiagList* diags) {
+  char magic[4];
+  if (!is.read(magic, 4) || std::string_view(magic, 4) !=
+                                std::string_view(kMagic, 4)) {
+    diags->add(0, "bad trace magic");
+    return false;
+  }
+  uint32_t count = 0;
+  if (!get_u32(is, &count)) {
+    diags->add(0, "truncated trace header");
+    return false;
+  }
+  out->reserve(out->size() + count);
+  for (uint32_t i = 0; i < count; ++i) {
+    int tag_c = is.get();
+    if (tag_c < 0) {
+      diags->add(0, "truncated trace body");
+      return false;
+    }
+    uint8_t tag = static_cast<uint8_t>(tag_c);
+    auto type = static_cast<RecordType>(tag >> 4);
+    switch (type) {
+      case RecordType::Checkpoint: {
+        uint32_t id;
+        if (!get_u32(is, &id)) {
+          diags->add(0, "truncated checkpoint record");
+          return false;
+        }
+        out->push_back(Record::checkpoint(
+            static_cast<CheckpointType>(tag & 0x03),
+            static_cast<int32_t>(id)));
+        break;
+      }
+      case RecordType::Access: {
+        uint32_t instr, addr;
+        if (!get_u32(is, &instr) || !get_u32(is, &addr)) {
+          diags->add(0, "truncated access record");
+          return false;
+        }
+        int size = is.get();
+        int reserved = is.get();
+        if (size < 0 || reserved < 0) {
+          diags->add(0, "truncated access record");
+          return false;
+        }
+        out->push_back(Record::access(instr, addr,
+                                      static_cast<uint8_t>(size),
+                                      (tag & 0x08) != 0,
+                                      static_cast<AccessKind>(tag & 0x03)));
+        break;
+      }
+      case RecordType::Call:
+      case RecordType::Ret: {
+        uint32_t id;
+        if (!get_u32(is, &id)) {
+          diags->add(0, "truncated call/ret record");
+          return false;
+        }
+        out->push_back(type == RecordType::Call
+                           ? Record::call(static_cast<int32_t>(id))
+                           : Record::ret(static_cast<int32_t>(id)));
+        break;
+      }
+      default:
+        diags->add(0, "unknown record tag");
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace foray::trace

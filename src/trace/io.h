@@ -1,0 +1,44 @@
+// Trace serialization.
+//
+// Two interchangeable encodings:
+//  - A text format close to the paper's Figure 4(c) listing, for human
+//    inspection and documentation examples.
+//  - A compact binary format for the offline-analysis ablation (E9),
+//    where trace volume matters.
+// Both round-trip exactly (property-tested).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/record.h"
+#include "util/status.h"
+
+namespace foray::trace {
+
+// -- text -------------------------------------------------------------------
+
+/// Renders one record in the paper-like text form, e.g.
+///   "Checkpoint: body_begin 15"
+///   "Instr: 4002a0 addr: 7fff5934 wr 1 data"
+std::string record_to_text(const Record& r);
+
+void write_text(std::ostream& os, const std::vector<Record>& records);
+
+/// Parses the text format. Returns false (and fills diags) on any
+/// malformed line; parsing stops at the first error.
+bool read_text(std::istream& is, std::vector<Record>* out,
+               util::DiagList* diags);
+
+// -- binary -----------------------------------------------------------------
+
+void write_binary(std::ostream& os, const std::vector<Record>& records);
+
+bool read_binary(std::istream& is, std::vector<Record>* out,
+                 util::DiagList* diags);
+
+/// Size in bytes one record occupies in the binary encoding.
+size_t binary_record_size(const Record& r);
+
+}  // namespace foray::trace

@@ -1,0 +1,100 @@
+// Trace records — the interface between the instruction-set simulator
+// (profiling, Step 2 of Algorithm 1) and the FORAY-GEN analyzer.
+//
+// A trace is a flat stream of records in execution order:
+//  - Checkpoint records delimit loop activity (Step 1's annotations). The
+//    paper emits three checkpoint kinds and infers loop exit; we emit an
+//    explicit LoopExit as well (the simulator always knows), which makes
+//    loop-tree reconstruction exact under break/return unwinding.
+//  - Access records are the "Instr: 4002a0 addr: 7fff5934 wr" lines of
+//    Figure 4(c): instruction address, access address, size, direction.
+//  - Call/Ret records mark user-function boundaries; the analyzer ignores
+//    them but statistics and the inlining advisor use them.
+#pragma once
+
+#include <cstdint>
+
+namespace foray::trace {
+
+enum class CheckpointType : uint8_t {
+  LoopEnter,  ///< about to evaluate a loop for the first time (this entry)
+  BodyBegin,  ///< an iteration's body is starting
+  BodyEnd,    ///< an iteration's body finished normally (or via continue)
+  LoopExit,   ///< the loop terminated (normal exit, break, or unwinding)
+};
+
+/// Provenance of a memory access, used only for statistics (Table III).
+enum class AccessKind : uint8_t {
+  Data,    ///< array element / pointer dereference
+  Scalar,  ///< direct scalar variable access (register-like traffic)
+  System,  ///< performed inside an intrinsic ("system library") call
+};
+
+enum class RecordType : uint8_t { Checkpoint, Access, Call, Ret };
+
+struct Record {
+  RecordType type = RecordType::Access;
+
+  // Checkpoint payload.
+  CheckpointType cp = CheckpointType::LoopEnter;
+  int32_t loop_id = -1;
+
+  // Access payload.
+  uint32_t instr = 0;   ///< instruction address (synthetic text segment)
+  uint32_t addr = 0;    ///< data address accessed
+  uint8_t size = 0;     ///< access width in bytes
+  bool is_write = false;
+  AccessKind kind = AccessKind::Data;
+
+  // Call/Ret payload.
+  int32_t func_id = -1;
+
+  // -- factories ------------------------------------------------------------
+  static Record checkpoint(CheckpointType t, int32_t loop) {
+    Record r;
+    r.type = RecordType::Checkpoint;
+    r.cp = t;
+    r.loop_id = loop;
+    return r;
+  }
+  static Record access(uint32_t instr, uint32_t addr, uint8_t size,
+                       bool is_write, AccessKind kind = AccessKind::Data) {
+    Record r;
+    r.type = RecordType::Access;
+    r.instr = instr;
+    r.addr = addr;
+    r.size = size;
+    r.is_write = is_write;
+    r.kind = kind;
+    return r;
+  }
+  static Record call(int32_t func_id) {
+    Record r;
+    r.type = RecordType::Call;
+    r.func_id = func_id;
+    return r;
+  }
+  static Record ret(int32_t func_id) {
+    Record r;
+    r.type = RecordType::Ret;
+    r.func_id = func_id;
+    return r;
+  }
+
+  bool operator==(const Record& o) const {
+    if (type != o.type) return false;
+    switch (type) {
+      case RecordType::Checkpoint:
+        return cp == o.cp && loop_id == o.loop_id;
+      case RecordType::Access:
+        return instr == o.instr && addr == o.addr && size == o.size &&
+               is_write == o.is_write && kind == o.kind;
+      case RecordType::Call:
+      case RecordType::Ret:
+        return func_id == o.func_id;
+    }
+    return false;
+  }
+};
+
+}  // namespace foray::trace

@@ -1,0 +1,78 @@
+// Trace sinks.
+//
+// The simulator pushes records into a Sink. Because the FORAY-GEN
+// extractor is itself a Sink, analysis can run *online* during profiling
+// — the paper's constant-space mode where the (typically large) trace
+// file is never materialized. VectorSink materializes the trace for the
+// offline mode, TeeSink fans out to both.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace foray::trace {
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void on_record(const Record& r) = 0;
+};
+
+/// Discards everything (pure-execution runs).
+class NullSink final : public Sink {
+ public:
+  void on_record(const Record&) override {}
+};
+
+/// Materializes the full trace in memory (the offline "trace file" mode).
+class VectorSink final : public Sink {
+ public:
+  void on_record(const Record& r) override { records_.push_back(r); }
+  const std::vector<Record>& records() const { return records_; }
+  std::vector<Record> take() { return std::move(records_); }
+  void clear() { records_.clear(); }
+  size_t size() const { return records_.size(); }
+
+ private:
+  std::vector<Record> records_;
+};
+
+/// Fans records out to several sinks (e.g. trace file + online analyzer).
+class TeeSink final : public Sink {
+ public:
+  void add(Sink* s) { sinks_.push_back(s); }
+  void on_record(const Record& r) override {
+    for (Sink* s : sinks_) s->on_record(r);
+  }
+
+ private:
+  std::vector<Sink*> sinks_;
+};
+
+/// Counts records by type without storing them (used to measure trace
+/// volume in the online-analysis ablation).
+class CountingSink final : public Sink {
+ public:
+  void on_record(const Record& r) override {
+    ++total_;
+    switch (r.type) {
+      case RecordType::Checkpoint: ++checkpoints_; break;
+      case RecordType::Access: ++accesses_; break;
+      case RecordType::Call: ++calls_; break;
+      case RecordType::Ret: ++rets_; break;
+    }
+  }
+  uint64_t total() const { return total_; }
+  uint64_t checkpoints() const { return checkpoints_; }
+  uint64_t accesses() const { return accesses_; }
+  uint64_t calls() const { return calls_; }
+  uint64_t rets() const { return rets_; }
+
+ private:
+  uint64_t total_ = 0, checkpoints_ = 0, accesses_ = 0, calls_ = 0,
+           rets_ = 0;
+};
+
+}  // namespace foray::trace

@@ -1,0 +1,42 @@
+#include "util/rng.h"
+
+#include "util/status.h"
+
+namespace foray::util {
+
+uint64_t Rng::next() {
+  state_ += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::next_below(uint64_t bound) {
+  FORAY_CHECK(bound > 0, "Rng::next_below bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  uint64_t v = next();
+  while (v >= limit) v = next();
+  return v % bound;
+}
+
+int64_t Rng::next_in(int64_t lo, int64_t hi) {
+  FORAY_CHECK(lo <= hi, "Rng::next_in requires lo <= hi");
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(next());  // full 64-bit range
+  return lo + static_cast<int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+}  // namespace foray::util

@@ -1,0 +1,39 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic pieces of the repository (workload generators, property
+// tests, the MiniC `rand()` intrinsic) draw from this splitmix64-based
+// generator so that every benchmark and test is reproducible bit-for-bit
+// across platforms, independent of libc's rand().
+#pragma once
+
+#include <cstdint>
+
+namespace foray::util {
+
+/// Deterministic 64-bit PRNG (splitmix64). Cheap, full-period over the
+/// seed sequence, and identical everywhere — unlike std::mt19937 whose
+/// distribution adapters vary across standard libraries.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  uint64_t next_below(uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t next_in(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool next_bool(double p = 0.5);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace foray::util

@@ -1,0 +1,68 @@
+// Minimal status / error-reporting primitives shared by all modules.
+//
+// MiniC front-end and analysis passes report user-facing problems through
+// Diag / DiagList rather than exceptions; exceptions are reserved for
+// programming errors (violated invariants) via FORAY_CHECK.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace foray::util {
+
+/// A single diagnostic attached to a source location.
+struct Diag {
+  int line = 0;          ///< 1-based source line; 0 when not applicable.
+  std::string message;
+
+  std::string str() const {
+    std::ostringstream os;
+    if (line > 0) os << "line " << line << ": ";
+    os << message;
+    return os.str();
+  }
+};
+
+/// Accumulates diagnostics during a pass; a pass succeeds iff empty.
+class DiagList {
+ public:
+  void add(int line, std::string message) {
+    diags_.push_back(Diag{line, std::move(message)});
+  }
+  bool empty() const { return diags_.empty(); }
+  size_t size() const { return diags_.size(); }
+  const std::vector<Diag>& all() const { return diags_; }
+
+  /// All diagnostics joined with newlines (for test failure messages).
+  std::string str() const {
+    std::string out;
+    for (const auto& d : diags_) {
+      out += d.str();
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Diag> diags_;
+};
+
+/// Thrown when an internal invariant is violated. Indicates a bug in this
+/// library, never a malformed user program.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+}  // namespace foray::util
+
+#define FORAY_CHECK(cond, msg)                                        \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      throw ::foray::util::InternalError(std::string("FORAY_CHECK " \
+                                                     "failed: ") +    \
+                                         (msg));                      \
+    }                                                                 \
+  } while (0)

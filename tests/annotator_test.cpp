@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "instrument/annotator.h"
+#include "minic/parser.h"
+
+namespace foray::instrument {
+namespace {
+
+std::unique_ptr<minic::Program> parse(std::string_view src) {
+  util::DiagList diags;
+  auto p = minic::parse_and_check(src, &diags);
+  EXPECT_NE(p, nullptr) << diags.str();
+  return p;
+}
+
+TEST(Annotator, AssignsDenseIds) {
+  auto p = parse(
+      "int main(void) {\n"
+      "  for (int i = 0; i < 2; i++) {}\n"
+      "  while (0) {}\n"
+      "  do {} while (0);\n"
+      "  return 0;\n"
+      "}\n");
+  auto table = annotate_loops(p.get());
+  ASSERT_EQ(table.count(), 3);
+  EXPECT_EQ(table.site(0).kind, LoopKind::For);
+  EXPECT_EQ(table.site(1).kind, LoopKind::While);
+  EXPECT_EQ(table.site(2).kind, LoopKind::Do);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(table.site(i).loop_id, i);
+}
+
+TEST(Annotator, LexicalDepthTracked) {
+  auto p = parse(
+      "int main(void) {\n"
+      "  while (0)\n"
+      "    for (int i = 0; i < 2; i++)\n"
+      "      do {} while (0);\n"
+      "  return 0;\n"
+      "}\n");
+  auto table = annotate_loops(p.get());
+  ASSERT_EQ(table.count(), 3);
+  EXPECT_EQ(table.site(0).lexical_depth, 0);
+  EXPECT_EQ(table.site(1).lexical_depth, 1);
+  EXPECT_EQ(table.site(2).lexical_depth, 2);
+}
+
+TEST(Annotator, FunctionAttribution) {
+  auto p = parse(
+      "void helper(void) { for (int i = 0; i < 2; i++) {} }\n"
+      "int main(void) { while (0) {} return 0; }\n");
+  auto table = annotate_loops(p.get());
+  ASSERT_EQ(table.count(), 2);
+  EXPECT_EQ(table.site(0).func_name, "helper");
+  EXPECT_EQ(table.site(1).func_name, "main");
+  EXPECT_EQ(table.site(0).func_id, 0);
+  EXPECT_EQ(table.site(1).func_id, 1);
+}
+
+TEST(Annotator, LoopsInsideIfBranches) {
+  auto p = parse(
+      "int main(void) {\n"
+      "  int x = 1;\n"
+      "  if (x) { for (int i = 0; i < 2; i++) {} }\n"
+      "  else { while (x) { x--; } }\n"
+      "  return 0;\n"
+      "}\n");
+  auto table = annotate_loops(p.get());
+  EXPECT_EQ(table.count(), 2);
+}
+
+TEST(Annotator, LoopIdsWrittenIntoAst) {
+  auto p = parse("int main(void) { for (int i = 0; i < 2; i++) {} return 0; }");
+  annotate_loops(p.get());
+  const minic::Stmt& loop = *p->funcs[0]->body->stmts[0];
+  EXPECT_EQ(loop.loop_id, 0);
+}
+
+TEST(Annotator, IdempotentReassignment) {
+  auto p = parse(
+      "int main(void) { while (0) {} do {} while (0); return 0; }");
+  auto t1 = annotate_loops(p.get());
+  auto t2 = annotate_loops(p.get());
+  ASSERT_EQ(t1.count(), t2.count());
+  for (int i = 0; i < t1.count(); ++i) {
+    EXPECT_EQ(t1.site(i).kind, t2.site(i).kind);
+    EXPECT_EQ(t1.site(i).line, t2.site(i).line);
+  }
+}
+
+TEST(Annotator, CountKind) {
+  auto p = parse(
+      "int main(void) {\n"
+      "  for (int i = 0; i < 2; i++) {}\n"
+      "  for (int i = 0; i < 2; i++) {}\n"
+      "  while (0) {}\n"
+      "  return 0;\n"
+      "}\n");
+  auto table = annotate_loops(p.get());
+  EXPECT_EQ(table.count_kind(LoopKind::For), 2);
+  EXPECT_EQ(table.count_kind(LoopKind::While), 1);
+  EXPECT_EQ(table.count_kind(LoopKind::Do), 0);
+}
+
+TEST(Annotator, ForInitNestedLoopHandled) {
+  // Degenerate but legal: loop inside another loop's body block only.
+  auto p = parse(
+      "int main(void) {\n"
+      "  for (int i = 0; i < 2; i++) { for (int j = 0; j < 2; j++) {} }\n"
+      "  return 0;\n"
+      "}\n");
+  auto table = annotate_loops(p.get());
+  ASSERT_EQ(table.count(), 2);
+  EXPECT_EQ(table.site(1).lexical_depth, 1);
+}
+
+}  // namespace
+}  // namespace foray::instrument

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "sim/memory.h"
+
+namespace foray::sim {
+namespace {
+
+TEST(Memory, GlobalAllocationSequential) {
+  Memory m;
+  uint32_t a = m.alloc_global(4);
+  uint32_t b = m.alloc_global(4);
+  EXPECT_EQ(a, Memory::kGlobalBase);
+  EXPECT_EQ(b, a + 4);
+}
+
+TEST(Memory, GlobalAlignmentRespected) {
+  Memory m;
+  m.alloc_global(1, 1);
+  uint32_t b = m.alloc_global(4, 4);
+  EXPECT_EQ(b % 4, 0u);
+}
+
+TEST(Memory, GlobalsZeroInitialized) {
+  Memory m;
+  uint32_t a = m.alloc_global(16);
+  for (int i = 0; i < 16; i += 4) EXPECT_EQ(m.load_int(a + i, 4), 0);
+}
+
+TEST(Memory, IntRoundTripAllWidths) {
+  Memory m;
+  uint32_t a = m.alloc_global(16);
+  m.store_int(a, 4, -123456);
+  EXPECT_EQ(m.load_int(a, 4), -123456);
+  m.store_int(a + 4, 2, -77);
+  EXPECT_EQ(m.load_int(a + 4, 2), -77);
+  m.store_int(a + 8, 1, -5);
+  EXPECT_EQ(m.load_int(a + 8, 1), -5);
+}
+
+TEST(Memory, NarrowStoreTruncates) {
+  Memory m;
+  uint32_t a = m.alloc_global(4);
+  m.store_int(a, 1, 0x1ff);  // truncates to 0xff == -1 signed
+  EXPECT_EQ(m.load_int(a, 1), -1);
+}
+
+TEST(Memory, FloatRoundTrip) {
+  Memory m;
+  uint32_t a = m.alloc_global(4);
+  m.store_float(a, 3.25);
+  EXPECT_DOUBLE_EQ(m.load_float(a), 3.25);
+}
+
+TEST(Memory, RodataInterning) {
+  Memory m;
+  uint32_t a = m.alloc_rodata("abc");
+  EXPECT_EQ(m.load_byte(a), 'a');
+  EXPECT_EQ(m.load_byte(a + 2), 'c');
+  EXPECT_EQ(m.load_byte(a + 3), 0);  // NUL terminated
+}
+
+TEST(Memory, HeapAllocationAligned) {
+  Memory m;
+  uint32_t a = m.heap_alloc(5);
+  uint32_t b = m.heap_alloc(8);
+  EXPECT_EQ(a, Memory::kHeapBase);
+  EXPECT_EQ(b % 8, 0u);
+  EXPECT_GE(b, a + 5);
+}
+
+TEST(Memory, HeapExhaustionThrows) {
+  Memory m(/*heap_capacity=*/1024);
+  m.heap_alloc(1000);
+  EXPECT_THROW(m.heap_alloc(100), RuntimeError);
+}
+
+TEST(Memory, StackAllocGrowsDown) {
+  Memory m;
+  uint32_t sp0 = m.sp();
+  uint32_t a = m.stack_alloc(16);
+  EXPECT_LT(a, sp0);
+  uint32_t b = m.stack_alloc(4);
+  EXPECT_LT(b, a);
+}
+
+TEST(Memory, StackStoreLoad) {
+  Memory m;
+  uint32_t a = m.stack_alloc(8);
+  m.store_int(a, 4, 42);
+  m.store_int(a + 4, 4, 43);
+  EXPECT_EQ(m.load_int(a, 4), 42);
+  EXPECT_EQ(m.load_int(a + 4, 4), 43);
+}
+
+TEST(Memory, StackOverflowThrows) {
+  Memory m(1 << 20, /*stack_capacity=*/4096);
+  EXPECT_THROW(m.stack_alloc(8192), RuntimeError);
+}
+
+TEST(Memory, SpRestore) {
+  Memory m;
+  uint32_t sp0 = m.sp();
+  m.stack_alloc(64);
+  m.set_sp(sp0);
+  EXPECT_EQ(m.sp(), sp0);
+}
+
+TEST(Memory, UnmappedAccessThrows) {
+  Memory m;
+  EXPECT_THROW(m.load_int(0x00000010, 4), RuntimeError);
+  EXPECT_THROW(m.load_int(Memory::kGlobalBase, 4), RuntimeError);  // nothing allocated
+  EXPECT_THROW(m.load_int(Memory::kHeapBase + 100, 4), RuntimeError);
+}
+
+TEST(Memory, OutOfBoundsGlobalThrows) {
+  Memory m;
+  uint32_t a = m.alloc_global(4);
+  EXPECT_NO_THROW(m.load_int(a, 4));
+  EXPECT_THROW(m.load_int(a + 4, 4), RuntimeError);
+}
+
+TEST(Memory, StackAddressesNearPaperRange) {
+  // The paper's example traces show stack addresses like 0x7fff5934;
+  // our stack segment lives in the same neighborhood.
+  Memory m;
+  uint32_t a = m.stack_alloc(4);
+  EXPECT_GT(a, 0x7f000000u);
+  EXPECT_LT(a, 0x80000000u);
+}
+
+}  // namespace
+}  // namespace foray::sim

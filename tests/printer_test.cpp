@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "instrument/annotator.h"
+#include "minic/parser.h"
+#include "minic/printer.h"
+
+namespace foray::minic {
+namespace {
+
+/// Round-trip helper: parse, print, re-parse; returns the reprint.
+std::string reprint(std::string_view src) {
+  util::DiagList diags;
+  auto p = parse_and_check(src, &diags);
+  EXPECT_NE(p, nullptr) << diags.str();
+  if (!p) return {};
+  return print_program(*p);
+}
+
+TEST(Printer, RoundTripIsStable) {
+  const char* src =
+      "char q[10000];\n"
+      "int main(void) {\n"
+      "  char *ptr = q;\n"
+      "  int i;\n"
+      "  int t1 = 98;\n"
+      "  while (t1 < 100) {\n"
+      "    t1++;\n"
+      "    ptr += 100;\n"
+      "    for (i = 40; i > 37; i--) {\n"
+      "      *ptr++ = (i * i) % 256;\n"
+      "    }\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n";
+  std::string once = reprint(src);
+  ASSERT_FALSE(once.empty());
+  std::string twice = reprint(once);
+  EXPECT_EQ(once, twice);  // printing is a fixed point after one pass
+}
+
+TEST(Printer, PrintedProgramReparsesAndRechecks) {
+  const char* src =
+      "int tab[4] = {1, 2, 3, 4};\n"
+      "float scale = 0.5f;\n"
+      "int foo(int a, int *p) { return a + p[0]; }\n"
+      "int main(void) {\n"
+      "  int acc = 0;\n"
+      "  for (int i = 0; i < 4; i++) acc += foo(tab[i], tab);\n"
+      "  do { acc--; } while (acc > 100);\n"
+      "  return acc > 0 ? acc : -acc;\n"
+      "}\n";
+  std::string printed = reprint(src);
+  util::DiagList diags;
+  auto p2 = parse_and_check(printed, &diags);
+  EXPECT_NE(p2, nullptr) << diags.str() << "\nprinted was:\n" << printed;
+}
+
+TEST(Printer, ExprFormatting) {
+  util::DiagList diags;
+  auto p = parse_and_check("int x = 1 + 2 * 3;\nint main(void){return x;}",
+                           &diags);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(print_expr(*p->globals[0].init), "1 + (2 * 3)");
+}
+
+TEST(Printer, StringEscapes) {
+  util::DiagList diags;
+  auto p = parse_and_check(
+      "int main(void) { printf(\"a\\n\\t\\\"b\\\"\"); return 0; }", &diags);
+  ASSERT_NE(p, nullptr) << diags.str();
+  std::string printed = print_program(*p);
+  EXPECT_NE(printed.find("\"a\\n\\t\\\"b\\\"\""), std::string::npos);
+  // And the printed text must re-lex correctly.
+  util::DiagList diags2;
+  EXPECT_NE(parse_and_check(printed, &diags2), nullptr) << diags2.str();
+}
+
+TEST(Printer, AnnotatedViewShowsCheckpoints) {
+  util::DiagList diags;
+  auto p = parse_and_check(
+      "int main(void) {\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < 3; i++) s += i;\n"
+      "  while (s > 0) s--;\n"
+      "  return s;\n"
+      "}\n",
+      &diags);
+  ASSERT_NE(p, nullptr) << diags.str();
+  auto table = instrument::annotate_loops(p.get());
+  ASSERT_EQ(table.count(), 2);
+  PrintOptions opts;
+  opts.annotate_checkpoints = true;
+  std::string s = print_program(*p, opts);
+  EXPECT_NE(s.find("CHECKPOINT(loop_enter, 0)"), std::string::npos);
+  EXPECT_NE(s.find("CHECKPOINT(body_begin, 0)"), std::string::npos);
+  EXPECT_NE(s.find("CHECKPOINT(body_end, 0)"), std::string::npos);
+  EXPECT_NE(s.find("CHECKPOINT(loop_exit, 1)"), std::string::npos);
+}
+
+TEST(Printer, UnannotatedViewHasNoCheckpoints) {
+  util::DiagList diags;
+  auto p = parse_and_check(
+      "int main(void) { for (int i = 0; i < 3; i++) {} return 0; }", &diags);
+  ASSERT_NE(p, nullptr);
+  instrument::annotate_loops(p.get());
+  EXPECT_EQ(print_program(*p).find("CHECKPOINT"), std::string::npos);
+}
+
+TEST(Printer, DoWhileAnnotation) {
+  util::DiagList diags;
+  auto p = parse_and_check(
+      "int main(void) { int x = 3; do { x--; } while (x); return x; }",
+      &diags);
+  ASSERT_NE(p, nullptr);
+  instrument::annotate_loops(p.get());
+  PrintOptions opts;
+  opts.annotate_checkpoints = true;
+  std::string s = print_program(*p, opts);
+  EXPECT_NE(s.find("do"), std::string::npos);
+  EXPECT_NE(s.find("CHECKPOINT(loop_enter, 0)"), std::string::npos);
+  // The annotated program structure matches the paper's Figure 4(b) shape:
+  // enter checkpoint before the loop, body checkpoints inside.
+  EXPECT_LT(s.find("CHECKPOINT(loop_enter, 0)"),
+            s.find("CHECKPOINT(body_begin, 0)"));
+  EXPECT_LT(s.find("CHECKPOINT(body_begin, 0)"),
+            s.find("CHECKPOINT(body_end, 0)"));
+}
+
+TEST(Printer, CastAndTernaryPrint) {
+  util::DiagList diags;
+  auto p = parse_and_check(
+      "int main(void) { float f = 2.5f; int x = (int)f; "
+      "return x > 0 ? x : 0; }",
+      &diags);
+  ASSERT_NE(p, nullptr);
+  std::string s = print_program(*p);
+  EXPECT_NE(s.find("(int)"), std::string::npos);
+  EXPECT_NE(s.find("?"), std::string::npos);
+  util::DiagList diags2;
+  EXPECT_NE(parse_and_check(s, &diags2), nullptr) << diags2.str() << s;
+}
+
+TEST(Printer, PointerTypesPrint) {
+  util::DiagList diags;
+  auto p = parse_and_check(
+      "int **pp; int main(void) { return 0; }", &diags);
+  ASSERT_NE(p, nullptr);
+  EXPECT_NE(print_program(*p).find("int** pp"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace foray::minic

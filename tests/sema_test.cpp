@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "minic/parser.h"
+#include "minic/sema.h"
+
+namespace foray::minic {
+namespace {
+
+void expect_ok(std::string_view src) {
+  util::DiagList diags;
+  auto p = parse_and_check(src, &diags);
+  EXPECT_TRUE(p != nullptr) << diags.str();
+}
+
+void expect_error(std::string_view src, std::string_view needle) {
+  util::DiagList diags;
+  auto p = parse_and_check(src, &diags);
+  EXPECT_EQ(p, nullptr) << "expected sema error containing '" << needle
+                        << "'";
+  EXPECT_NE(diags.str().find(needle), std::string::npos)
+      << "diags were: " << diags.str();
+}
+
+TEST(Sema, MinimalProgramChecks) { expect_ok("int main(void) { return 0; }"); }
+
+TEST(Sema, MissingMainRejected) {
+  expect_error("int foo(void) { return 0; }", "no 'main'");
+}
+
+TEST(Sema, UndeclaredIdentifier) {
+  expect_error("int main(void) { return x; }", "undeclared identifier");
+}
+
+TEST(Sema, UndeclaredFunction) {
+  expect_error("int main(void) { return nope(); }", "undeclared function");
+}
+
+TEST(Sema, ArityMismatch) {
+  expect_error(
+      "int foo(int a) { return a; }\nint main(void) { return foo(1, 2); }",
+      "wrong number of arguments");
+}
+
+TEST(Sema, IntrinsicArityChecked) {
+  expect_error("int main(void) { memcpy(0); return 0; }",
+               "wrong number of arguments to intrinsic");
+}
+
+TEST(Sema, ShadowingIntrinsicRejected) {
+  expect_error("int printf(void) { return 0; } int main(void) { return 0; }",
+               "shadows an intrinsic");
+}
+
+TEST(Sema, DuplicateFunctionRejected) {
+  expect_error(
+      "int f(void) { return 0; } int f(void) { return 1; } "
+      "int main(void) { return 0; }",
+      "duplicate function");
+}
+
+TEST(Sema, RedeclarationInSameScopeRejected) {
+  expect_error("int main(void) { int x; int x; return 0; }",
+               "redeclaration");
+}
+
+TEST(Sema, ShadowingInInnerScopeAllowed) {
+  expect_ok("int main(void) { int x = 1; { int x = 2; } return x; }");
+}
+
+TEST(Sema, BreakOutsideLoopRejected) {
+  expect_error("int main(void) { break; return 0; }", "outside a loop");
+}
+
+TEST(Sema, ContinueOutsideLoopRejected) {
+  expect_error("int main(void) { continue; return 0; }", "outside a loop");
+}
+
+TEST(Sema, AssignToRvalueRejected) {
+  expect_error("int main(void) { 1 = 2; return 0; }", "not an lvalue");
+}
+
+TEST(Sema, AssignToArrayRejected) {
+  expect_error("int a[4]; int b[4]; int main(void) { a = b; return 0; }",
+               "not an lvalue");
+}
+
+TEST(Sema, DerefNonPointerRejected) {
+  expect_error("int main(void) { int x; return *x; }",
+               "dereference non-pointer");
+}
+
+TEST(Sema, SubscriptNonPointerRejected) {
+  expect_error("int main(void) { int x; return x[0]; }",
+               "not a pointer or array");
+}
+
+TEST(Sema, PointerPlusPointerRejected) {
+  expect_error(
+      "int main(void) { int a[2]; int *p = a; int *q = a; "
+      "return *(p + q); }",
+      "cannot add two pointers");
+}
+
+TEST(Sema, AddressOfRvalueRejected) {
+  expect_error("int main(void) { int *p = &3; return 0; }",
+               "address of an rvalue");
+}
+
+TEST(Sema, VoidVariableRejected) {
+  expect_error("int main(void) { void v; return 0; }", "void type");
+}
+
+TEST(Sema, ReturnValueFromVoidRejected) {
+  expect_error("void f(void) { return 3; } int main(void) { return 0; }",
+               "void function");
+}
+
+TEST(Sema, MissingReturnValueRejected) {
+  expect_error("int f(void) { return; } int main(void) { return 0; }",
+               "must return a value");
+}
+
+TEST(Sema, TypesPropagateThroughExpressions) {
+  util::DiagList diags;
+  auto p = parse_and_check(
+      "int g[8];\n"
+      "int main(void) { float f = 1.0f; int x = g[2]; return x; }",
+      &diags);
+  ASSERT_NE(p, nullptr) << diags.str();
+  // g decays to int*; g[2] is int.
+  const Stmt& s = *p->funcs[0]->body->stmts[1];
+  EXPECT_EQ(s.decls[0].init->type.base, BaseType::Int);
+  EXPECT_EQ(s.decls[0].init->type.ptr, 0);
+}
+
+TEST(Sema, ArrayDecayMarked) {
+  util::DiagList diags;
+  auto p = parse_and_check(
+      "char q[16]; int main(void) { char *p = q; return 0; }", &diags);
+  ASSERT_NE(p, nullptr) << diags.str();
+  const Expr& q = *p->funcs[0]->body->stmts[0]->decls[0].init;
+  EXPECT_TRUE(q.decayed_array);
+  EXPECT_EQ(q.type.ptr, 1);
+}
+
+TEST(Sema, NodeFuncAttributionFilled) {
+  util::DiagList diags;
+  auto prog = parse_program(
+      "int g = 3;\n"
+      "int foo(void) { return 1; }\n"
+      "int main(void) { return foo(); }",
+      &diags);
+  ASSERT_TRUE(diags.empty()) << diags.str();
+  SemaInfo info = run_sema(prog.get(), &diags);
+  ASSERT_TRUE(diags.empty()) << diags.str();
+  // The global initializer's node belongs to no function (-1).
+  EXPECT_EQ(info.node_func[static_cast<size_t>(prog->globals[0].init->node_id)],
+            -1);
+  // main's return expression belongs to func_id of main (1).
+  const Expr& ret = *prog->funcs[1]->body->stmts[0]->expr;
+  EXPECT_EQ(info.node_func[static_cast<size_t>(ret.node_id)], 1);
+}
+
+TEST(Sema, MemorySitesMarked) {
+  util::DiagList diags;
+  auto prog = parse_program(
+      "int g[4];\n"
+      "int main(void) { int x = g[1]; int *p = g; return *p + x; }",
+      &diags);
+  ASSERT_TRUE(diags.empty());
+  SemaInfo info = run_sema(prog.get(), &diags);
+  ASSERT_TRUE(diags.empty()) << diags.str();
+  int sites = 0;
+  for (uint8_t b : info.node_is_memory_site) sites += b;
+  // g[1], x (decl target is not an expr node; reads of x / *p / p count).
+  EXPECT_GE(sites, 3);
+}
+
+}  // namespace
+}  // namespace foray::minic

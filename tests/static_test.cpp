@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "foray/pipeline.h"
+#include "instrument/annotator.h"
+#include "minic/parser.h"
+#include "staticforay/static_analysis.h"
+
+namespace foray::staticforay {
+namespace {
+
+struct Analyzed {
+  std::unique_ptr<minic::Program> prog;
+  instrument::LoopSiteTable sites;
+  Analysis analysis;
+};
+
+Analyzed analyze_src(std::string_view src) {
+  util::DiagList diags;
+  Analyzed out;
+  out.prog = minic::parse_and_check(src, &diags);
+  EXPECT_NE(out.prog, nullptr) << diags.str();
+  if (out.prog) {
+    out.sites = instrument::annotate_loops(out.prog.get());
+    out.analysis = analyze(*out.prog);
+  }
+  return out;
+}
+
+TEST(Static, CanonicalForRecognized) {
+  auto a = analyze_src(
+      "int v[64];\n"
+      "int main(void) { for (int i = 0; i < 64; i++) v[i] = i; return 0; }");
+  EXPECT_TRUE(a.analysis.loop_is_canonical(0));
+  EXPECT_EQ(a.analysis.canonical_loops.size(), 1u);
+}
+
+TEST(Static, AssignmentStyleInitRecognized) {
+  auto a = analyze_src(
+      "int v[64];\n"
+      "int main(void) { int i; for (i = 0; i < 64; i++) v[i] = i; "
+      "return 0; }");
+  EXPECT_TRUE(a.analysis.loop_is_canonical(0));
+}
+
+TEST(Static, StepByConstantRecognized) {
+  auto a = analyze_src(
+      "int v[64];\n"
+      "int main(void) { for (int i = 0; i < 64; i += 4) v[i] = i; "
+      "return 0; }");
+  EXPECT_TRUE(a.analysis.loop_is_canonical(0));
+}
+
+TEST(Static, DownCountingRecognized) {
+  auto a = analyze_src(
+      "int v[64];\n"
+      "int main(void) { for (int i = 63; i > 0; i--) v[i] = i; return 0; }");
+  EXPECT_TRUE(a.analysis.loop_is_canonical(0));
+}
+
+TEST(Static, WhileLoopNotCanonical) {
+  auto a = analyze_src(
+      "int v[64];\n"
+      "int main(void) { int i = 0; while (i < 64) { v[i] = i; i++; } "
+      "return 0; }");
+  EXPECT_FALSE(a.analysis.loop_is_canonical(0));
+  EXPECT_EQ(a.analysis.total_loops, 1);
+}
+
+TEST(Static, NonConstantBoundNotCanonical) {
+  auto a = analyze_src(
+      "int v[64]; int n = 64;\n"
+      "int main(void) { for (int i = 0; i < n; i++) v[i] = i; return 0; }");
+  EXPECT_FALSE(a.analysis.loop_is_canonical(0));
+}
+
+TEST(Static, IteratorModifiedInBodyNotCanonical) {
+  auto a = analyze_src(
+      "int v[64];\n"
+      "int main(void) { for (int i = 0; i < 64; i++) { v[i] = i; "
+      "if (v[i] > 10) i += 2; } return 0; }");
+  EXPECT_FALSE(a.analysis.loop_is_canonical(0));
+}
+
+TEST(Static, AddressTakenIteratorNotCanonical) {
+  auto a = analyze_src(
+      "int v[64];\nvoid touch(int *p) { *p = *p; }\n"
+      "int main(void) { for (int i = 0; i < 64; i++) { touch(&i); "
+      "v[i] = i; } return 0; }");
+  EXPECT_FALSE(a.analysis.loop_is_canonical(0));
+}
+
+TEST(Static, AffineSubscriptsRecognized) {
+  auto a = analyze_src(
+      "int m[4096];\n"
+      "int main(void) {\n"
+      "  for (int i = 0; i < 8; i++)\n"
+      "    for (int j = 0; j < 8; j++)\n"
+      "      m[i * 64 + j + 3] = m[64 * i + 2 * j] + m[(i + j) * 4];\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(a.analysis.affine_ref_nodes.size(), 3u);
+}
+
+TEST(Static, NonAffineSubscriptRejected) {
+  auto a = analyze_src(
+      "int m[256]; int t[16];\n"
+      "int main(void) {\n"
+      "  for (int i = 0; i < 16; i++) m[t[i]] = i;     // table index\n"
+      "  for (int i = 0; i < 16; i++) m[i * i] = i;    // quadratic\n"
+      "  return 0;\n"
+      "}\n");
+  // t[i] itself is affine; m[t[i]] and m[i*i] are not.
+  EXPECT_EQ(a.analysis.affine_ref_nodes.size(), 1u);
+}
+
+TEST(Static, PointerDerefNeverAffine) {
+  auto a = analyze_src(
+      "int m[256];\n"
+      "int main(void) {\n"
+      "  int *p = m;\n"
+      "  for (int i = 0; i < 256; i++) *p++ = i;\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_TRUE(a.analysis.affine_ref_nodes.empty());
+  EXPECT_GT(a.analysis.total_ref_sites, 0);
+}
+
+TEST(Static, PointerParameterSubscriptNotAffine) {
+  auto a = analyze_src(
+      "void fill(int *dst) { for (int i = 0; i < 32; i++) dst[i] = i; }\n"
+      "int m[32];\n"
+      "int main(void) { fill(m); return 0; }");
+  // dst[i] is affine in form but dst's provenance is unknown statically.
+  EXPECT_TRUE(a.analysis.affine_ref_nodes.empty());
+}
+
+TEST(Static, IteratorOutsideCanonicalScopeNotAffine) {
+  auto a = analyze_src(
+      "int m[256];\n"
+      "int main(void) {\n"
+      "  int k = 3;\n"
+      "  for (int i = 0; i < 16; i++) m[i + k] = i;  // k is not an iterator\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_TRUE(a.analysis.affine_ref_nodes.empty());
+}
+
+TEST(Static, LocalArrayRecognized) {
+  auto a = analyze_src(
+      "int main(void) {\n"
+      "  int buf[64];\n"
+      "  for (int i = 0; i < 64; i++) buf[i] = i;\n"
+      "  return buf[5];\n"
+      "}\n");
+  EXPECT_EQ(a.analysis.affine_ref_nodes.size(), 2u);  // store + final read
+}
+
+// -- conversion stats (Table II join) ----------------------------------------
+
+TEST(Conversion, FullyStaticProgramHasZeroPctNotForay) {
+  const char* src =
+      "int v[256];\n"
+      "int main(void) {\n"
+      "  for (int i = 0; i < 256; i++) v[i] = i * 3;\n"
+      "  return v[7];\n"
+      "}\n";
+  core::PipelineOptions po;
+  po.filter.min_exec = 1;
+  po.filter.min_locations = 1;
+  auto res = core::run_pipeline(src, po);
+  ASSERT_TRUE(res.ok) << res.error;
+  Analysis an = analyze(*res.program);
+  ConversionStats cs = compute_conversion(res.model, an);
+  ASSERT_GT(cs.model_refs, 0);
+  EXPECT_EQ(cs.refs_not_foray, 0);
+  EXPECT_EQ(cs.loops_not_foray, 0);
+  EXPECT_DOUBLE_EQ(cs.ref_increase_factor(), 1.0);
+}
+
+TEST(Conversion, PointerWalkProgramIsFullyDynamic) {
+  const char* src =
+      "int v[256];\n"
+      "int main(void) {\n"
+      "  int *p = v;\n"
+      "  int n = 256;\n"
+      "  while (n-- > 0) *p++ = n;\n"
+      "  return v[7];\n"
+      "}\n";
+  core::PipelineOptions po;
+  po.filter.min_exec = 1;
+  po.filter.min_locations = 1;
+  auto res = core::run_pipeline(src, po);
+  ASSERT_TRUE(res.ok) << res.error;
+  Analysis an = analyze(*res.program);
+  ConversionStats cs = compute_conversion(res.model, an);
+  ASSERT_GT(cs.model_refs, 0);
+  EXPECT_EQ(cs.refs_not_foray, cs.model_refs);
+  EXPECT_DOUBLE_EQ(cs.pct_refs_not_foray(), 100.0);
+}
+
+TEST(Conversion, MixedProgramSplitsAndDoublesReach) {
+  // One statically-visible nest and one pointer-walk nest of the same
+  // size: FORAY-GEN doubles the analyzable references.
+  const char* src =
+      "int a[256]; int b[256];\n"
+      "int main(void) {\n"
+      "  for (int i = 0; i < 256; i++) a[i] = i;\n"
+      "  int *p = b;\n"
+      "  int n = 256;\n"
+      "  while (n-- > 0) *p++ = n;\n"
+      "  return a[3] + b[4];\n"
+      "}\n";
+  core::PipelineOptions po;
+  auto res = core::run_pipeline(src, po);
+  ASSERT_TRUE(res.ok) << res.error;
+  Analysis an = analyze(*res.program);
+  ConversionStats cs = compute_conversion(res.model, an);
+  EXPECT_EQ(cs.model_refs, 2);
+  EXPECT_EQ(cs.refs_not_foray, 1);
+  EXPECT_DOUBLE_EQ(cs.ref_increase_factor(), 2.0);
+  EXPECT_DOUBLE_EQ(cs.pct_refs_not_foray(), 50.0);
+}
+
+TEST(Conversion, RefInNonCanonicalLoopNotStatic) {
+  // Affine subscript but inside a while loop: the nest disqualifies it.
+  const char* src =
+      "int v[256];\n"
+      "int main(void) {\n"
+      "  int i = 0;\n"
+      "  while (i < 256) { v[i] = i; i++; }\n"
+      "  return v[9];\n"
+      "}\n";
+  core::PipelineOptions po;
+  auto res = core::run_pipeline(src, po);
+  ASSERT_TRUE(res.ok) << res.error;
+  Analysis an = analyze(*res.program);
+  ConversionStats cs = compute_conversion(res.model, an);
+  ASSERT_GT(cs.model_refs, 0);
+  EXPECT_EQ(cs.refs_not_foray, cs.model_refs);
+}
+
+}  // namespace
+}  // namespace foray::staticforay

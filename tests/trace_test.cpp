@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/io.h"
+#include "trace/record.h"
+#include "trace/sink.h"
+#include "util/rng.h"
+
+namespace foray::trace {
+namespace {
+
+std::vector<Record> sample_records() {
+  return {
+      Record::checkpoint(CheckpointType::LoopEnter, 12),
+      Record::checkpoint(CheckpointType::BodyBegin, 12),
+      Record::checkpoint(CheckpointType::LoopEnter, 15),
+      Record::checkpoint(CheckpointType::BodyBegin, 15),
+      Record::access(0x4002a0, 0x7fff5934, 1, true, AccessKind::Data),
+      Record::checkpoint(CheckpointType::BodyEnd, 15),
+      Record::checkpoint(CheckpointType::LoopExit, 15),
+      Record::call(3),
+      Record::access(0x400104, 0x10000010, 4, false, AccessKind::Scalar),
+      Record::access(0x400208, 0x20000000, 4, true, AccessKind::System),
+      Record::ret(3),
+      Record::checkpoint(CheckpointType::BodyEnd, 12),
+      Record::checkpoint(CheckpointType::LoopExit, 12),
+  };
+}
+
+TEST(Record, EqualityDiscriminatesPayload) {
+  Record a = Record::access(1, 2, 4, false, AccessKind::Data);
+  Record b = a;
+  EXPECT_EQ(a, b);
+  b.addr = 3;
+  EXPECT_FALSE(a == b);
+  Record c = Record::checkpoint(CheckpointType::BodyBegin, 5);
+  Record d = Record::checkpoint(CheckpointType::BodyEnd, 5);
+  EXPECT_FALSE(c == d);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(TextIo, RecordFormatsMatchPaperStyle) {
+  Record r = Record::access(0x4002a0, 0x7fff5934, 1, true, AccessKind::Data);
+  EXPECT_EQ(record_to_text(r), "Instr: 4002a0 addr: 7fff5934 wr 1 data");
+  Record c = Record::checkpoint(CheckpointType::BodyBegin, 16);
+  EXPECT_EQ(record_to_text(c), "Checkpoint: body_begin 16");
+}
+
+TEST(TextIo, RoundTrip) {
+  auto records = sample_records();
+  std::stringstream ss;
+  write_text(ss, records);
+  std::vector<Record> back;
+  util::DiagList diags;
+  ASSERT_TRUE(read_text(ss, &back, &diags)) << diags.str();
+  ASSERT_EQ(back.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(back[i], records[i]) << "record " << i;
+  }
+}
+
+TEST(TextIo, RejectsMalformedLines) {
+  std::vector<Record> out;
+  util::DiagList diags;
+  std::stringstream ss("Checkpoint: nonsense 12\n");
+  EXPECT_FALSE(read_text(ss, &out, &diags));
+  EXPECT_FALSE(diags.empty());
+}
+
+TEST(TextIo, RejectsUnknownRecord) {
+  std::vector<Record> out;
+  util::DiagList diags;
+  std::stringstream ss("Bogus: 1 2 3\n");
+  EXPECT_FALSE(read_text(ss, &out, &diags));
+}
+
+TEST(TextIo, SkipsBlankLines) {
+  std::vector<Record> out;
+  util::DiagList diags;
+  std::stringstream ss("\nCall: 1\n\nRet: 1\n");
+  ASSERT_TRUE(read_text(ss, &out, &diags));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(BinaryIo, RoundTrip) {
+  auto records = sample_records();
+  std::stringstream ss;
+  write_binary(ss, records);
+  std::vector<Record> back;
+  util::DiagList diags;
+  ASSERT_TRUE(read_binary(ss, &back, &diags)) << diags.str();
+  ASSERT_EQ(back.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(back[i], records[i]) << "record " << i;
+  }
+}
+
+TEST(BinaryIo, RandomizedRoundTripProperty) {
+  util::Rng rng(99);
+  std::vector<Record> records;
+  for (int i = 0; i < 5000; ++i) {
+    switch (rng.next_below(4)) {
+      case 0:
+        records.push_back(Record::checkpoint(
+            static_cast<CheckpointType>(rng.next_below(4)),
+            static_cast<int32_t>(rng.next_below(1000))));
+        break;
+      case 1:
+        records.push_back(Record::access(
+            static_cast<uint32_t>(rng.next()),
+            static_cast<uint32_t>(rng.next()),
+            static_cast<uint8_t>(1 + rng.next_below(4)), rng.next_bool(),
+            static_cast<AccessKind>(rng.next_below(3))));
+        break;
+      case 2:
+        records.push_back(
+            Record::call(static_cast<int32_t>(rng.next_below(100))));
+        break;
+      default:
+        records.push_back(
+            Record::ret(static_cast<int32_t>(rng.next_below(100))));
+    }
+  }
+  std::stringstream bin;
+  write_binary(bin, records);
+  std::vector<Record> back;
+  util::DiagList diags;
+  ASSERT_TRUE(read_binary(bin, &back, &diags));
+  ASSERT_EQ(back.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    ASSERT_EQ(back[i], records[i]) << "record " << i;
+  }
+  // Text round-trip on the same corpus.
+  std::stringstream txt;
+  write_text(txt, records);
+  std::vector<Record> back2;
+  ASSERT_TRUE(read_text(txt, &back2, &diags)) << diags.str();
+  ASSERT_EQ(back2.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    ASSERT_EQ(back2[i], records[i]) << "record " << i;
+  }
+}
+
+TEST(BinaryIo, RejectsBadMagic) {
+  std::stringstream ss("NOPE....");
+  std::vector<Record> out;
+  util::DiagList diags;
+  EXPECT_FALSE(read_binary(ss, &out, &diags));
+}
+
+TEST(BinaryIo, RejectsTruncatedBody) {
+  std::stringstream ss;
+  write_binary(ss, sample_records());
+  std::string data = ss.str();
+  data.resize(data.size() - 3);
+  std::stringstream cut(data);
+  std::vector<Record> out;
+  util::DiagList diags;
+  EXPECT_FALSE(read_binary(cut, &out, &diags));
+}
+
+TEST(Sinks, VectorSinkCollects) {
+  VectorSink sink;
+  for (const auto& r : sample_records()) sink.on_record(r);
+  EXPECT_EQ(sink.size(), sample_records().size());
+}
+
+TEST(Sinks, TeeSinkFansOut) {
+  VectorSink a, b;
+  TeeSink tee;
+  tee.add(&a);
+  tee.add(&b);
+  for (const auto& r : sample_records()) tee.on_record(r);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.size(), sample_records().size());
+}
+
+TEST(Sinks, CountingSinkByType) {
+  CountingSink sink;
+  for (const auto& r : sample_records()) sink.on_record(r);
+  EXPECT_EQ(sink.total(), sample_records().size());
+  EXPECT_EQ(sink.accesses(), 3u);
+  EXPECT_EQ(sink.calls(), 1u);
+  EXPECT_EQ(sink.rets(), 1u);
+  EXPECT_EQ(sink.checkpoints(), sample_records().size() - 5);
+}
+
+TEST(Sinks, NullSinkIsSilent) {
+  NullSink sink;
+  for (const auto& r : sample_records()) sink.on_record(r);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace foray::trace

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace foray::util {
+namespace {
+
+TEST(Strings, ToHexBasic) {
+  EXPECT_EQ(to_hex(0), "0");
+  EXPECT_EQ(to_hex(0x4002a0), "4002a0");
+  EXPECT_EQ(to_hex(0x7fff5934), "7fff5934");
+}
+
+TEST(Strings, ParseHexRoundTrip) {
+  for (uint64_t v : {0ull, 1ull, 0x4002a0ull, 0xffffffffull,
+                     0x123456789abcdefull}) {
+    uint64_t out = 0;
+    ASSERT_TRUE(parse_hex(to_hex(v), &out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(Strings, ParseHexRejectsGarbage) {
+  uint64_t out;
+  EXPECT_FALSE(parse_hex("", &out));
+  EXPECT_FALSE(parse_hex("xyz", &out));
+  EXPECT_FALSE(parse_hex("12g", &out));
+}
+
+TEST(Strings, ParseI64) {
+  int64_t v;
+  ASSERT_TRUE(parse_i64("-42", &v));
+  EXPECT_EQ(v, -42);
+  ASSERT_TRUE(parse_i64("0", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_FALSE(parse_i64("4x", &v));
+  EXPECT_FALSE(parse_i64("", &v));
+}
+
+TEST(Strings, SplitWs) {
+  auto t = split_ws("  a  bb\tccc \n d ");
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0], "a");
+  EXPECT_EQ(t[1], "bb");
+  EXPECT_EQ(t[2], "ccc");
+  EXPECT_EQ(t[3], "d");
+}
+
+TEST(Strings, SplitWsEmpty) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws("   \t\n").empty());
+}
+
+TEST(Strings, SplitKeepsEmptyTokens) {
+  auto t = split("a,,b,", ',');
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0], "a");
+  EXPECT_EQ(t[1], "");
+  EXPECT_EQ(t[2], "b");
+  EXPECT_EQ(t[3], "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("Checkpoint: 12", "Checkpoint:"));
+  EXPECT_FALSE(starts_with("Check", "Checkpoint:"));
+}
+
+TEST(Strings, CountLines) {
+  EXPECT_EQ(count_lines(""), 0);
+  EXPECT_EQ(count_lines("a"), 1);
+  EXPECT_EQ(count_lines("a\n"), 1);
+  EXPECT_EQ(count_lines("a\nb"), 2);
+  EXPECT_EQ(count_lines("a\nb\n"), 2);
+}
+
+TEST(Strings, Pct) {
+  EXPECT_EQ(pct(1, 2), "50.0%");
+  EXPECT_EQ(pct(0, 5), "0.0%");
+  EXPECT_EQ(pct(3, 0), "n/a");
+}
+
+TEST(Strings, HumanCount) {
+  EXPECT_EQ(human_count(123), "123");
+  EXPECT_EQ(human_count(43'000'000), "43.0M");
+  EXPECT_EQ(human_count(8'300'000), "8.30M");
+  EXPECT_EQ(human_count(55'000), "55.0K");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");
+}
+
+TEST(Strings, TablePrinterLaysOutColumns) {
+  TablePrinter tp({"name", "value"});
+  tp.add_row({"alpha", "1"});
+  tp.add_row({"b", "22222"});
+  std::string s = tp.str();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng r(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NextDoubleUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BoolExtremes) {
+  Rng r(5);
+  EXPECT_FALSE(r.next_bool(0.0));
+  EXPECT_TRUE(r.next_bool(1.0));
+}
+
+TEST(Status, DiagListFormatsLines) {
+  DiagList d;
+  d.add(3, "bad thing");
+  d.add(0, "global thing");
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_NE(d.str().find("line 3: bad thing"), std::string::npos);
+  EXPECT_NE(d.str().find("global thing"), std::string::npos);
+}
+
+TEST(Status, ForayCheckThrows) {
+  EXPECT_THROW(FORAY_CHECK(false, "boom"), InternalError);
+  EXPECT_NO_THROW(FORAY_CHECK(true, "fine"));
+}
+
+}  // namespace
+}  // namespace foray::util

@@ -1,0 +1,213 @@
+// foraygen — command-line driver for the FORAY-GEN pipeline.
+//
+// Usage:
+//   foraygen <command> <program.mc> [options]
+//
+// Commands:
+//   model      extract and print the FORAY model (paper display form)
+//   emit       print the FORAY model as a runnable MiniC program
+//   annotate   print the checkpoint-annotated source (Figure 4b view)
+//   trace      dump the profiling trace in text form
+//   stats      loop mix, conversion and memory-behavior statistics
+//   hints      inter-function (duplication) hints
+//   run        just execute the program and show its output
+//
+// Options:
+//   --nexec N   Step 4 filter: minimum executions   (default 20)
+//   --nloc N    Step 4 filter: minimum locations    (default 10)
+//   --seed S    simulated rand() seed               (default 1)
+//   --offline   materialize the trace, then analyze (default: online)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "foray/inline_advisor.h"
+#include "foray/model_diff.h"
+#include "foray/pipeline.h"
+#include "minic/parser.h"
+#include "minic/printer.h"
+#include "sim/interpreter.h"
+#include "staticforay/pointer_conversion.h"
+#include "staticforay/static_analysis.h"
+#include "trace/io.h"
+#include "trace/sink.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace foray;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: foraygen <model|emit|annotate|trace|stats|hints|run> "
+               "<program.mc> [--nexec N] [--nloc N] [--seed S] [--offline]\n");
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+int cmd_annotate(const std::string& source) {
+  util::DiagList diags;
+  auto prog = minic::parse_and_check(source, &diags);
+  if (!prog) {
+    std::fprintf(stderr, "%s", diags.str().c_str());
+    return 1;
+  }
+  instrument::annotate_loops(prog.get());
+  minic::PrintOptions opts;
+  opts.annotate_checkpoints = true;
+  std::fputs(minic::print_program(*prog, opts).c_str(), stdout);
+  return 0;
+}
+
+int cmd_trace(const std::string& source, const sim::RunOptions& ropts) {
+  util::DiagList diags;
+  auto prog = minic::parse_and_check(source, &diags);
+  if (!prog) {
+    std::fprintf(stderr, "%s", diags.str().c_str());
+    return 1;
+  }
+  instrument::annotate_loops(prog.get());
+  trace::VectorSink sink;
+  sim::RunResult run = sim::run_program(*prog, &sink, ropts);
+  if (!run.ok) {
+    std::fprintf(stderr, "simulation error: %s\n", run.error.c_str());
+    return 1;
+  }
+  for (const auto& r : sink.records()) {
+    std::printf("%s\n", trace::record_to_text(r).c_str());
+  }
+  return 0;
+}
+
+int cmd_stats(const core::PipelineResult& res,
+              const core::FilterOptions& filter) {
+  auto mix = core::compute_loop_mix(res.extractor->tree(), res.loop_sites,
+                                    res.program->source_lines);
+  std::printf("lines: %d\n", mix.lines);
+  std::printf("loops executed: %d (for %.0f%%, while %.0f%%, do %.0f%%)\n",
+              mix.total, mix.pct_for(), mix.pct_while(), mix.pct_do());
+
+  auto analysis = staticforay::analyze(*res.program);
+  auto conv = staticforay::analyze_pointer_conversion(*res.program);
+  auto cs = staticforay::compute_conversion(res.model, analysis);
+  auto cmp = staticforay::compare_baselines(res.model, analysis, conv);
+  std::printf("FORAY model: %d refs over %d loops\n", cs.model_refs,
+              cs.model_loops);
+  std::printf("not in FORAY form statically: %.0f%% of loops, %.0f%% of "
+              "refs\n",
+              cs.pct_loops_not_foray(), cs.pct_refs_not_foray());
+  std::printf("analyzable refs: %d plain static, %d with pointer "
+              "conversion, %d with FORAY-GEN (%.2fx over conversion)\n",
+              cmp.plain_static, cmp.with_conversion, cmp.foray_gen,
+              cmp.foray_gain_over_conversion());
+
+  auto behavior = core::compute_behavior(res.extractor->tree(), filter);
+  auto bucket = [](const char* name, const core::BehaviorBucket& b,
+                   const core::BehaviorBucket& t) {
+    std::printf("%-7s %6llu refs (%s)  %10llu accesses (%s)  %8llu "
+                "footprint (%s)\n",
+                name, static_cast<unsigned long long>(b.refs),
+                util::pct(static_cast<double>(b.refs),
+                          static_cast<double>(t.refs)).c_str(),
+                static_cast<unsigned long long>(b.accesses),
+                util::pct(static_cast<double>(b.accesses),
+                          static_cast<double>(t.accesses)).c_str(),
+                static_cast<unsigned long long>(b.footprint),
+                util::pct(static_cast<double>(b.footprint),
+                          static_cast<double>(t.footprint)).c_str());
+  };
+  bucket("total", behavior.total, behavior.total);
+  bucket("model", behavior.model, behavior.total);
+  bucket("system", behavior.system, behavior.total);
+  bucket("other", behavior.other, behavior.total);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+
+  core::PipelineOptions opts;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_u64 = [&](uint64_t* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::strtoull(argv[++i], nullptr, 10);
+      return true;
+    };
+    if (arg == "--nexec") {
+      if (!next_u64(&opts.filter.min_exec)) return usage();
+    } else if (arg == "--nloc") {
+      if (!next_u64(&opts.filter.min_locations)) return usage();
+    } else if (arg == "--seed") {
+      if (!next_u64(&opts.run.rng_seed)) return usage();
+    } else if (arg == "--offline") {
+      opts.offline = true;
+    } else {
+      return usage();
+    }
+  }
+
+  std::string source;
+  if (!read_file(path, &source)) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+
+  if (command == "annotate") return cmd_annotate(source);
+  if (command == "trace") return cmd_trace(source, opts.run);
+
+  auto res = core::run_pipeline(source, opts);
+  if (!res.ok) {
+    std::fprintf(stderr, "%s\n", res.error.c_str());
+    return 1;
+  }
+
+  if (command == "run") {
+    std::fputs(res.run.output.c_str(), stdout);
+    std::printf("[exit %d, %llu steps, %llu accesses]\n", res.run.exit_code,
+                static_cast<unsigned long long>(res.run.steps),
+                static_cast<unsigned long long>(res.run.accesses));
+    return 0;
+  }
+  if (command == "model") {
+    std::printf("%zu references (of %d candidates) in the FORAY model:\n\n",
+                res.model.refs.size(), res.model.build_stats.total_refs);
+    std::fputs(res.foray_paper_style.c_str(), stdout);
+    return 0;
+  }
+  if (command == "emit") {
+    std::fputs(res.foray_source.c_str(), stdout);
+    return 0;
+  }
+  if (command == "stats") return cmd_stats(res, opts.filter);
+  if (command == "hints") {
+    auto hints = core::compute_inline_hints(res.model, res.loop_sites);
+    if (hints.empty()) {
+      std::printf("no duplication hints\n");
+      return 0;
+    }
+    for (const auto& h : hints) {
+      std::printf("function '%s': %d contexts, patterns %s\n",
+                  h.func_name.c_str(), h.contexts,
+                  h.patterns_differ ? "differ" : "match");
+      for (const auto& d : h.details) std::printf("  %s\n", d.c_str());
+    }
+    return 0;
+  }
+  return usage();
+}
