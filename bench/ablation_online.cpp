@@ -23,7 +23,7 @@ int main() {
     core::PipelineOptions offline_opts;
     offline_opts.offline = true;
     auto offline = core::run_pipeline(b.source, offline_opts);
-    if (!online.ok || !offline.ok) {
+    if (!online.ok() || !offline.ok()) {
       std::fprintf(stderr, "%s failed\n", b.name.c_str());
       return 1;
     }

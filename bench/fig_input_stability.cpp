@@ -26,9 +26,9 @@ int main() {
       core::PipelineOptions opts;
       opts.run.rng_seed = static_cast<uint64_t>(1000 + 77 * s);
       auto res = core::run_pipeline(b.source, opts);
-      if (!res.ok) {
+      if (!res.ok()) {
         std::fprintf(stderr, "%s failed: %s\n", b.name.c_str(),
-                     res.error.c_str());
+                     res.error().c_str());
         return 1;
       }
       models[s] = std::move(res.model);

@@ -5,9 +5,15 @@
 // caches when software can plan placement — which requires exactly the
 // analyzable references FORAY-GEN recovers. Energy is normalized to the
 // all-DRAM baseline (100% = no on-chip memory).
+//
+// The SPM side of every row is the batch driver's capacity sweep (one
+// parallel pipeline run per benchmark, one SpmPhase per capacity — the
+// `foraygen batch --capacity-sweep` code path); the cache columns replay
+// the model's address stream through the bench-local cache simulator.
 #include <cstdio>
 
 #include "bench_util.h"
+#include "driver/batch.h"
 #include "spm/address_stream.h"
 #include "spm/cache_sim.h"
 #include "spm/dse.h"
@@ -20,40 +26,47 @@ int main() {
   std::printf("(percent of the all-DRAM baseline energy; lower is "
               "better)\n\n");
 
-  const uint32_t kSizes[] = {512, 1024, 2048, 4096, 8192, 16384};
+  driver::BatchOptions bopts;
+  bopts.threads = 4;
+  bopts.capacities = {512, 1024, 2048, 4096, 8192, 16384};
+  driver::BatchDriver batch(bopts);
+  auto jobs = driver::BatchDriver::benchsuite_jobs();
+  auto report = batch.run(jobs);
+  const size_t n_caps = bopts.capacities.size();
 
-  for (const auto& b : benchsuite::all_benchmarks()) {
-    auto a = bench::analyze_benchmark(b);
-    const auto& model = a.pipeline.model;
-    auto cands = spm::enumerate_candidates(model);
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    const driver::Session& session = *report.sessions[j];
+    if (!session.status().ok()) {  // bench binaries fail loudly
+      std::fprintf(stderr, "benchmark %s failed: %s\n", jobs[j].name.c_str(),
+                   session.status().message().c_str());
+      return 1;
+    }
+    const auto& model = session.result().model;
 
     util::TablePrinter tp({"capacity", "SPM energy", "cache 2-way",
                            "cache 4-way"});
     spm::EnergyModel energy;
-    spm::EnergyReport base = spm::evaluate_baseline(model, energy);
-    for (uint32_t size : kSizes) {
-      spm::DseOptions opts;
-      opts.spm_capacity = size;
-      auto sel = spm::select_buffers(cands, opts);
-      auto rep = spm::evaluate_selection(model, sel, opts);
+    const double base_nj =
+        report.item(j, 0, n_caps).spm.baseline.baseline_nj;
+    for (size_t c = 0; c < n_caps; ++c) {
+      const driver::BatchItem& item = report.item(j, c, n_caps);
 
       double cache_pct[2];
       int idx = 0;
       for (int assoc : {2, 4}) {
-        spm::CacheSim cache(spm::CacheConfig{size, 32, assoc});
+        spm::CacheSim cache(spm::CacheConfig{item.capacity, 32, assoc});
         spm::for_each_address(model,
                               [&](uint32_t addr) { cache.access(addr); });
-        cache_pct[idx++] =
-            100.0 * cache.energy_nj(energy) / base.baseline_nj;
+        cache_pct[idx++] = 100.0 * cache.energy_nj(energy) / base_nj;
       }
       char s[16], c2[16], c4[16];
       std::snprintf(s, sizeof s, "%.1f%%",
-                    100.0 * rep.total_nj / base.baseline_nj);
+                    100.0 * item.spm.with_spm.total_nj / base_nj);
       std::snprintf(c2, sizeof c2, "%.1f%%", cache_pct[0]);
       std::snprintf(c4, sizeof c4, "%.1f%%", cache_pct[1]);
-      tp.add_row({std::to_string(size) + "B", s, c2, c4});
+      tp.add_row({std::to_string(item.capacity) + "B", s, c2, c4});
     }
-    std::printf("-- %s --\n%s\n", b.name.c_str(), tp.str().c_str());
+    std::printf("-- %s --\n%s\n", jobs[j].name.c_str(), tp.str().c_str());
   }
   std::printf(
       "Reading: with reuse to exploit (susan/fft/lame/gsm) the planned\n"

@@ -2,14 +2,17 @@
 // reach of SPM optimization (Phase II), so the energy a downstream SPM
 // technique can save grows accordingly.
 //
-// For every benchmark, Phase II (reuse analysis + group-knapsack buffer
-// selection + energy evaluation) runs twice: once restricted to the
-// references a static analysis could already see, and once over the full
-// FORAY-GEN model. Also reports an SPM-vs-cache comparison (Banakar-style
-// argument) and the knapsack-vs-greedy DSE ablation.
+// The whole suite runs through the batch driver (parallel sessions, one
+// SpmPhase per capacity) — the same code path as `foraygen batch`. The
+// full-model savings and the knapsack-vs-greedy DSE ablation come
+// straight from the batch items; only the static-reach counterfactual
+// (restricting the model to what a static analysis could see) and the
+// cache comparison stay bench-local, because they evaluate models the
+// SpmPhase never builds.
 #include <cstdio>
 
 #include "bench_util.h"
+#include "driver/batch.h"
 #include "spm/address_stream.h"
 #include "spm/cache_sim.h"
 #include "spm/dse.h"
@@ -41,9 +44,7 @@ double best_savings_pct(const core::ForayModel& full_model,
   spm::Selection sel = spm::select_buffers(cands, opts);
   // Energy is evaluated against the FULL model traffic: references the
   // restricted analysis cannot see still hit main memory.
-  spm::EnergyReport base = spm::evaluate_baseline(full_model, opts.energy);
   spm::EnergyReport rep = spm::evaluate_selection(full_model, sel, opts);
-  (void)base;
   return rep.savings_pct();
 }
 
@@ -52,58 +53,65 @@ double best_savings_pct(const core::ForayModel& full_model,
 int main() {
   std::printf("== E10: SPM energy savings, static-only reach vs "
               "FORAY-GEN reach ==\n\n");
+
+  driver::BatchOptions bopts;
+  bopts.threads = 4;
+  bopts.capacities = {4096, 1024};  // main table, then DSE ablation
+  driver::BatchDriver batch(bopts);
+  auto jobs = driver::BatchDriver::benchsuite_jobs();
+  auto report = batch.run(jobs);
+  const size_t n_caps = bopts.capacities.size();
+
   spm::DseOptions opts;
   opts.spm_capacity = 4096;
 
   util::TablePrinter tp({"benchmark", "refs static", "refs FORAY-GEN",
                          "savings static", "savings FORAY-GEN",
                          "cache 4KB/2way"});
-  for (const auto& b : benchsuite::all_benchmarks()) {
-    auto a = bench::analyze_benchmark(b);
-    core::ForayModel static_model =
-        static_subset(a.pipeline.model, a.analysis);
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    const driver::Session& session = *report.sessions[j];
+    if (!session.status().ok()) {  // bench binaries fail loudly
+      std::fprintf(stderr, "benchmark %s failed: %s\n", jobs[j].name.c_str(),
+                   session.status().message().c_str());
+      return 1;
+    }
+    const auto& model = session.result().model;
+    const driver::BatchItem& item = report.item(j, 0, n_caps);
 
-    double s_static =
-        best_savings_pct(a.pipeline.model, static_model, opts);
-    double s_foray =
-        best_savings_pct(a.pipeline.model, a.pipeline.model, opts);
+    auto analysis = staticforay::analyze(*session.result().program);
+    core::ForayModel static_model = static_subset(model, analysis);
+    double s_static = best_savings_pct(model, static_model, opts);
+    double s_foray = item.spm.with_spm.savings_pct();
 
     // Cache comparison on the same traffic.
     spm::CacheSim cache(spm::CacheConfig{4096, 32, 2});
-    spm::for_each_address(a.pipeline.model,
-                          [&](uint32_t addr) { cache.access(addr); });
-    spm::EnergyReport base =
-        spm::evaluate_baseline(a.pipeline.model, opts.energy);
+    spm::for_each_address(model, [&](uint32_t addr) { cache.access(addr); });
+    const double base_nj = item.spm.baseline.baseline_nj;
     const double cache_savings =
-        base.baseline_nj > 0.0
-            ? 100.0 * (base.baseline_nj - cache.energy_nj(opts.energy)) /
-                  base.baseline_nj
+        base_nj > 0.0
+            ? 100.0 * (base_nj - cache.energy_nj(opts.energy)) / base_nj
             : 0.0;
 
     char s1[16], s2[16], s3[16];
     std::snprintf(s1, sizeof s1, "%.1f%%", s_static);
     std::snprintf(s2, sizeof s2, "%.1f%%", s_foray);
     std::snprintf(s3, sizeof s3, "%.1f%%", cache_savings);
-    tp.add_row({b.name, std::to_string(static_model.refs.size()),
-                std::to_string(a.pipeline.model.refs.size()), s1, s2, s3});
+    tp.add_row({jobs[j].name, std::to_string(static_model.refs.size()),
+                std::to_string(model.refs.size()), s1, s2, s3});
   }
   std::printf("%s\n", tp.str().c_str());
 
-  // DSE ablation: exact group knapsack vs greedy density heuristic.
+  // DSE ablation: exact group knapsack vs greedy density heuristic, both
+  // solved by the SpmPhase at the 1KB capacity.
   std::printf("-- DSE ablation (knapsack vs greedy), 1KB SPM --\n");
   util::TablePrinter dt({"benchmark", "knapsack nJ saved",
                          "greedy nJ saved"});
-  spm::DseOptions small = opts;
-  small.spm_capacity = 1024;
-  for (const auto& b : benchsuite::all_benchmarks()) {
-    auto a = bench::analyze_benchmark(b);
-    auto cands = spm::enumerate_candidates(a.pipeline.model);
-    auto dp = spm::select_buffers(cands, small);
-    auto greedy = spm::select_buffers_greedy(cands, small);
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    const driver::BatchItem& item = report.item(j, 1, n_caps);
     char g1[32], g2[32];
-    std::snprintf(g1, sizeof g1, "%.0f", dp.saved_nj);
-    std::snprintf(g2, sizeof g2, "%.0f", greedy.saved_nj);
-    dt.add_row({b.name, g1, g2});
+    std::snprintf(g1, sizeof g1, "%.0f", item.spm.exact.saved_nj);
+    std::snprintf(g2, sizeof g2, "%.0f", item.spm.greedy.saved_nj);
+    dt.add_row({jobs[j].name, g1, g2});
   }
   std::printf("%s", dt.str().c_str());
   return 0;

@@ -32,8 +32,8 @@ int main() {
   opts.filter.min_exec = 1;
   opts.filter.min_locations = 1;
   auto res = core::run_pipeline(kFigure9, opts);
-  if (!res.ok) {
-    std::fprintf(stderr, "pipeline error: %s\n", res.error.c_str());
+  if (!res.ok()) {
+    std::fprintf(stderr, "pipeline error: %s\n", res.error().c_str());
     return 1;
   }
 

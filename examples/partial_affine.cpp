@@ -20,8 +20,8 @@ void report(const char* title, const char* src) {
   opts.filter.min_exec = 1;
   opts.filter.min_locations = 1;
   auto res = core::run_pipeline(src, opts);
-  if (!res.ok) {
-    std::fprintf(stderr, "pipeline error: %s\n", res.error.c_str());
+  if (!res.ok()) {
+    std::fprintf(stderr, "pipeline error: %s\n", res.error().c_str());
     std::exit(1);
   }
   int full = 0, partial = 0;

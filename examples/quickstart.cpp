@@ -68,8 +68,8 @@ int main() {
   opts.filter.min_exec = 1;
   opts.filter.min_locations = 1;
   auto res = core::run_pipeline(kFigure4a, opts);
-  if (!res.ok) {
-    std::fprintf(stderr, "pipeline error: %s\n", res.error.c_str());
+  if (!res.ok()) {
+    std::fprintf(stderr, "pipeline error: %s\n", res.error().c_str());
     return 1;
   }
 
@@ -89,7 +89,7 @@ int main() {
   instrument::annotate_loops(model_prog.get());
   trace::CountingSink counter;
   sim::RunResult model_run = sim::run_program(*model_prog, &counter);
-  std::printf("model executed: ok=%d, %llu trace records\n", model_run.ok,
+  std::printf("model executed: ok=%d, %llu trace records\n", model_run.ok(),
               static_cast<unsigned long long>(counter.total()));
-  return model_run.ok && run.ok ? 0 : 1;
+  return model_run.ok() && run.ok() ? 0 : 1;
 }

@@ -26,8 +26,8 @@ int main() {
 
   // Phase I: extract the FORAY model.
   auto res = core::run_pipeline(bench.source);
-  if (!res.ok) {
-    std::fprintf(stderr, "pipeline error: %s\n", res.error.c_str());
+  if (!res.ok()) {
+    std::fprintf(stderr, "pipeline error: %s\n", res.error().c_str());
     return 1;
   }
   std::printf("Phase I: FORAY model has %zu references over %d loops\n",

@@ -1,0 +1,93 @@
+#include "driver/batch.h"
+
+#include <cstdio>
+
+#include "benchsuite/suite.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace foray::driver {
+
+BatchDriver::BatchDriver(BatchOptions opts) : opts_(std::move(opts)) {
+  opts_.pipeline.with_spm = true;
+  if (opts_.capacities.empty()) opts_.capacities.push_back(4096);
+  if (opts_.threads < 1) opts_.threads = 1;
+}
+
+BatchReport BatchDriver::run(const std::vector<BatchJob>& jobs) const {
+  const size_t n_caps = opts_.capacities.size();
+  BatchReport report;
+  report.items.resize(jobs.size() * n_caps);
+  report.sessions.resize(jobs.size());
+
+  util::ThreadPool pool(static_cast<size_t>(opts_.threads));
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    pool.submit([this, j, n_caps, &jobs, &report] {
+      SessionOptions sopts;
+      sopts.pipeline = opts_.pipeline;
+      sopts.pipeline.spm.dse.spm_capacity = opts_.capacities[0];
+      auto session = std::make_unique<Session>(jobs[j].name, jobs[j].source,
+                                               sopts);
+      session->run();
+      for (size_t c = 0; c < n_caps; ++c) {
+        BatchItem& item = report.items[j * n_caps + c];
+        item.name = jobs[j].name;
+        item.capacity = opts_.capacities[c];
+        item.status = session->status();
+        if (!session->status().ok()) continue;
+        if (c > 0) {
+          // Keep the failure-isolation promise even for internal errors
+          // during a capacity re-solve: mark this item, keep the batch.
+          try {
+            session->rerun_spm(opts_.capacities[c]);
+          } catch (const std::exception& e) {
+            item.status = util::Status::failure("internal", 0, e.what());
+            continue;
+          }
+        }
+        item.model_refs = session->result().model.refs.size();
+        item.spm = session->result().spm;
+        item.report = session->spm_report_text();
+      }
+      report.sessions[j] = std::move(session);
+    });
+  }
+  pool.wait_idle();
+  return report;
+}
+
+std::vector<BatchJob> BatchDriver::benchsuite_jobs() {
+  std::vector<BatchJob> jobs;
+  for (const auto& b : benchsuite::all_benchmarks()) {
+    jobs.push_back(BatchJob{b.name, b.source});
+  }
+  return jobs;
+}
+
+std::string BatchReport::table() const {
+  util::TablePrinter tp({"program", "SPM", "refs", "buffers", "bytes used",
+                         "saved nJ", "greedy nJ", "energy vs DRAM"});
+  for (const auto& item : items) {
+    if (!item.status.ok()) {
+      tp.add_row({item.name, std::to_string(item.capacity) + "B", "-", "-",
+                  "-", "-", "-", "FAILED"});
+      continue;
+    }
+    char saved[32], greedy[32], pct[32];
+    std::snprintf(saved, sizeof saved, "%.1f", item.spm.exact.saved_nj);
+    std::snprintf(greedy, sizeof greedy, "%.1f", item.spm.greedy.saved_nj);
+    std::snprintf(pct, sizeof pct, "%.1f%%",
+                  item.spm.baseline.baseline_nj > 0.0
+                      ? 100.0 * item.spm.with_spm.total_nj /
+                            item.spm.baseline.baseline_nj
+                      : 100.0);
+    tp.add_row({item.name, std::to_string(item.capacity) + "B",
+                std::to_string(item.model_refs),
+                std::to_string(item.spm.exact.chosen.size()),
+                std::to_string(item.spm.exact.bytes_used), saved, greedy,
+                pct});
+  }
+  return tp.str();
+}
+
+}  // namespace foray::driver

@@ -1,0 +1,82 @@
+// The batch driver: N sessions through the phase pipeline concurrently.
+//
+// Parallelism is per program (one Session per job, each run by one pool
+// worker); the SPM capacity sweep reuses each session's Phase I artifacts
+// and re-solves only the SpmPhase per capacity. Results are written into
+// pre-allocated slots indexed by (job, capacity), so the report is
+// byte-for-byte identical whatever the thread count — the determinism
+// contract driver_test locks in.
+//
+// Failure isolation: a session that fails (front-end diagnostics, a
+// simulator fault, even an internal error) yields failed items for its
+// capacities; every other session is unaffected.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/session.h"
+#include "foray/pipeline.h"
+#include "util/status.h"
+
+namespace foray::driver {
+
+/// One program to analyze.
+struct BatchJob {
+  std::string name;
+  std::string source;
+};
+
+struct BatchOptions {
+  int threads = 1;
+  /// SPM capacities (bytes) to solve the DSE for, per program.
+  std::vector<uint32_t> capacities = {4096};
+  /// Phase options shared by every session (with_spm is forced on).
+  core::PipelineOptions pipeline;
+};
+
+/// One (program, capacity) cell of the batch grid.
+struct BatchItem {
+  std::string name;
+  uint32_t capacity = 0;
+  util::Status status;
+  size_t model_refs = 0;      ///< references in the extracted model
+  core::SpmReport spm;        ///< the full Phase II result
+  std::string report;         ///< describe_spm_report() text
+};
+
+struct BatchReport {
+  /// Job-major, capacity-minor — the deterministic order.
+  std::vector<BatchItem> items;
+  /// One finished session per job, in job order (model access for
+  /// downstream consumers like the cache-comparison benches).
+  std::vector<std::unique_ptr<Session>> sessions;
+
+  const BatchItem& item(size_t job, size_t capacity_index,
+                        size_t n_capacities) const {
+    return items[job * n_capacities + capacity_index];
+  }
+
+  /// Summary table (one row per item): name, capacity, refs, buffers,
+  /// bytes used, nJ saved (exact + greedy), % of baseline.
+  std::string table() const;
+};
+
+class BatchDriver {
+ public:
+  explicit BatchDriver(BatchOptions opts = {});
+
+  /// Runs every job across every capacity. Blocking; thread-safe against
+  /// nothing (one driver, one call at a time).
+  BatchReport run(const std::vector<BatchJob>& jobs) const;
+
+  /// The six benchsuite kernels as batch jobs, in the paper's order.
+  static std::vector<BatchJob> benchsuite_jobs();
+
+ private:
+  BatchOptions opts_;
+};
+
+}  // namespace foray::driver

@@ -1,0 +1,37 @@
+#include "driver/session.h"
+
+#include <exception>
+#include <utility>
+
+namespace foray::driver {
+
+Session::Session(std::string name, std::string source, SessionOptions opts)
+    : name_(std::move(name)),
+      source_(std::move(source)),
+      opts_(std::move(opts)) {}
+
+const util::Status& Session::run() {
+  if (ran_) return result_.status;
+  ran_ = true;
+  try {
+    result_ = core::run_pipeline(source_, opts_.pipeline);
+  } catch (const std::exception& e) {
+    result_.status = util::Status::failure("internal", 0, e.what());
+  }
+  return result_.status;
+}
+
+const core::SpmReport& Session::rerun_spm(uint32_t capacity_bytes) {
+  FORAY_CHECK(ran_ && result_.ok(), "rerun_spm requires a successful run()");
+  core::SpmPhaseOptions opts = opts_.pipeline.spm;
+  opts.dse.spm_capacity = capacity_bytes;
+  core::spm_phase(opts, &result_);
+  return result_.spm;
+}
+
+std::string Session::spm_report_text() const {
+  if (!result_.spm_ran) return "";
+  return core::describe_spm_report(result_.spm, result_.model);
+}
+
+}  // namespace foray::driver

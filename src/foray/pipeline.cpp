@@ -1,56 +1,132 @@
 #include "foray/pipeline.h"
 
+#include <cstdio>
+
 #include "minic/parser.h"
 #include "trace/sink.h"
 
 namespace foray::core {
 
+util::Status frontend_phase(std::string_view source, PipelineResult* result) {
+  util::DiagList diags;
+  result->program = minic::parse_program(source, &diags);
+  if (!diags.empty()) {
+    result->status = util::Status::failure("parse", std::move(diags));
+    return result->status;
+  }
+  result->sema = minic::run_sema(result->program.get(), &diags);
+  if (!diags.empty()) {
+    result->status = util::Status::failure("sema", std::move(diags));
+    return result->status;
+  }
+  return result->status;
+}
+
+util::Status instrument_phase(PipelineResult* result) {
+  FORAY_CHECK(result->program != nullptr,
+              "instrument_phase requires frontend_phase");
+  result->loop_sites = instrument::annotate_loops(result->program.get());
+  return result->status;
+}
+
+util::Status profile_phase(const PipelineOptions& opts,
+                           PipelineResult* result) {
+  FORAY_CHECK(result->program != nullptr,
+              "profile_phase requires instrument_phase");
+  result->extractor = std::make_unique<Extractor>(opts.extractor);
+  if (opts.offline) {
+    trace::VectorSink trace_sink(opts.run.trace_reserve_hint);
+    result->run = sim::run_program(*result->program, &trace_sink, opts.run);
+    result->trace_records = trace_sink.size();
+    result->offline_trace = trace_sink.take();
+  } else {
+    result->run = sim::run_program(*result->program, result->extractor.get(),
+                                   opts.run);
+    result->trace_records = result->extractor->records_processed();
+  }
+  if (!result->run.ok()) result->status = result->run.status;
+  return result->status;
+}
+
+util::Status extract_phase(const PipelineOptions& opts,
+                           PipelineResult* result) {
+  FORAY_CHECK(result->extractor != nullptr,
+              "extract_phase requires profile_phase");
+  if (opts.offline) {
+    for (const auto& rec : result->offline_trace) {
+      result->extractor->on_record(rec);
+    }
+    result->offline_trace.clear();
+    result->offline_trace.shrink_to_fit();
+  }
+  result->model = build_model(*result->extractor, opts.filter);
+  result->foray_source = emit_minic(result->model, opts.emit);
+  result->foray_paper_style = emit_paper_style(result->model);
+  result->model_built = true;
+  return result->status;
+}
+
+util::Status spm_phase(const SpmPhaseOptions& opts, PipelineResult* result) {
+  FORAY_CHECK(result->model_built, "spm_phase requires extract_phase");
+  SpmReport report;
+  report.capacity = opts.dse.spm_capacity;
+  report.candidates = spm::enumerate_candidates(result->model, opts.reuse);
+  report.exact = spm::select_buffers(report.candidates, opts.dse);
+  report.greedy = spm::select_buffers_greedy(report.candidates, opts.dse);
+  report.baseline = spm::evaluate_baseline(result->model, opts.dse.energy);
+  report.with_spm = spm::evaluate_selection(result->model, report.exact,
+                                            opts.dse);
+  result->spm = std::move(report);
+  result->spm_ran = true;
+  return result->status;
+}
+
 PipelineResult run_pipeline(std::string_view source,
                             const PipelineOptions& opts) {
   PipelineResult result;
-
-  // Front end.
-  util::DiagList diags;
-  result.program = minic::parse_program(source, &diags);
-  if (!diags.empty()) {
-    result.error = "parse error:\n" + diags.str();
-    return result;
-  }
-  result.sema = minic::run_sema(result.program.get(), &diags);
-  if (!diags.empty()) {
-    result.error = "sema error:\n" + diags.str();
-    return result;
-  }
-
-  // Step 1 of Algorithm 1: annotate loop sites.
-  result.loop_sites = instrument::annotate_loops(result.program.get());
-
-  // Steps 2 + 3: profile with the analyzer attached (online), or via a
-  // stored trace (offline).
-  result.extractor = std::make_unique<Extractor>(opts.extractor);
-  if (opts.offline) {
-    trace::VectorSink trace_sink;
-    result.run = sim::run_program(*result.program, &trace_sink, opts.run);
-    result.trace_records = trace_sink.size();
-    for (const auto& rec : trace_sink.records()) {
-      result.extractor->on_record(rec);
-    }
-  } else {
-    result.run = sim::run_program(*result.program, result.extractor.get(),
-                                  opts.run);
-    result.trace_records = result.extractor->records_processed();
-  }
-  if (!result.run.ok) {
-    result.error = "simulation error: " + result.run.error;
-    return result;
-  }
-
-  // Step 4 + emission.
-  result.model = build_model(*result.extractor, opts.filter);
-  result.foray_source = emit_minic(result.model, opts.emit);
-  result.foray_paper_style = emit_paper_style(result.model);
-  result.ok = true;
+  if (!frontend_phase(source, &result).ok()) return result;
+  if (!instrument_phase(&result).ok()) return result;
+  if (!profile_phase(opts, &result).ok()) return result;
+  if (!extract_phase(opts, &result).ok()) return result;
+  if (opts.with_spm) spm_phase(opts.spm, &result);
   return result;
+}
+
+std::string describe_spm_report(const SpmReport& report,
+                                const ForayModel& model) {
+  char buf[160];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "SPM capacity %uB: %zu candidate buffer(s), %zu chosen\n",
+                report.capacity, report.candidates.size(),
+                report.exact.chosen.size());
+  out += buf;
+
+  auto names = assign_array_names(model);
+  for (const auto& c : report.exact.chosen) {
+    const auto& ref = model.refs[c.ref_index];
+    std::snprintf(buf, sizeof buf,
+                  "  %s (%s): %lluB buffer over innermost %d loop(s)%s\n",
+                  names[c.ref_index].c_str(),
+                  describe_reference(ref).c_str(),
+                  static_cast<unsigned long long>(c.size_bytes), c.level,
+                  c.sliding_window ? ", sliding window" : "");
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "  bytes used: %llu / %u\n",
+                static_cast<unsigned long long>(report.exact.bytes_used),
+                report.capacity);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "  predicted saving: %.1f nJ (%.1f%% of the all-DRAM "
+                "baseline)\n",
+                report.exact.saved_nj, report.with_spm.savings_pct());
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "  greedy heuristic would save %.1f nJ with %zu buffer(s)\n",
+                report.greedy.saved_nj, report.greedy.chosen.size());
+  out += buf;
+  return out;
 }
 
 }  // namespace foray::core

@@ -1,11 +1,25 @@
-// One-call FORAY-GEN pipeline (Phase I of the paper's design flow):
-// parse -> sema -> annotate -> profile on the simulator -> extract ->
-// filter -> model + emitted sources + statistics.
+// The FORAY-GEN pipeline as explicit, individually-invokable phases.
+//
+// Phase I of the paper's design flow (Algorithm 1):
+//   Frontend    parse + sema
+//   Instrument  annotate loop sites (Step 1)
+//   Profile     run the simulator with trace sinks attached (Steps 2+3)
+//   Extract     build the model, apply the Step 4 filter, emit sources
+// Phase II (the SPM design flow the model exists to feed):
+//   SpmPhase    reuse analysis -> buffer candidates -> group-knapsack /
+//               greedy selection -> energy evaluation, as an SpmReport.
+//
+// Each phase is a free function that advances a PipelineResult and records
+// its util::Status both in the return value and in `result.status`; a
+// failed phase leaves later artifacts untouched. run_pipeline() composes
+// them; callers that need finer control (the batch driver re-running only
+// the SpmPhase across capacities, the CLI's annotate/trace commands)
+// invoke phases directly.
 //
 // The default is the paper's online mode: the extractor is the trace sink
 // and no trace is materialized. Offline mode stores the full trace first
-// and replays it (used by the E9 ablation); both produce identical
-// models.
+// and replays it during Extract (used by the E9 ablation); both produce
+// identical models.
 #pragma once
 
 #include <memory>
@@ -21,8 +35,17 @@
 #include "minic/ast.h"
 #include "minic/sema.h"
 #include "sim/interpreter.h"
+#include "spm/dse.h"
+#include "spm/reuse.h"
+#include "spm/spm_sim.h"
+#include "util/status.h"
 
 namespace foray::core {
+
+struct SpmPhaseOptions {
+  spm::ReuseOptions reuse;
+  spm::DseOptions dse;  ///< capacity, DP granule, energy model
+};
 
 struct PipelineOptions {
   sim::RunOptions run;
@@ -32,26 +55,84 @@ struct PipelineOptions {
   /// false (default): online analysis during profiling, constant space.
   /// true: materialize the trace in memory, then analyze.
   bool offline = false;
+  /// Run the SpmPhase after Extract (Phase II of the design flow).
+  bool with_spm = false;
+  SpmPhaseOptions spm;
+};
+
+/// Phase II output: everything the DSE decided for one SPM capacity.
+struct SpmReport {
+  uint32_t capacity = 0;  ///< SPM bytes the selection was solved for
+  std::vector<spm::BufferCandidate> candidates;
+  spm::Selection exact;        ///< group-knapsack DP selection
+  spm::Selection greedy;       ///< density heuristic (ablation baseline)
+  spm::EnergyReport baseline;  ///< every access served by main memory
+  spm::EnergyReport with_spm;  ///< under the exact selection
 };
 
 struct PipelineResult {
-  bool ok = false;
-  std::string error;  ///< front-end diagnostics or simulator fault
+  util::Status status;  ///< front-end diagnostics or simulator fault
 
+  // Frontend.
   std::unique_ptr<minic::Program> program;
   minic::SemaInfo sema;
+  // Instrument.
   instrument::LoopSiteTable loop_sites;
+  // Profile.
   sim::RunResult run;
   std::unique_ptr<Extractor> extractor;  ///< retains the loop tree
+  /// Offline mode only: holds the materialized trace between the Profile
+  /// and Extract phases; released after the Extract replay so a finished
+  /// result does not pin millions of records.
+  std::vector<trace::Record> offline_trace;
+  /// Trace volume seen by the analyzer (records).
+  uint64_t trace_records = 0;
+  // Extract.
+  bool model_built = false;  ///< extract_phase completed
   ForayModel model;
   std::string foray_source;       ///< compilable MiniC FORAY model
   std::string foray_paper_style;  ///< Figure 2-style display form
+  // SpmPhase.
+  bool spm_ran = false;
+  SpmReport spm;
 
-  /// Trace volume seen by the analyzer (records).
-  uint64_t trace_records = 0;
+  bool ok() const { return status.ok(); }
+  std::string error() const { return status.message(); }
 };
 
+// -- the phases --------------------------------------------------------------
+
+/// Parse + sema. Populates program/sema.
+util::Status frontend_phase(std::string_view source, PipelineResult* result);
+
+/// Step 1 of Algorithm 1: annotate loop sites. Requires frontend_phase.
+util::Status instrument_phase(PipelineResult* result);
+
+/// Steps 2+3: profile on the simulator with the analyzer attached
+/// (online), or into a stored trace (offline). Requires instrument_phase.
+util::Status profile_phase(const PipelineOptions& opts,
+                           PipelineResult* result);
+
+/// Step 4 + emission: build + filter the model, emit both renderings.
+/// In offline mode this is where the stored trace is replayed. Requires
+/// profile_phase.
+util::Status extract_phase(const PipelineOptions& opts,
+                           PipelineResult* result);
+
+/// Phase II: reuse analysis, buffer selection (exact + greedy) and energy
+/// evaluation over the extracted model. Requires extract_phase. May be
+/// re-run with different options (e.g. a capacity sweep); each run
+/// replaces result->spm wholesale.
+util::Status spm_phase(const SpmPhaseOptions& opts, PipelineResult* result);
+
+/// All of Phase I (and Phase II when opts.with_spm).
 PipelineResult run_pipeline(std::string_view source,
                             const PipelineOptions& opts = {});
+
+/// Deterministic human-readable rendering of an SpmReport (chosen buffers
+/// with array names, bytes used, predicted nJ saved, greedy comparison).
+/// Shared by the CLI `spm` command, the batch driver and the benches.
+std::string describe_spm_report(const SpmReport& report,
+                                const ForayModel& model);
 
 }  // namespace foray::core

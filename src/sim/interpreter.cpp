@@ -68,14 +68,10 @@ class Interp {
       FORAY_CHECK(main_fn != nullptr, "sema guarantees main exists");
       Value ret = call_function(*main_fn, {}, /*call_node=*/-1);
       result.exit_code = static_cast<int>(ret.as_int());
-      result.ok = true;
     } catch (const ExitSignal& e) {
       result.exit_code = e.code;
-      result.ok = true;
     } catch (const RuntimeError& e) {
-      result.ok = false;
-      result.error = e.what();
-      result.error_line = cur_line_;
+      result.status = util::Status::failure("simulation", cur_line_, e.what());
     }
     result.output = std::move(output_);
     result.steps = steps_;

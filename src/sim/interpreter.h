@@ -21,11 +21,16 @@
 #include "minic/ast.h"
 #include "sim/memory.h"
 #include "trace/sink.h"
+#include "util/status.h"
 
 namespace foray::sim {
 
 struct RunOptions {
   uint64_t max_steps = 500'000'000;  ///< evaluation-step guard
+  /// Expected trace volume (records); VectorSink-style consumers use it to
+  /// reserve storage up front instead of growing through reallocation.
+  /// 0 = unknown.
+  uint64_t trace_reserve_hint = 0;
   bool emit_checkpoints = true;
   bool emit_calls = true;
   bool trace_scalars = true;  ///< record Scalar-kind accesses
@@ -38,13 +43,15 @@ struct RunOptions {
 };
 
 struct RunResult {
-  bool ok = false;
+  util::Status status;    ///< simulator fault diagnostics when not ok()
   int exit_code = 0;
   std::string output;     ///< accumulated printf/puts/putchar text
-  std::string error;      ///< populated when !ok
-  int error_line = 0;
   uint64_t steps = 0;     ///< evaluation steps executed
   uint64_t accesses = 0;  ///< memory accesses performed (traced or not)
+
+  bool ok() const { return status.ok(); }
+  std::string error() const { return status.message(); }
+  int error_line() const { return status.first_line(); }
 };
 
 /// Executes `prog` (which must have passed sema) from main(), streaming

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstddef>
+#include <initializer_list>
 #include <vector>
 
 #include "trace/record.h"
+#include "util/status.h"
 
 namespace foray::trace {
 
@@ -27,8 +29,18 @@ class NullSink final : public Sink {
 };
 
 /// Materializes the full trace in memory (the offline "trace file" mode).
+///
+/// Traces routinely run to millions of records, so callers that know the
+/// expected volume (sim::RunOptions::trace_reserve_hint, a previous run of
+/// the same program) should pass it here: a single up-front reserve avoids
+/// the growth reallocations that would otherwise copy the whole trace
+/// several times over.
 class VectorSink final : public Sink {
  public:
+  VectorSink() = default;
+  explicit VectorSink(size_t reserve_hint) { records_.reserve(reserve_hint); }
+
+  void reserve(size_t records) { records_.reserve(records); }
   void on_record(const Record& r) override { records_.push_back(r); }
   const std::vector<Record>& records() const { return records_; }
   std::vector<Record> take() { return std::move(records_); }
@@ -40,9 +52,24 @@ class VectorSink final : public Sink {
 };
 
 /// Fans records out to several sinks (e.g. trace file + online analyzer).
+///
+/// Ownership: TeeSink does NOT own its children. Every added sink must
+/// outlive the TeeSink (or at least the last on_record() call); the
+/// typical pattern is stack-allocating the children before the tee in the
+/// same scope. Null sinks are rejected at add() time so a lifetime bug
+/// cannot hide behind a silently-dropped pointer.
 class TeeSink final : public Sink {
  public:
-  void add(Sink* s) { sinks_.push_back(s); }
+  TeeSink() = default;
+  TeeSink(std::initializer_list<Sink*> sinks) {
+    for (Sink* s : sinks) add(s);
+  }
+
+  void add(Sink* s) {
+    FORAY_CHECK(s != nullptr, "TeeSink::add: null sink");
+    FORAY_CHECK(s != this, "TeeSink::add: cannot add a tee to itself");
+    sinks_.push_back(s);
+  }
   void on_record(const Record& r) override {
     for (Sink* s : sinks_) s->on_record(r);
   }

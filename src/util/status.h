@@ -49,6 +49,50 @@ class DiagList {
   std::vector<Diag> diags_;
 };
 
+/// The shared outcome type of pipeline phases and simulator runs: success,
+/// or a phase label plus the diagnostics that explain the failure. Replaces
+/// the `bool ok + std::string error` pairs that used to be duplicated across
+/// result structs, so every layer reports source lines the same way.
+class Status {
+ public:
+  Status() = default;  ///< success
+
+  static Status failure(std::string phase, DiagList diags) {
+    Status s;
+    s.phase_ = std::move(phase);
+    s.diags_ = std::move(diags);
+    if (s.diags_.empty()) s.diags_.add(0, "unknown error");
+    return s;
+  }
+  static Status failure(std::string phase, int line, std::string message) {
+    DiagList d;
+    d.add(line, std::move(message));
+    return failure(std::move(phase), std::move(d));
+  }
+
+  bool ok() const { return diags_.empty(); }
+  /// Which phase failed ("parse", "sema", "simulation", ...); empty on ok.
+  const std::string& phase() const { return phase_; }
+  const DiagList& diags() const { return diags_; }
+  /// 1-based source line of the first diagnostic; 0 when not applicable.
+  int first_line() const {
+    return diags_.empty() ? 0 : diags_.all().front().line;
+  }
+
+  /// Human-readable rendering: "" on ok, "<phase> error: line N: msg" for a
+  /// single diagnostic, multi-line for several.
+  std::string message() const {
+    if (ok()) return "";
+    std::string out = phase_.empty() ? "error" : phase_ + " error";
+    if (diags_.size() == 1) return out + ": " + diags_.all().front().str();
+    return out + ":\n" + diags_.str();
+  }
+
+ private:
+  std::string phase_;
+  DiagList diags_;
+};
+
 /// Thrown when an internal invariant is violated. Indicates a bug in this
 /// library, never a malformed user program.
 class InternalError : public std::logic_error {

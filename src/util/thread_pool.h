@@ -1,0 +1,52 @@
+// A small fixed-size worker pool for the batch driver.
+//
+// Work items are plain std::function<void()>; submission never blocks
+// (the queue is unbounded) and wait_idle() lets a producer run a batch to
+// completion without destroying the pool. Determinism is the caller's
+// job: workers race, so jobs must write to disjoint, pre-allocated slots
+// (see driver::BatchDriver, which indexes results by job id).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace foray::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 is clamped to 1. A single-threaded pool
+  /// still runs jobs on its one worker, so caller code is identical for
+  /// the sequential reference run and the parallel run.
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one job. Jobs must not throw; a throwing job aborts via
+  /// std::terminate (workers have no recovery story — catch in the job).
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished running.
+  void wait_idle();
+
+  size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< signals workers: queue non-empty/stop
+  std::condition_variable idle_cv_;   ///< signals waiters: everything drained
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  ///< popped but not yet finished
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace foray::util

@@ -35,7 +35,7 @@ class BenchmarkRun : public ::testing::TestWithParam<const char*> {};
 TEST_P(BenchmarkRun, ExecutesAndExtracts) {
   const Benchmark& b = get_benchmark(GetParam());
   auto res = run_pipeline(b.source);
-  ASSERT_TRUE(res.ok) << b.name << ": " << res.error;
+  ASSERT_TRUE(res.ok()) << b.name << ": " << res.error();
   EXPECT_EQ(res.run.exit_code, 0);
   EXPECT_NE(res.run.output.find("check"), std::string::npos)
       << "output was: " << res.run.output;
@@ -47,7 +47,7 @@ TEST_P(BenchmarkRun, DeterministicAcrossRuns) {
   const Benchmark& b = get_benchmark(GetParam());
   auto r1 = run_pipeline(b.source);
   auto r2 = run_pipeline(b.source);
-  ASSERT_TRUE(r1.ok && r2.ok);
+  ASSERT_TRUE(r1.ok() && r2.ok());
   EXPECT_EQ(r1.run.output, r2.run.output);
   EXPECT_EQ(r1.model.refs.size(), r2.model.refs.size());
   EXPECT_EQ(r1.trace_records, r2.trace_records);
@@ -62,7 +62,7 @@ INSTANTIATE_TEST_SUITE_P(All, BenchmarkRun,
 
 TEST(SuiteShape, AdpcmHasExactlyTwoLoopsOneForOneWhile) {
   auto res = run_pipeline(get_benchmark("adpcm").source);
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   auto mix = core::compute_loop_mix(res.extractor->tree(), res.loop_sites,
                                     res.program->source_lines);
   EXPECT_EQ(mix.total, 2);
@@ -74,7 +74,7 @@ TEST(SuiteShape, AdpcmFullyDynamic) {
   // Paper Table II: 100% of adpcm's FORAY-form references are NOT in
   // FORAY form in the source.
   auto res = run_pipeline(get_benchmark("adpcm").source);
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   auto analysis = staticforay::analyze(*res.program);
   auto cs = staticforay::compute_conversion(res.model, analysis);
   ASSERT_GT(cs.model_refs, 0);
@@ -85,7 +85,7 @@ TEST(SuiteShape, AdpcmFullyDynamic) {
 TEST(SuiteShape, FftFullyStatic) {
   // Paper Table II: fft is the one benchmark already in FORAY form.
   auto res = run_pipeline(get_benchmark("fft").source);
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   auto analysis = staticforay::analyze(*res.program);
   auto cs = staticforay::compute_conversion(res.model, analysis);
   ASSERT_GT(cs.model_refs, 0);
@@ -95,7 +95,7 @@ TEST(SuiteShape, FftFullyStatic) {
 
 TEST(SuiteShape, FftAllForLoops) {
   auto res = run_pipeline(get_benchmark("fft").source);
-  ASSERT_TRUE(res.ok);
+  ASSERT_TRUE(res.ok());
   auto mix = core::compute_loop_mix(res.extractor->tree(), res.loop_sites,
                                     res.program->source_lines);
   EXPECT_EQ(mix.while_loops, 0);
@@ -105,7 +105,7 @@ TEST(SuiteShape, FftAllForLoops) {
 
 TEST(SuiteShape, LameHasDoLoops) {
   auto res = run_pipeline(get_benchmark("lame").source);
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   auto mix = core::compute_loop_mix(res.extractor->tree(), res.loop_sites,
                                     res.program->source_lines);
   EXPECT_GT(mix.do_loops, 0);
@@ -114,7 +114,7 @@ TEST(SuiteShape, LameHasDoLoops) {
 
 TEST(SuiteShape, JpegLoopMixResemblesPaper) {
   auto res = run_pipeline(get_benchmark("jpeg").source);
-  ASSERT_TRUE(res.ok);
+  ASSERT_TRUE(res.ok());
   auto mix = core::compute_loop_mix(res.extractor->tree(), res.loop_sites,
                                     res.program->source_lines);
   // for-dominant with a substantial while share (paper: 65%/34%/1%).
@@ -124,7 +124,7 @@ TEST(SuiteShape, JpegLoopMixResemblesPaper) {
 
 TEST(SuiteShape, JpegConversionGainIsSubstantial) {
   auto res = run_pipeline(get_benchmark("jpeg").source);
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   auto analysis = staticforay::analyze(*res.program);
   auto cs = staticforay::compute_conversion(res.model, analysis);
   ASSERT_GT(cs.model_refs, 0);
@@ -137,7 +137,7 @@ TEST(SuiteShape, JpegConversionGainIsSubstantial) {
 TEST(SuiteShape, JpegProducesInlineHint) {
   // fdct_block runs from the luma and chroma loops.
   auto res = run_pipeline(get_benchmark("jpeg").source);
-  ASSERT_TRUE(res.ok);
+  ASSERT_TRUE(res.ok());
   auto hints = core::compute_inline_hints(res.model, res.loop_sites);
   bool found = false;
   for (const auto& h : hints) {
@@ -153,7 +153,7 @@ TEST(SuiteShape, JpegProducesInlineHint) {
 TEST(SuiteShape, LamePartialAffineAppears) {
   // The scalefactor-band loop has data-dependent bases.
   auto res = run_pipeline(get_benchmark("lame").source);
-  ASSERT_TRUE(res.ok);
+  ASSERT_TRUE(res.ok());
   int partials = 0;
   for (const auto& r : res.model.refs) {
     if (r.partial()) ++partials;
@@ -163,7 +163,7 @@ TEST(SuiteShape, LamePartialAffineAppears) {
 
 TEST(SuiteShape, SystemTrafficPresentInJpeg) {
   auto res = run_pipeline(get_benchmark("jpeg").source);
-  ASSERT_TRUE(res.ok);
+  ASSERT_TRUE(res.ok());
   auto b = core::compute_behavior(res.extractor->tree(),
                                   core::FilterOptions{});
   EXPECT_GT(b.system.accesses, 0u);
@@ -188,7 +188,7 @@ TEST(SuiteShape, AverageConversionFactorNearTwo) {
   int counted = 0;
   for (const auto& b : all_benchmarks()) {
     auto res = run_pipeline(b.source);
-    ASSERT_TRUE(res.ok) << b.name << ": " << res.error;
+    ASSERT_TRUE(res.ok()) << b.name << ": " << res.error();
     auto analysis = staticforay::analyze(*res.program);
     auto cs = staticforay::compute_conversion(res.model, analysis);
     if (cs.model_refs == 0) continue;

@@ -1,0 +1,204 @@
+// The driver layer: Session lifecycle, ThreadPool, and the BatchDriver's
+// two contracts — determinism (an N-thread run produces byte-identical
+// reports to a 1-thread run) and per-session failure isolation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "driver/batch.h"
+#include "driver/session.h"
+#include "util/thread_pool.h"
+
+namespace foray::driver {
+namespace {
+
+const char* kGood =
+    "int a[256];\n"
+    "int main(void) {\n"
+    "  for (int r = 0; r < 40; r++)\n"
+    "    for (int i = 0; i < 256; i++) a[i] = a[i] + r;\n"
+    "  return a[0] & 255;\n"
+    "}\n";
+
+const char* kGood2 =
+    "char buf[4096];\n"
+    "int main(void) {\n"
+    "  char *p = buf;\n"
+    "  int t = 0;\n"
+    "  while (t < 30) {\n"
+    "    t++;\n"
+    "    p += 64;\n"
+    "    for (int i = 0; i < 32; i++) *p++ = (i + t) % 256;\n"
+    "  }\n"
+    "  return 0;\n"
+    "}\n";
+
+const char* kParseError = "int main(void) { return 0;";       // no brace
+const char* kSimFault = "int main(void) { int z = 0; return 1 / z; }";
+
+SessionOptions spm_session_opts(uint32_t capacity = 4096) {
+  SessionOptions o;
+  o.pipeline.with_spm = true;
+  o.pipeline.spm.dse.spm_capacity = capacity;
+  o.pipeline.filter.min_exec = 1;
+  o.pipeline.filter.min_locations = 1;
+  return o;
+}
+
+// -- thread pool --------------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  util::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  util::ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+// -- session ------------------------------------------------------------------
+
+TEST(Session, RunsAllPhasesAndIsIdempotent) {
+  Session s("good", kGood, spm_session_opts());
+  ASSERT_TRUE(s.run().ok()) << s.status().message();
+  EXPECT_TRUE(s.ran());
+  EXPECT_TRUE(s.result().spm_ran);
+  const void* model_before = &s.result().model;
+  const size_t refs = s.result().model.refs.size();
+  EXPECT_GT(refs, 0u);
+  // A second run() must not redo the work.
+  ASSERT_TRUE(s.run().ok());
+  EXPECT_EQ(&s.result().model, model_before);
+  EXPECT_EQ(s.result().model.refs.size(), refs);
+}
+
+TEST(Session, SurfacesFrontendFailureAsStatus) {
+  Session s("bad", kParseError);
+  EXPECT_FALSE(s.run().ok());
+  EXPECT_EQ(s.status().phase(), "parse");
+}
+
+TEST(Session, RerunSpmSweepsCapacityWithoutReprofiling) {
+  Session s("good", kGood, spm_session_opts(4096));
+  ASSERT_TRUE(s.run().ok()) << s.status().message();
+  const uint64_t steps = s.result().run.steps;
+  const uint64_t bytes_4k = s.result().spm.exact.bytes_used;
+  ASSERT_GT(bytes_4k, 0u);
+
+  const core::SpmReport& small = s.rerun_spm(64);
+  EXPECT_EQ(small.capacity, 64u);
+  EXPECT_LE(small.exact.bytes_used, 64u);
+  // Phase I was not re-run.
+  EXPECT_EQ(s.result().run.steps, steps);
+}
+
+TEST(Session, SpmReportTextEmptyUntilSpmRan) {
+  SessionOptions no_spm;
+  Session s("good", kGood, no_spm);
+  ASSERT_TRUE(s.run().ok());
+  EXPECT_EQ(s.spm_report_text(), "");
+}
+
+// -- batch driver -------------------------------------------------------------
+
+std::vector<BatchJob> good_jobs() {
+  return {{"alpha", kGood}, {"beta", kGood2}, {"gamma", kGood}};
+}
+
+BatchOptions batch_opts(int threads) {
+  BatchOptions o;
+  o.threads = threads;
+  o.capacities = {256, 1024, 4096};
+  o.pipeline.filter.min_exec = 1;
+  o.pipeline.filter.min_locations = 1;
+  return o;
+}
+
+TEST(BatchDriver, ParallelRunByteIdenticalToSequential) {
+  auto jobs = good_jobs();
+  BatchReport seq = BatchDriver(batch_opts(1)).run(jobs);
+  BatchReport par = BatchDriver(batch_opts(4)).run(jobs);
+
+  EXPECT_EQ(seq.table(), par.table());
+  ASSERT_EQ(seq.items.size(), par.items.size());
+  ASSERT_EQ(seq.items.size(), jobs.size() * 3);
+  for (size_t i = 0; i < seq.items.size(); ++i) {
+    EXPECT_EQ(seq.items[i].name, par.items[i].name);
+    EXPECT_EQ(seq.items[i].capacity, par.items[i].capacity);
+    EXPECT_EQ(seq.items[i].report, par.items[i].report);  // byte-identical
+    EXPECT_EQ(seq.items[i].spm.exact.bytes_used,
+              par.items[i].spm.exact.bytes_used);
+    EXPECT_DOUBLE_EQ(seq.items[i].spm.exact.saved_nj,
+                     par.items[i].spm.exact.saved_nj);
+  }
+}
+
+TEST(BatchDriver, ItemsOrderedJobMajorCapacityMinor) {
+  auto report = BatchDriver(batch_opts(2)).run(good_jobs());
+  ASSERT_EQ(report.items.size(), 9u);
+  EXPECT_EQ(report.items[0].name, "alpha");
+  EXPECT_EQ(report.items[0].capacity, 256u);
+  EXPECT_EQ(report.items[2].capacity, 4096u);
+  EXPECT_EQ(report.items[3].name, "beta");
+  EXPECT_EQ(report.items[8].name, "gamma");
+  EXPECT_EQ(&report.item(1, 2, 3), &report.items[5]);
+}
+
+TEST(BatchDriver, FailingSessionIsIsolated) {
+  std::vector<BatchJob> jobs = {{"ok1", kGood},
+                                {"parse", kParseError},
+                                {"fault", kSimFault},
+                                {"ok2", kGood2}};
+  BatchOptions opts = batch_opts(4);
+  opts.capacities = {4096};
+  auto report = BatchDriver(opts).run(jobs);
+
+  ASSERT_EQ(report.items.size(), 4u);
+  EXPECT_TRUE(report.items[0].status.ok());
+  EXPECT_FALSE(report.items[1].status.ok());
+  EXPECT_EQ(report.items[1].status.phase(), "parse");
+  EXPECT_FALSE(report.items[2].status.ok());
+  EXPECT_EQ(report.items[2].status.phase(), "simulation");
+  EXPECT_TRUE(report.items[3].status.ok());
+
+  // Healthy neighbours produced full reports.
+  EXPECT_GT(report.items[0].spm.exact.saved_nj, 0.0);
+  EXPECT_GT(report.items[3].spm.exact.saved_nj, 0.0);
+  // The table renders every row, marking the failed ones.
+  std::string table = report.table();
+  EXPECT_NE(table.find("FAILED"), std::string::npos);
+  EXPECT_NE(table.find("ok2"), std::string::npos);
+}
+
+TEST(BatchDriver, BenchsuiteJobsMatchSuite) {
+  auto jobs = BatchDriver::benchsuite_jobs();
+  ASSERT_EQ(jobs.size(), 6u);
+  EXPECT_EQ(jobs.front().name, "jpeg");
+  EXPECT_EQ(jobs.back().name, "adpcm");
+  for (const auto& j : jobs) EXPECT_FALSE(j.source.empty());
+}
+
+}  // namespace
+}  // namespace foray::driver

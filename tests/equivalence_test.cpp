@@ -39,7 +39,7 @@ std::map<uint32_t, std::vector<uint32_t>> trace_addresses(
   instrument::annotate_loops(prog.get());
   trace::VectorSink sink;
   auto run = sim::run_program(*prog, &sink);
-  EXPECT_TRUE(run.ok) << run.error;
+  EXPECT_TRUE(run.ok()) << run.error();
   for (const auto& r : sink.records()) {
     if (r.type == trace::RecordType::Access &&
         r.kind == trace::AccessKind::Data) {
@@ -59,7 +59,7 @@ TEST(Equivalence, ModelStreamReproducesTraceAddressesInOrder) {
     auto gen = benchsuite::generate_affine_program(gopts);
 
     auto res = core::run_pipeline(gen.source, lenient());
-    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_TRUE(res.ok()) << res.error();
     auto recorded = trace_addresses(gen.source);
 
     int checked = 0;
@@ -86,7 +86,7 @@ TEST(Equivalence, EmittedModelStreamsSameAddressCount) {
   gopts.num_nests = 3;
   auto gen = benchsuite::generate_affine_program(gopts);
   auto res = core::run_pipeline(gen.source, lenient());
-  ASSERT_TRUE(res.ok);
+  ASSERT_TRUE(res.ok());
 
   // Execute the emitted model and compare total Data accesses with the
   // analytic stream volume.
@@ -101,7 +101,7 @@ TEST(Equivalence, BehaviorTotalsMatchExtractorCounters) {
   for (const char* name : {"gsm", "adpcm"}) {
     auto res = core::run_pipeline(
         benchsuite::get_benchmark(name).source);
-    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_TRUE(res.ok()) << res.error();
     auto b = core::compute_behavior(res.extractor->tree(),
                                     core::FilterOptions{});
     EXPECT_EQ(b.total.accesses, res.extractor->accesses_processed())
@@ -115,7 +115,7 @@ TEST(Equivalence, BehaviorTotalsMatchExtractorCounters) {
 TEST(Equivalence, ModelAccessesNeverExceedTotal) {
   for (const auto& bench : benchsuite::all_benchmarks()) {
     auto res = core::run_pipeline(bench.source);
-    ASSERT_TRUE(res.ok) << bench.name;
+    ASSERT_TRUE(res.ok()) << bench.name;
     auto b = core::compute_behavior(res.extractor->tree(),
                                     core::FilterOptions{});
     EXPECT_LE(b.model.accesses, b.total.accesses) << bench.name;
@@ -134,7 +134,7 @@ TEST(Equivalence, LoopMixCountsOnlyExecutedSites) {
       "  return 0;\n"
       "}\n";
   auto res = core::run_pipeline(src, lenient());
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   auto mix = core::compute_loop_mix(res.extractor->tree(), res.loop_sites,
                                     res.program->source_lines);
   EXPECT_EQ(mix.total, 1);        // only main's while executed

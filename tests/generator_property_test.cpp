@@ -47,7 +47,7 @@ TEST_P(GeneratedRecovery, AllNestsExactlyRecovered) {
   GeneratedProgram gen = generate_affine_program(gopts);
 
   auto res = core::run_pipeline(gen.source, lenient());
-  ASSERT_TRUE(res.ok) << res.error << "\nprogram:\n" << gen.source;
+  ASSERT_TRUE(res.ok()) << res.error() << "\nprogram:\n" << gen.source;
 
   for (size_t i = 0; i < gen.nests.size(); ++i) {
     const auto& nest = gen.nests[i];
@@ -67,7 +67,7 @@ TEST_P(GeneratedRecovery, StaticBaselinesSeeTheirSyntacticSubsets) {
   GeneratedProgram gen = generate_affine_program(gopts);
 
   auto res = core::run_pipeline(gen.source, lenient());
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   auto analysis = staticforay::analyze(*res.program);
   auto conv = staticforay::analyze_pointer_conversion(*res.program);
 
@@ -103,9 +103,9 @@ TEST_P(GeneratedRecovery, RoundTripThroughEmittedModel) {
   GeneratedProgram gen = generate_affine_program(gopts);
 
   auto res = core::run_pipeline(gen.source, lenient());
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   auto res2 = core::run_pipeline(res.foray_source, lenient());
-  ASSERT_TRUE(res2.ok) << res2.error << "\nemitted:\n" << res.foray_source;
+  ASSERT_TRUE(res2.ok()) << res2.error() << "\nemitted:\n" << res.foray_source;
 
   // Every constructed nest must survive the second extraction.
   for (const auto& nest : gen.nests) {

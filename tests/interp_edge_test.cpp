@@ -22,7 +22,7 @@ RunResult run_src(std::string_view src, RunOptions opts = {}) {
 
 int exit_of(std::string_view src) {
   RunResult r = run_src(src);
-  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.ok()) << r.error();
   return r.exit_code;
 }
 
@@ -105,8 +105,8 @@ TEST(InterpEdge, PointerComparisonInLoop) {
 TEST(InterpEdge, RecursionDepthLimitReported) {
   RunResult r = run_src("int f(int n) { return f(n + 1); } "
                         "int main(void) { return f(0); }");
-  EXPECT_FALSE(r.ok);
-  EXPECT_NE(r.error.find("depth"), std::string::npos);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("depth"), std::string::npos);
 }
 
 TEST(InterpEdge, GlobalInitializersRunInOrder) {
@@ -142,14 +142,14 @@ TEST(InterpEdge, LogicalNotOnPointer) {
 TEST(InterpEdge, PutcharSequence) {
   RunResult r = run_src(
       "int main(void) { putchar(104); putchar(105); return 0; }");
-  ASSERT_TRUE(r.ok);
+  ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.output, "hi");
 }
 
 TEST(InterpEdge, PrintfPercentEscapes) {
   RunResult r = run_src(
       "int main(void) { printf(\"100%%\\n\"); return 0; }");
-  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(r.ok()) << r.error();
   EXPECT_EQ(r.output, "100%\n");
 }
 
@@ -172,7 +172,7 @@ TEST(InterpEdge, StepLimitCountsConditionEvaluations) {
   RunOptions opts;
   opts.max_steps = 100;
   RunResult r = run_src("int main(void) { for (;;) {} return 0; }", opts);
-  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.ok());
 }
 
 TEST(InterpEdge, WhileConditionSideEffects) {

@@ -33,7 +33,7 @@ RunCapture run_src(std::string_view src, RunOptions opts = {}) {
 
 int exit_of(std::string_view src) {
   RunCapture r = run_src(src);
-  EXPECT_TRUE(r.result.ok) << r.result.error;
+  EXPECT_TRUE(r.result.ok()) << r.result.error();
   return r.result.exit_code;
 }
 
@@ -188,7 +188,7 @@ TEST(Interp, GlobalInitializerList) {
 
 TEST(Interp, StringLiteralAndPuts) {
   RunCapture r = run_src("int main(void) { puts(\"hello\"); return 0; }");
-  ASSERT_TRUE(r.result.ok) << r.result.error;
+  ASSERT_TRUE(r.result.ok()) << r.result.error();
   EXPECT_EQ(r.result.output, "hello\n");
 }
 
@@ -196,7 +196,7 @@ TEST(Interp, PrintfFormats) {
   RunCapture r = run_src(
       "int main(void) { printf(\"%d %x %c %s %.1f\\n\", 42, 255, 65, "
       "\"ok\", 1.5f); return 0; }");
-  ASSERT_TRUE(r.result.ok) << r.result.error;
+  ASSERT_TRUE(r.result.ok()) << r.result.error();
   EXPECT_EQ(r.result.output, "42 ff A ok 1.5\n");
 }
 
@@ -232,35 +232,35 @@ TEST(Interp, MathIntrinsics) {
 
 TEST(Interp, ExitIntrinsicStopsProgram) {
   RunCapture r = run_src("int main(void) { exit(3); return 9; }");
-  ASSERT_TRUE(r.result.ok);
+  ASSERT_TRUE(r.result.ok());
   EXPECT_EQ(r.result.exit_code, 3);
 }
 
 TEST(Interp, AssertFailureReported) {
   RunCapture r = run_src("int main(void) { assert(1 == 2); return 0; }");
-  EXPECT_FALSE(r.result.ok);
-  EXPECT_NE(r.result.error.find("assertion failed"), std::string::npos);
+  EXPECT_FALSE(r.result.ok());
+  EXPECT_NE(r.result.error().find("assertion failed"), std::string::npos);
 }
 
 TEST(Interp, DivisionByZeroReported) {
   RunCapture r = run_src("int main(void) { int z = 0; return 5 / z; }");
-  EXPECT_FALSE(r.result.ok);
-  EXPECT_NE(r.result.error.find("division by zero"), std::string::npos);
+  EXPECT_FALSE(r.result.ok());
+  EXPECT_NE(r.result.error().find("division by zero"), std::string::npos);
 }
 
 TEST(Interp, OutOfBoundsReported) {
   RunCapture r = run_src("int a[2];\nint main(void) { int *p = a; "
                   "return p[100000]; }");
-  EXPECT_FALSE(r.result.ok);
-  EXPECT_NE(r.result.error.find("unmapped"), std::string::npos);
+  EXPECT_FALSE(r.result.ok());
+  EXPECT_NE(r.result.error().find("unmapped"), std::string::npos);
 }
 
 TEST(Interp, StepLimitGuards) {
   RunOptions opts;
   opts.max_steps = 1000;
   RunCapture r = run_src("int main(void) { while (1) {} return 0; }", opts);
-  EXPECT_FALSE(r.result.ok);
-  EXPECT_NE(r.result.error.find("step limit"), std::string::npos);
+  EXPECT_FALSE(r.result.ok());
+  EXPECT_NE(r.result.error().find("step limit"), std::string::npos);
 }
 
 // -- trace emission ----------------------------------------------------------
@@ -272,7 +272,7 @@ TEST(InterpTrace, CheckpointNestingWellFormed) {
       "    for (int j = 0; j < 3; j++) { int x = 0; }\n"
       "  return 0;\n"
       "}\n");
-  ASSERT_TRUE(r.result.ok);
+  ASSERT_TRUE(r.result.ok());
   int depth = 0;
   int enters = 0, bodies = 0;
   for (const auto& rec : r.records) {
@@ -315,7 +315,7 @@ TEST(InterpTrace, PaperFigure4TraceShape) {
       "  }\n"
       "  return 0;\n"
       "}\n");
-  ASSERT_TRUE(r.result.ok) << r.result.error;
+  ASSERT_TRUE(r.result.ok()) << r.result.error();
   // Collect the Data-kind writes: must be 6 (2 outer x 3 inner), with
   // addresses forming two runs of 3 consecutive bytes 103 apart.
   std::vector<uint32_t> writes;
@@ -338,7 +338,7 @@ TEST(InterpTrace, CallRetRecordsBalance) {
       "int foo(int x) { return x + 1; }\n"
       "int main(void) { int s = 0; for (int i = 0; i < 3; i++) "
       "s += foo(i); return s; }");
-  ASSERT_TRUE(r.result.ok);
+  ASSERT_TRUE(r.result.ok());
   int calls = 0, rets = 0;
   for (const auto& rec : r.records) {
     if (rec.type == RecordType::Call) ++calls;
@@ -351,7 +351,7 @@ TEST(InterpTrace, CallRetRecordsBalance) {
 TEST(InterpTrace, SystemKindForIntrinsics) {
   RunCapture r = run_src("char a[64]; char b[64];\n"
                   "int main(void) { memcpy(b, a, 64); return 0; }");
-  ASSERT_TRUE(r.result.ok);
+  ASSERT_TRUE(r.result.ok());
   int system_accesses = 0;
   for (const auto& rec : r.records) {
     if (rec.type == RecordType::Access &&
@@ -364,7 +364,7 @@ TEST(InterpTrace, SystemKindForIntrinsics) {
 
 TEST(InterpTrace, ScalarKindForDirectVariables) {
   RunCapture r = run_src("int main(void) { int x = 1; x = x + 1; return x; }");
-  ASSERT_TRUE(r.result.ok);
+  ASSERT_TRUE(r.result.ok());
   bool saw_scalar = false;
   for (const auto& rec : r.records) {
     if (rec.type == RecordType::Access &&
@@ -381,7 +381,7 @@ TEST(InterpTrace, TraceFiltersByKind) {
   RunCapture r = run_src("int a[4];\nint main(void) { int x = 0; "
                   "for (int i = 0; i < 4; i++) x += a[i]; return x; }",
                   opts);
-  ASSERT_TRUE(r.result.ok);
+  ASSERT_TRUE(r.result.ok());
   for (const auto& rec : r.records) {
     if (rec.type == RecordType::Access) {
       EXPECT_NE(rec.kind, AccessKind::Scalar);
@@ -393,7 +393,7 @@ TEST(InterpTrace, BreakEmitsLoopExit) {
   RunCapture r = run_src(
       "int main(void) { for (int i = 0; i < 100; i++) { if (i == 1) "
       "break; } return 0; }");
-  ASSERT_TRUE(r.result.ok);
+  ASSERT_TRUE(r.result.ok());
   int exits = 0;
   for (const auto& rec : r.records) {
     if (rec.type == RecordType::Checkpoint &&
@@ -409,7 +409,7 @@ TEST(InterpTrace, ReturnInsideNestedLoopsUnwindsAllExits) {
       "int f(void) { for (int i = 0; i < 10; i++) "
       "for (int j = 0; j < 10; j++) if (j == 1) return 7; return 0; }\n"
       "int main(void) { return f(); }");
-  ASSERT_TRUE(r.result.ok);
+  ASSERT_TRUE(r.result.ok());
   EXPECT_EQ(r.result.exit_code, 7);
   int depth = 0;
   for (const auto& rec : r.records) {
@@ -424,7 +424,7 @@ TEST(InterpTrace, InstrAddressesStablePerSite) {
   RunCapture r = run_src("int a[8];\n"
                   "int main(void) { for (int i = 0; i < 8; i++) a[i] = i; "
                   "return 0; }");
-  ASSERT_TRUE(r.result.ok);
+  ASSERT_TRUE(r.result.ok());
   // All writes to a[i] come from the same instruction address.
   uint32_t instr = 0;
   int count = 0;
@@ -448,7 +448,7 @@ TEST(InterpTrace, DataDependentOffsetAddressing) {
       "for (int i = 0; i < 10; i++) ret += A[i + offset]; return ret; }\n"
       "int main(void) { int t = 0; for (int x = 0; x < 4; x++) "
       "t += foo(lines[x]); return t; }");
-  ASSERT_TRUE(r.result.ok) << r.result.error;
+  ASSERT_TRUE(r.result.ok()) << r.result.error();
 }
 
 TEST(Interp, OutputLimitGuards) {
@@ -457,8 +457,8 @@ TEST(Interp, OutputLimitGuards) {
   RunCapture r = run_src("int main(void) { for (int i = 0; i < 100; i++) "
                   "printf(\"xxxxxxxxxx\"); return 0; }",
                   opts);
-  EXPECT_FALSE(r.result.ok);
-  EXPECT_NE(r.result.error.find("output limit"), std::string::npos);
+  EXPECT_FALSE(r.result.ok());
+  EXPECT_NE(r.result.error().find("output limit"), std::string::npos);
 }
 
 }  // namespace

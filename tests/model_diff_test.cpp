@@ -106,7 +106,7 @@ TEST(ModelDiff, BenchmarkAffineStructureIsInputIndependent) {
     o2.run.rng_seed = 222;
     auto r1 = run_pipeline(b.source, o1);
     auto r2 = run_pipeline(b.source, o2);
-    ASSERT_TRUE(r1.ok && r2.ok) << name;
+    ASSERT_TRUE(r1.ok() && r2.ok()) << name;
     ModelDiff d = diff_models(r1.model, r2.model);
     EXPECT_EQ(d.coef_mismatch, 0) << name << ": " << d.summary();
     EXPECT_GT(d.structural_stability(), 0.9) << name << ": " << d.summary();

@@ -31,7 +31,7 @@ TEST(PaperFigures, Figure1FirstExcerptMatchesFigure2Shape) {
       "  return 0;\n"
       "}\n";
   auto res = core::run_pipeline(src, lenient());
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   const core::ModelReference* store = nullptr;
   for (const auto& r : res.model.refs) {
     if (r.has_write && r.n() == 2) store = &r;
@@ -63,7 +63,7 @@ TEST(PaperFigures, Figure1SecondExcerptMatchesFigure2Shape) {
       "  return 0;\n"
       "}\n";
   auto res = core::run_pipeline(src, lenient());
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   const core::ModelReference* store = nullptr;
   for (const auto& r : res.model.refs) {
     if (r.has_write && r.n() == 2) store = &r;
@@ -97,7 +97,7 @@ TEST(PaperFigures, Figure1NeitherExcerptIsStaticallyAnalyzable) {
       "  return 0;\n"
       "}\n";
   auto res = core::run_pipeline(src, lenient());
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   auto analysis = staticforay::analyze(*res.program);
   auto cs = staticforay::compute_conversion(res.model, analysis);
   // All data references are pointer walks / non-canonical contexts or
@@ -133,7 +133,7 @@ TEST(PaperFigures, Figure4ConstantsMatchPaperArithmetic) {
       "  return 0;\n"
       "}\n";
   auto res = core::run_pipeline(src, lenient());
-  ASSERT_TRUE(res.ok);
+  ASSERT_TRUE(res.ok());
   for (const auto& r : res.model.refs) {
     if (!r.has_write || r.n() != 2) continue;
     EXPECT_EQ(r.fn.coefs[0], 100 + 3);
@@ -154,7 +154,7 @@ TEST(PaperFigures, DownCountingLoopNormalizedIterators) {
       "  return 0;\n"
       "}\n";
   auto res = core::run_pipeline(src, lenient());
-  ASSERT_TRUE(res.ok);
+  ASSERT_TRUE(res.ok());
   const core::ModelReference* store = nullptr;
   for (const auto& r : res.model.refs) {
     if (r.has_write && r.n() == 1) store = &r;

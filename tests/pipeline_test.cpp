@@ -33,19 +33,19 @@ const char* kFigure4 =
 
 TEST(Pipeline, RejectsBadSource) {
   auto res = run_pipeline("int main(void) { return x; }");
-  EXPECT_FALSE(res.ok);
-  EXPECT_NE(res.error.find("undeclared"), std::string::npos);
+  EXPECT_FALSE(res.ok());
+  EXPECT_NE(res.error().find("undeclared"), std::string::npos);
 }
 
 TEST(Pipeline, ReportsSimulatorFaults) {
   auto res = run_pipeline("int main(void) { int z = 0; return 1 / z; }");
-  EXPECT_FALSE(res.ok);
-  EXPECT_NE(res.error.find("division by zero"), std::string::npos);
+  EXPECT_FALSE(res.ok());
+  EXPECT_NE(res.error().find("division by zero"), std::string::npos);
 }
 
 TEST(Pipeline, Figure4ModelRecovered) {
   auto res = run_pipeline(kFigure4, lenient());
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
 
   // The model must contain exactly one Data reference: the *ptr++ store,
   // with the paper's affine function base + 1*i_inner + 103*i_outer.
@@ -67,7 +67,7 @@ TEST(Pipeline, Figure4ModelRecovered) {
 
 TEST(Pipeline, Figure4PaperStyleEmission) {
   auto res = run_pipeline(kFigure4, lenient());
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   // Figure 4(d) shape: for (int i..<2) for (int i..<3) A...[base+1*i..+103*i..]
   EXPECT_NE(res.foray_paper_style.find("<2;"), std::string::npos)
       << res.foray_paper_style;
@@ -80,14 +80,14 @@ TEST(Pipeline, DefaultFilterDropsSmallReferences) {
   // With the paper's Nexec=20 / Nloc=10, Figure 4's 6-execution store is
   // filtered out.
   auto res = run_pipeline(kFigure4);
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   EXPECT_TRUE(res.model.refs.empty());
   EXPECT_GT(res.model.build_stats.total_refs, 0);
 }
 
 TEST(Pipeline, EmittedModelIsValidMinic) {
   auto res = run_pipeline(kFigure4, lenient());
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   util::DiagList diags;
   auto reparsed = minic::parse_and_check(res.foray_source, &diags);
   EXPECT_NE(reparsed, nullptr)
@@ -98,9 +98,9 @@ TEST(Pipeline, RoundTripPreservesAffineStructure) {
   // Extract a model, run the emitted model program itself through the
   // pipeline, and verify the same coefficient multiset comes back.
   auto res = run_pipeline(kFigure4, lenient());
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   auto res2 = run_pipeline(res.foray_source, lenient());
-  ASSERT_TRUE(res2.ok) << res2.error << "\nmodel source:\n"
+  ASSERT_TRUE(res2.ok()) << res2.error() << "\nmodel source:\n"
                        << res.foray_source;
 
   auto collect_shapes = [](const ForayModel& m) {
@@ -122,7 +122,7 @@ TEST(Pipeline, OnlineAndOfflineAgree) {
   offline.offline = true;
   auto a = run_pipeline(kFigure4, online);
   auto b = run_pipeline(kFigure4, offline);
-  ASSERT_TRUE(a.ok && b.ok);
+  ASSERT_TRUE(a.ok() && b.ok());
   ASSERT_EQ(a.model.refs.size(), b.model.refs.size());
   for (size_t i = 0; i < a.model.refs.size(); ++i) {
     EXPECT_EQ(a.model.refs[i].instr, b.model.refs[i].instr);
@@ -151,7 +151,7 @@ TEST(Pipeline, PartialAffineFromDataDependentOffset) {
       "  return t & 255;\n"
       "}\n";
   auto res = run_pipeline(src, lenient());
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   const ModelReference* target = nullptr;
   for (const auto& r : res.model.refs) {
     if (r.n() == 3 && !r.has_write) target = &r;
@@ -181,7 +181,7 @@ TEST(Pipeline, FullAffineThroughPointerWalk) {
       "  return img[100];\n"
       "}\n";
   auto res = run_pipeline(src);  // default (paper) filter
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   std::vector<const ModelReference*> kept;
   for (const auto& r : res.model.refs) {
     if (r.has_write) kept.push_back(&r);
@@ -210,7 +210,7 @@ TEST(Pipeline, InlineHintsForMultiContextFunction) {
       "  return tmp & 255;\n"
       "}\n";
   auto res = run_pipeline(src, lenient());
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   auto hints = compute_inline_hints(res.model, res.loop_sites);
   ASSERT_EQ(hints.size(), 1u);
   EXPECT_EQ(hints[0].func_name, "foo");
@@ -226,14 +226,14 @@ TEST(Pipeline, SingleContextFunctionYieldsNoHint) {
       "int main(void) { int t = 0; for (int x = 0; x < 5; x++) "
       "t += foo(); return t; }\n";
   auto res = run_pipeline(src, lenient());
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   auto hints = compute_inline_hints(res.model, res.loop_sites);
   EXPECT_TRUE(hints.empty());
 }
 
 TEST(Pipeline, LoopSitesAndMixReported) {
   auto res = run_pipeline(kFigure4, lenient());
-  ASSERT_TRUE(res.ok);
+  ASSERT_TRUE(res.ok());
   LoopMix mix = compute_loop_mix(res.extractor->tree(), res.loop_sites,
                                  res.program->source_lines);
   EXPECT_EQ(mix.total, 2);
@@ -252,7 +252,7 @@ TEST(Pipeline, BehaviorStatsPartitionAccesses) {
       "  return big[3];\n"
       "}\n";
   auto res = run_pipeline(src);
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   BehaviorStats b = compute_behavior(res.extractor->tree(),
                                      PipelineOptions{}.filter);
   EXPECT_EQ(b.total.accesses,
@@ -275,7 +275,7 @@ TEST(Pipeline, UnexecutedLoopsAbsentFromTree) {
       "  return 0;\n"
       "}\n";
   auto res = run_pipeline(src, lenient());
-  ASSERT_TRUE(res.ok);
+  ASSERT_TRUE(res.ok());
   auto executed = executed_loop_sites(res.extractor->tree());
   EXPECT_EQ(executed.size(), 1u);
   EXPECT_EQ(res.loop_sites.count(), 2);  // both exist statically

@@ -181,7 +181,7 @@ TEST(BaselineComparison, ThreeTierOrdering) {
       "  return a[1] + b[2] + c[3];\n"
       "}\n";
   auto res = core::run_pipeline(src);
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   auto analysis = analyze(*res.program);
   auto conv = analyze_pointer_conversion(*res.program);
   auto cmp = compare_baselines(res.model, analysis, conv);
@@ -198,7 +198,7 @@ TEST(BaselineComparison, SuiteOrderingHolds) {
   // jpeg's Figure 1 pointer walk must be rescued by conversion.
   for (const auto& b : benchsuite::all_benchmarks()) {
     auto res = core::run_pipeline(b.source);
-    ASSERT_TRUE(res.ok) << b.name << ": " << res.error;
+    ASSERT_TRUE(res.ok()) << b.name << ": " << res.error();
     auto analysis = analyze(*res.program);
     auto conv = analyze_pointer_conversion(*res.program);
     auto cmp = compare_baselines(res.model, analysis, conv);
@@ -206,7 +206,7 @@ TEST(BaselineComparison, SuiteOrderingHolds) {
     EXPECT_LE(cmp.with_conversion, cmp.foray_gen) << b.name;
   }
   auto res = core::run_pipeline(benchsuite::get_benchmark("jpeg").source);
-  ASSERT_TRUE(res.ok);
+  ASSERT_TRUE(res.ok());
   auto analysis = analyze(*res.program);
   auto conv = analyze_pointer_conversion(*res.program);
   auto cmp = compare_baselines(res.model, analysis, conv);

@@ -168,7 +168,7 @@ TEST(Conversion, FullyStaticProgramHasZeroPctNotForay) {
   po.filter.min_exec = 1;
   po.filter.min_locations = 1;
   auto res = core::run_pipeline(src, po);
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   Analysis an = analyze(*res.program);
   ConversionStats cs = compute_conversion(res.model, an);
   ASSERT_GT(cs.model_refs, 0);
@@ -190,7 +190,7 @@ TEST(Conversion, PointerWalkProgramIsFullyDynamic) {
   po.filter.min_exec = 1;
   po.filter.min_locations = 1;
   auto res = core::run_pipeline(src, po);
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   Analysis an = analyze(*res.program);
   ConversionStats cs = compute_conversion(res.model, an);
   ASSERT_GT(cs.model_refs, 0);
@@ -212,7 +212,7 @@ TEST(Conversion, MixedProgramSplitsAndDoublesReach) {
       "}\n";
   core::PipelineOptions po;
   auto res = core::run_pipeline(src, po);
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   Analysis an = analyze(*res.program);
   ConversionStats cs = compute_conversion(res.model, an);
   EXPECT_EQ(cs.model_refs, 2);
@@ -232,7 +232,7 @@ TEST(Conversion, RefInNonCanonicalLoopNotStatic) {
       "}\n";
   core::PipelineOptions po;
   auto res = core::run_pipeline(src, po);
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   Analysis an = analyze(*res.program);
   ConversionStats cs = compute_conversion(res.model, an);
   ASSERT_GT(cs.model_refs, 0);

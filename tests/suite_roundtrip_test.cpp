@@ -31,7 +31,7 @@ class SuiteRoundTrip : public ::testing::TestWithParam<const char*> {};
 TEST_P(SuiteRoundTrip, EmittedModelParsesChecksAndRuns) {
   const Benchmark& b = get_benchmark(GetParam());
   auto res = core::run_pipeline(b.source);
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   ASSERT_FALSE(res.model.refs.empty());
 
   util::DiagList diags;
@@ -43,13 +43,13 @@ TEST_P(SuiteRoundTrip, EmittedModelParsesChecksAndRuns) {
 TEST_P(SuiteRoundTrip, ReextractionPreservesAffineShapes) {
   const Benchmark& b = get_benchmark(GetParam());
   auto res = core::run_pipeline(b.source);
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
 
   core::PipelineOptions lenient;
   lenient.filter.min_exec = 1;
   lenient.filter.min_locations = 1;
   auto res2 = core::run_pipeline(res.foray_source, lenient);
-  ASSERT_TRUE(res2.ok) << b.name << ": " << res2.error;
+  ASSERT_TRUE(res2.ok()) << b.name << ": " << res2.error();
 
   // Every shape of the first model must appear in the re-extraction.
   auto first = shapes_of(res.model);
@@ -63,7 +63,7 @@ TEST_P(SuiteRoundTrip, ReextractionPreservesAffineShapes) {
 TEST_P(SuiteRoundTrip, ModelAccessVolumeMatchesEmittedProgram) {
   const Benchmark& b = get_benchmark(GetParam());
   auto res = core::run_pipeline(b.source);
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
 
   // The emitted program performs exactly one Data access per reference
   // per (emitted) iteration: its total must equal the product sum.
@@ -79,7 +79,7 @@ TEST_P(SuiteRoundTrip, ModelAccessVolumeMatchesEmittedProgram) {
   instrument::annotate_loops(prog.get());
   trace::VectorSink sink;
   auto run = sim::run_program(*prog, &sink);
-  ASSERT_TRUE(run.ok) << run.error;
+  ASSERT_TRUE(run.ok()) << run.error();
   uint64_t data = 0;
   for (const auto& r : sink.records()) {
     if (r.type == trace::RecordType::Access &&

@@ -63,8 +63,8 @@ RunOutcome run_transformed(const core::ForayModel& model,
   instrument::annotate_loops(prog.get());
   trace::VectorSink sink;
   auto run = sim::run_program(*prog, &sink);
-  EXPECT_TRUE(run.ok) << run.error;
-  out.ok = run.ok;
+  EXPECT_TRUE(run.ok()) << run.error();
+  out.ok = run.ok();
   for (const auto& r : sink.records()) {
     if (r.type == trace::RecordType::Access &&
         r.kind == trace::AccessKind::Data) {
@@ -151,7 +151,7 @@ TEST(Transform, BenchmarkEndToEnd) {
   // Full Phase I + II + transformed-code emission on a real benchmark;
   // the transformed program must execute cleanly.
   auto res = core::run_pipeline(benchsuite::get_benchmark("susan").source);
-  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_TRUE(res.ok()) << res.error();
   auto cands = enumerate_candidates(res.model);
   DseOptions opts;
   opts.spm_capacity = 4096;

@@ -2,6 +2,7 @@
 //
 // Usage:
 //   foraygen <command> <program.mc> [options]
+//   foraygen batch [options]
 //
 // Commands:
 //   model      extract and print the FORAY model (paper display form)
@@ -11,19 +12,27 @@
 //   stats      loop mix, conversion and memory-behavior statistics
 //   hints      inter-function (duplication) hints
 //   run        just execute the program and show its output
+//   spm        Phase II: reuse analysis + DSE + energy (SpmPhase report)
+//   batch      run the whole benchsuite through the pipeline in parallel
 //
 // Options:
 //   --nexec N   Step 4 filter: minimum executions   (default 20)
 //   --nloc N    Step 4 filter: minimum locations    (default 10)
 //   --seed S    simulated rand() seed               (default 1)
 //   --offline   materialize the trace, then analyze (default: online)
+//   --capacity N         spm: SPM size in bytes     (default 4096)
+//   --threads N          batch: worker threads      (default 1)
+//   --capacity-sweep a,b,c  batch: SPM sizes to sweep (default 4096)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "driver/batch.h"
+#include "driver/session.h"
 #include "foray/inline_advisor.h"
 #include "foray/model_diff.h"
 #include "foray/pipeline.h"
@@ -41,9 +50,13 @@ namespace {
 using namespace foray;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: foraygen <model|emit|annotate|trace|stats|hints|run> "
-               "<program.mc> [--nexec N] [--nloc N] [--seed S] [--offline]\n");
+  std::fprintf(
+      stderr,
+      "usage: foraygen <model|emit|annotate|trace|stats|hints|run|spm> "
+      "<program.mc> [--nexec N] [--nloc N] [--seed S] [--offline] "
+      "[--capacity N]\n"
+      "       foraygen batch [--threads N] [--capacity-sweep a,b,c] "
+      "[--nexec N] [--nloc N] [--seed S]\n");
   return 2;
 }
 
@@ -80,8 +93,8 @@ int cmd_trace(const std::string& source, const sim::RunOptions& ropts) {
   instrument::annotate_loops(prog.get());
   trace::VectorSink sink;
   sim::RunResult run = sim::run_program(*prog, &sink, ropts);
-  if (!run.ok) {
-    std::fprintf(stderr, "simulation error: %s\n", run.error.c_str());
+  if (!run.ok()) {
+    std::fprintf(stderr, "simulation error: %s\n", run.error().c_str());
     return 1;
   }
   for (const auto& r : sink.records()) {
@@ -137,18 +150,23 @@ int cmd_stats(const core::PipelineResult& res,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
+  if (argc < 2) return usage();
   const std::string command = argv[1];
-  const std::string path = argv[2];
+  const bool takes_path = command != "batch";
+  if (takes_path && argc < 3) return usage();
+  const std::string path = takes_path ? argv[2] : "";
 
   core::PipelineOptions opts;
-  for (int i = 3; i < argc; ++i) {
+  int threads = 1;
+  std::vector<uint32_t> capacities;
+  for (int i = takes_path ? 3 : 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_u64 = [&](uint64_t* out) {
       if (i + 1 >= argc) return false;
       *out = std::strtoull(argv[++i], nullptr, 10);
       return true;
     };
+    uint64_t v = 0;
     if (arg == "--nexec") {
       if (!next_u64(&opts.filter.min_exec)) return usage();
     } else if (arg == "--nloc") {
@@ -157,9 +175,40 @@ int main(int argc, char** argv) {
       if (!next_u64(&opts.run.rng_seed)) return usage();
     } else if (arg == "--offline") {
       opts.offline = true;
+    } else if (arg == "--capacity") {
+      if (!next_u64(&v)) return usage();
+      opts.spm.dse.spm_capacity = static_cast<uint32_t>(v);
+    } else if (arg == "--threads") {
+      if (!next_u64(&v)) return usage();
+      threads = static_cast<int>(v);
+    } else if (arg == "--capacity-sweep") {
+      if (i + 1 >= argc) return usage();
+      for (auto tok : util::split(argv[++i], ',')) {
+        uint64_t cap = std::strtoull(std::string(tok).c_str(), nullptr, 10);
+        if (cap == 0) return usage();
+        capacities.push_back(static_cast<uint32_t>(cap));
+      }
     } else {
       return usage();
     }
+  }
+
+  if (command == "batch") {
+    driver::BatchOptions bopts;
+    bopts.threads = threads;
+    if (!capacities.empty()) bopts.capacities = capacities;
+    bopts.pipeline = opts;
+    driver::BatchDriver batch(bopts);
+    auto report = batch.run(driver::BatchDriver::benchsuite_jobs());
+    std::fputs(report.table().c_str(), stdout);
+    for (const auto& item : report.items) {
+      if (!item.status.ok()) {
+        std::fprintf(stderr, "%s: %s\n", item.name.c_str(),
+                     item.status.message().c_str());
+        return 1;
+      }
+    }
+    return 0;
   }
 
   std::string source;
@@ -171,9 +220,23 @@ int main(int argc, char** argv) {
   if (command == "annotate") return cmd_annotate(source);
   if (command == "trace") return cmd_trace(source, opts.run);
 
+  if (command == "spm") {
+    opts.with_spm = true;
+    driver::Session session(path, source, driver::SessionOptions{opts});
+    if (!session.run().ok()) {
+      std::fprintf(stderr, "%s\n", session.status().message().c_str());
+      return 1;
+    }
+    const auto& res = session.result();
+    std::printf("model: %zu reference(s), %zu buffer candidate(s)\n",
+                res.model.refs.size(), res.spm.candidates.size());
+    std::fputs(session.spm_report_text().c_str(), stdout);
+    return 0;
+  }
+
   auto res = core::run_pipeline(source, opts);
-  if (!res.ok) {
-    std::fprintf(stderr, "%s\n", res.error.c_str());
+  if (!res.ok()) {
+    std::fprintf(stderr, "%s\n", res.error().c_str());
     return 1;
   }
 
