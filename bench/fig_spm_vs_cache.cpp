@@ -6,18 +6,15 @@
 // analyzable references FORAY-GEN recovers. Energy is normalized to the
 // all-DRAM baseline (100% = no on-chip memory).
 //
-// The SPM side of every row is the batch driver's capacity sweep (one
-// parallel pipeline run per benchmark, one SpmPhase per capacity — the
-// `foraygen batch --capacity-sweep` code path); the cache columns replay
-// the model's address stream through the bench-local cache simulator.
+// Both sides of every row come from the batch driver's capacity sweep
+// (one parallel pipeline run per benchmark, one SpmPhase per capacity —
+// the `foraygen batch --capacity-sweep` code path): the SpmPhase's
+// compare_cache mode replays the model's address stream through the LRU
+// cache simulator, the same path `foraygen spm --compare-cache` uses.
 #include <cstdio>
 
 #include "bench_util.h"
 #include "driver/batch.h"
-#include "spm/address_stream.h"
-#include "spm/cache_sim.h"
-#include "spm/dse.h"
-#include "spm/spm_sim.h"
 
 int main() {
   using namespace foray;
@@ -29,6 +26,7 @@ int main() {
   driver::BatchOptions bopts;
   bopts.threads = 4;
   bopts.capacities = {512, 1024, 2048, 4096, 8192, 16384};
+  bopts.pipeline.spm.compare_cache = true;  // assocs {2, 4} by default
   driver::BatchDriver batch(bopts);
   auto jobs = driver::BatchDriver::benchsuite_jobs();
   auto report = batch.run(jobs);
@@ -41,29 +39,24 @@ int main() {
                    session.status().message().c_str());
       return 1;
     }
-    const auto& model = session.result().model;
-
     util::TablePrinter tp({"capacity", "SPM energy", "cache 2-way",
                            "cache 4-way"});
-    spm::EnergyModel energy;
     const double base_nj =
         report.item(j, 0, n_caps).spm.baseline.baseline_nj;
     for (size_t c = 0; c < n_caps; ++c) {
       const driver::BatchItem& item = report.item(j, c, n_caps);
-
-      double cache_pct[2];
-      int idx = 0;
-      for (int assoc : {2, 4}) {
-        spm::CacheSim cache(spm::CacheConfig{item.capacity, 32, assoc});
-        spm::for_each_address(model,
-                              [&](uint32_t addr) { cache.access(addr); });
-        cache_pct[idx++] = 100.0 * cache.energy_nj(energy) / base_nj;
+      if (item.spm.caches.size() < 2) {
+        std::fprintf(stderr, "missing cache comparison for %s\n",
+                     item.name.c_str());
+        return 1;
       }
       char s[16], c2[16], c4[16];
       std::snprintf(s, sizeof s, "%.1f%%",
                     100.0 * item.spm.with_spm.total_nj / base_nj);
-      std::snprintf(c2, sizeof c2, "%.1f%%", cache_pct[0]);
-      std::snprintf(c4, sizeof c4, "%.1f%%", cache_pct[1]);
+      std::snprintf(c2, sizeof c2, "%.1f%%",
+                    100.0 * item.spm.caches[0].energy_nj / base_nj);
+      std::snprintf(c4, sizeof c4, "%.1f%%",
+                    100.0 * item.spm.caches[1].energy_nj / base_nj);
       tp.add_row({std::to_string(item.capacity) + "B", s, c2, c4});
     }
     std::printf("-- %s --\n%s\n", jobs[j].name.c_str(), tp.str().c_str());

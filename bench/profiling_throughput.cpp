@@ -1,0 +1,313 @@
+// Profiling/extraction throughput over the benchsuite — the perf
+// trajectory for the chunked zero-virtual-call trace transport and the
+// sharded extractor.
+//
+// Per benchmark it measures, in records/sec:
+//   sim       simulator filling a VectorSink (chunked emission)
+//   online    simulator + online analysis fused (Interp<Extractor>,
+//             the zero-virtual-call path)
+//   record    extraction replay, record-at-a-time through the virtual
+//             Sink interface (the pre-PR transport shape)
+//   chunked   extraction replay, bulk on_chunk() delivery
+//   shard2/4  context-sharded extraction (foray/shard.h) with its
+//             balance factor (1.0 = perfectly spreadable; the benchsuite
+//             kernels are dominated by one top-level loop, so expect
+//             poor spread on most of them — that is a property of the
+//             programs, reported, not hidden)
+//
+// Results go to BENCH_profiling.json together with the pre-PR seed
+// baselines (measured at commit 87dbf5c on the 1-core dev container
+// with this same per-program replay methodology) so future sessions can
+// track multiples against a fixed reference.
+//
+// Usage:
+//   bench_profiling_throughput [--program NAME] [--json PATH]
+//                              [--check-floor FLOOR_JSON]
+// --check-floor reads {"program": ..., "floor_mrec_s": X} and exits 1
+// if the chunked replay throughput of that program falls below X (the
+// CI perf smoke; the floor is set far enough under dev-container
+// numbers to absorb runner variance but above the seed baseline, so a
+// regression to pre-PR throughput fails).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchsuite/suite.h"
+#include "foray/pipeline.h"
+#include "foray/shard.h"
+#include "sim/interp_impl.h"
+#include "trace/sink.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace foray;
+using Clock = std::chrono::steady_clock;
+
+// Pre-PR reference points (seed commit 87dbf5c, 1-core dev container,
+// aggregate over the six benchsuite programs, same methodology).
+constexpr double kSeedSimMrecS = 15.4;
+constexpr double kSeedExtractMrecS = 41.1;
+constexpr double kSeedOnlineMrecS = 15.6;
+
+struct ModeResult {
+  double mrec_s = 0.0;
+  double balance = 0.0;  ///< shard modes only
+};
+
+struct ProgramResult {
+  std::string name;
+  uint64_t records = 0;
+  double sim = 0, online = 0, record = 0, chunked = 0;
+  ModeResult shard2, shard4;
+};
+
+double mrec_s(uint64_t records, double seconds) {
+  return seconds > 0 ? static_cast<double>(records) / seconds / 1e6 : 0.0;
+}
+
+template <class Fn>
+double timed(Fn&& fn) {
+  auto t0 = Clock::now();
+  fn();
+  auto t1 = Clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+ProgramResult run_one(const benchsuite::Benchmark& b) {
+  ProgramResult out;
+  out.name = b.name;
+
+  core::PipelineResult res;
+  core::PipelineOptions opts;
+  if (!core::frontend_phase(b.source, &res).ok() ||
+      !core::instrument_phase(&res).ok()) {
+    std::fprintf(stderr, "%s: frontend failed: %s\n", b.name.c_str(),
+                 res.error().c_str());
+    std::exit(1);
+  }
+
+  trace::VectorSink sink;
+  const double t_sim = timed([&] {
+    auto run = sim::run_program_with(*res.program, &sink, opts.run);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s: simulation failed: %s\n", b.name.c_str(),
+                   run.error().c_str());
+      std::exit(1);
+    }
+  });
+  const auto& recs = sink.records();
+  out.records = recs.size();
+  out.sim = mrec_s(out.records, t_sim);
+
+  out.online = mrec_s(out.records, timed([&] {
+    core::Extractor ex;
+    sim::run_program_with(*res.program, &ex, opts.run);
+  }));
+
+  out.record = mrec_s(out.records, timed([&] {
+    core::Extractor ex;
+    trace::Sink* s = &ex;  // force the virtual record-at-a-time path
+    for (const auto& r : recs) s->on_record(r);
+  }));
+
+  out.chunked = mrec_s(out.records, timed([&] {
+    core::Extractor ex;
+    ex.on_chunk(recs.data(), recs.size());
+  }));
+
+  for (int k : {2, 4}) {
+    core::ShardReport rep;
+    double t = timed([&] {
+      auto ex = core::extract_sharded({recs.data(), recs.size()},
+                                      core::ExtractorOptions{}, k, &rep);
+      (void)ex;
+    });
+    ModeResult& slot = (k == 2) ? out.shard2 : out.shard4;
+    slot.mrec_s = mrec_s(out.records, t);
+    slot.balance = rep.balance;
+  }
+  return out;
+}
+
+void write_json(const std::string& path,
+                const std::vector<ProgramResult>& rows, bool full_suite) {
+  util::JsonWriter w;
+  uint64_t total = 0;
+  double ts = 0, to = 0, tr = 0, tc = 0, t2 = 0, t4 = 0;
+  auto add = [](double* acc, uint64_t records, double mrec) {
+    if (mrec > 0) *acc += records / 1e6 / mrec;
+  };
+  for (const auto& r : rows) {
+    total += r.records;
+    add(&ts, r.records, r.sim);
+    add(&to, r.records, r.online);
+    add(&tr, r.records, r.record);
+    add(&tc, r.records, r.chunked);
+    add(&t2, r.records, r.shard2.mrec_s);
+    add(&t4, r.records, r.shard4.mrec_s);
+  }
+  const double agg_chunked = tc > 0 ? total / 1e6 / tc : 0.0;
+  w.begin_object();
+  w.key("bench").value("profiling_throughput");
+  w.key("unit").value("Mrec/s");
+  w.key("hardware_threads")
+      .value(static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  w.key("programs").begin_array();
+  for (const auto& r : rows) {
+    w.begin_object();
+    w.key("program").value(r.name);
+    w.key("records").value(r.records);
+    w.key("sim").value(r.sim);
+    w.key("online").value(r.online);
+    w.key("record_at_a_time").value(r.record);
+    w.key("chunked").value(r.chunked);
+    w.key("shard2").value(r.shard2.mrec_s);
+    w.key("shard2_balance").value(r.shard2.balance);
+    w.key("shard4").value(r.shard4.mrec_s);
+    w.key("shard4_balance").value(r.shard4.balance);
+    w.end_object();
+  }
+  w.end_array();
+  // The seed baselines are whole-suite aggregates; a --program subset
+  // run has no comparable denominator, so those sections are omitted.
+  if (full_suite) {
+    w.key("aggregate").begin_object();
+    w.key("records").value(total);
+    w.key("sim").value(ts > 0 ? total / 1e6 / ts : 0.0);
+    w.key("online").value(to > 0 ? total / 1e6 / to : 0.0);
+    w.key("record_at_a_time").value(tr > 0 ? total / 1e6 / tr : 0.0);
+    w.key("chunked").value(agg_chunked);
+    w.key("shard2").value(t2 > 0 ? total / 1e6 / t2 : 0.0);
+    w.key("shard4").value(t4 > 0 ? total / 1e6 / t4 : 0.0);
+    w.end_object();
+    w.key("seed_baseline").begin_object();
+    w.key("commit").value("87dbf5c");
+    w.key("machine").value("1-core dev container");
+    w.key("sim").value(kSeedSimMrecS);
+    w.key("extract_record_at_a_time").value(kSeedExtractMrecS);
+    w.key("online").value(kSeedOnlineMrecS);
+    w.end_object();
+    w.key("multiples_vs_seed").begin_object();
+    w.key("sim").value(ts > 0 ? total / 1e6 / ts / kSeedSimMrecS : 0.0);
+    w.key("online").value(to > 0 ? total / 1e6 / to / kSeedOnlineMrecS : 0.0);
+    w.key("extract_chunked").value(agg_chunked / kSeedExtractMrecS);
+    w.end_object();
+  } else {
+    w.key("subset").value(true);
+  }
+  w.end_object();
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << w.str() << "\n";
+}
+
+/// Tiny extractor for the two flat fields of the floor file; not a JSON
+/// parser, just enough for {"program": "...", "floor_mrec_s": N}.
+bool read_floor(const std::string& path, std::string* program,
+                double* floor) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  auto find_value = [&](const char* key) -> std::string {
+    auto pos = text.find(key);
+    if (pos == std::string::npos) return "";
+    pos = text.find(':', pos);
+    if (pos == std::string::npos) return "";
+    ++pos;
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '"')) ++pos;
+    std::string out;
+    while (pos < text.size() && text[pos] != '"' && text[pos] != ',' &&
+           text[pos] != '}' && text[pos] != '\n') {
+      out += text[pos++];
+    }
+    return out;
+  };
+  *program = find_value("\"program\"");
+  const std::string f = find_value("\"floor_mrec_s\"");
+  if (program->empty() || f.empty()) return false;
+  *floor = std::strtod(f.c_str(), nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string only, json_path = "BENCH_profiling.json", floor_path;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--program") && i + 1 < argc) {
+      only = argv[++i];
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--check-floor") && i + 1 < argc) {
+      floor_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--program NAME] [--json PATH] "
+                   "[--check-floor FLOOR_JSON]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<ProgramResult> rows;
+  std::printf("== profiling throughput (Mrec/s) ==\n");
+  std::printf("%-8s %10s %6s %7s %7s %8s %14s %14s\n", "program", "records",
+              "sim", "online", "record", "chunked", "shard2(bal)",
+              "shard4(bal)");
+  for (const auto& b : benchsuite::all_benchmarks()) {
+    if (!only.empty() && b.name != only) continue;
+    ProgramResult r = run_one(b);
+    std::printf("%-8s %10llu %6.1f %7.1f %7.1f %8.1f %8.1f (%.2f) %8.1f "
+                "(%.2f)\n",
+                r.name.c_str(), static_cast<unsigned long long>(r.records),
+                r.sim, r.online, r.record, r.chunked, r.shard2.mrec_s,
+                r.shard2.balance, r.shard4.mrec_s, r.shard4.balance);
+    rows.push_back(std::move(r));
+  }
+  if (rows.empty()) {
+    std::fprintf(stderr, "no benchmark named '%s'\n", only.c_str());
+    return 1;
+  }
+  write_json(json_path, rows, only.empty());
+  std::printf("wrote %s\n", json_path.c_str());
+  std::printf("(seed baseline, commit 87dbf5c: sim %.1f, extract %.1f, "
+              "online %.1f Mrec/s)\n",
+              kSeedSimMrecS, kSeedExtractMrecS, kSeedOnlineMrecS);
+
+  if (!floor_path.empty()) {
+    std::string program;
+    double floor = 0;
+    if (!read_floor(floor_path, &program, &floor)) {
+      std::fprintf(stderr, "cannot parse floor file %s\n",
+                   floor_path.c_str());
+      return 1;
+    }
+    for (const auto& r : rows) {
+      if (r.name != program) continue;
+      if (r.chunked < floor) {
+        std::fprintf(stderr,
+                     "PERF REGRESSION: %s chunked %.1f Mrec/s below floor "
+                     "%.1f\n",
+                     program.c_str(), r.chunked, floor);
+        return 1;
+      }
+      std::printf("floor check OK: %s chunked %.1f >= %.1f Mrec/s\n",
+                  program.c_str(), r.chunked, floor);
+      return 0;
+    }
+    std::fprintf(stderr, "floor program '%s' was not measured\n",
+                 program.c_str());
+    return 1;
+  }
+  return 0;
+}

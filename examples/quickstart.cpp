@@ -54,8 +54,8 @@ int main() {
               sink.size());
   int shown = 0;
   for (const auto& r : sink.records()) {
-    if (r.type == trace::RecordType::Access &&
-        r.kind != trace::AccessKind::Data) {
+    if (r.type() == trace::RecordType::Access &&
+        r.kind() != trace::AccessKind::Data) {
       continue;  // keep the excerpt readable, as the paper's figure does
     }
     std::printf("%s\n", trace::record_to_text(r).c_str());

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "benchsuite/suite.h"
+#include "util/json.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
@@ -62,6 +63,65 @@ std::vector<BatchJob> BatchDriver::benchsuite_jobs() {
     jobs.push_back(BatchJob{b.name, b.source});
   }
   return jobs;
+}
+
+std::string BatchReport::to_json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("items").begin_array();
+  for (const auto& item : items) {
+    w.begin_object();
+    w.key("program").value(item.name);
+    w.key("capacity_bytes").value(item.capacity);
+    w.key("ok").value(item.status.ok());
+    if (!item.status.ok()) {
+      w.key("error").value(item.status.message());
+      w.end_object();
+      continue;
+    }
+    w.key("model_refs").value(static_cast<uint64_t>(item.model_refs));
+    w.key("candidates").value(static_cast<uint64_t>(item.spm.candidates.size()));
+    w.key("buffers_chosen").value(static_cast<uint64_t>(item.spm.exact.chosen.size()));
+    w.key("bytes_used").value(item.spm.exact.bytes_used);
+    w.key("saved_nj").value(item.spm.exact.saved_nj);
+    w.key("greedy_saved_nj").value(item.spm.greedy.saved_nj);
+    w.key("baseline_nj").value(item.spm.baseline.baseline_nj);
+    w.key("with_spm_nj").value(item.spm.with_spm.total_nj);
+    if (!item.spm.caches.empty()) {
+      w.key("caches").begin_array();
+      for (const auto& c : item.spm.caches) {
+        w.begin_object();
+        w.key("assoc").value(c.assoc);
+        w.key("hits").value(c.hits);
+        w.key("misses").value(c.misses);
+        w.key("energy_nj").value(c.energy_nj);
+        w.end_object();
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("sessions").begin_array();
+  for (const auto& session : sessions) {
+    if (session == nullptr) continue;
+    w.begin_object();
+    w.key("program").value(session->name());
+    w.key("ok").value(session->status().ok());
+    if (session->status().ok()) {
+      const auto& res = session->result();
+      w.key("steps").value(res.run.steps);
+      w.key("accesses").value(res.run.accesses);
+      w.key("trace_records").value(res.trace_records);
+      w.key("analyzer_state_bytes")
+          .value(static_cast<uint64_t>(
+              res.extractor != nullptr ? res.extractor->state_bytes() : 0));
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
 }
 
 std::string BatchReport::table() const {

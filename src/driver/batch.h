@@ -62,6 +62,12 @@ struct BatchReport {
   /// Summary table (one row per item): name, capacity, refs, buffers,
   /// bytes used, nJ saved (exact + greedy), % of baseline.
   std::string table() const;
+
+  /// Machine-readable form of the whole grid (`foraygen batch --json`,
+  /// bench figures, external tooling): one item object per (program,
+  /// capacity) cell with the selection, energy and cache-comparison
+  /// numbers, plus per-program profile statistics.
+  std::string to_json() const;
 };
 
 class BatchDriver {

@@ -15,6 +15,11 @@
 namespace foray::driver {
 
 struct SessionOptions {
+  /// Full phase configuration, including pipeline.profile_shards: set it
+  /// above 1 to shard this session's extraction across a thread pool
+  /// (bit-identical output; see foray/shard.h). Batch users note the
+  /// two levels compose — BatchDriver threads run whole sessions,
+  /// profile_shards parallelizes inside one.
   core::PipelineOptions pipeline;
 };
 

@@ -5,15 +5,38 @@
 namespace foray::core {
 
 int64_t AffineState::predict(std::span<const int64_t> iters) const {
+  const int64_t* c = coef();
   int64_t indc = const_term;
   for (int i = 0; i < n; ++i) {
-    if (coef_known(i)) indc += iters[i] * coef[i];
+    if (c[i] != kUnknown) indc += iters[i] * c[i];
   }
   return indc;
 }
 
-void observe_access(AffineState& st, std::span<const int64_t> iters,
-                    int64_t ind) {
+/// Step 6: re-fit CONST, record the innocent iterators, shrink M; then
+/// Step 7. Shared by the inline fast path and the general path.
+void observe_access_mispredicted(AffineState& st,
+                                 std::span<const int64_t> iters, int64_t ind,
+                                 int64_t indc) {
+  ++st.mispredictions;
+  const int64_t* itp = st.itp();
+  uint8_t* s = st.sticky();
+  for (int i = 0; i < st.n; ++i) {
+    if (iters[i] == itp[i]) s[i] = 1;
+  }
+  st.const_term += ind - indc;
+  // M = (outermost iterator that changed at every misprediction) - 1.
+  st.m = 0;
+  for (int i = 0; i < st.n; ++i) {
+    if (s[i] == 0) st.m = i;  // i is 0-based: M = i_1based - 1
+  }
+  int64_t* it = st.itp();
+  for (int i = 0; i < st.n; ++i) it[i] = iters[i];
+  st.indp = ind;
+}
+
+void observe_access_general(AffineState& st, std::span<const int64_t> iters,
+                            int64_t ind) {
   const int n = static_cast<int>(iters.size());
 
   // Step 1: first sight of this reference — record the base address and
@@ -22,30 +45,50 @@ void observe_access(AffineState& st, std::span<const int64_t> iters,
     st.initialized = true;
     st.n = n;
     st.m = n;
+    st.unknown_left = n;
     st.const_term = ind;
-    st.coef.assign(n, AffineState::kUnknown);
-    st.sticky_s.assign(n, 0);
-    st.itp.assign(iters.begin(), iters.end());
+    if (n > AffineState::kInlineNest) {
+      st.spill_.assign(static_cast<size_t>(n) * 2, 0);
+      st.spill_sticky_.assign(static_cast<size_t>(n), 0);
+    }
+    int64_t* c = st.coef();
+    int64_t* itp = st.itp();
+    uint8_t* s = st.sticky();
+    for (int i = 0; i < n; ++i) {
+      c[i] = AffineState::kUnknown;
+      itp[i] = iters[i];
+      s[i] = 0;
+    }
     st.indp = ind;
     st.observations = 1;
     return;
   }
   FORAY_CHECK(n == st.n, "reference observed at two different nest depths");
   ++st.observations;
+
   if (!st.analyzable) {
-    // Excluded in a previous Step 4; keep ITP/INDP fresh for counters.
-    st.itp.assign(iters.begin(), iters.end());
+    // Excluded in a previous Step 4 (the inline path catches this too).
     st.indp = ind;
     return;
   }
 
+  int64_t* c = st.coef();
+  int64_t* itp = st.itp();
+
   // Step 2: H = iterators with UNKNOWN coefficient that changed value.
+  // The same pass accumulates the known-coefficient part of Step 5's
+  // prediction, so the solving-phase path touches C/ITP once.
   int h = 0;
   int k = -1;
+  int64_t indc = st.const_term;
   for (int i = 0; i < n; ++i) {
-    if (!st.coef_known(i) && iters[i] != st.itp[i]) {
-      ++h;
-      k = i;
+    if (c[i] == AffineState::kUnknown) {
+      if (iters[i] != itp[i]) {
+        ++h;
+        k = i;
+      }
+    } else {
+      indc += c[i] * iters[i];
     }
   }
 
@@ -54,14 +97,16 @@ void observe_access(AffineState& st, std::span<const int64_t> iters,
     //   IND - INDP = Ck*(ITk - ITPk) + sum_known Ci*(ITi - ITPi)
     int64_t adj = 0;
     for (int i = 0; i < n; ++i) {
-      if (i != k && st.coef_known(i) && iters[i] != st.itp[i]) {
-        adj += st.coef[i] * (iters[i] - st.itp[i]);
+      if (i != k && c[i] != AffineState::kUnknown && iters[i] != itp[i]) {
+        adj += c[i] * (iters[i] - itp[i]);
       }
     }
-    const int64_t dit = iters[k] - st.itp[k];
+    const int64_t dit = iters[k] - itp[k];
     const int64_t num = ind - adj - st.indp;
     if (num % dit == 0) {
-      st.coef[k] = num / dit;
+      c[k] = num / dit;
+      --st.unknown_left;
+      indc += c[k] * iters[k];  // the prediction gains the new term
     }
     // A non-integral solution means this iterator does not linearly
     // drive the address; leave it UNKNOWN and let Step 6 absorb the
@@ -70,30 +115,21 @@ void observe_access(AffineState& st, std::span<const int64_t> iters,
     // Step 4: several unknowns changed at once — under-determined;
     // the paper marks such references non-analyzable.
     st.analyzable = false;
-    st.itp.assign(iters.begin(), iters.end());
+    for (int i = 0; i < n; ++i) itp[i] = iters[i];
     st.indp = ind;
     return;
   }
 
-  // Step 5: predict with everything known so far.
-  const int64_t indc = st.predict(iters);
+  // Step 5: the prediction with everything known so far (accumulated
+  // alongside Steps 2/3 above).
 
-  // Step 6: on misprediction, re-fit CONST and shrink the partial range.
+  // Step 6 on misprediction (re-fit CONST, shrink the partial range),
+  // then Step 7: remember this execution.
   if (indc != ind) {
-    ++st.mispredictions;
-    for (int i = 0; i < n; ++i) {
-      if (iters[i] == st.itp[i]) st.sticky_s[i] = 1;
-    }
-    st.const_term += ind - indc;
-    // M = (outermost iterator that changed at every misprediction) - 1.
-    st.m = 0;
-    for (int i = 0; i < n; ++i) {
-      if (st.sticky_s[i] == 0) st.m = i;  // i is 0-based: M = i_1based - 1
-    }
+    observe_access_mispredicted(st, iters, ind, indc);
+    return;
   }
-
-  // Step 7: remember this execution.
-  st.itp.assign(iters.begin(), iters.end());
+  for (int i = 0; i < n; ++i) itp[i] = iters[i];
   st.indp = ind;
 }
 
@@ -119,7 +155,7 @@ AffineFunction finalize(const AffineState& st) {
   for (int i = 0; i < st.n; ++i) {
     const int out = st.n - 1 - i;
     const bool known = st.coef_known(i);
-    fn.coefs[static_cast<size_t>(out)] = known ? st.coef[i] : 0;
+    fn.coefs[static_cast<size_t>(out)] = known ? st.coef_at(i) : 0;
     fn.known[static_cast<size_t>(out)] = known;
   }
   return fn;

@@ -13,8 +13,17 @@
 // which iterators were ever innocent (unchanged) at a misprediction, so M
 // ends up just inside the outermost iterator that changed at every
 // misprediction — exactly the paper's rule.
+//
+// The state is observed once per traced memory access — the single
+// hottest call in online analysis — so its arrays (C, ITP, S) live
+// inline for the loop depths real programs have (<= kInlineNest) and
+// spill to one heap block only beyond that. A reference whose
+// coefficients are all solved takes a short-circuit path: with no
+// UNKNOWN coefficient Step 2's H is zero by definition, so only the
+// Step 5 prediction and the Step 7 bookkeeping remain.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -23,33 +32,64 @@ namespace foray::core {
 
 struct AffineState {
   static constexpr int64_t kUnknown = INT64_MIN;
+  /// Loop depths up to this live in the inline arrays; deeper nests
+  /// spill to `spill_` / `spill_sticky_` (one vector each, allocated
+  /// once at initialization).
+  static constexpr int kInlineNest = 4;
 
+  // Field order is deliberate: the solved fast path touches const_term,
+  // indp, observations, the discriminator block and C/ITP — keep those
+  // in the first cache lines of the owning RefNode.
+  int64_t const_term = 0;  ///< CONST
+  int64_t indp = 0;        ///< INDP: previous address
+  uint64_t observations = 0;
   /// Loop nest level N of the reference (0 = outside all loops).
   int n = 0;
   /// Number of innermost iterators in the (partial) expression, M <= N.
   /// Starts at N and only shrinks at mispredictions.
   int m = 0;
-  int64_t const_term = 0;   ///< CONST
-  std::vector<int64_t> coef;     ///< C1..CN, kUnknown until solved
-  std::vector<int64_t> itp;      ///< ITP1..ITPN: iterators at previous exec
-  std::vector<uint8_t> sticky_s; ///< S1..SN
-  int64_t indp = 0;              ///< INDP: previous address
+  /// Coefficients still UNKNOWN; 0 enables the solved fast path.
+  int unknown_left = 0;
   bool initialized = false;
   /// Cleared in Step 4 when several unknown-coefficient iterators change
   /// at once; such references are excluded from further consideration.
   bool analyzable = true;
-  uint64_t observations = 0;
-  uint64_t mispredictions = 0;
+
+  // -- storage (innermost-first, index 0 = innermost iterator) -----------
+  //
+  // Access C/ITP/S through coef()/itp()/sticky(); the pointers are
+  // recomputed per call so the default copy/move of the whole state
+  // stays correct.
+
+  int64_t* coef() { return n <= kInlineNest ? coef_in_.data() : spill_.data(); }
+  const int64_t* coef() const {
+    return n <= kInlineNest ? coef_in_.data() : spill_.data();
+  }
+  int64_t* itp() {
+    return n <= kInlineNest ? itp_in_.data() : spill_.data() + n;
+  }
+  const int64_t* itp() const {
+    return n <= kInlineNest ? itp_in_.data() : spill_.data() + n;
+  }
+  uint8_t* sticky() {
+    return n <= kInlineNest ? sticky_in_.data() : spill_sticky_.data();
+  }
+  const uint8_t* sticky() const {
+    return n <= kInlineNest ? sticky_in_.data() : spill_sticky_.data();
+  }
+
+  int64_t coef_at(int i) const { return coef()[i]; }
+  bool coef_known(int i) const { return coef()[i] != kUnknown; }
 
   bool is_partial() const { return analyzable && m < n; }
-  bool coef_known(int i) const { return coef[i] != kUnknown; }
 
   /// True if the final expression contains at least one iterator with a
   /// known non-zero coefficient within the partial range (the Step 4
   /// "includes at least one iterator" condition).
   bool has_effective_iterator() const {
+    const int64_t* c = coef();
     for (int i = 0; i < m; ++i) {
-      if (coef_known(i) && coef[i] != 0) return true;
+      if (c[i] != kUnknown && c[i] != 0) return true;
     }
     return false;
   }
@@ -57,14 +97,67 @@ struct AffineState {
   /// Predicted address for iterator values `iters` (innermost first),
   /// using all currently-known coefficients (Step 5).
   int64_t predict(std::span<const int64_t> iters) const;
+
+  /// Approximate heap bytes beyond sizeof(AffineState) (spilled nests).
+  size_t heap_bytes() const {
+    return spill_.capacity() * sizeof(int64_t) + spill_sticky_.capacity();
+  }
+
+  std::array<int64_t, kInlineNest> coef_in_;
+  std::array<int64_t, kInlineNest> itp_in_;
+  std::array<uint8_t, kInlineNest> sticky_in_;
+  uint64_t mispredictions = 0;
+  std::vector<int64_t> spill_;        ///< [C1..CN | ITP1..ITPN] when n > inline
+  std::vector<uint8_t> spill_sticky_; ///< [S1..SN] when n > inline
 };
+
+/// Slow half of observe_access(): Step 1 initialization, Step 2–4
+/// coefficient solving, non-analyzable bookkeeping (affine.cpp).
+void observe_access_general(AffineState& st, std::span<const int64_t> iters,
+                            int64_t ind);
+/// Step 6 + 7 for a solved state whose prediction just missed.
+void observe_access_mispredicted(AffineState& st,
+                                 std::span<const int64_t> iters, int64_t ind,
+                                 int64_t indc);
 
 /// Feeds one observed execution of a reference into Algorithm 3.
 /// `iters[0]` is the innermost loop's current normalized iteration count;
 /// `ind` is the accessed address. The first call initializes the state
 /// (Step 1); later calls run Steps 2–7.
-void observe_access(AffineState& st, std::span<const int64_t> iters,
-                    int64_t ind);
+///
+/// Inline so the dominant case — every coefficient solved, prediction
+/// correct — runs as a handful of mul-adds inside the extractor's chunk
+/// loop. With no UNKNOWN coefficient Step 2's H is zero by definition,
+/// so Steps 3/4 cannot fire and only predict + bookkeeping remain.
+inline void observe_access(AffineState& st, std::span<const int64_t> iters,
+                           int64_t ind) {
+  if (st.initialized && st.analyzable && st.unknown_left == 0 &&
+      static_cast<int>(iters.size()) == st.n) [[likely]] {
+    const int n = st.n;
+    ++st.observations;
+    const int64_t* c = st.coef();
+    int64_t indc = st.const_term;
+    for (int i = 0; i < n; ++i) indc += iters[i] * c[i];
+    if (indc == ind) [[likely]] {
+      int64_t* itp = st.itp();
+      for (int i = 0; i < n; ++i) itp[i] = iters[i];
+      st.indp = ind;
+      return;
+    }
+    observe_access_mispredicted(st, iters, ind, indc);
+    return;
+  }
+  if (st.initialized && !st.analyzable &&
+      static_cast<int>(iters.size()) == st.n) {
+    // Excluded by a previous Step 4: nothing can change any more. ITP is
+    // dead state for an excluded reference (only Step 2 reads it); INDP
+    // feeds the extractor's duplicate detection, so keep it fresh.
+    ++st.observations;
+    st.indp = ind;
+    return;
+  }
+  observe_access_general(st, iters, ind);
+}
 
 /// A finalized affine function in *emission order* (outermost first),
 /// produced from an AffineState at model-build time.

@@ -6,6 +6,12 @@
 // during profiling and there is no need to save the trace file" — §4) or
 // fed from a stored trace for the offline mode. Both paths produce
 // identical trees (property-tested in E9).
+//
+// Delivery is chunk-first: on_chunk() consumes a run of records with a
+// single dispatch, and the class is `final` so a caller holding a
+// concrete Extractor (the templated simulator, the shard runner) gets
+// the whole per-record path inlined — zero virtual calls per record.
+// Record-at-a-time on_record() remains for generic Sink users.
 #pragma once
 
 #include <cstdint>
@@ -33,10 +39,31 @@ class Extractor final : public trace::Sink {
   explicit Extractor(ExtractorOptions opts = {});
 
   // trace::Sink
-  void on_record(const trace::Record& r) override;
+  void on_record(const trace::Record& r) override {
+    ++records_;
+    process(r);
+  }
+  void on_chunk(const trace::Record* r, size_t n) override {
+    records_ += n;
+    for (size_t i = 0; i < n; ++i) process(r[i]);
+  }
 
   const LoopTree& tree() const { return tree_; }
   LoopTree& tree() { return tree_; }
+
+  // -- sharding support -------------------------------------------------
+
+  /// Declares the global trace position of the next record, so node
+  /// creation stamps (LoopNode/RefNode::first_seen) are positions in the
+  /// *whole* trace even when this extractor only sees a shard of it. A
+  /// fresh extractor starts at position 0 — the sequential case needs no
+  /// call.
+  void set_stream_pos(uint64_t pos) { stamp_ = pos; }
+
+  /// Folds a shard's extraction into this one: trees merge in sequential
+  /// first-seen order, stream statistics accumulate. The shard must have
+  /// processed a disjoint part of the same trace (see foray/shard.h).
+  void absorb(Extractor&& shard);
 
   // -- stream statistics ------------------------------------------------
 
@@ -48,13 +75,58 @@ class Extractor final : public trace::Sink {
   size_t state_bytes() const { return tree_.state_bytes(); }
 
  private:
+  /// One record through Algorithm 2 (records_ already counted).
+  void process(const trace::Record& r) {
+    ++stamp_;
+    switch (r.type()) {
+      case trace::RecordType::Checkpoint:
+        ++checkpoints_;
+        ++epoch_;
+        iters_valid_ = false;
+        on_checkpoint(r);
+        break;
+      case trace::RecordType::Access:
+        ++accesses_;
+        on_access(r);
+        break;
+      case trace::RecordType::Call:
+      case trace::RecordType::Ret:
+        // Function boundaries do not affect the loop tree: the model
+        // treats functions as inlined (§4).
+        break;
+    }
+  }
+
   void on_checkpoint(const trace::Record& r);
   void on_access(const trace::Record& r);
+  void rebuild_iters();
+  RefNode* lookup_ref(uint32_t instr);
 
   ExtractorOptions opts_;
   LoopTree tree_;
   LoopNode* cur_;
-  std::vector<int64_t> iter_buf_;  ///< reused innermost-first iterator vector
+  /// Iterator values of the current loop path, innermost first. Between
+  /// two checkpoints neither cur_ nor any cur_iter can change, so the
+  /// buffer is rebuilt at most once per checkpoint-delimited run of
+  /// accesses instead of once per access.
+  std::vector<int64_t> iter_buf_;
+  bool iters_valid_ = false;
+  /// Checkpoint counter; two accesses in the same epoch provably see
+  /// identical iterator values (used for the duplicate fast path).
+  uint64_t epoch_ = 0;
+  /// Global trace position of the next record (creation stamps).
+  uint64_t stamp_ = 0;
+  /// Direct-indexed reference cache. Synthetic instruction addresses are
+  /// dense (kInstrBase + 4*node_id), so `(instr - base) / 4` indexes a
+  /// flat table; an entry is valid only for the context it was filled
+  /// under (owner == cur_), which makes shadowing across call contexts
+  /// self-invalidating. Adjacent source expressions get adjacent
+  /// entries, so a loop body's whole working set shares cache lines.
+  struct RefCacheEntry {
+    LoopNode* owner = nullptr;
+    RefNode* ref = nullptr;
+  };
+  std::vector<RefCacheEntry> ref_cache_;
   uint64_t records_ = 0;
   uint64_t accesses_ = 0;
   uint64_t checkpoints_ = 0;

@@ -1,63 +1,114 @@
 #include "foray/looptree.h"
 
+#include "util/status.h"
+
 namespace foray::core {
 
-LoopNode* LoopNode::get_or_create_child(int site_id) {
-  if (LoopNode* found = find_child(site_id)) return found;
+LoopNode* LoopNode::create_child(int site_id, uint64_t stamp) {
   auto child =
       std::make_unique<LoopNode>(site_id, this, hash_index_, footprint_cap_);
+  child->first_seen = stamp;
   LoopNode* raw = child.get();
   children_.push_back(std::move(child));
-  if (hash_index_) child_index_[site_id] = raw;
+  if (hash_index_) {
+    child_index_.insert(static_cast<uint32_t>(site_id), raw);
+  }
   return raw;
 }
 
-LoopNode* LoopNode::find_child(int site_id) {
-  if (hash_index_) {
-    auto it = child_index_.find(site_id);
-    return it == child_index_.end() ? nullptr : it->second;
-  }
+LoopNode* LoopNode::find_child_linear(int site_id) {
   for (const auto& c : children_) {
     if (c->loop_id() == site_id) return c.get();
   }
   return nullptr;
 }
 
-RefNode* LoopNode::get_or_create_ref(uint32_t instr, bool* created) {
-  if (RefNode* found = find_ref(instr)) {
-    if (created != nullptr) *created = false;
-    return found;
-  }
+RefNode* LoopNode::create_ref(uint32_t instr, uint64_t stamp) {
   auto ref = std::make_unique<RefNode>(instr, this, footprint_cap_);
+  ref->first_seen = stamp;
   RefNode* raw = ref.get();
   refs_.push_back(std::move(ref));
-  if (hash_index_) ref_index_[instr] = raw;
-  if (created != nullptr) *created = true;
+  if (hash_index_) ref_index_.insert(instr, raw);
   return raw;
 }
 
-RefNode* LoopNode::find_ref(uint32_t instr) {
-  if (hash_index_) {
-    auto it = ref_index_.find(instr);
-    return it == ref_index_.end() ? nullptr : it->second;
-  }
+RefNode* LoopNode::find_ref_linear(uint32_t instr) {
   for (const auto& r : refs_) {
     if (r->instr == instr) return r.get();
   }
   return nullptr;
 }
 
+void LoopNode::adopt_child(std::unique_ptr<LoopNode> child) {
+  child->parent_ = this;
+  LoopNode* raw = child.get();
+  children_.push_back(std::move(child));
+  if (hash_index_) {
+    child_index_.insert(static_cast<uint32_t>(raw->loop_id()), raw);
+  }
+}
+
+void LoopNode::adopt_ref(std::unique_ptr<RefNode> ref) {
+  ref->owner = this;
+  RefNode* raw = ref.get();
+  refs_.push_back(std::move(ref));
+  if (hash_index_) ref_index_.insert(raw->instr, raw);
+}
+
+void LoopNode::merge_from(LoopNode&& other) {
+  FORAY_CHECK(loop_id_ == other.loop_id_,
+              "LoopNode::merge_from: different loop sites");
+  // A node was "touched" by the shard whose partition comes later in the
+  // trace; for everything except the root each context lives whole in
+  // one shard, so at most one side carries activity.
+  if (other.entries > 0) cur_iter = other.cur_iter;
+  entries += other.entries;
+  total_iterations += other.total_iterations;
+  max_trip = std::max(max_trip, other.max_trip);
+  first_seen = std::min(first_seen, other.first_seen);
+
+  for (auto& oref : other.refs_) {
+    // Algorithm 3 state is a strictly sequential fold over the
+    // reference's observations — it cannot be combined from two partial
+    // runs. The sharder routes every observation of a reference to one
+    // shard (a context lives whole in one shard, root refs in shard 0),
+    // so the same reference appearing on both sides is a sharder bug,
+    // not a mergeable situation.
+    FORAY_CHECK(find_ref(oref->instr) == nullptr,
+                "LoopTree::merge: reference observed by two shards");
+    adopt_ref(std::move(oref));
+  }
+
+  for (auto& ochild : other.children_) {
+    LoopNode* mine = find_child(ochild->loop_id());
+    if (mine == nullptr) {
+      adopt_child(std::move(ochild));
+    } else {
+      mine->merge_from(std::move(*ochild));
+    }
+  }
+
+  // Restore the sequential creation order (stamps are trace positions).
+  std::stable_sort(refs_.begin(), refs_.end(),
+            [](const auto& a, const auto& b) {
+              return a->first_seen < b->first_seen;
+            });
+  std::stable_sort(children_.begin(), children_.end(),
+            [](const auto& a, const auto& b) {
+              return a->first_seen < b->first_seen;
+            });
+}
+
 size_t LoopNode::state_bytes() const {
   size_t bytes = sizeof(LoopNode);
   bytes += children_.capacity() * sizeof(void*);
-  bytes += child_index_.size() * (sizeof(int) + sizeof(void*) * 2);
+  bytes += child_index_.heap_bytes();
   bytes += refs_.capacity() * sizeof(void*);
-  bytes += ref_index_.size() * (sizeof(uint32_t) + sizeof(void*) * 2);
+  bytes += ref_index_.heap_bytes();
   for (const auto& r : refs_) {
     bytes += sizeof(RefNode);
-    bytes += r->affine.coef.capacity() * sizeof(int64_t) * 2;
-    bytes += r->affine.sticky_s.capacity();
-    bytes += r->footprint().size() * sizeof(uint32_t) * 2;
+    bytes += r->affine.heap_bytes();
+    bytes += r->footprint().heap_bytes();
   }
   return bytes;
 }

@@ -10,16 +10,23 @@
 // describes ("each loop node maintains the current value of a variable
 // that counts the number of loop iterations"); these counters are the
 // iterator values consumed by Algorithm 3.
+//
+// Indices are insert-only flat hash tables (util/flat_hash.h) — the
+// child and reference lookups run once per checkpoint / per access and
+// were the analyzer's hot path. Nodes and references carry a
+// `first_seen` stamp (the trace position at which they were created) so
+// that trees built by parallel shards of one trace can be merged back
+// into the exact sequential creation order (LoopTree::merge).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "foray/affine.h"
 #include "trace/record.h"
+#include "util/flat_hash.h"
 
 namespace foray::core {
 
@@ -48,29 +55,69 @@ class LoopNode {
   int64_t max_trip = 0;        ///< max iterations over all entries
   uint64_t entries = 0;        ///< times this loop was entered
   uint64_t total_iterations = 0;
+  /// Trace position at which this node was created (set by the
+  /// extractor); total order over nodes == sequential creation order.
+  uint64_t first_seen = 0;
 
   // -- children / references ---------------------------------------------
 
-  /// Child for `site_id`, creating it on first sight.
-  LoopNode* get_or_create_child(int site_id);
-  /// Child for `site_id` or nullptr.
-  LoopNode* find_child(int site_id);
+  /// Child for `site_id`, creating it on first sight (stamped `stamp`).
+  LoopNode* get_or_create_child(int site_id, uint64_t stamp = 0) {
+    if (LoopNode* found = find_child(site_id)) return found;
+    return create_child(site_id, stamp);
+  }
+  /// Child for `site_id` or nullptr. Inline — this runs per checkpoint.
+  LoopNode* find_child(int site_id) {
+    if (hash_index_) {
+      LoopNode** found = child_index_.find(static_cast<uint32_t>(site_id));
+      return found == nullptr ? nullptr : *found;
+    }
+    return find_child_linear(site_id);
+  }
 
-  /// Reference node for `instr`, creating it on first sight. Sets
-  /// `*created` when a new node was made.
-  RefNode* get_or_create_ref(uint32_t instr, bool* created);
-  RefNode* find_ref(uint32_t instr);
+  /// Reference node for `instr`, creating it on first sight (stamped
+  /// `stamp`). Sets `*created` when a new node was made.
+  RefNode* get_or_create_ref(uint32_t instr, bool* created,
+                             uint64_t stamp = 0) {
+    if (RefNode* found = find_ref(instr)) {
+      if (created != nullptr) *created = false;
+      return found;
+    }
+    if (created != nullptr) *created = true;
+    return create_ref(instr, stamp);
+  }
+  /// Reference for `instr` or nullptr. Inline — this runs per access.
+  RefNode* find_ref(uint32_t instr) {
+    if (hash_index_) {
+      RefNode** found = ref_index_.find(instr);
+      return found == nullptr ? nullptr : *found;
+    }
+    return find_ref_linear(instr);
+  }
 
   const std::vector<std::unique_ptr<LoopNode>>& children() const {
     return children_;
   }
   const std::vector<std::unique_ptr<RefNode>>& refs() const { return refs_; }
 
+  /// Folds `other` (a node for the same loop site, built by a shard of
+  /// the same trace) into this node: counters are combined, children and
+  /// references are adopted or recursively merged, and both orders are
+  /// restored to sequential first-seen order via the stamps.
+  void merge_from(LoopNode&& other);
+
   /// Approximate heap bytes held by this node (excluding children),
   /// used by the constant-space ablation (E7/E9).
   size_t state_bytes() const;
 
  private:
+  LoopNode* create_child(int site_id, uint64_t stamp);
+  LoopNode* find_child_linear(int site_id);
+  RefNode* create_ref(uint32_t instr, uint64_t stamp);
+  RefNode* find_ref_linear(uint32_t instr);
+  void adopt_child(std::unique_ptr<LoopNode> child);
+  void adopt_ref(std::unique_ptr<RefNode> ref);
+
   int loop_id_;
   LoopNode* parent_;
   int depth_;
@@ -78,9 +125,9 @@ class LoopNode {
   size_t footprint_cap_;
 
   std::vector<std::unique_ptr<LoopNode>> children_;
-  std::unordered_map<int, LoopNode*> child_index_;
+  util::FlatMap32<LoopNode*> child_index_;
   std::vector<std::unique_ptr<RefNode>> refs_;
-  std::unordered_map<uint32_t, RefNode*> ref_index_;
+  util::FlatMap32<RefNode*> ref_index_;
 };
 
 /// Per-reference dynamic information: identity, traffic counters, the
@@ -90,30 +137,48 @@ struct RefNode {
   RefNode(uint32_t instr, LoopNode* owner, size_t footprint_cap)
       : instr(instr), owner(owner), footprint_cap_(footprint_cap) {}
 
+  // Hot-first layout: everything the extractor touches per access
+  // (identity, counters, the affine fast-path head) packs into the
+  // node's first cache lines; bookkeeping read at model-build time
+  // trails at the end.
   uint32_t instr;
-  LoopNode* owner;
-
   uint8_t access_size = 0;
   bool has_read = false;
   bool has_write = false;
   trace::AccessKind kind = trace::AccessKind::Data;
 
   uint64_t exec_count = 0;
+  /// Extractor epoch (checkpoint count) of the last observation; lets
+  /// the extractor prove "same iterators as my previous execution"
+  /// without comparing iterator vectors.
+  uint64_t last_epoch = ~0ull;
   AffineState affine;
 
   void note_address(uint32_t addr) {
+    // One-entry MRU: the dominant patterns — a scalar touched every
+    // iteration, the load/store pair of a compound assignment — hit the
+    // same address back to back.
+    if (addr == last_addr_) return;
+    last_addr_ = addr;
     if (footprint_.size() < footprint_cap_) {
       footprint_.insert(addr);
-    } else if (!footprint_.count(addr)) {
+    } else if (!footprint_.contains(addr)) {
       saturated_ = true;
     }
   }
   uint64_t footprint_size() const { return footprint_.size(); }
   bool footprint_saturated() const { return saturated_; }
-  const std::unordered_set<uint32_t>& footprint() const { return footprint_; }
+  const util::PagedAddrSet& footprint() const { return footprint_; }
+
+  LoopNode* owner;
+  /// Creation stamp, see LoopNode::first_seen.
+  uint64_t first_seen = 0;
 
  private:
-  std::unordered_set<uint32_t> footprint_;
+  friend class LoopNode;
+
+  uint64_t last_addr_ = ~0ull;  ///< out of the u32 range = no MRU yet
+  util::PagedAddrSet footprint_;
   size_t footprint_cap_;
   bool saturated_ = false;
 };
@@ -131,6 +196,15 @@ class LoopTree {
   LoopNode* root() { return root_.get(); }
   const LoopNode* root() const { return root_.get(); }
   bool hash_index() const { return hash_index_; }
+
+  /// Merges a tree built over a shard of the same trace into this one.
+  /// Counters accumulate; disjoint subtrees are adopted wholesale;
+  /// first_seen stamps restore the sequential creation order, so merging
+  /// the shards of a partitioned trace (in any order) reproduces the
+  /// tree a single sequential extraction would have built. Colliding
+  /// references must carry Algorithm 3 state on at most one side — the
+  /// sharder guarantees that by keeping each loop context whole.
+  void merge(LoopTree&& other) { root_->merge_from(std::move(*other.root_)); }
 
   /// Total heap footprint of all nodes — the analyzer's working-set size
   /// (constant in trace length, linear in distinct loop contexts).

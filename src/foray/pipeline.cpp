@@ -2,7 +2,11 @@
 
 #include <cstdio>
 
+#include "foray/shard.h"
 #include "minic/parser.h"
+#include "sim/interp_impl.h"
+#include "spm/address_stream.h"
+#include "spm/cache_sim.h"
 #include "trace/sink.h"
 
 namespace foray::core {
@@ -34,14 +38,19 @@ util::Status profile_phase(const PipelineOptions& opts,
   FORAY_CHECK(result->program != nullptr,
               "profile_phase requires instrument_phase");
   result->extractor = std::make_unique<Extractor>(opts.extractor);
-  if (opts.offline) {
+  if (opts.offline || opts.profile_shards > 1) {
+    // Materialize the trace; Extract replays it (sharded when asked).
     trace::VectorSink trace_sink(opts.run.trace_reserve_hint);
-    result->run = sim::run_program(*result->program, &trace_sink, opts.run);
+    result->run =
+        sim::run_program_with(*result->program, &trace_sink, opts.run);
     result->trace_records = trace_sink.size();
     result->offline_trace = trace_sink.take();
   } else {
-    result->run = sim::run_program(*result->program, result->extractor.get(),
-                                   opts.run);
+    // Online constant-space mode: the extractor IS the sink, and the
+    // concrete instantiation inlines the whole record path into the
+    // interpreter — zero virtual calls per record.
+    result->run = sim::run_program_with(*result->program,
+                                        result->extractor.get(), opts.run);
     result->trace_records = result->extractor->records_processed();
   }
   if (!result->run.ok()) result->status = result->run.status;
@@ -52,9 +61,14 @@ util::Status extract_phase(const PipelineOptions& opts,
                            PipelineResult* result) {
   FORAY_CHECK(result->extractor != nullptr,
               "extract_phase requires profile_phase");
-  if (opts.offline) {
-    for (const auto& rec : result->offline_trace) {
-      result->extractor->on_record(rec);
+  if (opts.offline || opts.profile_shards > 1) {
+    if (opts.profile_shards > 1) {
+      *result->extractor = extract_sharded(
+          std::span<const trace::Record>(result->offline_trace),
+          opts.extractor, opts.profile_shards, &result->shard_report);
+    } else {
+      result->extractor->on_chunk(result->offline_trace.data(),
+                                  result->offline_trace.size());
     }
     result->offline_trace.clear();
     result->offline_trace.shrink_to_fit();
@@ -76,6 +90,17 @@ util::Status spm_phase(const SpmPhaseOptions& opts, PipelineResult* result) {
   report.baseline = spm::evaluate_baseline(result->model, opts.dse.energy);
   report.with_spm = spm::evaluate_selection(result->model, report.exact,
                                             opts.dse);
+  if (opts.compare_cache) {
+    for (int assoc : opts.cache_assocs) {
+      spm::CacheSim cache(spm::CacheConfig{opts.dse.spm_capacity,
+                                           opts.cache_line_bytes, assoc});
+      spm::for_each_address(result->model,
+                            [&](uint32_t addr) { cache.access(addr); });
+      report.caches.push_back(SpmReport::CacheComparison{
+          assoc, cache.hits(), cache.misses(),
+          cache.energy_nj(opts.dse.energy)});
+    }
+  }
   result->spm = std::move(report);
   result->spm_ran = true;
   return result->status;
@@ -126,6 +151,21 @@ std::string describe_spm_report(const SpmReport& report,
                 "  greedy heuristic would save %.1f nJ with %zu buffer(s)\n",
                 report.greedy.saved_nj, report.greedy.chosen.size());
   out += buf;
+  for (const auto& c : report.caches) {
+    const uint64_t accesses = c.hits + c.misses;
+    std::snprintf(buf, sizeof buf,
+                  "  cache %d-way %uB: %.1f%% hit rate, %.1f nJ (%.1f%% of "
+                  "the all-DRAM baseline)\n",
+                  c.assoc, report.capacity,
+                  accesses != 0 ? 100.0 * static_cast<double>(c.hits) /
+                                      static_cast<double>(accesses)
+                                : 0.0,
+                  c.energy_nj,
+                  report.baseline.baseline_nj > 0.0
+                      ? 100.0 * c.energy_nj / report.baseline.baseline_nj
+                      : 100.0);
+    out += buf;
+  }
   return out;
 }
 

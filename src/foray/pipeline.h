@@ -30,6 +30,7 @@
 #include "foray/extractor.h"
 #include "foray/filter.h"
 #include "foray/model.h"
+#include "foray/shard.h"
 #include "foray/stats.h"
 #include "instrument/annotator.h"
 #include "minic/ast.h"
@@ -45,6 +46,12 @@ namespace foray::core {
 struct SpmPhaseOptions {
   spm::ReuseOptions reuse;
   spm::DseOptions dse;  ///< capacity, DP granule, energy model
+  /// Also replay the model's address stream through set-associative LRU
+  /// caches of the same capacity (the Banakar-style comparison the SPM
+  /// argument rests on) and record them in SpmReport::caches.
+  bool compare_cache = false;
+  uint32_t cache_line_bytes = 32;
+  std::vector<int> cache_assocs = {2, 4};
 };
 
 struct PipelineOptions {
@@ -55,6 +62,12 @@ struct PipelineOptions {
   /// false (default): online analysis during profiling, constant space.
   /// true: materialize the trace in memory, then analyze.
   bool offline = false;
+  /// Shard the extraction of one program's trace across this many
+  /// concurrent extractors (foray/shard.h); results are bit-identical to
+  /// sequential extraction. Values > 1 imply materializing the trace
+  /// (as in offline mode), trading the constant-space property for
+  /// parallelism on giant inputs. 1 = sequential.
+  int profile_shards = 1;
   /// Run the SpmPhase after Extract (Phase II of the design flow).
   bool with_spm = false;
   SpmPhaseOptions spm;
@@ -68,6 +81,17 @@ struct SpmReport {
   spm::Selection greedy;       ///< density heuristic (ablation baseline)
   spm::EnergyReport baseline;  ///< every access served by main memory
   spm::EnergyReport with_spm;  ///< under the exact selection
+
+  /// One cache of the same capacity per requested associativity
+  /// (SpmPhaseOptions::compare_cache); empty when the comparison was
+  /// not requested.
+  struct CacheComparison {
+    int assoc = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    double energy_nj = 0.0;
+  };
+  std::vector<CacheComparison> caches;
 };
 
 struct PipelineResult {
@@ -87,6 +111,8 @@ struct PipelineResult {
   std::vector<trace::Record> offline_trace;
   /// Trace volume seen by the analyzer (records).
   uint64_t trace_records = 0;
+  /// Filled when profile_shards > 1: how the trace was spread.
+  ShardReport shard_report;
   // Extract.
   bool model_built = false;  ///< extract_phase completed
   ForayModel model;

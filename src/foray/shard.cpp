@@ -1,0 +1,178 @@
+#include "foray/shard.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace foray::core {
+
+using trace::CheckpointType;
+using trace::Record;
+using trace::RecordType;
+
+TraceIndex index_trace(std::span<const Record> trace) {
+  TraceIndex idx;
+  idx.records = trace.size();
+  int depth = 0;
+  uint64_t seg_start = 0;
+  int seg_site = -1;  // -1 while inside a gap
+  for (uint64_t i = 0; i < trace.size(); ++i) {
+    const Record& r = trace[i];
+    if (r.type() != RecordType::Checkpoint) continue;
+    if (r.cp() == CheckpointType::LoopEnter) {
+      if (depth == 0) {
+        if (i > seg_start) {
+          idx.segments.push_back({seg_start, i, -1});
+        }
+        seg_start = i;
+        seg_site = r.loop_id();
+      }
+      ++depth;
+    } else if (r.cp() == CheckpointType::LoopExit) {
+      if (depth > 0) --depth;
+      if (depth == 0 && seg_site >= 0) {
+        idx.segments.push_back({seg_start, i + 1, seg_site});
+        seg_start = i + 1;
+        seg_site = -1;
+      }
+    }
+  }
+  if (seg_start < trace.size()) {
+    // Tail: either root-level records after the last top-level loop, or
+    // a truncated activation (simulator fault mid-loop) — both are a
+    // single final segment so coverage stays exact.
+    idx.segments.push_back({seg_start, trace.size(), seg_site});
+  }
+  return idx;
+}
+
+namespace {
+
+/// All segments of one top-level site (or the root gaps, site -1).
+struct ContextGroup {
+  int site_id = -1;
+  uint64_t records = 0;
+  uint64_t first_seen = 0;  ///< begin of the group's first segment
+  std::vector<const TraceSegment*> segments;  ///< in trace order
+};
+
+}  // namespace
+
+Extractor extract_sharded(std::span<const Record> trace,
+                          const ExtractorOptions& opts, int shards,
+                          ShardReport* report) {
+  ShardReport rep;
+  rep.shards_requested = shards;
+  rep.records = trace.size();
+  if (shards <= 1) {
+    rep.shards_used = 1;
+    Extractor ex(opts);
+    ex.on_chunk(trace.data(), trace.size());
+    if (report != nullptr) *report = rep;
+    return ex;
+  }
+
+  const TraceIndex idx = index_trace(trace);
+
+  // Group segments by top-level site, in first-seen order.
+  std::vector<ContextGroup> groups;
+  for (const TraceSegment& seg : idx.segments) {
+    ContextGroup* g = nullptr;
+    for (auto& cand : groups) {
+      if (cand.site_id == seg.site_id) {
+        g = &cand;
+        break;
+      }
+    }
+    if (g == nullptr) {
+      groups.push_back(ContextGroup{seg.site_id, 0, seg.begin, {}});
+      g = &groups.back();
+    }
+    g->records += seg.end - seg.begin;
+    g->segments.push_back(&seg);
+  }
+
+  // Greedy balance: biggest group to the least-loaded shard. The root
+  // gaps (site -1) are pinned to shard 0 — their references' Algorithm 3
+  // folds must stay whole just like any context's.
+  std::stable_sort(groups.begin(), groups.end(),
+                   [](const ContextGroup& a, const ContextGroup& b) {
+                     if (a.records != b.records) return a.records > b.records;
+                     return a.first_seen < b.first_seen;
+                   });
+  const size_t n_shards = static_cast<size_t>(shards);
+  std::vector<uint64_t> load(n_shards, 0);
+  std::vector<std::vector<const ContextGroup*>> plan(n_shards);
+  for (const auto& g : groups) {
+    size_t target = 0;
+    if (g.site_id == -1) {
+      target = 0;
+    } else {
+      for (size_t s = 1; s < n_shards; ++s) {
+        if (load[s] < load[target]) target = s;
+      }
+    }
+    load[target] += g.records;
+    plan[target].push_back(&g);
+  }
+
+  // Run the shards. Each extractor walks its segments in trace order and
+  // stamps creations with global trace positions, so the merge can
+  // restore sequential creation order exactly.
+  std::vector<Extractor> shard_ex;
+  shard_ex.reserve(n_shards);
+  for (size_t s = 0; s < n_shards; ++s) shard_ex.emplace_back(opts);
+  std::vector<std::exception_ptr> errors(n_shards);
+  {
+    util::ThreadPool pool(n_shards);
+    for (size_t s = 0; s < n_shards; ++s) {
+      pool.submit([s, &plan, &shard_ex, &trace, &errors] {
+        try {
+          // Segments of different groups interleave in time; process
+          // them in trace order (irrelevant for exactness — groups are
+          // independent — but it keeps the memory walk forward).
+          std::vector<const TraceSegment*> segs;
+          for (const ContextGroup* g : plan[s]) {
+            segs.insert(segs.end(), g->segments.begin(), g->segments.end());
+          }
+          std::sort(segs.begin(), segs.end(),
+                    [](const TraceSegment* a, const TraceSegment* b) {
+                      return a->begin < b->begin;
+                    });
+          for (const TraceSegment* seg : segs) {
+            shard_ex[s].set_stream_pos(seg->begin);
+            shard_ex[s].on_chunk(trace.data() + seg->begin,
+                                 seg->end - seg->begin);
+          }
+        } catch (...) {
+          errors[s] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  for (auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+
+  uint64_t max_load = 0;
+  for (size_t s = 0; s < n_shards; ++s) {
+    if (load[s] > 0) ++rep.shards_used;
+    max_load = std::max(max_load, load[s]);
+  }
+  if (rep.shards_used > 0 && rep.records > 0) {
+    rep.balance = static_cast<double>(max_load) * rep.shards_used /
+                  static_cast<double>(rep.records);
+  }
+  if (report != nullptr) *report = rep;
+
+  Extractor merged(opts);
+  for (size_t s = 0; s < n_shards; ++s) {
+    merged.absorb(std::move(shard_ex[s]));
+  }
+  return merged;
+}
+
+}  // namespace foray::core

@@ -1,0 +1,74 @@
+// Sharded single-program extraction: one giant trace across all cores.
+//
+// The batch driver parallelizes across programs; this module is the
+// complementary step — splitting ONE materialized trace into pieces that
+// K extractors consume concurrently, with a merged result that is
+// bit-identical to a sequential extraction.
+//
+// Why splitting by *loop context* (and not by time) is exact: Algorithm 3
+// is a strictly sequential fold per reference, so a shard may only own a
+// reference if it sees every one of its observations, in order. A
+// reference lives in exactly one dynamic loop context, and a context is
+// rooted at one top-level loop site (a LoopEnter at nesting depth zero).
+// The trace is therefore cut at top-level LoopEnter/LoopExit checkpoint
+// boundaries into segments; all segments of the same top-level site —
+// however many times the loop re-enters — go to one shard, in trace
+// order. Records between segments (root-level accesses, call/ret
+// traffic) form "gap" segments routed to shard 0, preserving their
+// order too. Every shard hence replays exact sub-sequences of the
+// sequential extractor's work; LoopTree::merge puts the disjoint
+// subtrees back in first-seen order.
+//
+// Bounded speedup: one dominant top-level loop limits what context
+// sharding can spread (report.balance tells how well the plan spread the
+// work). That is the price of exactness — time-slicing a context would
+// tear references' observation sequences apart.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "foray/extractor.h"
+#include "trace/record.h"
+
+namespace foray::core {
+
+/// One contiguous run of records, [begin, end) into the trace.
+/// site_id >= 0: a top-level loop activation (LoopEnter..LoopExit).
+/// site_id == -1: a gap between activations (root-level records).
+struct TraceSegment {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  int site_id = -1;
+};
+
+/// Top-level structure of a trace: segments in trace order, covering
+/// every record exactly once.
+struct TraceIndex {
+  std::vector<TraceSegment> segments;
+  uint64_t records = 0;
+};
+
+/// Single cheap pass over the trace (checkpoint nesting only).
+TraceIndex index_trace(std::span<const trace::Record> trace);
+
+struct ShardReport {
+  int shards_requested = 0;
+  int shards_used = 0;          ///< shards that received any records
+  uint64_t records = 0;
+  /// Largest shard's record share / (records / shards_used): 1.0 is a
+  /// perfect spread, higher means one context dominates.
+  double balance = 1.0;
+};
+
+/// Extracts `trace` with `shards` concurrent extractors (thread-pooled)
+/// and merges them into the returned extractor. The result — tree,
+/// model, statistics — is identical to feeding the whole trace through
+/// one Extractor; a property test locks that in across the benchsuite.
+/// `shards <= 1` runs plain sequential extraction.
+Extractor extract_sharded(std::span<const trace::Record> trace,
+                          const ExtractorOptions& opts, int shards,
+                          ShardReport* report = nullptr);
+
+}  // namespace foray::core

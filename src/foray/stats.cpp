@@ -37,7 +37,7 @@ BehaviorStats compute_behavior(const LoopTree& tree,
     for (const auto& ref : node.refs()) {
       out.total.refs += 1;
       out.total.accesses += ref->exec_count;
-      for (uint32_t a : ref->footprint()) fp_total.insert(a);
+      ref->footprint().for_each([&](uint32_t a) { fp_total.insert(a); });
 
       BehaviorBucket* bucket = nullptr;
       std::unordered_set<uint32_t>* fp = nullptr;
@@ -53,7 +53,7 @@ BehaviorStats compute_behavior(const LoopTree& tree,
       }
       bucket->refs += 1;
       bucket->accesses += ref->exec_count;
-      for (uint32_t a : ref->footprint()) fp->insert(a);
+      ref->footprint().for_each([&](uint32_t a) { fp->insert(a); });
     }
   });
   out.total.footprint = fp_total.size();

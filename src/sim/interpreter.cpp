@@ -1,837 +1,14 @@
 #include "sim/interpreter.h"
 
-#include <cmath>
-#include <cstdio>
-#include <unordered_map>
-#include <vector>
-
-#include "minic/intrinsics.h"
-#include "sim/value.h"
-#include "util/rng.h"
-#include "util/status.h"
+#include "sim/interp_impl.h"
 
 namespace foray::sim {
 
-namespace {
-
-using minic::AssignOp;
-using minic::BaseType;
-using minic::BinaryOp;
-using minic::Expr;
-using minic::ExprKind;
-using minic::Function;
-using minic::Program;
-using minic::Stmt;
-using minic::StmtKind;
-using minic::Type;
-using minic::UnaryOp;
-using minic::VarDecl;
-using trace::AccessKind;
-using trace::CheckpointType;
-using trace::Record;
-
-/// Thrown by the exit() intrinsic to unwind the whole simulation.
-struct ExitSignal {
-  int code;
-};
-
-enum class Flow : uint8_t { Normal, Break, Continue, Return };
-
-struct Slot {
-  uint32_t addr = 0;
-  Type type;          ///< element type for arrays
-  bool is_array = false;
-  int array_len = -1;
-};
-
-struct Lvalue {
-  uint32_t addr = 0;
-  Type type;          ///< type of the object designated
-  AccessKind kind = AccessKind::Data;
-  uint32_t instr = 0;
-};
-
-class Interp {
- public:
-  Interp(const Program& prog, trace::Sink* sink, const RunOptions& opts)
-      : prog_(prog),
-        sink_(sink),
-        opts_(opts),
-        mem_(opts.heap_capacity, opts.stack_capacity),
-        rng_(opts.rng_seed) {}
-
-  RunResult run() {
-    RunResult result;
-    try {
-      alloc_globals();
-      const Function* main_fn = prog_.find_function("main");
-      FORAY_CHECK(main_fn != nullptr, "sema guarantees main exists");
-      Value ret = call_function(*main_fn, {}, /*call_node=*/-1);
-      result.exit_code = static_cast<int>(ret.as_int());
-    } catch (const ExitSignal& e) {
-      result.exit_code = e.code;
-    } catch (const RuntimeError& e) {
-      result.status = util::Status::failure("simulation", cur_line_, e.what());
-    }
-    result.output = std::move(output_);
-    result.steps = steps_;
-    result.accesses = accesses_;
-    return result;
-  }
-
- private:
-  // -- bookkeeping ----------------------------------------------------------
-
-  void step() {
-    if (++steps_ > opts_.max_steps) {
-      throw RuntimeError("step limit exceeded (" +
-                         std::to_string(opts_.max_steps) + ")");
-    }
-  }
-
-  void emit_access(uint32_t instr, uint32_t addr, uint8_t size,
-                   bool is_write, AccessKind kind) {
-    ++accesses_;
-    switch (kind) {
-      case AccessKind::Scalar:
-        if (!opts_.trace_scalars) return;
-        break;
-      case AccessKind::Data:
-        if (!opts_.trace_data) return;
-        break;
-      case AccessKind::System:
-        if (!opts_.trace_system) return;
-        break;
-    }
-    sink_->on_record(Record::access(instr, addr, size, is_write, kind));
-  }
-
-  void emit_checkpoint(CheckpointType t, int loop_id) {
-    if (opts_.emit_checkpoints && loop_id >= 0) {
-      sink_->on_record(Record::checkpoint(t, loop_id));
-    }
-  }
-
-  void append_output(const std::string& s) {
-    if (output_.size() + s.size() > opts_.max_output_bytes) {
-      throw RuntimeError("simulated program output limit exceeded");
-    }
-    output_ += s;
-  }
-
-  // -- environment ----------------------------------------------------------
-
-  struct Frame {
-    uint32_t saved_sp;
-    std::vector<std::unordered_map<std::string, Slot>> scopes;
-    Value ret_value = Value::of_int(0);
-  };
-
-  const Slot* lookup(const std::string& name) const {
-    if (!frames_.empty()) {
-      const Frame& f = frames_.back();
-      for (auto it = f.scopes.rbegin(); it != f.scopes.rend(); ++it) {
-        auto found = it->find(name);
-        if (found != it->end()) return &found->second;
-      }
-    }
-    auto g = globals_.find(name);
-    if (g != globals_.end()) return &g->second;
-    throw RuntimeError("unbound identifier '" + name + "'");
-  }
-
-  void alloc_globals() {
-    for (const VarDecl& d : prog_.globals) {
-      Slot slot;
-      slot.type = d.type;
-      slot.is_array = d.array_len >= 0;
-      slot.array_len = d.array_len;
-      uint32_t elem = static_cast<uint32_t>(d.type.size());
-      uint32_t bytes = slot.is_array
-                           ? elem * static_cast<uint32_t>(d.array_len)
-                           : elem;
-      slot.addr = mem_.alloc_global(bytes, elem >= 4 ? 4 : elem);
-      globals_[d.name] = slot;
-      init_slot(slot, d);
-    }
-  }
-
-  /// Runs a declaration's initializer(s), emitting the stores.
-  void init_slot(const Slot& slot, const VarDecl& d) {
-    // Initializer stores are emitted under the declaration's own node
-    // id: the init expression's accesses must stay a separate reference.
-    uint32_t elem = static_cast<uint32_t>(d.type.size());
-    if (d.init) {
-      Value v = eval(*d.init);
-      Lvalue lv{slot.addr, d.type, AccessKind::Scalar,
-                minic::instr_addr_for_node(d.node_id)};
-      store(lv, v);
-    }
-    for (size_t i = 0; i < d.init_list.size(); ++i) {
-      Value v = eval(*d.init_list[i]);
-      Lvalue lv{slot.addr + static_cast<uint32_t>(i) * elem, d.type,
-                AccessKind::Data,
-                minic::instr_addr_for_node(d.node_id)};
-      store(lv, v);
-    }
-  }
-
-  Slot alloc_local(const VarDecl& d) {
-    Slot slot;
-    slot.type = d.type;
-    slot.is_array = d.array_len >= 0;
-    slot.array_len = d.array_len;
-    uint32_t elem = static_cast<uint32_t>(d.type.size());
-    uint32_t bytes =
-        slot.is_array ? elem * static_cast<uint32_t>(d.array_len) : elem;
-    slot.addr = mem_.stack_alloc(bytes, elem >= 4 ? 4 : elem);
-    FORAY_CHECK(!frames_.empty() && !frames_.back().scopes.empty(),
-                "local declared outside any scope");
-    frames_.back().scopes.back()[d.name] = slot;
-    return slot;
-  }
-
-  // -- memory access --------------------------------------------------------
-
-  Value load(const Lvalue& lv) {
-    uint8_t sz = static_cast<uint8_t>(lv.type.size());
-    emit_access(lv.instr, lv.addr, sz, /*is_write=*/false, lv.kind);
-    if (lv.type.is_float()) {
-      return Value::of_float(mem_.load_float(lv.addr));
-    }
-    Value v = Value::of_int(mem_.load_int(lv.addr, sz), lv.type);
-    return v;
-  }
-
-  void store(const Lvalue& lv, const Value& v) {
-    uint8_t sz = static_cast<uint8_t>(lv.type.size());
-    emit_access(lv.instr, lv.addr, sz, /*is_write=*/true, lv.kind);
-    if (lv.type.is_float()) {
-      mem_.store_float(lv.addr, v.as_float());
-    } else {
-      mem_.store_int(lv.addr, sz, v.as_int());
-    }
-  }
-
-  // -- expression evaluation ------------------------------------------------
-
-  Value convert(const Value& v, const Type& t) {
-    if (t.is_float()) return Value::of_float(v.as_float());
-    if (t.is_pointer()) {
-      Value out = v;
-      out.type = t;
-      out.i = static_cast<int64_t>(v.as_addr());
-      return out;
-    }
-    int64_t x = v.as_int();
-    switch (t.base) {
-      case BaseType::Char: x = static_cast<int8_t>(x); break;
-      case BaseType::Short: x = static_cast<int16_t>(x); break;
-      case BaseType::Int: x = static_cast<int32_t>(x); break;
-      default: break;
-    }
-    return Value::of_int(x, t);
-  }
-
-  Lvalue lvalue(const Expr& e) {
-    step();
-    cur_line_ = e.line;
-    switch (e.kind) {
-      case ExprKind::Ident: {
-        const Slot* slot = lookup(e.name);
-        FORAY_CHECK(!slot->is_array, "array is not an lvalue");
-        return Lvalue{slot->addr, slot->type, AccessKind::Scalar,
-                      minic::instr_addr_for_node(e.node_id)};
-      }
-      case ExprKind::Unary: {
-        FORAY_CHECK(e.un_op == UnaryOp::Deref, "not an lvalue unary");
-        Value p = eval(*e.a);
-        return Lvalue{p.as_addr(), e.type, AccessKind::Data,
-                      minic::instr_addr_for_node(e.node_id)};
-      }
-      case ExprKind::Index: {
-        Value base = eval(*e.a);
-        Value idx = eval(*e.b);
-        uint32_t elem = static_cast<uint32_t>(e.type.size());
-        uint32_t addr = base.as_addr() +
-                        static_cast<uint32_t>(idx.as_int()) * elem;
-        return Lvalue{addr, e.type, AccessKind::Data,
-                      minic::instr_addr_for_node(e.node_id)};
-      }
-      default:
-        throw RuntimeError("expression is not an lvalue");
-    }
-  }
-
-  Value eval(const Expr& e) {
-    step();
-    cur_line_ = e.line;
-    switch (e.kind) {
-      case ExprKind::IntLit:
-        return Value::of_int(e.int_val);
-      case ExprKind::FloatLit:
-        return Value::of_float(e.float_val);
-      case ExprKind::StrLit: {
-        auto it = interned_.find(e.str_val);
-        uint32_t addr;
-        if (it == interned_.end()) {
-          addr = mem_.alloc_rodata(e.str_val);
-          interned_[e.str_val] = addr;
-        } else {
-          addr = it->second;
-        }
-        return Value::of_ptr(addr, minic::make_type(BaseType::Char));
-      }
-      case ExprKind::Ident: {
-        const Slot* slot = lookup(e.name);
-        if (slot->is_array) {
-          return Value::of_ptr(slot->addr, slot->type);
-        }
-        Lvalue lv{slot->addr, slot->type, AccessKind::Scalar,
-                  minic::instr_addr_for_node(e.node_id)};
-        return load(lv);
-      }
-      case ExprKind::Unary:
-        return eval_unary(e);
-      case ExprKind::Binary:
-        return eval_binary(e);
-      case ExprKind::Assign:
-        return eval_assign(e);
-      case ExprKind::Cond:
-        return eval(*e.a).truthy() ? convert(eval(*e.b), e.type)
-                                   : convert(eval(*e.c), e.type);
-      case ExprKind::Call:
-        return eval_call(e);
-      case ExprKind::Index: {
-        Lvalue lv = lvalue(e);
-        return load(lv);
-      }
-      case ExprKind::Cast:
-        return convert(eval(*e.a), e.cast_type);
-    }
-    throw RuntimeError("unreachable expression kind");
-  }
-
-  Value eval_unary(const Expr& e) {
-    switch (e.un_op) {
-      case UnaryOp::Neg: {
-        Value v = eval(*e.a);
-        if (v.is_float()) return Value::of_float(-v.f);
-        return Value::of_int(-v.i, v.type);
-      }
-      case UnaryOp::Not:
-        return Value::of_int(eval(*e.a).truthy() ? 0 : 1);
-      case UnaryOp::BitNot:
-        return Value::of_int(~eval(*e.a).as_int());
-      case UnaryOp::Deref: {
-        Lvalue lv = lvalue(e);
-        return load(lv);
-      }
-      case UnaryOp::AddrOf: {
-        Lvalue lv = lvalue(*e.a);
-        return Value::of_ptr(lv.addr, lv.type);
-      }
-      case UnaryOp::PreInc:
-      case UnaryOp::PreDec:
-      case UnaryOp::PostInc:
-      case UnaryOp::PostDec: {
-        Lvalue lv = lvalue(*e.a);
-        Value old = load(lv);
-        int64_t delta = 1;
-        if (lv.type.is_pointer()) delta = lv.type.deref().size();
-        bool inc = e.un_op == UnaryOp::PreInc || e.un_op == UnaryOp::PostInc;
-        Value updated = convert(
-            Value::of_int(old.as_int() + (inc ? delta : -delta), lv.type),
-            lv.type);
-        store(lv, updated);
-        bool post = e.un_op == UnaryOp::PostInc ||
-                    e.un_op == UnaryOp::PostDec;
-        return post ? old : updated;
-      }
-    }
-    throw RuntimeError("unreachable unary op");
-  }
-
-  Value eval_binary(const Expr& e) {
-    if (e.bin_op == BinaryOp::LogAnd) {
-      if (!eval(*e.a).truthy()) return Value::of_int(0);
-      return Value::of_int(eval(*e.b).truthy() ? 1 : 0);
-    }
-    if (e.bin_op == BinaryOp::LogOr) {
-      if (eval(*e.a).truthy()) return Value::of_int(1);
-      return Value::of_int(eval(*e.b).truthy() ? 1 : 0);
-    }
-    Value a = eval(*e.a);
-    Value b = eval(*e.b);
-    return apply_binary(e.bin_op, a, b, e.type);
-  }
-
-  Value apply_binary(BinaryOp op, const Value& a, const Value& b,
-                     const Type& result_type) {
-    // Pointer arithmetic scales by pointee size.
-    if (op == BinaryOp::Add || op == BinaryOp::Sub) {
-      if (a.type.is_pointer() && b.type.is_pointer()) {
-        FORAY_CHECK(op == BinaryOp::Sub, "sema rejects ptr+ptr");
-        int64_t sz = a.type.deref().size();
-        if (sz == 0) sz = 1;
-        return Value::of_int((a.i - b.i) / sz);
-      }
-      if (a.type.is_pointer()) {
-        int64_t sz = a.type.deref().size();
-        int64_t off = b.as_int() * sz;
-        return Value::of_int(op == BinaryOp::Add ? a.i + off : a.i - off,
-                             a.type);
-      }
-      if (b.type.is_pointer()) {
-        int64_t sz = b.type.deref().size();
-        return Value::of_int(b.i + a.as_int() * sz, b.type);
-      }
-    }
-    const bool flt = a.is_float() || b.is_float();
-    switch (op) {
-      case BinaryOp::Add:
-        return flt ? Value::of_float(a.as_float() + b.as_float())
-                   : Value::of_int(a.i + b.i, result_type);
-      case BinaryOp::Sub:
-        return flt ? Value::of_float(a.as_float() - b.as_float())
-                   : Value::of_int(a.i - b.i, result_type);
-      case BinaryOp::Mul:
-        return flt ? Value::of_float(a.as_float() * b.as_float())
-                   : Value::of_int(a.i * b.i, result_type);
-      case BinaryOp::Div:
-        if (flt) {
-          return Value::of_float(a.as_float() / b.as_float());
-        }
-        if (b.i == 0) throw RuntimeError("integer division by zero");
-        return Value::of_int(a.i / b.i, result_type);
-      case BinaryOp::Mod:
-        if (b.as_int() == 0) throw RuntimeError("modulo by zero");
-        return Value::of_int(a.as_int() % b.as_int());
-      case BinaryOp::Shl:
-        return Value::of_int(a.as_int() << (b.as_int() & 63));
-      case BinaryOp::Shr:
-        return Value::of_int(a.as_int() >> (b.as_int() & 63));
-      case BinaryOp::Lt:
-        return Value::of_int(flt ? a.as_float() < b.as_float()
-                                 : a.i < b.i);
-      case BinaryOp::Gt:
-        return Value::of_int(flt ? a.as_float() > b.as_float()
-                                 : a.i > b.i);
-      case BinaryOp::Le:
-        return Value::of_int(flt ? a.as_float() <= b.as_float()
-                                 : a.i <= b.i);
-      case BinaryOp::Ge:
-        return Value::of_int(flt ? a.as_float() >= b.as_float()
-                                 : a.i >= b.i);
-      case BinaryOp::Eq:
-        return Value::of_int(flt ? a.as_float() == b.as_float()
-                                 : a.i == b.i);
-      case BinaryOp::Ne:
-        return Value::of_int(flt ? a.as_float() != b.as_float()
-                                 : a.i != b.i);
-      case BinaryOp::BitAnd:
-        return Value::of_int(a.as_int() & b.as_int());
-      case BinaryOp::BitOr:
-        return Value::of_int(a.as_int() | b.as_int());
-      case BinaryOp::BitXor:
-        return Value::of_int(a.as_int() ^ b.as_int());
-      case BinaryOp::LogAnd:
-      case BinaryOp::LogOr:
-        break;  // handled by caller (short circuit)
-    }
-    throw RuntimeError("unreachable binary op");
-  }
-
-  Value eval_assign(const Expr& e) {
-    Lvalue lv = lvalue(*e.a);
-    if (e.as_op == AssignOp::Assign) {
-      Value v = convert(eval(*e.b), lv.type);
-      store(lv, v);
-      return v;
-    }
-    Value old = load(lv);
-    Value rhs = eval(*e.b);
-    BinaryOp op;
-    switch (e.as_op) {
-      case AssignOp::AddA: op = BinaryOp::Add; break;
-      case AssignOp::SubA: op = BinaryOp::Sub; break;
-      case AssignOp::MulA: op = BinaryOp::Mul; break;
-      case AssignOp::DivA: op = BinaryOp::Div; break;
-      case AssignOp::ModA: op = BinaryOp::Mod; break;
-      case AssignOp::ShlA: op = BinaryOp::Shl; break;
-      case AssignOp::ShrA: op = BinaryOp::Shr; break;
-      case AssignOp::AndA: op = BinaryOp::BitAnd; break;
-      case AssignOp::OrA: op = BinaryOp::BitOr; break;
-      case AssignOp::XorA: op = BinaryOp::BitXor; break;
-      default:
-        throw RuntimeError("unreachable assign op");
-    }
-    Value v = convert(apply_binary(op, old, rhs, lv.type), lv.type);
-    store(lv, v);
-    return v;
-  }
-
-  // -- calls ----------------------------------------------------------------
-
-  Value eval_call(const Expr& e) {
-    std::vector<Value> args;
-    args.reserve(e.args.size());
-    for (const auto& a : e.args) args.push_back(eval(*a));
-    if (auto intr = minic::find_intrinsic(e.name)) {
-      return eval_intrinsic(e, intr->id, args);
-    }
-    const Function* fn = prog_.find_function(e.name);
-    FORAY_CHECK(fn != nullptr, "sema guarantees function exists");
-    return call_function(*fn, args, e.node_id);
-  }
-
-  Value call_function(const Function& fn, const std::vector<Value>& args,
-                      int call_node) {
-    (void)call_node;
-    if (frames_.size() >= 512) {
-      throw RuntimeError("simulated call depth limit exceeded in '" +
-                         fn.name + "'");
-    }
-    if (opts_.emit_calls) sink_->on_record(Record::call(fn.func_id));
-    Frame frame;
-    frame.saved_sp = mem_.sp();
-    frames_.push_back(std::move(frame));
-    frames_.back().scopes.emplace_back();
-    // Bind parameters: a real compiler stores arguments to the callee's
-    // frame; the resulting Scalar writes are the paper's "placing
-    // arguments to the stack" references that Step 4 filters out.
-    for (size_t i = 0; i < fn.params.size(); ++i) {
-      VarDecl pd;
-      pd.name = fn.params[i].name;
-      pd.type = fn.params[i].type;
-      Slot slot = alloc_local(pd);
-      Lvalue lv{slot.addr, slot.type, AccessKind::Scalar,
-                minic::instr_addr_for_node(fn.params[i].node_id)};
-      store(lv, convert(args[i], slot.type));
-    }
-    Flow flow = exec(*fn.body);
-    (void)flow;
-    Value ret = frames_.back().ret_value;
-    mem_.set_sp(frames_.back().saved_sp);
-    frames_.pop_back();
-    if (opts_.emit_calls) sink_->on_record(Record::ret(fn.func_id));
-    if (!fn.ret.is_void()) ret = convert(ret, fn.ret);
-    return ret;
-  }
-
-  // -- statements -----------------------------------------------------------
-
-  Flow exec(const Stmt& s) {
-    step();
-    cur_line_ = s.line;
-    switch (s.kind) {
-      case StmtKind::Expr:
-        if (s.expr) eval(*s.expr);
-        return Flow::Normal;
-      case StmtKind::Decl:
-        for (const VarDecl& d : s.decls) {
-          Slot slot = alloc_local(d);
-          init_slot(slot, d);
-        }
-        return Flow::Normal;
-      case StmtKind::If:
-        if (eval(*s.cond).truthy()) return exec(*s.then_branch);
-        if (s.else_branch) return exec(*s.else_branch);
-        return Flow::Normal;
-      case StmtKind::While:
-      case StmtKind::DoWhile:
-      case StmtKind::For:
-        return exec_loop(s);
-      case StmtKind::Block: {
-        uint32_t saved_sp = mem_.sp();
-        frames_.back().scopes.emplace_back();
-        Flow flow = Flow::Normal;
-        for (const auto& st : s.stmts) {
-          flow = exec(*st);
-          if (flow != Flow::Normal) break;
-        }
-        frames_.back().scopes.pop_back();
-        mem_.set_sp(saved_sp);
-        return flow;
-      }
-      case StmtKind::Return:
-        if (s.expr) frames_.back().ret_value = eval(*s.expr);
-        return Flow::Return;
-      case StmtKind::Break:
-        return Flow::Break;
-      case StmtKind::Continue:
-        return Flow::Continue;
-      case StmtKind::Empty:
-        return Flow::Normal;
-    }
-    throw RuntimeError("unreachable statement kind");
-  }
-
-  Flow exec_loop(const Stmt& s) {
-    uint32_t saved_sp = mem_.sp();
-    frames_.back().scopes.emplace_back();
-    emit_checkpoint(CheckpointType::LoopEnter, s.loop_id);
-
-    Flow out = Flow::Normal;
-    if (s.kind == StmtKind::For && s.init) {
-      Flow f = exec(*s.init);
-      FORAY_CHECK(f == Flow::Normal, "for-init cannot break");
-    }
-    bool first = true;
-    for (;;) {
-      if (s.kind == StmtKind::DoWhile && first) {
-        // do-while runs the body before the first condition check.
-      } else if (s.kind == StmtKind::DoWhile || s.cond != nullptr) {
-        if (!eval(*s.cond).truthy()) break;
-      } else if (s.kind == StmtKind::For && s.cond == nullptr) {
-        // for(;;): no condition — runs until break/return.
-      }
-      first = false;
-      emit_checkpoint(CheckpointType::BodyBegin, s.loop_id);
-      Flow flow = exec(*s.body);
-      if (flow == Flow::Break) break;
-      if (flow == Flow::Return) {
-        out = Flow::Return;
-        break;
-      }
-      emit_checkpoint(CheckpointType::BodyEnd, s.loop_id);
-      if (s.kind == StmtKind::For && s.step) eval(*s.step);
-    }
-
-    emit_checkpoint(CheckpointType::LoopExit, s.loop_id);
-    frames_.back().scopes.pop_back();
-    mem_.set_sp(saved_sp);
-    return out;
-  }
-
-  // -- intrinsics -----------------------------------------------------------
-
-  /// Reads a NUL-terminated string from simulated memory (no trace).
-  std::string read_cstring(uint32_t addr, size_t limit = 1u << 20) {
-    std::string out;
-    while (out.size() < limit) {
-      uint8_t c = mem_.load_byte(addr++);
-      if (c == 0) break;
-      out.push_back(static_cast<char>(c));
-    }
-    return out;
-  }
-
-  std::string format_printf(const Expr& call, const std::string& fmt,
-                            const std::vector<Value>& args) {
-    std::string out;
-    size_t argi = 1;
-    for (size_t i = 0; i < fmt.size(); ++i) {
-      if (fmt[i] != '%') {
-        out.push_back(fmt[i]);
-        continue;
-      }
-      ++i;
-      if (i >= fmt.size()) break;
-      if (fmt[i] == '%') {
-        out.push_back('%');
-        continue;
-      }
-      // Skip flags / width / precision.
-      std::string spec = "%";
-      while (i < fmt.size() &&
-             (std::isdigit(static_cast<unsigned char>(fmt[i])) ||
-              fmt[i] == '.' || fmt[i] == '-' || fmt[i] == '+' ||
-              fmt[i] == ' ' || fmt[i] == '0' || fmt[i] == 'l')) {
-        if (fmt[i] != 'l') spec.push_back(fmt[i]);
-        ++i;
-      }
-      if (i >= fmt.size()) break;
-      char conv = fmt[i];
-      if (argi >= args.size() &&
-          (conv == 'd' || conv == 'u' || conv == 'x' || conv == 'c' ||
-           conv == 's' || conv == 'f' || conv == 'g' || conv == 'e')) {
-        throw RuntimeError("printf: not enough arguments");
-      }
-      char buf[64];
-      switch (conv) {
-        case 'd': {
-          spec += "lld";
-          std::snprintf(buf, sizeof buf, spec.c_str(),
-                        static_cast<long long>(args[argi++].as_int()));
-          out += buf;
-          break;
-        }
-        case 'u': {
-          spec += "llu";
-          std::snprintf(buf, sizeof buf, spec.c_str(),
-                        static_cast<unsigned long long>(
-                            args[argi++].as_int()));
-          out += buf;
-          break;
-        }
-        case 'x': {
-          spec += "llx";
-          std::snprintf(buf, sizeof buf, spec.c_str(),
-                        static_cast<unsigned long long>(
-                            args[argi++].as_int()));
-          out += buf;
-          break;
-        }
-        case 'c': {
-          out.push_back(static_cast<char>(args[argi++].as_int()));
-          break;
-        }
-        case 'f':
-        case 'g':
-        case 'e': {
-          spec.push_back(conv);
-          std::snprintf(buf, sizeof buf, spec.c_str(),
-                        args[argi++].as_float());
-          out += buf;
-          break;
-        }
-        case 's': {
-          uint32_t saddr = args[argi++].as_addr();
-          std::string s = read_cstring(saddr);
-          // Reading the string payload is system-library traffic.
-          uint32_t instr = minic::instr_addr_for_node(call.node_id);
-          for (size_t k = 0; k < s.size(); k += 4) {
-            emit_access(instr, saddr + static_cast<uint32_t>(k),
-                        static_cast<uint8_t>(std::min<size_t>(4,
-                                                              s.size() - k)),
-                        false, AccessKind::System);
-          }
-          out += s;
-          break;
-        }
-        default:
-          out += spec;
-          out.push_back(conv);
-      }
-    }
-    return out;
-  }
-
-  Value eval_intrinsic(const Expr& e, minic::Intrinsic id,
-                       const std::vector<Value>& args) {
-    using minic::Intrinsic;
-    uint32_t instr = minic::instr_addr_for_node(e.node_id);
-    switch (id) {
-      case Intrinsic::Printf: {
-        std::string fmt = read_cstring(args[0].as_addr());
-        std::string text = format_printf(e, fmt, args);
-        append_output(text);
-        return Value::of_int(static_cast<int64_t>(text.size()));
-      }
-      case Intrinsic::Putchar:
-        append_output(std::string(1, static_cast<char>(args[0].as_int())));
-        return args[0];
-      case Intrinsic::Puts: {
-        uint32_t saddr = args[0].as_addr();
-        std::string s = read_cstring(saddr);
-        for (size_t k = 0; k < s.size(); k += 4) {
-          emit_access(instr, saddr + static_cast<uint32_t>(k),
-                      static_cast<uint8_t>(std::min<size_t>(4, s.size() - k)),
-                      false, AccessKind::System);
-        }
-        append_output(s + "\n");
-        return Value::of_int(0);
-      }
-      case Intrinsic::Malloc: {
-        int64_t n = args[0].as_int();
-        if (n < 0) throw RuntimeError("malloc of negative size");
-        uint32_t addr = mem_.heap_alloc(static_cast<uint32_t>(n));
-        return Value::of_ptr(addr, minic::make_type(BaseType::Char));
-      }
-      case Intrinsic::Free:
-        return Value::void_value();
-      case Intrinsic::Memset: {
-        uint32_t dst = args[0].as_addr();
-        uint8_t val = static_cast<uint8_t>(args[1].as_int());
-        int64_t n = args[2].as_int();
-        if (n < 0) throw RuntimeError("memset of negative size");
-        for (int64_t k = 0; k < n; ++k) {
-          mem_.store_byte(dst + static_cast<uint32_t>(k), val);
-        }
-        for (int64_t k = 0; k < n; k += 4) {
-          emit_access(instr, dst + static_cast<uint32_t>(k),
-                      static_cast<uint8_t>(std::min<int64_t>(4, n - k)),
-                      true, AccessKind::System);
-        }
-        return args[0];
-      }
-      case Intrinsic::Memcpy: {
-        uint32_t dst = args[0].as_addr();
-        uint32_t src = args[1].as_addr();
-        int64_t n = args[2].as_int();
-        if (n < 0) throw RuntimeError("memcpy of negative size");
-        for (int64_t k = 0; k < n; ++k) {
-          mem_.store_byte(dst + static_cast<uint32_t>(k),
-                          mem_.load_byte(src + static_cast<uint32_t>(k)));
-        }
-        for (int64_t k = 0; k < n; k += 4) {
-          uint8_t sz = static_cast<uint8_t>(std::min<int64_t>(4, n - k));
-          emit_access(instr, src + static_cast<uint32_t>(k), sz, false,
-                      AccessKind::System);
-          emit_access(instr, dst + static_cast<uint32_t>(k), sz, true,
-                      AccessKind::System);
-        }
-        return args[0];
-      }
-      case Intrinsic::Rand:
-        return Value::of_int(static_cast<int64_t>(
-            rng_.next_below(1u << 30)));
-      case Intrinsic::Srand:
-        rng_ = util::Rng(static_cast<uint64_t>(args[0].as_int()));
-        return Value::void_value();
-      case Intrinsic::Abs:
-        return Value::of_int(std::llabs(args[0].as_int()));
-      case Intrinsic::Sqrtf:
-        return Value::of_float(std::sqrt(args[0].as_float()));
-      case Intrinsic::Sinf:
-        return Value::of_float(std::sin(args[0].as_float()));
-      case Intrinsic::Cosf:
-        return Value::of_float(std::cos(args[0].as_float()));
-      case Intrinsic::Expf:
-        return Value::of_float(std::exp(args[0].as_float()));
-      case Intrinsic::Logf:
-        return Value::of_float(std::log(args[0].as_float()));
-      case Intrinsic::Powf:
-        return Value::of_float(std::pow(args[0].as_float(),
-                                        args[1].as_float()));
-      case Intrinsic::Fabsf:
-        return Value::of_float(std::fabs(args[0].as_float()));
-      case Intrinsic::Floorf:
-        return Value::of_float(std::floor(args[0].as_float()));
-      case Intrinsic::Assert:
-        if (!args[0].truthy()) {
-          throw RuntimeError("assertion failed (line " +
-                             std::to_string(e.line) + ")");
-        }
-        return Value::void_value();
-      case Intrinsic::Exit:
-        throw ExitSignal{static_cast<int>(args[0].as_int())};
-    }
-    throw RuntimeError("unreachable intrinsic");
-  }
-
-  const Program& prog_;
-  trace::Sink* sink_;
-  RunOptions opts_;
-  Memory mem_;
-  util::Rng rng_;
-  std::unordered_map<std::string, Slot> globals_;
-  std::unordered_map<std::string, uint32_t> interned_;
-  std::vector<Frame> frames_;
-  std::string output_;
-  uint64_t steps_ = 0;
-  uint64_t accesses_ = 0;
-  int cur_line_ = 0;
-};
-
-}  // namespace
-
-RunResult run_program(const Program& prog, trace::Sink* sink,
+RunResult run_program(const minic::Program& prog, trace::Sink* sink,
                       const RunOptions& opts) {
   trace::NullSink null_sink;
-  Interp interp(prog, sink != nullptr ? sink : &null_sink, opts);
-  return interp.run();
+  trace::Sink* s = sink != nullptr ? sink : &null_sink;
+  return run_program_with(prog, s, opts);
 }
 
 }  // namespace foray::sim

@@ -31,6 +31,10 @@ struct RunOptions {
   /// reserve storage up front instead of growing through reallocation.
   /// 0 = unknown.
   uint64_t trace_reserve_hint = 0;
+  /// Records buffered before a bulk on_chunk() flush to the sink. 1
+  /// degenerates to record-at-a-time delivery (the throughput-bench
+  /// baseline); values above a few thousand stop paying for themselves.
+  size_t chunk_records = trace::kDefaultChunkRecords;
   bool emit_checkpoints = true;
   bool emit_calls = true;
   bool trace_scalars = true;  ///< record Scalar-kind accesses
@@ -56,6 +60,12 @@ struct RunResult {
 
 /// Executes `prog` (which must have passed sema) from main(), streaming
 /// trace records into `sink`. The program AST is not modified.
+///
+/// Delivery is chunked (RunOptions::chunk_records) but dispatches through
+/// the virtual trace::Sink interface once per chunk. Callers that know
+/// their concrete sink type — above all the online analyzer — should use
+/// run_program_with<SinkT>() from sim/interp_impl.h, which inlines the
+/// whole record path into the interpreter (zero virtual calls).
 RunResult run_program(const minic::Program& prog, trace::Sink* sink,
                       const RunOptions& opts = {});
 

@@ -2,88 +2,6 @@
 
 namespace foray::spm {
 
-namespace {
-
-/// Odometer sweep over `trips` (outermost-first), calling fn(iters).
-uint64_t sweep(const std::vector<int64_t>& trips,
-               const std::function<void(const std::vector<int64_t>&)>& fn) {
-  const size_t n = trips.size();
-  for (int64_t t : trips) {
-    if (t <= 0) return 0;
-  }
-  std::vector<int64_t> it(n, 0);
-  uint64_t count = 0;
-  for (;;) {
-    fn(it);
-    ++count;
-    if (n == 0) return count;
-    // Innermost (last index) advances fastest.
-    size_t i = n - 1;
-    for (;;) {
-      if (++it[i] < trips[i]) break;
-      it[i] = 0;
-      if (i == 0) return count;
-      --i;
-    }
-  }
-}
-
-}  // namespace
-
-uint64_t for_each_address(const core::ModelReference& ref,
-                          const std::function<void(uint32_t)>& fn) {
-  auto trips = ref.emitted_trips();
-  auto coefs = ref.emitted_coefs();
-  return sweep(trips, [&](const std::vector<int64_t>& it) {
-    int64_t addr = ref.fn.const_term;
-    for (size_t i = 0; i < coefs.size(); ++i) addr += coefs[i] * it[i];
-    fn(static_cast<uint32_t>(addr));
-  });
-}
-
-uint64_t for_each_address(const core::ForayModel& model,
-                          const std::function<void(uint32_t)>& fn) {
-  // Group references by emitted nest, then sweep each group once with
-  // all its references interleaved per iteration.
-  struct Group {
-    std::vector<int64_t> trips;
-    std::vector<size_t> refs;
-  };
-  std::vector<Group> groups;
-  for (size_t i = 0; i < model.refs.size(); ++i) {
-    auto path = model.refs[i].emitted_loop_path();
-    auto trips = model.refs[i].emitted_trips();
-    bool placed = false;
-    for (auto& g : groups) {
-      if (!g.refs.empty() &&
-          model.refs[g.refs[0]].emitted_loop_path() == path &&
-          g.trips == trips) {
-        g.refs.push_back(i);
-        placed = true;
-        break;
-      }
-    }
-    if (!placed) groups.push_back(Group{trips, {i}});
-  }
-
-  uint64_t total = 0;
-  for (const auto& g : groups) {
-    total += static_cast<uint64_t>(g.refs.size()) *
-             sweep(g.trips, [&](const std::vector<int64_t>& it) {
-               for (size_t ri : g.refs) {
-                 const auto& ref = model.refs[ri];
-                 auto coefs = ref.emitted_coefs();
-                 int64_t addr = ref.fn.const_term;
-                 for (size_t i = 0; i < coefs.size(); ++i) {
-                   addr += coefs[i] * it[i];
-                 }
-                 fn(static_cast<uint32_t>(addr));
-               }
-             });
-  }
-  return total;
-}
-
 std::vector<uint32_t> addresses_of(const core::ModelReference& ref,
                                    uint64_t limit) {
   std::vector<uint32_t> out;

@@ -4,28 +4,117 @@
 // and produces the exact address sequence its affine function describes.
 // The cache simulator consumes these streams; tests use them to check
 // that an extracted model reproduces the simulator-observed addresses.
+//
+// The visitors are templates: the callback is a deduced functor invoked
+// directly inside the odometer sweep, so a lambda over CacheSim::access
+// (or a counter) inlines into the loop — the streams replay at memory
+// bandwidth instead of paying a std::function indirection per address.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "foray/model.h"
 
 namespace foray::spm {
 
+namespace internal {
+
+/// Odometer sweep over `trips` (outermost-first), calling fn(iters).
+template <class Fn>
+uint64_t sweep(const std::vector<int64_t>& trips, Fn&& fn) {
+  const size_t n = trips.size();
+  for (int64_t t : trips) {
+    if (t <= 0) return 0;
+  }
+  std::vector<int64_t> it(n, 0);
+  uint64_t count = 0;
+  for (;;) {
+    fn(it);
+    ++count;
+    if (n == 0) return count;
+    // Innermost (last index) advances fastest.
+    size_t i = n - 1;
+    for (;;) {
+      if (++it[i] < trips[i]) break;
+      it[i] = 0;
+      if (i == 0) return count;
+      --i;
+    }
+  }
+}
+
+}  // namespace internal
+
 /// Invokes `fn(addr)` for every access of `ref`'s emitted nest, in
 /// iteration order (outermost slowest). Returns the number of addresses
 /// produced (product of emitted trips).
-uint64_t for_each_address(const core::ModelReference& ref,
-                          const std::function<void(uint32_t)>& fn);
+template <class Fn>
+uint64_t for_each_address(const core::ModelReference& ref, Fn&& fn) {
+  auto trips = ref.emitted_trips();
+  auto coefs = ref.emitted_coefs();
+  return internal::sweep(trips, [&](const std::vector<int64_t>& it) {
+    int64_t addr = ref.fn.const_term;
+    for (size_t i = 0; i < coefs.size(); ++i) addr += coefs[i] * it[i];
+    fn(static_cast<uint32_t>(addr));
+  });
+}
 
 /// Interleaved stream over all references of a model that share a nest:
 /// per innermost iteration, each reference of the group emits one
 /// address, mirroring how the emitted program executes. Returns the
 /// total accesses produced.
-uint64_t for_each_address(const core::ForayModel& model,
-                          const std::function<void(uint32_t)>& fn);
+template <class Fn>
+uint64_t for_each_address(const core::ForayModel& model, Fn&& fn) {
+  // Group references by emitted nest, then sweep each group once with
+  // all its references interleaved per iteration.
+  struct Group {
+    std::vector<int64_t> trips;
+    std::vector<size_t> refs;
+  };
+  std::vector<Group> groups;
+  for (size_t i = 0; i < model.refs.size(); ++i) {
+    auto path = model.refs[i].emitted_loop_path();
+    auto trips = model.refs[i].emitted_trips();
+    bool placed = false;
+    for (auto& g : groups) {
+      if (!g.refs.empty() &&
+          model.refs[g.refs[0]].emitted_loop_path() == path &&
+          g.trips == trips) {
+        g.refs.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) groups.push_back(Group{trips, {i}});
+  }
+
+  uint64_t total = 0;
+  for (const auto& g : groups) {
+    // Hoist the per-reference constants out of the sweep.
+    struct RefPlan {
+      int64_t base;
+      std::vector<int64_t> coefs;
+    };
+    std::vector<RefPlan> plans;
+    plans.reserve(g.refs.size());
+    for (size_t ri : g.refs) {
+      plans.push_back(RefPlan{model.refs[ri].fn.const_term,
+                              model.refs[ri].emitted_coefs()});
+    }
+    total += static_cast<uint64_t>(g.refs.size()) *
+             internal::sweep(g.trips, [&](const std::vector<int64_t>& it) {
+               for (const RefPlan& p : plans) {
+                 int64_t addr = p.base;
+                 for (size_t i = 0; i < p.coefs.size(); ++i) {
+                   addr += p.coefs[i] * it[i];
+                 }
+                 fn(static_cast<uint32_t>(addr));
+               }
+             });
+  }
+  return total;
+}
 
 /// Materializes the (possibly large) stream of one reference.
 std::vector<uint32_t> addresses_of(const core::ModelReference& ref,

@@ -50,21 +50,21 @@ bool parse_kind(std::string_view s, AccessKind* out) {
 
 std::string record_to_text(const Record& r) {
   std::ostringstream os;
-  switch (r.type) {
+  switch (r.type()) {
     case RecordType::Checkpoint:
-      os << "Checkpoint: " << cp_name(r.cp) << " " << r.loop_id;
+      os << "Checkpoint: " << cp_name(r.cp()) << " " << r.loop_id();
       break;
     case RecordType::Access:
-      os << "Instr: " << util::to_hex(r.instr)
-         << " addr: " << util::to_hex(r.addr) << " "
-         << (r.is_write ? "wr" : "rd") << " " << static_cast<int>(r.size)
-         << " " << kind_name(r.kind);
+      os << "Instr: " << util::to_hex(r.instr())
+         << " addr: " << util::to_hex(r.addr()) << " "
+         << (r.is_write() ? "wr" : "rd") << " " << static_cast<int>(r.size())
+         << " " << kind_name(r.kind());
       break;
     case RecordType::Call:
-      os << "Call: " << r.func_id;
+      os << "Call: " << r.func_id();
       break;
     case RecordType::Ret:
-      os << "Ret: " << r.func_id;
+      os << "Ret: " << r.func_id();
       break;
   }
   return os.str();
@@ -151,7 +151,7 @@ constexpr char kMagic[4] = {'F', 'T', 'R', 'C'};
 }  // namespace
 
 size_t binary_record_size(const Record& r) {
-  switch (r.type) {
+  switch (r.type()) {
     case RecordType::Checkpoint: return 1 + 4;
     case RecordType::Access: return 1 + 4 + 4 + 1 + 1;
     case RecordType::Call:
@@ -161,29 +161,34 @@ size_t binary_record_size(const Record& r) {
 }
 
 void write_binary(std::ostream& os, const std::vector<Record>& records) {
+  write_binary(os, records.data(), records.size());
+}
+
+void write_binary(std::ostream& os, const Record* records, size_t count) {
   os.write(kMagic, 4);
-  put_u32(os, static_cast<uint32_t>(records.size()));
-  for (const Record& r : records) {
-    uint8_t tag = static_cast<uint8_t>(r.type) << 4;
-    switch (r.type) {
+  put_u32(os, static_cast<uint32_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    const Record& r = records[i];
+    uint8_t tag = static_cast<uint8_t>(r.type()) << 4;
+    switch (r.type()) {
       case RecordType::Checkpoint:
-        tag |= static_cast<uint8_t>(r.cp);
+        tag |= static_cast<uint8_t>(r.cp());
         os.put(static_cast<char>(tag));
-        put_u32(os, static_cast<uint32_t>(r.loop_id));
+        put_u32(os, static_cast<uint32_t>(r.loop_id()));
         break;
       case RecordType::Access:
-        tag |= static_cast<uint8_t>(r.kind) |
-               (r.is_write ? 0x08 : 0x00);
+        tag |= static_cast<uint8_t>(r.kind()) |
+               (r.is_write() ? 0x08 : 0x00);
         os.put(static_cast<char>(tag));
-        put_u32(os, r.instr);
-        put_u32(os, r.addr);
-        os.put(static_cast<char>(r.size));
+        put_u32(os, r.instr());
+        put_u32(os, r.addr());
+        os.put(static_cast<char>(r.size()));
         os.put(0);  // reserved
         break;
       case RecordType::Call:
       case RecordType::Ret:
         os.put(static_cast<char>(tag));
-        put_u32(os, static_cast<uint32_t>(r.func_id));
+        put_u32(os, static_cast<uint32_t>(r.func_id()));
         break;
     }
   }

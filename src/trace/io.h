@@ -35,6 +35,10 @@ bool read_text(std::istream& is, std::vector<Record>* out,
 
 void write_binary(std::ostream& os, const std::vector<Record>& records);
 
+/// Chunk-friendly form for callers that hold records in a flat buffer
+/// (e.g. a ChunkBuffer flush or a shard of a materialized trace).
+void write_binary(std::ostream& os, const Record* records, size_t count);
+
 bool read_binary(std::istream& is, std::vector<Record>* out,
                  util::DiagList* diags);
 

@@ -10,9 +10,18 @@
 //    Figure 4(c): instruction address, access address, size, direction.
 //  - Call/Ret records mark user-function boundaries; the analyzer ignores
 //    them but statistics and the inlining advisor use them.
+//
+// Records are a packed 12-byte tagged layout: one 32-bit payload word
+// (instr / loop id / func id), the access address, a tag byte carrying
+// the type and per-type flags, and the access size. Traces routinely run
+// to millions of records, so the difference between this and a naively
+// padded struct is the difference between a chunk fitting in L1 or not —
+// the chunked transport (trace::Sink::on_chunk) moves records in bulk
+// and the density is what makes that worthwhile.
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 
 namespace foray::trace {
 
@@ -32,69 +41,80 @@ enum class AccessKind : uint8_t {
 
 enum class RecordType : uint8_t { Checkpoint, Access, Call, Ret };
 
-struct Record {
-  RecordType type = RecordType::Access;
+class Record {
+ public:
+  Record() = default;
 
-  // Checkpoint payload.
-  CheckpointType cp = CheckpointType::LoopEnter;
-  int32_t loop_id = -1;
+  // Tag layout (one byte): bits 7..6 = RecordType; the low bits are
+  // per-type. Checkpoint: bits 1..0 = CheckpointType. Access: bit 2 =
+  // write, bits 1..0 = AccessKind. Call/Ret: low bits unused.
+  RecordType type() const { return static_cast<RecordType>(tag_ >> 6); }
+  CheckpointType cp() const {
+    return static_cast<CheckpointType>(tag_ & 0x03);
+  }
+  AccessKind kind() const { return static_cast<AccessKind>(tag_ & 0x03); }
+  bool is_write() const { return (tag_ & 0x04) != 0; }
 
-  // Access payload.
-  uint32_t instr = 0;   ///< instruction address (synthetic text segment)
-  uint32_t addr = 0;    ///< data address accessed
-  uint8_t size = 0;     ///< access width in bytes
-  bool is_write = false;
-  AccessKind kind = AccessKind::Data;
-
-  // Call/Ret payload.
-  int32_t func_id = -1;
+  int32_t loop_id() const { return static_cast<int32_t>(word_); }
+  uint32_t instr() const { return word_; }
+  uint32_t addr() const { return addr_; }
+  uint8_t size() const { return size_; }
+  int32_t func_id() const { return static_cast<int32_t>(word_); }
 
   // -- factories ------------------------------------------------------------
   static Record checkpoint(CheckpointType t, int32_t loop) {
     Record r;
-    r.type = RecordType::Checkpoint;
-    r.cp = t;
-    r.loop_id = loop;
+    r.tag_ = make_tag(RecordType::Checkpoint, static_cast<uint8_t>(t));
+    r.word_ = static_cast<uint32_t>(loop);
     return r;
   }
   static Record access(uint32_t instr, uint32_t addr, uint8_t size,
                        bool is_write, AccessKind kind = AccessKind::Data) {
     Record r;
-    r.type = RecordType::Access;
-    r.instr = instr;
-    r.addr = addr;
-    r.size = size;
-    r.is_write = is_write;
-    r.kind = kind;
+    r.tag_ = make_tag(RecordType::Access, static_cast<uint8_t>(
+                                              static_cast<uint8_t>(kind) |
+                                              (is_write ? 0x04 : 0x00)));
+    r.word_ = instr;
+    r.addr_ = addr;
+    r.size_ = size;
     return r;
   }
   static Record call(int32_t func_id) {
     Record r;
-    r.type = RecordType::Call;
-    r.func_id = func_id;
+    r.tag_ = make_tag(RecordType::Call, 0);
+    r.word_ = static_cast<uint32_t>(func_id);
     return r;
   }
   static Record ret(int32_t func_id) {
     Record r;
-    r.type = RecordType::Ret;
-    r.func_id = func_id;
+    r.tag_ = make_tag(RecordType::Ret, 0);
+    r.word_ = static_cast<uint32_t>(func_id);
     return r;
   }
 
+  /// Factories zero every field a type does not use, so whole-record
+  /// comparison is exactly the per-type payload comparison.
   bool operator==(const Record& o) const {
-    if (type != o.type) return false;
-    switch (type) {
-      case RecordType::Checkpoint:
-        return cp == o.cp && loop_id == o.loop_id;
-      case RecordType::Access:
-        return instr == o.instr && addr == o.addr && size == o.size &&
-               is_write == o.is_write && kind == o.kind;
-      case RecordType::Call:
-      case RecordType::Ret:
-        return func_id == o.func_id;
-    }
-    return false;
+    return tag_ == o.tag_ && word_ == o.word_ && addr_ == o.addr_ &&
+           size_ == o.size_;
   }
+
+ private:
+  static uint8_t make_tag(RecordType t, uint8_t low) {
+    return static_cast<uint8_t>((static_cast<uint8_t>(t) << 6) | low);
+  }
+
+  uint32_t word_ = 0;  ///< instr (Access) / loop id (Checkpoint) / func id
+  uint32_t addr_ = 0;  ///< data address accessed (Access only)
+  uint8_t tag_ = static_cast<uint8_t>(static_cast<uint8_t>(RecordType::Access)
+                                      << 6);
+  uint8_t size_ = 0;   ///< access width in bytes (Access only)
 };
+
+static_assert(sizeof(Record) == 12,
+              "Record must stay a packed 12-byte tagged layout; the chunked "
+              "trace transport and trace/io binary format budget for it");
+static_assert(std::is_trivially_copyable_v<Record>,
+              "chunks of Records are moved with bulk copies");
 
 }  // namespace foray::trace

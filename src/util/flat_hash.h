@@ -1,0 +1,299 @@
+// Insert-only open-addressed hash containers for 32-bit keys.
+//
+// The extractor's two per-access lookups — reference-node index and
+// footprint membership — sat on libstdc++'s node-based unordered
+// containers, whose prime-modulo bucket math (an integer division per
+// probe) and per-node allocations dominated the analyzer's hot path.
+// These replacements use power-of-two tables with a multiplicative hash
+// and linear probing, and store occupancy in-band (key 0 is the empty
+// sentinel; a real key 0 is tracked out of band), so a lookup touches
+// exactly one array — one multiply, one mask, and (almost always) one
+// cache line. PagedAddrSet specializes distinct-address counting with
+// per-page bitmaps so strided memory walks stay on one hot line. None of
+// the containers support erase — the loop tree only ever grows, which is
+// exactly the paper's monotone state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace foray::util {
+
+/// Fibonacci-style mixer: spreads low-entropy keys (sequential instr
+/// addresses, small loop ids) across the high bits the mask keeps.
+inline uint32_t hash_u32(uint32_t x) {
+  x ^= x >> 16;
+  x *= 0x7feb352du;
+  x ^= x >> 15;
+  x *= 0x846ca68bu;
+  x ^= x >> 16;
+  return x;
+}
+
+/// Set of uint32 keys. Insert and membership only.
+class FlatSet32 {
+ public:
+  FlatSet32() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool contains(uint32_t key) const {
+    if (key == 0) return has_zero_;
+    if (slots_.empty()) return false;
+    const size_t mask = slots_.size() - 1;
+    size_t i = hash_u32(key) & mask;
+    while (slots_[i] != 0) {
+      if (slots_[i] == key) return true;
+      i = (i + 1) & mask;
+    }
+    return false;
+  }
+
+  /// Returns true when the key was newly inserted.
+  bool insert(uint32_t key) {
+    if (key == 0) {
+      if (has_zero_) return false;
+      has_zero_ = true;
+      ++size_;
+      return true;
+    }
+    if (slots_.empty() || size_ >= grow_at_) grow();
+    const size_t mask = slots_.size() - 1;
+    size_t i = hash_u32(key) & mask;
+    while (slots_[i] != 0) {
+      if (slots_[i] == key) return false;
+      i = (i + 1) & mask;
+    }
+    slots_[i] = key;
+    ++size_;
+    return true;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (has_zero_) fn(0u);
+    for (uint32_t k : slots_) {
+      if (k != 0) fn(k);
+    }
+  }
+
+  /// Heap bytes held by the table (for working-set accounting).
+  size_t heap_bytes() const { return slots_.capacity() * sizeof(uint32_t); }
+
+ private:
+  void grow() {
+    const size_t new_cap = slots_.empty() ? 16 : slots_.size() * 2;
+    std::vector<uint32_t> old = std::move(slots_);
+    slots_.assign(new_cap, 0);
+    grow_at_ = (new_cap * 7) / 8;
+    const size_t mask = new_cap - 1;
+    for (uint32_t k : old) {
+      if (k == 0) continue;
+      size_t j = hash_u32(k) & mask;
+      while (slots_[j] != 0) j = (j + 1) & mask;
+      slots_[j] = k;
+    }
+  }
+
+  std::vector<uint32_t> slots_;
+  size_t size_ = 0;
+  size_t grow_at_ = 0;
+  bool has_zero_ = false;
+};
+
+/// Map from uint32 keys to small trivially-copyable values (pointers in
+/// the loop tree's indices). Insert and find only.
+template <typename V>
+class FlatMap32 {
+ public:
+  FlatMap32() = default;
+
+  size_t size() const { return size_; }
+
+  V* find(uint32_t key) {
+    if (key == 0) return has_zero_ ? &zero_val_ : nullptr;
+    if (keys_.empty()) return nullptr;
+    const size_t mask = keys_.size() - 1;
+    size_t i = hash_u32(key) & mask;
+    while (keys_[i] != 0) {
+      if (keys_[i] == key) return &vals_[i];
+      i = (i + 1) & mask;
+    }
+    return nullptr;
+  }
+  const V* find(uint32_t key) const {
+    return const_cast<FlatMap32*>(this)->find(key);
+  }
+
+  /// Inserts (or overwrites) key -> value.
+  void insert(uint32_t key, V value) {
+    if (key == 0) {
+      if (!has_zero_) ++size_;
+      has_zero_ = true;
+      zero_val_ = value;
+      return;
+    }
+    if (keys_.empty() || size_ >= grow_at_) grow();
+    const size_t mask = keys_.size() - 1;
+    size_t i = hash_u32(key) & mask;
+    while (keys_[i] != 0) {
+      if (keys_[i] == key) {
+        vals_[i] = value;
+        return;
+      }
+      i = (i + 1) & mask;
+    }
+    keys_[i] = key;
+    vals_[i] = value;
+    ++size_;
+  }
+
+  size_t heap_bytes() const {
+    return keys_.capacity() * sizeof(uint32_t) +
+           vals_.capacity() * sizeof(V);
+  }
+
+ private:
+  void grow() {
+    const size_t new_cap = keys_.empty() ? 16 : keys_.size() * 2;
+    std::vector<uint32_t> old_keys = std::move(keys_);
+    std::vector<V> old_vals = std::move(vals_);
+    keys_.assign(new_cap, 0);
+    vals_.assign(new_cap, V{});
+    grow_at_ = (new_cap * 7) / 8;
+    const size_t mask = new_cap - 1;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == 0) continue;
+      size_t j = hash_u32(old_keys[i]) & mask;
+      while (keys_[j] != 0) j = (j + 1) & mask;
+      keys_[j] = old_keys[i];
+      vals_[j] = old_vals[i];
+    }
+  }
+
+  std::vector<uint32_t> keys_;
+  std::vector<V> vals_;
+  size_t size_ = 0;
+  size_t grow_at_ = 0;
+  bool has_zero_ = false;
+  V zero_val_{};
+};
+
+/// Distinct-uint32 set tuned for address footprints: a hash map of
+/// 4 KiB pages to 512-byte bitmaps, with a one-entry page cache. Memory
+/// walks — strided array sweeps, dense scans — stay on one bitmap line
+/// for thousands of consecutive addresses, where a hash set would
+/// scatter every probe across its table; sparse random inserts degrade
+/// gracefully to one page lookup plus one bit op. Insert and membership
+/// only.
+class PagedAddrSet {
+ public:
+  static constexpr uint32_t kPageBits = 12;  ///< 4 KiB address pages
+  static constexpr size_t kWordsPerPage = (1u << kPageBits) / 64;
+
+  PagedAddrSet() = default;
+  // The page cache points into pages_ storage: moves keep the heap
+  // blocks alive (cache stays valid), copies must rebuild it.
+  PagedAddrSet(PagedAddrSet&&) = default;
+  PagedAddrSet& operator=(PagedAddrSet&&) = default;
+  PagedAddrSet(const PagedAddrSet& o) { copy_from(o); }
+  PagedAddrSet& operator=(const PagedAddrSet& o) {
+    if (this != &o) copy_from(o);
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Returns true when the address was newly inserted.
+  bool insert(uint32_t addr) {
+    uint64_t* bits = page_bits(addr, /*create=*/true);
+    const uint32_t off = addr & ((1u << kPageBits) - 1);
+    uint64_t& word = bits[off >> 6];
+    const uint64_t mask = 1ull << (off & 63);
+    if ((word & mask) != 0) return false;
+    word |= mask;
+    ++size_;
+    return true;
+  }
+
+  bool contains(uint32_t addr) const {
+    const uint64_t* bits =
+        const_cast<PagedAddrSet*>(this)->page_bits(addr, /*create=*/false);
+    if (bits == nullptr) return false;
+    const uint32_t off = addr & ((1u << kPageBits) - 1);
+    return ((bits[off >> 6] >> (off & 63)) & 1) != 0;
+  }
+
+  /// Visits every address in the set (page order, ascending in page).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (size_t p = 0; p < page_ids_.size(); ++p) {
+      const uint32_t base = page_ids_[p] << kPageBits;
+      const uint64_t* bits = pages_[p].get();
+      for (size_t w = 0; w < kWordsPerPage; ++w) {
+        uint64_t word = bits[w];
+        while (word != 0) {
+          const int bit = __builtin_ctzll(word);
+          fn(base + static_cast<uint32_t>(w * 64 + bit));
+          word &= word - 1;
+        }
+      }
+    }
+  }
+
+  size_t heap_bytes() const {
+    return pages_.size() * kWordsPerPage * sizeof(uint64_t) +
+           pages_.capacity() * sizeof(void*) + index_.heap_bytes() +
+           page_ids_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  uint64_t* page_bits(uint32_t addr, bool create) {
+    const uint32_t page = addr >> kPageBits;
+    if (page == cached_page_) return cached_bits_;
+    // Page ids are keyed +1 so page 0 dodges the map's empty sentinel.
+    uint32_t* idx = index_.find(page + 1);
+    if (idx == nullptr) {
+      if (!create) return nullptr;
+      auto fresh = std::make_unique<uint64_t[]>(kWordsPerPage);
+      for (size_t w = 0; w < kWordsPerPage; ++w) fresh[w] = 0;
+      pages_.push_back(std::move(fresh));
+      page_ids_.push_back(page);
+      index_.insert(page + 1, static_cast<uint32_t>(pages_.size() - 1));
+      cached_page_ = page;
+      cached_bits_ = pages_.back().get();
+      return cached_bits_;
+    }
+    cached_page_ = page;
+    cached_bits_ = pages_[*idx].get();
+    return cached_bits_;
+  }
+
+  void copy_from(const PagedAddrSet& o) {
+    pages_.clear();
+    pages_.reserve(o.pages_.size());
+    for (const auto& p : o.pages_) {
+      auto fresh = std::make_unique<uint64_t[]>(kWordsPerPage);
+      for (size_t w = 0; w < kWordsPerPage; ++w) fresh[w] = p[w];
+      pages_.push_back(std::move(fresh));
+    }
+    page_ids_ = o.page_ids_;
+    index_ = o.index_;
+    size_ = o.size_;
+    cached_page_ = ~0u;
+    cached_bits_ = nullptr;
+  }
+
+  std::vector<std::unique_ptr<uint64_t[]>> pages_;
+  std::vector<uint32_t> page_ids_;      ///< page id per pages_ entry
+  FlatMap32<uint32_t> index_;           ///< page+1 -> index into pages_
+  uint32_t cached_page_ = ~0u;
+  uint64_t* cached_bits_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace foray::util

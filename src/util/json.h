@@ -1,0 +1,125 @@
+// A minimal streaming JSON writer.
+//
+// Just enough for the machine-readable outputs this project emits
+// (`foraygen batch --json`, the bench BENCH_*.json files): objects,
+// arrays, strings with escaping, integers, doubles and booleans, with
+// comma placement handled by the writer. No reflection, no DOM — the
+// caller drives the structure and the writer keeps it syntactically
+// valid.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace foray::util {
+
+class JsonWriter {
+ public:
+  std::string take() { return std::move(out_); }
+  const std::string& str() const { return out_; }
+
+  JsonWriter& begin_object() {
+    comma();
+    out_ += '{';
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& end_object() {
+    out_ += '}';
+    fresh_ = false;
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    comma();
+    out_ += '[';
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& end_array() {
+    out_ += ']';
+    fresh_ = false;
+    return *this;
+  }
+
+  /// Object key; follow with exactly one value (or container).
+  JsonWriter& key(std::string_view k) {
+    comma();
+    append_string(k);
+    out_ += ':';
+    fresh_ = true;  // the upcoming value needs no comma
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    comma();
+    append_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    comma();
+    if (std::isfinite(v)) {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.6g", v);
+      out_ += buf;
+    } else {
+      out_ += "null";  // JSON has no NaN/Inf
+    }
+    return *this;
+  }
+  JsonWriter& value(int64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<uint64_t>(v)); }
+
+ private:
+  void comma() {
+    if (!fresh_) out_ += ',';
+    fresh_ = false;
+  }
+
+  void append_string(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(c) & 0xff);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+}  // namespace foray::util

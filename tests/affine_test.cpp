@@ -52,7 +52,7 @@ TEST(Affine, OneDimensionalExactRecovery) {
   ASSERT_TRUE(st.analyzable);
   EXPECT_EQ(st.const_term, 0x10000000);
   ASSERT_TRUE(st.coef_known(0));
-  EXPECT_EQ(st.coef[0], 4);
+  EXPECT_EQ(st.coef_at(0), 4);
   EXPECT_EQ(st.m, 1);
   EXPECT_EQ(st.mispredictions, 0u);
 }
@@ -62,8 +62,8 @@ TEST(Affine, TwoDimensionalExactRecovery) {
   auto st = sweep({1, 103}, {3, 2}, 0x7fff5934);
   ASSERT_TRUE(st.analyzable);
   EXPECT_EQ(st.const_term, 0x7fff5934);
-  EXPECT_EQ(st.coef[0], 1);
-  EXPECT_EQ(st.coef[1], 103);
+  EXPECT_EQ(st.coef_at(0), 1);
+  EXPECT_EQ(st.coef_at(1), 103);
   EXPECT_EQ(st.m, 2);
   EXPECT_EQ(st.mispredictions, 0u);
 }
@@ -71,17 +71,17 @@ TEST(Affine, TwoDimensionalExactRecovery) {
 TEST(Affine, ThreeDeepNest) {
   auto st = sweep({4, 64, 1024}, {4, 8, 5}, 500);
   ASSERT_TRUE(st.analyzable);
-  EXPECT_EQ(st.coef[0], 4);
-  EXPECT_EQ(st.coef[1], 64);
-  EXPECT_EQ(st.coef[2], 1024);
+  EXPECT_EQ(st.coef_at(0), 4);
+  EXPECT_EQ(st.coef_at(1), 64);
+  EXPECT_EQ(st.coef_at(2), 1024);
   EXPECT_EQ(st.m, 3);
 }
 
 TEST(Affine, NegativeCoefficients) {
   auto st = sweep({-4, 100}, {5, 3}, 100000);
   ASSERT_TRUE(st.analyzable);
-  EXPECT_EQ(st.coef[0], -4);
-  EXPECT_EQ(st.coef[1], 100);
+  EXPECT_EQ(st.coef_at(0), -4);
+  EXPECT_EQ(st.coef_at(1), 100);
   EXPECT_EQ(st.mispredictions, 0u);
 }
 
@@ -89,8 +89,8 @@ TEST(Affine, ZeroCoefficientIsRecovered) {
   // Iterator varies but does not move the address.
   auto st = sweep({0, 8}, {4, 4}, 2000);
   ASSERT_TRUE(st.analyzable);
-  EXPECT_EQ(st.coef[0], 0);
-  EXPECT_EQ(st.coef[1], 8);
+  EXPECT_EQ(st.coef_at(0), 0);
+  EXPECT_EQ(st.coef_at(1), 8);
   // A zero coefficient is "known" but not an effective iterator by
   // itself; the outer one is effective.
   EXPECT_TRUE(st.has_effective_iterator());
@@ -101,7 +101,7 @@ TEST(Affine, SingleIterationLoopLeavesCoefUnknown) {
   auto st = sweep({4, 16}, {1, 5}, 0);
   EXPECT_FALSE(st.coef_known(0));
   EXPECT_TRUE(st.coef_known(1));
-  EXPECT_EQ(st.coef[1], 16);
+  EXPECT_EQ(st.coef_at(1), 16);
   EXPECT_TRUE(st.analyzable);
 }
 
@@ -139,8 +139,8 @@ TEST(Affine, SequentialChangesStayAnalyzable) {
   std::vector<int64_t> c = {1, 1};
   observe_access(st, c, 204);  // solves C2 = 100
   EXPECT_TRUE(st.analyzable);
-  EXPECT_EQ(st.coef[0], 4);
-  EXPECT_EQ(st.coef[1], 100);
+  EXPECT_EQ(st.coef_at(0), 4);
+  EXPECT_EQ(st.coef_at(1), 100);
   // And predictions hold from here on.
   std::vector<int64_t> d = {2, 3};
   EXPECT_EQ(st.predict(d), 100 + 8 + 300);
@@ -161,7 +161,7 @@ TEST(Affine, PartialWhenOuterContextShifts) {
   ASSERT_TRUE(st.analyzable);
   EXPECT_TRUE(st.is_partial());
   EXPECT_EQ(st.m, 1);  // only the innermost iterator is predictable
-  EXPECT_EQ(st.coef[0], 4);
+  EXPECT_EQ(st.coef_at(0), 4);
   EXPECT_GT(st.mispredictions, 0u);
   EXPECT_TRUE(st.has_effective_iterator());
 }
@@ -181,8 +181,8 @@ TEST(Affine, PartialDepthTwoOfThree) {
   }
   ASSERT_TRUE(st.analyzable);
   EXPECT_EQ(st.m, 2);
-  EXPECT_EQ(st.coef[0], 4);
-  EXPECT_EQ(st.coef[1], 40);
+  EXPECT_EQ(st.coef_at(0), 4);
+  EXPECT_EQ(st.coef_at(1), 40);
 }
 
 TEST(Affine, MispredictionRefitsConstTerm) {
@@ -197,7 +197,7 @@ TEST(Affine, MispredictionRefitsConstTerm) {
     observe_access(st, it, 900 + 4 * i);
   }
   EXPECT_TRUE(st.analyzable);
-  EXPECT_EQ(st.coef[0], 4);
+  EXPECT_EQ(st.coef_at(0), 4);
   EXPECT_EQ(st.const_term, 900);  // re-fitted to the latest base
 }
 
@@ -272,7 +272,7 @@ TEST_P(AffineRecovery, RandomNestExactlyRecovered) {
   EXPECT_EQ(st.const_term, base);
   for (int i = 0; i < n; ++i) {
     ASSERT_TRUE(st.coef_known(i)) << "coef " << i;
-    EXPECT_EQ(st.coef[i], coefs[static_cast<size_t>(i)]) << "coef " << i;
+    EXPECT_EQ(st.coef_at(i), coefs[static_cast<size_t>(i)]) << "coef " << i;
   }
 }
 
@@ -318,7 +318,7 @@ TEST_P(PartialRecovery, OuterIrregularityYieldsCorrectM) {
   ASSERT_TRUE(st.analyzable);
   EXPECT_EQ(st.m, split);
   for (int i = 0; i < split; ++i) {
-    EXPECT_EQ(st.coef[i], coefs[static_cast<size_t>(i)]) << i;
+    EXPECT_EQ(st.coef_at(i), coefs[static_cast<size_t>(i)]) << i;
   }
 }
 

@@ -41,9 +41,9 @@ std::map<uint32_t, std::vector<uint32_t>> trace_addresses(
   auto run = sim::run_program(*prog, &sink);
   EXPECT_TRUE(run.ok()) << run.error();
   for (const auto& r : sink.records()) {
-    if (r.type == trace::RecordType::Access &&
-        r.kind == trace::AccessKind::Data) {
-      out[r.instr].push_back(r.addr);
+    if (r.type() == trace::RecordType::Access &&
+        r.kind() == trace::AccessKind::Data) {
+      out[r.instr()].push_back(r.addr());
     }
   }
   return out;

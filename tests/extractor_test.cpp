@@ -48,7 +48,7 @@ TEST(Extractor, SingleLoopSingleRef) {
   EXPECT_EQ(ref.exec_count, 5u);
   EXPECT_EQ(ref.footprint_size(), 5u);
   ASSERT_TRUE(ref.affine.analyzable);
-  EXPECT_EQ(ref.affine.coef[0], 4);
+  EXPECT_EQ(ref.affine.coef_at(0), 4);
   EXPECT_EQ(ref.affine.const_term, 0x10000000);
 }
 
@@ -77,8 +77,8 @@ TEST(Extractor, NestedLoopsIteratorsPropagate) {
   EXPECT_EQ(outer->max_trip, 2);
   const RefNode& ref = *inner->refs()[0];
   ASSERT_TRUE(ref.affine.analyzable);
-  EXPECT_EQ(ref.affine.coef[0], 1);    // innermost
-  EXPECT_EQ(ref.affine.coef[1], 103);  // outer
+  EXPECT_EQ(ref.affine.coef_at(0), 1);    // innermost
+  EXPECT_EQ(ref.affine.coef_at(1), 103);  // outer
 }
 
 TEST(Extractor, ReentryResetsIterationCounter) {
@@ -199,7 +199,10 @@ TEST(Extractor, LinearLookupProducesIdenticalTree) {
     const RefNode& a = *hashed.tree().root()->children()[i]->refs()[0];
     const RefNode& b = *linear.tree().root()->children()[i]->refs()[0];
     EXPECT_EQ(a.affine.const_term, b.affine.const_term);
-    EXPECT_EQ(a.affine.coef, b.affine.coef);
+    ASSERT_EQ(a.affine.n, b.affine.n);
+    for (int c = 0; c < a.affine.n; ++c) {
+      EXPECT_EQ(a.affine.coef_at(c), b.affine.coef_at(c)) << "coef " << c;
+    }
     EXPECT_EQ(a.exec_count, b.exec_count);
   }
 }

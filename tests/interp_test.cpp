@@ -276,8 +276,8 @@ TEST(InterpTrace, CheckpointNestingWellFormed) {
   int depth = 0;
   int enters = 0, bodies = 0;
   for (const auto& rec : r.records) {
-    if (rec.type != RecordType::Checkpoint) continue;
-    switch (rec.cp) {
+    if (rec.type() != RecordType::Checkpoint) continue;
+    switch (rec.cp()) {
       case CheckpointType::LoopEnter:
         ++depth;
         ++enters;
@@ -320,9 +320,9 @@ TEST(InterpTrace, PaperFigure4TraceShape) {
   // addresses forming two runs of 3 consecutive bytes 103 apart.
   std::vector<uint32_t> writes;
   for (const auto& rec : r.records) {
-    if (rec.type == RecordType::Access && rec.is_write &&
-        rec.kind == AccessKind::Data) {
-      writes.push_back(rec.addr);
+    if (rec.type() == RecordType::Access && rec.is_write() &&
+        rec.kind() == AccessKind::Data) {
+      writes.push_back(rec.addr());
     }
   }
   ASSERT_EQ(writes.size(), 6u);
@@ -341,8 +341,8 @@ TEST(InterpTrace, CallRetRecordsBalance) {
   ASSERT_TRUE(r.result.ok());
   int calls = 0, rets = 0;
   for (const auto& rec : r.records) {
-    if (rec.type == RecordType::Call) ++calls;
-    if (rec.type == RecordType::Ret) ++rets;
+    if (rec.type() == RecordType::Call) ++calls;
+    if (rec.type() == RecordType::Ret) ++rets;
   }
   EXPECT_EQ(calls, rets);
   EXPECT_EQ(calls, 1 + 3);  // main + 3 foo calls
@@ -354,8 +354,8 @@ TEST(InterpTrace, SystemKindForIntrinsics) {
   ASSERT_TRUE(r.result.ok());
   int system_accesses = 0;
   for (const auto& rec : r.records) {
-    if (rec.type == RecordType::Access &&
-        rec.kind == AccessKind::System) {
+    if (rec.type() == RecordType::Access &&
+        rec.kind() == AccessKind::System) {
       ++system_accesses;
     }
   }
@@ -367,8 +367,8 @@ TEST(InterpTrace, ScalarKindForDirectVariables) {
   ASSERT_TRUE(r.result.ok());
   bool saw_scalar = false;
   for (const auto& rec : r.records) {
-    if (rec.type == RecordType::Access &&
-        rec.kind == AccessKind::Scalar) {
+    if (rec.type() == RecordType::Access &&
+        rec.kind() == AccessKind::Scalar) {
       saw_scalar = true;
     }
   }
@@ -383,8 +383,8 @@ TEST(InterpTrace, TraceFiltersByKind) {
                   opts);
   ASSERT_TRUE(r.result.ok());
   for (const auto& rec : r.records) {
-    if (rec.type == RecordType::Access) {
-      EXPECT_NE(rec.kind, AccessKind::Scalar);
+    if (rec.type() == RecordType::Access) {
+      EXPECT_NE(rec.kind(), AccessKind::Scalar);
     }
   }
 }
@@ -396,8 +396,8 @@ TEST(InterpTrace, BreakEmitsLoopExit) {
   ASSERT_TRUE(r.result.ok());
   int exits = 0;
   for (const auto& rec : r.records) {
-    if (rec.type == RecordType::Checkpoint &&
-        rec.cp == CheckpointType::LoopExit) {
+    if (rec.type() == RecordType::Checkpoint &&
+        rec.cp() == CheckpointType::LoopExit) {
       ++exits;
     }
   }
@@ -413,9 +413,9 @@ TEST(InterpTrace, ReturnInsideNestedLoopsUnwindsAllExits) {
   EXPECT_EQ(r.result.exit_code, 7);
   int depth = 0;
   for (const auto& rec : r.records) {
-    if (rec.type != RecordType::Checkpoint) continue;
-    if (rec.cp == CheckpointType::LoopEnter) ++depth;
-    if (rec.cp == CheckpointType::LoopExit) --depth;
+    if (rec.type() != RecordType::Checkpoint) continue;
+    if (rec.cp() == CheckpointType::LoopEnter) ++depth;
+    if (rec.cp() == CheckpointType::LoopExit) --depth;
   }
   EXPECT_EQ(depth, 0);
 }
@@ -429,10 +429,10 @@ TEST(InterpTrace, InstrAddressesStablePerSite) {
   uint32_t instr = 0;
   int count = 0;
   for (const auto& rec : r.records) {
-    if (rec.type == RecordType::Access && rec.is_write &&
-        rec.kind == AccessKind::Data) {
-      if (count == 0) instr = rec.instr;
-      EXPECT_EQ(rec.instr, instr);
+    if (rec.type() == RecordType::Access && rec.is_write() &&
+        rec.kind() == AccessKind::Data) {
+      if (count == 0) instr = rec.instr();
+      EXPECT_EQ(rec.instr(), instr);
       ++count;
     }
   }

@@ -1,0 +1,169 @@
+// E9-style transport/sharding equivalence: chunked delivery,
+// record-at-a-time delivery, and K-sharded extraction must all produce
+// the same loop tree and the same model as the online run, for every
+// benchsuite program. This is the contract that lets the transport and
+// the sharder evolve freely: any divergence — a lost record, a
+// mis-merged subtree, an affine state torn across shards — fails here.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "benchsuite/suite.h"
+#include "foray/extractor.h"
+#include "foray/pipeline.h"
+#include "foray/shard.h"
+#include "sim/interpreter.h"
+#include "trace/sink.h"
+
+namespace foray::core {
+namespace {
+
+/// Deterministic deep fingerprint of an extraction: tree shape,
+/// counters, per-reference traffic and finalized affine functions.
+std::string fingerprint(const Extractor& ex) {
+  std::ostringstream os;
+  os << "records " << ex.records_processed() << " accesses "
+     << ex.accesses_processed() << " checkpoints "
+     << ex.checkpoints_processed() << "\n";
+  for_each_node(*ex.tree().root(), [&](const LoopNode& node) {
+    os << "loop " << node.loop_id() << " depth " << node.depth()
+       << " entries " << node.entries << " iters " << node.total_iterations
+       << " max_trip " << node.max_trip << "\n";
+    for (const auto& ref : node.refs()) {
+      uint64_t fp_xor = 0, fp_sum = 0;
+      ref->footprint().for_each([&](uint32_t a) {
+        fp_xor ^= a;
+        fp_sum += a;
+      });
+      os << "  ref " << ref->instr << " exec " << ref->exec_count << " fp "
+         << ref->footprint_size() << ":" << fp_xor << ":" << fp_sum
+         << (ref->footprint_saturated() ? "*" : "")
+         << (ref->has_read ? " r" : "") << (ref->has_write ? " w" : "")
+         << " size " << static_cast<int>(ref->access_size) << " kind "
+         << static_cast<int>(ref->kind);
+      AffineFunction fn = finalize(ref->affine);
+      os << " affine[" << (fn.analyzable ? "a" : "x") << " m=" << fn.m
+         << " c=" << fn.const_term;
+      for (size_t i = 0; i < fn.coefs.size(); ++i) {
+        os << " " << fn.coefs[i] << (fn.known[i] ? "" : "?");
+      }
+      os << " obs=" << ref->affine.observations << "]\n";
+    }
+  });
+  return os.str();
+}
+
+class ShardEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ShardEquivalence, AllTransportsYieldIdenticalTrees) {
+  const auto& b = benchsuite::get_benchmark(GetParam());
+  PipelineResult res;
+  ASSERT_TRUE(frontend_phase(b.source, &res).ok()) << res.error();
+  ASSERT_TRUE(instrument_phase(&res).ok());
+
+  PipelineOptions opts;
+  trace::VectorSink sink(1u << 20);
+  auto run = sim::run_program(*res.program, &sink, opts.run);
+  ASSERT_TRUE(run.ok()) << run.error();
+  const auto& recs = sink.records();
+  ASSERT_FALSE(recs.empty());
+
+  // Online (zero-materialization) extraction is the reference.
+  Extractor online;
+  auto run2 = sim::run_program(*res.program, &online, opts.run);
+  ASSERT_TRUE(run2.ok()) << run2.error();
+  const std::string want = fingerprint(online);
+
+  // Record-at-a-time via the virtual interface.
+  {
+    Extractor ex;
+    trace::Sink* s = &ex;
+    for (const auto& r : recs) s->on_record(r);
+    EXPECT_EQ(fingerprint(ex), want) << b.name << ": record-at-a-time";
+  }
+  // Bulk chunk delivery.
+  {
+    Extractor ex;
+    ex.on_chunk(recs.data(), recs.size());
+    EXPECT_EQ(fingerprint(ex), want) << b.name << ": chunked";
+  }
+  // Buffered chunking through a ChunkBuffer with an odd chunk size.
+  {
+    Extractor ex;
+    trace::ChunkBuffer buf(&ex, 777);
+    for (const auto& r : recs) buf.on_record(r);
+    buf.flush();
+    EXPECT_EQ(fingerprint(ex), want) << b.name << ": ChunkBuffer";
+  }
+  // Sharded extraction at several widths, hash and linear indexing.
+  for (int shards : {2, 3, 4, 7}) {
+    ShardReport rep;
+    Extractor ex = extract_sharded({recs.data(), recs.size()},
+                                   ExtractorOptions{}, shards, &rep);
+    EXPECT_EQ(fingerprint(ex), want) << b.name << ": shards=" << shards;
+    EXPECT_EQ(rep.records, recs.size());
+  }
+  {
+    ExtractorOptions linear;
+    linear.hash_index = false;
+    Extractor ex =
+        extract_sharded({recs.data(), recs.size()}, linear, 3, nullptr);
+    EXPECT_EQ(fingerprint(ex), want) << b.name << ": shards=3 linear";
+  }
+}
+
+TEST_P(ShardEquivalence, ShardedPipelineModelMatchesSequential) {
+  const auto& b = benchsuite::get_benchmark(GetParam());
+  auto seq = run_pipeline(b.source);
+  ASSERT_TRUE(seq.ok()) << seq.error();
+
+  for (int shards : {2, 4}) {
+    PipelineOptions opts;
+    opts.profile_shards = shards;
+    auto sh = run_pipeline(b.source, opts);
+    ASSERT_TRUE(sh.ok()) << b.name << ": " << sh.error();
+    EXPECT_EQ(sh.foray_source, seq.foray_source)
+        << b.name << ": emitted model differs at shards=" << shards;
+    EXPECT_EQ(sh.foray_paper_style, seq.foray_paper_style)
+        << b.name << ": paper-style model differs at shards=" << shards;
+    EXPECT_EQ(sh.trace_records, seq.trace_records);
+    EXPECT_EQ(sh.shard_report.shards_requested, shards);
+    EXPECT_GE(sh.shard_report.balance, 1.0);
+  }
+}
+
+TEST(TraceIndex, SegmentsCoverEveryRecordExactlyOnce) {
+  const auto& b = benchsuite::get_benchmark("gsm");
+  PipelineResult res;
+  ASSERT_TRUE(frontend_phase(b.source, &res).ok());
+  ASSERT_TRUE(instrument_phase(&res).ok());
+  trace::VectorSink sink;
+  ASSERT_TRUE(sim::run_program(*res.program, &sink).ok());
+
+  TraceIndex idx = index_trace({sink.records().data(), sink.size()});
+  ASSERT_FALSE(idx.segments.empty());
+  uint64_t pos = 0;
+  for (const auto& seg : idx.segments) {
+    EXPECT_EQ(seg.begin, pos) << "gap or overlap between segments";
+    EXPECT_GT(seg.end, seg.begin);
+    if (seg.site_id >= 0) {
+      const auto& first = sink.records()[seg.begin];
+      EXPECT_EQ(first.type(), trace::RecordType::Checkpoint);
+      EXPECT_EQ(first.cp(), trace::CheckpointType::LoopEnter);
+      EXPECT_EQ(first.loop_id(), seg.site_id);
+    }
+    pos = seg.end;
+  }
+  EXPECT_EQ(pos, sink.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ShardEquivalence,
+                         ::testing::Values("jpeg", "lame", "susan", "fft",
+                                           "gsm", "adpcm"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           return std::string(i.param);
+                         });
+
+}  // namespace
+}  // namespace foray::core

@@ -82,8 +82,8 @@ TEST_P(SuiteRoundTrip, ModelAccessVolumeMatchesEmittedProgram) {
   ASSERT_TRUE(run.ok()) << run.error();
   uint64_t data = 0;
   for (const auto& r : sink.records()) {
-    if (r.type == trace::RecordType::Access &&
-        r.kind == trace::AccessKind::Data) {
+    if (r.type() == trace::RecordType::Access &&
+        r.kind() == trace::AccessKind::Data) {
       ++data;
     }
   }

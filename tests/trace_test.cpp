@@ -32,7 +32,7 @@ TEST(Record, EqualityDiscriminatesPayload) {
   Record a = Record::access(1, 2, 4, false, AccessKind::Data);
   Record b = a;
   EXPECT_EQ(a, b);
-  b.addr = 3;
+  b = Record::access(1, 3, 4, false, AccessKind::Data);
   EXPECT_FALSE(a == b);
   Record c = Record::checkpoint(CheckpointType::BodyBegin, 5);
   Record d = Record::checkpoint(CheckpointType::BodyEnd, 5);
@@ -158,6 +158,55 @@ TEST(BinaryIo, RejectsTruncatedBody) {
   std::vector<Record> out;
   util::DiagList diags;
   EXPECT_FALSE(read_binary(cut, &out, &diags));
+}
+
+TEST(Sinks, ChunkDeliveryMatchesRecordDelivery) {
+  auto records = sample_records();
+  VectorSink via_records, via_chunk;
+  for (const auto& r : records) via_records.on_record(r);
+  via_chunk.on_chunk(records.data(), records.size());
+  ASSERT_EQ(via_chunk.size(), via_records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(via_chunk.records()[i], via_records.records()[i]);
+  }
+}
+
+TEST(Sinks, ChunkBufferFlushesInOrder) {
+  auto records = sample_records();
+  VectorSink out;
+  {
+    ChunkBuffer buf(&out, 4);  // smaller than the record count
+    for (const auto& r : records) buf.on_record(r);
+    EXPECT_LT(out.size(), records.size()) << "tail should still be buffered";
+    buf.flush();
+    EXPECT_EQ(out.size(), records.size());
+    // An incoming chunk passes through after buffered records.
+    buf.on_record(records[0]);
+    buf.on_chunk(records.data(), 2);
+    EXPECT_EQ(out.size(), records.size() + 3);
+  }
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(out.records()[i], records[i]) << "record " << i;
+  }
+}
+
+TEST(Sinks, ChunkBufferDestructorFlushes) {
+  VectorSink out;
+  {
+    ChunkBuffer buf(&out, 100);
+    buf.on_record(Record::call(1));
+  }
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Sinks, TeeForwardsChunks) {
+  auto records = sample_records();
+  VectorSink a;
+  CountingSink c;
+  TeeSink tee{&a, &c};
+  tee.on_chunk(records.data(), records.size());
+  EXPECT_EQ(a.size(), records.size());
+  EXPECT_EQ(c.total(), records.size());
 }
 
 TEST(Sinks, VectorSinkCollects) {

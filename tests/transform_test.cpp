@@ -66,8 +66,8 @@ RunOutcome run_transformed(const core::ForayModel& model,
   EXPECT_TRUE(run.ok()) << run.error();
   out.ok = run.ok();
   for (const auto& r : sink.records()) {
-    if (r.type == trace::RecordType::Access &&
-        r.kind == trace::AccessKind::Data) {
+    if (r.type() == trace::RecordType::Access &&
+        r.kind() == trace::AccessKind::Data) {
       ++out.data_accesses;
     }
   }

@@ -12,6 +12,7 @@
 //   stats      loop mix, conversion and memory-behavior statistics
 //   hints      inter-function (duplication) hints
 //   run        just execute the program and show its output
+//   profile    profile + extract only; prints trace/extraction statistics
 //   spm        Phase II: reuse analysis + DSE + energy (SpmPhase report)
 //   batch      run the whole benchsuite through the pipeline in parallel
 //
@@ -20,9 +21,13 @@
 //   --nloc N    Step 4 filter: minimum locations    (default 10)
 //   --seed S    simulated rand() seed               (default 1)
 //   --offline   materialize the trace, then analyze (default: online)
+//   --shards N  shard one program's extraction over N threads
+//               (bit-identical to sequential; implies materializing)
 //   --capacity N         spm: SPM size in bytes     (default 4096)
+//   --compare-cache      spm: also replay through LRU caches
 //   --threads N          batch: worker threads      (default 1)
 //   --capacity-sweep a,b,c  batch: SPM sizes to sweep (default 4096)
+//   --json PATH          batch: also write the report as JSON
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,11 +57,11 @@ using namespace foray;
 int usage() {
   std::fprintf(
       stderr,
-      "usage: foraygen <model|emit|annotate|trace|stats|hints|run|spm> "
-      "<program.mc> [--nexec N] [--nloc N] [--seed S] [--offline] "
-      "[--capacity N]\n"
+      "usage: foraygen <model|emit|annotate|trace|stats|hints|run|profile"
+      "|spm> <program.mc> [--nexec N] [--nloc N] [--seed S] [--offline] "
+      "[--shards N] [--capacity N] [--compare-cache]\n"
       "       foraygen batch [--threads N] [--capacity-sweep a,b,c] "
-      "[--nexec N] [--nloc N] [--seed S]\n");
+      "[--nexec N] [--nloc N] [--seed S] [--shards N] [--json PATH]\n");
   return 2;
 }
 
@@ -159,6 +164,7 @@ int main(int argc, char** argv) {
   core::PipelineOptions opts;
   int threads = 1;
   std::vector<uint32_t> capacities;
+  std::string json_path;
   for (int i = takes_path ? 3 : 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_u64 = [&](uint64_t* out) {
@@ -175,6 +181,14 @@ int main(int argc, char** argv) {
       if (!next_u64(&opts.run.rng_seed)) return usage();
     } else if (arg == "--offline") {
       opts.offline = true;
+    } else if (arg == "--shards") {
+      if (!next_u64(&v) || v == 0) return usage();
+      opts.profile_shards = static_cast<int>(v);
+    } else if (arg == "--compare-cache") {
+      opts.spm.compare_cache = true;
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) return usage();
+      json_path = argv[++i];
     } else if (arg == "--capacity") {
       if (!next_u64(&v)) return usage();
       opts.spm.dse.spm_capacity = static_cast<uint32_t>(v);
@@ -201,6 +215,14 @@ int main(int argc, char** argv) {
     driver::BatchDriver batch(bopts);
     auto report = batch.run(driver::BatchDriver::benchsuite_jobs());
     std::fputs(report.table().c_str(), stdout);
+    if (!json_path.empty()) {
+      std::ofstream out(json_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+      out << report.to_json() << "\n";
+    }
     for (const auto& item : report.items) {
       if (!item.status.ok()) {
         std::fprintf(stderr, "%s: %s\n", item.name.c_str(),
@@ -245,6 +267,24 @@ int main(int argc, char** argv) {
     std::printf("[exit %d, %llu steps, %llu accesses]\n", res.run.exit_code,
                 static_cast<unsigned long long>(res.run.steps),
                 static_cast<unsigned long long>(res.run.accesses));
+    return 0;
+  }
+  if (command == "profile") {
+    const auto& ex = *res.extractor;
+    std::printf("trace records: %llu (%llu accesses, %llu checkpoints)\n",
+                static_cast<unsigned long long>(res.trace_records),
+                static_cast<unsigned long long>(ex.accesses_processed()),
+                static_cast<unsigned long long>(ex.checkpoints_processed()));
+    std::printf("loop tree: %d loop node(s), %d reference(s)\n",
+                ex.tree().loop_node_count(), ex.tree().ref_node_count());
+    std::printf("analyzer state: %zu bytes\n", ex.state_bytes());
+    std::printf("model: %zu reference(s) survive the Step 4 filter\n",
+                res.model.refs.size());
+    if (res.shard_report.shards_requested > 1) {
+      std::printf("shards: %d requested, %d used, balance %.2f\n",
+                  res.shard_report.shards_requested,
+                  res.shard_report.shards_used, res.shard_report.balance);
+    }
     return 0;
   }
   if (command == "model") {
