@@ -124,4 +124,332 @@ GeneratedProgram generate_affine_program(const GeneratorOptions& opts) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Stress programs
+
+namespace {
+
+/// Emits a random but by-construction safe MiniC program: every loop is
+/// counter-bounded, every index masked into its (power-of-two-sized)
+/// array, every divisor forced odd, recursion depth masked small. The
+/// result has no ground truth; it exists to drive the two execution
+/// engines over the same wide slice of the language.
+class StressGen {
+ public:
+  explicit StressGen(const StressOptions& opts)
+      : opts_(opts), rng_(opts.seed ^ 0x5741c0de) {}
+
+  std::string run() {
+    std::ostringstream src;
+    src << "// auto-generated stress program (seed " << opts_.seed << ")\n";
+    src << "int GA[32];\nint GB[32];\nchar GC8[64];\n";
+    src << "int GS = " << rng_.next_in(-9, 9) << ";\nfloat GF;\n";
+    src << "char GC;\nshort GH = " << rng_.next_in(-300, 300) << ";\n";
+
+    // A bounded-recursion helper plus expression helpers.
+    src << "int rec0(int n) {\n"
+           "  if (n <= 0) return 1;\n"
+           "  return rec0(n - 1) + (n & 7);\n"
+           "}\n";
+    for (int h = 0; h < opts_.num_helpers; ++h) {
+      push_scope();
+      locals_.back().push_back("a");
+      locals_.back().push_back("b");
+      std::ostringstream body;
+      body << "  GS " << pick_compound_op() << " " << expr(1) << ";\n";
+      body << "  return " << expr(2) << ";\n";
+      pop_scope();
+      src << "int h" << h << "(int a, int b) {\n" << body.str() << "}\n";
+    }
+    helpers_ready_ = true;
+
+    src << "int main(void) {\n";
+    push_scope();
+    for (int i = 0; i < opts_.num_stmts; ++i) src << stmt(1);
+    src << "  printf(\"%d %d %f\\n\", GS, GA[" << rng_.next_in(0, 31)
+        << "], GF);\n";
+    src << "  return GS & 127;\n";
+    pop_scope();
+    src << "}\n";
+    return src.str();
+  }
+
+ private:
+  std::string ind(int depth) { return std::string(2 * depth, ' '); }
+
+  void push_scope() {
+    locals_.emplace_back();
+    loop_vars_.emplace_back();
+  }
+  void pop_scope() {
+    locals_.pop_back();
+    loop_vars_.pop_back();
+  }
+
+  std::string fresh_local() { return "l" + std::to_string(next_local_++); }
+
+  /// A random int scalar currently in scope (globals always qualify;
+  /// loop counters are readable but never assignable, which is what
+  /// keeps every generated loop provably terminating).
+  std::string scalar() {
+    std::vector<std::string> pool = {"GS", "(int)GC", "GH"};
+    for (const auto& scope : locals_)
+      for (const auto& name : scope) pool.push_back(name);
+    for (const auto& scope : loop_vars_)
+      for (const auto& name : scope) pool.push_back(name);
+    return pool[rng_.next_below(pool.size())];
+  }
+
+  /// A scalar lvalue (assignable — excludes loop counters).
+  std::string scalar_lvalue() {
+    std::vector<std::string> pool = {"GS", "GC", "GH"};
+    for (const auto& scope : locals_)
+      for (const auto& name : scope) pool.push_back(name);
+    return pool[rng_.next_below(pool.size())];
+  }
+
+  std::string pick_compound_op() {
+    static const char* kOps[] = {"+=", "-=", "*=", "^=", "|=", "&="};
+    return kOps[rng_.next_below(6)];
+  }
+
+  std::string array_ref(int depth) {
+    const char* arr = rng_.next_bool() ? "GA" : "GB";
+    return std::string(arr) + "[(" + expr(depth) + ") & 31]";
+  }
+
+  /// Random int-valued expression, depth-bounded.
+  std::string expr(int depth) {
+    if (depth >= opts_.max_expr_depth) {
+      switch (rng_.next_below(3)) {
+        case 0: return std::to_string(rng_.next_in(-9, 99));
+        case 1: return scalar();
+        default: return array_ref(depth + 1);
+      }
+    }
+    switch (rng_.next_below(12)) {
+      case 0: return std::to_string(rng_.next_in(-99, 999));
+      case 1: return scalar();
+      case 2: return array_ref(depth + 1);
+      case 3: {  // arithmetic; divisors forced odd so they cannot be zero
+        static const char* kOps[] = {"+", "-", "*", "&", "|", "^",
+                                     "<<", ">>"};
+        if (rng_.next_bool(0.25)) {
+          const char* op = rng_.next_bool() ? "/" : "%";
+          return "(" + expr(depth + 1) + " " + op + " ((" +
+                 expr(depth + 1) + ") | 1))";
+        }
+        return "(" + expr(depth + 1) + " " + kOps[rng_.next_below(8)] +
+               " " + expr(depth + 1) + ")";
+      }
+      case 4: {  // comparisons / logical with side-effect-bearing operands
+        static const char* kOps[] = {"<", ">", "<=", ">=", "==", "!=",
+                                     "&&", "||"};
+        return "(" + expr(depth + 1) + " " + kOps[rng_.next_below(8)] +
+               " " + expr(depth + 1) + ")";
+      }
+      case 5:
+        return "(" + expr(depth + 1) + " ? " + expr(depth + 1) + " : " +
+               expr(depth + 1) + ")";
+      case 6: {
+        static const char* kOps[] = {"-", "!", "~"};
+        return std::string(kOps[rng_.next_below(3)]) + "(" +
+               expr(depth + 1) + ")";
+      }
+      case 7:  // assignment as an expression
+        return "(" + scalar_lvalue() + " = " + expr(depth + 1) + ")";
+      case 8: {  // pre/post increment of a scalar
+        const std::string v = scalar_lvalue();
+        static const char* kForms[] = {"++%s", "--%s", "%s++", "%s--"};
+        char buf[64];
+        std::snprintf(buf, sizeof buf, kForms[rng_.next_below(4)],
+                      v.c_str());
+        return std::string("(") + buf + ")";
+      }
+      case 9:
+        if (helpers_ready_ && opts_.num_helpers > 0) {
+          return "h" +
+                 std::to_string(rng_.next_below(
+                     static_cast<uint64_t>(opts_.num_helpers))) +
+                 "(" + expr(depth + 1) + ", " + expr(depth + 1) + ")";
+        }
+        return scalar();
+      case 10:
+        if (helpers_ready_) {
+          return "rec0((" + expr(depth + 1) + ") & 7)";
+        }
+        return std::to_string(rng_.next_in(0, 63));
+      default:
+        switch (rng_.next_below(3)) {
+          case 0: return "(rand() & 255)";
+          case 1: return "abs(" + expr(depth + 1) + ")";
+          default: return "(int)(GF * " +
+                          std::to_string(rng_.next_in(1, 7)) + ".0f)";
+        }
+    }
+  }
+
+  std::string stmt(int depth) {
+    std::ostringstream os;
+    const std::string pad = ind(depth);
+    if (depth >= 4) {  // keep nesting bounded
+      os << pad << array_ref(1) << " = " << expr(1) << ";\n";
+      return os.str();
+    }
+    switch (rng_.next_below(12)) {
+      case 0: {  // fresh scalar declaration
+        const std::string name = fresh_local();
+        os << pad << "int " << name << " = " << expr(1) << ";\n";
+        locals_.back().push_back(name);
+        break;
+      }
+      case 1:
+        os << pad << array_ref(1) << " " << pick_compound_op() << " "
+           << expr(1) << ";\n";
+        break;
+      case 2:
+        os << pad << scalar_lvalue() << " = " << expr(1) << ";\n";
+        break;
+      case 3: {  // if / else (each branch scopes its declarations)
+        os << pad << "if (" << expr(1) << ") {\n";
+        push_scope();
+        os << stmt(depth + 1);
+        pop_scope();
+        os << pad << "} else {\n";
+        push_scope();
+        os << stmt(depth + 1);
+        pop_scope();
+        os << pad << "}\n";
+        break;
+      }
+      case 4: {  // forward for loop
+        const std::string iv = fresh_local();
+        const int64_t trip = rng_.next_in(3, 8);
+        os << pad << "for (int " << iv << " = 0; " << iv << " < " << trip
+           << "; " << iv << "++) {\n";
+        push_scope();
+        loop_vars_.back().push_back(iv);
+        if (rng_.next_bool(0.3)) {
+          os << ind(depth + 1) << "if ((" << iv << " & 3) == 1) "
+             << (rng_.next_bool() ? "continue" : "break") << ";\n";
+        }
+        os << stmt(depth + 1);
+        pop_scope();
+        os << pad << "}\n";
+        break;
+      }
+      case 5: {  // negative-stride for loop
+        const std::string iv = fresh_local();
+        const int64_t from = rng_.next_in(5, 12);
+        const int64_t stride = rng_.next_in(1, 3);
+        os << pad << "for (int " << iv << " = " << from << "; " << iv
+           << " >= 0; " << iv << " -= " << stride << ") {\n";
+        push_scope();
+        loop_vars_.back().push_back(iv);
+        os << stmt(depth + 1);
+        pop_scope();
+        os << pad << "}\n";
+        break;
+      }
+      case 6: {  // while with countdown
+        const std::string iv = fresh_local();
+        os << pad << "{\n";
+        push_scope();
+        os << ind(depth + 1) << "int " << iv << " = "
+           << rng_.next_in(2, 6) << ";\n";
+        loop_vars_.back().push_back(iv);
+        os << ind(depth + 1) << "while (" << iv << " > 0) {\n";
+        os << stmt(depth + 2);
+        os << ind(depth + 2) << iv << "--;\n";
+        os << ind(depth + 1) << "}\n";
+        pop_scope();
+        os << pad << "}\n";
+        break;
+      }
+      case 7: {  // do-while
+        const std::string iv = fresh_local();
+        os << pad << "{\n";
+        push_scope();
+        os << ind(depth + 1) << "int " << iv << " = 0;\n";
+        loop_vars_.back().push_back(iv);
+        os << ind(depth + 1) << "do {\n";
+        os << stmt(depth + 2);
+        os << ind(depth + 2) << iv << "++;\n";
+        os << ind(depth + 1) << "} while (" << iv << " < "
+           << rng_.next_in(2, 5) << ");\n";
+        pop_scope();
+        os << pad << "}\n";
+        break;
+      }
+      case 8: {  // pointer walk over a global array
+        const std::string pv = fresh_local();
+        const std::string iv = fresh_local();
+        const char* arr = rng_.next_bool() ? "GA" : "GB";
+        const int64_t steps = rng_.next_in(4, 16);
+        os << pad << "{\n";
+        os << ind(depth + 1) << "int *" << pv << " = " << arr << ";\n";
+        os << ind(depth + 1) << "for (int " << iv << " = 0; " << iv
+           << " < " << steps << "; " << iv << "++) {\n";
+        os << ind(depth + 2) << "*" << pv << " += " << iv << " + "
+           << rng_.next_in(0, 9) << ";\n";
+        os << ind(depth + 2) << pv << "++;\n";
+        os << ind(depth + 1) << "}\n";
+        os << pad << "}\n";
+        break;
+      }
+      case 9:  // float updates feed back into integer state
+        os << pad << "GF = GF * 0.5f + (float)((" << expr(1)
+           << ") & 15) + " << rng_.next_in(0, 3) << "."
+           << rng_.next_in(0, 9) << "f;\n";
+        break;
+      case 10: {  // intrinsic traffic
+        switch (rng_.next_below(4)) {
+          case 0:
+            os << pad << "srand(" << rng_.next_in(0, 255) << ");\n";
+            break;
+          case 1:
+            os << pad << "memset(GC8, " << rng_.next_in(0, 255) << ", "
+               << rng_.next_in(1, 32) << ");\n";
+            break;
+          case 2:
+            os << pad << "memcpy(GC8 + 32, GC8, " << rng_.next_in(1, 16)
+               << ");\n";
+            break;
+          default:
+            os << pad << "putchar(65 + ((" << expr(2) << ") & 15));\n";
+        }
+        break;
+      }
+      default: {  // nested block with shadowing declaration
+        os << pad << "{\n";
+        push_scope();
+        const std::string name = fresh_local();
+        os << ind(depth + 1) << "int " << name << " = " << expr(1)
+           << ";\n";
+        locals_.back().push_back(name);
+        os << stmt(depth + 1);
+        os << ind(depth + 1) << "GS += " << name << ";\n";
+        pop_scope();
+        os << pad << "}\n";
+        break;
+      }
+    }
+    return os.str();
+  }
+
+  const StressOptions& opts_;
+  util::Rng rng_;
+  std::vector<std::vector<std::string>> locals_;
+  /// Loop counters per scope: readable like locals, never assignable.
+  std::vector<std::vector<std::string>> loop_vars_;
+  int next_local_ = 0;
+  bool helpers_ready_ = false;
+};
+
+}  // namespace
+
+std::string generate_stress_program(const StressOptions& opts) {
+  return StressGen(opts).run();
+}
+
 }  // namespace foray::benchsuite

@@ -60,4 +60,27 @@ struct GeneratedProgram {
 /// array bounds, every nest's accesses realize its ExpectedNest function.
 GeneratedProgram generate_affine_program(const GeneratorOptions& opts);
 
+// ---------------------------------------------------------------------------
+// Stress programs for the engine-equivalence harness.
+
+struct StressOptions {
+  uint64_t seed = 1;
+  int num_stmts = 14;    ///< top-level statements in main
+  int num_helpers = 2;   ///< helper functions (calls, recursion)
+  int max_expr_depth = 3;
+};
+
+/// Generates a terminating, fault-free MiniC program exercising far more
+/// of the language than the affine generator: mixed char/short/int/float
+/// scalars, global and local arrays, pointer walks, short-circuit
+/// operators with side effects, ternaries, compound assignment,
+/// pre/post increment, negative-stride and do-while loops, recursion,
+/// rand()/srand(), and printf output. There is no ground-truth model —
+/// the point is that the AST interpreter and the bytecode VM must agree
+/// bit-for-bit on the trace, output, memory image, and exit code
+/// (tests/engine_equivalence_test.cpp). Array indices are masked to the
+/// (power-of-two) array sizes and divisors are forced odd, so programs
+/// never fault; every program parses and passes sema by construction.
+std::string generate_stress_program(const StressOptions& opts);
+
 }  // namespace foray::benchsuite

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "util/inline.h"
+
 namespace foray::minic {
 
 // ---------------------------------------------------------------------------
@@ -27,13 +29,20 @@ struct Type {
   BaseType base = BaseType::Int;
   int ptr = 0;  ///< pointer indirection levels (0 = scalar value)
 
-  bool is_void() const { return base == BaseType::Void && ptr == 0; }
-  bool is_pointer() const { return ptr > 0; }
-  bool is_float() const { return base == BaseType::Float && ptr == 0; }
+  // The type predicates and size() run several times per simulated
+  // evaluation step; forced inline so the engines' large dispatch loops
+  // (where the inliner's budget runs out) never pay a call for them.
+  FORAY_ALWAYS_INLINE bool is_void() const {
+    return base == BaseType::Void && ptr == 0;
+  }
+  FORAY_ALWAYS_INLINE bool is_pointer() const { return ptr > 0; }
+  FORAY_ALWAYS_INLINE bool is_float() const {
+    return base == BaseType::Float && ptr == 0;
+  }
   bool is_integer() const { return !is_float() && !is_pointer() && !is_void(); }
 
   /// Size in bytes of a value of this type (pointers are 32-bit).
-  int size() const {
+  FORAY_ALWAYS_INLINE int size() const {
     if (ptr > 0) return 4;
     switch (base) {
       case BaseType::Void: return 0;

@@ -1,0 +1,454 @@
+// Execution semantics shared by both MiniC engines.
+//
+// The AST interpreter (sim/interp_impl.h) and the bytecode VM (sim/vm.h)
+// must produce bit-identical traces, outputs, and memory images — the
+// differential harness (tests/engine_equivalence_test.cpp) enforces it.
+// Everything whose behavior could plausibly drift between the two lives
+// here exactly once: value conversion, binary-operator semantics
+// (including pointer scaling and the divide-by-zero faults), intrinsic
+// execution, and the chunked record transport. The engines differ only
+// in how they walk the program, never in what an operation does.
+//
+// The intrinsic runner is templated on a Host concept implemented by
+// both engines:
+//   Memory&      memory();
+//   util::Rng&   rng();
+//   void         append_output(const std::string&);
+//   void         emit_access(uint32_t instr, uint32_t addr, uint8_t size,
+//                            bool is_write, trace::AccessKind kind);
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "minic/ast.h"
+#include "minic/intrinsics.h"
+#include "sim/interpreter.h"
+#include "sim/memory.h"
+#include "sim/value.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace foray::sim::internal {
+
+/// Thrown by the exit() intrinsic to unwind the whole simulation.
+struct ExitSignal {
+  int code;
+};
+
+FORAY_ALWAYS_INLINE Value convert_value(const Value& v,
+                                        const minic::Type& t) {
+  using minic::BaseType;
+  if (t.is_float()) return Value::of_float(v.as_float());
+  if (t.is_pointer()) {
+    Value out = v;
+    out.type = t;
+    out.i = static_cast<int64_t>(v.as_addr());
+    return out;
+  }
+  int64_t x = v.as_int();
+  switch (t.base) {
+    case BaseType::Char: x = static_cast<int8_t>(x); break;
+    case BaseType::Short: x = static_cast<int16_t>(x); break;
+    case BaseType::Int: x = static_cast<int32_t>(x); break;
+    default: break;
+  }
+  return Value::of_int(x, t);
+}
+
+FORAY_ALWAYS_INLINE Value apply_binary_op(minic::BinaryOp op, const Value& a,
+                                          const Value& b,
+                                          const minic::Type& result_type) {
+  using minic::BinaryOp;
+  // Pointer arithmetic scales by pointee size.
+  if (op == BinaryOp::Add || op == BinaryOp::Sub) {
+    if (a.type.is_pointer() && b.type.is_pointer()) {
+      FORAY_CHECK(op == BinaryOp::Sub, "sema rejects ptr+ptr");
+      int64_t sz = a.type.deref().size();
+      if (sz == 0) sz = 1;
+      return Value::of_int((a.i - b.i) / sz);
+    }
+    if (a.type.is_pointer()) {
+      int64_t sz = a.type.deref().size();
+      int64_t off = b.as_int() * sz;
+      return Value::of_int(op == BinaryOp::Add ? a.i + off : a.i - off,
+                           a.type);
+    }
+    if (b.type.is_pointer()) {
+      int64_t sz = b.type.deref().size();
+      return Value::of_int(b.i + a.as_int() * sz, b.type);
+    }
+  }
+  const bool flt = a.is_float() || b.is_float();
+  switch (op) {
+    case BinaryOp::Add:
+      return flt ? Value::of_float(a.as_float() + b.as_float())
+                 : Value::of_int(a.i + b.i, result_type);
+    case BinaryOp::Sub:
+      return flt ? Value::of_float(a.as_float() - b.as_float())
+                 : Value::of_int(a.i - b.i, result_type);
+    case BinaryOp::Mul:
+      return flt ? Value::of_float(a.as_float() * b.as_float())
+                 : Value::of_int(a.i * b.i, result_type);
+    case BinaryOp::Div:
+      if (flt) {
+        return Value::of_float(a.as_float() / b.as_float());
+      }
+      if (b.i == 0) throw RuntimeError("integer division by zero");
+      return Value::of_int(a.i / b.i, result_type);
+    case BinaryOp::Mod:
+      if (b.as_int() == 0) throw RuntimeError("modulo by zero");
+      return Value::of_int(a.as_int() % b.as_int());
+    case BinaryOp::Shl:
+      return Value::of_int(a.as_int() << (b.as_int() & 63));
+    case BinaryOp::Shr:
+      return Value::of_int(a.as_int() >> (b.as_int() & 63));
+    case BinaryOp::Lt:
+      return Value::of_int(flt ? a.as_float() < b.as_float() : a.i < b.i);
+    case BinaryOp::Gt:
+      return Value::of_int(flt ? a.as_float() > b.as_float() : a.i > b.i);
+    case BinaryOp::Le:
+      return Value::of_int(flt ? a.as_float() <= b.as_float() : a.i <= b.i);
+    case BinaryOp::Ge:
+      return Value::of_int(flt ? a.as_float() >= b.as_float() : a.i >= b.i);
+    case BinaryOp::Eq:
+      return Value::of_int(flt ? a.as_float() == b.as_float() : a.i == b.i);
+    case BinaryOp::Ne:
+      return Value::of_int(flt ? a.as_float() != b.as_float() : a.i != b.i);
+    case BinaryOp::BitAnd:
+      return Value::of_int(a.as_int() & b.as_int());
+    case BinaryOp::BitOr:
+      return Value::of_int(a.as_int() | b.as_int());
+    case BinaryOp::BitXor:
+      return Value::of_int(a.as_int() ^ b.as_int());
+    case BinaryOp::LogAnd:
+    case BinaryOp::LogOr:
+      break;  // handled by the engines (short circuit)
+  }
+  throw RuntimeError("unreachable binary op");
+}
+
+// -- chunked record transport -------------------------------------------------
+//
+// Records collect in a small local buffer and are handed to the sink in
+// bulk. When SinkT is a concrete final sink (the online Extractor) the
+// on_chunk() call devirtualizes and the whole per-record path inlines;
+// even for SinkT = trace::Sink only one virtual call per chunk remains.
+
+template <class SinkT>
+class TraceEmitter {
+ public:
+  TraceEmitter(SinkT* sink, const RunOptions& opts)
+      : sink_(sink),
+        chunk_(std::max<size_t>(opts.chunk_records, 1)),
+        trace_scalars_(opts.trace_scalars),
+        trace_data_(opts.trace_data),
+        trace_system_(opts.trace_system),
+        emit_checkpoints_(opts.emit_checkpoints) {}
+
+  FORAY_ALWAYS_INLINE void push(const trace::Record& r) {
+    chunk_[len_++] = r;
+    if (len_ == chunk_.size()) flush();
+  }
+
+  void flush() {
+    if (len_ != 0) {
+      sink_->on_chunk(chunk_.data(), len_);
+      len_ = 0;
+    }
+  }
+
+  FORAY_ALWAYS_INLINE void emit_access(uint32_t instr, uint32_t addr,
+                                       uint8_t size, bool is_write,
+                                       trace::AccessKind kind) {
+    ++accesses_;
+    switch (kind) {
+      case trace::AccessKind::Scalar:
+        if (!trace_scalars_) return;
+        break;
+      case trace::AccessKind::Data:
+        if (!trace_data_) return;
+        break;
+      case trace::AccessKind::System:
+        if (!trace_system_) return;
+        break;
+    }
+    push(trace::Record::access(instr, addr, size, is_write, kind));
+  }
+
+  void emit_checkpoint(trace::CheckpointType t, int loop_id) {
+    if (emit_checkpoints_ && loop_id >= 0) {
+      push(trace::Record::checkpoint(t, loop_id));
+    }
+  }
+
+  uint64_t accesses() const { return accesses_; }
+
+ private:
+  SinkT* sink_;
+  std::vector<trace::Record> chunk_;
+  size_t len_ = 0;
+  uint64_t accesses_ = 0;
+  const bool trace_scalars_, trace_data_, trace_system_, emit_checkpoints_;
+};
+
+// -- shared engine-host plumbing ----------------------------------------------
+//
+// The output limit, the fault handling, and the run() epilogue are all
+// observable behavior (harness-compared), so like the operator
+// semantics they exist exactly once and both engines call them.
+
+/// Appends simulated-program output under the shared size limit.
+inline void append_output_limited(std::string* out, size_t max_bytes,
+                                  const std::string& s) {
+  if (out->size() + s.size() > max_bytes) {
+    throw RuntimeError("simulated program output limit exceeded");
+  }
+  *out += s;
+}
+
+/// Runs an engine body, translating the two simulated-program exits:
+/// ExitSignal (the exit() intrinsic) into an exit code, RuntimeError
+/// into a "simulation" Status at the line the engine last visited.
+template <class Fn>
+void execute_guarded(RunResult* result, const int* cur_line, Fn&& body) {
+  try {
+    body();
+  } catch (const ExitSignal& e) {
+    result->exit_code = e.code;
+  } catch (const RuntimeError& e) {
+    result->status =
+        util::Status::failure("simulation", *cur_line, e.what());
+  }
+}
+
+/// The shared run() epilogue. Flushing happens on every outcome — a
+/// faulted run's trace must still contain everything up to the fault.
+template <class SinkT>
+void finalize_result(RunResult* result, TraceEmitter<SinkT>* emitter,
+                     Memory* mem, const RunOptions& opts,
+                     std::string* output, uint64_t steps) {
+  emitter->flush();
+  result->output = std::move(*output);
+  result->steps = steps;
+  result->accesses = emitter->accesses();
+  if (opts.digest_memory) result->memory_digest = mem->digest();
+}
+
+// -- intrinsics ---------------------------------------------------------------
+
+/// Reads a NUL-terminated string from simulated memory (no trace).
+inline std::string read_cstring(Memory& mem, uint32_t addr,
+                                size_t limit = 1u << 20) {
+  std::string out;
+  while (out.size() < limit) {
+    uint8_t c = mem.load_byte(addr++);
+    if (c == 0) break;
+    out.push_back(static_cast<char>(c));
+  }
+  return out;
+}
+
+template <class Host>
+std::string format_printf(Host& host, uint32_t instr, const std::string& fmt,
+                          const Value* args, size_t nargs) {
+  std::string out;
+  size_t argi = 1;
+  for (size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] != '%') {
+      out.push_back(fmt[i]);
+      continue;
+    }
+    ++i;
+    if (i >= fmt.size()) break;
+    if (fmt[i] == '%') {
+      out.push_back('%');
+      continue;
+    }
+    // Skip flags / width / precision.
+    std::string spec = "%";
+    while (i < fmt.size() &&
+           (std::isdigit(static_cast<unsigned char>(fmt[i])) ||
+            fmt[i] == '.' || fmt[i] == '-' || fmt[i] == '+' ||
+            fmt[i] == ' ' || fmt[i] == '0' || fmt[i] == 'l')) {
+      if (fmt[i] != 'l') spec.push_back(fmt[i]);
+      ++i;
+    }
+    if (i >= fmt.size()) break;
+    char conv = fmt[i];
+    if (argi >= nargs &&
+        (conv == 'd' || conv == 'u' || conv == 'x' || conv == 'c' ||
+         conv == 's' || conv == 'f' || conv == 'g' || conv == 'e')) {
+      throw RuntimeError("printf: not enough arguments");
+    }
+    char buf[64];
+    switch (conv) {
+      case 'd': {
+        spec += "lld";
+        std::snprintf(buf, sizeof buf, spec.c_str(),
+                      static_cast<long long>(args[argi++].as_int()));
+        out += buf;
+        break;
+      }
+      case 'u': {
+        spec += "llu";
+        std::snprintf(buf, sizeof buf, spec.c_str(),
+                      static_cast<unsigned long long>(args[argi++].as_int()));
+        out += buf;
+        break;
+      }
+      case 'x': {
+        spec += "llx";
+        std::snprintf(buf, sizeof buf, spec.c_str(),
+                      static_cast<unsigned long long>(args[argi++].as_int()));
+        out += buf;
+        break;
+      }
+      case 'c': {
+        out.push_back(static_cast<char>(args[argi++].as_int()));
+        break;
+      }
+      case 'f':
+      case 'g':
+      case 'e': {
+        spec.push_back(conv);
+        std::snprintf(buf, sizeof buf, spec.c_str(),
+                      args[argi++].as_float());
+        out += buf;
+        break;
+      }
+      case 's': {
+        uint32_t saddr = args[argi++].as_addr();
+        std::string s = read_cstring(host.memory(), saddr);
+        // Reading the string payload is system-library traffic.
+        for (size_t k = 0; k < s.size(); k += 4) {
+          host.emit_access(instr, saddr + static_cast<uint32_t>(k),
+                           static_cast<uint8_t>(std::min<size_t>(4,
+                                                                 s.size() - k)),
+                           false, trace::AccessKind::System);
+        }
+        out += s;
+        break;
+      }
+      default:
+        out += spec;
+        out.push_back(conv);
+    }
+  }
+  return out;
+}
+
+/// Executes one intrinsic call with fully evaluated arguments. `instr` is
+/// the call expression's synthetic instruction address, `line` its source
+/// line (used by assert's diagnostic).
+template <class Host>
+Value run_intrinsic(Host& host, minic::Intrinsic id, uint32_t instr,
+                    int line, const Value* args, size_t nargs) {
+  using minic::BaseType;
+  using minic::Intrinsic;
+  using trace::AccessKind;
+  Memory& mem = host.memory();
+  switch (id) {
+    case Intrinsic::Printf: {
+      std::string fmt = read_cstring(mem, args[0].as_addr());
+      std::string text = format_printf(host, instr, fmt, args, nargs);
+      host.append_output(text);
+      return Value::of_int(static_cast<int64_t>(text.size()));
+    }
+    case Intrinsic::Putchar:
+      host.append_output(std::string(1, static_cast<char>(args[0].as_int())));
+      return args[0];
+    case Intrinsic::Puts: {
+      uint32_t saddr = args[0].as_addr();
+      std::string s = read_cstring(mem, saddr);
+      for (size_t k = 0; k < s.size(); k += 4) {
+        host.emit_access(instr, saddr + static_cast<uint32_t>(k),
+                         static_cast<uint8_t>(std::min<size_t>(4,
+                                                               s.size() - k)),
+                         false, AccessKind::System);
+      }
+      host.append_output(s + "\n");
+      return Value::of_int(0);
+    }
+    case Intrinsic::Malloc: {
+      int64_t n = args[0].as_int();
+      if (n < 0) throw RuntimeError("malloc of negative size");
+      uint32_t addr = mem.heap_alloc(static_cast<uint32_t>(n));
+      return Value::of_ptr(addr, minic::make_type(BaseType::Char));
+    }
+    case Intrinsic::Free:
+      return Value::void_value();
+    case Intrinsic::Memset: {
+      uint32_t dst = args[0].as_addr();
+      uint8_t val = static_cast<uint8_t>(args[1].as_int());
+      int64_t n = args[2].as_int();
+      if (n < 0) throw RuntimeError("memset of negative size");
+      for (int64_t k = 0; k < n; ++k) {
+        mem.store_byte(dst + static_cast<uint32_t>(k), val);
+      }
+      for (int64_t k = 0; k < n; k += 4) {
+        host.emit_access(instr, dst + static_cast<uint32_t>(k),
+                         static_cast<uint8_t>(std::min<int64_t>(4, n - k)),
+                         true, AccessKind::System);
+      }
+      return args[0];
+    }
+    case Intrinsic::Memcpy: {
+      uint32_t dst = args[0].as_addr();
+      uint32_t src = args[1].as_addr();
+      int64_t n = args[2].as_int();
+      if (n < 0) throw RuntimeError("memcpy of negative size");
+      for (int64_t k = 0; k < n; ++k) {
+        mem.store_byte(dst + static_cast<uint32_t>(k),
+                       mem.load_byte(src + static_cast<uint32_t>(k)));
+      }
+      for (int64_t k = 0; k < n; k += 4) {
+        uint8_t sz = static_cast<uint8_t>(std::min<int64_t>(4, n - k));
+        host.emit_access(instr, src + static_cast<uint32_t>(k), sz, false,
+                         AccessKind::System);
+        host.emit_access(instr, dst + static_cast<uint32_t>(k), sz, true,
+                         AccessKind::System);
+      }
+      return args[0];
+    }
+    case Intrinsic::Rand:
+      return Value::of_int(static_cast<int64_t>(
+          host.rng().next_below(1u << 30)));
+    case Intrinsic::Srand:
+      host.rng() = util::Rng(static_cast<uint64_t>(args[0].as_int()));
+      return Value::void_value();
+    case Intrinsic::Abs:
+      return Value::of_int(std::llabs(args[0].as_int()));
+    case Intrinsic::Sqrtf:
+      return Value::of_float(std::sqrt(args[0].as_float()));
+    case Intrinsic::Sinf:
+      return Value::of_float(std::sin(args[0].as_float()));
+    case Intrinsic::Cosf:
+      return Value::of_float(std::cos(args[0].as_float()));
+    case Intrinsic::Expf:
+      return Value::of_float(std::exp(args[0].as_float()));
+    case Intrinsic::Logf:
+      return Value::of_float(std::log(args[0].as_float()));
+    case Intrinsic::Powf:
+      return Value::of_float(std::pow(args[0].as_float(),
+                                      args[1].as_float()));
+    case Intrinsic::Fabsf:
+      return Value::of_float(std::fabs(args[0].as_float()));
+    case Intrinsic::Floorf:
+      return Value::of_float(std::floor(args[0].as_float()));
+    case Intrinsic::Assert:
+      if (!args[0].truthy()) {
+        throw RuntimeError("assertion failed (line " + std::to_string(line) +
+                           ")");
+      }
+      return Value::void_value();
+    case Intrinsic::Exit:
+      throw ExitSignal{static_cast<int>(args[0].as_int())};
+  }
+  throw RuntimeError("unreachable intrinsic");
+}
+
+}  // namespace foray::sim::internal

@@ -1,15 +1,22 @@
 // The MiniC interpreter core, templated on the trace sink.
 //
-// This header holds the whole Interp class so that callers which know
-// their concrete sink type can instantiate an interpreter whose record
-// delivery is fully inlined: Interp<core::Extractor> runs the paper's
-// online analysis with zero virtual calls per record. The generic entry
-// point (sim::run_program, interpreter.cpp) instantiates
-// Interp<trace::Sink> and pays one virtual on_chunk() per chunk.
+// This header holds the tree-walking Interp class — the reference engine
+// ("oracle") the bytecode VM (sim/vm.h) is differentially tested against
+// — plus run_program_with(), the generic entry point that dispatches on
+// RunOptions::engine. Callers which know their concrete sink type
+// instantiate an engine whose record delivery is fully inlined:
+// Interp<core::Extractor> / Vm<core::Extractor> run the paper's online
+// analysis with zero virtual calls per record. The generic entry point
+// (sim::run_program, interpreter.cpp) instantiates the trace::Sink
+// variant and pays one virtual on_chunk() per chunk.
 //
 // Emission is chunked: records accumulate in a small local buffer
-// (RunOptions::chunk_records) and are flushed in bulk, so even the
-// virtual-sink instantiation performs no per-record dispatch.
+// (RunOptions::chunk_records) and are flushed in bulk by the shared
+// TraceEmitter (sim/exec_common.h), so even the virtual-sink
+// instantiation performs no per-record dispatch. Value conversion,
+// operator semantics, and intrinsics are shared with the VM through
+// sim/exec_common.h — the engines cannot drift apart in what an
+// operation does, only in how the program is walked.
 #pragma once
 
 #include <algorithm>
@@ -19,9 +26,11 @@
 #include <vector>
 
 #include "minic/intrinsics.h"
+#include "sim/exec_common.h"
 #include "sim/interpreter.h"
 #include "sim/resolver.h"
 #include "sim/value.h"
+#include "sim/vm.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -44,11 +53,6 @@ using minic::VarDecl;
 using trace::AccessKind;
 using trace::CheckpointType;
 using trace::Record;
-
-/// Thrown by the exit() intrinsic to unwind the whole simulation.
-struct ExitSignal {
-  int code;
-};
 
 enum class Flow : uint8_t { Normal, Break, Continue, Return };
 
@@ -75,33 +79,37 @@ class Interp {
  public:
   Interp(const Program& prog, SinkT* sink, const RunOptions& opts)
       : prog_(prog),
-        sink_(sink),
         opts_(opts),
+        emitter_(sink, opts_),
         res_(resolve_variables(prog)),
-        chunk_(std::max<size_t>(opts.chunk_records, 1)),
         mem_(opts.heap_capacity, opts.stack_capacity),
         rng_(opts.rng_seed) {}
 
   RunResult run() {
     RunResult result;
-    try {
+    execute_guarded(&result, &cur_line_, [&] {
       alloc_globals();
       const Function* main_fn = prog_.find_function("main");
       FORAY_CHECK(main_fn != nullptr, "sema guarantees main exists");
       Value ret = call_function(*main_fn, {}, /*call_node=*/-1);
       result.exit_code = static_cast<int>(ret.as_int());
-    } catch (const ExitSignal& e) {
-      result.exit_code = e.code;
-    } catch (const RuntimeError& e) {
-      result.status = util::Status::failure("simulation", cur_line_, e.what());
-    }
-    // Deliver the tail chunk on every outcome — a faulted run's trace
-    // must still contain everything up to the fault.
-    flush();
-    result.output = std::move(output_);
-    result.steps = steps_;
-    result.accesses = accesses_;
+    });
+    finalize_result(&result, &emitter_, &mem_, opts_, &output_, steps_);
     return result;
+  }
+
+  // -- Host interface for the shared intrinsic runner ------------------------
+
+  Memory& memory() { return mem_; }
+  util::Rng& rng() { return rng_; }
+
+  void append_output(const std::string& s) {
+    append_output_limited(&output_, opts_.max_output_bytes, s);
+  }
+
+  void emit_access(uint32_t instr, uint32_t addr, uint8_t size,
+                   bool is_write, AccessKind kind) {
+    emitter_.emit_access(instr, addr, size, is_write, kind);
   }
 
  private:
@@ -114,62 +122,10 @@ class Interp {
     }
   }
 
-  // -- chunked record transport ---------------------------------------------
-  //
-  // Records collect in a small local buffer and are handed to the sink
-  // in bulk. When SinkT is a concrete final sink (the online Extractor)
-  // the on_chunk() call devirtualizes and the whole per-record path
-  // inlines; even for SinkT = trace::Sink only one virtual call per
-  // chunk remains.
-
-  void push(const Record& r) {
-    chunk_[chunk_len_++] = r;
-    if (chunk_len_ == chunk_.size()) flush();
-  }
-
-  void flush() {
-    if (chunk_len_ != 0) {
-      sink_->on_chunk(chunk_.data(), chunk_len_);
-      chunk_len_ = 0;
-    }
-  }
-
-  void emit_access(uint32_t instr, uint32_t addr, uint8_t size,
-                   bool is_write, AccessKind kind) {
-    ++accesses_;
-    switch (kind) {
-      case AccessKind::Scalar:
-        if (!opts_.trace_scalars) return;
-        break;
-      case AccessKind::Data:
-        if (!opts_.trace_data) return;
-        break;
-      case AccessKind::System:
-        if (!opts_.trace_system) return;
-        break;
-    }
-    push(Record::access(instr, addr, size, is_write, kind));
-  }
-
-  void emit_checkpoint(CheckpointType t, int loop_id) {
-    if (opts_.emit_checkpoints && loop_id >= 0) {
-      push(Record::checkpoint(t, loop_id));
-    }
-  }
-
-  void append_output(const std::string& s) {
-    if (output_.size() + s.size() > opts_.max_output_bytes) {
-      throw RuntimeError("simulated program output limit exceeded");
-    }
-    output_ += s;
-  }
-
   // -- environment ----------------------------------------------------------
   //
   // Variables are pre-resolved (sim/resolver.h): globals live in a flat
-  // table, locals in one arena indexed by frame base + static slot. The
-  // old per-scope string maps — and their per-block construction — are
-  // gone from the simulation loop entirely.
+  // table, locals in one arena indexed by frame base + static slot.
 
   struct Frame {
     uint32_t saved_sp;
@@ -274,23 +230,7 @@ class Interp {
 
   // -- expression evaluation ------------------------------------------------
 
-  Value convert(const Value& v, const Type& t) {
-    if (t.is_float()) return Value::of_float(v.as_float());
-    if (t.is_pointer()) {
-      Value out = v;
-      out.type = t;
-      out.i = static_cast<int64_t>(v.as_addr());
-      return out;
-    }
-    int64_t x = v.as_int();
-    switch (t.base) {
-      case BaseType::Char: x = static_cast<int8_t>(x); break;
-      case BaseType::Short: x = static_cast<int16_t>(x); break;
-      case BaseType::Int: x = static_cast<int32_t>(x); break;
-      default: break;
-    }
-    return Value::of_int(x, t);
-  }
+  Value convert(const Value& v, const Type& t) { return convert_value(v, t); }
 
   Lvalue lvalue(const Expr& e) {
     step();
@@ -422,83 +362,7 @@ class Interp {
     }
     Value a = eval(*e.a);
     Value b = eval(*e.b);
-    return apply_binary(e.bin_op, a, b, e.type);
-  }
-
-  Value apply_binary(BinaryOp op, const Value& a, const Value& b,
-                     const Type& result_type) {
-    // Pointer arithmetic scales by pointee size.
-    if (op == BinaryOp::Add || op == BinaryOp::Sub) {
-      if (a.type.is_pointer() && b.type.is_pointer()) {
-        FORAY_CHECK(op == BinaryOp::Sub, "sema rejects ptr+ptr");
-        int64_t sz = a.type.deref().size();
-        if (sz == 0) sz = 1;
-        return Value::of_int((a.i - b.i) / sz);
-      }
-      if (a.type.is_pointer()) {
-        int64_t sz = a.type.deref().size();
-        int64_t off = b.as_int() * sz;
-        return Value::of_int(op == BinaryOp::Add ? a.i + off : a.i - off,
-                             a.type);
-      }
-      if (b.type.is_pointer()) {
-        int64_t sz = b.type.deref().size();
-        return Value::of_int(b.i + a.as_int() * sz, b.type);
-      }
-    }
-    const bool flt = a.is_float() || b.is_float();
-    switch (op) {
-      case BinaryOp::Add:
-        return flt ? Value::of_float(a.as_float() + b.as_float())
-                   : Value::of_int(a.i + b.i, result_type);
-      case BinaryOp::Sub:
-        return flt ? Value::of_float(a.as_float() - b.as_float())
-                   : Value::of_int(a.i - b.i, result_type);
-      case BinaryOp::Mul:
-        return flt ? Value::of_float(a.as_float() * b.as_float())
-                   : Value::of_int(a.i * b.i, result_type);
-      case BinaryOp::Div:
-        if (flt) {
-          return Value::of_float(a.as_float() / b.as_float());
-        }
-        if (b.i == 0) throw RuntimeError("integer division by zero");
-        return Value::of_int(a.i / b.i, result_type);
-      case BinaryOp::Mod:
-        if (b.as_int() == 0) throw RuntimeError("modulo by zero");
-        return Value::of_int(a.as_int() % b.as_int());
-      case BinaryOp::Shl:
-        return Value::of_int(a.as_int() << (b.as_int() & 63));
-      case BinaryOp::Shr:
-        return Value::of_int(a.as_int() >> (b.as_int() & 63));
-      case BinaryOp::Lt:
-        return Value::of_int(flt ? a.as_float() < b.as_float()
-                                 : a.i < b.i);
-      case BinaryOp::Gt:
-        return Value::of_int(flt ? a.as_float() > b.as_float()
-                                 : a.i > b.i);
-      case BinaryOp::Le:
-        return Value::of_int(flt ? a.as_float() <= b.as_float()
-                                 : a.i <= b.i);
-      case BinaryOp::Ge:
-        return Value::of_int(flt ? a.as_float() >= b.as_float()
-                                 : a.i >= b.i);
-      case BinaryOp::Eq:
-        return Value::of_int(flt ? a.as_float() == b.as_float()
-                                 : a.i == b.i);
-      case BinaryOp::Ne:
-        return Value::of_int(flt ? a.as_float() != b.as_float()
-                                 : a.i != b.i);
-      case BinaryOp::BitAnd:
-        return Value::of_int(a.as_int() & b.as_int());
-      case BinaryOp::BitOr:
-        return Value::of_int(a.as_int() | b.as_int());
-      case BinaryOp::BitXor:
-        return Value::of_int(a.as_int() ^ b.as_int());
-      case BinaryOp::LogAnd:
-      case BinaryOp::LogOr:
-        break;  // handled by caller (short circuit)
-    }
-    throw RuntimeError("unreachable binary op");
+    return apply_binary_op(e.bin_op, a, b, e.type);
   }
 
   Value eval_assign(const Expr& e) {
@@ -525,7 +389,7 @@ class Interp {
       default:
         throw RuntimeError("unreachable assign op");
     }
-    Value v = convert(apply_binary(op, old, rhs, lv.type), lv.type);
+    Value v = convert(apply_binary_op(op, old, rhs, lv.type), lv.type);
     store(lv, v);
     return v;
   }
@@ -537,7 +401,9 @@ class Interp {
     args.reserve(e.args.size());
     for (const auto& a : e.args) args.push_back(eval(*a));
     if (auto intr = minic::find_intrinsic(e.name)) {
-      return eval_intrinsic(e, intr->id, args);
+      return run_intrinsic(*this, intr->id,
+                           minic::instr_addr_for_node(e.node_id), e.line,
+                           args.data(), args.size());
     }
     const Function* fn = prog_.find_function(e.name);
     FORAY_CHECK(fn != nullptr, "sema guarantees function exists");
@@ -551,7 +417,7 @@ class Interp {
       throw RuntimeError("simulated call depth limit exceeded in '" +
                          fn.name + "'");
     }
-    if (opts_.emit_calls) push(Record::call(fn.func_id));
+    if (opts_.emit_calls) emitter_.push(Record::call(fn.func_id));
     Frame frame;
     frame.saved_sp = mem_.sp();
     frame.locals_base = locals_arena_.size();
@@ -578,7 +444,7 @@ class Interp {
     mem_.set_sp(frames_.back().saved_sp);
     locals_arena_.resize(frames_.back().locals_base);
     frames_.pop_back();
-    if (opts_.emit_calls) push(Record::ret(fn.func_id));
+    if (opts_.emit_calls) emitter_.push(Record::ret(fn.func_id));
     if (!fn.ret.is_void()) ret = convert(ret, fn.ret);
     return ret;
   }
@@ -632,7 +498,7 @@ class Interp {
 
   Flow exec_loop(const Stmt& s) {
     uint32_t saved_sp = mem_.sp();
-    emit_checkpoint(CheckpointType::LoopEnter, s.loop_id);
+    emitter_.emit_checkpoint(CheckpointType::LoopEnter, s.loop_id);
 
     Flow out = Flow::Normal;
     if (s.kind == StmtKind::For && s.init) {
@@ -649,235 +515,26 @@ class Interp {
         // for(;;): no condition — runs until break/return.
       }
       first = false;
-      emit_checkpoint(CheckpointType::BodyBegin, s.loop_id);
+      emitter_.emit_checkpoint(CheckpointType::BodyBegin, s.loop_id);
       Flow flow = exec(*s.body);
       if (flow == Flow::Break) break;
       if (flow == Flow::Return) {
         out = Flow::Return;
         break;
       }
-      emit_checkpoint(CheckpointType::BodyEnd, s.loop_id);
+      emitter_.emit_checkpoint(CheckpointType::BodyEnd, s.loop_id);
       if (s.kind == StmtKind::For && s.step) eval(*s.step);
     }
 
-    emit_checkpoint(CheckpointType::LoopExit, s.loop_id);
+    emitter_.emit_checkpoint(CheckpointType::LoopExit, s.loop_id);
     mem_.set_sp(saved_sp);
     return out;
   }
 
-  // -- intrinsics -----------------------------------------------------------
-
-  /// Reads a NUL-terminated string from simulated memory (no trace).
-  std::string read_cstring(uint32_t addr, size_t limit = 1u << 20) {
-    std::string out;
-    while (out.size() < limit) {
-      uint8_t c = mem_.load_byte(addr++);
-      if (c == 0) break;
-      out.push_back(static_cast<char>(c));
-    }
-    return out;
-  }
-
-  std::string format_printf(const Expr& call, const std::string& fmt,
-                            const std::vector<Value>& args) {
-    std::string out;
-    size_t argi = 1;
-    for (size_t i = 0; i < fmt.size(); ++i) {
-      if (fmt[i] != '%') {
-        out.push_back(fmt[i]);
-        continue;
-      }
-      ++i;
-      if (i >= fmt.size()) break;
-      if (fmt[i] == '%') {
-        out.push_back('%');
-        continue;
-      }
-      // Skip flags / width / precision.
-      std::string spec = "%";
-      while (i < fmt.size() &&
-             (std::isdigit(static_cast<unsigned char>(fmt[i])) ||
-              fmt[i] == '.' || fmt[i] == '-' || fmt[i] == '+' ||
-              fmt[i] == ' ' || fmt[i] == '0' || fmt[i] == 'l')) {
-        if (fmt[i] != 'l') spec.push_back(fmt[i]);
-        ++i;
-      }
-      if (i >= fmt.size()) break;
-      char conv = fmt[i];
-      if (argi >= args.size() &&
-          (conv == 'd' || conv == 'u' || conv == 'x' || conv == 'c' ||
-           conv == 's' || conv == 'f' || conv == 'g' || conv == 'e')) {
-        throw RuntimeError("printf: not enough arguments");
-      }
-      char buf[64];
-      switch (conv) {
-        case 'd': {
-          spec += "lld";
-          std::snprintf(buf, sizeof buf, spec.c_str(),
-                        static_cast<long long>(args[argi++].as_int()));
-          out += buf;
-          break;
-        }
-        case 'u': {
-          spec += "llu";
-          std::snprintf(buf, sizeof buf, spec.c_str(),
-                        static_cast<unsigned long long>(
-                            args[argi++].as_int()));
-          out += buf;
-          break;
-        }
-        case 'x': {
-          spec += "llx";
-          std::snprintf(buf, sizeof buf, spec.c_str(),
-                        static_cast<unsigned long long>(
-                            args[argi++].as_int()));
-          out += buf;
-          break;
-        }
-        case 'c': {
-          out.push_back(static_cast<char>(args[argi++].as_int()));
-          break;
-        }
-        case 'f':
-        case 'g':
-        case 'e': {
-          spec.push_back(conv);
-          std::snprintf(buf, sizeof buf, spec.c_str(),
-                        args[argi++].as_float());
-          out += buf;
-          break;
-        }
-        case 's': {
-          uint32_t saddr = args[argi++].as_addr();
-          std::string s = read_cstring(saddr);
-          // Reading the string payload is system-library traffic.
-          uint32_t instr = minic::instr_addr_for_node(call.node_id);
-          for (size_t k = 0; k < s.size(); k += 4) {
-            emit_access(instr, saddr + static_cast<uint32_t>(k),
-                        static_cast<uint8_t>(std::min<size_t>(4,
-                                                              s.size() - k)),
-                        false, AccessKind::System);
-          }
-          out += s;
-          break;
-        }
-        default:
-          out += spec;
-          out.push_back(conv);
-      }
-    }
-    return out;
-  }
-
-  Value eval_intrinsic(const Expr& e, minic::Intrinsic id,
-                       const std::vector<Value>& args) {
-    using minic::Intrinsic;
-    uint32_t instr = minic::instr_addr_for_node(e.node_id);
-    switch (id) {
-      case Intrinsic::Printf: {
-        std::string fmt = read_cstring(args[0].as_addr());
-        std::string text = format_printf(e, fmt, args);
-        append_output(text);
-        return Value::of_int(static_cast<int64_t>(text.size()));
-      }
-      case Intrinsic::Putchar:
-        append_output(std::string(1, static_cast<char>(args[0].as_int())));
-        return args[0];
-      case Intrinsic::Puts: {
-        uint32_t saddr = args[0].as_addr();
-        std::string s = read_cstring(saddr);
-        for (size_t k = 0; k < s.size(); k += 4) {
-          emit_access(instr, saddr + static_cast<uint32_t>(k),
-                      static_cast<uint8_t>(std::min<size_t>(4, s.size() - k)),
-                      false, AccessKind::System);
-        }
-        append_output(s + "\n");
-        return Value::of_int(0);
-      }
-      case Intrinsic::Malloc: {
-        int64_t n = args[0].as_int();
-        if (n < 0) throw RuntimeError("malloc of negative size");
-        uint32_t addr = mem_.heap_alloc(static_cast<uint32_t>(n));
-        return Value::of_ptr(addr, minic::make_type(BaseType::Char));
-      }
-      case Intrinsic::Free:
-        return Value::void_value();
-      case Intrinsic::Memset: {
-        uint32_t dst = args[0].as_addr();
-        uint8_t val = static_cast<uint8_t>(args[1].as_int());
-        int64_t n = args[2].as_int();
-        if (n < 0) throw RuntimeError("memset of negative size");
-        for (int64_t k = 0; k < n; ++k) {
-          mem_.store_byte(dst + static_cast<uint32_t>(k), val);
-        }
-        for (int64_t k = 0; k < n; k += 4) {
-          emit_access(instr, dst + static_cast<uint32_t>(k),
-                      static_cast<uint8_t>(std::min<int64_t>(4, n - k)),
-                      true, AccessKind::System);
-        }
-        return args[0];
-      }
-      case Intrinsic::Memcpy: {
-        uint32_t dst = args[0].as_addr();
-        uint32_t src = args[1].as_addr();
-        int64_t n = args[2].as_int();
-        if (n < 0) throw RuntimeError("memcpy of negative size");
-        for (int64_t k = 0; k < n; ++k) {
-          mem_.store_byte(dst + static_cast<uint32_t>(k),
-                          mem_.load_byte(src + static_cast<uint32_t>(k)));
-        }
-        for (int64_t k = 0; k < n; k += 4) {
-          uint8_t sz = static_cast<uint8_t>(std::min<int64_t>(4, n - k));
-          emit_access(instr, src + static_cast<uint32_t>(k), sz, false,
-                      AccessKind::System);
-          emit_access(instr, dst + static_cast<uint32_t>(k), sz, true,
-                      AccessKind::System);
-        }
-        return args[0];
-      }
-      case Intrinsic::Rand:
-        return Value::of_int(static_cast<int64_t>(
-            rng_.next_below(1u << 30)));
-      case Intrinsic::Srand:
-        rng_ = util::Rng(static_cast<uint64_t>(args[0].as_int()));
-        return Value::void_value();
-      case Intrinsic::Abs:
-        return Value::of_int(std::llabs(args[0].as_int()));
-      case Intrinsic::Sqrtf:
-        return Value::of_float(std::sqrt(args[0].as_float()));
-      case Intrinsic::Sinf:
-        return Value::of_float(std::sin(args[0].as_float()));
-      case Intrinsic::Cosf:
-        return Value::of_float(std::cos(args[0].as_float()));
-      case Intrinsic::Expf:
-        return Value::of_float(std::exp(args[0].as_float()));
-      case Intrinsic::Logf:
-        return Value::of_float(std::log(args[0].as_float()));
-      case Intrinsic::Powf:
-        return Value::of_float(std::pow(args[0].as_float(),
-                                        args[1].as_float()));
-      case Intrinsic::Fabsf:
-        return Value::of_float(std::fabs(args[0].as_float()));
-      case Intrinsic::Floorf:
-        return Value::of_float(std::floor(args[0].as_float()));
-      case Intrinsic::Assert:
-        if (!args[0].truthy()) {
-          throw RuntimeError("assertion failed (line " +
-                             std::to_string(e.line) + ")");
-        }
-        return Value::void_value();
-      case Intrinsic::Exit:
-        throw ExitSignal{static_cast<int>(args[0].as_int())};
-    }
-    throw RuntimeError("unreachable intrinsic");
-  }
-
   const Program& prog_;
-  SinkT* sink_;
   RunOptions opts_;
+  TraceEmitter<SinkT> emitter_;
   VarResolution res_;
-  std::vector<Record> chunk_;
-  size_t chunk_len_ = 0;
   Memory mem_;
   util::Rng rng_;
   std::vector<Slot> global_slots_;
@@ -886,7 +543,6 @@ class Interp {
   std::vector<Frame> frames_;
   std::string output_;
   uint64_t steps_ = 0;
-  uint64_t accesses_ = 0;
   int cur_line_ = 0;
 };
 
@@ -895,9 +551,14 @@ class Interp {
 /// Executes `prog` (which must have passed sema) from main(), streaming
 /// trace records into the concrete sink `*sink` — the devirtualized
 /// variant of run_program() for callers that know their sink type.
+/// Dispatches on RunOptions::engine: the bytecode VM by default, the
+/// tree walker when the caller pins Engine::Ast (or sets FORAY_ENGINE).
 template <class SinkT>
 RunResult run_program_with(const minic::Program& prog, SinkT* sink,
                            const RunOptions& opts = {}) {
+  if (opts.engine == Engine::Bytecode) {
+    return run_bytecode_with(prog, sink, opts);
+  }
   internal::Interp<SinkT> interp(prog, sink, opts);
   return interp.run();
 }

@@ -25,7 +25,22 @@
 
 namespace foray::sim {
 
+/// Which execution engine runs the program. Both produce bit-identical
+/// traces, outputs, and memory images (tests/engine_equivalence_test.cpp
+/// enforces it); they differ only in speed.
+enum class Engine : uint8_t {
+  Ast,       ///< tree-walking reference interpreter (the oracle)
+  Bytecode,  ///< flat bytecode + dispatch-loop VM (the fast default)
+};
+
+/// Session-wide default engine: Engine::Bytecode, overridable with the
+/// FORAY_ENGINE environment variable ("ast" or "bytecode") so the whole
+/// test suite can be re-run against either engine without code changes
+/// (the CI matrix does exactly that).
+Engine default_engine();
+
 struct RunOptions {
+  Engine engine = default_engine();
   uint64_t max_steps = 500'000'000;  ///< evaluation-step guard
   /// Expected trace volume (records); VectorSink-style consumers use it to
   /// reserve storage up front instead of growing through reallocation.
@@ -44,6 +59,10 @@ struct RunOptions {
   uint32_t heap_capacity = 1u << 24;
   uint32_t stack_capacity = 1u << 22;
   size_t max_output_bytes = 1u << 24;
+  /// Hash the final simulated memory image into RunResult::memory_digest
+  /// (used by the engine-equivalence harness; off by default because the
+  /// digest walks every mapped byte).
+  bool digest_memory = false;
 };
 
 struct RunResult {
@@ -52,6 +71,8 @@ struct RunResult {
   std::string output;     ///< accumulated printf/puts/putchar text
   uint64_t steps = 0;     ///< evaluation steps executed
   uint64_t accesses = 0;  ///< memory accesses performed (traced or not)
+  /// FNV-1a hash of the final memory image (RunOptions::digest_memory).
+  uint64_t memory_digest = 0;
 
   bool ok() const { return status.ok(); }
   std::string error() const { return status.message(); }

@@ -55,99 +55,40 @@ uint32_t Memory::stack_alloc(uint32_t size, uint32_t align) {
   return new_sp;
 }
 
-uint8_t* Memory::resolve(uint32_t addr, uint32_t size) {
-  if (addr >= kStackTop - stack_capacity_ && addr + size <= kStackTop) {
-    // Stack bytes are stored top-down: address a maps to
-    // stack_[kStackTop-1-a] ... to keep them contiguous we instead view
-    // the stack as a bottom-up array anchored at (kStackTop - capacity).
-    uint32_t base = kStackTop - stack_capacity_;
-    uint32_t off = addr - base;
-    if (stack_full_.size() < stack_capacity_) {
-      stack_full_.resize(stack_capacity_, 0);
-    }
-    return stack_full_.data() + off;
-  }
-  if (addr >= kRodataBase && addr + size <= kRodataBase + rodata_.size()) {
-    return rodata_.data() + (addr - kRodataBase);
-  }
-  if (addr >= kGlobalBase && addr + size <= kGlobalBase + globals_.size()) {
-    return globals_.data() + (addr - kGlobalBase);
-  }
-  if (addr >= kHeapBase && addr + size <= kHeapBase + heap_brk_) {
-    return heap_.data() + (addr - kHeapBase);
-  }
+uint8_t* Memory::resolve_fault(uint32_t addr, uint32_t size) const {
   throw RuntimeError("access to unmapped address 0x" + util::to_hex(addr) +
                      " (" + std::to_string(size) + " bytes)");
-}
-
-int64_t Memory::load_int(uint32_t addr, uint32_t size) {
-  uint8_t* p = resolve(addr, size);
-  switch (size) {
-    case 1: {
-      int8_t v;
-      std::memcpy(&v, p, 1);
-      return v;
-    }
-    case 2: {
-      int16_t v;
-      std::memcpy(&v, p, 2);
-      return v;
-    }
-    case 4: {
-      int32_t v;
-      std::memcpy(&v, p, 4);
-      return v;
-    }
-    default:
-      throw RuntimeError("unsupported load width " + std::to_string(size));
-  }
-}
-
-void Memory::store_int(uint32_t addr, uint32_t size, int64_t value) {
-  uint8_t* p = resolve(addr, size);
-  switch (size) {
-    case 1: {
-      int8_t v = static_cast<int8_t>(value);
-      std::memcpy(p, &v, 1);
-      break;
-    }
-    case 2: {
-      int16_t v = static_cast<int16_t>(value);
-      std::memcpy(p, &v, 2);
-      break;
-    }
-    case 4: {
-      int32_t v = static_cast<int32_t>(value);
-      std::memcpy(p, &v, 4);
-      break;
-    }
-    default:
-      throw RuntimeError("unsupported store width " + std::to_string(size));
-  }
-}
-
-double Memory::load_float(uint32_t addr) {
-  uint8_t* p = resolve(addr, 4);
-  float v;
-  std::memcpy(&v, p, 4);
-  return static_cast<double>(v);
-}
-
-void Memory::store_float(uint32_t addr, double value) {
-  uint8_t* p = resolve(addr, 4);
-  float v = static_cast<float>(value);
-  std::memcpy(p, &v, 4);
-}
-
-uint8_t Memory::load_byte(uint32_t addr) { return *resolve(addr, 1); }
-
-void Memory::store_byte(uint32_t addr, uint8_t value) {
-  *resolve(addr, 1) = value;
 }
 
 uint64_t Memory::mapped_bytes() const {
   return rodata_.size() + globals_.size() + heap_.size() +
          stack_full_.size();
+}
+
+uint64_t Memory::digest() const {
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](const uint8_t* p, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ull;
+    }
+  };
+  auto mix_u32 = [&](uint32_t v) {
+    uint8_t b[4];
+    std::memcpy(b, &v, 4);
+    mix(b, 4);
+  };
+  auto mix_region = [&](const std::vector<uint8_t>& r) {
+    mix_u32(static_cast<uint32_t>(r.size()));
+    mix(r.data(), r.size());
+  };
+  mix_region(rodata_);
+  mix_region(globals_);
+  mix_region(heap_);
+  mix_region(stack_full_);
+  mix_u32(heap_brk_);
+  mix_u32(sp_);
+  return h;
 }
 
 }  // namespace foray::sim

@@ -15,9 +15,12 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "util/inline.h"
 
 namespace foray::sim {
 
@@ -56,21 +59,121 @@ class Memory {
   uint32_t stack_alloc(uint32_t size, uint32_t align = 4);
 
   // -- typed access ---------------------------------------------------------
+  //
+  // The loads/stores below run once per simulated memory operation —
+  // tens of millions of times per profiling run — so they live in the
+  // header and are forced inline into both engines' hot loops; an
+  // out-of-line call here is directly visible in Mrec/s.
 
   /// Load a `size`-byte integer (1, 2 or 4), sign-extending.
-  int64_t load_int(uint32_t addr, uint32_t size);
-  void store_int(uint32_t addr, uint32_t size, int64_t value);
-  double load_float(uint32_t addr);
-  void store_float(uint32_t addr, double value);
+  FORAY_ALWAYS_INLINE int64_t load_int(uint32_t addr, uint32_t size) {
+    const uint8_t* p = resolve(addr, size);
+    switch (size) {
+      case 1: {
+        int8_t v;
+        std::memcpy(&v, p, 1);
+        return v;
+      }
+      case 2: {
+        int16_t v;
+        std::memcpy(&v, p, 2);
+        return v;
+      }
+      case 4: {
+        int32_t v;
+        std::memcpy(&v, p, 4);
+        return v;
+      }
+      default:
+        throw RuntimeError("unsupported load width " + std::to_string(size));
+    }
+  }
 
-  uint8_t load_byte(uint32_t addr);
-  void store_byte(uint32_t addr, uint8_t value);
+  FORAY_ALWAYS_INLINE void store_int(uint32_t addr, uint32_t size,
+                                     int64_t value) {
+    uint8_t* p = resolve(addr, size);
+    switch (size) {
+      case 1: {
+        const int8_t v = static_cast<int8_t>(value);
+        std::memcpy(p, &v, 1);
+        break;
+      }
+      case 2: {
+        const int16_t v = static_cast<int16_t>(value);
+        std::memcpy(p, &v, 2);
+        break;
+      }
+      case 4: {
+        const int32_t v = static_cast<int32_t>(value);
+        std::memcpy(p, &v, 4);
+        break;
+      }
+      default:
+        throw RuntimeError("unsupported store width " + std::to_string(size));
+    }
+  }
+
+  FORAY_ALWAYS_INLINE double load_float(uint32_t addr) {
+    const uint8_t* p = resolve(addr, 4);
+    float v;
+    std::memcpy(&v, p, 4);
+    return static_cast<double>(v);
+  }
+
+  FORAY_ALWAYS_INLINE void store_float(uint32_t addr, double value) {
+    uint8_t* p = resolve(addr, 4);
+    const float v = static_cast<float>(value);
+    std::memcpy(p, &v, 4);
+  }
+
+  FORAY_ALWAYS_INLINE uint8_t load_byte(uint32_t addr) {
+    return *resolve(addr, 1);
+  }
+
+  FORAY_ALWAYS_INLINE void store_byte(uint32_t addr, uint8_t value) {
+    *resolve(addr, 1) = value;
+  }
 
   /// Total bytes currently mapped (for footprint/limit reporting).
   uint64_t mapped_bytes() const;
 
+  /// FNV-1a hash over every mapped region plus the allocator state
+  /// (sp, heap break). Two runs that leave the simulated machine in the
+  /// same state digest identically; the engine-equivalence harness uses
+  /// this to compare final memory images without exposing the regions.
+  uint64_t digest() const;
+
  private:
-  uint8_t* resolve(uint32_t addr, uint32_t size);
+  /// Maps a simulated address range to host memory. Checked in the
+  /// layout's hot order; lazily sizes the stack backing store on first
+  /// touch. Throws RuntimeError for unmapped ranges. Range ends are
+  /// computed in 64 bits: a simulated address near 2^32 must fault,
+  /// not wrap past a region check into host memory.
+  FORAY_ALWAYS_INLINE uint8_t* resolve(uint32_t addr, uint32_t size) {
+    const uint64_t end = static_cast<uint64_t>(addr) + size;
+    if (addr >= kStackTop - stack_capacity_ && end <= kStackTop) {
+      // Stack bytes are viewed as a bottom-up array anchored at
+      // (kStackTop - capacity) to keep them contiguous.
+      const uint32_t base = kStackTop - stack_capacity_;
+      const uint32_t off = addr - base;
+      if (stack_full_.size() < stack_capacity_) {
+        stack_full_.resize(stack_capacity_, 0);
+      }
+      return stack_full_.data() + off;
+    }
+    if (addr >= kRodataBase && end <= kRodataBase + rodata_.size()) {
+      return rodata_.data() + (addr - kRodataBase);
+    }
+    if (addr >= kGlobalBase && end <= kGlobalBase + globals_.size()) {
+      return globals_.data() + (addr - kGlobalBase);
+    }
+    if (addr >= kHeapBase && end <= kHeapBase + heap_brk_) {
+      return heap_.data() + (addr - kHeapBase);
+    }
+    return resolve_fault(addr, size);
+  }
+
+  [[noreturn]] uint8_t* resolve_fault(uint32_t addr, uint32_t size) const;
 
   std::vector<uint8_t> rodata_;
   std::vector<uint8_t> globals_;

@@ -4,30 +4,35 @@
 #include <cstdint>
 
 #include "minic/ast.h"
+#include "util/inline.h"
 
 namespace foray::sim {
 
 /// A runtime value: integers/pointers in `i`, floats in `f`. The static
 /// type tag decides which payload is live and how stores narrow.
+/// The factories/accessors are forced inline: they run several times per
+/// VM instruction, and the engines' dispatch loops are big enough that
+/// the inliner would otherwise leave them as calls.
 struct Value {
   minic::Type type;
   int64_t i = 0;
   double f = 0.0;
 
-  static Value of_int(int64_t v,
-                      minic::Type t = minic::make_type(minic::BaseType::Int)) {
+  static FORAY_ALWAYS_INLINE Value of_int(
+      int64_t v, minic::Type t = minic::make_type(minic::BaseType::Int)) {
     Value x;
     x.type = t;
     x.i = v;
     return x;
   }
-  static Value of_float(double v) {
+  static FORAY_ALWAYS_INLINE Value of_float(double v) {
     Value x;
     x.type = minic::make_type(minic::BaseType::Float);
     x.f = v;
     return x;
   }
-  static Value of_ptr(uint32_t addr, minic::Type pointee) {
+  static FORAY_ALWAYS_INLINE Value of_ptr(uint32_t addr,
+                                          minic::Type pointee) {
     Value x;
     x.type = pointee.address_of();
     x.i = static_cast<int64_t>(addr);
@@ -39,16 +44,20 @@ struct Value {
     return x;
   }
 
-  bool is_float() const { return type.is_float(); }
+  FORAY_ALWAYS_INLINE bool is_float() const { return type.is_float(); }
 
-  int64_t as_int() const {
+  FORAY_ALWAYS_INLINE int64_t as_int() const {
     return is_float() ? static_cast<int64_t>(f) : i;
   }
-  double as_float() const {
+  FORAY_ALWAYS_INLINE double as_float() const {
     return is_float() ? f : static_cast<double>(i);
   }
-  uint32_t as_addr() const { return static_cast<uint32_t>(as_int()); }
-  bool truthy() const { return is_float() ? f != 0.0 : i != 0; }
+  FORAY_ALWAYS_INLINE uint32_t as_addr() const {
+    return static_cast<uint32_t>(as_int());
+  }
+  FORAY_ALWAYS_INLINE bool truthy() const {
+    return is_float() ? f != 0.0 : i != 0;
+  }
 };
 
 }  // namespace foray::sim

@@ -1,0 +1,589 @@
+// The bytecode dispatch-loop VM — the MiniC fast engine.
+//
+// Executes a CompiledProgram (sim/bytecode.h) against the same Memory,
+// Rng, and chunked trace transport as the tree-walking interpreter. Like
+// Interp, the class is templated on the sink type: Vm<core::Extractor>
+// inlines the whole record path into the dispatch loop (zero virtual
+// calls per record), Vm<trace::Sink> pays one virtual on_chunk() per
+// chunk. All value semantics (conversion, operator behavior, intrinsic
+// effects) come from sim/exec_common.h, shared verbatim with the tree
+// walker; the engine-equivalence harness keeps the two bit-identical.
+//
+// Dispatch uses GNU computed goto where available (each handler ends in
+// its own indirect jump, which lets the branch predictor learn opcode
+// sequences) and falls back to a plain switch loop elsewhere; the
+// handler bodies are written once and shared by both forms. The operand
+// stack is a raw pointer into a buffer sized from the compiler's static
+// per-function depth bounds, so the hot push/pop path carries no
+// capacity checks.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/bytecode.h"
+#include "sim/exec_common.h"
+#include "sim/interpreter.h"
+#include "sim/memory.h"
+#include "sim/value.h"
+#include "util/rng.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define FORAY_VM_COMPUTED_GOTO 1
+#endif
+
+namespace foray::sim {
+
+namespace internal {
+
+template <class SinkT>
+class Vm {
+ public:
+  Vm(const CompiledProgram& code, SinkT* sink, const RunOptions& opts)
+      : code_(code),
+        opts_(opts),
+        emitter_(sink, opts_),
+        mem_(opts.heap_capacity, opts.stack_capacity),
+        rng_(opts.rng_seed),
+        max_steps_(opts.max_steps) {}
+
+  // -- Host interface for the shared intrinsic runner ------------------------
+
+  Memory& memory() { return mem_; }
+  util::Rng& rng() { return rng_; }
+
+  void append_output(const std::string& s) {
+    append_output_limited(&output_, opts_.max_output_bytes, s);
+  }
+
+  void emit_access(uint32_t instr, uint32_t addr, uint8_t size,
+                   bool is_write, trace::AccessKind kind) {
+    emitter_.emit_access(instr, addr, size, is_write, kind);
+  }
+
+  // -- execution -------------------------------------------------------------
+
+  RunResult run() {
+    RunResult result;
+    globals_.assign(code_.globals.size(), VmSlot{});
+    interned_.assign(code_.str_pool.size(), InternCell{});
+    stack_.resize(static_cast<size_t>(code_.start_max_stack) + 64);
+    sp_ = stack_.data();
+    execute_guarded(&result, &cur_line_, [&] {
+      exec();
+      result.exit_code = exit_code_;
+    });
+    finalize_result(&result, &emitter_, &mem_, opts_, &output_, steps_);
+    return result;
+  }
+
+ private:
+  using Type = minic::Type;
+  using AccessKind = trace::AccessKind;
+
+  struct VmSlot {
+    uint32_t addr = 0;
+    /// Set when the declaration has executed; a resolved identifier whose
+    /// slot is still unbound reproduces the tree walker's "unbound
+    /// identifier" fault.
+    bool bound = false;
+  };
+
+  struct InternCell {
+    uint32_t addr = 0;
+    bool valid = false;
+  };
+
+  struct Frame {
+    uint32_t return_pc = 0;
+    uint32_t saved_sp = 0;
+    uint32_t locals_base = 0;
+    uint32_t scope_base = 0;
+    uint32_t func = 0;
+    Value ret_value = Value::of_int(0);
+  };
+
+  [[noreturn]] void step_limit_fault() {
+    throw RuntimeError("step limit exceeded (" + std::to_string(max_steps_) +
+                       ")");
+  }
+
+  [[noreturn]] void throw_unbound(uint32_t name_idx) {
+    throw RuntimeError("unbound identifier '" + code_.name_pool[name_idx] +
+                       "'");
+  }
+
+  /// Guarantees `extra` more operand slots; called once per function
+  /// call against the compiler's static depth bound, never per push.
+  void ensure_stack(uint32_t extra) {
+    const size_t used = static_cast<size_t>(sp_ - stack_.data());
+    if (used + extra + 8 > stack_.size()) {
+      stack_.resize(std::max(stack_.size() * 2, used + extra + 64));
+      sp_ = stack_.data() + used;
+    }
+  }
+
+  FORAY_ALWAYS_INLINE Value load_typed(const Type& t, uint32_t addr,
+                                       uint8_t size) {
+    if (t.is_float()) return Value::of_float(mem_.load_float(addr));
+    return Value::of_int(mem_.load_int(addr, size), t);
+  }
+
+  FORAY_ALWAYS_INLINE void store_typed(const Type& t, uint32_t addr,
+                                       uint8_t size, const Value& v) {
+    if (t.is_float()) {
+      mem_.store_float(addr, v.as_float());
+    } else {
+      mem_.store_int(addr, size, v.as_int());
+    }
+  }
+
+  void exec();
+
+  const CompiledProgram& code_;
+  RunOptions opts_;
+  TraceEmitter<SinkT> emitter_;
+  Memory mem_;
+  util::Rng rng_;
+  uint64_t max_steps_;
+  std::vector<Value> stack_;
+  Value* sp_ = nullptr;  ///< next free operand slot
+  std::vector<VmSlot> globals_;
+  std::vector<VmSlot> locals_;
+  VmSlot* cur_locals_ = nullptr;  ///< locals_ slice of the active frame
+  std::vector<InternCell> interned_;
+  std::vector<Frame> frames_;
+  std::vector<uint32_t> sp_scopes_;
+  std::string output_;
+  uint64_t steps_ = 0;
+  int exit_code_ = 0;
+  int cur_line_ = 0;
+};
+
+// The handler bodies are shared between the computed-goto and switch
+// dispatchers; only the VM_CASE / VM_NEXT / VM_JUMP glue differs.
+#ifdef FORAY_VM_COMPUTED_GOTO
+#define VM_CASE(name) L_##name:
+#define VM_NEXT()                                        \
+  do {                                                   \
+    ++ip;                                                \
+    cur_line_ = ip->line;                                \
+    if (++steps_ > max_steps_) step_limit_fault();       \
+    goto* kLabels[static_cast<size_t>(ip->op)];          \
+  } while (0)
+#define VM_JUMP(target)                                  \
+  do {                                                   \
+    ip = code + (target);                                \
+    cur_line_ = ip->line;                                \
+    if (++steps_ > max_steps_) step_limit_fault();       \
+    goto* kLabels[static_cast<size_t>(ip->op)];          \
+  } while (0)
+#else
+#define VM_CASE(name) case Op::name:
+#define VM_NEXT()     \
+  do {                \
+    ++ip;             \
+    goto dispatch;    \
+  } while (0)
+#define VM_JUMP(target)    \
+  do {                     \
+    ip = code + (target);  \
+    goto dispatch;         \
+  } while (0)
+#endif
+
+template <class SinkT>
+void Vm<SinkT>::exec() {
+  const Insn* const code = code_.code.data();
+  const Insn* ip = code + code_.start_pc;
+
+#ifdef FORAY_VM_COMPUTED_GOTO
+#define FORAY_VM_OP_LABEL(name) &&L_##name,
+  static const void* const kLabels[] = {FORAY_VM_OPS(FORAY_VM_OP_LABEL)};
+#undef FORAY_VM_OP_LABEL
+  static_assert(sizeof(kLabels) / sizeof(kLabels[0]) == kNumOps,
+                "dispatch table must cover every opcode");
+  cur_line_ = ip->line;
+  if (++steps_ > max_steps_) step_limit_fault();
+  goto* kLabels[static_cast<size_t>(ip->op)];
+#else
+dispatch:
+  cur_line_ = ip->line;
+  if (++steps_ > max_steps_) step_limit_fault();
+  switch (ip->op) {
+#endif
+
+  VM_CASE(PushInt) {
+    *sp_++ = Value::of_int(code_.int_pool[ip->a]);
+    VM_NEXT();
+  }
+  VM_CASE(PushFloat) {
+    *sp_++ = Value::of_float(code_.float_pool[ip->a]);
+    VM_NEXT();
+  }
+  VM_CASE(PushStr) {
+    InternCell& cell = interned_[ip->a];
+    if (!cell.valid) {
+      cell.addr = mem_.alloc_rodata(code_.str_pool[ip->a]);
+      cell.valid = true;
+    }
+    *sp_++ =
+        Value::of_ptr(cell.addr, minic::make_type(minic::BaseType::Char));
+    VM_NEXT();
+  }
+  VM_CASE(LoadGlobal) {
+    const VmSlot s = globals_[ip->a];
+    if (!s.bound) throw_unbound(ip->c);
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    emitter_.emit_access(ip->b, s.addr, sz, false, AccessKind::Scalar);
+    *sp_++ = load_typed(t, s.addr, sz);
+    VM_NEXT();
+  }
+  VM_CASE(LoadLocal) {
+    const VmSlot s = cur_locals_[ip->a];
+    if (!s.bound) throw_unbound(ip->c);
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    emitter_.emit_access(ip->b, s.addr, sz, false, AccessKind::Scalar);
+    *sp_++ = load_typed(t, s.addr, sz);
+    VM_NEXT();
+  }
+  VM_CASE(PushGlobalPtr) {
+    const VmSlot s = globals_[ip->a];
+    if (!s.bound) throw_unbound(ip->c);
+    *sp_++ = Value::of_ptr(s.addr, ip->type());
+    VM_NEXT();
+  }
+  VM_CASE(PushLocalPtr) {
+    const VmSlot s = cur_locals_[ip->a];
+    if (!s.bound) throw_unbound(ip->c);
+    *sp_++ = Value::of_ptr(s.addr, ip->type());
+    VM_NEXT();
+  }
+  VM_CASE(ThrowUnbound) { throw_unbound(ip->a); }
+  VM_CASE(PushSlotAddr) {
+    *sp_++ = Value::of_int(cur_locals_[ip->a].addr + ip->b);
+    VM_NEXT();
+  }
+  VM_CASE(PushGlobalSlotAddr) {
+    *sp_++ = Value::of_int(globals_[ip->a].addr + ip->b);
+    VM_NEXT();
+  }
+  VM_CASE(IndexAddr) {
+    --sp_;
+    sp_[-1] = Value::of_int(sp_[-1].as_addr() +
+                            static_cast<uint32_t>(sp_[0].as_int()) * ip->a);
+    VM_NEXT();
+  }
+  VM_CASE(LoadMem) {
+    const uint32_t addr = (--sp_)->as_addr();
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    emitter_.emit_access(ip->b, addr, sz, false,
+                         static_cast<AccessKind>(ip->flags & 0x03));
+    *sp_++ = load_typed(t, addr, sz);
+    VM_NEXT();
+  }
+  VM_CASE(IndexLoad) {
+    --sp_;
+    const uint32_t addr = sp_[-1].as_addr() +
+                          static_cast<uint32_t>(sp_[0].as_int()) * ip->a;
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    emitter_.emit_access(ip->b, addr, sz, false,
+                         static_cast<AccessKind>(ip->flags & 0x03));
+    sp_[-1] = load_typed(t, addr, sz);
+    VM_NEXT();
+  }
+  VM_CASE(StoreMem) {
+    const Value v = *--sp_;
+    const uint32_t addr = (--sp_)->as_addr();
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    const Value cv = convert_value(v, t);
+    emitter_.emit_access(ip->b, addr, sz, true,
+                         static_cast<AccessKind>(ip->flags & 0x03));
+    store_typed(t, addr, sz, cv);
+    *sp_++ = cv;
+    VM_NEXT();
+  }
+  VM_CASE(IndexStore) {
+    const Value v = *--sp_;
+    const Value idx = *--sp_;
+    const Value base = *--sp_;
+    const uint32_t addr =
+        base.as_addr() + static_cast<uint32_t>(idx.as_int()) * ip->a;
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    const Value cv = convert_value(v, t);
+    emitter_.emit_access(ip->b, addr, sz, true,
+                         static_cast<AccessKind>(ip->flags & 0x03));
+    store_typed(t, addr, sz, cv);
+    *sp_++ = cv;
+    VM_NEXT();
+  }
+  VM_CASE(StoreInit) {
+    // Initializer stores write unconverted, exactly like the tree
+    // walker's init_slot(): narrowing happens in the memory write.
+    const Value v = *--sp_;
+    const uint32_t addr = (--sp_)->as_addr();
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    emitter_.emit_access(ip->b, addr, sz, true,
+                         static_cast<AccessKind>(ip->flags & 0x03));
+    store_typed(t, addr, sz, v);
+    VM_NEXT();
+  }
+  VM_CASE(CompoundLoad) {
+    const uint32_t addr = sp_[-1].as_addr();
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    emitter_.emit_access(ip->b, addr, sz, false,
+                         static_cast<AccessKind>(ip->flags & 0x03));
+    *sp_++ = load_typed(t, addr, sz);
+    VM_NEXT();
+  }
+  VM_CASE(StoreBin) {
+    const Value rhs = *--sp_;
+    const Value old = *--sp_;
+    const uint32_t addr = (--sp_)->as_addr();
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    const Value v = convert_value(
+        apply_binary_op(static_cast<minic::BinaryOp>(ip->flags >> 2), old,
+                        rhs, t),
+        t);
+    emitter_.emit_access(ip->b, addr, sz, true,
+                         static_cast<AccessKind>(ip->flags & 0x03));
+    store_typed(t, addr, sz, v);
+    *sp_++ = v;
+    VM_NEXT();
+  }
+  VM_CASE(CastToPtr) {
+    const Value v = *--sp_;
+    *sp_++ = Value::of_ptr(v.as_addr(), ip->type());
+    VM_NEXT();
+  }
+  VM_CASE(Neg) {
+    const Value v = *--sp_;
+    *sp_++ = v.is_float() ? Value::of_float(-v.f)
+                          : Value::of_int(-v.i, v.type);
+    VM_NEXT();
+  }
+  VM_CASE(NotOp) {
+    sp_[-1] = Value::of_int(sp_[-1].truthy() ? 0 : 1);
+    VM_NEXT();
+  }
+  VM_CASE(BitNotOp) {
+    sp_[-1] = Value::of_int(~sp_[-1].as_int());
+    VM_NEXT();
+  }
+  VM_CASE(Truthy) {
+    sp_[-1] = Value::of_int(sp_[-1].truthy() ? 1 : 0);
+    VM_NEXT();
+  }
+  VM_CASE(Binary) {
+    --sp_;
+    sp_[-1] = apply_binary_op(static_cast<minic::BinaryOp>(ip->flags),
+                              sp_[-1], sp_[0], ip->type());
+    VM_NEXT();
+  }
+  VM_CASE(ConvertOp) {
+    sp_[-1] = convert_value(sp_[-1], ip->type());
+    VM_NEXT();
+  }
+  VM_CASE(IncDec) {
+    const uint32_t addr = (--sp_)->as_addr();
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    const AccessKind kind = static_cast<AccessKind>(ip->flags & 0x03);
+    emitter_.emit_access(ip->b, addr, sz, false, kind);
+    const Value old = load_typed(t, addr, sz);
+    const int64_t delta = static_cast<int32_t>(ip->a);
+    const Value updated =
+        convert_value(Value::of_int(old.as_int() + delta, t), t);
+    emitter_.emit_access(ip->b, addr, sz, true, kind);
+    store_typed(t, addr, sz, updated);
+    *sp_++ = (ip->flags & 0x04) != 0 ? old : updated;
+    VM_NEXT();
+  }
+  VM_CASE(IncDecLocal) {
+    const VmSlot s = cur_locals_[ip->a];
+    if (!s.bound) throw_unbound(ip->c);
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    emitter_.emit_access(ip->b, s.addr, sz, false, AccessKind::Scalar);
+    const Value old = load_typed(t, s.addr, sz);
+    const int64_t mag = t.is_pointer() ? t.deref().size() : 1;
+    const int64_t delta = (ip->flags & 0x08) != 0 ? -mag : mag;
+    const Value updated =
+        convert_value(Value::of_int(old.as_int() + delta, t), t);
+    emitter_.emit_access(ip->b, s.addr, sz, true, AccessKind::Scalar);
+    store_typed(t, s.addr, sz, updated);
+    *sp_++ = (ip->flags & 0x04) != 0 ? old : updated;
+    VM_NEXT();
+  }
+  VM_CASE(IncDecGlobal) {
+    const VmSlot s = globals_[ip->a];
+    if (!s.bound) throw_unbound(ip->c);
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    emitter_.emit_access(ip->b, s.addr, sz, false, AccessKind::Scalar);
+    const Value old = load_typed(t, s.addr, sz);
+    const int64_t mag = t.is_pointer() ? t.deref().size() : 1;
+    const int64_t delta = (ip->flags & 0x08) != 0 ? -mag : mag;
+    const Value updated =
+        convert_value(Value::of_int(old.as_int() + delta, t), t);
+    emitter_.emit_access(ip->b, s.addr, sz, true, AccessKind::Scalar);
+    store_typed(t, s.addr, sz, updated);
+    *sp_++ = (ip->flags & 0x04) != 0 ? old : updated;
+    VM_NEXT();
+  }
+  VM_CASE(Jump) { VM_JUMP(ip->a); }
+  VM_CASE(JumpIfFalse) {
+    if ((--sp_)->truthy()) VM_NEXT();
+    VM_JUMP(ip->a);
+  }
+  VM_CASE(JumpIfTrue) {
+    if ((--sp_)->truthy()) VM_JUMP(ip->a);
+    VM_NEXT();
+  }
+  VM_CASE(PopV) {
+    --sp_;
+    VM_NEXT();
+  }
+  VM_CASE(SaveSp) {
+    sp_scopes_.push_back(mem_.sp());
+    VM_NEXT();
+  }
+  VM_CASE(RestoreSp) {
+    mem_.set_sp(sp_scopes_.back());
+    sp_scopes_.pop_back();
+    VM_NEXT();
+  }
+  VM_CASE(RestoreSpN) {
+    // Unwinds n block scopes at once (break/continue). Restoring
+    // straight to the outermost popped scope equals restoring each in
+    // turn: set_sp() just moves the pointer.
+    const size_t n = ip->a;
+    mem_.set_sp(sp_scopes_[sp_scopes_.size() - n]);
+    sp_scopes_.resize(sp_scopes_.size() - n);
+    VM_NEXT();
+  }
+  VM_CASE(DeclLocal) {
+    const uint32_t addr = mem_.stack_alloc(ip->b, ip->flags);
+    cur_locals_[ip->a] = VmSlot{addr, true};
+    VM_NEXT();
+  }
+  VM_CASE(DeclGlobal) {
+    const GlobalMeta& m = code_.globals[ip->a];
+    const uint32_t addr = mem_.alloc_global(m.bytes, m.align);
+    globals_[ip->a] = VmSlot{addr, true};
+    VM_NEXT();
+  }
+  VM_CASE(CallFn) {
+    const CompiledFunc& f = code_.funcs[ip->a];
+    if (frames_.size() >= 512) {
+      throw RuntimeError("simulated call depth limit exceeded in '" +
+                         f.name + "'");
+    }
+    ensure_stack(f.max_stack);
+    if (opts_.emit_calls) emitter_.push(trace::Record::call(f.func_id));
+    Frame fr;
+    fr.return_pc = static_cast<uint32_t>(ip - code) + 1;
+    fr.saved_sp = mem_.sp();
+    fr.locals_base = static_cast<uint32_t>(locals_.size());
+    fr.scope_base = static_cast<uint32_t>(sp_scopes_.size());
+    fr.func = ip->a;
+    frames_.push_back(fr);
+    locals_.resize(fr.locals_base + f.num_slots);
+    cur_locals_ = locals_.data() + fr.locals_base;
+    // Bind parameters: spill each argument to the callee's frame in
+    // declaration order — the Scalar writes the paper's Step 4 filters
+    // out, with the same stack addresses as the tree walker.
+    const size_t nargs = f.params.size();
+    const Value* args = sp_ - nargs;
+    for (size_t i = 0; i < nargs; ++i) {
+      const CompiledFunc::ParamBind& pb = f.params[i];
+      const uint32_t addr = mem_.stack_alloc(pb.bytes, pb.align);
+      cur_locals_[pb.slot] = VmSlot{addr, true};
+      const Value v = convert_value(args[i], pb.type);
+      emitter_.emit_access(pb.instr, addr, static_cast<uint8_t>(pb.bytes),
+                           true, AccessKind::Scalar);
+      store_typed(pb.type, addr, static_cast<uint8_t>(pb.bytes), v);
+    }
+    sp_ -= nargs;
+    VM_JUMP(f.entry);
+  }
+  VM_CASE(CallIntr) {
+    const size_t argc = ip->flags;
+    const Value* args = sp_ - argc;
+    const Value result =
+        run_intrinsic(*this, static_cast<minic::Intrinsic>(ip->a), ip->b,
+                      ip->line, args, argc);
+    sp_ -= argc;
+    *sp_++ = result;
+    VM_NEXT();
+  }
+  VM_CASE(RetValue) {
+    frames_.back().ret_value = *--sp_;
+    VM_NEXT();
+  }
+  VM_CASE(ReturnOp) {
+    const Frame fr = frames_.back();
+    const CompiledFunc& f = code_.funcs[fr.func];
+    Value ret = fr.ret_value;
+    mem_.set_sp(fr.saved_sp);
+    locals_.resize(fr.locals_base);
+    sp_scopes_.resize(fr.scope_base);
+    frames_.pop_back();
+    cur_locals_ = frames_.empty()
+                      ? locals_.data()
+                      : locals_.data() + frames_.back().locals_base;
+    if (opts_.emit_calls) emitter_.push(trace::Record::ret(f.func_id));
+    if (!f.ret.is_void()) ret = convert_value(ret, f.ret);
+    *sp_++ = ret;
+    VM_JUMP(fr.return_pc);
+  }
+  VM_CASE(CheckpointOp) {
+    emitter_.emit_checkpoint(static_cast<trace::CheckpointType>(ip->flags),
+                             static_cast<int32_t>(ip->a));
+    VM_NEXT();
+  }
+  VM_CASE(Halt) {
+    exit_code_ = static_cast<int>((--sp_)->as_int());
+    return;
+  }
+
+#ifndef FORAY_VM_COMPUTED_GOTO
+  }
+#endif
+}
+
+#undef VM_CASE
+#undef VM_NEXT
+#undef VM_JUMP
+
+}  // namespace internal
+
+/// Executes an already-compiled program, streaming records into the
+/// concrete sink — callers that run one program many times (benches)
+/// compile once and reuse.
+template <class SinkT>
+RunResult run_compiled_with(const CompiledProgram& code, SinkT* sink,
+                            const RunOptions& opts = {}) {
+  internal::Vm<SinkT> vm(code, sink, opts);
+  return vm.run();
+}
+
+/// Compiles and executes `prog` on the bytecode VM.
+template <class SinkT>
+RunResult run_bytecode_with(const minic::Program& prog, SinkT* sink,
+                            const RunOptions& opts = {}) {
+  const CompiledProgram code = compile_program(prog);
+  return run_compiled_with(code, sink, opts);
+}
+
+}  // namespace foray::sim

@@ -109,6 +109,10 @@ class Record {
   uint8_t tag_ = static_cast<uint8_t>(static_cast<uint8_t>(RecordType::Access)
                                       << 6);
   uint8_t size_ = 0;   ///< access width in bytes (Access only)
+  /// Explicitly zeroed tail padding: whole-record memcmp (the engine
+  /// equivalence harness compares multi-million-record streams that way)
+  /// must never see indeterminate bytes.
+  uint16_t reserved_ = 0;
 };
 
 static_assert(sizeof(Record) == 12,

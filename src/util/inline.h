@@ -1,0 +1,16 @@
+// Force-inline annotation shared across the simulator's hot paths.
+//
+// The execution engines' dispatch loops are single functions large
+// enough to exhaust the compiler's inlining budget exactly where a call
+// per record hurts most (typed memory access, record emission, value
+// helpers); the annotated functions are small and measured — see
+// README "Performance".
+#pragma once
+
+#ifndef FORAY_ALWAYS_INLINE
+#if defined(__GNUC__) || defined(__clang__)
+#define FORAY_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define FORAY_ALWAYS_INLINE inline
+#endif
+#endif

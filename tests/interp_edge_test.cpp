@@ -1,5 +1,9 @@
 // Additional interpreter edge-case coverage: scoping, unwinding,
-// arithmetic corners, intrinsic boundaries.
+// arithmetic corners, intrinsic boundaries. The original tests run on
+// the session-default engine (both engines in the CI matrix); the
+// EngineEdge suite at the bottom pins the trickiest semantics —
+// short-circuit side-effect ordering, division/modulo faults, negative
+// strides — on each engine explicitly.
 #include <gtest/gtest.h>
 
 #include "instrument/annotator.h"
@@ -193,6 +197,138 @@ TEST(InterpEdge, CompoundAssignOnArrayElement) {
                     "int main(void) { t[2] *= 5; t[2] -= 1; return t[2]; }"),
             14);
 }
+
+// ---------------------------------------------------------------------------
+// Engine-pinned edge cases. Each runs explicitly on the AST walker and
+// on the bytecode VM (not just the session default) so a divergence in
+// these corners names the engine that broke.
+
+class EngineEdge : public ::testing::TestWithParam<Engine> {
+ protected:
+  RunResult run_on(std::string_view src, RunOptions opts = {}) {
+    opts.engine = GetParam();
+    return run_src(src, opts);
+  }
+
+  int exit_on(std::string_view src) {
+    RunResult r = run_on(src);
+    EXPECT_TRUE(r.ok()) << r.error();
+    return r.exit_code;
+  }
+};
+
+TEST_P(EngineEdge, LogicalAndEvaluatesLeftToRightAndStopsEarly) {
+  // f() appends a digit to g; the right operand of && must not run
+  // once the left is false, and must run exactly once when it is true.
+  EXPECT_EQ(exit_on("int g;\n"
+                    "int f(int v) { g = g * 10 + v + 1; return v; }\n"
+                    "int main(void) { f(1) && f(0) && f(2); return g; }"),
+            21);  // f(1) -> 2, f(0) -> 21, f(2) never runs
+}
+
+TEST_P(EngineEdge, LogicalOrSkipsTheRightOperandWhenLeftIsTrue) {
+  EXPECT_EQ(exit_on("int g;\n"
+                    "int f(int v) { g = g * 10 + v + 1; return v; }\n"
+                    "int main(void) { f(0) || f(3); f(1) || f(5); "
+                    "return g; }"),
+            142);  // f(0)->1, f(3)->14, f(1)->142, f(5) never runs
+}
+
+TEST_P(EngineEdge, ShortCircuitResultNormalizesToZeroOrOne) {
+  EXPECT_EQ(exit_on("int main(void) { return (7 && 9) * 10 + (0 || -3); }"),
+            11);
+}
+
+TEST_P(EngineEdge, ShortCircuitSideEffectsInConditionOrder) {
+  // Assignments inside the condition must land before the right
+  // operand reads them.
+  EXPECT_EQ(exit_on("int a;\nint b;\n"
+                    "int main(void) { ((a = 4) && (b = a + 1)) || (b = "
+                    "99); return b; }"),
+            5);
+}
+
+TEST_P(EngineEdge, DivisionByZeroFaultsWithDiagnostic) {
+  RunResult r = run_on("int main(void) { int z = 0; return 7 / z; }");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("integer division by zero"), std::string::npos)
+      << r.error();
+}
+
+TEST_P(EngineEdge, ModuloByZeroFaultsWithDiagnostic) {
+  RunResult r = run_on("int main(void) { int z = 0; return 7 % z; }");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("modulo by zero"), std::string::npos)
+      << r.error();
+}
+
+TEST_P(EngineEdge, CompoundDivideByZeroFaultsToo) {
+  RunResult r = run_on(
+      "int main(void) { int x = 8; int z = 0; x /= z; return x; }");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("integer division by zero"), std::string::npos);
+}
+
+TEST_P(EngineEdge, FloatDivisionByZeroIsNotAFault) {
+  // Float division follows IEEE semantics (inf), like the reference.
+  EXPECT_EQ(exit_on("int main(void) { float z = 0.0f; "
+                    "return (1.0f / z > 1000000.0f) ? 4 : 5; }"),
+            4);
+}
+
+TEST_P(EngineEdge, WorkBeforeTheFaultIsStillObservable) {
+  RunResult r = run_on(
+      "int main(void) { putchar(111); putchar(107); int z = 0; "
+      "return 1 / z; }");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.output, "ok");
+}
+
+TEST_P(EngineEdge, NegativeStrideForLoop) {
+  EXPECT_EQ(exit_on("int main(void) { int s = 0; "
+                    "for (int i = 9; i >= 0; i -= 3) s += i; return s; }"),
+            18);  // 9 + 6 + 3 + 0
+}
+
+TEST_P(EngineEdge, NegativeStrideOverArrayWritesDescendingAddresses) {
+  EXPECT_EQ(exit_on("int a[8];\n"
+                    "int main(void) { for (int i = 7; i >= 0; i -= 2) "
+                    "a[i] = i; return a[7] * 10 + a[1]; }"),
+            71);
+}
+
+TEST_P(EngineEdge, NegativeStrideDoWhileCountsDown) {
+  EXPECT_EQ(exit_on("int main(void) { int i = 5; int n = 0; "
+                    "do { n++; i -= 2; } while (i > 0); return n * 10 + "
+                    "i + 5; }"),
+            34);  // 3 iterations, i ends at -1
+}
+
+TEST_P(EngineEdge, AddressWrapAroundFaultsInsteadOfMapping) {
+  // An address near 2^32 must fault as unmapped; with 32-bit range
+  // arithmetic (addr + size wrapping to 0) it would pass the stack
+  // region check and index ~2 GB past the backing store.
+  RunResult r = run_on(
+      "char a[4];\n"
+      "int main(void) { char *p = a; return *(p + 4026531839); }");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("unmapped"), std::string::npos) << r.error();
+}
+
+TEST_P(EngineEdge, PointerWalkDownward) {
+  EXPECT_EQ(exit_on("int a[6];\n"
+                    "int main(void) { int *p = a + 5; int n = 0; "
+                    "while (p >= a) { *p = n++; p--; } return a[0] * 10 + "
+                    "a[5]; }"),
+            50);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EngineEdge,
+    ::testing::Values(Engine::Ast, Engine::Bytecode),
+    [](const ::testing::TestParamInfo<Engine>& info) {
+      return info.param == Engine::Ast ? "ast" : "bytecode";
+    });
 
 }  // namespace
 }  // namespace foray::sim

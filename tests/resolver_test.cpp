@@ -1,0 +1,229 @@
+// Direct coverage for sim/resolver — the static variable resolution both
+// execution engines build on. Until now it was only exercised
+// indirectly through the interpreter; the bytecode compiler reads the
+// same tables (frame slots, ident bindings, per-function slot counts)
+// at compile time, so this pins the exact contract: slot assignment
+// across shadowing, sibling blocks, loop scopes, and parameters, plus
+// the unresolved / global-fallback rules.
+#include <gtest/gtest.h>
+
+#include "minic/ast.h"
+#include "minic/parser.h"
+#include "sim/resolver.h"
+
+namespace foray::sim {
+namespace {
+
+struct Resolved {
+  std::unique_ptr<minic::Program> prog;
+  VarResolution res;
+};
+
+Resolved resolve(std::string_view src) {
+  util::DiagList diags;
+  Resolved out;
+  out.prog = minic::parse_program(src, &diags);
+  EXPECT_TRUE(diags.empty()) << diags.str();
+  if (out.prog) out.res = resolve_variables(*out.prog);
+  return out;
+}
+
+/// Collects (node_id, name) of every Ident expression, in walk order.
+void collect_idents(const minic::Expr* e,
+                    std::vector<const minic::Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == minic::ExprKind::Ident) out->push_back(e);
+  collect_idents(e->a.get(), out);
+  collect_idents(e->b.get(), out);
+  collect_idents(e->c.get(), out);
+  for (const auto& a : e->args) collect_idents(a.get(), out);
+}
+
+void collect_idents(const minic::Stmt* s,
+                    std::vector<const minic::Expr*>* out) {
+  if (s == nullptr) return;
+  collect_idents(s->expr.get(), out);
+  for (const auto& d : s->decls) {
+    collect_idents(d.init.get(), out);
+    for (const auto& e : d.init_list) collect_idents(e.get(), out);
+  }
+  collect_idents(s->init.get(), out);
+  collect_idents(s->cond.get(), out);
+  collect_idents(s->step.get(), out);
+  collect_idents(s->then_branch.get(), out);
+  collect_idents(s->else_branch.get(), out);
+  collect_idents(s->body.get(), out);
+  for (const auto& st : s->stmts) collect_idents(st.get(), out);
+}
+
+/// All Ident uses of `name` inside the first function, in source order.
+std::vector<VarResolution::Binding> bindings_of(const Resolved& r,
+                                                const std::string& name) {
+  std::vector<const minic::Expr*> idents;
+  for (const auto& fn : r.prog->funcs) collect_idents(fn->body.get(), &idents);
+  std::vector<VarResolution::Binding> out;
+  for (const auto* e : idents) {
+    if (e->name == name) {
+      out.push_back(r.res.ident[static_cast<size_t>(e->node_id)]);
+    }
+  }
+  return out;
+}
+
+TEST(Resolver, ShadowingBindsEachUseToTheNearestDeclaration) {
+  auto r = resolve(
+      "int main(void) {\n"
+      "  int x = 1;\n"       // slot 0
+      "  x;\n"               // -> slot 0
+      "  {\n"
+      "    int x = 2;\n"     // slot 1
+      "    x;\n"             // -> slot 1
+      "    {\n"
+      "      int x = 3;\n"   // slot 2
+      "      x;\n"           // -> slot 2
+      "    }\n"
+      "    x;\n"             // -> slot 1 (inner scope closed)
+      "  }\n"
+      "  x;\n"               // -> slot 0
+      "  return 0;\n"
+      "}\n");
+  auto uses = bindings_of(r, "x");
+  ASSERT_EQ(uses.size(), 5u);
+  const int32_t expected[] = {0, 1, 2, 1, 0};
+  for (size_t i = 0; i < uses.size(); ++i) {
+    EXPECT_TRUE(uses[i].resolved) << "use " << i;
+    EXPECT_FALSE(uses[i].global) << "use " << i;
+    EXPECT_EQ(uses[i].index, expected[i]) << "use " << i;
+  }
+  // Slots never recycle across sibling or nested scopes.
+  EXPECT_EQ(r.res.func_slots[0], 3);
+}
+
+TEST(Resolver, SiblingBlocksGetDistinctSlots) {
+  auto r = resolve(
+      "int main(void) {\n"
+      "  { int a = 1; a; }\n"
+      "  { int b = 2; b; }\n"
+      "  return 0;\n"
+      "}\n");
+  auto a = bindings_of(r, "a");
+  auto b = bindings_of(r, "b");
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].index, 0);
+  EXPECT_EQ(b[0].index, 1);  // no slot reuse: allocation order is global
+  EXPECT_EQ(r.res.func_slots[0], 2);
+}
+
+TEST(Resolver, ParametersFillTheFirstSlotsInOrder) {
+  auto r = resolve(
+      "int f(int a, float b, char c) {\n"
+      "  int d = 0;\n"
+      "  return a + (int)b + c + d;\n"
+      "}\n"
+      "int main(void) { return f(1, 2.0f, 3); }\n");
+  const auto& fn = *r.prog->funcs[0];
+  ASSERT_EQ(fn.params.size(), 3u);
+  for (size_t i = 0; i < fn.params.size(); ++i) {
+    EXPECT_EQ(r.res.decl_slot[static_cast<size_t>(fn.params[i].node_id)],
+              static_cast<int32_t>(i));
+  }
+  EXPECT_EQ(bindings_of(r, "a")[0].index, 0);
+  EXPECT_EQ(bindings_of(r, "b")[0].index, 1);
+  EXPECT_EQ(bindings_of(r, "c")[0].index, 2);
+  EXPECT_EQ(bindings_of(r, "d")[0].index, 3);
+  EXPECT_EQ(r.res.func_slots[static_cast<size_t>(fn.func_id)], 4);
+}
+
+TEST(Resolver, ForLoopScopeHoldsTheInitDeclaration) {
+  auto r = resolve(
+      "int main(void) {\n"
+      "  int i = 99;\n"                       // slot 0
+      "  for (int i = 0; i < 3; i++) { i; }\n"  // slot 1; all uses -> 1
+      "  i;\n"                                // -> slot 0 again
+      "  return 0;\n"
+      "}\n");
+  auto uses = bindings_of(r, "i");
+  // cond, step, body, then the use after the loop.
+  ASSERT_EQ(uses.size(), 4u);
+  EXPECT_EQ(uses[0].index, 1);
+  EXPECT_EQ(uses[1].index, 1);
+  EXPECT_EQ(uses[2].index, 1);
+  EXPECT_EQ(uses[3].index, 0);
+}
+
+TEST(Resolver, LocalsShadowGlobalsAndFallBackWhenScopeCloses) {
+  auto r = resolve(
+      "int g = 7;\n"
+      "int main(void) {\n"
+      "  g;\n"                 // -> global 0
+      "  { int g = 1; g; }\n"  // -> local slot 0
+      "  g;\n"                 // -> global 0 again
+      "  return 0;\n"
+      "}\n");
+  auto uses = bindings_of(r, "g");
+  ASSERT_EQ(uses.size(), 3u);
+  EXPECT_TRUE(uses[0].global);
+  EXPECT_EQ(uses[0].index, 0);
+  EXPECT_FALSE(uses[1].global);
+  EXPECT_EQ(uses[1].index, 0);
+  EXPECT_TRUE(uses[2].global);
+}
+
+TEST(Resolver, DuplicateGlobalsShadowByNameButKeepTheirSlots) {
+  auto r = resolve(
+      "int d = 1;\n"
+      "int d = 2;\n"
+      "int main(void) { d; return 0; }\n");
+  EXPECT_EQ(r.res.globals, 2);  // both declarations own a slot
+  auto uses = bindings_of(r, "d");
+  ASSERT_EQ(uses.size(), 1u);
+  EXPECT_TRUE(uses[0].global);
+  EXPECT_EQ(uses[0].index, 1);  // the later declaration wins the name
+}
+
+TEST(Resolver, GlobalInitializersSeeOnlyEarlierGlobalsAndThemselves) {
+  auto r = resolve(
+      "int a = 1;\n"
+      "int b = a + 1;\n"   // a resolved (earlier)
+      "int c = c + e;\n"   // c resolved (self), e unresolved (later)
+      "int e = 5;\n"
+      "int main(void) { return b; }\n");
+  // Walk the globals' init expressions directly.
+  std::vector<const minic::Expr*> idents;
+  for (const auto& d : r.prog->globals) collect_idents(d.init.get(), &idents);
+  ASSERT_EQ(idents.size(), 3u);  // a, c, e
+  const auto& use_a = r.res.ident[static_cast<size_t>(idents[0]->node_id)];
+  const auto& use_c = r.res.ident[static_cast<size_t>(idents[1]->node_id)];
+  const auto& use_e = r.res.ident[static_cast<size_t>(idents[2]->node_id)];
+  EXPECT_TRUE(use_a.resolved);
+  EXPECT_EQ(use_a.index, 0);
+  EXPECT_TRUE(use_c.resolved);  // declaration registers before its init
+  EXPECT_EQ(use_c.index, 2);
+  EXPECT_FALSE(use_e.resolved);  // later global: stays unresolved
+}
+
+TEST(Resolver, DeclarationBindsBeforeItsInitializerEvaluates) {
+  // `int x = x;` sees the new x (the interpreter's historical dynamic
+  // behavior, preserved exactly).
+  auto r = resolve("int main(void) { int x = x; return 0; }\n");
+  auto uses = bindings_of(r, "x");
+  ASSERT_EQ(uses.size(), 1u);
+  EXPECT_TRUE(uses[0].resolved);
+  EXPECT_FALSE(uses[0].global);
+  EXPECT_EQ(uses[0].index, 0);
+}
+
+TEST(Resolver, SlotCountsArePerFunction) {
+  auto r = resolve(
+      "int f(int a) { int b = a; return b; }\n"
+      "int g(void) { int x = 0; { int y = 1; { int z = 2; x = y + z; } } "
+      "return x; }\n"
+      "int main(void) { return f(1) + g(); }\n");
+  EXPECT_EQ(r.res.func_slots[0], 2);  // a, b
+  EXPECT_EQ(r.res.func_slots[1], 3);  // x, y, z
+  EXPECT_EQ(r.res.func_slots[2], 0);  // main declares nothing
+}
+
+}  // namespace
+}  // namespace foray::sim

@@ -20,6 +20,9 @@
 //   --nexec N   Step 4 filter: minimum executions   (default 20)
 //   --nloc N    Step 4 filter: minimum locations    (default 10)
 //   --seed S    simulated rand() seed               (default 1)
+//   --engine E  simulator engine: bytecode (default) or ast (the
+//               tree-walking reference oracle); both produce
+//               bit-identical traces (tests/engine_equivalence_test)
 //   --offline   materialize the trace, then analyze (default: online)
 //   --shards N  shard one program's extraction over N threads
 //               (bit-identical to sequential; implies materializing)
@@ -58,10 +61,12 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: foraygen <model|emit|annotate|trace|stats|hints|run|profile"
-      "|spm> <program.mc> [--nexec N] [--nloc N] [--seed S] [--offline] "
-      "[--shards N] [--capacity N] [--compare-cache]\n"
+      "|spm> <program.mc> [--engine ast|bytecode] [--nexec N] [--nloc N] "
+      "[--seed S] [--offline] [--shards N] [--capacity N] "
+      "[--compare-cache]\n"
       "       foraygen batch [--threads N] [--capacity-sweep a,b,c] "
-      "[--nexec N] [--nloc N] [--seed S] [--shards N] [--json PATH]\n");
+      "[--engine ast|bytecode] [--nexec N] [--nloc N] [--seed S] "
+      "[--shards N] [--json PATH]\n");
   return 2;
 }
 
@@ -179,6 +184,16 @@ int main(int argc, char** argv) {
       if (!next_u64(&opts.filter.min_locations)) return usage();
     } else if (arg == "--seed") {
       if (!next_u64(&opts.run.rng_seed)) return usage();
+    } else if (arg == "--engine") {
+      if (i + 1 >= argc) return usage();
+      const std::string engine = argv[++i];
+      if (engine == "ast") {
+        opts.run.engine = sim::Engine::Ast;
+      } else if (engine == "bytecode") {
+        opts.run.engine = sim::Engine::Bytecode;
+      } else {
+        return usage();
+      }
     } else if (arg == "--offline") {
       opts.offline = true;
     } else if (arg == "--shards") {
