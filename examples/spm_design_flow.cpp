@@ -14,6 +14,7 @@
 #include "foray/emitter.h"
 #include "foray/pipeline.h"
 #include "spm/dse.h"
+#include "spm/replay.h"
 #include "spm/reuse.h"
 #include "spm/spm_sim.h"
 #include "spm/transform.h"
@@ -95,5 +96,18 @@ int main() {
   }
   std::printf("[... %d more lines]\n",
               util::count_lines(transformed) - 30);
+
+  // Phase II exit check: execute that artifact and confirm its actual
+  // SPM / main-memory / transfer traffic equals the analytic counters
+  // the DSE was solved with.
+  spm::ReplayOptions ropts;
+  ropts.dse = best_opts;
+  auto replay = spm::replay_selection(res.model, best_sel, ropts);
+  std::printf("\n== transform replay (analytic vs simulated) ==\n%s",
+              spm::describe_replay_report(replay, res.model).c_str());
+  if (!replay.matches()) {
+    std::fprintf(stderr, "transform replay diverged!\n");
+    return 1;
+  }
   return 0;
 }

@@ -30,12 +30,16 @@ BatchReport BatchDriver::run(const std::vector<BatchJob>& jobs) const {
       auto session = std::make_unique<Session>(jobs[j].name, jobs[j].source,
                                                sopts);
       session->run();
+      // Phase I failures doom every capacity cell; a replay execution
+      // failure is per-capacity (each capacity replays its own
+      // selection), so later cells still get their own attempt.
+      const bool phase1_ok = session->result().model_built;
       for (size_t c = 0; c < n_caps; ++c) {
         BatchItem& item = report.items[j * n_caps + c];
         item.name = jobs[j].name;
         item.capacity = opts_.capacities[c];
         item.status = session->status();
-        if (!session->status().ok()) continue;
+        if (!phase1_ok) continue;
         if (c > 0) {
           // Keep the failure-isolation promise even for internal errors
           // during a capacity re-solve: mark this item, keep the batch.
@@ -45,9 +49,13 @@ BatchReport BatchDriver::run(const std::vector<BatchJob>& jobs) const {
             item.status = util::Status::failure("internal", 0, e.what());
             continue;
           }
+          item.status = session->status();
         }
+        if (!item.status.ok()) continue;
         item.model_refs = session->result().model.refs.size();
         item.spm = session->result().spm;
+        item.replay_ran = session->result().replay_ran;
+        if (item.replay_ran) item.replay = session->result().replay;
         item.report = session->spm_report_text();
       }
       report.sessions[j] = std::move(session);
@@ -87,6 +95,24 @@ std::string BatchReport::to_json() const {
     w.key("greedy_saved_nj").value(item.spm.greedy.saved_nj);
     w.key("baseline_nj").value(item.spm.baseline.baseline_nj);
     w.key("with_spm_nj").value(item.spm.with_spm.total_nj);
+    if (item.replay_ran) {
+      const auto& r = item.replay;
+      w.key("replay").begin_object();
+      w.key("ok").value(r.matches());
+      w.key("rectangular").value(r.rectangular);
+      w.key("sim_spm_accesses").value(r.sim_spm_accesses);
+      w.key("sim_main_accesses").value(r.sim_main_accesses);
+      w.key("sim_transfer_words").value(r.sim_transfer_words);
+      w.key("analytic_spm_accesses").value(r.ana_spm_accesses);
+      w.key("analytic_main_accesses").value(r.ana_main_accesses);
+      w.key("analytic_transfer_words").value(r.ana_transfer_words);
+      if (!r.mismatches.empty()) {
+        w.key("mismatches").begin_array();
+        for (const auto& m : r.mismatches) w.value(m);
+        w.end_array();
+      }
+      w.end_object();
+    }
     if (!item.spm.caches.empty()) {
       w.key("caches").begin_array();
       for (const auto& c : item.spm.caches) {
@@ -126,11 +152,12 @@ std::string BatchReport::to_json() const {
 
 std::string BatchReport::table() const {
   util::TablePrinter tp({"program", "SPM", "refs", "buffers", "bytes used",
-                         "saved nJ", "greedy nJ", "energy vs DRAM"});
+                         "saved nJ", "greedy nJ", "energy vs DRAM",
+                         "replay"});
   for (const auto& item : items) {
     if (!item.status.ok()) {
       tp.add_row({item.name, std::to_string(item.capacity) + "B", "-", "-",
-                  "-", "-", "-", "FAILED"});
+                  "-", "-", "-", "FAILED", "-"});
       continue;
     }
     char saved[32], greedy[32], pct[32];
@@ -145,7 +172,10 @@ std::string BatchReport::table() const {
                 std::to_string(item.model_refs),
                 std::to_string(item.spm.exact.chosen.size()),
                 std::to_string(item.spm.exact.bytes_used), saved, greedy,
-                pct});
+                pct,
+                !item.replay_ran ? "-"
+                : item.replay.matches() ? "ok"
+                                        : "MISMATCH"});
   }
   return tp.str();
 }

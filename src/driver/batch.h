@@ -44,6 +44,10 @@ struct BatchItem {
   util::Status status;
   size_t model_refs = 0;      ///< references in the extracted model
   core::SpmReport spm;        ///< the full Phase II result
+  /// Transform-replay validation of this cell's exact selection (only
+  /// when the batch pipeline runs with_replay; see spm/replay.h).
+  bool replay_ran = false;
+  spm::ReplayReport replay;
   std::string report;         ///< describe_spm_report() text
 };
 

@@ -22,16 +22,31 @@ const util::Status& Session::run() {
 }
 
 const core::SpmReport& Session::rerun_spm(uint32_t capacity_bytes) {
-  FORAY_CHECK(ran_ && result_.ok(), "rerun_spm requires a successful run()");
+  // Phase I artifacts are what the re-solve needs; a *replay* failure at
+  // a previous capacity is that capacity's outcome, not this one's, so
+  // it is cleared here (per-cell failure isolation for the batch grid).
+  FORAY_CHECK(ran_ && result_.model_built,
+              "rerun_spm requires a run() that built the model");
+  result_.status = util::Status();
   core::SpmPhaseOptions opts = opts_.pipeline.spm;
   opts.dse.spm_capacity = capacity_bytes;
   core::spm_phase(opts, &result_);
+  // The replay check is per-selection, so a capacity re-solve re-runs it.
+  if (opts_.pipeline.with_replay) {
+    core::PipelineOptions popts = opts_.pipeline;
+    popts.spm = opts;
+    core::spm_replay_phase(popts, &result_);
+  }
   return result_.spm;
 }
 
 std::string Session::spm_report_text() const {
   if (!result_.spm_ran) return "";
-  return core::describe_spm_report(result_.spm, result_.model);
+  std::string out = core::describe_spm_report(result_.spm, result_.model);
+  if (result_.replay_ran) {
+    out += spm::describe_replay_report(result_.replay, result_.model);
+  }
+  return out;
 }
 
 }  // namespace foray::driver

@@ -48,8 +48,11 @@ class Session {
 
   /// Re-solves only the SpmPhase at a different capacity, reusing the
   /// Phase I artifacts (model extraction dominates the cost; the DSE is
-  /// cheap). Requires a successful run(). Returns the refreshed report,
-  /// which also replaces result().spm.
+  /// cheap), and re-runs the transform-replay check when the pipeline
+  /// options ask for it. Requires a run() that built the model; a
+  /// previous capacity's replay failure is cleared first, so status()
+  /// afterwards reflects this capacity alone. Returns the refreshed
+  /// report, which also replaces result().spm.
   const core::SpmReport& rerun_spm(uint32_t capacity_bytes);
 
   /// Deterministic text report of the current SpmReport (empty when the

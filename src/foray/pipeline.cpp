@@ -106,6 +106,20 @@ util::Status spm_phase(const SpmPhaseOptions& opts, PipelineResult* result) {
   return result->status;
 }
 
+util::Status spm_replay_phase(const PipelineOptions& opts,
+                              PipelineResult* result) {
+  FORAY_CHECK(result->spm_ran, "spm_replay_phase requires spm_phase");
+  spm::ReplayOptions ropts;
+  ropts.run = opts.run;
+  ropts.dse = opts.spm.dse;
+  ropts.dse.spm_capacity = result->spm.capacity;
+  result->replay =
+      spm::replay_selection(result->model, result->spm.exact, ropts);
+  result->replay_ran = true;
+  if (!result->replay.status.ok()) result->status = result->replay.status;
+  return result->status;
+}
+
 PipelineResult run_pipeline(std::string_view source,
                             const PipelineOptions& opts) {
   PipelineResult result;
@@ -113,7 +127,10 @@ PipelineResult run_pipeline(std::string_view source,
   if (!instrument_phase(&result).ok()) return result;
   if (!profile_phase(opts, &result).ok()) return result;
   if (!extract_phase(opts, &result).ok()) return result;
-  if (opts.with_spm) spm_phase(opts.spm, &result);
+  if (opts.with_spm || opts.with_replay) {
+    if (!spm_phase(opts.spm, &result).ok()) return result;
+    if (opts.with_replay) spm_replay_phase(opts, &result);
+  }
   return result;
 }
 

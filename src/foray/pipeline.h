@@ -37,6 +37,7 @@
 #include "minic/sema.h"
 #include "sim/interpreter.h"
 #include "spm/dse.h"
+#include "spm/replay.h"
 #include "spm/reuse.h"
 #include "spm/spm_sim.h"
 #include "util/status.h"
@@ -76,6 +77,13 @@ struct PipelineOptions {
   /// Run the SpmPhase after Extract (Phase II of the design flow).
   bool with_spm = false;
   SpmPhaseOptions spm;
+  /// After the SpmPhase, execute the transformed program and lock its
+  /// simulated SPM/main/transfer traffic against the analytic counters
+  /// (spm/replay.h). Implies with_spm under run_pipeline(). A failure to
+  /// *execute* the transformed program fails the pipeline; counter
+  /// mismatches are recorded in PipelineResult::replay for the caller
+  /// (the CLI exits nonzero, the batch report carries a replay column).
+  bool with_replay = false;
 };
 
 /// Phase II output: everything the DSE decided for one SPM capacity.
@@ -126,6 +134,9 @@ struct PipelineResult {
   // SpmPhase.
   bool spm_ran = false;
   SpmReport spm;
+  // TransformReplayPhase.
+  bool replay_ran = false;
+  spm::ReplayReport replay;
 
   bool ok() const { return status.ok(); }
   std::string error() const { return status.message(); }
@@ -156,7 +167,17 @@ util::Status extract_phase(const PipelineOptions& opts,
 /// replaces result->spm wholesale.
 util::Status spm_phase(const SpmPhaseOptions& opts, PipelineResult* result);
 
-/// All of Phase I (and Phase II when opts.with_spm).
+/// Phase II exit check: emit the transformed program for the SpmPhase's
+/// exact selection, execute it on the simulator (same engine as the
+/// profiling run) and lock the classified traffic against the analytic
+/// counters. Requires spm_phase. Fails the pipeline status only when the
+/// transformed program itself fails to build or run — counter mismatches
+/// land in result->replay.mismatches (see spm/replay.h).
+util::Status spm_replay_phase(const PipelineOptions& opts,
+                              PipelineResult* result);
+
+/// All of Phase I (and Phase II when opts.with_spm, plus the replay
+/// check when opts.with_replay).
 PipelineResult run_pipeline(std::string_view source,
                             const PipelineOptions& opts = {});
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "sim/global_layout.h"
 #include "sim/resolver.h"
 #include "trace/record.h"
 #include "util/status.h"
@@ -245,12 +246,10 @@ class Compiler {
     out_.globals.reserve(prog_.globals.size());
     for (size_t g = 0; g < prog_.globals.size(); ++g) {
       const VarDecl& d = prog_.globals[g];
-      const uint32_t elem = static_cast<uint32_t>(d.type.size());
+      const GlobalShape shape = global_shape(d);
       GlobalMeta meta;
-      meta.bytes = d.array_len >= 0
-                       ? elem * static_cast<uint32_t>(d.array_len)
-                       : elem;
-      meta.align = elem_align(elem);
+      meta.bytes = shape.bytes;
+      meta.align = shape.align;
       out_.globals.push_back(meta);
       global_meta_.push_back(SlotMeta{d.type, d.array_len >= 0, true});
 

@@ -27,6 +27,7 @@
 
 #include "minic/intrinsics.h"
 #include "sim/exec_common.h"
+#include "sim/global_layout.h"
 #include "sim/interpreter.h"
 #include "sim/resolver.h"
 #include "sim/value.h"
@@ -158,11 +159,8 @@ class Interp {
       slot.is_array = d.array_len >= 0;
       slot.array_len = d.array_len;
       slot.bound = true;
-      uint32_t elem = static_cast<uint32_t>(d.type.size());
-      uint32_t bytes = slot.is_array
-                           ? elem * static_cast<uint32_t>(d.array_len)
-                           : elem;
-      slot.addr = mem_.alloc_global(bytes, elem >= 4 ? 4 : elem);
+      const GlobalShape shape = global_shape(d);
+      slot.addr = mem_.alloc_global(shape.bytes, shape.align);
       global_slots_.push_back(slot);
       init_slot(slot, d);
     }

@@ -26,7 +26,9 @@ Selection select_buffers(const std::vector<BufferCandidate>& candidates,
       groups[c.ref_index].push_back(&c);
     }
   }
-  const uint32_t slots = opts.spm_capacity / opts.granule;
+  // A zero granule must quantize as one byte, not divide by zero.
+  const uint32_t granule = std::max<uint32_t>(opts.granule, 1);
+  const uint32_t slots = opts.spm_capacity / granule;
   // dp[w] = best savings using at most w granules; choice tracking per
   // group layer.
   std::vector<double> dp(slots + 1, 0.0);
@@ -39,7 +41,7 @@ Selection select_buffers(const std::vector<BufferCandidate>& candidates,
     auto next_pick = pick;
     for (const BufferCandidate* c : items) {
       const uint32_t need = static_cast<uint32_t>(
-          (c->size_bytes + opts.granule - 1) / opts.granule);
+          (c->size_bytes + granule - 1) / granule);
       const double gain = candidate_saving_nj(*c, opts);
       for (uint32_t w = need; w <= slots; ++w) {
         const double with = dp[w - need] + gain;
@@ -85,7 +87,6 @@ Selection select_buffers_greedy(
               return da > db;
             });
   Selection sel;
-  std::vector<bool> ref_taken_seen;
   std::map<size_t, bool> ref_taken;
   for (const BufferCandidate* c : order) {
     if (ref_taken[c->ref_index]) continue;

@@ -1,0 +1,219 @@
+#include "spm/replay.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "foray/emitter.h"
+#include "instrument/annotator.h"
+#include "minic/parser.h"
+#include "sim/classify_sink.h"
+#include "spm/reuse.h"
+#include "spm/spm_sim.h"
+
+namespace foray::spm {
+
+namespace {
+
+/// Execution count of the emitted (rectangular, run-once) nest.
+uint64_t trip_product(const core::ModelReference& ref) {
+  uint64_t n = 1;
+  for (int64_t t : ref.emitted_trips()) {
+    if (t <= 0) return 0;
+    n *= static_cast<uint64_t>(t);
+  }
+  return n;
+}
+
+/// The model as the emitted program realizes it: every reference's nest
+/// runs exactly once with its recorded trip counts.
+core::ForayModel materialize(const core::ForayModel& model) {
+  core::ForayModel m = model;
+  for (auto& ref : m.refs) ref.exec_count = trip_product(ref);
+  return m;
+}
+
+void check_eq(std::vector<std::string>* mismatches, const std::string& what,
+              uint64_t simulated, uint64_t analytic) {
+  if (simulated == analytic) return;
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "%s: simulated %llu != analytic %llu", what.c_str(),
+                static_cast<unsigned long long>(simulated),
+                static_cast<unsigned long long>(analytic));
+  mismatches->push_back(buf);
+}
+
+}  // namespace
+
+ReplayReport replay_selection(const core::ForayModel& model,
+                              const Selection& selection,
+                              const ReplayOptions& opts) {
+  ReplayReport report;
+  report.source = emit_transformed(model, selection, opts.transform);
+
+  // The emitted program through the same front end as any user program.
+  util::DiagList diags;
+  auto prog = minic::parse_and_check(report.source, &diags);
+  if (!prog) {
+    report.status = util::Status::failure("replay-frontend",
+                                          std::move(diags));
+    return report;
+  }
+  instrument::annotate_loops(prog.get());
+
+  // Address map: every emitted array, with each selected reference's
+  // main array paired to its spm_* buffer.
+  auto names = core::assign_array_names(model);
+  std::map<std::string, int> buffer_of;  // main/spm array name -> pair id
+  std::map<std::string, bool> is_spm;
+  for (size_t b = 0; b < selection.chosen.size(); ++b) {
+    const size_t ri = selection.chosen[b].ref_index;
+    FORAY_CHECK(ri < names.size(), "selection references unknown ref");
+    buffer_of[names[ri]] = static_cast<int>(b);
+    is_spm[names[ri]] = false;
+    buffer_of[opts.transform.buffer_prefix + names[ri]] =
+        static_cast<int>(b);
+    is_spm[opts.transform.buffer_prefix + names[ri]] = true;
+  }
+  std::vector<sim::ClassifyingSink::Region> regions;
+  for (const auto& g : sim::global_regions(*prog)) {
+    sim::ClassifyingSink::Region r;
+    r.base = g.base;
+    r.size = g.size;
+    auto it = buffer_of.find(g.name);
+    if (it != buffer_of.end()) {
+      r.buffer = it->second;
+      r.is_spm = is_spm[g.name];
+    }
+    regions.push_back(r);
+  }
+
+  sim::ClassifyingSink sink(std::move(regions),
+                            static_cast<int>(selection.chosen.size()));
+  sim::RunOptions ropts = opts.run;
+  ropts.emit_checkpoints = true;  // transfer-event segmentation needs them
+  ropts.trace_scalars = false;
+  ropts.trace_system = false;
+  ropts.emit_calls = false;
+  auto run = sim::run_program(*prog, &sink, ropts);
+  if (!run.ok()) {
+    report.status = run.status;
+    return report;
+  }
+  report.ran = true;
+
+  // Analytic side: the same selection re-derived on the materialized
+  // geometry, evaluated through the very functions the DSE used.
+  const core::ForayModel mat = materialize(model);
+  Selection mat_sel;
+  for (const auto& c : selection.chosen) {
+    mat_sel.chosen.push_back(candidate_at(mat.refs[c.ref_index],
+                                          c.ref_index, c.level));
+    mat_sel.bytes_used += mat_sel.chosen.back().size_bytes;
+  }
+  const EnergyReport ana = evaluate_selection(mat, mat_sel, opts.dse);
+  const EnergyReport prof = evaluate_selection(model, selection, opts.dse);
+
+  report.ana_spm_accesses = ana.spm_accesses;
+  report.ana_main_accesses = ana.dram_accesses;
+  report.ana_transfer_words = ana.transfer_words;
+  report.model_spm_accesses = prof.spm_accesses;
+  report.model_main_accesses = prof.dram_accesses;
+  report.model_transfer_words = prof.transfer_words;
+  report.rectangular =
+      ana.spm_accesses == prof.spm_accesses &&
+      ana.dram_accesses == prof.dram_accesses &&
+      ana.transfer_words == prof.transfer_words;
+
+  report.sim_spm_accesses = sink.total_spm_accesses();
+  report.sim_main_accesses = sink.total_main_accesses();
+  report.sim_transfer_words = sink.total_transfer_words();
+  report.unclassified_accesses = sink.unclassified_accesses();
+
+  const auto& counters = sink.buffers();
+  for (size_t b = 0; b < selection.chosen.size(); ++b) {
+    const auto& cand = mat_sel.chosen[b];
+    const auto& sim = counters[b];
+    ReplayBuffer rb;
+    rb.ref_index = cand.ref_index;
+    rb.level = cand.level;
+    rb.sliding = cand.sliding_window;
+    rb.sim_spm_accesses = sim.spm_accesses;
+    rb.sim_main_accesses = sim.main_accesses;
+    rb.sim_fill_events = sim.fill_events;
+    rb.sim_fill_bytes = sim.fill_bytes;
+    rb.sim_writeback_events = sim.writeback_events;
+    rb.sim_writeback_bytes = sim.writeback_bytes;
+    rb.sim_transfer_words = sim.transfer_words;
+    rb.ana_spm_accesses = cand.spm_accesses;
+    rb.ana_transfer_words = cand.transfer_words;
+    report.buffers.push_back(rb);
+
+    const std::string tag =
+        "buffer " + std::to_string(b) + " (ref " +
+        std::to_string(cand.ref_index) + " level " +
+        std::to_string(cand.level) + ")";
+    check_eq(&report.mismatches, tag + " spm accesses",
+             rb.sim_spm_accesses, rb.ana_spm_accesses);
+    check_eq(&report.mismatches, tag + " transfer words",
+             rb.sim_transfer_words, rb.ana_transfer_words);
+    check_eq(&report.mismatches, tag + " main-memory program accesses",
+             rb.sim_main_accesses, 0);
+  }
+  check_eq(&report.mismatches, "total spm accesses",
+           report.sim_spm_accesses, report.ana_spm_accesses);
+  check_eq(&report.mismatches, "total main-memory accesses",
+           report.sim_main_accesses, report.ana_main_accesses);
+  check_eq(&report.mismatches, "total transfer words",
+           report.sim_transfer_words, report.ana_transfer_words);
+  check_eq(&report.mismatches, "unclassified data accesses",
+           report.unclassified_accesses, 0);
+  return report;
+}
+
+std::string describe_replay_report(const ReplayReport& report,
+                                   const core::ForayModel& model) {
+  std::string out;
+  char buf[192];
+  if (!report.status.ok()) {
+    return "replay: FAILED to execute the transformed program: " +
+           report.status.message() + "\n";
+  }
+  auto names = core::assign_array_names(model);
+  std::snprintf(buf, sizeof buf,
+                "replay: %zu buffer(s), %llu SPM / %llu main accesses, "
+                "%llu transfer word(s) simulated%s\n",
+                report.buffers.size(),
+                static_cast<unsigned long long>(report.sim_spm_accesses),
+                static_cast<unsigned long long>(report.sim_main_accesses),
+                static_cast<unsigned long long>(report.sim_transfer_words),
+                report.rectangular ? "" : " (non-rectangular model: locked "
+                                          "to materialized geometry)");
+  out += buf;
+  for (const auto& b : report.buffers) {
+    std::snprintf(buf, sizeof buf,
+                  "  %s: %llu accesses, %llu fill(s) %lluB, "
+                  "%llu writeback(s) %lluB, %llu word(s)%s\n",
+                  b.ref_index < names.size() ? names[b.ref_index].c_str()
+                                             : "?",
+                  static_cast<unsigned long long>(b.sim_spm_accesses),
+                  static_cast<unsigned long long>(b.sim_fill_events),
+                  static_cast<unsigned long long>(b.sim_fill_bytes),
+                  static_cast<unsigned long long>(b.sim_writeback_events),
+                  static_cast<unsigned long long>(b.sim_writeback_bytes),
+                  static_cast<unsigned long long>(b.sim_transfer_words),
+                  b.sliding ? ", sliding" : "");
+    out += buf;
+  }
+  if (report.matches()) {
+    out += "  analytic counters CONFIRMED by simulated traffic\n";
+  } else {
+    for (const auto& m : report.mismatches) {
+      out += "  MISMATCH " + m + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace foray::spm

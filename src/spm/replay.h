@@ -1,0 +1,124 @@
+// Transform-replay validation (the Phase II exit check).
+//
+// Phase II ends with transformed FORAY model code (spm/transform.h) that
+// the designer back-annotates into the legacy program — so it must be
+// *correct*, not just plausible-looking. This module closes the loop:
+// it emits the transformed program for a buffer selection, runs it
+// through the full front end and the simulator with a classifying sink
+// (sim/classify_sink.h), and locks the SPM / main-memory / transfer
+// traffic the program *actually generates* against the analytic counters
+// the design-space exploration was solved with (candidate_at,
+// evaluate_selection). Any fill, write-back, sliding-window or rebasing
+// slip — in the emitter or in the analytic model — becomes a concrete
+// counter mismatch.
+//
+// Geometry note: the emitted program materializes each reference's nest
+// exactly once with its recorded (maximum) trip counts, i.e. it is
+// rectangular by construction, while ModelReference::exec_count is the
+// *profiled* execution count (smaller for data-dependent trips, larger
+// for partial references whose outer context re-runs the nest). The
+// replay therefore locks the simulation against the analytic counters
+// evaluated on the materialized geometry (exec_count := trip product) —
+// bit-exact, always. When the model is rectangular (exec counts already
+// equal the trip products, true for most kernels), those are verbatim
+// the evaluate_selection counters the DSE and the cache comparison used,
+// and ReplayReport::rectangular says so.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "foray/model.h"
+#include "sim/interpreter.h"
+#include "spm/dse.h"
+#include "spm/energy.h"
+#include "spm/transform.h"
+
+namespace foray::spm {
+
+struct ReplayOptions {
+  TransformOptions transform;
+  /// Simulator knobs for executing the transformed program; engine
+  /// selection is honored, checkpoints are forced on (the classifying
+  /// sink segments transfer events with them) and scalar/system traffic
+  /// is not traced (the classification only consumes Data accesses).
+  sim::RunOptions run;
+  /// Energy parameters for the analytic evaluation (only the capacity
+  /// and energy model matter; the DP granule is unused here).
+  DseOptions dse;
+};
+
+/// One selected buffer's simulated-vs-analytic ledger.
+struct ReplayBuffer {
+  size_t ref_index = 0;
+  int level = 0;
+  bool sliding = false;
+  // Simulated (classified) traffic.
+  uint64_t sim_spm_accesses = 0;   ///< program accesses served by the SPM
+  uint64_t sim_main_accesses = 0;  ///< program accesses that hit main (bug!)
+  uint64_t sim_fill_events = 0;
+  uint64_t sim_fill_bytes = 0;
+  uint64_t sim_writeback_events = 0;
+  uint64_t sim_writeback_bytes = 0;
+  uint64_t sim_transfer_words = 0;
+  // Analytic prediction on the materialized geometry.
+  uint64_t ana_spm_accesses = 0;
+  uint64_t ana_transfer_words = 0;
+};
+
+struct ReplayReport {
+  /// Execution outcome: emitting, compiling or running the transformed
+  /// program failed. Counter mismatches do NOT fail the status — they
+  /// are listed in `mismatches`.
+  util::Status status;
+  bool ran = false;
+
+  /// The emitted transformed program (for diagnostics and goldens).
+  std::string source;
+
+  std::vector<ReplayBuffer> buffers;
+
+  // Whole-program simulated counters.
+  uint64_t sim_spm_accesses = 0;
+  uint64_t sim_main_accesses = 0;
+  uint64_t sim_transfer_words = 0;
+  /// Data accesses that fell outside every known array (must be 0).
+  uint64_t unclassified_accesses = 0;
+
+  // Analytic counters on the materialized (rectangular) geometry — what
+  // the simulation is locked against.
+  uint64_t ana_spm_accesses = 0;
+  uint64_t ana_main_accesses = 0;
+  uint64_t ana_transfer_words = 0;
+
+  // evaluate_selection's counters on the profiled model, verbatim.
+  uint64_t model_spm_accesses = 0;
+  uint64_t model_main_accesses = 0;
+  uint64_t model_transfer_words = 0;
+  /// True when the profiled model is rectangular, i.e. the analytic
+  /// counters above two groups coincide and the simulation is locked
+  /// against evaluate_selection's numbers verbatim.
+  bool rectangular = false;
+
+  /// One line per divergence between simulated and analytic counters.
+  std::vector<std::string> mismatches;
+
+  /// Executed cleanly, every access classified, every counter equal.
+  bool matches() const {
+    return status.ok() && ran && unclassified_accesses == 0 &&
+           mismatches.empty();
+  }
+};
+
+/// Emits the transformed program for `selection`, executes it, and
+/// returns the full simulated-vs-analytic ledger.
+ReplayReport replay_selection(const core::ForayModel& model,
+                              const Selection& selection,
+                              const ReplayOptions& opts = {});
+
+/// Deterministic human-readable rendering (CLI `spm --replay`, batch).
+std::string describe_replay_report(const ReplayReport& report,
+                                   const core::ForayModel& model);
+
+}  // namespace foray::spm

@@ -44,8 +44,22 @@ struct ReuseOptions {
   double min_reuse = 1.0;
 };
 
+/// The buffer candidate of one reference at one specific level (1..M),
+/// unfiltered: size, fill traffic (sliding-window aware) and absorbed
+/// accesses computed from the reference's emitted geometry and execution
+/// count. This is the single source of the analytic transfer model; the
+/// transform-replay phase re-derives candidates through it for the
+/// materialized (rectangular) geometry and locks them against simulated
+/// traffic. `level` is clamped to [1, M]; a reference with no emitted
+/// loops yields a degenerate level-0 one-access-wide candidate, which
+/// still carries the reference's exec_count — use candidates_for() for
+/// the filtered list of buffers actually worth considering.
+BufferCandidate candidate_at(const core::ModelReference& ref,
+                             size_t ref_index, int level);
+
 /// All worthwhile buffer candidates of one reference (at most one per
-/// level).
+/// level): candidate_at() filtered by size and reuse factor. Candidates
+/// that absorb no accesses (zero-trip nests) are never worthwhile.
 std::vector<BufferCandidate> candidates_for(const core::ModelReference& ref,
                                             size_t ref_index,
                                             const ReuseOptions& opts = {});

@@ -28,6 +28,10 @@
 //               (bit-identical to sequential; implies materializing)
 //   --capacity N         spm: SPM size in bytes     (default 4096)
 //   --compare-cache      spm: also replay through LRU caches
+//   --replay             spm/batch: execute the transformed program and
+//                        check its simulated SPM/main/transfer traffic
+//                        against the analytic counters; `spm --replay`
+//                        exits nonzero on any counter mismatch
 //   --threads N          batch: worker threads      (default 1)
 //   --capacity-sweep a,b,c  batch: SPM sizes to sweep (default 4096)
 //   --json PATH          batch: also write the report as JSON
@@ -63,10 +67,10 @@ int usage() {
       "usage: foraygen <model|emit|annotate|trace|stats|hints|run|profile"
       "|spm> <program.mc> [--engine ast|bytecode] [--nexec N] [--nloc N] "
       "[--seed S] [--offline] [--shards N] [--capacity N] "
-      "[--compare-cache]\n"
+      "[--compare-cache] [--replay]\n"
       "       foraygen batch [--threads N] [--capacity-sweep a,b,c] "
       "[--engine ast|bytecode] [--nexec N] [--nloc N] [--seed S] "
-      "[--shards N] [--json PATH]\n");
+      "[--shards N] [--replay] [--json PATH]\n");
   return 2;
 }
 
@@ -201,6 +205,8 @@ int main(int argc, char** argv) {
       opts.profile_shards = static_cast<int>(v);
     } else if (arg == "--compare-cache") {
       opts.spm.compare_cache = true;
+    } else if (arg == "--replay") {
+      opts.with_replay = true;
     } else if (arg == "--json") {
       if (i + 1 >= argc) return usage();
       json_path = argv[++i];
@@ -244,6 +250,11 @@ int main(int argc, char** argv) {
                      item.status.message().c_str());
         return 1;
       }
+      if (item.replay_ran && !item.replay.matches()) {
+        std::fprintf(stderr, "%s @%uB: transform-replay mismatch\n",
+                     item.name.c_str(), item.capacity);
+        return 1;
+      }
     }
     return 0;
   }
@@ -268,6 +279,12 @@ int main(int argc, char** argv) {
     std::printf("model: %zu reference(s), %zu buffer candidate(s)\n",
                 res.model.refs.size(), res.spm.candidates.size());
     std::fputs(session.spm_report_text().c_str(), stdout);
+    if (res.replay_ran && !res.replay.matches()) {
+      std::fprintf(stderr,
+                   "replay: simulated traffic of the transformed program "
+                   "diverges from the analytic counters\n");
+      return 1;
+    }
     return 0;
   }
 
