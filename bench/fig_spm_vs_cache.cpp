@@ -6,15 +6,17 @@
 // analyzable references FORAY-GEN recovers. Energy is normalized to the
 // all-DRAM baseline (100% = no on-chip memory).
 //
-// Both sides of every row come from the batch driver's capacity sweep
-// (one parallel pipeline run per benchmark, one SpmPhase per capacity —
-// the `foraygen batch --capacity-sweep` code path): the SpmPhase's
-// compare_cache mode replays the model's address stream through the LRU
-// cache simulator, the same path `foraygen spm --compare-cache` uses.
+// Both sides of every row come from the sweep driver's capacity axis
+// (one parallel pipeline run per benchmark, one SpmPhase per grid point
+// — the `foraygen sweep` code path): the SpmPhase's compare_cache mode
+// replays the model's address stream through the LRU cache simulator,
+// the same path `foraygen spm --compare-cache` uses. The cache axis is
+// left at its inherited default so every point carries both the 2-way
+// and the 4-way comparison, exactly as the pre-sweep batch run did.
 #include <cstdio>
 
 #include "bench_util.h"
-#include "driver/batch.h"
+#include "driver/sweep.h"
 
 int main() {
   using namespace foray;
@@ -23,14 +25,14 @@ int main() {
   std::printf("(percent of the all-DRAM baseline energy; lower is "
               "better)\n\n");
 
-  driver::BatchOptions bopts;
-  bopts.threads = 4;
-  bopts.capacities = {512, 1024, 2048, 4096, 8192, 16384};
-  bopts.pipeline.spm.compare_cache = true;  // assocs {2, 4} by default
-  driver::BatchDriver batch(bopts);
-  auto jobs = driver::BatchDriver::benchsuite_jobs();
-  auto report = batch.run(jobs);
-  const size_t n_caps = bopts.capacities.size();
+  driver::SweepOptions sopts;
+  sopts.threads = 4;
+  sopts.spec.capacities = {512, 1024, 2048, 4096, 8192, 16384};
+  sopts.pipeline.spm.compare_cache = true;  // assocs {2, 4} by default
+  driver::SweepDriver sweep(sopts);
+  auto jobs = driver::SweepDriver::benchsuite_jobs();
+  auto report = sweep.run(jobs);
+  const size_t n_caps = sopts.spec.capacities.size();
 
   for (size_t j = 0; j < jobs.size(); ++j) {
     const driver::Session& session = *report.sessions[j];
@@ -42,12 +44,14 @@ int main() {
     util::TablePrinter tp({"capacity", "SPM energy", "cache 2-way",
                            "cache 4-way"});
     const double base_nj =
-        report.item(j, 0, n_caps).spm.baseline.baseline_nj;
+        report.at(driver::PointKey{j, 0, 0, 0, 0, 0})
+            .spm.baseline.baseline_nj;
     for (size_t c = 0; c < n_caps; ++c) {
-      const driver::BatchItem& item = report.item(j, c, n_caps);
+      const driver::SweepItem& item =
+          report.at(driver::PointKey{j, c, 0, 0, 0, 0});
       if (item.spm.caches.size() < 2) {
         std::fprintf(stderr, "missing cache comparison for %s\n",
-                     item.name.c_str());
+                     item.program.c_str());
         return 1;
       }
       char s[16], c2[16], c4[16];
@@ -57,7 +61,8 @@ int main() {
                     100.0 * item.spm.caches[0].energy_nj / base_nj);
       std::snprintf(c4, sizeof c4, "%.1f%%",
                     100.0 * item.spm.caches[1].energy_nj / base_nj);
-      tp.add_row({std::to_string(item.capacity) + "B", s, c2, c4});
+      tp.add_row({std::to_string(item.point.capacity_bytes) + "B", s, c2,
+                  c4});
     }
     std::printf("-- %s --\n%s\n", jobs[j].name.c_str(), tp.str().c_str());
   }

@@ -2,17 +2,17 @@
 // reach of SPM optimization (Phase II), so the energy a downstream SPM
 // technique can save grows accordingly.
 //
-// The whole suite runs through the batch driver (parallel sessions, one
-// SpmPhase per capacity) — the same code path as `foraygen batch`. The
-// full-model savings and the knapsack-vs-greedy DSE ablation come
-// straight from the batch items; only the static-reach counterfactual
-// (restricting the model to what a static analysis could see) and the
-// cache comparison stay bench-local, because they evaluate models the
-// SpmPhase never builds.
+// The whole suite runs through the sweep driver (parallel sessions, one
+// SpmPhase per capacity-axis point) — the same code path as `foraygen
+// sweep`. The full-model savings and the knapsack-vs-greedy DSE ablation
+// come straight from the sweep items; only the static-reach
+// counterfactual (restricting the model to what a static analysis could
+// see) and the cache comparison stay bench-local, because they evaluate
+// models the SpmPhase never builds.
 #include <cstdio>
 
 #include "bench_util.h"
-#include "driver/batch.h"
+#include "driver/sweep.h"
 #include "spm/address_stream.h"
 #include "spm/cache_sim.h"
 #include "spm/dse.h"
@@ -54,13 +54,12 @@ int main() {
   std::printf("== E10: SPM energy savings, static-only reach vs "
               "FORAY-GEN reach ==\n\n");
 
-  driver::BatchOptions bopts;
-  bopts.threads = 4;
-  bopts.capacities = {4096, 1024};  // main table, then DSE ablation
-  driver::BatchDriver batch(bopts);
-  auto jobs = driver::BatchDriver::benchsuite_jobs();
-  auto report = batch.run(jobs);
-  const size_t n_caps = bopts.capacities.size();
+  driver::SweepOptions sopts;
+  sopts.threads = 4;
+  sopts.spec.capacities = {4096, 1024};  // main table, then DSE ablation
+  driver::SweepDriver sweep(sopts);
+  auto jobs = driver::SweepDriver::benchsuite_jobs();
+  auto report = sweep.run(jobs);
 
   spm::DseOptions opts;
   opts.spm_capacity = 4096;
@@ -76,7 +75,8 @@ int main() {
       return 1;
     }
     const auto& model = session.result().model;
-    const driver::BatchItem& item = report.item(j, 0, n_caps);
+    const driver::SweepItem& item =
+        report.at(driver::PointKey{j, 0, 0, 0, 0, 0});
 
     auto analysis = staticforay::analyze(*session.result().program);
     core::ForayModel static_model = static_subset(model, analysis);
@@ -107,7 +107,8 @@ int main() {
   util::TablePrinter dt({"benchmark", "knapsack nJ saved",
                          "greedy nJ saved"});
   for (size_t j = 0; j < jobs.size(); ++j) {
-    const driver::BatchItem& item = report.item(j, 1, n_caps);
+    const driver::SweepItem& item =
+        report.at(driver::PointKey{j, 1, 0, 0, 0, 0});
     char g1[32], g2[32];
     std::snprintf(g1, sizeof g1, "%.0f", item.spm.exact.saved_nj);
     std::snprintf(g2, sizeof g2, "%.0f", item.spm.greedy.saved_nj);

@@ -2,10 +2,11 @@
 
 #include <cstdio>
 
+#include <utility>
+
 #include "benchsuite/suite.h"
 #include "util/json.h"
 #include "util/strings.h"
-#include "util/thread_pool.h"
 
 namespace foray::driver {
 
@@ -16,52 +17,42 @@ BatchDriver::BatchDriver(BatchOptions opts) : opts_(std::move(opts)) {
 }
 
 BatchReport BatchDriver::run(const std::vector<BatchJob>& jobs) const {
-  const size_t n_caps = opts_.capacities.size();
-  BatchReport report;
-  report.items.resize(jobs.size() * n_caps);
-  report.sessions.resize(jobs.size());
+  // The whole batch contract — thread-pooled sessions, one Phase II
+  // re-solve per capacity, deterministic job-major/capacity-minor item
+  // order, failure isolation — lives in the SweepDriver now; this
+  // adapter only maps the capacity list onto the sweep's capacity axis
+  // (every other axis inherits the pipeline options) and reshapes the
+  // items.
+  SweepOptions sopts;
+  sopts.threads = opts_.threads;
+  sopts.pipeline = opts_.pipeline;
+  sopts.spec.capacities = opts_.capacities;
 
-  util::ThreadPool pool(static_cast<size_t>(opts_.threads));
-  for (size_t j = 0; j < jobs.size(); ++j) {
-    pool.submit([this, j, n_caps, &jobs, &report] {
-      SessionOptions sopts;
-      sopts.pipeline = opts_.pipeline;
-      sopts.pipeline.spm.dse.spm_capacity = opts_.capacities[0];
-      auto session = std::make_unique<Session>(jobs[j].name, jobs[j].source,
-                                               sopts);
-      session->run();
-      // Phase I failures doom every capacity cell; a replay execution
-      // failure is per-capacity (each capacity replays its own
-      // selection), so later cells still get their own attempt.
-      const bool phase1_ok = session->result().model_built;
-      for (size_t c = 0; c < n_caps; ++c) {
-        BatchItem& item = report.items[j * n_caps + c];
-        item.name = jobs[j].name;
-        item.capacity = opts_.capacities[c];
-        item.status = session->status();
-        if (!phase1_ok) continue;
-        if (c > 0) {
-          // Keep the failure-isolation promise even for internal errors
-          // during a capacity re-solve: mark this item, keep the batch.
-          try {
-            session->rerun_spm(opts_.capacities[c]);
-          } catch (const std::exception& e) {
-            item.status = util::Status::failure("internal", 0, e.what());
-            continue;
-          }
-          item.status = session->status();
-        }
-        if (!item.status.ok()) continue;
-        item.model_refs = session->result().model.refs.size();
-        item.spm = session->result().spm;
-        item.replay_ran = session->result().replay_ran;
-        if (item.replay_ran) item.replay = session->result().replay;
-        item.report = session->spm_report_text();
-      }
-      report.sessions[j] = std::move(session);
-    });
+  std::vector<SweepJob> sweep_jobs;
+  sweep_jobs.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    sweep_jobs.push_back(SweepJob{job.name, job.source});
   }
-  pool.wait_idle();
+  SweepReport sweep = SweepDriver(sopts).run(sweep_jobs);
+  FORAY_CHECK(sweep.grid.points_per_job() == opts_.capacities.size(),
+              "batch adapter expects a capacity-only sweep grid");
+
+  BatchReport report;
+  report.capacities_per_job = opts_.capacities.size();
+  report.items.reserve(sweep.items.size());
+  for (auto& item : sweep.items) {
+    BatchItem out;
+    out.name = std::move(item.program);
+    out.capacity = item.point.capacity_bytes;
+    out.status = std::move(item.status);
+    out.model_refs = item.model_refs;
+    out.spm = std::move(item.spm);
+    out.replay_ran = item.replay_ran;
+    out.replay = std::move(item.replay);
+    out.report = std::move(item.report);
+    report.items.push_back(std::move(out));
+  }
+  report.sessions = std::move(sweep.sessions);
   return report;
 }
 

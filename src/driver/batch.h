@@ -1,15 +1,13 @@
-// The batch driver: N sessions through the phase pipeline concurrently.
+// The capacity-only batch driver — a thin compatibility adapter over the
+// sweep API (driver/sweep.h), kept for one release.
 //
-// Parallelism is per program (one Session per job, each run by one pool
-// worker); the SPM capacity sweep reuses each session's Phase I artifacts
-// and re-solves only the SpmPhase per capacity. Results are written into
-// pre-allocated slots indexed by (job, capacity), so the report is
-// byte-for-byte identical whatever the thread count — the determinism
-// contract driver_test locks in.
-//
-// Failure isolation: a session that fails (front-end diagnostics, a
-// simulator fault, even an internal error) yields failed items for its
-// capacities; every other session is unaffected.
+// BatchOptions::capacities maps onto the sweep's capacity axis with every
+// other axis inherited from the pipeline options, so the behavior —
+// parallel sessions, job-major/capacity-minor deterministic item order,
+// per-session failure isolation — is the SweepDriver's, unchanged from
+// the pre-sweep BatchDriver. New code should declare a SweepSpec and use
+// SweepDriver directly; multi-axis grids, Pareto surfaces and streaming
+// NDJSON exist only there.
 #pragma once
 
 #include <cstdint>
@@ -18,12 +16,13 @@
 #include <vector>
 
 #include "driver/session.h"
+#include "driver/sweep.h"
 #include "foray/pipeline.h"
 #include "util/status.h"
 
 namespace foray::driver {
 
-/// One program to analyze.
+/// One program to analyze (same shape as SweepJob).
 struct BatchJob {
   std::string name;
   std::string source;
@@ -58,9 +57,26 @@ struct BatchReport {
   /// downstream consumers like the cache-comparison benches).
   std::vector<std::unique_ptr<Session>> sessions;
 
+  /// Capacities per job of the grid this report was built from (set by
+  /// BatchDriver::run) — the authoritative stride item() checks callers
+  /// against.
+  size_t capacities_per_job = 0;
+
+  /// Bounds-checked (job, capacity) lookup. `n_capacities` is the
+  /// caller's belief about the stride; it must equal the grid the
+  /// report was built with — a mismatch used to read a wrong cell
+  /// silently, now it fails loudly. The sweep API's structured
+  /// SweepReport::at(PointKey) replaces this.
   const BatchItem& item(size_t job, size_t capacity_index,
                         size_t n_capacities) const {
-    return items[job * n_capacities + capacity_index];
+    FORAY_CHECK(n_capacities == capacities_per_job,
+                "BatchReport::item stride does not match the report grid");
+    FORAY_CHECK(capacity_index < n_capacities,
+                "BatchReport::item capacity index out of range");
+    const size_t index = job * n_capacities + capacity_index;
+    FORAY_CHECK(index < items.size(),
+                "BatchReport::item job index out of range");
+    return items[index];
   }
 
   /// Summary table (one row per item): name, capacity, refs, buffers,

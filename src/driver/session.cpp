@@ -21,23 +21,36 @@ const util::Status& Session::run() {
   return result_.status;
 }
 
-const core::SpmReport& Session::rerun_spm(uint32_t capacity_bytes) {
+const core::SpmReport& Session::resolve(const core::SpmPhaseOptions& opts) {
+  return resolve(opts, opts_.pipeline.with_replay);
+}
+
+const core::SpmReport& Session::resolve(const core::SpmPhaseOptions& opts,
+                                        bool with_replay) {
   // Phase I artifacts are what the re-solve needs; a *replay* failure at
-  // a previous capacity is that capacity's outcome, not this one's, so
-  // it is cleared here (per-cell failure isolation for the batch grid).
+  // a previous point is that point's outcome, not this one's, so it is
+  // cleared here (per-cell failure isolation for the sweep grid).
   FORAY_CHECK(ran_ && result_.model_built,
-              "rerun_spm requires a run() that built the model");
+              "resolve requires a run() that built the model");
   result_.status = util::Status();
-  core::SpmPhaseOptions opts = opts_.pipeline.spm;
-  opts.dse.spm_capacity = capacity_bytes;
+  // Likewise a previous point's replay ledger must not leak into a point
+  // that does not replay.
+  result_.replay_ran = false;
+  result_.replay = spm::ReplayReport();
   core::spm_phase(opts, &result_);
-  // The replay check is per-selection, so a capacity re-solve re-runs it.
-  if (opts_.pipeline.with_replay) {
+  // The replay check is per-selection, so every re-solve re-runs it.
+  if (with_replay) {
     core::PipelineOptions popts = opts_.pipeline;
     popts.spm = opts;
     core::spm_replay_phase(popts, &result_);
   }
   return result_.spm;
+}
+
+const core::SpmReport& Session::rerun_spm(uint32_t capacity_bytes) {
+  core::SpmPhaseOptions opts = opts_.pipeline.spm;
+  opts.dse.spm_capacity = capacity_bytes;
+  return resolve(opts);
 }
 
 std::string Session::spm_report_text() const {

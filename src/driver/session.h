@@ -46,13 +46,25 @@ class Session {
   /// result afterwards.
   core::PipelineResult take_result() { return std::move(result_); }
 
-  /// Re-solves only the SpmPhase at a different capacity, reusing the
-  /// Phase I artifacts (model extraction dominates the cost; the DSE is
-  /// cheap), and re-runs the transform-replay check when the pipeline
-  /// options ask for it. Requires a run() that built the model; a
-  /// previous capacity's replay failure is cleared first, so status()
-  /// afterwards reflects this capacity alone. Returns the refreshed
-  /// report, which also replaces result().spm.
+  /// Re-solves only the SpmPhase under arbitrary Phase II options —
+  /// capacity, energy model, cache comparison, all of SpmPhaseOptions —
+  /// reusing the Phase I artifacts (model extraction dominates the cost;
+  /// the DSE is cheap). This is the sweep API's per-point workhorse: one
+  /// run() then one resolve() per grid point. Requires a run() that
+  /// built the model; a previous resolve's failure is cleared first, so
+  /// status() afterwards reflects this point alone. Returns the
+  /// refreshed report, which also replaces result().spm.
+  ///
+  /// `with_replay` additionally re-runs the transform-replay check for
+  /// the new exact selection; the overload without it follows the
+  /// session's pipeline options.
+  const core::SpmReport& resolve(const core::SpmPhaseOptions& opts);
+  const core::SpmReport& resolve(const core::SpmPhaseOptions& opts,
+                                 bool with_replay);
+
+  /// Compatibility shim for the capacity-only sweep (pre-sweep-API
+  /// callers): resolve() with only dse.spm_capacity changed. Will be
+  /// retired one release after the sweep API lands.
   const core::SpmReport& rerun_spm(uint32_t capacity_bytes);
 
   /// Deterministic text report of the current SpmReport (empty when the

@@ -1,0 +1,831 @@
+#include "driver/sweep.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "benchsuite/suite.h"
+#include "spm/spm_sim.h"
+#include "util/json.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace foray::driver {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+util::Status axis_error(std::string message) {
+  return util::Status::failure("sweep-spec", 0, std::move(message));
+}
+
+bool parse_u32(std::string_view s, uint32_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const std::string str(s);
+  const unsigned long long v = std::strtoull(str.c_str(), &end, 10);
+  if (end != str.c_str() + str.size() || v == 0 || v > UINT32_MAX) {
+    return false;
+  }
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+bool is_pow2(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+const char* algorithm_name(Algorithm a) {
+  return a == Algorithm::kGreedy ? "greedy" : "dp";
+}
+
+util::Status SweepSpec::parse_axis(std::string_view axis,
+                                   std::string_view values) {
+  const std::string axis_str{axis};
+  if (axis == "capacity") {
+    capacities.clear();
+    for (auto tok : util::split(values, ',')) {
+      tok = trim(tok);
+      uint32_t cap = 0;
+      if (!parse_u32(tok, &cap)) {
+        return axis_error("bad capacity '" + std::string(tok) +
+                          "' (want a positive byte count)");
+      }
+      capacities.push_back(cap);
+    }
+    if (capacities.empty()) return axis_error("empty capacity axis");
+    return {};
+  }
+  if (axis == "energy") {
+    energy_models.clear();
+    for (auto tok : util::split(values, ',')) {
+      tok = trim(tok);
+      EnergyAxisValue v;
+      v.name = std::string(tok);
+      std::string err;
+      if (!spm::parse_energy_model(tok, &v.model, &err)) {
+        return axis_error(err);
+      }
+      energy_models.push_back(std::move(v));
+    }
+    if (energy_models.empty()) return axis_error("empty energy axis");
+    return {};
+  }
+  if (axis == "cache") {
+    caches.clear();
+    for (auto tok : util::split(values, ',')) {
+      tok = trim(tok);
+      CacheAxisValue v;
+      if (tok == "off") {
+        caches.push_back(std::move(v));  // defaults are the off value
+        continue;
+      }
+      const auto parts = util::split(tok, 'x');
+      uint32_t line = 0;
+      uint32_t assoc = 0;
+      if (parts.size() != 2 || !parse_u32(parts[0], &line) ||
+          !parse_u32(parts[1], &assoc)) {
+        return axis_error("bad cache geometry '" + std::string(tok) +
+                          "' (want off or LINExASSOC, e.g. 32x2)");
+      }
+      if (!is_pow2(line)) {
+        return axis_error("cache line bytes in '" + std::string(tok) +
+                          "' must be a power of two");
+      }
+      // Caught here so a hostile value is a named spec error, not a
+      // per-point internal error after the int cast.
+      if (assoc > 1024) {
+        return axis_error("cache associativity in '" + std::string(tok) +
+                          "' is out of range (max 1024 ways)");
+      }
+      v.enabled = true;
+      v.line_bytes = line;
+      v.assocs = {static_cast<int>(assoc)};
+      v.label = std::string(tok);
+      caches.push_back(std::move(v));
+    }
+    if (caches.empty()) return axis_error("empty cache axis");
+    return {};
+  }
+  if (axis == "algorithm") {
+    algorithms.clear();
+    for (auto tok : util::split(values, ',')) {
+      tok = trim(tok);
+      if (tok == "dp" || tok == "exact") {
+        algorithms.push_back(Algorithm::kExactDp);
+      } else if (tok == "greedy") {
+        algorithms.push_back(Algorithm::kGreedy);
+      } else {
+        return axis_error("bad algorithm '" + std::string(tok) +
+                          "' (want dp or greedy)");
+      }
+    }
+    if (algorithms.empty()) return axis_error("empty algorithm axis");
+    return {};
+  }
+  if (axis == "replay") {
+    replays.clear();
+    for (auto tok : util::split(values, ',')) {
+      tok = trim(tok);
+      if (tok == "on" || tok == "true") {
+        replays.push_back(true);
+      } else if (tok == "off" || tok == "false") {
+        replays.push_back(false);
+      } else {
+        return axis_error("bad replay value '" + std::string(tok) +
+                          "' (want on or off)");
+      }
+    }
+    if (replays.empty()) return axis_error("empty replay axis");
+    return {};
+  }
+  return axis_error("unknown sweep axis '" + axis_str +
+                    "' (axes: capacity energy cache algorithm replay)");
+}
+
+util::Status SweepSpec::parse_file(std::string_view text) {
+  int line_no = 0;
+  for (auto line : util::split(text, '\n')) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return util::Status::failure(
+          "sweep-spec", line_no,
+          "expected axis = value,... in '" + std::string(line) + "'");
+    }
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view values = trim(line.substr(eq + 1));
+    util::Status st = parse_axis(key, values);
+    if (!st.ok()) {
+      return util::Status::failure("sweep-spec", line_no,
+                                   st.diags().all().front().message);
+    }
+  }
+  return {};
+}
+
+core::SpmPhaseOptions SweepPoint::spm_options(
+    const core::SpmPhaseOptions& base) const {
+  core::SpmPhaseOptions opts = base;
+  opts.dse.spm_capacity = capacity_bytes;
+  opts.dse.energy = energy;
+  opts.compare_cache = cache.enabled;
+  if (cache.enabled) {
+    opts.cache_line_bytes = cache.line_bytes;
+    opts.cache_assocs = cache.assocs;
+  }
+  return opts;
+}
+
+SweepGrid SweepGrid::expand(const SweepSpec& spec,
+                            const core::PipelineOptions& base) {
+  SweepGrid grid;
+  grid.capacities = spec.capacities;
+  if (grid.capacities.empty()) {
+    grid.capacities.push_back(base.spm.dse.spm_capacity);
+  }
+  grid.energy_models = spec.energy_models;
+  if (grid.energy_models.empty()) {
+    // Label the inherited model honestly: "default" only when it really
+    // is the default preset, "base" when the caller customized it.
+    const spm::EnergyModel& e = base.spm.dse.energy;
+    const spm::EnergyModel d;
+    const bool is_default =
+        e.dram_nj == d.dram_nj && e.spm_1kb_nj == d.spm_1kb_nj &&
+        e.spm_doubling_nj == d.spm_doubling_nj &&
+        e.cache_overhead == d.cache_overhead &&
+        e.cache_way_overhead == d.cache_way_overhead;
+    grid.energy_models.push_back({is_default ? "default" : "base", e});
+  }
+  grid.caches = spec.caches;
+  if (grid.caches.empty()) {
+    // Inherit the base cache-comparison settings wholesale (possibly
+    // several associativities in one point) so pre-sweep callers like
+    // `--compare-cache` and the batch adapter behave unchanged.
+    CacheAxisValue v;
+    v.enabled = base.spm.compare_cache;
+    v.line_bytes = base.spm.cache_line_bytes;
+    v.assocs = base.spm.cache_assocs;
+    v.label = v.enabled ? "base" : "off";
+    grid.caches.push_back(std::move(v));
+  }
+  grid.algorithms = spec.algorithms;
+  if (grid.algorithms.empty()) {
+    grid.algorithms.push_back(Algorithm::kExactDp);
+  }
+  grid.replays = spec.replays;
+  if (grid.replays.empty()) grid.replays.push_back(base.with_replay);
+
+  for (size_t cap = 0; cap < grid.capacities.size(); ++cap) {
+    for (size_t e = 0; e < grid.energy_models.size(); ++e) {
+      for (size_t c = 0; c < grid.caches.size(); ++c) {
+        for (size_t a = 0; a < grid.algorithms.size(); ++a) {
+          for (size_t r = 0; r < grid.replays.size(); ++r) {
+            SweepPoint p;
+            p.key = PointKey{0, cap, e, c, a, r};
+            p.capacity_bytes = grid.capacities[cap];
+            p.energy_name = grid.energy_models[e].name;
+            p.energy = grid.energy_models[e].model;
+            p.cache = grid.caches[c];
+            p.algorithm = grid.algorithms[a];
+            p.replay = grid.replays[r];
+            grid.points.push_back(std::move(p));
+          }
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+size_t SweepGrid::flat_index(const PointKey& key) const {
+  FORAY_CHECK(key.capacity < capacities.size(),
+              "PointKey capacity index out of range");
+  FORAY_CHECK(key.energy < energy_models.size(),
+              "PointKey energy index out of range");
+  FORAY_CHECK(key.cache < caches.size(),
+              "PointKey cache index out of range");
+  FORAY_CHECK(key.algorithm < algorithms.size(),
+              "PointKey algorithm index out of range");
+  FORAY_CHECK(key.replay < replays.size(),
+              "PointKey replay index out of range");
+  return (((key.capacity * energy_models.size() + key.energy) *
+               caches.size() +
+           key.cache) *
+              algorithms.size() +
+          key.algorithm) *
+             replays.size() +
+         key.replay;
+}
+
+// -- per-job execution --------------------------------------------------------
+
+namespace {
+
+/// Runs one job across the grid, handing each finished SweepItem to
+/// `on_item(item, flat_index)` in grid order as soon as its point is
+/// resolved — the buffered report moves items into their slots, the
+/// streaming writer renders and drops them so it never accumulates a
+/// job's SpmReports. `retain_full` gates what only the buffered report
+/// reads (the describe_spm_report text for the batch adapter/tables,
+/// and the SpmReport's candidates vector); the streaming path skips
+/// both. Returns the finished session.
+///
+/// Points that differ only along the algorithm axis (or repeat the
+/// replay flag) relabel the same Phase II solve; since grid expansion
+/// puts those axes innermost, such points are adjacent and reuse the
+/// session's current solve instead of re-running the DSE.
+template <typename OnItem>
+std::unique_ptr<Session> run_one_job(const SweepJob& job, size_t job_index,
+                                     const SweepOptions& opts,
+                                     const SweepGrid& grid,
+                                     bool retain_full, OnItem&& on_item) {
+  SessionOptions sopts;
+  sopts.pipeline = opts.pipeline;
+  sopts.pipeline.with_spm = true;
+  const SweepPoint& first = grid.points.front();
+  sopts.pipeline.spm = first.spm_options(opts.pipeline.spm);
+  sopts.pipeline.with_replay = first.replay;
+  auto session =
+      std::make_unique<Session>(job.name, job.source, sopts);
+  session->run();
+  // Phase I failures doom every grid cell; Phase II failures (including
+  // replay execution errors) are per-point, so later cells still get
+  // their own attempt.
+  const bool phase1_ok = session->result().model_built;
+
+  // The session's current solve, by grid coordinates (+ replay flag).
+  // session->run() above already solved point 0's configuration.
+  bool have_solve = phase1_ok;
+  size_t solved_capacity = first.key.capacity;
+  size_t solved_energy = first.key.energy;
+  size_t solved_cache = first.key.cache;
+  bool solved_replay = first.replay;
+
+  for (size_t i = 0; i < grid.points.size(); ++i) {
+    const SweepPoint& point = grid.points[i];
+    SweepItem item;
+    item.program = job.name;
+    item.key = point.key;
+    item.key.job = job_index;
+    item.point = point;
+    item.status = session->status();
+    if (phase1_ok) {
+      const core::SpmPhaseOptions popts =
+          point.spm_options(opts.pipeline.spm);
+      const bool same_solve = have_solve &&
+                              solved_capacity == point.key.capacity &&
+                              solved_energy == point.key.energy &&
+                              solved_cache == point.key.cache &&
+                              solved_replay == point.replay;
+      bool resolved = true;
+      if (!same_solve) {
+        // Keep the failure-isolation promise even for internal errors
+        // during a point re-solve: mark this item, keep the sweep.
+        try {
+          session->resolve(popts, point.replay);
+        } catch (const std::exception& e) {
+          item.status = util::Status::failure("internal", 0, e.what());
+          resolved = false;
+          have_solve = false;
+        }
+        if (resolved) {
+          item.status = session->status();
+          have_solve = true;
+          solved_capacity = point.key.capacity;
+          solved_energy = point.key.energy;
+          solved_cache = point.key.cache;
+          solved_replay = point.replay;
+        }
+      }
+      if (resolved && item.status.ok()) {
+        const core::PipelineResult& res = session->result();
+        item.model_refs = res.model.refs.size();
+        item.candidate_count = res.spm.candidates.size();
+        if (retain_full) {
+          item.spm = res.spm;
+        } else {
+          // Streaming: the candidates vector is the bulk of an
+          // SpmReport and the NDJSON renderer never reads it.
+          item.spm.capacity = res.spm.capacity;
+          item.spm.exact = res.spm.exact;
+          item.spm.greedy = res.spm.greedy;
+          item.spm.baseline = res.spm.baseline;
+          item.spm.with_spm = res.spm.with_spm;
+          item.spm.caches = res.spm.caches;
+        }
+        item.energy =
+            point.algorithm == Algorithm::kGreedy
+                ? spm::evaluate_selection(res.model, res.spm.greedy,
+                                          popts.dse)
+                : res.spm.with_spm;
+        item.replay_ran = res.replay_ran;
+        if (item.replay_ran) item.replay = res.replay;
+        if (retain_full) item.report = session->spm_report_text();
+      }
+    }
+    on_item(std::move(item), i);
+  }
+  return session;
+}
+
+// -- NDJSON rendering ---------------------------------------------------------
+// One helper per line kind; both the buffered report and the streaming
+// driver call exactly these, which is what makes their outputs
+// byte-identical.
+
+void append_key(util::JsonWriter& w, const PointKey& key) {
+  w.begin_object();
+  w.key("job").value(static_cast<uint64_t>(key.job));
+  w.key("capacity").value(static_cast<uint64_t>(key.capacity));
+  w.key("energy").value(static_cast<uint64_t>(key.energy));
+  w.key("cache").value(static_cast<uint64_t>(key.cache));
+  w.key("algorithm").value(static_cast<uint64_t>(key.algorithm));
+  w.key("replay").value(static_cast<uint64_t>(key.replay));
+  w.end_object();
+}
+
+std::string header_line(const SweepGrid& grid,
+                        const std::vector<std::string>& programs) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("kind").value("sweep");
+  w.key("programs").begin_array();
+  for (const auto& p : programs) w.value(p);
+  w.end_array();
+  w.key("axes").begin_object();
+  w.key("capacity_bytes").begin_array();
+  for (uint32_t c : grid.capacities) w.value(c);
+  w.end_array();
+  w.key("energy").begin_array();
+  for (const auto& e : grid.energy_models) w.value(e.name);
+  w.end_array();
+  w.key("cache").begin_array();
+  for (const auto& c : grid.caches) w.value(c.label);
+  w.end_array();
+  w.key("algorithm").begin_array();
+  for (Algorithm a : grid.algorithms) w.value(algorithm_name(a));
+  w.end_array();
+  w.key("replay").begin_array();
+  for (bool r : grid.replays) w.value(r);
+  w.end_array();
+  w.end_object();
+  w.key("points_per_program")
+      .value(static_cast<uint64_t>(grid.points_per_job()));
+  w.end_object();
+  return w.take();
+}
+
+std::string point_line(const SweepItem& item) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("kind").value("point");
+  w.key("program").value(item.program);
+  w.key("key");
+  append_key(w, item.key);
+  w.key("capacity_bytes").value(item.point.capacity_bytes);
+  w.key("energy").value(item.point.energy_name);
+  w.key("cache").value(item.point.cache.label);
+  w.key("algorithm").value(algorithm_name(item.point.algorithm));
+  w.key("replay").value(item.point.replay);
+  w.key("ok").value(item.status.ok());
+  if (!item.status.ok()) {
+    w.key("error").value(item.status.message());
+    w.end_object();
+    return w.take();
+  }
+  w.key("model_refs").value(static_cast<uint64_t>(item.model_refs));
+  w.key("candidates").value(static_cast<uint64_t>(item.candidate_count));
+  const spm::Selection& sel = item.selection();
+  w.key("buffers_chosen").value(static_cast<uint64_t>(sel.chosen.size()));
+  w.key("bytes_used").value(sel.bytes_used);
+  w.key("saved_nj").value(sel.saved_nj);
+  w.key("exact_saved_nj").value(item.spm.exact.saved_nj);
+  w.key("greedy_saved_nj").value(item.spm.greedy.saved_nj);
+  w.key("baseline_nj").value(item.energy.baseline_nj);
+  w.key("total_nj").value(item.energy.total_nj);
+  w.key("savings_pct").value(item.energy.savings_pct());
+  w.key("spm_accesses").value(item.energy.spm_accesses);
+  w.key("dram_accesses").value(item.energy.dram_accesses);
+  w.key("transfer_words").value(item.energy.transfer_words);
+  if (!item.spm.caches.empty()) {
+    w.key("caches").begin_array();
+    for (const auto& c : item.spm.caches) {
+      w.begin_object();
+      w.key("line_bytes").value(item.point.cache.line_bytes);
+      w.key("assoc").value(c.assoc);
+      w.key("hits").value(c.hits);
+      w.key("misses").value(c.misses);
+      w.key("energy_nj").value(c.energy_nj);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  if (item.replay_ran) {
+    const auto& r = item.replay;
+    w.key("replay_check").begin_object();
+    w.key("ok").value(r.matches());
+    w.key("rectangular").value(r.rectangular);
+    w.key("sim_spm_accesses").value(r.sim_spm_accesses);
+    w.key("sim_main_accesses").value(r.sim_main_accesses);
+    w.key("sim_transfer_words").value(r.sim_transfer_words);
+    w.key("analytic_spm_accesses").value(r.ana_spm_accesses);
+    w.key("analytic_main_accesses").value(r.ana_main_accesses);
+    w.key("analytic_transfer_words").value(r.ana_transfer_words);
+    if (!r.mismatches.empty()) {
+      w.key("mismatches").begin_array();
+      for (const auto& m : r.mismatches) w.value(m);
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_object();
+  return w.take();
+}
+
+std::string pareto_line(std::string_view scope, std::string_view program,
+                        const std::vector<ParetoPoint>& points) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("kind").value("pareto");
+  w.key("scope").value(scope);
+  if (!program.empty()) w.key("program").value(program);
+  w.key("points").begin_array();
+  for (const auto& p : points) {
+    w.begin_object();
+    w.key("key");
+    append_key(w, p.key);
+    w.key("bytes_used").value(p.bytes_used);
+    w.key("saved_nj").value(p.saved_nj);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+// -- Pareto extraction --------------------------------------------------------
+
+struct Objective {
+  size_t flat = 0;  ///< grid point index
+  uint64_t bytes = 0;
+  double saved = 0.0;
+};
+
+/// Non-dominated subset: maximize saved, minimize bytes. Sorted by bytes
+/// ascending; ties and duplicates resolve to the first point in grid
+/// order, so the frontier is deterministic.
+std::vector<Objective> frontier(std::vector<Objective> pts) {
+  std::sort(pts.begin(), pts.end(), [](const Objective& a,
+                                       const Objective& b) {
+    if (a.bytes != b.bytes) return a.bytes < b.bytes;
+    if (a.saved != b.saved) return a.saved > b.saved;
+    return a.flat < b.flat;
+  });
+  std::vector<Objective> front;
+  double best = -1.0;
+  for (const auto& p : pts) {
+    if (p.saved > best) {
+      front.push_back(p);
+      best = p.saved;
+    }
+  }
+  return front;
+}
+
+std::vector<ParetoPoint> to_pareto_points(const SweepGrid& grid,
+                                          size_t job,
+                                          std::vector<Objective> objs) {
+  std::vector<ParetoPoint> out;
+  for (const auto& o : frontier(std::move(objs))) {
+    ParetoPoint p;
+    p.key = grid.points[o.flat].key;
+    p.key.job = job;
+    p.bytes_used = o.bytes;
+    p.saved_nj = o.saved;
+    out.push_back(p);
+  }
+  return out;
+}
+
+/// Per-job frontier over the job's successful items (items must be the
+/// job's grid-ordered block).
+std::vector<ParetoPoint> job_pareto(const SweepGrid& grid, size_t job,
+                                    const SweepItem* items) {
+  std::vector<Objective> objs;
+  for (size_t i = 0; i < grid.points.size(); ++i) {
+    const SweepItem& item = items[i];
+    if (!item.status.ok()) continue;
+    objs.push_back(Objective{i, item.selection().bytes_used,
+                             item.selection().saved_nj});
+  }
+  return to_pareto_points(grid, job, std::move(objs));
+}
+
+/// Per-grid-point accumulator for the aggregate frontier.
+struct AggCell {
+  bool all_ok = true;
+  size_t jobs_seen = 0;
+  uint64_t bytes = 0;
+  double saved = 0.0;
+};
+
+void accumulate_aggregate(std::vector<AggCell>& agg, const SweepGrid& grid,
+                          const SweepItem* items) {
+  for (size_t i = 0; i < grid.points.size(); ++i) {
+    AggCell& cell = agg[i];
+    ++cell.jobs_seen;
+    const SweepItem& item = items[i];
+    if (!item.status.ok()) {
+      cell.all_ok = false;
+      continue;
+    }
+    cell.bytes += item.selection().bytes_used;
+    cell.saved += item.selection().saved_nj;
+  }
+}
+
+std::vector<ParetoPoint> aggregate_pareto(const SweepGrid& grid,
+                                          const std::vector<AggCell>& agg) {
+  std::vector<Objective> objs;
+  for (size_t i = 0; i < grid.points.size(); ++i) {
+    if (!agg[i].all_ok || agg[i].jobs_seen == 0) continue;
+    objs.push_back(Objective{i, agg[i].bytes, agg[i].saved});
+  }
+  return to_pareto_points(grid, 0, std::move(objs));
+}
+
+}  // namespace
+
+// -- report -------------------------------------------------------------------
+
+const SweepItem& SweepReport::at(const PointKey& key) const {
+  FORAY_CHECK(key.job < programs.size(), "PointKey job index out of range");
+  const size_t idx =
+      key.job * grid.points_per_job() + grid.flat_index(key);
+  FORAY_CHECK(idx < items.size(), "sweep grid index out of range");
+  return items[idx];
+}
+
+std::vector<ParetoPoint> SweepReport::pareto(size_t job) const {
+  FORAY_CHECK(job < programs.size(), "pareto job index out of range");
+  return job_pareto(grid, job, &items[job * grid.points_per_job()]);
+}
+
+std::vector<ParetoPoint> SweepReport::pareto_aggregate() const {
+  std::vector<AggCell> agg(grid.points_per_job());
+  for (size_t j = 0; j < programs.size(); ++j) {
+    accumulate_aggregate(agg, grid, &items[j * grid.points_per_job()]);
+  }
+  return aggregate_pareto(grid, agg);
+}
+
+std::string SweepReport::table() const {
+  util::TablePrinter tp({"program", "SPM", "energy", "cache", "algo",
+                         "refs", "buffers", "bytes used", "saved nJ",
+                         "energy vs DRAM", "replay"});
+  for (const auto& item : items) {
+    const std::string cap = std::to_string(item.point.capacity_bytes) + "B";
+    if (!item.status.ok()) {
+      tp.add_row({item.program, cap, item.point.energy_name,
+                  item.point.cache.label,
+                  algorithm_name(item.point.algorithm), "-", "-", "-", "-",
+                  "FAILED", "-"});
+      continue;
+    }
+    const spm::Selection& sel = item.selection();
+    char saved[32], pct[32];
+    std::snprintf(saved, sizeof saved, "%.1f", sel.saved_nj);
+    std::snprintf(pct, sizeof pct, "%.1f%%",
+                  item.energy.baseline_nj > 0.0
+                      ? 100.0 * item.energy.total_nj /
+                            item.energy.baseline_nj
+                      : 100.0);
+    tp.add_row({item.program, cap, item.point.energy_name,
+                item.point.cache.label,
+                algorithm_name(item.point.algorithm),
+                std::to_string(item.model_refs),
+                std::to_string(sel.chosen.size()),
+                std::to_string(sel.bytes_used), saved, pct,
+                !item.replay_ran          ? "-"
+                : item.replay.matches()   ? "ok"
+                                          : "MISMATCH"});
+  }
+  return tp.str();
+}
+
+void SweepReport::write_ndjson(std::ostream& out) const {
+  out << header_line(grid, programs) << '\n';
+  const size_t per_job = grid.points_per_job();
+  std::vector<AggCell> agg(per_job);
+  for (size_t j = 0; j < programs.size(); ++j) {
+    const SweepItem* block = &items[j * per_job];
+    for (size_t i = 0; i < per_job; ++i) {
+      out << point_line(block[i]) << '\n';
+    }
+    out << pareto_line("program", programs[j], job_pareto(grid, j, block))
+        << '\n';
+    accumulate_aggregate(agg, grid, block);
+  }
+  out << pareto_line("aggregate", "", aggregate_pareto(grid, agg)) << '\n';
+}
+
+std::string SweepReport::ndjson() const {
+  std::ostringstream os;
+  write_ndjson(os);
+  return os.str();
+}
+
+// -- driver -------------------------------------------------------------------
+
+SweepDriver::SweepDriver(SweepOptions opts) : opts_(std::move(opts)) {
+  opts_.pipeline.with_spm = true;
+  if (opts_.threads < 1) opts_.threads = 1;
+  grid_ = SweepGrid::expand(opts_.spec, opts_.pipeline);
+}
+
+SweepReport SweepDriver::run(const std::vector<SweepJob>& jobs) const {
+  const size_t per_job = grid_.points_per_job();
+  SweepReport report;
+  report.grid = grid_;
+  for (const auto& job : jobs) report.programs.push_back(job.name);
+  report.items.resize(jobs.size() * per_job);
+  report.sessions.resize(jobs.size());
+
+  util::ThreadPool pool(static_cast<size_t>(opts_.threads));
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    pool.submit([this, j, per_job, &jobs, &report] {
+      report.sessions[j] = run_one_job(
+          jobs[j], j, opts_, grid_, /*retain_full=*/true,
+          [&report, j, per_job](SweepItem&& item, size_t i) {
+            report.items[j * per_job + i] = std::move(item);
+          });
+    });
+  }
+  pool.wait_idle();
+  return report;
+}
+
+util::Status SweepDriver::run_ndjson(const std::vector<SweepJob>& jobs,
+                                     std::ostream& out) const {
+  const size_t per_job = grid_.points_per_job();
+  std::vector<std::string> names;
+  for (const auto& job : jobs) names.push_back(job.name);
+  out << header_line(grid_, names) << '\n';
+
+  // One rendered block of text per job, published out of order by the
+  // workers and drained in job order by this thread: the only state kept
+  // per finished job is its NDJSON text and the per-point aggregate
+  // sums, never the SpmReports.
+  struct Block {
+    bool ready = false;
+    std::string text;
+    std::vector<AggCell> agg;
+    util::Status first_failure;
+  };
+  std::vector<Block> blocks(jobs.size());
+  std::mutex mu;
+  std::condition_variable cv;
+
+  util::ThreadPool pool(static_cast<size_t>(opts_.threads));
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    pool.submit([this, j, per_job, &jobs, &blocks, &mu, &cv] {
+      // Each item is rendered and reduced (aggregate sums, Pareto
+      // objective, failure status) the moment its point resolves, then
+      // dropped — the job never holds more than one SpmReport.
+      Block block;
+      block.agg.resize(per_job);
+      std::vector<Objective> objs;
+      run_one_job(
+          jobs[j], j, opts_, grid_, /*retain_full=*/false,
+          [&block, &objs](SweepItem&& item, size_t i) {
+            block.text += point_line(item);
+            block.text += '\n';
+            AggCell& cell = block.agg[i];
+            ++cell.jobs_seen;
+            if (!item.status.ok()) {
+              cell.all_ok = false;
+              if (block.first_failure.ok()) {
+                block.first_failure = item.status;
+              }
+              return;
+            }
+            const spm::Selection& sel = item.selection();
+            cell.bytes += sel.bytes_used;
+            cell.saved += sel.saved_nj;
+            objs.push_back(Objective{i, sel.bytes_used, sel.saved_nj});
+            // A replay counter mismatch is a validation failure even
+            // though the point itself solved; surface it like the
+            // non-streaming CLI paths do.
+            if (item.replay_ran && !item.replay.matches() &&
+                block.first_failure.ok()) {
+              block.first_failure = util::Status::failure(
+                  "replay", 0,
+                  item.program + " @" +
+                      std::to_string(item.point.capacity_bytes) +
+                      "B: transform-replay mismatch");
+            }
+          });
+      block.text += pareto_line("program", jobs[j].name,
+                                to_pareto_points(grid_, j, std::move(objs)));
+      block.text += '\n';
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        block.ready = true;
+        blocks[j] = std::move(block);
+      }
+      cv.notify_all();
+    });
+  }
+
+  std::vector<AggCell> agg(per_job);
+  util::Status first_failure;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    Block block;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return blocks[j].ready; });
+      block = std::move(blocks[j]);
+    }
+    out << block.text;
+    for (size_t i = 0; i < per_job; ++i) {
+      agg[i].jobs_seen += block.agg[i].jobs_seen;
+      agg[i].all_ok = agg[i].all_ok && block.agg[i].all_ok;
+      agg[i].bytes += block.agg[i].bytes;
+      agg[i].saved += block.agg[i].saved;
+    }
+    if (first_failure.ok()) first_failure = block.first_failure;
+  }
+  pool.wait_idle();
+  out << pareto_line("aggregate", "", aggregate_pareto(grid_, agg)) << '\n';
+  return first_failure;
+}
+
+std::vector<SweepJob> SweepDriver::benchsuite_jobs() {
+  std::vector<SweepJob> jobs;
+  for (const auto& b : benchsuite::all_benchmarks()) {
+    jobs.push_back(SweepJob{b.name, b.source});
+  }
+  return jobs;
+}
+
+}  // namespace foray::driver

@@ -1,0 +1,254 @@
+// The design-space sweep driver: N programs × a multi-axis DSE grid.
+//
+// The paper's Phase II is a design-space exploration, but "sweep" used to
+// mean exactly one axis (a list of SPM capacities baked into
+// BatchOptions). This module makes the sweep a first-class, composable
+// object: a SweepSpec declares values along five axes —
+//
+//   capacity    SPM bytes the group-knapsack is solved for
+//   energy      named EnergyModel presets with field overrides
+//               (spm/energy.h: "default", "dram-heavy", ...)
+//   cache       Banakar-style cache comparison geometry
+//               (line bytes × associativity, or off)
+//   algorithm   which selection is the point's headline: exact DP or
+//               the greedy density heuristic
+//   replay      transform-replay validation of the point's exact
+//               selection on or off
+//
+// — and expands them into a deterministic row-major grid of SweepPoints.
+// Per program the driver runs Phase I once and resolves Phase II per
+// point (Session::resolve), so a P-program × K-point grid costs P
+// pipeline runs plus P·K cheap DSE solves. Results land in pre-allocated
+// slots indexed by PointKey, so every report is byte-for-byte identical
+// whatever the thread count — the same determinism contract the batch
+// driver had, extended to the full grid and locked by driver_test /
+// sweep_test.
+//
+// Reporting: SweepReport extracts Pareto frontiers (energy saved vs SPM
+// bytes used; per program and aggregated across programs) and renders
+// the grid as NDJSON — one self-contained JSON object per line, so a
+// million-point grid can stream to disk. SweepDriver::run_ndjson writes
+// those lines *while the grid runs*, job by job in deterministic order,
+// retaining only out-of-order text blocks instead of the whole report.
+//
+// BatchDriver (driver/batch.h) is now a thin adapter over this module,
+// kept as a compatibility shim for one release.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "driver/session.h"
+#include "foray/pipeline.h"
+#include "util/status.h"
+
+namespace foray::driver {
+
+/// One program to sweep (same shape as BatchJob, which batch.h keeps as
+/// a distinct struct for source compatibility; the adapter converts).
+struct SweepJob {
+  std::string name;
+  std::string source;
+};
+
+/// Which selection a grid point reports as its headline.
+enum class Algorithm { kExactDp, kGreedy };
+const char* algorithm_name(Algorithm a);
+
+/// One value of the energy axis: a resolved model plus the spec string
+/// that produced it ("default", "dram-heavy:dram_nj=5.2", ...).
+struct EnergyAxisValue {
+  std::string name;
+  spm::EnergyModel model;
+};
+
+/// One value of the cache-comparison axis. `enabled == false` is the
+/// explicit "off" value; `assocs` usually holds one associativity per
+/// axis value ("32x2"), but the base-inherited value keeps the session's
+/// full list so the pre-sweep `--compare-cache` behavior survives the
+/// batch adapter unchanged.
+struct CacheAxisValue {
+  bool enabled = false;
+  uint32_t line_bytes = 32;
+  std::vector<int> assocs;
+  std::string label = "off";
+};
+
+/// The declared sweep: values along every axis. An empty axis means
+/// "inherit the base PipelineOptions" and contributes a single point, so
+/// a default-constructed spec reproduces the old single-capacity batch.
+struct SweepSpec {
+  std::vector<uint32_t> capacities;
+  std::vector<EnergyAxisValue> energy_models;
+  std::vector<CacheAxisValue> caches;
+  std::vector<Algorithm> algorithms;
+  std::vector<bool> replays;
+
+  /// Parses one comma-separated axis list into the spec. Axis names:
+  /// capacity (e.g. "1024,4096"), energy ("default,dram-heavy:dram_nj=5"),
+  /// cache ("off,32x2,64x4"), algorithm ("dp,greedy"), replay ("off,on").
+  util::Status parse_axis(std::string_view axis, std::string_view values);
+
+  /// Parses a key=value spec file (one axis per line, '#' comments,
+  /// blank lines ignored; keys are the parse_axis names). Unknown keys
+  /// are errors that name the key and line.
+  util::Status parse_file(std::string_view text);
+};
+
+/// Coordinates of one grid cell: an index per axis plus the job index.
+/// This replaces BatchReport::item(job, cap_idx, n_caps)'s caller-supplied
+/// stride arithmetic with structured, bounds-checked lookup.
+struct PointKey {
+  size_t job = 0;
+  size_t capacity = 0;
+  size_t energy = 0;
+  size_t cache = 0;
+  size_t algorithm = 0;
+  size_t replay = 0;
+};
+
+/// One fully-resolved grid cell configuration (job-independent).
+struct SweepPoint {
+  PointKey key;  ///< axis indices; `job` is meaningless here (always 0)
+  uint32_t capacity_bytes = 0;
+  std::string energy_name;
+  spm::EnergyModel energy;
+  CacheAxisValue cache;
+  Algorithm algorithm = Algorithm::kExactDp;
+  bool replay = false;
+
+  /// The SpmPhaseOptions this point resolves: `base` with the axis
+  /// values applied on top.
+  core::SpmPhaseOptions spm_options(const core::SpmPhaseOptions& base) const;
+};
+
+/// The normalized grid: per-axis value lists (inherit markers resolved
+/// against the base pipeline options) and their row-major expansion.
+/// Axis order capacity > energy > cache > algorithm > replay, last axis
+/// fastest — the deterministic item order within one job.
+struct SweepGrid {
+  std::vector<uint32_t> capacities;
+  std::vector<EnergyAxisValue> energy_models;
+  std::vector<CacheAxisValue> caches;
+  std::vector<Algorithm> algorithms;
+  std::vector<bool> replays;
+  std::vector<SweepPoint> points;
+
+  size_t points_per_job() const { return points.size(); }
+  /// Flat index of a key within one job's block; FORAY_CHECKs every
+  /// axis index against its axis size.
+  size_t flat_index(const PointKey& key) const;
+
+  static SweepGrid expand(const SweepSpec& spec,
+                          const core::PipelineOptions& base);
+};
+
+struct SweepOptions {
+  int threads = 1;
+  SweepSpec spec;
+  /// Phase I configuration (engine, filter, shards) and the base Phase
+  /// II options that empty axes inherit. with_spm is forced on.
+  core::PipelineOptions pipeline;
+};
+
+/// One (program, grid point) cell.
+struct SweepItem {
+  std::string program;
+  PointKey key;           ///< including the job index
+  SweepPoint point;       ///< the resolved configuration
+  util::Status status;
+  size_t model_refs = 0;
+  /// Buffer candidates the DSE chose from (recorded separately so the
+  /// streaming path can drop the candidates vector itself).
+  size_t candidate_count = 0;
+  /// Full Phase II result (both selections). On the streaming NDJSON
+  /// path the candidates vector — the bulk of an SpmReport, and unread
+  /// by the renderer — is left empty.
+  core::SpmReport spm;
+  /// Energy evaluation of the *headline* selection (== spm.with_spm for
+  /// the exact DP, recomputed for greedy points).
+  spm::EnergyReport energy;
+  bool replay_ran = false;
+  spm::ReplayReport replay;
+  std::string report;     ///< describe_spm_report() (+ replay) text
+
+  /// The selection the point's algorithm axis names.
+  const spm::Selection& selection() const {
+    return point.algorithm == Algorithm::kGreedy ? spm.greedy : spm.exact;
+  }
+};
+
+/// One Pareto-frontier point: the (SPM bytes used, energy saved)
+/// trade-off of a grid cell, with the key to look the full item up.
+struct ParetoPoint {
+  PointKey key;
+  uint64_t bytes_used = 0;
+  double saved_nj = 0.0;
+};
+
+struct SweepReport {
+  SweepGrid grid;
+  std::vector<std::string> programs;  ///< job order
+  /// Job-major, grid-minor (grid.points order) — the deterministic order.
+  std::vector<SweepItem> items;
+  /// One finished session per job, in job order.
+  std::vector<std::unique_ptr<Session>> sessions;
+
+  /// Bounds-checked structured lookup (FORAY_CHECK on any bad index).
+  const SweepItem& at(const PointKey& key) const;
+
+  /// Per-program Pareto frontier over the job's successful points:
+  /// maximal energy saved for minimal SPM bytes used, sorted by bytes
+  /// ascending; dominated and duplicate trade-offs dropped.
+  std::vector<ParetoPoint> pareto(size_t job) const;
+  /// Aggregate frontier: each grid point's bytes/savings summed across
+  /// programs (points where any program failed are skipped), then the
+  /// same non-domination filter. Key::job is meaningless here.
+  std::vector<ParetoPoint> pareto_aggregate() const;
+
+  /// Summary table, one row per item.
+  std::string table() const;
+
+  /// The full report as NDJSON: a `sweep` header line (axes, programs),
+  /// one `point` line per item, a `pareto` line per program, and one
+  /// aggregate `pareto` line. Byte-identical to run_ndjson's streaming
+  /// output over the same jobs.
+  void write_ndjson(std::ostream& out) const;
+  std::string ndjson() const;
+};
+
+class SweepDriver {
+ public:
+  explicit SweepDriver(SweepOptions opts = {});
+
+  const SweepGrid& grid() const { return grid_; }
+
+  /// Runs every job across every grid point, retaining all items.
+  /// Blocking; one driver, one call at a time.
+  SweepReport run(const std::vector<SweepJob>& jobs) const;
+
+  /// Streaming variant: each point is rendered to its NDJSON line and
+  /// reduced (Pareto objective, aggregate sums) the moment it resolves,
+  /// and finished jobs' text is written in deterministic job order — a
+  /// million-point grid never holds more than one SpmReport per worker,
+  /// plus the rendered text of out-of-order finished jobs. Output is
+  /// byte-identical to run(jobs).ndjson(); sessions are not retained.
+  /// Returns the first failure: a failed point's status, or a
+  /// validation failure for a replay-axis point whose simulated
+  /// counters mismatched (the whole grid is still swept and written).
+  util::Status run_ndjson(const std::vector<SweepJob>& jobs,
+                          std::ostream& out) const;
+
+  /// The six benchsuite kernels as sweep jobs, in the paper's order.
+  static std::vector<SweepJob> benchsuite_jobs();
+
+ private:
+  SweepOptions opts_;
+  SweepGrid grid_;
+};
+
+}  // namespace foray::driver

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+
+#include "util/strings.h"
 
 namespace foray::spm {
 
@@ -15,6 +18,112 @@ double EnergyModel::cache_access_nj(uint32_t bytes, int assoc) const {
   const double base = spm_access_nj(bytes) * cache_overhead;
   return base + cache_way_overhead * spm_access_nj(bytes) *
                     std::max(0, assoc - 1);
+}
+
+const std::vector<EnergyPreset>& energy_presets() {
+  static const std::vector<EnergyPreset> presets = [] {
+    std::vector<EnergyPreset> p;
+    p.push_back({"default", "Banakar-shaped reference numbers",
+                 EnergyModel{}});
+    EnergyModel dram_heavy;
+    dram_heavy.dram_nj = 5.31;
+    p.push_back({"dram-heavy",
+                 "power-hungry off-chip interface (older SDRAM)",
+                 dram_heavy});
+    EnergyModel lowpower_dram;
+    lowpower_dram.dram_nj = 2.31;
+    p.push_back({"lowpower-dram", "low-power off-chip interface (LPDDR)",
+                 lowpower_dram});
+    EnergyModel fast_spm;
+    fast_spm.spm_1kb_nj = 0.12;
+    fast_spm.spm_doubling_nj = 0.03;
+    p.push_back({"fast-spm", "denser process node, cheaper on-chip SRAM",
+                 fast_spm});
+    EnergyModel cache_costly;
+    cache_costly.cache_overhead = 1.82;
+    cache_costly.cache_way_overhead = 0.27;
+    p.push_back({"cache-costly",
+                 "expensive tag arrays / way muxing (wide lines)",
+                 cache_costly});
+    return p;
+  }();
+  return presets;
+}
+
+const EnergyPreset* find_energy_preset(std::string_view name) {
+  for (const auto& p : energy_presets()) {
+    if (name == p.name) return &p;
+  }
+  return nullptr;
+}
+
+bool set_energy_field(EnergyModel* model, std::string_view field,
+                      double value) {
+  if (field == "dram_nj") {
+    model->dram_nj = value;
+  } else if (field == "spm_1kb_nj") {
+    model->spm_1kb_nj = value;
+  } else if (field == "spm_doubling_nj") {
+    model->spm_doubling_nj = value;
+  } else if (field == "cache_overhead") {
+    model->cache_overhead = value;
+  } else if (field == "cache_way_overhead") {
+    model->cache_way_overhead = value;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_energy_model(std::string_view spec, EnergyModel* out,
+                        std::string* error) {
+  const auto parts = util::split(spec, ':');
+  const std::string name(parts.empty() ? std::string_view() : parts[0]);
+  const EnergyPreset* preset = find_energy_preset(name);
+  if (preset == nullptr) {
+    if (error != nullptr) {
+      *error = "unknown energy preset '" + name + "' (presets:";
+      for (const auto& p : energy_presets()) {
+        *error += ' ';
+        *error += p.name;
+      }
+      *error += ')';
+    }
+    return false;
+  }
+  EnergyModel model = preset->model;
+  for (size_t i = 1; i < parts.size(); ++i) {
+    const auto kv = util::split(parts[i], '=');
+    const std::string override_str(parts[i]);
+    if (kv.size() != 2 || kv[0].empty() || kv[1].empty()) {
+      if (error != nullptr) {
+        *error = "bad energy override '" + override_str +
+                 "' (want field=value)";
+      }
+      return false;
+    }
+    const std::string value_str(kv[1]);
+    char* end = nullptr;
+    const double value = std::strtod(value_str.c_str(), &end);
+    // Non-finite values would poison every downstream counter (and the
+    // Pareto sort), so they are spec errors, not numbers.
+    if (end == value_str.c_str() || *end != '\0' || !std::isfinite(value)) {
+      if (error != nullptr) {
+        *error = "bad energy value in '" + override_str + "'";
+      }
+      return false;
+    }
+    if (!set_energy_field(&model, kv[0], value)) {
+      if (error != nullptr) {
+        *error = "unknown energy field '" + std::string(kv[0]) +
+                 "' (fields: dram_nj spm_1kb_nj spm_doubling_nj "
+                 "cache_overhead cache_way_overhead)";
+      }
+      return false;
+    }
+  }
+  *out = model;
+  return true;
 }
 
 }  // namespace foray::spm

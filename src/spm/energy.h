@@ -9,6 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
 
 namespace foray::spm {
 
@@ -30,6 +33,35 @@ struct EnergyModel {
   /// Per-access energy of a cache of `bytes` capacity and `assoc` ways.
   double cache_access_nj(uint32_t bytes, int assoc) const;
 };
+
+/// A named EnergyModel parameterization. Presets span the corners of the
+/// technology space the sweep API explores (process node, off-chip
+/// interface, cache tag cost); absolute numbers stay illustrative, like
+/// the default model itself.
+struct EnergyPreset {
+  const char* name;
+  const char* description;
+  EnergyModel model;
+};
+
+/// The built-in presets, "default" first. Order is stable (it is part of
+/// the sweep grid's deterministic expansion).
+const std::vector<EnergyPreset>& energy_presets();
+
+/// Preset by name, or nullptr.
+const EnergyPreset* find_energy_preset(std::string_view name);
+
+/// Sets one EnergyModel field by its struct member name (dram_nj,
+/// spm_1kb_nj, spm_doubling_nj, cache_overhead, cache_way_overhead).
+/// Returns false on an unknown field.
+bool set_energy_field(EnergyModel* model, std::string_view field,
+                      double value);
+
+/// Parses an energy-model spec string: a preset name optionally followed
+/// by `:field=value` overrides, e.g. "default:dram_nj=5.2:spm_1kb_nj=0.1".
+/// On failure returns false and explains in *error.
+bool parse_energy_model(std::string_view spec, EnergyModel* out,
+                        std::string* error);
 
 /// Totals for one evaluated configuration.
 struct EnergyReport {

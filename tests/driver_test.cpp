@@ -192,6 +192,24 @@ TEST(BatchDriver, FailingSessionIsIsolated) {
   EXPECT_NE(table.find("ok2"), std::string::npos);
 }
 
+TEST(BatchReport, ItemLookupIsBoundsChecked) {
+  BatchOptions opts = batch_opts(2);
+  opts.capacities = {256, 1024};
+  auto report = BatchDriver(opts).run(good_jobs());  // 3 jobs x 2 caps
+  ASSERT_EQ(report.items.size(), 6u);
+  EXPECT_EQ(report.capacities_per_job, 2u);
+  EXPECT_EQ(&report.item(2, 1, 2), &report.items[5]);
+  // A capacity index past the stride, a job past the grid, or a stride
+  // that differs from the grid's real one (even when it divides the
+  // item count, like 1 or 3 here) must fail loudly instead of reading
+  // a wrong (or out-of-bounds) cell.
+  EXPECT_THROW(report.item(0, 2, 2), util::InternalError);
+  EXPECT_THROW(report.item(3, 0, 2), util::InternalError);
+  EXPECT_THROW(report.item(0, 0, 1), util::InternalError);
+  EXPECT_THROW(report.item(0, 0, 3), util::InternalError);
+  EXPECT_THROW(report.item(0, 0, 0), util::InternalError);
+}
+
 TEST(BatchDriver, BenchsuiteJobsMatchSuite) {
   auto jobs = BatchDriver::benchsuite_jobs();
   ASSERT_EQ(jobs.size(), 6u);

@@ -1,0 +1,368 @@
+// The sweep API: spec parsing, deterministic grid expansion, structured
+// PointKey lookup, Pareto extraction, and the two contracts inherited
+// from the batch driver and extended to the full multi-axis grid —
+// byte-identical reports whatever the thread count (including the
+// streaming NDJSON writer) and per-job failure isolation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/sweep.h"
+#include "spm/energy.h"
+#include "util/status.h"
+
+namespace foray::driver {
+namespace {
+
+const char* kGood =
+    "int a[256];\n"
+    "int main(void) {\n"
+    "  for (int r = 0; r < 40; r++)\n"
+    "    for (int i = 0; i < 256; i++) a[i] = a[i] + r;\n"
+    "  return a[0] & 255;\n"
+    "}\n";
+
+const char* kGood2 =
+    "char buf[4096];\n"
+    "int main(void) {\n"
+    "  char *p = buf;\n"
+    "  int t = 0;\n"
+    "  while (t < 30) {\n"
+    "    t++;\n"
+    "    p += 64;\n"
+    "    for (int i = 0; i < 32; i++) *p++ = (i + t) % 256;\n"
+    "  }\n"
+    "  return 0;\n"
+    "}\n";
+
+const char* kParseError = "int main(void) { return 0;";  // no brace
+
+std::vector<SweepJob> good_jobs() {
+  return {{"alpha", kGood}, {"beta", kGood2}};
+}
+
+SweepOptions sweep_opts(int threads) {
+  SweepOptions o;
+  o.threads = threads;
+  o.pipeline.filter.min_exec = 1;
+  o.pipeline.filter.min_locations = 1;
+  return o;
+}
+
+// -- energy presets -----------------------------------------------------------
+
+TEST(EnergyPresets, DefaultFirstAndFindable) {
+  const auto& presets = spm::energy_presets();
+  ASSERT_FALSE(presets.empty());
+  EXPECT_STREQ(presets.front().name, "default");
+  EXPECT_DOUBLE_EQ(presets.front().model.dram_nj,
+                   spm::EnergyModel{}.dram_nj);
+  ASSERT_NE(spm::find_energy_preset("dram-heavy"), nullptr);
+  EXPECT_GT(spm::find_energy_preset("dram-heavy")->model.dram_nj,
+            spm::EnergyModel{}.dram_nj);
+  EXPECT_EQ(spm::find_energy_preset("nope"), nullptr);
+}
+
+TEST(EnergyPresets, ParseWithOverrides) {
+  spm::EnergyModel m;
+  std::string err;
+  ASSERT_TRUE(spm::parse_energy_model(
+      "default:dram_nj=9.5:spm_1kb_nj=0.01", &m, &err))
+      << err;
+  EXPECT_DOUBLE_EQ(m.dram_nj, 9.5);
+  EXPECT_DOUBLE_EQ(m.spm_1kb_nj, 0.01);
+  // Untouched fields keep the preset's values.
+  EXPECT_DOUBLE_EQ(m.cache_overhead, spm::EnergyModel{}.cache_overhead);
+}
+
+TEST(EnergyPresets, ParseRejectsUnknownsByName) {
+  spm::EnergyModel m;
+  std::string err;
+  EXPECT_FALSE(spm::parse_energy_model("martian", &m, &err));
+  EXPECT_NE(err.find("martian"), std::string::npos);
+  EXPECT_FALSE(spm::parse_energy_model("default:warp_nj=1", &m, &err));
+  EXPECT_NE(err.find("warp_nj"), std::string::npos);
+  EXPECT_FALSE(spm::parse_energy_model("default:dram_nj=abc", &m, &err));
+  EXPECT_NE(err.find("dram_nj=abc"), std::string::npos);
+  // Non-finite overrides would poison the energy counters and the
+  // Pareto ordering; they are spec errors.
+  EXPECT_FALSE(spm::parse_energy_model("default:dram_nj=nan", &m, &err));
+  EXPECT_FALSE(spm::parse_energy_model("default:dram_nj=inf", &m, &err));
+  EXPECT_FALSE(spm::parse_energy_model("default:dram_nj=-inf", &m, &err));
+}
+
+// -- spec parsing -------------------------------------------------------------
+
+TEST(SweepSpec, ParsesEveryAxis) {
+  SweepSpec s;
+  ASSERT_TRUE(s.parse_axis("capacity", "512, 1024").ok());
+  EXPECT_EQ(s.capacities, (std::vector<uint32_t>{512, 1024}));
+  ASSERT_TRUE(s.parse_axis("energy", "default, dram-heavy:dram_nj=9.5").ok());
+  ASSERT_EQ(s.energy_models.size(), 2u);
+  EXPECT_EQ(s.energy_models[1].name, "dram-heavy:dram_nj=9.5");
+  EXPECT_DOUBLE_EQ(s.energy_models[1].model.dram_nj, 9.5);
+  ASSERT_TRUE(s.parse_axis("cache", "off, 64x4").ok());
+  ASSERT_EQ(s.caches.size(), 2u);
+  EXPECT_FALSE(s.caches[0].enabled);
+  EXPECT_TRUE(s.caches[1].enabled);
+  EXPECT_EQ(s.caches[1].line_bytes, 64u);
+  EXPECT_EQ(s.caches[1].assocs, (std::vector<int>{4}));
+  ASSERT_TRUE(s.parse_axis("algorithm", "dp, greedy").ok());
+  EXPECT_EQ(s.algorithms,
+            (std::vector<Algorithm>{Algorithm::kExactDp,
+                                    Algorithm::kGreedy}));
+  ASSERT_TRUE(s.parse_axis("replay", "off, on").ok());
+  EXPECT_EQ(s.replays, (std::vector<bool>{false, true}));
+}
+
+TEST(SweepSpec, RejectsBadValuesByName) {
+  SweepSpec s;
+  util::Status st = s.parse_axis("capacity", "1024,0");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("'0'"), std::string::npos);
+  st = s.parse_axis("cache", "32");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("'32'"), std::string::npos);
+  st = s.parse_axis("cache", "33x2");  // line not a power of two
+  EXPECT_FALSE(st.ok());
+  st = s.parse_axis("algorithm", "knapsack");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("knapsack"), std::string::npos);
+  st = s.parse_axis("replay", "maybe");
+  EXPECT_FALSE(st.ok());
+  st = s.parse_axis("turbo", "on");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("turbo"), std::string::npos);
+}
+
+TEST(SweepSpec, ParsesSpecFileWithComments) {
+  SweepSpec s;
+  const char* text =
+      "# a sweep spec\n"
+      "capacity = 256, 4096   # two sizes\n"
+      "\n"
+      "energy = default:dram_nj=5.5\n"
+      "replay = off\n";
+  util::Status st = s.parse_file(text);
+  ASSERT_TRUE(st.ok()) << st.message();
+  EXPECT_EQ(s.capacities, (std::vector<uint32_t>{256, 4096}));
+  ASSERT_EQ(s.energy_models.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.energy_models[0].model.dram_nj, 5.5);
+  EXPECT_EQ(s.replays, (std::vector<bool>{false}));
+}
+
+TEST(SweepSpec, SpecFileErrorsCarryLineNumbers) {
+  SweepSpec s;
+  util::Status st = s.parse_file("capacity = 1024\nwarp = on\n");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.first_line(), 2);
+  EXPECT_NE(st.message().find("warp"), std::string::npos);
+  st = s.parse_file("just words\n");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.first_line(), 1);
+}
+
+// -- grid expansion -----------------------------------------------------------
+
+TEST(SweepGrid, ExpandsRowMajorLastAxisFastest) {
+  SweepSpec spec;
+  ASSERT_TRUE(spec.parse_axis("capacity", "1024,4096").ok());
+  ASSERT_TRUE(spec.parse_axis("energy", "default,dram-heavy").ok());
+  ASSERT_TRUE(spec.parse_axis("replay", "off,on").ok());
+  SweepGrid grid = SweepGrid::expand(spec, core::PipelineOptions{});
+  ASSERT_EQ(grid.points_per_job(), 8u);
+  // capacity is the slowest axis, replay the fastest.
+  EXPECT_EQ(grid.points[0].capacity_bytes, 1024u);
+  EXPECT_EQ(grid.points[0].energy_name, "default");
+  EXPECT_FALSE(grid.points[0].replay);
+  EXPECT_TRUE(grid.points[1].replay);
+  EXPECT_EQ(grid.points[2].energy_name, "dram-heavy");
+  EXPECT_EQ(grid.points[4].capacity_bytes, 4096u);
+  // flat_index inverts the expansion order.
+  for (size_t i = 0; i < grid.points.size(); ++i) {
+    EXPECT_EQ(grid.flat_index(grid.points[i].key), i);
+  }
+}
+
+TEST(SweepGrid, EmptyAxesInheritBaseOptions) {
+  core::PipelineOptions base;
+  base.spm.dse.spm_capacity = 2048;
+  base.spm.compare_cache = true;
+  base.with_replay = true;
+  SweepGrid grid = SweepGrid::expand(SweepSpec{}, base);
+  ASSERT_EQ(grid.points_per_job(), 1u);
+  const SweepPoint& p = grid.points[0];
+  EXPECT_EQ(p.capacity_bytes, 2048u);
+  EXPECT_EQ(p.energy_name, "default");
+  EXPECT_TRUE(p.cache.enabled);
+  EXPECT_EQ(p.cache.label, "base");
+  EXPECT_EQ(p.cache.assocs, base.spm.cache_assocs);
+  EXPECT_TRUE(p.replay);
+}
+
+TEST(SweepGrid, FlatIndexIsBoundsChecked) {
+  SweepGrid grid = SweepGrid::expand(SweepSpec{}, core::PipelineOptions{});
+  PointKey bad;
+  bad.energy = 1;
+  EXPECT_THROW(grid.flat_index(bad), util::InternalError);
+}
+
+// -- the driver ---------------------------------------------------------------
+
+TEST(SweepDriver, PointsResolveEveryAxisCombination) {
+  SweepOptions o = sweep_opts(2);
+  ASSERT_TRUE(o.spec.parse_axis("capacity", "256,4096").ok());
+  ASSERT_TRUE(o.spec.parse_axis("energy", "default,dram-heavy").ok());
+  ASSERT_TRUE(o.spec.parse_axis("cache", "off,32x2").ok());
+  auto report = SweepDriver(o).run(good_jobs());
+  ASSERT_EQ(report.items.size(), 2u * 8u);
+  for (const auto& item : report.items) {
+    ASSERT_TRUE(item.status.ok()) << item.status.message();
+    EXPECT_GT(item.model_refs, 0u);
+    // The cache axis controls the per-point comparison.
+    EXPECT_EQ(item.spm.caches.size(),
+              item.point.cache.enabled ? 1u : 0u);
+  }
+  // A dram-heavy point out-saves the default at the same capacity.
+  const SweepItem& def = report.at(PointKey{0, 1, 0, 0, 0, 0});
+  const SweepItem& heavy = report.at(PointKey{0, 1, 1, 0, 0, 0});
+  EXPECT_GT(heavy.selection().saved_nj, def.selection().saved_nj);
+}
+
+TEST(SweepDriver, AtIsBoundsChecked) {
+  SweepOptions o = sweep_opts(1);
+  ASSERT_TRUE(o.spec.parse_axis("capacity", "256,1024").ok());
+  auto report = SweepDriver(o).run(good_jobs());
+  PointKey ok_key{1, 1, 0, 0, 0, 0};
+  EXPECT_EQ(&report.at(ok_key), &report.items[3]);
+  PointKey bad_job{2, 0, 0, 0, 0, 0};
+  EXPECT_THROW(report.at(bad_job), util::InternalError);
+  PointKey bad_cap{0, 2, 0, 0, 0, 0};
+  EXPECT_THROW(report.at(bad_cap), util::InternalError);
+}
+
+TEST(SweepDriver, NdjsonByteIdenticalAcrossThreadCounts) {
+  SweepOptions seq = sweep_opts(1);
+  ASSERT_TRUE(seq.spec.parse_axis("capacity", "256,1024,4096").ok());
+  ASSERT_TRUE(seq.spec.parse_axis("energy", "default,fast-spm").ok());
+  SweepOptions par = seq;
+  par.threads = 4;
+  auto jobs = good_jobs();
+
+  SweepReport r1 = SweepDriver(seq).run(jobs);
+  SweepReport r4 = SweepDriver(par).run(jobs);
+  EXPECT_EQ(r1.ndjson(), r4.ndjson());
+  EXPECT_EQ(r1.table(), r4.table());
+
+  // The streaming writer emits the same bytes as the buffered report,
+  // whatever the thread count.
+  std::ostringstream s1, s4;
+  ASSERT_TRUE(SweepDriver(seq).run_ndjson(jobs, s1).ok());
+  ASSERT_TRUE(SweepDriver(par).run_ndjson(jobs, s4).ok());
+  EXPECT_EQ(s1.str(), r1.ndjson());
+  EXPECT_EQ(s4.str(), r1.ndjson());
+}
+
+TEST(SweepDriver, GreedyAxisPointsReportGreedySelection) {
+  SweepOptions o = sweep_opts(2);
+  ASSERT_TRUE(o.spec.parse_axis("capacity", "1024").ok());
+  ASSERT_TRUE(o.spec.parse_axis("algorithm", "dp,greedy").ok());
+  auto report = SweepDriver(o).run(good_jobs());
+  const SweepItem& dp = report.at(PointKey{0, 0, 0, 0, 0, 0});
+  const SweepItem& greedy = report.at(PointKey{0, 0, 0, 0, 1, 0});
+  EXPECT_EQ(&dp.selection(), &dp.spm.exact);
+  EXPECT_EQ(&greedy.selection(), &greedy.spm.greedy);
+  // The exact DP point's headline energy is spm_phase's evaluation
+  // verbatim; the greedy point's is recomputed for its own selection.
+  EXPECT_DOUBLE_EQ(dp.energy.total_nj, dp.spm.with_spm.total_nj);
+  EXPECT_GE(greedy.energy.total_nj, dp.energy.total_nj);
+  EXPECT_GT(greedy.energy.baseline_nj, 0.0);
+}
+
+TEST(SweepDriver, ReplayAxisValidatesPerPoint) {
+  SweepOptions o = sweep_opts(1);
+  ASSERT_TRUE(o.spec.parse_axis("capacity", "1024").ok());
+  ASSERT_TRUE(o.spec.parse_axis("replay", "off,on").ok());
+  auto report = SweepDriver(o).run({{"alpha", kGood}});
+  const SweepItem& off = report.at(PointKey{0, 0, 0, 0, 0, 0});
+  const SweepItem& on = report.at(PointKey{0, 0, 0, 0, 0, 1});
+  EXPECT_FALSE(off.replay_ran);
+  ASSERT_TRUE(on.replay_ran);
+  EXPECT_TRUE(on.replay.matches());
+}
+
+TEST(SweepDriver, ParetoFrontierIsStrictlyImproving) {
+  SweepOptions o = sweep_opts(2);
+  ASSERT_TRUE(o.spec.parse_axis("capacity", "64,256,1024,4096").ok());
+  ASSERT_TRUE(o.spec.parse_axis("algorithm", "dp,greedy").ok());
+  auto report = SweepDriver(o).run(good_jobs());
+  for (size_t j = 0; j < report.programs.size(); ++j) {
+    auto front = report.pareto(j);
+    ASSERT_FALSE(front.empty());
+    for (size_t i = 1; i < front.size(); ++i) {
+      // Sorted by bytes, strictly better in both coordinates.
+      EXPECT_GT(front[i].bytes_used, front[i - 1].bytes_used);
+      EXPECT_GT(front[i].saved_nj, front[i - 1].saved_nj);
+    }
+    // Frontier points resolve through at() and agree with the item.
+    for (const auto& p : front) {
+      const SweepItem& item = report.at(p.key);
+      EXPECT_EQ(item.selection().bytes_used, p.bytes_used);
+      EXPECT_DOUBLE_EQ(item.selection().saved_nj, p.saved_nj);
+    }
+    // No grid point dominates a frontier point.
+    for (const auto& p : front) {
+      for (size_t i = 0; i < report.grid.points_per_job(); ++i) {
+        const SweepItem& item =
+            report.items[j * report.grid.points_per_job() + i];
+        if (!item.status.ok()) continue;
+        const bool dominates =
+            item.selection().bytes_used <= p.bytes_used &&
+            item.selection().saved_nj > p.saved_nj;
+        EXPECT_FALSE(dominates);
+      }
+    }
+  }
+  auto agg = report.pareto_aggregate();
+  ASSERT_FALSE(agg.empty());
+  for (size_t i = 1; i < agg.size(); ++i) {
+    EXPECT_GT(agg[i].bytes_used, agg[i - 1].bytes_used);
+    EXPECT_GT(agg[i].saved_nj, agg[i - 1].saved_nj);
+  }
+}
+
+TEST(SweepDriver, FailingJobIsIsolatedAndSkippedInAggregate) {
+  SweepOptions o = sweep_opts(3);
+  ASSERT_TRUE(o.spec.parse_axis("capacity", "256,1024").ok());
+  auto report = SweepDriver(o).run(
+      {{"ok", kGood}, {"bad", kParseError}, {"ok2", kGood2}});
+  ASSERT_EQ(report.items.size(), 6u);
+  EXPECT_TRUE(report.at(PointKey{0, 1, 0, 0, 0, 0}).status.ok());
+  EXPECT_FALSE(report.at(PointKey{1, 0, 0, 0, 0, 0}).status.ok());
+  EXPECT_EQ(report.at(PointKey{1, 0, 0, 0, 0, 0}).status.phase(), "parse");
+  EXPECT_TRUE(report.at(PointKey{2, 0, 0, 0, 0, 0}).status.ok());
+  // The failed program still has table rows and an empty frontier; the
+  // aggregate skips points any program failed at — here all of them.
+  EXPECT_NE(report.table().find("FAILED"), std::string::npos);
+  EXPECT_TRUE(report.pareto(1).empty());
+  EXPECT_TRUE(report.pareto_aggregate().empty());
+  EXPECT_FALSE(report.pareto(0).empty());
+  // The streaming writer surfaces the first failure but writes the
+  // whole grid.
+  std::ostringstream os;
+  util::Status st = SweepDriver(o).run_ndjson(
+      {{"ok", kGood}, {"bad", kParseError}, {"ok2", kGood2}}, os);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(os.str(), report.ndjson());
+}
+
+TEST(SweepDriver, NdjsonEscapesHostileProgramNames) {
+  SweepOptions o = sweep_opts(1);
+  ASSERT_TRUE(o.spec.parse_axis("capacity", "1024").ok());
+  auto report = SweepDriver(o).run({{"we\"ird\\name\n", kGood}});
+  const std::string nd = report.ndjson();
+  EXPECT_NE(nd.find("we\\\"ird\\\\name\\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace foray::driver

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
+#include <string>
 
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/strings.h"
@@ -104,6 +107,48 @@ TEST(Strings, TablePrinterLaysOutColumns) {
   EXPECT_NE(s.find("| name  | value |"), std::string::npos);
   EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
   EXPECT_NE(s.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(Json, WriterBuildsObjectsAndArrays) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").value(int64_t{1});
+  w.key("b").begin_array().value(true).value(2.5).end_array();
+  w.end_object();
+  EXPECT_EQ(w.take(), "{\"a\":1,\"b\":[true,2.5]}");
+}
+
+TEST(Json, EscapesQuotesAndBackslashes) {
+  // Program names flow into sweep NDJSON verbatim, so hostile names
+  // (quotes, backslashes, Windows paths) must stay valid JSON.
+  JsonWriter w;
+  w.begin_object();
+  w.key("na\"me").value("c:\\tmp\\\"quoted\".mc");
+  w.end_object();
+  EXPECT_EQ(w.take(),
+            "{\"na\\\"me\":\"c:\\\\tmp\\\\\\\"quoted\\\".mc\"}");
+}
+
+TEST(Json, EscapesControlCharacters) {
+  JsonWriter w;
+  const std::string ctl{"\n\r\t\x01\x1f"};
+  w.begin_object();
+  w.key("ctl").value(ctl);
+  w.end_object();
+  // Named escapes for the common three, \u00xx for the rest — and
+  // never a raw newline, which would tear an NDJSON line in half.
+  const std::string out = w.take();
+  EXPECT_EQ(out, "{\"ctl\":\"\\n\\r\\t\\u0001\\u001f\"}");
+  EXPECT_EQ(out.find('\n'), std::string::npos);
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(w.take(), "[null,null]");
 }
 
 TEST(Rng, DeterministicForSeed) {

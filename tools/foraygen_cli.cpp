@@ -3,6 +3,7 @@
 // Usage:
 //   foraygen <command> <program.mc> [options]
 //   foraygen batch [options]
+//   foraygen sweep [program.mc] [options]
 //
 // Commands:
 //   model      extract and print the FORAY model (paper display form)
@@ -15,6 +16,11 @@
 //   profile    profile + extract only; prints trace/extraction statistics
 //   spm        Phase II: reuse analysis + DSE + energy (SpmPhase report)
 //   batch      run the whole benchsuite through the pipeline in parallel
+//              (capacity axis only; compatibility shim over `sweep`)
+//   sweep      multi-axis DSE grid (capacity × energy model × cache
+//              geometry × algorithm × replay) over the benchsuite, or
+//              over one program when a path is given; emits Pareto
+//              frontiers and optionally streaming NDJSON
 //
 // Options:
 //   --nexec N   Step 4 filter: minimum executions   (default 20)
@@ -28,23 +34,39 @@
 //               (bit-identical to sequential; implies materializing)
 //   --capacity N         spm: SPM size in bytes     (default 4096)
 //   --compare-cache      spm: also replay through LRU caches
-//   --replay             spm/batch: execute the transformed program and
-//                        check its simulated SPM/main/transfer traffic
+//   --replay             spm/batch/sweep: execute the transformed
+//                        program and check its simulated traffic
 //                        against the analytic counters; `spm --replay`
 //                        exits nonzero on any counter mismatch
-//   --threads N          batch: worker threads      (default 1)
-//   --capacity-sweep a,b,c  batch: SPM sizes to sweep (default 4096)
+//   --threads N          batch/sweep: worker threads (default 1)
+//   --capacity-sweep a,b,c  batch/sweep: SPM capacity axis
 //   --json PATH          batch: also write the report as JSON
+//   --energy-sweep a,b   sweep: energy-model axis — preset names with
+//                        optional :field=value overrides, e.g.
+//                        default,dram-heavy,default:dram_nj=5.2
+//   --cache-sweep a,b    sweep: cache-comparison axis — off and/or
+//                        LINExASSOC geometries, e.g. off,32x2,64x4
+//   --algo-sweep a,b     sweep: selection-algorithm axis (dp, greedy)
+//   --replay-sweep a,b   sweep: replay-validation axis (off, on)
+//   --spec FILE          sweep: read axes from a key=value spec file
+//                        (axis names: capacity energy cache algorithm
+//                        replay; '#' comments); later axis flags
+//                        override the file
+//   --ndjson PATH        sweep: stream the grid as NDJSON to PATH
+//                        ('-' for stdout) instead of printing tables;
+//                        byte-identical whatever --threads is
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "driver/batch.h"
 #include "driver/session.h"
+#include "driver/sweep.h"
 #include "foray/inline_advisor.h"
 #include "foray/model_diff.h"
 #include "foray/pipeline.h"
@@ -70,8 +92,56 @@ int usage() {
       "[--compare-cache] [--replay]\n"
       "       foraygen batch [--threads N] [--capacity-sweep a,b,c] "
       "[--engine ast|bytecode] [--nexec N] [--nloc N] [--seed S] "
-      "[--shards N] [--replay] [--json PATH]\n");
+      "[--shards N] [--replay] [--json PATH]\n"
+      "       foraygen sweep [program.mc] [--threads N] "
+      "[--capacity-sweep a,b,c] [--energy-sweep a,b] [--cache-sweep "
+      "off,32x2,...] [--algo-sweep dp,greedy] [--replay-sweep off,on] "
+      "[--spec FILE] [--ndjson PATH|-] [--engine ast|bytecode] "
+      "[--nexec N] [--nloc N] [--seed S] [--shards N] [--replay]\n");
   return 2;
+}
+
+/// Named option error: satisfies the CLI contract that a bad or
+/// misplaced flag is reported by name with a nonzero exit, never
+/// swallowed or bounced to the generic usage text.
+int option_error(const std::string& message) {
+  std::fprintf(stderr, "foraygen: %s\n", message.c_str());
+  return 2;
+}
+
+/// Flags that only make sense for specific commands; everything not
+/// listed here (--nexec, --seed, --engine, ...) configures the shared
+/// pipeline and is accepted by every command.
+bool flag_applies(const std::string& command, const std::string& flag) {
+  struct Scoped {
+    const char* flag;
+    std::vector<const char*> commands;
+  };
+  static const std::vector<Scoped> kScoped = {
+      {"--capacity", {"spm"}},
+      // batch/sweep inherit the base compare-cache settings into every
+      // grid point whose cache axis is undeclared.
+      {"--compare-cache", {"spm", "batch", "sweep"}},
+      {"--replay", {"spm", "batch", "sweep"}},
+      {"--threads", {"batch", "sweep"}},
+      {"--capacity-sweep", {"batch", "sweep"}},
+      {"--json", {"batch"}},
+      {"--energy-sweep", {"sweep"}},
+      {"--cache-sweep", {"sweep"}},
+      {"--algo-sweep", {"sweep"}},
+      {"--replay-sweep", {"sweep"}},
+      {"--spec", {"sweep"}},
+      {"--ndjson", {"sweep"}},
+  };
+  for (const auto& s : kScoped) {
+    if (flag == s.flag) {
+      for (const char* c : s.commands) {
+        if (command == c) return true;
+      }
+      return false;
+    }
+  }
+  return true;
 }
 
 bool read_file(const std::string& path, std::string* out) {
@@ -166,72 +236,236 @@ int cmd_stats(const core::PipelineResult& res,
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  const bool takes_path = command != "batch";
-  if (takes_path && argc < 3) return usage();
+  const bool known_command =
+      command == "model" || command == "emit" || command == "annotate" ||
+      command == "trace" || command == "stats" || command == "hints" ||
+      command == "run" || command == "profile" || command == "spm" ||
+      command == "batch" || command == "sweep";
+  if (!known_command) {
+    usage();
+    return option_error("unknown command '" + command + "'");
+  }
+  // batch has no program argument; sweep's is optional (default: the
+  // whole benchsuite).
+  const bool takes_path =
+      command != "batch" &&
+      !(command == "sweep" &&
+        (argc < 3 || util::starts_with(argv[2], "--")));
+  if (takes_path && command != "sweep" && argc < 3) return usage();
   const std::string path = takes_path ? argv[2] : "";
 
   core::PipelineOptions opts;
   int threads = 1;
-  std::vector<uint32_t> capacities;
+  driver::SweepSpec spec;
   std::string json_path;
+  std::string ndjson_path;
   for (int i = takes_path ? 3 : 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto next_u64 = [&](uint64_t* out) {
+    if (!util::starts_with(arg, "--")) {
+      return option_error(
+          "unexpected argument '" + arg +
+          (takes_path ? "' after the program path"
+                      : "' (command '" + command +
+                            "' takes no program argument)"));
+    }
+    if (!flag_applies(command, arg)) {
+      return option_error("option '" + arg +
+                          "' does not apply to command '" + command + "'");
+    }
+    auto next_value = [&](const char** out) {
       if (i + 1 >= argc) return false;
-      *out = std::strtoull(argv[++i], nullptr, 10);
+      *out = argv[++i];
       return true;
+    };
+    auto next_u64 = [&](uint64_t* out) {
+      const char* s = nullptr;
+      if (!next_value(&s)) return false;
+      char* end = nullptr;
+      *out = std::strtoull(s, &end, 10);
+      return end != s && *end == '\0';
+    };
+    auto parse_axis = [&](const char* axis) -> int {
+      const char* s = nullptr;
+      if (!next_value(&s)) {
+        return option_error("option '" + arg + "' requires a value");
+      }
+      util::Status st = spec.parse_axis(axis, s);
+      if (!st.ok()) {
+        return option_error(arg + (": " + st.message()));
+      }
+      return 0;
     };
     uint64_t v = 0;
     if (arg == "--nexec") {
-      if (!next_u64(&opts.filter.min_exec)) return usage();
+      if (!next_u64(&opts.filter.min_exec)) {
+        return option_error("option '--nexec' requires a number");
+      }
     } else if (arg == "--nloc") {
-      if (!next_u64(&opts.filter.min_locations)) return usage();
+      if (!next_u64(&opts.filter.min_locations)) {
+        return option_error("option '--nloc' requires a number");
+      }
     } else if (arg == "--seed") {
-      if (!next_u64(&opts.run.rng_seed)) return usage();
+      if (!next_u64(&opts.run.rng_seed)) {
+        return option_error("option '--seed' requires a number");
+      }
     } else if (arg == "--engine") {
-      if (i + 1 >= argc) return usage();
-      const std::string engine = argv[++i];
-      if (engine == "ast") {
+      const char* engine = nullptr;
+      if (!next_value(&engine)) {
+        return option_error("option '--engine' requires a value");
+      }
+      if (!std::strcmp(engine, "ast")) {
         opts.run.engine = sim::Engine::Ast;
-      } else if (engine == "bytecode") {
+      } else if (!std::strcmp(engine, "bytecode")) {
         opts.run.engine = sim::Engine::Bytecode;
       } else {
-        return usage();
+        return option_error(std::string("unknown engine '") + engine +
+                            "' (want ast or bytecode)");
       }
     } else if (arg == "--offline") {
       opts.offline = true;
     } else if (arg == "--shards") {
-      if (!next_u64(&v) || v == 0) return usage();
+      if (!next_u64(&v) || v == 0) {
+        return option_error("option '--shards' requires a positive number");
+      }
       opts.profile_shards = static_cast<int>(v);
     } else if (arg == "--compare-cache") {
       opts.spm.compare_cache = true;
     } else if (arg == "--replay") {
       opts.with_replay = true;
     } else if (arg == "--json") {
-      if (i + 1 >= argc) return usage();
-      json_path = argv[++i];
+      const char* s = nullptr;
+      if (!next_value(&s)) {
+        return option_error("option '--json' requires a path");
+      }
+      json_path = s;
+    } else if (arg == "--ndjson") {
+      const char* s = nullptr;
+      if (!next_value(&s)) {
+        return option_error("option '--ndjson' requires a path (or -)");
+      }
+      ndjson_path = s;
+    } else if (arg == "--spec") {
+      const char* s = nullptr;
+      if (!next_value(&s)) {
+        return option_error("option '--spec' requires a path");
+      }
+      std::string text;
+      if (!read_file(s, &text)) {
+        return option_error(std::string("cannot read spec file ") + s);
+      }
+      util::Status st = spec.parse_file(text);
+      if (!st.ok()) {
+        return option_error(std::string(s) + ": " + st.message());
+      }
     } else if (arg == "--capacity") {
-      if (!next_u64(&v)) return usage();
+      // 0 is allowed: the degenerate no-SPM report is a supported probe.
+      if (!next_u64(&v)) {
+        return option_error("option '--capacity' requires a byte count");
+      }
       opts.spm.dse.spm_capacity = static_cast<uint32_t>(v);
     } else if (arg == "--threads") {
-      if (!next_u64(&v)) return usage();
+      if (!next_u64(&v)) {
+        return option_error("option '--threads' requires a number");
+      }
       threads = static_cast<int>(v);
     } else if (arg == "--capacity-sweep") {
-      if (i + 1 >= argc) return usage();
-      for (auto tok : util::split(argv[++i], ',')) {
-        uint64_t cap = std::strtoull(std::string(tok).c_str(), nullptr, 10);
-        if (cap == 0) return usage();
-        capacities.push_back(static_cast<uint32_t>(cap));
-      }
+      if (int rc = parse_axis("capacity")) return rc;
+    } else if (arg == "--energy-sweep") {
+      if (int rc = parse_axis("energy")) return rc;
+    } else if (arg == "--cache-sweep") {
+      if (int rc = parse_axis("cache")) return rc;
+    } else if (arg == "--algo-sweep") {
+      if (int rc = parse_axis("algorithm")) return rc;
+    } else if (arg == "--replay-sweep") {
+      if (int rc = parse_axis("replay")) return rc;
     } else {
-      return usage();
+      return option_error("unknown option '" + arg + "'");
     }
+  }
+
+  if (command == "sweep") {
+    driver::SweepOptions sopts;
+    sopts.threads = threads;
+    sopts.pipeline = opts;
+    sopts.spec = spec;
+    driver::SweepDriver sweep(sopts);
+    std::vector<driver::SweepJob> jobs;
+    if (!path.empty()) {
+      std::string source;
+      if (!read_file(path, &source)) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        return 1;
+      }
+      jobs.push_back(driver::SweepJob{path, source});
+    } else {
+      jobs = driver::SweepDriver::benchsuite_jobs();
+    }
+
+    if (!ndjson_path.empty()) {
+      // Streaming mode: the grid is written point by point in
+      // deterministic order while it runs; nothing is retained.
+      std::ofstream file;
+      std::ostream* out = &std::cout;
+      if (ndjson_path != "-") {
+        file.open(ndjson_path, std::ios::binary);
+        if (!file) {
+          std::fprintf(stderr, "cannot write %s\n", ndjson_path.c_str());
+          return 1;
+        }
+        out = &file;
+      }
+      util::Status st = sweep.run_ndjson(jobs, *out);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.message().c_str());
+        return 1;
+      }
+      return 0;
+    }
+
+    auto report = sweep.run(jobs);
+    std::fputs(report.table().c_str(), stdout);
+    std::printf("\n-- Pareto frontier (SPM bytes used -> nJ saved) --\n");
+    auto print_frontier = [&](const std::string& label,
+                              const std::vector<driver::ParetoPoint>& pts) {
+      std::printf("%s:", label.c_str());
+      for (const auto& p : pts) {
+        std::printf(" %lluB=%.1fnJ",
+                    static_cast<unsigned long long>(p.bytes_used),
+                    p.saved_nj);
+      }
+      std::printf("\n");
+    };
+    for (size_t j = 0; j < report.programs.size(); ++j) {
+      print_frontier(report.programs[j], report.pareto(j));
+    }
+    if (report.programs.size() > 1) {
+      print_frontier("(aggregate)", report.pareto_aggregate());
+    }
+    int rc = 0;
+    // A Phase I failure is copied into every grid point of its program;
+    // report each distinct (program, message) once, not once per point.
+    std::string last_error;
+    for (const auto& item : report.items) {
+      if (!item.status.ok()) {
+        rc = 1;
+        std::string error = item.program + ": " + item.status.message();
+        if (error != last_error) {
+          std::fprintf(stderr, "%s\n", error.c_str());
+          last_error = std::move(error);
+        }
+      } else if (item.replay_ran && !item.replay.matches()) {
+        std::fprintf(stderr, "%s @%uB: transform-replay mismatch\n",
+                     item.program.c_str(), item.point.capacity_bytes);
+        rc = 1;
+      }
+    }
+    return rc;
   }
 
   if (command == "batch") {
     driver::BatchOptions bopts;
     bopts.threads = threads;
-    if (!capacities.empty()) bopts.capacities = capacities;
+    if (!spec.capacities.empty()) bopts.capacities = spec.capacities;
     bopts.pipeline = opts;
     driver::BatchDriver batch(bopts);
     auto report = batch.run(driver::BatchDriver::benchsuite_jobs());
