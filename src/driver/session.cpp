@@ -37,7 +37,17 @@ const core::SpmReport& Session::resolve(const core::SpmPhaseOptions& opts,
   // that does not replay.
   result_.replay_ran = false;
   result_.replay = spm::ReplayReport();
-  core::spm_phase(opts, &result_);
+  // The candidate list is a function of (model, reuse filter) only; a
+  // capacity/energy/cache re-solve reuses the memoized one.
+  if (!candidates_valid_ ||
+      candidates_reuse_.max_buffer_bytes != opts.reuse.max_buffer_bytes ||
+      candidates_reuse_.min_reuse != opts.reuse.min_reuse) {
+    candidates_ = spm::enumerate_candidates(result_.model, opts.reuse);
+    candidates_reuse_ = opts.reuse;
+    candidates_valid_ = true;
+  }
+  result_.spm = core::solve_spm(result_.model, opts, &candidates_);
+  result_.spm_ran = true;
   // The replay check is per-selection, so every re-solve re-runs it.
   if (with_replay) {
     core::PipelineOptions popts = opts_.pipeline;

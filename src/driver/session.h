@@ -4,7 +4,7 @@
 // for a single MiniC program, so the CLI, the bench binaries and the
 // batch driver all share one code path instead of each hand-rolling
 // run_pipeline + spm calls. Sessions are single-threaded objects; the
-// batch driver gives each worker its own.
+// sweep driver gives each worker its own.
 #pragma once
 
 #include <string>
@@ -17,8 +17,8 @@ namespace foray::driver {
 struct SessionOptions {
   /// Full phase configuration, including pipeline.profile_shards: set it
   /// above 1 to shard this session's extraction across a thread pool
-  /// (bit-identical output; see foray/shard.h). Batch users note the
-  /// two levels compose — BatchDriver threads run whole sessions,
+  /// (bit-identical output; see foray/shard.h). Sweep users note the
+  /// two levels compose — SweepDriver threads run whole sessions,
   /// profile_shards parallelizes inside one.
   core::PipelineOptions pipeline;
 };
@@ -49,8 +49,11 @@ class Session {
   /// Re-solves only the SpmPhase under arbitrary Phase II options —
   /// capacity, energy model, cache comparison, all of SpmPhaseOptions —
   /// reusing the Phase I artifacts (model extraction dominates the cost;
-  /// the DSE is cheap). This is the sweep API's per-point workhorse: one
-  /// run() then one resolve() per grid point. Requires a run() that
+  /// the DSE is cheap). This is the per-point workhorse for capacity
+  /// sweeps: one run() then one resolve() per configuration. The buffer
+  /// candidates are memoized across resolves — they depend only on the
+  /// model and opts.reuse, so back-to-back re-solves that vary capacity,
+  /// energy or cache skip re-enumeration entirely. Requires a run() that
   /// built the model; a previous resolve's failure is cleared first, so
   /// status() afterwards reflects this point alone. Returns the
   /// refreshed report, which also replaces result().spm.
@@ -62,9 +65,8 @@ class Session {
   const core::SpmReport& resolve(const core::SpmPhaseOptions& opts,
                                  bool with_replay);
 
-  /// Compatibility shim for the capacity-only sweep (pre-sweep-API
-  /// callers): resolve() with only dse.spm_capacity changed. Will be
-  /// retired one release after the sweep API lands.
+  /// Capacity-only convenience: resolve() with only dse.spm_capacity
+  /// changed.
   const core::SpmReport& rerun_spm(uint32_t capacity_bytes);
 
   /// Deterministic text report of the current SpmReport (empty when the
@@ -77,6 +79,12 @@ class Session {
   SessionOptions opts_;
   core::PipelineResult result_;
   bool ran_ = false;
+  /// Buffer candidates memoized across resolve() calls, with the reuse
+  /// filter they were enumerated under (the only Phase II options they
+  /// depend on besides the — immutable — model).
+  std::vector<spm::BufferCandidate> candidates_;
+  spm::ReuseOptions candidates_reuse_;
+  bool candidates_valid_ = false;
 };
 
 }  // namespace foray::driver

@@ -1,15 +1,19 @@
 #include "driver/sweep.h"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <sstream>
 #include <utility>
 
 #include "benchsuite/suite.h"
+#include "spm/replay.h"
+#include "spm/reuse.h"
 #include "spm/spm_sim.h"
 #include "util/json.h"
 #include "util/strings.h"
@@ -281,112 +285,260 @@ size_t SweepGrid::flat_index(const PointKey& key) const {
 
 namespace {
 
-/// Runs one job across the grid, handing each finished SweepItem to
-/// `on_item(item, flat_index)` in grid order as soon as its point is
-/// resolved — the buffered report moves items into their slots, the
-/// streaming writer renders and drops them so it never accumulates a
-/// job's SpmReports. `retain_full` gates what only the buffered report
-/// reads (the describe_spm_report text for the batch adapter/tables,
-/// and the SpmReport's candidates vector); the streaming path skips
-/// both. Returns the finished session.
-///
-/// Points that differ only along the algorithm axis (or repeat the
-/// replay flag) relabel the same Phase II solve; since grid expansion
-/// puts those axes innermost, such points are adjacent and reuse the
-/// session's current solve instead of re-running the DSE.
-template <typename OnItem>
-std::unique_ptr<Session> run_one_job(const SweepJob& job, size_t job_index,
-                                     const SweepOptions& opts,
-                                     const SweepGrid& grid,
-                                     bool retain_full, OnItem&& on_item) {
+/// One Phase II solve's worth of output, produced by a pure point solve
+/// (core::solve_spm + optional replay) with no shared mutable state —
+/// what lets grid points of one job run on different workers.
+struct PointSolve {
+  util::Status status;  ///< ok unless the solve threw or replay errored
+  core::SpmReport spm;
+  bool replay_ran = false;
+  spm::ReplayReport replay;
+};
+
+PointSolve solve_point(const core::ForayModel& model,
+                       const core::PipelineOptions& base,
+                       const SweepPoint& point,
+                       const std::vector<spm::BufferCandidate>& candidates) {
+  PointSolve out;
+  // Keep the failure-isolation promise even for internal errors during a
+  // point solve: mark this solve's items, keep the sweep.
+  try {
+    const core::SpmPhaseOptions popts = point.spm_options(base.spm);
+    out.spm = core::solve_spm(model, popts, &candidates);
+    if (point.replay) {
+      // The replay check is per-selection (see spm_replay_phase); a
+      // failure to *execute* the transformed program fails the point,
+      // counter mismatches land in out.replay.mismatches.
+      spm::ReplayOptions ropts;
+      ropts.run = base.run;
+      ropts.dse = popts.dse;
+      out.replay = spm::replay_selection(model, out.spm.exact, ropts);
+      out.replay_ran = true;
+      if (!out.replay.status.ok()) out.status = out.replay.status;
+    }
+  } catch (const std::exception& e) {
+    out.status = util::Status::failure("internal", 0, e.what());
+  }
+  return out;
+}
+
+/// One contiguous run of grid points sharing a Phase II solve: identical
+/// (capacity, energy, cache) coordinates and replay flag — the algorithm
+/// axis only relabels which selection is the headline. Grid expansion
+/// puts those axes innermost, so these runs are exactly the re-solves
+/// the sequential driver used to skip; here each group is one pool task.
+struct SolveGroup {
+  size_t begin = 0;
+  size_t end = 0;  ///< one past the last point of the group
+};
+
+std::vector<SolveGroup> solve_groups(const SweepGrid& grid) {
+  std::vector<SolveGroup> groups;
+  for (size_t i = 0; i < grid.points.size(); ++i) {
+    const SweepPoint& p = grid.points[i];
+    if (!groups.empty()) {
+      const SweepPoint& head = grid.points[groups.back().begin];
+      if (head.key.capacity == p.key.capacity &&
+          head.key.energy == p.key.energy &&
+          head.key.cache == p.key.cache && head.replay == p.replay) {
+        groups.back().end = i + 1;
+        continue;
+      }
+    }
+    groups.push_back(SolveGroup{i, i + 1});
+  }
+  return groups;
+}
+
+/// Phase I state of one job, shared read-only by its solve groups.
+struct JobState {
+  std::unique_ptr<Session> session;
+  bool phase1_ok = false;
+  /// Buffer candidates, enumerated ONCE per job: they depend only on the
+  /// model and the reuse filter, never on the swept axes, so every grid
+  /// point reuses this list instead of re-enumerating per solve.
+  std::vector<spm::BufferCandidate> candidates;
+  /// Solve groups still outstanding; the worker that finishes the last
+  /// one finalizes the job.
+  std::atomic<size_t> remaining{0};
+};
+
+void run_phase1(const SweepJob& job, const SweepOptions& opts,
+                const SweepGrid& grid, JobState* js) {
   SessionOptions sopts;
   sopts.pipeline = opts.pipeline;
   sopts.pipeline.with_spm = true;
   const SweepPoint& first = grid.points.front();
   sopts.pipeline.spm = first.spm_options(opts.pipeline.spm);
   sopts.pipeline.with_replay = first.replay;
-  auto session =
-      std::make_unique<Session>(job.name, job.source, sopts);
-  session->run();
+  js->session = std::make_unique<Session>(job.name, job.source, sopts);
+  js->session->run();
   // Phase I failures doom every grid cell; Phase II failures (including
   // replay execution errors) are per-point, so later cells still get
   // their own attempt.
-  const bool phase1_ok = session->result().model_built;
-
-  // The session's current solve, by grid coordinates (+ replay flag).
-  // session->run() above already solved point 0's configuration.
-  bool have_solve = phase1_ok;
-  size_t solved_capacity = first.key.capacity;
-  size_t solved_energy = first.key.energy;
-  size_t solved_cache = first.key.cache;
-  bool solved_replay = first.replay;
-
-  for (size_t i = 0; i < grid.points.size(); ++i) {
-    const SweepPoint& point = grid.points[i];
-    SweepItem item;
-    item.program = job.name;
-    item.key = point.key;
-    item.key.job = job_index;
-    item.point = point;
-    item.status = session->status();
-    if (phase1_ok) {
-      const core::SpmPhaseOptions popts =
-          point.spm_options(opts.pipeline.spm);
-      const bool same_solve = have_solve &&
-                              solved_capacity == point.key.capacity &&
-                              solved_energy == point.key.energy &&
-                              solved_cache == point.key.cache &&
-                              solved_replay == point.replay;
-      bool resolved = true;
-      if (!same_solve) {
-        // Keep the failure-isolation promise even for internal errors
-        // during a point re-solve: mark this item, keep the sweep.
-        try {
-          session->resolve(popts, point.replay);
-        } catch (const std::exception& e) {
-          item.status = util::Status::failure("internal", 0, e.what());
-          resolved = false;
-          have_solve = false;
-        }
-        if (resolved) {
-          item.status = session->status();
-          have_solve = true;
-          solved_capacity = point.key.capacity;
-          solved_energy = point.key.energy;
-          solved_cache = point.key.cache;
-          solved_replay = point.replay;
-        }
-      }
-      if (resolved && item.status.ok()) {
-        const core::PipelineResult& res = session->result();
-        item.model_refs = res.model.refs.size();
-        item.candidate_count = res.spm.candidates.size();
-        if (retain_full) {
-          item.spm = res.spm;
-        } else {
-          // Streaming: the candidates vector is the bulk of an
-          // SpmReport and the NDJSON renderer never reads it.
-          item.spm.capacity = res.spm.capacity;
-          item.spm.exact = res.spm.exact;
-          item.spm.greedy = res.spm.greedy;
-          item.spm.baseline = res.spm.baseline;
-          item.spm.with_spm = res.spm.with_spm;
-          item.spm.caches = res.spm.caches;
-        }
-        item.energy =
-            point.algorithm == Algorithm::kGreedy
-                ? spm::evaluate_selection(res.model, res.spm.greedy,
-                                          popts.dse)
-                : res.spm.with_spm;
-        item.replay_ran = res.replay_ran;
-        if (item.replay_ran) item.replay = res.replay;
-        if (retain_full) item.report = session->spm_report_text();
-      }
+  js->phase1_ok = js->session->result().model_built;
+  if (!js->phase1_ok) return;
+  const core::PipelineResult& res = js->session->result();
+  try {
+    if (res.spm_ran) {
+      // run() above already enumerated for point 0 under the same reuse
+      // filter (spm_options never touches it); steal the list.
+      js->candidates = res.spm.candidates;
+    } else {
+      js->candidates =
+          spm::enumerate_candidates(res.model, opts.pipeline.spm.reuse);
     }
-    on_item(std::move(item), i);
+  } catch (const std::exception&) {
+    // Only reachable when run() already failed between Extract and
+    // SpmPhase; the session status carries that failure to every item.
+    js->phase1_ok = false;
   }
-  return session;
 }
+
+/// Builds the SweepItem for grid point `i` from its group's solve.
+/// `solve == nullptr` means Phase I failed and the session status is the
+/// item's outcome. `retain_full` gates what only the buffered report
+/// reads (the describe_spm_report text and the SpmReport's candidates
+/// vector); the streaming path skips both.
+SweepItem build_item(const SweepJob& job, size_t job_index,
+                     const SweepGrid& grid, size_t i, const JobState& js,
+                     const PointSolve* solve,
+                     const core::SpmPhaseOptions& base_spm,
+                     bool retain_full) {
+  const SweepPoint& point = grid.points[i];
+  SweepItem item;
+  item.program = job.name;
+  item.key = point.key;
+  item.key.job = job_index;
+  item.point = point;
+  item.status = js.session->status();
+  if (solve == nullptr) return item;
+  item.status = solve->status;
+  if (!item.status.ok()) return item;
+  const core::ForayModel& model = js.session->result().model;
+  item.model_refs = model.refs.size();
+  item.candidate_count = solve->spm.candidates.size();
+  if (retain_full) {
+    item.spm = solve->spm;
+  } else {
+    // Streaming: the candidates vector is the bulk of an SpmReport and
+    // the NDJSON renderer never reads it.
+    item.spm.capacity = solve->spm.capacity;
+    item.spm.exact = solve->spm.exact;
+    item.spm.greedy = solve->spm.greedy;
+    item.spm.baseline = solve->spm.baseline;
+    item.spm.with_spm = solve->spm.with_spm;
+    item.spm.caches = solve->spm.caches;
+  }
+  item.energy = point.algorithm == Algorithm::kGreedy
+                    ? spm::evaluate_selection(
+                          model, solve->spm.greedy,
+                          point.spm_options(base_spm).dse)
+                    : solve->spm.with_spm;
+  item.replay_ran = solve->replay_ran;
+  if (item.replay_ran) item.replay = solve->replay;
+  if (retain_full) {
+    item.report = core::describe_spm_report(solve->spm, model);
+    if (solve->replay_ran) {
+      item.report += spm::describe_replay_report(solve->replay, model);
+    }
+  }
+  return item;
+}
+
+/// The shared execution core: Phase I per job, then the job's solve
+/// groups fanned across the same pool — a single-program sweep saturates
+/// every worker with grid points instead of serializing on one. Workers
+/// submit their groups as they finish Phase I, so jobs and points
+/// interleave freely; ThreadPool::wait_idle accounts for worker-submitted
+/// tasks, making wait() a complete barrier.
+///
+/// `on_item(job, item, flat_index)` must be safe for concurrent calls on
+/// distinct (job, point) slots; `on_job_done(job, session)` runs exactly
+/// once per job, on whichever worker finishes the job's last group, after
+/// all of the job's items have been delivered.
+template <typename OnItem, typename OnJobDone>
+class SweepExec {
+ public:
+  SweepExec(const std::vector<SweepJob>& jobs, const SweepOptions& opts,
+            const SweepGrid& grid, bool retain_full, OnItem on_item,
+            OnJobDone on_job_done)
+      : jobs_(jobs),
+        opts_(opts),
+        grid_(grid),
+        retain_full_(retain_full),
+        on_item_(std::move(on_item)),
+        on_job_done_(std::move(on_job_done)),
+        groups_(solve_groups(grid)),
+        pool_(static_cast<size_t>(opts.threads)) {
+    states_.reserve(jobs_.size());
+    for (size_t j = 0; j < jobs_.size(); ++j) {
+      states_.push_back(std::make_unique<JobState>());
+    }
+    for (size_t j = 0; j < jobs_.size(); ++j) {
+      pool_.submit([this, j] { job_task(j); });
+    }
+  }
+
+  /// Blocks until every job and solve group has run.
+  void wait() { pool_.wait_idle(); }
+
+ private:
+  void job_task(size_t j) {
+    JobState& js = *states_[j];
+    run_phase1(jobs_[j], opts_, grid_, &js);
+    if (!js.phase1_ok) {
+      for (size_t i = 0; i < grid_.points.size(); ++i) {
+        on_item_(j,
+                 build_item(jobs_[j], j, grid_, i, js, nullptr,
+                            opts_.pipeline.spm, retain_full_),
+                 i);
+      }
+      on_job_done_(j, std::move(js.session));
+      return;
+    }
+    js.remaining.store(groups_.size(), std::memory_order_relaxed);
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      pool_.submit([this, j, g] { group_task(j, groups_[g]); });
+    }
+  }
+
+  void group_task(size_t j, const SolveGroup& g) {
+    JobState& js = *states_[j];
+    const core::PipelineResult& res = js.session->result();
+    PointSolve solve;
+    if (g.begin == 0 && res.spm_ran) {
+      // run_phase1's session->run() already solved point 0's
+      // configuration; reuse it instead of re-running the DSE.
+      solve.status = js.session->status();
+      solve.spm = res.spm;
+      solve.replay_ran = res.replay_ran;
+      if (solve.replay_ran) solve.replay = res.replay;
+    } else {
+      solve = solve_point(res.model, opts_.pipeline, grid_.points[g.begin],
+                          js.candidates);
+    }
+    for (size_t i = g.begin; i < g.end; ++i) {
+      on_item_(j,
+               build_item(jobs_[j], j, grid_, i, js, &solve,
+                          opts_.pipeline.spm, retain_full_),
+               i);
+    }
+    if (js.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      on_job_done_(j, std::move(js.session));
+    }
+  }
+
+  const std::vector<SweepJob>& jobs_;
+  const SweepOptions& opts_;
+  const SweepGrid& grid_;
+  const bool retain_full_;
+  OnItem on_item_;
+  OnJobDone on_job_done_;
+  std::vector<std::unique_ptr<JobState>> states_;
+  const std::vector<SolveGroup> groups_;
+  util::ThreadPool pool_;  ///< last member: joined before state dies
+};
 
 // -- NDJSON rendering ---------------------------------------------------------
 // One helper per line kind; both the buffered report and the streaming
@@ -673,6 +825,84 @@ std::string SweepReport::table() const {
   return tp.str();
 }
 
+std::string SweepReport::to_json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("items").begin_array();
+  for (const auto& item : items) {
+    w.begin_object();
+    w.key("program").value(item.program);
+    w.key("capacity_bytes").value(item.point.capacity_bytes);
+    w.key("ok").value(item.status.ok());
+    if (!item.status.ok()) {
+      w.key("error").value(item.status.message());
+      w.end_object();
+      continue;
+    }
+    w.key("model_refs").value(static_cast<uint64_t>(item.model_refs));
+    w.key("candidates").value(static_cast<uint64_t>(item.candidate_count));
+    w.key("buffers_chosen")
+        .value(static_cast<uint64_t>(item.spm.exact.chosen.size()));
+    w.key("bytes_used").value(item.spm.exact.bytes_used);
+    w.key("saved_nj").value(item.spm.exact.saved_nj);
+    w.key("greedy_saved_nj").value(item.spm.greedy.saved_nj);
+    w.key("baseline_nj").value(item.spm.baseline.baseline_nj);
+    w.key("with_spm_nj").value(item.spm.with_spm.total_nj);
+    if (item.replay_ran) {
+      const auto& r = item.replay;
+      w.key("replay").begin_object();
+      w.key("ok").value(r.matches());
+      w.key("rectangular").value(r.rectangular);
+      w.key("sim_spm_accesses").value(r.sim_spm_accesses);
+      w.key("sim_main_accesses").value(r.sim_main_accesses);
+      w.key("sim_transfer_words").value(r.sim_transfer_words);
+      w.key("analytic_spm_accesses").value(r.ana_spm_accesses);
+      w.key("analytic_main_accesses").value(r.ana_main_accesses);
+      w.key("analytic_transfer_words").value(r.ana_transfer_words);
+      if (!r.mismatches.empty()) {
+        w.key("mismatches").begin_array();
+        for (const auto& m : r.mismatches) w.value(m);
+        w.end_array();
+      }
+      w.end_object();
+    }
+    if (!item.spm.caches.empty()) {
+      w.key("caches").begin_array();
+      for (const auto& c : item.spm.caches) {
+        w.begin_object();
+        w.key("assoc").value(c.assoc);
+        w.key("hits").value(c.hits);
+        w.key("misses").value(c.misses);
+        w.key("energy_nj").value(c.energy_nj);
+        w.end_object();
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("sessions").begin_array();
+  for (const auto& session : sessions) {
+    if (session == nullptr) continue;
+    w.begin_object();
+    w.key("program").value(session->name());
+    w.key("ok").value(session->status().ok());
+    if (session->status().ok()) {
+      const auto& res = session->result();
+      w.key("steps").value(res.run.steps);
+      w.key("accesses").value(res.run.accesses);
+      w.key("trace_records").value(res.trace_records);
+      w.key("analyzer_state_bytes")
+          .value(static_cast<uint64_t>(
+              res.extractor != nullptr ? res.extractor->state_bytes() : 0));
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
 void SweepReport::write_ndjson(std::ostream& out) const {
   out << header_line(grid, programs) << '\n';
   const size_t per_job = grid.points_per_job();
@@ -711,17 +941,17 @@ SweepReport SweepDriver::run(const std::vector<SweepJob>& jobs) const {
   report.items.resize(jobs.size() * per_job);
   report.sessions.resize(jobs.size());
 
-  util::ThreadPool pool(static_cast<size_t>(opts_.threads));
-  for (size_t j = 0; j < jobs.size(); ++j) {
-    pool.submit([this, j, per_job, &jobs, &report] {
-      report.sessions[j] = run_one_job(
-          jobs[j], j, opts_, grid_, /*retain_full=*/true,
-          [&report, j, per_job](SweepItem&& item, size_t i) {
-            report.items[j * per_job + i] = std::move(item);
-          });
-    });
-  }
-  pool.wait_idle();
+  // Every (job, point) slot is preallocated, so concurrent on_item calls
+  // write disjoint memory and need no lock.
+  SweepExec exec(
+      jobs, opts_, grid_, /*retain_full=*/true,
+      [&report, per_job](size_t j, SweepItem&& item, size_t i) {
+        report.items[j * per_job + i] = std::move(item);
+      },
+      [&report](size_t j, std::unique_ptr<Session> session) {
+        report.sessions[j] = std::move(session);
+      });
+  exec.wait();
   return report;
 }
 
@@ -732,70 +962,90 @@ util::Status SweepDriver::run_ndjson(const std::vector<SweepJob>& jobs,
   for (const auto& job : jobs) names.push_back(job.name);
   out << header_line(grid_, names) << '\n';
 
-  // One rendered block of text per job, published out of order by the
-  // workers and drained in job order by this thread: the only state kept
-  // per finished job is its NDJSON text and the per-point aggregate
-  // sums, never the SpmReports.
+  // Each item is rendered and reduced (NDJSON line, aggregate scalars,
+  // failure status) the moment its point resolves, then dropped — a slot
+  // never holds an SpmReport, only the finished text and a few numbers.
+  // Slots are per (job, point), written concurrently without a lock; the
+  // job-finalizing worker assembles them into one Block in point order,
+  // published out of order and drained in job order by this thread.
+  struct NdPoint {
+    std::string line;
+    bool ok = false;
+    uint64_t bytes = 0;
+    double saved = 0.0;
+    util::Status failure;
+  };
   struct Block {
     bool ready = false;
     std::string text;
     std::vector<AggCell> agg;
     util::Status first_failure;
   };
+  std::vector<std::vector<NdPoint>> slots(jobs.size());
+  for (auto& s : slots) s.resize(per_job);
   std::vector<Block> blocks(jobs.size());
   std::mutex mu;
   std::condition_variable cv;
 
-  util::ThreadPool pool(static_cast<size_t>(opts_.threads));
-  for (size_t j = 0; j < jobs.size(); ++j) {
-    pool.submit([this, j, per_job, &jobs, &blocks, &mu, &cv] {
-      // Each item is rendered and reduced (aggregate sums, Pareto
-      // objective, failure status) the moment its point resolves, then
-      // dropped — the job never holds more than one SpmReport.
-      Block block;
-      block.agg.resize(per_job);
-      std::vector<Objective> objs;
-      run_one_job(
-          jobs[j], j, opts_, grid_, /*retain_full=*/false,
-          [&block, &objs](SweepItem&& item, size_t i) {
-            block.text += point_line(item);
-            block.text += '\n';
-            AggCell& cell = block.agg[i];
-            ++cell.jobs_seen;
-            if (!item.status.ok()) {
-              cell.all_ok = false;
-              if (block.first_failure.ok()) {
-                block.first_failure = item.status;
-              }
-              return;
-            }
-            const spm::Selection& sel = item.selection();
-            cell.bytes += sel.bytes_used;
-            cell.saved += sel.saved_nj;
-            objs.push_back(Objective{i, sel.bytes_used, sel.saved_nj});
-            // A replay counter mismatch is a validation failure even
-            // though the point itself solved; surface it like the
-            // non-streaming CLI paths do.
-            if (item.replay_ran && !item.replay.matches() &&
-                block.first_failure.ok()) {
-              block.first_failure = util::Status::failure(
-                  "replay", 0,
-                  item.program + " @" +
-                      std::to_string(item.point.capacity_bytes) +
-                      "B: transform-replay mismatch");
-            }
-          });
-      block.text += pareto_line("program", jobs[j].name,
-                                to_pareto_points(grid_, j, std::move(objs)));
-      block.text += '\n';
-      {
-        std::lock_guard<std::mutex> lock(mu);
-        block.ready = true;
-        blocks[j] = std::move(block);
-      }
-      cv.notify_all();
-    });
-  }
+  SweepExec exec(
+      jobs, opts_, grid_, /*retain_full=*/false,
+      [&slots](size_t j, SweepItem&& item, size_t i) {
+        NdPoint& p = slots[j][i];
+        p.line = point_line(item);
+        if (!item.status.ok()) {
+          p.failure = item.status;
+          return;
+        }
+        p.ok = true;
+        const spm::Selection& sel = item.selection();
+        p.bytes = sel.bytes_used;
+        p.saved = sel.saved_nj;
+        // A replay counter mismatch is a validation failure even though
+        // the point itself solved; surface it like the non-streaming CLI
+        // paths do.
+        if (item.replay_ran && !item.replay.matches()) {
+          p.failure = util::Status::failure(
+              "replay", 0,
+              item.program + " @" +
+                  std::to_string(item.point.capacity_bytes) +
+                  "B: transform-replay mismatch");
+        }
+      },
+      [this, per_job, &jobs, &slots, &blocks, &mu, &cv](
+          size_t j, std::unique_ptr<Session>) {
+        Block block;
+        block.agg.resize(per_job);
+        std::vector<Objective> objs;
+        for (size_t i = 0; i < per_job; ++i) {
+          NdPoint& p = slots[j][i];
+          block.text += p.line;
+          block.text += '\n';
+          p.line.clear();
+          p.line.shrink_to_fit();
+          AggCell& cell = block.agg[i];
+          ++cell.jobs_seen;
+          if (p.ok) {
+            cell.bytes += p.bytes;
+            cell.saved += p.saved;
+            objs.push_back(Objective{i, p.bytes, p.saved});
+          } else {
+            cell.all_ok = false;
+          }
+          if (block.first_failure.ok() && !p.failure.ok()) {
+            block.first_failure = p.failure;
+          }
+        }
+        block.text += pareto_line(
+            "program", jobs[j].name,
+            to_pareto_points(grid_, j, std::move(objs)));
+        block.text += '\n';
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          block.ready = true;
+          blocks[j] = std::move(block);
+        }
+        cv.notify_all();
+      });
 
   std::vector<AggCell> agg(per_job);
   util::Status first_failure;
@@ -815,7 +1065,7 @@ util::Status SweepDriver::run_ndjson(const std::vector<SweepJob>& jobs,
     }
     if (first_failure.ok()) first_failure = block.first_failure;
   }
-  pool.wait_idle();
+  exec.wait();
   out << pareto_line("aggregate", "", aggregate_pareto(grid_, agg)) << '\n';
   return first_failure;
 }

@@ -1,9 +1,9 @@
 // The design-space sweep driver: N programs × a multi-axis DSE grid.
 //
 // The paper's Phase II is a design-space exploration, but "sweep" used to
-// mean exactly one axis (a list of SPM capacities baked into
-// BatchOptions). This module makes the sweep a first-class, composable
-// object: a SweepSpec declares values along five axes —
+// mean exactly one axis (a list of SPM capacities baked into the old
+// batch driver's options). This module makes the sweep a first-class,
+// composable object: a SweepSpec declares values along five axes —
 //
 //   capacity    SPM bytes the group-knapsack is solved for
 //   energy      named EnergyModel presets with field overrides
@@ -16,23 +16,28 @@
 //               selection on or off
 //
 // — and expands them into a deterministic row-major grid of SweepPoints.
-// Per program the driver runs Phase I once and resolves Phase II per
-// point (Session::resolve), so a P-program × K-point grid costs P
-// pipeline runs plus P·K cheap DSE solves. Results land in pre-allocated
-// slots indexed by PointKey, so every report is byte-for-byte identical
-// whatever the thread count — the same determinism contract the batch
-// driver had, extended to the full grid and locked by driver_test /
-// sweep_test.
+// Per program the driver runs Phase I once, enumerates the buffer
+// candidates once (they depend only on the model and the reuse filter,
+// which no axis varies), and solves Phase II per *solve group* — a
+// maximal run of consecutive points sharing (capacity, energy, cache,
+// replay); the algorithm axis only relabels the headline selection. A
+// P-program × K-point grid costs P pipeline runs, P candidate
+// enumerations and at most P·K cheap DSE solves.
+//
+// Both jobs AND the solve groups within one job are fanned across the
+// thread pool (core::solve_spm is pure over the immutable model), so a
+// single-program sweep saturates every worker instead of serializing on
+// one. Results land in pre-allocated slots indexed by PointKey, so every
+// report is byte-for-byte identical whatever the thread count — the
+// determinism contract locked by driver_test / sweep_test.
 //
 // Reporting: SweepReport extracts Pareto frontiers (energy saved vs SPM
 // bytes used; per program and aggregated across programs) and renders
 // the grid as NDJSON — one self-contained JSON object per line, so a
 // million-point grid can stream to disk. SweepDriver::run_ndjson writes
 // those lines *while the grid runs*, job by job in deterministic order,
-// retaining only out-of-order text blocks instead of the whole report.
-//
-// BatchDriver (driver/batch.h) is now a thin adapter over this module,
-// kept as a compatibility shim for one release.
+// retaining only rendered lines and reduction scalars instead of the
+// whole report.
 #pragma once
 
 #include <cstdint>
@@ -48,8 +53,7 @@
 
 namespace foray::driver {
 
-/// One program to sweep (same shape as BatchJob, which batch.h keeps as
-/// a distinct struct for source compatibility; the adapter converts).
+/// One program to sweep.
 struct SweepJob {
   std::string name;
   std::string source;
@@ -100,8 +104,8 @@ struct SweepSpec {
 };
 
 /// Coordinates of one grid cell: an index per axis plus the job index.
-/// This replaces BatchReport::item(job, cap_idx, n_caps)'s caller-supplied
-/// stride arithmetic with structured, bounds-checked lookup.
+/// This replaces the old batch report's caller-supplied stride
+/// arithmetic with structured, bounds-checked lookup.
 struct PointKey {
   size_t job = 0;
   size_t capacity = 0;
@@ -212,6 +216,11 @@ struct SweepReport {
 
   /// Summary table, one row per item.
   std::string table() const;
+
+  /// Single-document JSON: an "items" array (per-point DSE results,
+  /// replay ledger, cache comparison) and a "sessions" array of per-run
+  /// simulator counters — the CLI `batch --json` format.
+  std::string to_json() const;
 
   /// The full report as NDJSON: a `sweep` header line (axes, programs),
   /// one `point` line per item, a `pareto` line per program, and one

@@ -108,6 +108,13 @@ void Extractor::on_access(const Record& r) {
   ref->last_epoch = epoch_;
   ref->access_size = r.size();
   ref->kind = r.kind();
+  if (hook_ != nullptr) [[unlikely]] {
+    // Time-shard slices: the hook performs the footprint note and the
+    // Algorithm 3 observation itself, logging around them.
+    if (!iters_valid_) rebuild_iters();
+    hook_->nondup_observe(ref, iter_buf_, ind, r.addr(), epoch_);
+    return;
+  }
   ref->note_address(r.addr());
 
   if (!iters_valid_) rebuild_iters();
@@ -121,6 +128,31 @@ void Extractor::absorb(Extractor&& shard) {
   checkpoints_ += shard.checkpoints_;
   // The shard's node pointers died with its tree.
   cur_ = tree_.root();
+  iters_valid_ = false;
+}
+
+void Extractor::absorb_composed(Extractor&& slice,
+                                const RefMergeFn& on_collision) {
+  tree_.merge(std::move(slice.tree_), &on_collision);
+  records_ += slice.records_;
+  accesses_ += slice.accesses_;
+  checkpoints_ += slice.checkpoints_;
+  cur_ = tree_.root();
+  iters_valid_ = false;
+}
+
+void Extractor::seed_context(std::span<const SeedFrame> frames,
+                             uint64_t epoch, uint64_t stream_pos) {
+  set_stream_pos(stream_pos);
+  epoch_ = epoch;
+  cur_ = tree_.root();
+  for (const SeedFrame& f : frames) {
+    // Rebuild the path without bumping `entries` — the slice that saw
+    // the LoopEnter records counts them. Stamp with the slice-start
+    // position: the true creator's earlier stamp wins at merge time.
+    cur_ = cur_->get_or_create_child(f.loop_id, stream_pos + 1);
+    cur_->cur_iter = f.cur_iter;
+  }
   iters_valid_ = false;
 }
 

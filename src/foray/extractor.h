@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "foray/looptree.h"
@@ -32,6 +33,26 @@ struct ExtractorOptions {
   /// Per-reference distinct-address cap; beyond it the footprint count is
   /// reported as saturated (lower bound).
   size_t footprint_cap = LoopNode::kDefaultFootprintCap;
+};
+
+/// One frame of a loop-context stack used to start an extractor
+/// mid-stream (time-partition sharding): the loop site and the iteration
+/// the slice boundary fell into.
+struct SeedFrame {
+  int loop_id = -1;
+  int64_t cur_iter = -1;
+};
+
+/// Observer of the extractor's non-duplicate access path. When attached
+/// (time-shard slices only), it runs *instead of* the footprint note +
+/// Algorithm 3 observation and must perform both itself — that is what
+/// lets it log footprint insertions and pre/post affine state without a
+/// second pass. The hot sequential path pays one predictable branch.
+class AccessHook {
+ public:
+  virtual ~AccessHook() = default;
+  virtual void nondup_observe(RefNode* ref, std::span<const int64_t> iters,
+                              int64_t ind, uint32_t addr, uint64_t epoch) = 0;
 };
 
 class Extractor final : public trace::Sink {
@@ -64,6 +85,27 @@ class Extractor final : public trace::Sink {
   /// first-seen order, stream statistics accumulate. The shard must have
   /// processed a disjoint part of the same trace (see foray/shard.h).
   void absorb(Extractor&& shard);
+
+  // -- time-partition sharding support (foray/timeshard.h) --------------
+
+  /// absorb() for a *time slice* of the same trace: references observed
+  /// on both sides are reconciled through `on_collision` instead of
+  /// being a sharder bug.
+  void absorb_composed(Extractor&& slice, const RefMergeFn& on_collision);
+
+  /// Starts this extractor mid-stream: rebuilds the loop-context stack
+  /// (root -> innermost, without counting loop entries), and seeds the
+  /// global checkpoint count and stream position, so iterator values,
+  /// duplicate-detection epochs and creation stamps all read as they
+  /// would in a sequential run arriving at `stream_pos`.
+  void seed_context(std::span<const SeedFrame> frames, uint64_t epoch,
+                    uint64_t stream_pos);
+
+  /// Attaches (or detaches, nullptr) the non-duplicate access observer.
+  void set_access_hook(AccessHook* hook) { hook_ = hook; }
+
+  /// Global checkpoint count — the duplicate-detection epoch.
+  uint64_t epoch() const { return epoch_; }
 
   // -- stream statistics ------------------------------------------------
 
@@ -127,6 +169,7 @@ class Extractor final : public trace::Sink {
     RefNode* ref = nullptr;
   };
   std::vector<RefCacheEntry> ref_cache_;
+  AccessHook* hook_ = nullptr;
   uint64_t records_ = 0;
   uint64_t accesses_ = 0;
   uint64_t checkpoints_ = 0;

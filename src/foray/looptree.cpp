@@ -50,12 +50,13 @@ void LoopNode::adopt_child(std::unique_ptr<LoopNode> child) {
 
 void LoopNode::adopt_ref(std::unique_ptr<RefNode> ref) {
   ref->owner = this;
+  ref->side_slot = RefNode::kNoSideSlot;  // slice-local scratch dies here
   RefNode* raw = ref.get();
   refs_.push_back(std::move(ref));
   if (hash_index_) ref_index_.insert(raw->instr, raw);
 }
 
-void LoopNode::merge_from(LoopNode&& other) {
+void LoopNode::merge_from(LoopNode&& other, const RefMergeFn* on_collision) {
   FORAY_CHECK(loop_id_ == other.loop_id_,
               "LoopNode::merge_from: different loop sites");
   // A node was "touched" by the shard whose partition comes later in the
@@ -70,12 +71,17 @@ void LoopNode::merge_from(LoopNode&& other) {
   for (auto& oref : other.refs_) {
     // Algorithm 3 state is a strictly sequential fold over the
     // reference's observations — it cannot be combined from two partial
-    // runs. The sharder routes every observation of a reference to one
-    // shard (a context lives whole in one shard, root refs in shard 0),
-    // so the same reference appearing on both sides is a sharder bug,
-    // not a mergeable situation.
-    FORAY_CHECK(find_ref(oref->instr) == nullptr,
-                "LoopTree::merge: reference observed by two shards");
+    // runs. The context sharder routes every observation of a reference
+    // to one shard (a context lives whole in one shard, root refs in
+    // shard 0), so a reference appearing on both sides is a sharder bug
+    // — except under time-partition sharding, whose merge supplies the
+    // collision handler that reconciles the two partial folds.
+    if (RefNode* mine = find_ref(oref->instr)) {
+      FORAY_CHECK(on_collision != nullptr,
+                  "LoopTree::merge: reference observed by two shards");
+      (*on_collision)(mine, oref.get());
+      continue;
+    }
     adopt_ref(std::move(oref));
   }
 
@@ -84,7 +90,7 @@ void LoopNode::merge_from(LoopNode&& other) {
     if (mine == nullptr) {
       adopt_child(std::move(ochild));
     } else {
-      mine->merge_from(std::move(*ochild));
+      mine->merge_from(std::move(*ochild), on_collision);
     }
   }
 

@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -31,6 +32,14 @@
 namespace foray::core {
 
 struct RefNode;
+
+/// Collision handler for merges of trees that may both carry Algorithm 3
+/// state for one reference (time-partition sharding, foray/timeshard.h).
+/// Called with the surviving node and the one about to be dropped; the
+/// handler folds `from`'s state into `into` (or marks `into` for a
+/// rescan). Context sharding never collides, so its merges pass none and
+/// keep the collision FORAY_CHECK.
+using RefMergeFn = std::function<void(RefNode* into, RefNode* from)>;
 
 class LoopNode {
  public:
@@ -103,8 +112,10 @@ class LoopNode {
   /// Folds `other` (a node for the same loop site, built by a shard of
   /// the same trace) into this node: counters are combined, children and
   /// references are adopted or recursively merged, and both orders are
-  /// restored to sequential first-seen order via the stamps.
-  void merge_from(LoopNode&& other);
+  /// restored to sequential first-seen order via the stamps. Colliding
+  /// references go through `on_collision` when given, else they are a
+  /// sharder bug (FORAY_CHECK).
+  void merge_from(LoopNode&& other, const RefMergeFn* on_collision = nullptr);
 
   /// Approximate heap bytes held by this node (excluding children),
   /// used by the constant-space ablation (E7/E9).
@@ -166,6 +177,29 @@ struct RefNode {
       saturated_ = true;
     }
   }
+  /// note_address() that also reports whether `addr` entered the
+  /// footprint — the signal time-shard slices log so the merge can
+  /// replay their insertions in sequential order.
+  bool note_address_logged(uint32_t addr) {
+    if (addr == last_addr_) return false;
+    last_addr_ = addr;
+    if (footprint_.size() < footprint_cap_) return footprint_.insert(addr);
+    if (!footprint_.contains(addr)) saturated_ = true;
+    return false;
+  }
+  /// Replays a slice's footprint insertions (in slice insertion order)
+  /// with note_address()'s cap/saturation semantics. Addresses already
+  /// present are no-ops, so page insertion order stays sequential.
+  void replay_footprint_inserts(const std::vector<uint32_t>& addrs) {
+    for (uint32_t addr : addrs) {
+      last_addr_ = addr;
+      if (footprint_.size() < footprint_cap_) {
+        footprint_.insert(addr);
+      } else if (!footprint_.contains(addr)) {
+        saturated_ = true;
+      }
+    }
+  }
   uint64_t footprint_size() const { return footprint_.size(); }
   bool footprint_saturated() const { return saturated_; }
   const util::PagedAddrSet& footprint() const { return footprint_; }
@@ -173,6 +207,11 @@ struct RefNode {
   LoopNode* owner;
   /// Creation stamp, see LoopNode::first_seen.
   uint64_t first_seen = 0;
+  static constexpr uint32_t kNoSideSlot = 0xffffffffu;
+  /// Scratch for time-partition sharding (foray/timeshard.cpp): on a
+  /// slice's refs, the index of its side log; on the merged tree, a
+  /// rescan mark. Reset on adoption; unused everywhere else.
+  uint32_t side_slot = kNoSideSlot;
 
  private:
   friend class LoopNode;
@@ -203,8 +242,11 @@ class LoopTree {
   /// the shards of a partitioned trace (in any order) reproduces the
   /// tree a single sequential extraction would have built. Colliding
   /// references must carry Algorithm 3 state on at most one side — the
-  /// sharder guarantees that by keeping each loop context whole.
-  void merge(LoopTree&& other) { root_->merge_from(std::move(*other.root_)); }
+  /// sharder guarantees that by keeping each loop context whole — unless
+  /// the caller supplies `on_collision` (time-partition sharding).
+  void merge(LoopTree&& other, const RefMergeFn* on_collision = nullptr) {
+    root_->merge_from(std::move(*other.root_), on_collision);
+  }
 
   /// Total heap footprint of all nodes — the analyzer's working-set size
   /// (constant in trace length, linear in distinct loop contexts).

@@ -2,7 +2,9 @@
 
 #include <cstdio>
 
+#include "foray/online_pipeline.h"
 #include "foray/shard.h"
+#include "foray/timeshard.h"
 #include "minic/parser.h"
 #include "sim/interp_impl.h"
 #include "spm/address_stream.h"
@@ -10,6 +12,24 @@
 #include "trace/sink.h"
 
 namespace foray::core {
+namespace {
+
+/// The three profiling strategies are decided from options alone so that
+/// profile_phase and extract_phase agree without extra state:
+/// pipelined (overlapped, nothing materialized) beats materialized
+/// (offline replay / context shards / time shards) beats fused online.
+bool pipelined_profile(const PipelineOptions& opts) {
+  return opts.profile_pipeline && !opts.offline &&
+         opts.profile_timeshards <= 1;
+}
+
+bool materialized_profile(const PipelineOptions& opts) {
+  return !pipelined_profile(opts) &&
+         (opts.offline || opts.profile_shards > 1 ||
+          opts.profile_timeshards > 1);
+}
+
+}  // namespace
 
 util::Status frontend_phase(std::string_view source, PipelineResult* result) {
   util::DiagList diags;
@@ -38,7 +58,15 @@ util::Status profile_phase(const PipelineOptions& opts,
   FORAY_CHECK(result->program != nullptr,
               "profile_phase requires instrument_phase");
   result->extractor = std::make_unique<Extractor>(opts.extractor);
-  if (opts.offline || opts.profile_shards > 1) {
+  if (pipelined_profile(opts)) {
+    // Overlapped online mode: the simulator produces chunks into rings,
+    // consumer threads extract them while the next chunk simulates.
+    result->run = run_profile_pipelined(
+        *result->program, opts.run, opts.extractor,
+        std::max(opts.profile_shards, 1), result->extractor.get(),
+        &result->shard_report);
+    result->trace_records = result->extractor->records_processed();
+  } else if (materialized_profile(opts)) {
     // Materialize the trace; Extract replays it (sharded when asked).
     trace::VectorSink trace_sink(opts.run.trace_reserve_hint);
     result->run =
@@ -61,8 +89,13 @@ util::Status extract_phase(const PipelineOptions& opts,
                            PipelineResult* result) {
   FORAY_CHECK(result->extractor != nullptr,
               "extract_phase requires profile_phase");
-  if (opts.offline || opts.profile_shards > 1) {
-    if (opts.profile_shards > 1) {
+  if (materialized_profile(opts)) {
+    if (opts.profile_timeshards > 1) {
+      *result->extractor = extract_time_sharded(
+          std::span<const trace::Record>(result->offline_trace),
+          opts.extractor, opts.profile_timeshards,
+          &result->timeshard_report);
+    } else if (opts.profile_shards > 1) {
       *result->extractor = extract_sharded(
           std::span<const trace::Record>(result->offline_trace),
           opts.extractor, opts.profile_shards, &result->shard_report);
@@ -80,28 +113,34 @@ util::Status extract_phase(const PipelineOptions& opts,
   return result->status;
 }
 
-util::Status spm_phase(const SpmPhaseOptions& opts, PipelineResult* result) {
-  FORAY_CHECK(result->model_built, "spm_phase requires extract_phase");
+SpmReport solve_spm(const ForayModel& model, const SpmPhaseOptions& opts,
+                    const std::vector<spm::BufferCandidate>* candidates) {
   SpmReport report;
   report.capacity = opts.dse.spm_capacity;
-  report.candidates = spm::enumerate_candidates(result->model, opts.reuse);
+  report.candidates = candidates != nullptr
+                          ? *candidates
+                          : spm::enumerate_candidates(model, opts.reuse);
   report.exact = spm::select_buffers(report.candidates, opts.dse);
   report.greedy = spm::select_buffers_greedy(report.candidates, opts.dse);
-  report.baseline = spm::evaluate_baseline(result->model, opts.dse.energy);
-  report.with_spm = spm::evaluate_selection(result->model, report.exact,
-                                            opts.dse);
+  report.baseline = spm::evaluate_baseline(model, opts.dse.energy);
+  report.with_spm = spm::evaluate_selection(model, report.exact, opts.dse);
   if (opts.compare_cache) {
     for (int assoc : opts.cache_assocs) {
       spm::CacheSim cache(spm::CacheConfig{opts.dse.spm_capacity,
                                            opts.cache_line_bytes, assoc});
-      spm::for_each_address(result->model,
+      spm::for_each_address(model,
                             [&](uint32_t addr) { cache.access(addr); });
       report.caches.push_back(SpmReport::CacheComparison{
           assoc, cache.hits(), cache.misses(),
           cache.energy_nj(opts.dse.energy)});
     }
   }
-  result->spm = std::move(report);
+  return report;
+}
+
+util::Status spm_phase(const SpmPhaseOptions& opts, PipelineResult* result) {
+  FORAY_CHECK(result->model_built, "spm_phase requires extract_phase");
+  result->spm = solve_spm(result->model, opts);
   result->spm_ran = true;
   return result->status;
 }

@@ -32,6 +32,7 @@
 #include "foray/model.h"
 #include "foray/shard.h"
 #include "foray/stats.h"
+#include "foray/timeshard.h"
 #include "instrument/annotator.h"
 #include "minic/ast.h"
 #include "minic/sema.h"
@@ -74,6 +75,20 @@ struct PipelineOptions {
   /// (as in offline mode), trading the constant-space property for
   /// parallelism on giant inputs. 1 = sequential.
   int profile_shards = 1;
+  /// Overlap profiling and extraction: run the simulator as a producer
+  /// thread streaming record chunks through lock-light rings to
+  /// consumer extractor thread(s) (foray/online_pipeline.h). Keeps the
+  /// online constant-space property — no trace is materialized — and
+  /// produces a bit-identical model. Composes with profile_shards: the
+  /// producer routes top-level contexts, one consumer per shard.
+  /// Ignored in offline mode and under profile_timeshards.
+  bool profile_pipeline = false;
+  /// Cut the (materialized) trace into this many *time* slices,
+  /// extract them concurrently and reconcile exactly
+  /// (foray/timeshard.h) — parallelism even when one context dominates.
+  /// Values > 1 imply materializing the trace and take precedence over
+  /// profile_shards/profile_pipeline. 1 = sequential.
+  int profile_timeshards = 1;
   /// Run the SpmPhase after Extract (Phase II of the design flow).
   bool with_spm = false;
   SpmPhaseOptions spm;
@@ -124,8 +139,11 @@ struct PipelineResult {
   std::vector<trace::Record> offline_trace;
   /// Trace volume seen by the analyzer (records).
   uint64_t trace_records = 0;
-  /// Filled when profile_shards > 1: how the trace was spread.
+  /// Filled when profile_shards > 1 or profile_pipeline: how the trace
+  /// was spread across extractors.
   ShardReport shard_report;
+  /// Filled when profile_timeshards > 1: how the time slices reconciled.
+  TimeShardReport timeshard_report;
   // Extract.
   bool model_built = false;  ///< extract_phase completed
   ForayModel model;
@@ -166,6 +184,17 @@ util::Status extract_phase(const PipelineOptions& opts,
 /// re-run with different options (e.g. a capacity sweep); each run
 /// replaces result->spm wholesale.
 util::Status spm_phase(const SpmPhaseOptions& opts, PipelineResult* result);
+
+/// The pure form of the SpmPhase: solves one Phase II configuration over
+/// an immutable model and returns the report, touching no shared state —
+/// safe to call concurrently on the same model (the sweep driver fans
+/// grid points across a pool this way). `candidates` optionally supplies
+/// a pre-enumerated candidate list (they depend only on the model and
+/// opts.reuse, never on capacity/energy/cache, so sweep callers enumerate
+/// once and reuse); nullptr enumerates from scratch.
+SpmReport solve_spm(const ForayModel& model, const SpmPhaseOptions& opts,
+                    const std::vector<spm::BufferCandidate>* candidates =
+                        nullptr);
 
 /// Phase II exit check: emit the transformed program for the SpmPhase's
 /// exact selection, execute it on the simulator (same engine as the

@@ -1,0 +1,531 @@
+#include "foray/timeshard.h"
+
+#include <algorithm>
+#include <exception>
+#include <vector>
+
+#include "foray/affine.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace foray::core {
+namespace {
+
+using trace::CheckpointType;
+using trace::Record;
+using trace::RecordType;
+
+/// side_slot value marking a running-tree reference for the fix-up skim.
+/// Distinct from kNoSideSlot and unreachable as a log index.
+constexpr uint32_t kRescanMark = 0xfffffffeu;
+
+// ---------------------------------------------------------------------------
+// Boundary pre-pass
+// ---------------------------------------------------------------------------
+
+/// Loop-context stack + duplicate-detection epoch at one cut position.
+struct Boundary {
+  uint64_t pos = 0;
+  uint64_t epoch = 0;
+  std::vector<SeedFrame> stack;  ///< outermost first
+};
+
+/// Sequential checkpoint-only walk recording the extractor state at every
+/// cut. Mirrors Extractor::on_checkpoint's tolerant pop-to-loop handling
+/// exactly, so the seeded slices navigate the same contexts a sequential
+/// run would be in. O(records) with no Algorithm 3 work — this is the
+/// sequential fraction of the time-shard scheme.
+std::vector<Boundary> scan_boundaries(std::span<const Record> trace,
+                                      std::span<const uint64_t> cuts) {
+  std::vector<Boundary> out;
+  out.reserve(cuts.size());
+  std::vector<SeedFrame> stack;
+  uint64_t epoch = 0;
+  size_t ci = 0;
+  for (uint64_t i = 0; i < trace.size() && ci < cuts.size(); ++i) {
+    if (cuts[ci] == i) {
+      out.push_back({i, epoch, stack});
+      ++ci;
+      if (ci == cuts.size()) break;
+    }
+    const Record& r = trace[i];
+    if (r.type() != RecordType::Checkpoint) continue;
+    ++epoch;
+    switch (r.cp()) {
+      case CheckpointType::LoopEnter:
+        stack.push_back({r.loop_id(), -1});
+        break;
+      case CheckpointType::BodyBegin: {
+        while (!stack.empty() && stack.back().loop_id != r.loop_id()) {
+          stack.pop_back();
+        }
+        FORAY_CHECK(!stack.empty(),
+                    "body_begin checkpoint for a loop that never entered");
+        ++stack.back().cur_iter;
+        break;
+      }
+      case CheckpointType::BodyEnd:
+        break;
+      case CheckpointType::LoopExit: {
+        while (!stack.empty() && stack.back().loop_id != r.loop_id()) {
+          stack.pop_back();
+        }
+        FORAY_CHECK(!stack.empty(),
+                    "loop_exit checkpoint without matching loop_enter");
+        stack.pop_back();
+        break;
+      }
+    }
+  }
+  FORAY_CHECK(out.size() == cuts.size(),
+              "timeshard: cut position beyond end of trace");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Slice-side logging
+// ---------------------------------------------------------------------------
+
+/// Per-reference side log a slice keeps so the merge can decide whether
+/// the slice was *event-free* from the running state's point of view —
+/// without re-reading the slice.
+struct RefLog {
+  /// Events are rare (first sight, coefficient solves, mispredictions,
+  /// Step 4 exclusions); a reference accumulating more than this many is
+  /// not going to compose anyway, so stop logging and let it rescan.
+  static constexpr size_t kMaxEvents = 24;
+
+  struct Event {
+    int64_t addr = 0;    ///< observed address IND
+    uint64_t epoch = 0;  ///< extractor epoch at the observation
+    /// Iterator values at the observation (innermost first, [0, n)).
+    int64_t iters[AffineState::kInlineNest] = {0, 0, 0, 0};
+    /// Post-observation slice state, for the interval-constancy check.
+    int64_t post_const = 0;
+    int64_t post_itp[AffineState::kInlineNest] = {0, 0, 0, 0};
+    uint8_t unknown_mask = 0;  ///< bit i: slice coef i UNKNOWN post-event
+    uint8_t size = 0;
+    trace::AccessKind kind = trace::AccessKind::Data;
+    uint32_t nondup_index = 0;  ///< 0-based non-duplicate ordinal
+  };
+
+  std::vector<Event> events;
+  std::vector<uint32_t> fp_inserts;  ///< footprint insertions, in order
+  uint32_t nondup_count = 0;         ///< non-duplicate observations seen
+  bool fallback = false;             ///< log unusable; force a rescan
+};
+
+/// AccessHook that performs the footprint note + Algorithm 3 observation
+/// for a slice while logging (a) footprint insertions and (b) every
+/// observation that was an *event* — one whose effect on the slice state
+/// went beyond the solved fast path's obs/ITP/INDP bookkeeping.
+class SliceLogger final : public AccessHook {
+ public:
+  std::vector<RefLog> logs;
+
+  RefLog* log_for(const RefNode* ref) {
+    return ref->side_slot == RefNode::kNoSideSlot ? nullptr
+                                                  : &logs[ref->side_slot];
+  }
+
+  void nondup_observe(RefNode* ref, std::span<const int64_t> iters,
+                      int64_t ind, uint32_t addr, uint64_t epoch) override {
+    if (ref->side_slot == RefNode::kNoSideSlot) {
+      ref->side_slot = static_cast<uint32_t>(logs.size());
+      logs.emplace_back();
+    }
+    // NOTE: logs may reallocate above; re-take the reference afterwards.
+    RefLog& lg = logs[ref->side_slot];
+    if (ref->note_address_logged(addr)) lg.fp_inserts.push_back(addr);
+
+    AffineState& st = ref->affine;
+    // Pre-observation event triggers: first sight, or an unknown-
+    // coefficient iterator changed (Step 3 solve or Step 4 exclusion
+    // will fire inside observe_access).
+    bool event = !st.initialized;
+    if (!event && st.analyzable && static_cast<int>(iters.size()) == st.n) {
+      const int64_t* c = st.coef();
+      const int64_t* itp = st.itp();
+      for (int i = 0; i < st.n; ++i) {
+        if (c[i] == AffineState::kUnknown && iters[i] != itp[i]) {
+          event = true;
+          break;
+        }
+      }
+    }
+    const uint64_t pre_mis = st.mispredictions;
+    const bool pre_analyzable = st.analyzable;
+    observe_access(st, iters, ind);
+    event = event || st.mispredictions != pre_mis ||
+            st.analyzable != pre_analyzable;
+
+    const uint32_t idx = lg.nondup_count++;
+    if (lg.fallback) return;
+    if (st.n > AffineState::kInlineNest) {
+      lg.fallback = true;
+      return;
+    }
+    if (!event) return;
+    if (lg.events.size() >= RefLog::kMaxEvents) {
+      lg.fallback = true;
+      return;
+    }
+    RefLog::Event ev;
+    ev.addr = ind;
+    ev.epoch = epoch;
+    ev.nondup_index = idx;
+    ev.size = ref->access_size;
+    ev.kind = ref->kind;
+    ev.post_const = st.const_term;
+    const int64_t* c = st.coef();
+    const int64_t* itp = st.itp();
+    for (int i = 0; i < st.n; ++i) {
+      ev.iters[i] = iters[i];
+      ev.post_itp[i] = itp[i];
+      if (c[i] == AffineState::kUnknown) ev.unknown_mask |= uint8_t(1u << i);
+    }
+    lg.events.push_back(ev);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// O(1) composition at a slice boundary
+// ---------------------------------------------------------------------------
+
+/// Decides whether a sequential fold arriving at the boundary with solved
+/// state `e` would have stayed on the solved fast path through the whole
+/// slice (no misprediction, no Step 3/4). Sufficient conditions, checked
+/// against the slice's bounded event log:
+///
+///  1. Every coefficient the slice solved matches `e`'s — so between
+///     events, slice predictions and `e` predictions move in lockstep.
+///  2. Every *event* access directly satisfies e's function:
+///     e.CONST + sum(e.C[i] * iters[i]) == addr.
+///  3. For every non-empty run of non-event accesses following an event,
+///     e's prediction error is constant (the slice's unknown-coefficient
+///     iterators provably held their post-event values through the run,
+///     and all other terms agree by 1.), and it is zero at the
+///     event itself by 2. — so the whole run predicted correctly.
+///
+/// Duplicate (epoch-equal, same-address) accesses need no checking: the
+/// sequential fold only bumps the observation count for them.
+bool verify_event_free(const AffineState& e, const AffineState& s,
+                       const RefLog& lg) {
+  const int n = e.n;
+  const int64_t* ec = e.coef();
+  const int64_t* sc = s.coef();
+  for (int i = 0; i < n; ++i) {
+    if (sc[i] != AffineState::kUnknown && sc[i] != ec[i]) return false;
+  }
+  for (size_t j = 0; j < lg.events.size(); ++j) {
+    const RefLog::Event& ev = lg.events[j];
+    int64_t pred = e.const_term;
+    for (int i = 0; i < n; ++i) pred += ec[i] * ev.iters[i];
+    if (pred != ev.addr) return false;
+    const uint32_t next_index = j + 1 < lg.events.size()
+                                    ? lg.events[j + 1].nondup_index
+                                    : lg.nondup_count;
+    if (next_index > ev.nondup_index + 1) {
+      // e's prediction error over the following non-event run:
+      //   e.CONST - s.CONST - sum_{i unknown} s-implied contribution,
+      // with the slice's unknown iterators frozen at post_itp. Zero
+      // means the run predicted correctly under e.
+      int64_t delta = e.const_term - ev.post_const;
+      for (int i = 0; i < n; ++i) {
+        if (ev.unknown_mask & (1u << i)) delta += ec[i] * ev.post_itp[i];
+      }
+      if (delta != 0) return false;
+    }
+  }
+  return true;
+}
+
+/// Traffic/footprint tail shared by both compose modes: these fields end
+/// at the slice's final values in a sequential run regardless of affine
+/// state (the one access whose duplicate classification can differ —
+/// the slice's first — provably leaves them unchanged either way).
+void compose_tail(RefNode* e, const RefNode* s, const RefLog& lg) {
+  e->exec_count += s->exec_count;
+  e->has_read = e->has_read || s->has_read;
+  e->has_write = e->has_write || s->has_write;
+  e->access_size = s->access_size;
+  e->kind = s->kind;
+  e->last_epoch = s->last_epoch;
+  e->replay_footprint_inserts(lg.fp_inserts);
+}
+
+struct ComposeCounters {
+  uint64_t composed = 0;
+  uint64_t rescanned = 0;
+};
+
+/// Collision handler for one boundary merge: folds the slice's partial
+/// state for a reference into the running state in O(1) when provably
+/// exact, else marks the running reference for the fix-up skim.
+void compose_collision(RefNode* e, RefNode* s, SliceLogger& logger,
+                       std::vector<RefNode*>& rescan, ComposeCounters& ctr) {
+  const RefLog* lg = logger.log_for(s);
+  AffineState& es = e->affine;
+  const AffineState& ss = s->affine;
+  const bool shape_ok = lg != nullptr && !s->footprint_saturated() &&
+                        es.initialized && ss.initialized && es.n == ss.n;
+  if (shape_ok && !es.analyzable) {
+    // Excluded reference: the sequential fold takes the excluded inline
+    // path for every slice access — each one is obs += 1, INDP = IND —
+    // so the composition is pure bookkeeping.
+    es.observations += ss.observations;
+    es.indp = ss.indp;
+    compose_tail(e, s, *lg);
+    ++ctr.composed;
+    return;
+  }
+  if (shape_ok && !lg->fallback && es.analyzable && es.unknown_left == 0 &&
+      ss.analyzable && verify_event_free(es, ss, *lg)) {
+    // Event-free slice under e: the sequential fold would have run the
+    // solved fast path throughout. C/CONST/M/S/mispredictions keep e's
+    // values; obs/INDP/ITP advance to the slice's end.
+    //
+    // ITP corner: if the slice saw exactly one non-duplicate access and
+    // the sequential fold would have classified *it* as a duplicate of
+    // e's last observation (same epoch, address, shape — checked on e's
+    // pre-compose values), then sequentially ITP was never rewritten.
+    bool keep_itp = false;
+    if (lg->nondup_count == 1) {
+      const RefLog::Event& ev0 = lg->events.front();
+      keep_itp = e->last_epoch == ev0.epoch && ev0.addr == es.indp &&
+                 ev0.size == e->access_size && ev0.kind == e->kind;
+    }
+    es.observations += ss.observations;
+    es.indp = ss.indp;
+    if (!keep_itp) {
+      const int64_t* sitp = ss.itp();
+      int64_t* eitp = es.itp();
+      for (int i = 0; i < es.n; ++i) eitp[i] = sitp[i];
+    }
+    compose_tail(e, s, *lg);
+    ++ctr.composed;
+    return;
+  }
+  // Speculation failed for this reference: leave e untouched and replay
+  // its slice observations sequentially in the fix-up skim.
+  e->side_slot = kRescanMark;
+  rescan.push_back(e);
+  ++ctr.rescanned;
+}
+
+// ---------------------------------------------------------------------------
+// Fix-up skim
+// ---------------------------------------------------------------------------
+
+/// Re-walks one slice over the *merged* tree, applying full extractor
+/// access semantics to just the marked references. Checkpoints only
+/// navigate (every loop counter was already merged exactly); accesses to
+/// unmarked references cost one lookup. This is the slow path of the
+/// speculation — still far cheaper than a full re-extraction because
+/// Algorithm 3 runs only for the marked few.
+void rescan_slice(LoopTree& tree, std::span<const Record> slice,
+                  const Boundary& b) {
+  LoopNode* cur = tree.root();
+  for (const SeedFrame& f : b.stack) {
+    LoopNode* child = cur->find_child(f.loop_id);
+    FORAY_CHECK(child != nullptr, "timeshard rescan: missing seeded context");
+    child->cur_iter = f.cur_iter;
+    cur = child;
+  }
+  uint64_t epoch = b.epoch;
+  std::vector<int64_t> iters;
+  bool iters_valid = false;
+  for (const Record& r : slice) {
+    switch (r.type()) {
+      case RecordType::Checkpoint: {
+        ++epoch;
+        iters_valid = false;
+        switch (r.cp()) {
+          case CheckpointType::LoopEnter: {
+            LoopNode* child = cur->find_child(r.loop_id());
+            FORAY_CHECK(child != nullptr,
+                        "timeshard rescan: loop missing from merged tree");
+            cur = child;
+            cur->cur_iter = -1;
+            break;
+          }
+          case CheckpointType::BodyBegin: {
+            while (cur->loop_id() != r.loop_id() && cur->parent() != nullptr) {
+              cur = cur->parent();
+            }
+            FORAY_CHECK(cur->loop_id() == r.loop_id(),
+                        "body_begin checkpoint for a loop that never entered");
+            // cur_iter is dead state after extraction; scribbling over it
+            // here (and in LoopEnter above) is what lets the skim reuse
+            // the merged nodes instead of shadowing the whole stack.
+            ++cur->cur_iter;
+            break;
+          }
+          case CheckpointType::BodyEnd:
+            break;
+          case CheckpointType::LoopExit: {
+            while (cur->loop_id() != r.loop_id() && cur->parent() != nullptr) {
+              cur = cur->parent();
+            }
+            FORAY_CHECK(cur->parent() != nullptr,
+                        "loop_exit checkpoint without matching loop_enter");
+            cur = cur->parent();
+            break;
+          }
+        }
+        break;
+      }
+      case RecordType::Access: {
+        RefNode* ref = cur->find_ref(r.instr());
+        if (ref == nullptr || ref->side_slot != kRescanMark) break;
+        if (r.is_write()) {
+          ref->has_write = true;
+        } else {
+          ref->has_read = true;
+        }
+        ++ref->exec_count;
+        const int64_t ind = static_cast<int64_t>(r.addr());
+        if (ref->last_epoch == epoch && ref->affine.initialized &&
+            ind == ref->affine.indp && r.size() == ref->access_size &&
+            r.kind() == ref->kind) {
+          ++ref->affine.observations;
+          break;
+        }
+        ref->last_epoch = epoch;
+        ref->access_size = r.size();
+        ref->kind = r.kind();
+        ref->note_address(r.addr());
+        if (!iters_valid) {
+          iters.clear();
+          for (LoopNode* n = cur; n->parent() != nullptr; n = n->parent()) {
+            iters.push_back(n->cur_iter);
+          }
+          iters_valid = true;
+        }
+        observe_access(ref->affine, iters, ind);
+        break;
+      }
+      case RecordType::Call:
+      case RecordType::Ret:
+        break;
+    }
+  }
+}
+
+Extractor extract_sequential(std::span<const Record> trace,
+                             const ExtractorOptions& opts,
+                             TimeShardReport* report, int requested) {
+  Extractor ex(opts);
+  ex.on_chunk(trace.data(), trace.size());
+  if (report != nullptr) {
+    *report = {};
+    report->slices_requested = requested;
+    report->slices_used = 1;
+    report->records = trace.size();
+    report->refs_adopted = static_cast<uint64_t>(ex.tree().ref_node_count());
+  }
+  return ex;
+}
+
+}  // namespace
+
+Extractor extract_time_sharded_at(std::span<const Record> trace,
+                                  const ExtractorOptions& opts,
+                                  std::span<const uint64_t> cuts,
+                                  TimeShardReport* report) {
+  // Normalize: strictly interior, ascending, unique. Dropping boundary
+  // and out-of-range positions handles K > records gracefully.
+  std::vector<uint64_t> cs(cuts.begin(), cuts.end());
+  std::sort(cs.begin(), cs.end());
+  cs.erase(std::unique(cs.begin(), cs.end()), cs.end());
+  std::erase_if(cs, [&](uint64_t c) { return c == 0 || c >= trace.size(); });
+  const int requested = static_cast<int>(cuts.size()) + 1;
+  if (cs.empty()) return extract_sequential(trace, opts, report, requested);
+
+  const std::vector<Boundary> boundaries = scan_boundaries(trace, cs);
+  const size_t n_slices = cs.size() + 1;
+
+  std::vector<Extractor> slices;
+  slices.reserve(n_slices);
+  for (size_t k = 0; k < n_slices; ++k) slices.emplace_back(opts);
+  // One logger per seeded slice (slice 0 starts from the true initial
+  // state and needs no log). Index k logs slice k.
+  std::vector<SliceLogger> loggers(n_slices);
+
+  std::vector<std::exception_ptr> errors(n_slices);
+  {
+    util::ThreadPool pool(n_slices);
+    for (size_t k = 0; k < n_slices; ++k) {
+      const uint64_t start = k == 0 ? 0 : cs[k - 1];
+      const uint64_t end = k + 1 < n_slices ? cs[k] : trace.size();
+      pool.submit([k, start, end, &trace, &slices, &loggers, &boundaries,
+                   &errors] {
+        try {
+          Extractor& ex = slices[k];
+          if (k > 0) {
+            const Boundary& b = boundaries[k - 1];
+            ex.seed_context(b.stack, b.epoch, b.pos);
+            ex.set_access_hook(&loggers[k]);
+          }
+          ex.on_chunk(trace.data() + start, end - start);
+        } catch (...) {
+          errors[k] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  for (const std::exception_ptr& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+
+  TimeShardReport rep;
+  rep.slices_requested = requested;
+  rep.slices_used = static_cast<int>(n_slices);
+  rep.records = trace.size();
+  rep.refs_adopted = static_cast<uint64_t>(slices[0].tree().ref_node_count());
+
+  Extractor& running = slices[0];
+  for (size_t k = 1; k < n_slices; ++k) {
+    const uint64_t slice_refs =
+        static_cast<uint64_t>(slices[k].tree().ref_node_count());
+    ComposeCounters ctr;
+    std::vector<RefNode*> rescan;
+    SliceLogger& logger = loggers[k];
+    const RefMergeFn on_collision = [&](RefNode* into, RefNode* from) {
+      compose_collision(into, from, logger, rescan, ctr);
+    };
+    running.absorb_composed(std::move(slices[k]), on_collision);
+    rep.refs_composed += ctr.composed;
+    rep.refs_rescanned += ctr.rescanned;
+    rep.refs_adopted += slice_refs - ctr.composed - ctr.rescanned;
+    if (!rescan.empty()) {
+      ++rep.rescan_passes;
+      const uint64_t start = cs[k - 1];
+      const uint64_t end = k < cs.size() ? cs[k] : trace.size();
+      rescan_slice(running.tree(), trace.subspan(start, end - start),
+                   boundaries[k - 1]);
+      for (RefNode* ref : rescan) ref->side_slot = RefNode::kNoSideSlot;
+    }
+  }
+  if (report != nullptr) *report = rep;
+  return std::move(running);
+}
+
+Extractor extract_time_sharded(std::span<const Record> trace,
+                               const ExtractorOptions& opts, int slices,
+                               TimeShardReport* report) {
+  if (slices <= 1 || trace.size() < 2) {
+    return extract_sequential(trace, opts, report, std::max(slices, 1));
+  }
+  const uint64_t k = std::min<uint64_t>(static_cast<uint64_t>(slices),
+                                        trace.size());
+  std::vector<uint64_t> cuts;
+  cuts.reserve(k - 1);
+  for (uint64_t i = 1; i < k; ++i) cuts.push_back(trace.size() * i / k);
+  Extractor ex = extract_time_sharded_at(trace, opts, cuts, report);
+  if (report != nullptr) report->slices_requested = slices;
+  return ex;
+}
+
+}  // namespace foray::core

@@ -1,0 +1,68 @@
+// Speculative time-partition sharding of one context's record stream.
+//
+// Context sharding (foray/shard.h) cannot spread a single dominant
+// top-level loop. This module attacks that headroom by cutting the
+// trace into K *time* slices and extracting them concurrently — which is
+// speculative, because Algorithm 3 is a strictly sequential fold per
+// reference: a slice that starts mid-stream begins every reference it
+// touches with unknown-entry affine state. A cheap sequential fix-up
+// pass then reconciles the slices in order:
+//
+//   - A reference first seen inside one slice is adopted wholesale
+//     (its slice fold IS the sequential fold: seeded loop-context
+//     stacks give slices true global iterator values and epochs).
+//   - A reference observed on both sides of a boundary is composed O(1)
+//     when the running state provably makes the slice *event-free*: the
+//     running fold is fully solved, and the slice's bounded event log
+//     (first sight, coefficient solves, mispredictions) shows that every
+//     logged access satisfies the running affine function while the
+//     intervals between events kept the then-unknown iterators constant
+//     — so a sequential fold arriving at the boundary would have taken
+//     the solved fast path through the entire slice, changing only
+//     observation counts, INDP/ITP and the footprint. Excluded
+//     (non-analyzable) running references compose the same way.
+//   - Anything else falls back to a rescan: a sequential skim of the
+//     slice's records that re-applies full extractor semantics to just
+//     the marked references (checkpoint navigation plus a lookup per
+//     access — memory-bandwidth work, not Algorithm 3 work).
+//
+// The result is bit-identical to sequential extraction — the same
+// fingerprint contract tests/shard_equivalence_test.cpp locks for
+// context sharding.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "foray/extractor.h"
+#include "trace/record.h"
+
+namespace foray::core {
+
+struct TimeShardReport {
+  int slices_requested = 0;
+  int slices_used = 0;
+  uint64_t records = 0;
+  uint64_t refs_adopted = 0;    ///< first seen inside one slice
+  uint64_t refs_composed = 0;   ///< boundary collisions resolved O(1)
+  uint64_t refs_rescanned = 0;  ///< collisions resolved by the fix-up skim
+  uint64_t rescan_passes = 0;   ///< slices that needed a skim
+};
+
+/// Extracts `trace` as `slices` equal time slices run concurrently, then
+/// reconciles them in order. Bit-identical to sequential extraction.
+/// slices <= 1 (or a trace too small to cut) runs plain extraction.
+Extractor extract_time_sharded(std::span<const trace::Record> trace,
+                               const ExtractorOptions& opts, int slices,
+                               TimeShardReport* report = nullptr);
+
+/// Test seam: cut at explicit trace positions (any order/duplicates;
+/// out-of-range and boundary positions are dropped), so equivalence
+/// tests can force pathological boundaries — mid-loop-nest, mid-epoch,
+/// more cuts than records.
+Extractor extract_time_sharded_at(std::span<const trace::Record> trace,
+                                  const ExtractorOptions& opts,
+                                  std::span<const uint64_t> cuts,
+                                  TimeShardReport* report = nullptr);
+
+}  // namespace foray::core

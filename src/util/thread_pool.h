@@ -1,10 +1,14 @@
-// A small fixed-size worker pool for the batch driver.
+// A small fixed-size worker pool for the sweep driver.
 //
 // Work items are plain std::function<void()>; submission never blocks
 // (the queue is unbounded) and wait_idle() lets a producer run a batch to
-// completion without destroying the pool. Determinism is the caller's
-// job: workers race, so jobs must write to disjoint, pre-allocated slots
-// (see driver::BatchDriver, which indexes results by job id).
+// completion without destroying the pool. Workers may submit follow-up
+// work themselves — a task enqueued from inside a running job is counted
+// before that job retires, so wait_idle() only returns once the whole
+// task graph has drained (driver::SweepDriver fans per-job solve groups
+// out this way). Determinism is the caller's job: workers race, so jobs
+// must write to disjoint, pre-allocated slots (see driver::SweepDriver,
+// which indexes results by grid point).
 #pragma once
 
 #include <condition_variable>

@@ -1,12 +1,14 @@
-// The driver layer: Session lifecycle, ThreadPool, and the BatchDriver's
-// two contracts — determinism (an N-thread run produces byte-identical
-// reports to a 1-thread run) and per-session failure isolation.
+// The driver layer: Session lifecycle, ThreadPool, and the SweepDriver's
+// two batch contracts — determinism (an N-thread run produces
+// byte-identical reports to a 1-thread run) and per-session failure
+// isolation. (Grid-axis behavior lives in sweep_test; this file covers
+// the capacity-only shape the old batch driver pinned down.)
 #include <gtest/gtest.h>
 
 #include <atomic>
 
-#include "driver/batch.h"
 #include "driver/session.h"
+#include "driver/sweep.h"
 #include "util/thread_pool.h"
 
 namespace foray::driver {
@@ -121,32 +123,53 @@ TEST(Session, SpmReportTextEmptyUntilSpmRan) {
   EXPECT_EQ(s.spm_report_text(), "");
 }
 
-// -- batch driver -------------------------------------------------------------
+TEST(Session, ResolveMemoizesCandidatesAcrossCapacities) {
+  Session s("good", kGood, spm_session_opts(4096));
+  ASSERT_TRUE(s.run().ok()) << s.status().message();
+  const std::string report_4k = s.spm_report_text();
+  const size_t n_candidates = s.result().spm.candidates.size();
+  ASSERT_GT(n_candidates, 0u);
 
-std::vector<BatchJob> good_jobs() {
+  // A capacity-only re-solve reuses the memoized candidate list; coming
+  // back to the original capacity must reproduce the first report
+  // byte-for-byte.
+  s.rerun_spm(64);
+  EXPECT_EQ(s.result().spm.candidates.size(), n_candidates);
+  s.rerun_spm(4096);
+  EXPECT_EQ(s.result().spm.candidates.size(), n_candidates);
+  EXPECT_EQ(s.spm_report_text(), report_4k);
+}
+
+// -- sweep driver (capacity-only batch shape) ---------------------------------
+
+std::vector<SweepJob> good_jobs() {
   return {{"alpha", kGood}, {"beta", kGood2}, {"gamma", kGood}};
 }
 
-BatchOptions batch_opts(int threads) {
-  BatchOptions o;
+SweepOptions batch_opts(int threads,
+                        std::vector<uint32_t> capacities = {256, 1024,
+                                                            4096}) {
+  SweepOptions o;
   o.threads = threads;
-  o.capacities = {256, 1024, 4096};
+  o.spec.capacities = std::move(capacities);
   o.pipeline.filter.min_exec = 1;
   o.pipeline.filter.min_locations = 1;
   return o;
 }
 
-TEST(BatchDriver, ParallelRunByteIdenticalToSequential) {
+TEST(SweepDriver, ParallelRunByteIdenticalToSequential) {
   auto jobs = good_jobs();
-  BatchReport seq = BatchDriver(batch_opts(1)).run(jobs);
-  BatchReport par = BatchDriver(batch_opts(4)).run(jobs);
+  SweepReport seq = SweepDriver(batch_opts(1)).run(jobs);
+  SweepReport par = SweepDriver(batch_opts(4)).run(jobs);
 
   EXPECT_EQ(seq.table(), par.table());
+  EXPECT_EQ(seq.to_json(), par.to_json());
   ASSERT_EQ(seq.items.size(), par.items.size());
   ASSERT_EQ(seq.items.size(), jobs.size() * 3);
   for (size_t i = 0; i < seq.items.size(); ++i) {
-    EXPECT_EQ(seq.items[i].name, par.items[i].name);
-    EXPECT_EQ(seq.items[i].capacity, par.items[i].capacity);
+    EXPECT_EQ(seq.items[i].program, par.items[i].program);
+    EXPECT_EQ(seq.items[i].point.capacity_bytes,
+              par.items[i].point.capacity_bytes);
     EXPECT_EQ(seq.items[i].report, par.items[i].report);  // byte-identical
     EXPECT_EQ(seq.items[i].spm.exact.bytes_used,
               par.items[i].spm.exact.bytes_used);
@@ -155,25 +178,26 @@ TEST(BatchDriver, ParallelRunByteIdenticalToSequential) {
   }
 }
 
-TEST(BatchDriver, ItemsOrderedJobMajorCapacityMinor) {
-  auto report = BatchDriver(batch_opts(2)).run(good_jobs());
+TEST(SweepDriver, ItemsOrderedJobMajorCapacityMinor) {
+  auto report = SweepDriver(batch_opts(2)).run(good_jobs());
   ASSERT_EQ(report.items.size(), 9u);
-  EXPECT_EQ(report.items[0].name, "alpha");
-  EXPECT_EQ(report.items[0].capacity, 256u);
-  EXPECT_EQ(report.items[2].capacity, 4096u);
-  EXPECT_EQ(report.items[3].name, "beta");
-  EXPECT_EQ(report.items[8].name, "gamma");
-  EXPECT_EQ(&report.item(1, 2, 3), &report.items[5]);
+  EXPECT_EQ(report.items[0].program, "alpha");
+  EXPECT_EQ(report.items[0].point.capacity_bytes, 256u);
+  EXPECT_EQ(report.items[2].point.capacity_bytes, 4096u);
+  EXPECT_EQ(report.items[3].program, "beta");
+  EXPECT_EQ(report.items[8].program, "gamma");
+  PointKey key;
+  key.job = 1;
+  key.capacity = 2;
+  EXPECT_EQ(&report.at(key), &report.items[5]);
 }
 
-TEST(BatchDriver, FailingSessionIsIsolated) {
-  std::vector<BatchJob> jobs = {{"ok1", kGood},
+TEST(SweepDriver, FailingSessionIsIsolated) {
+  std::vector<SweepJob> jobs = {{"ok1", kGood},
                                 {"parse", kParseError},
                                 {"fault", kSimFault},
                                 {"ok2", kGood2}};
-  BatchOptions opts = batch_opts(4);
-  opts.capacities = {4096};
-  auto report = BatchDriver(opts).run(jobs);
+  auto report = SweepDriver(batch_opts(4, {4096})).run(jobs);
 
   ASSERT_EQ(report.items.size(), 4u);
   EXPECT_TRUE(report.items[0].status.ok());
@@ -192,26 +216,8 @@ TEST(BatchDriver, FailingSessionIsIsolated) {
   EXPECT_NE(table.find("ok2"), std::string::npos);
 }
 
-TEST(BatchReport, ItemLookupIsBoundsChecked) {
-  BatchOptions opts = batch_opts(2);
-  opts.capacities = {256, 1024};
-  auto report = BatchDriver(opts).run(good_jobs());  // 3 jobs x 2 caps
-  ASSERT_EQ(report.items.size(), 6u);
-  EXPECT_EQ(report.capacities_per_job, 2u);
-  EXPECT_EQ(&report.item(2, 1, 2), &report.items[5]);
-  // A capacity index past the stride, a job past the grid, or a stride
-  // that differs from the grid's real one (even when it divides the
-  // item count, like 1 or 3 here) must fail loudly instead of reading
-  // a wrong (or out-of-bounds) cell.
-  EXPECT_THROW(report.item(0, 2, 2), util::InternalError);
-  EXPECT_THROW(report.item(3, 0, 2), util::InternalError);
-  EXPECT_THROW(report.item(0, 0, 1), util::InternalError);
-  EXPECT_THROW(report.item(0, 0, 3), util::InternalError);
-  EXPECT_THROW(report.item(0, 0, 0), util::InternalError);
-}
-
-TEST(BatchDriver, BenchsuiteJobsMatchSuite) {
-  auto jobs = BatchDriver::benchsuite_jobs();
+TEST(SweepDriver, BenchsuiteJobsMatchSuite) {
+  auto jobs = SweepDriver::benchsuite_jobs();
   ASSERT_EQ(jobs.size(), 6u);
   EXPECT_EQ(jobs.front().name, "jpeg");
   EXPECT_EQ(jobs.back().name, "adpcm");

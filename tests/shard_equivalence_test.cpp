@@ -6,13 +6,17 @@
 // mis-merged subtree, an affine state torn across shards — fails here.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "benchsuite/generator.h"
 #include "benchsuite/suite.h"
 #include "foray/extractor.h"
 #include "foray/pipeline.h"
 #include "foray/shard.h"
+#include "foray/timeshard.h"
 #include "sim/interpreter.h"
 #include "trace/sink.h"
 
@@ -110,6 +114,129 @@ TEST_P(ShardEquivalence, AllTransportsYieldIdenticalTrees) {
     Extractor ex =
         extract_sharded({recs.data(), recs.size()}, linear, 3, nullptr);
     EXPECT_EQ(fingerprint(ex), want) << b.name << ": shards=3 linear";
+  }
+}
+
+TEST_P(ShardEquivalence, TimeShardedExtractionYieldsIdenticalTrees) {
+  const auto& b = benchsuite::get_benchmark(GetParam());
+  PipelineResult res;
+  ASSERT_TRUE(frontend_phase(b.source, &res).ok()) << res.error();
+  ASSERT_TRUE(instrument_phase(&res).ok());
+
+  trace::VectorSink sink(1u << 20);
+  auto run = sim::run_program(*res.program, &sink);
+  ASSERT_TRUE(run.ok()) << run.error();
+  const auto& recs = sink.records();
+  ASSERT_FALSE(recs.empty());
+
+  Extractor seq;
+  seq.on_chunk(recs.data(), recs.size());
+  const std::string want = fingerprint(seq);
+
+  for (int slices : {2, 3, 5, 16}) {
+    TimeShardReport rep;
+    Extractor ex = extract_time_sharded({recs.data(), recs.size()},
+                                        ExtractorOptions{}, slices, &rep);
+    EXPECT_EQ(fingerprint(ex), want) << b.name << ": timeshards=" << slices;
+    EXPECT_EQ(rep.slices_requested, slices);
+    EXPECT_EQ(rep.records, recs.size());
+    EXPECT_GE(rep.slices_used, 1);
+  }
+  // Pathological explicit cuts: clustered around arbitrary fractions
+  // (landing mid-loop-nest, mid-epoch, adjacent to each other) plus the
+  // extreme edges of the trace.
+  {
+    std::vector<uint64_t> cuts = {1, 2, recs.size() - 1};
+    for (uint64_t f = 1; f < 8; ++f) {
+      const uint64_t p = recs.size() * f / 8;
+      cuts.push_back(p - 1);
+      cuts.push_back(p);
+      cuts.push_back(p + 1);
+    }
+    TimeShardReport rep;
+    Extractor ex = extract_time_sharded_at({recs.data(), recs.size()},
+                                           ExtractorOptions{}, cuts, &rep);
+    EXPECT_EQ(fingerprint(ex), want) << b.name << ": pathological cuts";
+  }
+  // Linear (non-hash) indexing under time sharding.
+  {
+    ExtractorOptions linear;
+    linear.hash_index = false;
+    Extractor ex = extract_time_sharded({recs.data(), recs.size()}, linear, 3,
+                                        nullptr);
+    Extractor lseq(linear);
+    lseq.on_chunk(recs.data(), recs.size());
+    EXPECT_EQ(fingerprint(ex), fingerprint(lseq))
+        << b.name << ": timeshards=3 linear";
+  }
+  // More slices than records: degrade gracefully to per-record slices.
+  {
+    const size_t prefix = std::min<size_t>(recs.size(), 40);
+    Extractor pseq;
+    pseq.on_chunk(recs.data(), prefix);
+    TimeShardReport rep;
+    Extractor ex = extract_time_sharded({recs.data(), prefix},
+                                        ExtractorOptions{},
+                                        static_cast<int>(prefix) + 24, &rep);
+    EXPECT_EQ(fingerprint(ex), fingerprint(pseq))
+        << b.name << ": slices > records";
+    EXPECT_LE(rep.slices_used, static_cast<int>(prefix));
+  }
+}
+
+TEST(TimeShardStress, SeededProgramsMatchSequentialAtEveryWidth) {
+  for (uint64_t seed : {3u, 11u, 29u, 47u, 101u}) {
+    benchsuite::StressOptions sopts;
+    sopts.seed = seed;
+    const std::string src = benchsuite::generate_stress_program(sopts);
+    PipelineResult res;
+    ASSERT_TRUE(frontend_phase(src, &res).ok()) << "seed " << seed;
+    ASSERT_TRUE(instrument_phase(&res).ok());
+    trace::VectorSink sink;
+    auto run = sim::run_program(*res.program, &sink);
+    ASSERT_TRUE(run.ok()) << "seed " << seed << ": " << run.error();
+    const auto& recs = sink.records();
+    if (recs.empty()) continue;
+
+    Extractor seq;
+    seq.on_chunk(recs.data(), recs.size());
+    const std::string want = fingerprint(seq);
+
+    for (int slices : {2, 7}) {
+      TimeShardReport rep;
+      Extractor ex = extract_time_sharded({recs.data(), recs.size()},
+                                          ExtractorOptions{}, slices, &rep);
+      EXPECT_EQ(fingerprint(ex), want)
+          << "seed " << seed << ": timeshards=" << slices;
+    }
+    // Dense cuts: a boundary every few records forces worst-case
+    // composition (nearly every reference collides in every slice). The
+    // stride keeps the slice count — one worker each — bounded.
+    const uint64_t stride = std::max<uint64_t>(7, recs.size() / 48);
+    std::vector<uint64_t> cuts;
+    for (uint64_t p = 3; p < recs.size(); p += stride) cuts.push_back(p);
+    Extractor ex = extract_time_sharded_at({recs.data(), recs.size()},
+                                           ExtractorOptions{}, cuts, nullptr);
+    EXPECT_EQ(fingerprint(ex), want) << "seed " << seed << ": dense cuts";
+  }
+}
+
+TEST_P(ShardEquivalence, TimeShardedPipelineModelMatchesSequential) {
+  const auto& b = benchsuite::get_benchmark(GetParam());
+  auto seq = run_pipeline(b.source);
+  ASSERT_TRUE(seq.ok()) << seq.error();
+
+  for (int slices : {2, 4}) {
+    PipelineOptions opts;
+    opts.profile_timeshards = slices;
+    auto sh = run_pipeline(b.source, opts);
+    ASSERT_TRUE(sh.ok()) << b.name << ": " << sh.error();
+    EXPECT_EQ(sh.foray_source, seq.foray_source)
+        << b.name << ": emitted model differs at timeshards=" << slices;
+    EXPECT_EQ(sh.foray_paper_style, seq.foray_paper_style)
+        << b.name << ": paper-style model differs at timeshards=" << slices;
+    EXPECT_EQ(sh.trace_records, seq.trace_records);
+    EXPECT_EQ(sh.timeshard_report.slices_requested, slices);
   }
 }
 

@@ -16,7 +16,7 @@
 //   profile    profile + extract only; prints trace/extraction statistics
 //   spm        Phase II: reuse analysis + DSE + energy (SpmPhase report)
 //   batch      run the whole benchsuite through the pipeline in parallel
-//              (capacity axis only; compatibility shim over `sweep`)
+//              (a capacity-only sweep with table/JSON reporting)
 //   sweep      multi-axis DSE grid (capacity × energy model × cache
 //              geometry × algorithm × replay) over the benchsuite, or
 //              over one program when a path is given; emits Pareto
@@ -64,7 +64,6 @@
 #include <string>
 #include <vector>
 
-#include "driver/batch.h"
 #include "driver/session.h"
 #include "driver/sweep.h"
 #include "foray/inline_advisor.h"
@@ -88,8 +87,8 @@ int usage() {
       stderr,
       "usage: foraygen <model|emit|annotate|trace|stats|hints|run|profile"
       "|spm> <program.mc> [--engine ast|bytecode] [--nexec N] [--nloc N] "
-      "[--seed S] [--offline] [--shards N] [--capacity N] "
-      "[--compare-cache] [--replay]\n"
+      "[--seed S] [--offline] [--shards N] [--pipeline] [--timeshards N] "
+      "[--capacity N] [--compare-cache] [--replay]\n"
       "       foraygen batch [--threads N] [--capacity-sweep a,b,c] "
       "[--engine ast|bytecode] [--nexec N] [--nloc N] [--seed S] "
       "[--shards N] [--replay] [--json PATH]\n"
@@ -328,6 +327,14 @@ int main(int argc, char** argv) {
         return option_error("option '--shards' requires a positive number");
       }
       opts.profile_shards = static_cast<int>(v);
+    } else if (arg == "--pipeline") {
+      opts.profile_pipeline = true;
+    } else if (arg == "--timeshards") {
+      if (!next_u64(&v) || v == 0) {
+        return option_error(
+            "option '--timeshards' requires a positive number");
+      }
+      opts.profile_timeshards = static_cast<int>(v);
     } else if (arg == "--compare-cache") {
       opts.spm.compare_cache = true;
     } else if (arg == "--replay") {
@@ -463,12 +470,15 @@ int main(int argc, char** argv) {
   }
 
   if (command == "batch") {
-    driver::BatchOptions bopts;
-    bopts.threads = threads;
-    if (!spec.capacities.empty()) bopts.capacities = spec.capacities;
-    bopts.pipeline = opts;
-    driver::BatchDriver batch(bopts);
-    auto report = batch.run(driver::BatchDriver::benchsuite_jobs());
+    // batch == a capacity-only sweep over the benchsuite (every other
+    // axis inherits the pipeline options), with a table + single-document
+    // JSON report instead of the sweep's NDJSON stream.
+    driver::SweepOptions sopts;
+    sopts.threads = threads;
+    sopts.spec.capacities = spec.capacities;
+    sopts.pipeline = opts;
+    driver::SweepDriver batch(sopts);
+    auto report = batch.run(driver::SweepDriver::benchsuite_jobs());
     std::fputs(report.table().c_str(), stdout);
     if (!json_path.empty()) {
       std::ofstream out(json_path, std::ios::binary);
@@ -480,13 +490,13 @@ int main(int argc, char** argv) {
     }
     for (const auto& item : report.items) {
       if (!item.status.ok()) {
-        std::fprintf(stderr, "%s: %s\n", item.name.c_str(),
+        std::fprintf(stderr, "%s: %s\n", item.program.c_str(),
                      item.status.message().c_str());
         return 1;
       }
       if (item.replay_ran && !item.replay.matches()) {
         std::fprintf(stderr, "%s @%uB: transform-replay mismatch\n",
-                     item.name.c_str(), item.capacity);
+                     item.program.c_str(), item.point.capacity_bytes);
         return 1;
       }
     }
@@ -550,6 +560,16 @@ int main(int argc, char** argv) {
       std::printf("shards: %d requested, %d used, balance %.2f\n",
                   res.shard_report.shards_requested,
                   res.shard_report.shards_used, res.shard_report.balance);
+    }
+    if (res.timeshard_report.slices_requested > 1) {
+      const auto& t = res.timeshard_report;
+      std::printf("timeshards: %d requested, %d used; refs %llu adopted, "
+                  "%llu composed, %llu rescanned (%llu rescan pass(es))\n",
+                  t.slices_requested, t.slices_used,
+                  static_cast<unsigned long long>(t.refs_adopted),
+                  static_cast<unsigned long long>(t.refs_composed),
+                  static_cast<unsigned long long>(t.refs_rescanned),
+                  static_cast<unsigned long long>(t.rescan_passes));
     }
     return 0;
   }
