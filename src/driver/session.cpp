@@ -1,6 +1,7 @@
 #include "driver/session.h"
 
 #include <exception>
+#include <new>
 #include <utility>
 
 namespace foray::driver {
@@ -15,7 +16,15 @@ const util::Status& Session::run() {
   ran_ = true;
   try {
     result_ = core::run_pipeline(source_, opts_.pipeline);
+  } catch (const util::StatusError& e) {
+    // Carries its own classification (e.g. an injected sink fault).
+    result_.status = e.status();
+  } catch (const std::bad_alloc&) {
+    result_.status =
+        util::Status::failure(util::ErrorCode::kResourceExhausted,
+                              "pipeline", 0, "out of memory");
   } catch (const std::exception& e) {
+    // Anything else escaping the pipeline is a bug in this library.
     result_.status = util::Status::failure("internal", 0, e.what());
   }
   return result_.status;

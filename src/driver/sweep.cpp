@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <ostream>
 #include <sstream>
 #include <utility>
@@ -15,6 +16,7 @@
 #include "spm/replay.h"
 #include "spm/reuse.h"
 #include "spm/spm_sim.h"
+#include "util/fault.h"
 #include "util/json.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -35,7 +37,9 @@ std::string_view trim(std::string_view s) {
 }
 
 util::Status axis_error(std::string message) {
-  return util::Status::failure("sweep-spec", 0, std::move(message));
+  // A bad axis spec is the user's input, not a library bug.
+  return util::Status::failure(util::ErrorCode::kInvalidInput, "sweep-spec",
+                               0, std::move(message));
 }
 
 bool parse_u32(std::string_view s, uint32_t* out) {
@@ -173,14 +177,14 @@ util::Status SweepSpec::parse_file(std::string_view text) {
     const size_t eq = line.find('=');
     if (eq == std::string_view::npos) {
       return util::Status::failure(
-          "sweep-spec", line_no,
+          util::ErrorCode::kInvalidInput, "sweep-spec", line_no,
           "expected axis = value,... in '" + std::string(line) + "'");
     }
     const std::string_view key = trim(line.substr(0, eq));
     const std::string_view values = trim(line.substr(eq + 1));
     util::Status st = parse_axis(key, values);
     if (!st.ok()) {
-      return util::Status::failure("sweep-spec", line_no,
+      return util::Status::failure(st.code(), "sweep-spec", line_no,
                                    st.diags().all().front().message);
     }
   }
@@ -300,6 +304,20 @@ PointSolve solve_point(const core::ForayModel& model,
                        const SweepPoint& point,
                        const std::vector<spm::BufferCandidate>& candidates) {
   PointSolve out;
+  // Fault site "spm.solve": the Phase II solver dies mid-point. param=0
+  // injects an internal error (never retried); any nonzero param injects
+  // a *transient* io_error, which is how the fault harness exercises the
+  // bounded-retry path.
+  if (util::fault::enabled()) {
+    const util::fault::Hit h = util::fault::hit("spm.solve");
+    if (h.fired) {
+      out.status = util::Status::failure(
+          h.param != 0 ? util::ErrorCode::kIoError
+                       : util::ErrorCode::kInternal,
+          "spm-solve", 0, "injected Phase II solver failure");
+      return out;
+    }
+  }
   // Keep the failure-isolation promise even for internal errors during a
   // point solve: mark this solve's items, keep the sweep.
   try {
@@ -316,8 +334,32 @@ PointSolve solve_point(const core::ForayModel& model,
       out.replay_ran = true;
       if (!out.replay.status.ok()) out.status = out.replay.status;
     }
+  } catch (const util::StatusError& e) {
+    out.status = e.status();
+  } catch (const std::bad_alloc&) {
+    out.status =
+        util::Status::failure(util::ErrorCode::kResourceExhausted,
+                              "spm-solve", 0, "out of memory during solve");
   } catch (const std::exception& e) {
     out.status = util::Status::failure("internal", 0, e.what());
+  }
+  return out;
+}
+
+/// True for the failure classes worth retrying: only io_error — the
+/// outside world hiccuped. Everything else is deterministic and would
+/// just fail the same way again.
+bool transient(const util::Status& st) {
+  return !st.ok() && st.code() == util::ErrorCode::kIoError;
+}
+
+PointSolve solve_point_with_retry(
+    const core::ForayModel& model, const core::PipelineOptions& base,
+    const SweepPoint& point,
+    const std::vector<spm::BufferCandidate>& candidates, int retries) {
+  PointSolve out = solve_point(model, base, point, candidates);
+  for (int r = 0; r < retries && transient(out.status); ++r) {
+    out = solve_point(model, base, point, candidates);
   }
   return out;
 }
@@ -373,6 +415,14 @@ void run_phase1(const SweepJob& job, const SweepOptions& opts,
   sopts.pipeline.with_replay = first.replay;
   js->session = std::make_unique<Session>(job.name, job.source, sopts);
   js->session->run();
+  // Transient (io_error) Phase I failures get a bounded number of fresh
+  // sessions; deterministic failures (a program that does not parse, a
+  // tripped budget) would only reproduce and are final immediately.
+  for (int r = 0;
+       r < opts.transient_retries && transient(js->session->status()); ++r) {
+    js->session = std::make_unique<Session>(job.name, job.source, sopts);
+    js->session->run();
+  }
   // Phase I failures doom every grid cell; Phase II failures (including
   // replay execution errors) are per-point, so later cells still get
   // their own attempt.
@@ -446,6 +496,28 @@ SweepItem build_item(const SweepJob& job, size_t job_index,
   return item;
 }
 
+/// What --resume already has, projected onto the grid: per job, which
+/// flat points carry cached results and therefore must not be re-run or
+/// re-delivered through on_item.
+struct ResumePlan {
+  const SweepCheckpoint* checkpoint = nullptr;
+  size_t per_job = 0;
+
+  bool point_cached(size_t j, size_t i) const {
+    return checkpoint != nullptr && checkpoint->point_cached(j, i);
+  }
+  bool job_fully_cached(size_t j) const {
+    return checkpoint != nullptr &&
+           checkpoint->job_fully_cached(j, per_job);
+  }
+  bool group_fully_cached(size_t j, const SolveGroup& g) const {
+    for (size_t i = g.begin; i < g.end; ++i) {
+      if (!point_cached(j, i)) return false;
+    }
+    return true;
+  }
+};
+
 /// The shared execution core: Phase I per job, then the job's solve
 /// groups fanned across the same pool — a single-program sweep saturates
 /// every worker with grid points instead of serializing on one. Workers
@@ -456,17 +528,20 @@ SweepItem build_item(const SweepJob& job, size_t job_index,
 /// `on_item(job, item, flat_index)` must be safe for concurrent calls on
 /// distinct (job, point) slots; `on_job_done(job, session)` runs exactly
 /// once per job, on whichever worker finishes the job's last group, after
-/// all of the job's items have been delivered.
+/// all of the job's items have been delivered. Under a resume plan,
+/// cached points are skipped (no on_item call) and a fully-cached job
+/// skips Phase I entirely — its on_job_done receives a null session.
 template <typename OnItem, typename OnJobDone>
 class SweepExec {
  public:
   SweepExec(const std::vector<SweepJob>& jobs, const SweepOptions& opts,
-            const SweepGrid& grid, bool retain_full, OnItem on_item,
-            OnJobDone on_job_done)
+            const SweepGrid& grid, bool retain_full, ResumePlan plan,
+            OnItem on_item, OnJobDone on_job_done)
       : jobs_(jobs),
         opts_(opts),
         grid_(grid),
         retain_full_(retain_full),
+        plan_(plan),
         on_item_(std::move(on_item)),
         on_job_done_(std::move(on_job_done)),
         groups_(solve_groups(grid)),
@@ -486,9 +561,16 @@ class SweepExec {
  private:
   void job_task(size_t j) {
     JobState& js = *states_[j];
+    if (plan_.job_fully_cached(j)) {
+      // Every point of this job rides in from the checkpoint: no Phase I,
+      // no solves, no items — just the job-completion hook.
+      on_job_done_(j, nullptr);
+      return;
+    }
     run_phase1(jobs_[j], opts_, grid_, &js);
     if (!js.phase1_ok) {
       for (size_t i = 0; i < grid_.points.size(); ++i) {
+        if (plan_.point_cached(j, i)) continue;
         on_item_(j,
                  build_item(jobs_[j], j, grid_, i, js, nullptr,
                             opts_.pipeline.spm, retain_full_),
@@ -497,8 +579,13 @@ class SweepExec {
       on_job_done_(j, std::move(js.session));
       return;
     }
-    js.remaining.store(groups_.size(), std::memory_order_relaxed);
+    size_t needed = 0;
+    for (const SolveGroup& g : groups_) {
+      if (!plan_.group_fully_cached(j, g)) ++needed;
+    }
+    js.remaining.store(needed, std::memory_order_relaxed);
     for (size_t g = 0; g < groups_.size(); ++g) {
+      if (plan_.group_fully_cached(j, groups_[g])) continue;
       pool_.submit([this, j, g] { group_task(j, groups_[g]); });
     }
   }
@@ -515,10 +602,12 @@ class SweepExec {
       solve.replay_ran = res.replay_ran;
       if (solve.replay_ran) solve.replay = res.replay;
     } else {
-      solve = solve_point(res.model, opts_.pipeline, grid_.points[g.begin],
-                          js.candidates);
+      solve = solve_point_with_retry(res.model, opts_.pipeline,
+                                     grid_.points[g.begin], js.candidates,
+                                     opts_.transient_retries);
     }
     for (size_t i = g.begin; i < g.end; ++i) {
+      if (plan_.point_cached(j, i)) continue;
       on_item_(j,
                build_item(jobs_[j], j, grid_, i, js, &solve,
                           opts_.pipeline.spm, retain_full_),
@@ -533,6 +622,7 @@ class SweepExec {
   const SweepOptions& opts_;
   const SweepGrid& grid_;
   const bool retain_full_;
+  const ResumePlan plan_;
   OnItem on_item_;
   OnJobDone on_job_done_;
   std::vector<std::unique_ptr<JobState>> states_;
@@ -601,6 +691,11 @@ std::string point_line(const SweepItem& item) {
   w.key("replay").value(item.point.replay);
   w.key("ok").value(item.status.ok());
   if (!item.status.ok()) {
+    // Structured error row: the class and phase are what a consumer
+    // (retry policy, service dashboard, --resume) keys on; the message
+    // stays free-form.
+    w.key("error_class").value(item.status.code_name());
+    w.key("phase").value(item.status.phase());
     w.key("error").value(item.status.message());
     w.end_object();
     return w.take();
@@ -835,6 +930,8 @@ std::string SweepReport::to_json() const {
     w.key("capacity_bytes").value(item.point.capacity_bytes);
     w.key("ok").value(item.status.ok());
     if (!item.status.ok()) {
+      w.key("error_class").value(item.status.code_name());
+      w.key("phase").value(item.status.phase());
       w.key("error").value(item.status.message());
       w.end_object();
       continue;
@@ -887,6 +984,10 @@ std::string SweepReport::to_json() const {
     w.begin_object();
     w.key("program").value(session->name());
     w.key("ok").value(session->status().ok());
+    if (!session->status().ok()) {
+      w.key("error_class").value(session->status().code_name());
+      w.key("phase").value(session->status().phase());
+    }
     if (session->status().ok()) {
       const auto& res = session->result();
       w.key("steps").value(res.run.steps);
@@ -944,7 +1045,7 @@ SweepReport SweepDriver::run(const std::vector<SweepJob>& jobs) const {
   // Every (job, point) slot is preallocated, so concurrent on_item calls
   // write disjoint memory and need no lock.
   SweepExec exec(
-      jobs, opts_, grid_, /*retain_full=*/true,
+      jobs, opts_, grid_, /*retain_full=*/true, ResumePlan{},
       [&report, per_job](size_t j, SweepItem&& item, size_t i) {
         report.items[j * per_job + i] = std::move(item);
       },
@@ -956,11 +1057,22 @@ SweepReport SweepDriver::run(const std::vector<SweepJob>& jobs) const {
 }
 
 util::Status SweepDriver::run_ndjson(const std::vector<SweepJob>& jobs,
-                                     std::ostream& out) const {
+                                     std::ostream& out,
+                                     const SweepCheckpoint* resume) const {
   const size_t per_job = grid_.points_per_job();
   std::vector<std::string> names;
   for (const auto& job : jobs) names.push_back(job.name);
-  out << header_line(grid_, names) << '\n';
+  const std::string header = header_line(grid_, names);
+  if (resume != nullptr && resume->header != header) {
+    // Header equality is the grid/job-list fingerprint: a journal from a
+    // different spec, program set or job order must not be stitched into
+    // this run.
+    return util::Status::failure(
+        util::ErrorCode::kInvalidInput, "sweep-resume", 0,
+        "resume journal header does not match this sweep's grid and "
+        "job list");
+  }
+  out << header << '\n';
 
   // Each item is rendered and reduced (NDJSON line, aggregate scalars,
   // failure status) the moment its point resolves, then dropped — a slot
@@ -983,12 +1095,30 @@ util::Status SweepDriver::run_ndjson(const std::vector<SweepJob>& jobs,
   };
   std::vector<std::vector<NdPoint>> slots(jobs.size());
   for (auto& s : slots) s.resize(per_job);
+  // Cached checkpoint rows pre-fill their slots; SweepExec skips those
+  // points, so workers only ever write the slots left empty here.
+  if (resume != nullptr) {
+    for (size_t j = 0; j < jobs.size() && j < resume->points.size(); ++j) {
+      for (size_t i = 0; i < per_job && i < resume->points[j].size(); ++i) {
+        const SweepCheckpoint::CachedPoint& c = resume->points[j][i];
+        if (!c.have) continue;
+        NdPoint& p = slots[j][i];
+        p.line = c.line;
+        p.ok = true;
+        p.bytes = c.bytes;
+        p.saved = c.saved;
+      }
+    }
+  }
   std::vector<Block> blocks(jobs.size());
   std::mutex mu;
   std::condition_variable cv;
 
+  ResumePlan plan;
+  plan.checkpoint = resume;
+  plan.per_job = per_job;
   SweepExec exec(
-      jobs, opts_, grid_, /*retain_full=*/false,
+      jobs, opts_, grid_, /*retain_full=*/false, plan,
       [&slots](size_t j, SweepItem&& item, size_t i) {
         NdPoint& p = slots[j][i];
         p.line = point_line(item);
@@ -1049,6 +1179,7 @@ util::Status SweepDriver::run_ndjson(const std::vector<SweepJob>& jobs,
 
   std::vector<AggCell> agg(per_job);
   util::Status first_failure;
+  util::Status sink_failure;
   for (size_t j = 0; j < jobs.size(); ++j) {
     Block block;
     {
@@ -1056,7 +1187,23 @@ util::Status SweepDriver::run_ndjson(const std::vector<SweepJob>& jobs,
       cv.wait(lock, [&] { return blocks[j].ready; });
       block = std::move(blocks[j]);
     }
-    out << block.text;
+    // Fault site "sweep.sink.io" stands in for a real write failure
+    // (EIO, ENOSPC); either way the journal so far holds only whole job
+    // blocks in deterministic order — exactly what --resume accepts —
+    // so abandon the sweep instead of writing a torn line.
+    if (util::fault::enabled() &&
+        util::fault::should_fail("sweep.sink.io")) {
+      sink_failure = util::Status::failure(
+          util::ErrorCode::kIoError, "sweep-sink", 0,
+          "injected NDJSON sink write failure");
+      break;
+    }
+    if (!(out << block.text)) {
+      sink_failure =
+          util::Status::failure(util::ErrorCode::kIoError, "sweep-sink", 0,
+                                "NDJSON sink write failed");
+      break;
+    }
     for (size_t i = 0; i < per_job; ++i) {
       agg[i].jobs_seen += block.agg[i].jobs_seen;
       agg[i].all_ok = agg[i].all_ok && block.agg[i].all_ok;
@@ -1065,9 +1212,124 @@ util::Status SweepDriver::run_ndjson(const std::vector<SweepJob>& jobs,
     }
     if (first_failure.ok()) first_failure = block.first_failure;
   }
+  // Always a full barrier, even on the sink-failure early exit: workers
+  // still hold references to slots/blocks on this frame.
   exec.wait();
+  if (!sink_failure.ok()) return sink_failure;
   out << pareto_line("aggregate", "", aggregate_pareto(grid_, agg)) << '\n';
   return first_failure;
+}
+
+util::Status SweepDriver::parse_resume(std::string_view journal,
+                                       SweepCheckpoint* out) const {
+  *out = SweepCheckpoint{};
+  const size_t per_job = grid_.points_per_job();
+  const auto bad = [](int line_no, const std::string& msg) {
+    return util::Status::failure(util::ErrorCode::kInvalidInput,
+                                 "sweep-resume", line_no, msg);
+  };
+  int line_no = 0;
+  const std::vector<std::string_view> lines = util::split(journal, '\n');
+  for (size_t li = 0; li < lines.size(); ++li) {
+    const std::string_view line = lines[li];
+    ++line_no;
+    if (trim(line).empty()) continue;
+    util::JsonValue v;
+    std::string err;
+    if (!util::parse_json(line, &v, &err)) {
+      // A torn final line is the expected shape of a journal cut off by
+      // a crash or sink failure; anything torn *before* the end is a
+      // corrupt journal, not a checkpoint.
+      if (li + 1 >= lines.size() ||
+          (li + 2 == lines.size() && trim(lines[li + 1]).empty())) {
+        break;
+      }
+      return bad(line_no, "corrupt journal line: " + err);
+    }
+    const util::JsonValue* kind = v.find("kind");
+    if (kind == nullptr || !kind->is_string()) {
+      return bad(line_no, "journal line has no kind");
+    }
+    if (kind->str == "sweep") {
+      if (!out->header.empty()) {
+        return bad(line_no, "journal has more than one header line");
+      }
+      out->header = std::string(line);
+      const util::JsonValue* programs = v.find("programs");
+      if (programs == nullptr || !programs->is_array()) {
+        return bad(line_no, "journal header has no programs array");
+      }
+      for (const util::JsonValue& p : programs->items) {
+        if (!p.is_string()) {
+          return bad(line_no, "journal header programs must be strings");
+        }
+        out->programs.push_back(p.str);
+      }
+      out->points.resize(out->programs.size());
+      for (auto& pts : out->points) pts.resize(per_job);
+      continue;
+    }
+    if (kind->str != "point") continue;  // pareto lines are recomputed
+    if (out->header.empty()) {
+      return bad(line_no, "journal point line before the header");
+    }
+    const util::JsonValue* key = v.find("key");
+    if (key == nullptr || !key->is_object()) {
+      return bad(line_no, "point line has no key object");
+    }
+    PointKey k;
+    const auto index_of = [&](const char* name, size_t* dst) {
+      const util::JsonValue* f = key->find(name);
+      if (f == nullptr || !f->is_number() || f->num < 0) return false;
+      *dst = static_cast<size_t>(f->num);
+      return true;
+    };
+    if (!index_of("job", &k.job) || !index_of("capacity", &k.capacity) ||
+        !index_of("energy", &k.energy) || !index_of("cache", &k.cache) ||
+        !index_of("algorithm", &k.algorithm) ||
+        !index_of("replay", &k.replay)) {
+      return bad(line_no, "point key is malformed");
+    }
+    if (k.job >= out->points.size()) {
+      return bad(line_no, "point key job index out of range");
+    }
+    if (k.capacity >= grid_.capacities.size() ||
+        k.energy >= grid_.energy_models.size() ||
+        k.cache >= grid_.caches.size() ||
+        k.algorithm >= grid_.algorithms.size() ||
+        k.replay >= grid_.replays.size()) {
+      return bad(line_no, "point key does not fit this sweep's grid");
+    }
+    const size_t flat = grid_.flat_index(k);
+    const util::JsonValue* ok = v.find("ok");
+    if (ok == nullptr || !ok->is_bool()) {
+      return bad(line_no, "point line has no ok flag");
+    }
+    // Only clean successes are worth caching: failed rows are what
+    // --resume exists to retry, and a replay-check mismatch is a failed
+    // validation even though the solve succeeded.
+    if (!ok->b) continue;
+    const util::JsonValue* replay_check = v.find("replay_check");
+    if (replay_check != nullptr) {
+      const util::JsonValue* rok = replay_check->find("ok");
+      if (rok == nullptr || !rok->is_bool() || !rok->b) continue;
+    }
+    const util::JsonValue* bytes = v.find("bytes_used");
+    const util::JsonValue* saved = v.find("saved_nj");
+    if (bytes == nullptr || !bytes->is_number() || saved == nullptr ||
+        !saved->is_number()) {
+      return bad(line_no, "point line lacks bytes_used/saved_nj");
+    }
+    SweepCheckpoint::CachedPoint& c = out->points[k.job][flat];
+    c.have = true;
+    c.line = std::string(line);
+    c.bytes = static_cast<uint64_t>(bytes->num);
+    c.saved = saved->num;
+  }
+  if (out->header.empty()) {
+    return bad(0, "journal has no sweep header line");
+  }
+  return {};
 }
 
 std::vector<SweepJob> SweepDriver::benchsuite_jobs() {

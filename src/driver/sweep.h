@@ -157,6 +157,12 @@ struct SweepOptions {
   /// Phase I configuration (engine, filter, shards) and the base Phase
   /// II options that empty axes inherit. with_spm is forced on.
   core::PipelineOptions pipeline;
+  /// How many times a *transient* failure (ErrorCode::kIoError — the
+  /// outside world failed, not the input and not this library) is
+  /// retried per Phase I run / Phase II point before its error row is
+  /// final. Deterministic classes (invalid_input, internal, budget
+  /// trips) are never retried: rerunning them reproduces the failure.
+  int transient_retries = 2;
 };
 
 /// One (program, grid point) cell.
@@ -230,6 +236,36 @@ struct SweepReport {
   std::string ndjson() const;
 };
 
+/// What `--resume` recovered from a previous run's NDJSON journal: the
+/// verbatim header line (revalidated against the new run's grid) and,
+/// per (job, flat point), the verbatim point line plus the two reduction
+/// scalars the Pareto/aggregate passes need. Cached lines are re-emitted
+/// byte-for-byte; only missing or failed points run again.
+struct SweepCheckpoint {
+  struct CachedPoint {
+    bool have = false;
+    std::string line;       ///< verbatim journal line
+    uint64_t bytes = 0;     ///< bytes_used (reduction input)
+    double saved = 0.0;     ///< saved_nj (reduction input)
+  };
+
+  std::string header;                          ///< verbatim journal header
+  std::vector<std::string> programs;           ///< by job index
+  std::vector<std::vector<CachedPoint>> points;  ///< [job][flat index]
+
+  bool point_cached(size_t job, size_t flat) const {
+    return job < points.size() && flat < points[job].size() &&
+           points[job][flat].have;
+  }
+  bool job_fully_cached(size_t job, size_t per_job) const {
+    if (job >= points.size() || points[job].size() < per_job) return false;
+    for (size_t i = 0; i < per_job; ++i) {
+      if (!points[job][i].have) return false;
+    }
+    return true;
+  }
+};
+
 class SweepDriver {
  public:
   explicit SweepDriver(SweepOptions opts = {});
@@ -246,11 +282,28 @@ class SweepDriver {
   /// million-point grid never holds more than one SpmReport per worker,
   /// plus the rendered text of out-of-order finished jobs. Output is
   /// byte-identical to run(jobs).ndjson(); sessions are not retained.
-  /// Returns the first failure: a failed point's status, or a
-  /// validation failure for a replay-axis point whose simulated
-  /// counters mismatched (the whole grid is still swept and written).
+  /// Returns the first failure: a failed point's status, a validation
+  /// failure for a replay-axis point whose simulated counters mismatched
+  /// (the whole grid is still swept and written), or kIoError the moment
+  /// the output stream itself fails (the sweep is then abandoned; the
+  /// partial journal — whole job blocks in order — is a valid --resume
+  /// checkpoint).
+  ///
+  /// With `resume`, points cached in the checkpoint are re-emitted
+  /// verbatim instead of re-run; a checkpoint whose header does not
+  /// match this grid and job list fails as kInvalidInput up front.
   util::Status run_ndjson(const std::vector<SweepJob>& jobs,
-                          std::ostream& out) const;
+                          std::ostream& out,
+                          const SweepCheckpoint* resume = nullptr) const;
+
+  /// Parses a previous run_ndjson journal (possibly truncated mid-line:
+  /// a partial tail line is ignored) into a checkpoint. Grid-shape
+  /// validation happens here (point keys out of range fail as
+  /// kInvalidInput); job-list validation happens in run_ndjson. Failed
+  /// point rows (ok:false) and rows whose replay check mismatched are
+  /// deliberately NOT cached, so resuming retries exactly those.
+  util::Status parse_resume(std::string_view journal,
+                            SweepCheckpoint* out) const;
 
   /// The six benchsuite kernels as sweep jobs, in the paper's order.
   static std::vector<SweepJob> benchsuite_jobs();

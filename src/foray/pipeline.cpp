@@ -35,12 +35,17 @@ util::Status frontend_phase(std::string_view source, PipelineResult* result) {
   util::DiagList diags;
   result->program = minic::parse_program(source, &diags);
   if (!diags.empty()) {
-    result->status = util::Status::failure("parse", std::move(diags));
+    // A program that fails to parse or type-check is the user's fault,
+    // never ours: classify as invalid_input so the CLI/sweep map it to
+    // the right exit code / error row.
+    result->status = util::Status::failure(util::ErrorCode::kInvalidInput,
+                                           "parse", std::move(diags));
     return result->status;
   }
   result->sema = minic::run_sema(result->program.get(), &diags);
   if (!diags.empty()) {
-    result->status = util::Status::failure("sema", std::move(diags));
+    result->status = util::Status::failure(util::ErrorCode::kInvalidInput,
+                                           "sema", std::move(diags));
     return result->status;
   }
   return result->status;

@@ -19,9 +19,12 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "minic/ast.h"
@@ -29,6 +32,7 @@
 #include "sim/interpreter.h"
 #include "sim/memory.h"
 #include "sim/value.h"
+#include "util/fault.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -147,17 +151,66 @@ class TraceEmitter {
         trace_scalars_(opts.trace_scalars),
         trace_data_(opts.trace_data),
         trace_system_(opts.trace_system),
-        emit_checkpoints_(opts.emit_checkpoints) {}
+        emit_checkpoints_(opts.emit_checkpoints),
+        max_records_(opts.budget.max_records),
+        timeout_seconds_(opts.budget.timeout_seconds),
+        cancel_(opts.budget.cancel.get()) {
+    // Budget checks run only at chunk boundaries (the "budget plus one
+    // chunk" contract), and only when some check is actually armed: an
+    // unbudgeted, unfaulted run pays a single bool test per chunk.
+    chunk_checked_ = opts.budget.chunk_checked() || util::fault::enabled();
+    if (opts.budget.has_deadline()) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(timeout_seconds_));
+    }
+  }
 
   FORAY_ALWAYS_INLINE void push(const trace::Record& r) {
     chunk_[len_++] = r;
-    if (len_ == chunk_.size()) flush();
+    if (len_ == chunk_.size()) {
+      flush();
+      // Check-after-delivery: a faulted run's trace still contains
+      // everything up to the fault, and finalize_result's epilogue
+      // flush() below can never throw.
+      if (chunk_checked_) check_budget();
+    }
   }
 
   void flush() {
     if (len_ != 0) {
       sink_->on_chunk(chunk_.data(), len_);
+      records_ += len_;
       len_ = 0;
+    }
+  }
+
+  void check_budget() {
+    if (util::fault::enabled()) {
+      // "sim.slow" models a stalling simulated program: each flush
+      // sleeps `param` milliseconds, so a wall-clock deadline trips.
+      const util::fault::Hit h = util::fault::hit("sim.slow");
+      if (h.fired) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(h.param));
+      }
+    }
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      throw RuntimeError("run cancelled", util::ErrorCode::kCancelled);
+    }
+    if (max_records_ != 0 && records_ >= max_records_) {
+      throw RuntimeError(
+          "trace record budget exceeded (" + std::to_string(max_records_) +
+              " records)",
+          util::ErrorCode::kResourceExhausted);
+    }
+    if (timeout_seconds_ > 0.0 &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%g", timeout_seconds_);
+      throw RuntimeError(
+          std::string("wall-clock budget exceeded (") + buf + "s)",
+          util::ErrorCode::kDeadlineExceeded);
     }
   }
 
@@ -186,13 +239,21 @@ class TraceEmitter {
   }
 
   uint64_t accesses() const { return accesses_; }
+  /// Records delivered to the sink so far (excludes the unflushed tail).
+  uint64_t records_flushed() const { return records_; }
 
  private:
   SinkT* sink_;
   std::vector<trace::Record> chunk_;
   size_t len_ = 0;
   uint64_t accesses_ = 0;
+  uint64_t records_ = 0;
   const bool trace_scalars_, trace_data_, trace_system_, emit_checkpoints_;
+  bool chunk_checked_ = false;
+  const uint64_t max_records_;
+  const double timeout_seconds_;
+  std::chrono::steady_clock::time_point deadline_{};
+  CancelToken* cancel_;  ///< kept alive by the engine's RunOptions copy
 };
 
 // -- shared engine-host plumbing ----------------------------------------------
@@ -205,14 +266,18 @@ class TraceEmitter {
 inline void append_output_limited(std::string* out, size_t max_bytes,
                                   const std::string& s) {
   if (out->size() + s.size() > max_bytes) {
-    throw RuntimeError("simulated program output limit exceeded");
+    throw RuntimeError("simulated program output limit exceeded",
+                       util::ErrorCode::kResourceExhausted);
   }
   *out += s;
 }
 
-/// Runs an engine body, translating the two simulated-program exits:
+/// Runs an engine body, translating every simulated-program exit:
 /// ExitSignal (the exit() intrinsic) into an exit code, RuntimeError
-/// into a "simulation" Status at the line the engine last visited.
+/// into a "simulation" Status at the line the engine last visited
+/// (carrying the fault's error class), a sink's StatusError into its
+/// carried Status verbatim, and allocation failure (a trace the host
+/// cannot hold) into resource_exhausted.
 template <class Fn>
 void execute_guarded(RunResult* result, const int* cur_line, Fn&& body) {
   try {
@@ -221,7 +286,13 @@ void execute_guarded(RunResult* result, const int* cur_line, Fn&& body) {
     result->exit_code = e.code;
   } catch (const RuntimeError& e) {
     result->status =
-        util::Status::failure("simulation", *cur_line, e.what());
+        util::Status::failure(e.code(), "simulation", *cur_line, e.what());
+  } catch (const util::StatusError& e) {
+    result->status = e.status();
+  } catch (const std::bad_alloc&) {
+    result->status = util::Status::failure(
+        util::ErrorCode::kResourceExhausted, "simulation", *cur_line,
+        "out of memory during simulation");
   }
 }
 

@@ -84,7 +84,8 @@ class Interp {
         emitter_(sink, opts_),
         res_(resolve_variables(prog)),
         mem_(opts.heap_capacity, opts.stack_capacity),
-        rng_(opts.rng_seed) {}
+        rng_(opts.rng_seed),
+        max_steps_(opts.budget.effective_max_steps()) {}
 
   RunResult run() {
     RunResult result;
@@ -117,9 +118,10 @@ class Interp {
   // -- bookkeeping ----------------------------------------------------------
 
   void step() {
-    if (++steps_ > opts_.max_steps) {
+    if (++steps_ > max_steps_) {
       throw RuntimeError("step limit exceeded (" +
-                         std::to_string(opts_.max_steps) + ")");
+                             std::to_string(opts_.budget.max_steps) + ")",
+                         util::ErrorCode::kResourceExhausted);
     }
   }
 
@@ -541,6 +543,7 @@ class Interp {
   std::vector<Frame> frames_;
   std::string output_;
   uint64_t steps_ = 0;
+  const uint64_t max_steps_;  ///< budget.effective_max_steps(), cached
   int cur_line_ = 0;
 };
 

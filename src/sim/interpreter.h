@@ -19,6 +19,7 @@
 #include <string>
 
 #include "minic/ast.h"
+#include "sim/budget.h"
 #include "sim/memory.h"
 #include "trace/sink.h"
 #include "util/status.h"
@@ -41,7 +42,11 @@ Engine default_engine();
 
 struct RunOptions {
   Engine engine = default_engine();
-  uint64_t max_steps = 500'000'000;  ///< evaluation-step guard
+  /// Execution bounds: step guard, record budget, wall-clock deadline
+  /// and cancellation token (sim/budget.h). The step guard is checked
+  /// per instruction; the rest at trace-chunk boundaries, so a run may
+  /// overshoot those budgets by at most one chunk.
+  Budget budget;
   /// Expected trace volume (records); VectorSink-style consumers use it to
   /// reserve storage up front instead of growing through reallocation.
   /// 0 = unknown.

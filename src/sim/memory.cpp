@@ -34,7 +34,8 @@ uint32_t Memory::heap_alloc(uint32_t size) {
   uint32_t offset = align_up(heap_brk_, 8);
   if (size > heap_capacity_ || offset > heap_capacity_ - size) {
     throw RuntimeError("simulated heap exhausted (malloc of " +
-                       std::to_string(size) + " bytes)");
+                           std::to_string(size) + " bytes)",
+                       util::ErrorCode::kResourceExhausted);
   }
   heap_brk_ = offset + size;
   if (heap_.size() < heap_brk_) heap_.resize(heap_brk_, 0);
@@ -43,7 +44,8 @@ uint32_t Memory::heap_alloc(uint32_t size) {
 
 void Memory::set_sp(uint32_t sp) {
   if (sp > kStackTop || kStackTop - sp > stack_capacity_) {
-    throw RuntimeError("simulated stack overflow");
+    throw RuntimeError("simulated stack overflow",
+                       util::ErrorCode::kResourceExhausted);
   }
   sp_ = sp;
 }

@@ -21,13 +21,25 @@
 #include <vector>
 
 #include "util/inline.h"
+#include "util/status.h"
 
 namespace foray::sim {
 
 /// Raised for simulated-program faults (OOB access, overflow, bad free).
+/// Carries the failure class the fault maps to: a wild pointer is the
+/// program's fault (kInvalidInput, the default), a tripped budget is
+/// kResourceExhausted / kDeadlineExceeded / kCancelled. execute_guarded
+/// preserves the code on the resulting Status.
 class RuntimeError : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit RuntimeError(
+      const std::string& what,
+      util::ErrorCode code = util::ErrorCode::kInvalidInput)
+      : std::runtime_error(what), code_(code) {}
+  util::ErrorCode code() const { return code_; }
+
+ private:
+  util::ErrorCode code_;
 };
 
 class Memory {

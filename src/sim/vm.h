@@ -46,7 +46,7 @@ class Vm {
         emitter_(sink, opts_),
         mem_(opts.heap_capacity, opts.stack_capacity),
         rng_(opts.rng_seed),
-        max_steps_(opts.max_steps) {}
+        max_steps_(opts.budget.effective_max_steps()) {}
 
   // -- Host interface for the shared intrinsic runner ------------------------
 
@@ -106,7 +106,8 @@ class Vm {
 
   [[noreturn]] void step_limit_fault() {
     throw RuntimeError("step limit exceeded (" + std::to_string(max_steps_) +
-                       ")");
+                           ")",
+                       util::ErrorCode::kResourceExhausted);
   }
 
   [[noreturn]] void throw_unbound(uint32_t name_idx) {
@@ -169,14 +170,14 @@ class Vm {
   do {                                                   \
     ++ip;                                                \
     cur_line_ = ip->line;                                \
-    if (++steps_ > max_steps_) step_limit_fault();       \
+    if (++steps > max_steps) step_limit_fault();         \
     goto* kLabels[static_cast<size_t>(ip->op)];          \
   } while (0)
 #define VM_JUMP(target)                                  \
   do {                                                   \
     ip = code + (target);                                \
     cur_line_ = ip->line;                                \
-    if (++steps_ > max_steps_) step_limit_fault();       \
+    if (++steps > max_steps) step_limit_fault();         \
     goto* kLabels[static_cast<size_t>(ip->op)];          \
   } while (0)
 #else
@@ -197,7 +198,14 @@ template <class SinkT>
 void Vm<SinkT>::exec() {
   const Insn* const code = code_.code.data();
   const Insn* ip = code + code_.start_pc;
-
+  // The step guard runs once per dispatch, so it lives in locals for
+  // the duration of the loop: a member counter would be a memory RMW
+  // per instruction (the compiler cannot prove the handlers' stores
+  // never alias *this). Flushed back to steps_ at Halt and, via the
+  // catch-all below, on every faulting exit.
+  uint64_t steps = steps_;
+  const uint64_t max_steps = max_steps_;
+  try {
 #ifdef FORAY_VM_COMPUTED_GOTO
 #define FORAY_VM_OP_LABEL(name) &&L_##name,
   static const void* const kLabels[] = {FORAY_VM_OPS(FORAY_VM_OP_LABEL)};
@@ -205,12 +213,12 @@ void Vm<SinkT>::exec() {
   static_assert(sizeof(kLabels) / sizeof(kLabels[0]) == kNumOps,
                 "dispatch table must cover every opcode");
   cur_line_ = ip->line;
-  if (++steps_ > max_steps_) step_limit_fault();
+  if (++steps > max_steps) step_limit_fault();
   goto* kLabels[static_cast<size_t>(ip->op)];
 #else
 dispatch:
   cur_line_ = ip->line;
-  if (++steps_ > max_steps_) step_limit_fault();
+  if (++steps > max_steps) step_limit_fault();
   switch (ip->op) {
 #endif
 
@@ -554,12 +562,17 @@ dispatch:
   }
   VM_CASE(Halt) {
     exit_code_ = static_cast<int>((--sp_)->as_int());
+    steps_ = steps;
     return;
   }
 
 #ifndef FORAY_VM_COMPUTED_GOTO
   }
 #endif
+  } catch (...) {
+    steps_ = steps;
+    throw;
+  }
 }
 
 #undef VM_CASE

@@ -1,9 +1,11 @@
 #include "trace/io.h"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include "util/fault.h"
 #include "util/strings.h"
 
 namespace foray::trace {
@@ -74,10 +76,14 @@ void write_text(std::ostream& os, const std::vector<Record>& records) {
   for (const Record& r : records) os << record_to_text(r) << '\n';
 }
 
-bool read_text(std::istream& is, std::vector<Record>* out,
-               util::DiagList* diags) {
+util::Status read_text(std::istream& is, std::vector<Record>* out) {
   std::string line;
   int lineno = 0;
+  const auto malformed = [&](const char* what) {
+    return util::Status::failure(util::ErrorCode::kInvalidInput, "trace-text",
+                                 lineno,
+                                 std::string(what) + " record: " + line);
+  };
   while (std::getline(is, line)) {
     ++lineno;
     auto toks = util::split_ws(line);
@@ -87,8 +93,7 @@ bool read_text(std::istream& is, std::vector<Record>* out,
       int64_t id;
       if (toks.size() != 3 || !parse_cp(toks[1], &cp) ||
           !util::parse_i64(toks[2], &id)) {
-        diags->add(lineno, "malformed checkpoint record: " + line);
-        return false;
+        return malformed("malformed checkpoint");
       }
       out->push_back(Record::checkpoint(cp, static_cast<int32_t>(id)));
     } else if (toks[0] == "Instr:") {
@@ -99,8 +104,7 @@ bool read_text(std::istream& is, std::vector<Record>* out,
           toks[2] != "addr:" || !util::parse_hex(toks[3], &addr) ||
           (toks[4] != "wr" && toks[4] != "rd") ||
           !util::parse_i64(toks[5], &size) || !parse_kind(toks[6], &kind)) {
-        diags->add(lineno, "malformed access record: " + line);
-        return false;
+        return malformed("malformed access");
       }
       out->push_back(Record::access(static_cast<uint32_t>(instr),
                                     static_cast<uint32_t>(addr),
@@ -109,18 +113,16 @@ bool read_text(std::istream& is, std::vector<Record>* out,
     } else if (toks[0] == "Call:" || toks[0] == "Ret:") {
       int64_t id;
       if (toks.size() != 2 || !util::parse_i64(toks[1], &id)) {
-        diags->add(lineno, "malformed call/ret record: " + line);
-        return false;
+        return malformed("malformed call/ret");
       }
       out->push_back(toks[0] == "Call:"
                          ? Record::call(static_cast<int32_t>(id))
                          : Record::ret(static_cast<int32_t>(id)));
     } else {
-      diags->add(lineno, "unknown record: " + line);
-      return false;
+      return malformed("unknown");
     }
   }
-  return true;
+  return util::Status();
 }
 
 // Binary layout: 1 tag byte, then a fixed payload per type.
@@ -194,25 +196,68 @@ void write_binary(std::ostream& os, const Record* records, size_t count) {
   }
 }
 
-bool read_binary(std::istream& is, std::vector<Record>* out,
-                 util::DiagList* diags) {
+namespace {
+
+util::Status bad_input(const std::string& msg) {
+  return util::Status::failure(util::ErrorCode::kInvalidInput, "trace-io", 0,
+                               msg);
+}
+
+util::Status io_error(const std::string& msg) {
+  return util::Status::failure(util::ErrorCode::kIoError, "trace-io", 0, msg);
+}
+
+/// Smallest on-disk record (Checkpoint/Call/Ret: tag + u32). A header
+/// claiming more records than `remaining / kMinRecordBytes` is lying.
+constexpr uint64_t kMinRecordBytes = 5;
+
+/// When the stream is not seekable (so the remaining size is unknowable),
+/// the up-front reserve is capped here and the vector grows normally past
+/// it — a hostile count then costs amortized growth, not a 20 GiB reserve.
+constexpr uint32_t kUncheckedReserveCap = 1u << 20;
+
+}  // namespace
+
+util::Status read_binary(std::istream& is, std::vector<Record>* out) {
   char magic[4];
   if (!is.read(magic, 4) || std::string_view(magic, 4) !=
                                 std::string_view(kMagic, 4)) {
-    diags->add(0, "bad trace magic");
-    return false;
+    return bad_input("bad trace magic");
+  }
+  if (util::fault::enabled() &&
+      util::fault::should_fail("trace.chunk.corrupt")) {
+    return io_error("injected corrupt trace chunk");
   }
   uint32_t count = 0;
   if (!get_u32(is, &count)) {
-    diags->add(0, "truncated trace header");
-    return false;
+    return io_error("truncated trace header");
   }
-  out->reserve(out->size() + count);
+  // Validate the claimed count against the bytes actually present before
+  // sizing any allocation from it (oversized-header hardening).
+  uint32_t reserve_count = std::min(count, kUncheckedReserveCap);
+  const std::istream::pos_type body = is.tellg();
+  if (body != std::istream::pos_type(-1)) {
+    is.seekg(0, std::ios::end);
+    const std::istream::pos_type end = is.tellg();
+    is.seekg(body);
+    if (end != std::istream::pos_type(-1) && is) {
+      const uint64_t remaining = static_cast<uint64_t>(end - body);
+      if (static_cast<uint64_t>(count) * kMinRecordBytes > remaining) {
+        return bad_input("trace header claims " + std::to_string(count) +
+                         " records but only " + std::to_string(remaining) +
+                         " bytes follow");
+      }
+      reserve_count = count;
+    }
+  }
+  is.clear();  // tellg(-1) on non-seekable streams sets failbit
+  out->reserve(out->size() + reserve_count);
   for (uint32_t i = 0; i < count; ++i) {
+    const std::string at = " (record " + std::to_string(i) + " of " +
+                           std::to_string(count) + ")";
     int tag_c = is.get();
     if (tag_c < 0) {
-      diags->add(0, "truncated trace body");
-      return false;
+      return io_error("truncated trace body" + at);
     }
     uint8_t tag = static_cast<uint8_t>(tag_c);
     auto type = static_cast<RecordType>(tag >> 4);
@@ -220,8 +265,7 @@ bool read_binary(std::istream& is, std::vector<Record>* out,
       case RecordType::Checkpoint: {
         uint32_t id;
         if (!get_u32(is, &id)) {
-          diags->add(0, "truncated checkpoint record");
-          return false;
+          return io_error("truncated checkpoint record" + at);
         }
         out->push_back(Record::checkpoint(
             static_cast<CheckpointType>(tag & 0x03),
@@ -231,14 +275,12 @@ bool read_binary(std::istream& is, std::vector<Record>* out,
       case RecordType::Access: {
         uint32_t instr, addr;
         if (!get_u32(is, &instr) || !get_u32(is, &addr)) {
-          diags->add(0, "truncated access record");
-          return false;
+          return io_error("truncated access record" + at);
         }
         int size = is.get();
         int reserved = is.get();
         if (size < 0 || reserved < 0) {
-          diags->add(0, "truncated access record");
-          return false;
+          return io_error("truncated access record" + at);
         }
         out->push_back(Record::access(instr, addr,
                                       static_cast<uint8_t>(size),
@@ -250,8 +292,7 @@ bool read_binary(std::istream& is, std::vector<Record>* out,
       case RecordType::Ret: {
         uint32_t id;
         if (!get_u32(is, &id)) {
-          diags->add(0, "truncated call/ret record");
-          return false;
+          return io_error("truncated call/ret record" + at);
         }
         out->push_back(type == RecordType::Call
                            ? Record::call(static_cast<int32_t>(id))
@@ -259,11 +300,10 @@ bool read_binary(std::istream& is, std::vector<Record>* out,
         break;
       }
       default:
-        diags->add(0, "unknown record tag");
-        return false;
+        return bad_input("unknown record tag " + std::to_string(tag) + at);
     }
   }
-  return true;
+  return util::Status();
 }
 
 }  // namespace foray::trace

@@ -26,10 +26,11 @@ std::string record_to_text(const Record& r);
 
 void write_text(std::ostream& os, const std::vector<Record>& records);
 
-/// Parses the text format. Returns false (and fills diags) on any
-/// malformed line; parsing stops at the first error.
-bool read_text(std::istream& is, std::vector<Record>* out,
-               util::DiagList* diags);
+/// Parses the text format. Malformed lines fail as kInvalidInput with a
+/// 1-based line number; parsing stops at the first error. Records parsed
+/// before the error remain appended to *out (callers that need
+/// all-or-nothing should parse into a scratch vector).
+util::Status read_text(std::istream& is, std::vector<Record>* out);
 
 // -- binary -----------------------------------------------------------------
 
@@ -39,8 +40,13 @@ void write_binary(std::ostream& os, const std::vector<Record>& records);
 /// (e.g. a ChunkBuffer flush or a shard of a materialized trace).
 void write_binary(std::ostream& os, const Record* records, size_t count);
 
-bool read_binary(std::istream& is, std::vector<Record>* out,
-                 util::DiagList* diags);
+/// Parses the binary format. Hardened against hostile input: a bad magic
+/// or unknown record tag is kInvalidInput; truncation (header or body) is
+/// kIoError; a header whose record count cannot fit in the remaining
+/// bytes is rejected up front as kInvalidInput, before any allocation
+/// sized from it. Fault site "trace.chunk.corrupt" injects a kIoError
+/// here for the fault-injection harness.
+util::Status read_binary(std::istream& is, std::vector<Record>* out);
 
 /// Size in bytes one record occupies in the binary encoding.
 size_t binary_record_size(const Record& r);

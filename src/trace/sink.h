@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "trace/record.h"
+#include "util/fault.h"
 #include "util/status.h"
 
 namespace foray::trace {
@@ -61,6 +62,15 @@ class VectorSink final : public Sink {
   void reserve(size_t records) { records_.reserve(records); }
   void on_record(const Record& r) override { records_.push_back(r); }
   void on_chunk(const Record* r, size_t n) override {
+    // Fault site "trace.buffer.alloc": models the materialized trace
+    // outgrowing memory. Consulted per chunk, so the unfaulted cost is
+    // one relaxed load per ~1024 records.
+    if (util::fault::enabled() &&
+        util::fault::should_fail("trace.buffer.alloc")) {
+      throw util::StatusError(util::Status::failure(
+          util::ErrorCode::kResourceExhausted, "trace", 0,
+          "injected trace-buffer allocation failure"));
+    }
     records_.insert(records_.end(), r, r + n);
   }
   const std::vector<Record>& records() const { return records_; }

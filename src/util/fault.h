@@ -1,0 +1,64 @@
+// Named fault-injection points.
+//
+// Robustness claims ("a sink I/O error yields a clean io_error row and a
+// resumable journal") are only testable if the failure can actually be
+// made to happen. This registry provides named sites compiled into the
+// production binary but costing a single relaxed atomic load when no
+// fault is armed; tests/fault_injection_test and the FORAY_FAULT
+// environment variable arm them.
+//
+// A spec is a comma- or semicolon-separated list of site triggers:
+//
+//   site[:skip=N][:count=M][:param=P]
+//
+//   skip   fire only after the site has been hit N times (default 0)
+//   count  fire at most M times, then disarm (default unlimited)
+//   param  integer payload the site interprets (e.g. sleep millis)
+//
+// e.g. FORAY_FAULT="sweep.sink.io:skip=2:count=1" fails the third sink
+// write and nothing else. Unknown site names are configuration errors —
+// a typo must not silently inject nothing.
+//
+// Sites are consulted at chunk/solve frequency, never per record or per
+// instruction, so arming a fault does not change hot-loop codegen.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace foray::util::fault {
+
+/// The outcome of consulting a site: whether the fault fires now, and
+/// the armed trigger's integer payload.
+struct Hit {
+  bool fired = false;
+  uint64_t param = 0;
+};
+
+/// True when any site is armed (one relaxed atomic load — the only cost
+/// paid on unfaulted runs). Callers gate their hit() calls on this.
+bool enabled();
+
+/// Consults a site, consuming one trigger when it fires. Thread-safe.
+/// FORAY_CHECKs that `site` names a registered site.
+Hit hit(std::string_view site);
+
+inline bool should_fail(std::string_view site) { return hit(site).fired; }
+
+/// Every registered site name, in a stable order — the fault-injection
+/// test iterates this to prove each site has coverage.
+std::vector<std::string> all_sites();
+
+/// Arms sites from a spec string (see the header comment). Replaces any
+/// previous configuration, including one read from FORAY_FAULT. Returns
+/// invalid_input on bad syntax or an unknown site name.
+Status configure(std::string_view spec);
+
+/// Disarms every site (tests call this in teardown).
+void reset();
+
+}  // namespace foray::util::fault

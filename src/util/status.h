@@ -12,6 +12,24 @@
 
 namespace foray::util {
 
+/// Coarse failure classification shared by every layer. The class — not
+/// the message — decides policy: the CLI exit code, whether the sweep
+/// driver retries a point (transient classes only), and how a service
+/// should surface the failure. Messages stay free-form.
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kInvalidInput,        ///< malformed program/trace/spec — the user's fault
+  kResourceExhausted,   ///< a budget tripped: steps, records, memory, output
+  kDeadlineExceeded,    ///< wall-clock budget expired
+  kInternal,            ///< a bug in this library (violated invariant)
+  kIoError,             ///< the outside world failed: truncated/unwritable
+  kCancelled,           ///< cooperative cancellation token fired
+};
+
+/// Stable lower-case name of a code ("invalid_input", ...), as rendered
+/// into NDJSON `error_class` fields and the README taxonomy table.
+const char* code_name(ErrorCode code);
+
 /// A single diagnostic attached to a source location.
 struct Diag {
   int line = 0;          ///< 1-based source line; 0 when not applicable.
@@ -57,20 +75,34 @@ class Status {
  public:
   Status() = default;  ///< success
 
-  static Status failure(std::string phase, DiagList diags) {
+  static Status failure(ErrorCode code, std::string phase, DiagList diags) {
     Status s;
+    s.code_ = code == ErrorCode::kOk ? ErrorCode::kInternal : code;
     s.phase_ = std::move(phase);
     s.diags_ = std::move(diags);
     if (s.diags_.empty()) s.diags_.add(0, "unknown error");
     return s;
   }
-  static Status failure(std::string phase, int line, std::string message) {
+  static Status failure(ErrorCode code, std::string phase, int line,
+                        std::string message) {
     DiagList d;
     d.add(line, std::move(message));
-    return failure(std::move(phase), std::move(d));
+    return failure(code, std::move(phase), std::move(d));
+  }
+  /// Legacy unclassified factories: anything not explicitly classified is
+  /// conservatively internal (a bug), never silently a user error.
+  static Status failure(std::string phase, DiagList diags) {
+    return failure(ErrorCode::kInternal, std::move(phase), std::move(diags));
+  }
+  static Status failure(std::string phase, int line, std::string message) {
+    return failure(ErrorCode::kInternal, std::move(phase), line,
+                   std::move(message));
   }
 
   bool ok() const { return diags_.empty(); }
+  ErrorCode code() const { return ok() ? ErrorCode::kOk : code_; }
+  /// code_name(code()): "ok", "invalid_input", ...
+  const char* code_name() const { return util::code_name(code()); }
   /// Which phase failed ("parse", "sema", "simulation", ...); empty on ok.
   const std::string& phase() const { return phase_; }
   const DiagList& diags() const { return diags_; }
@@ -91,13 +123,42 @@ class Status {
  private:
   std::string phase_;
   DiagList diags_;
+  ErrorCode code_ = ErrorCode::kOk;
 };
+
+inline const char* code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidInput: return "invalid_input";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kIoError: return "io_error";
+    case ErrorCode::kCancelled: return "cancelled";
+  }
+  return "internal";
+}
 
 /// Thrown when an internal invariant is violated. Indicates a bug in this
 /// library, never a malformed user program.
 class InternalError : public std::logic_error {
  public:
   using std::logic_error::logic_error;
+};
+
+/// An exception that carries a fully-classified Status across layers that
+/// cannot return one — above all the trace sinks, which run inside an
+/// engine's guarded execution and may not depend on sim::RuntimeError.
+/// execute_guarded, Session::run and the sweep's solve_point all catch it
+/// and surface the carried Status verbatim, code included.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.message()), status_(std::move(status)) {}
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
 };
 
 }  // namespace foray::util

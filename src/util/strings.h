@@ -24,6 +24,9 @@ std::vector<std::string_view> split_ws(std::string_view s);
 /// Split on a single character; keeps empty tokens.
 std::vector<std::string_view> split(std::string_view s, char sep);
 
+/// Strip leading/trailing spaces and tabs.
+std::string_view trim(std::string_view s);
+
 /// True if `s` starts with `prefix`.
 bool starts_with(std::string_view s, std::string_view prefix);
 

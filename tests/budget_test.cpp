@@ -1,0 +1,207 @@
+// Execution budgets (sim/budget.h): the step guard, the record budget,
+// the wall-clock deadline and cooperative cancellation, on both engines
+// and through every parallel extraction mode.
+//
+// The load-bearing contract is "budget plus one chunk": record/deadline/
+// cancel checks run at trace-chunk boundaries (check-after-delivery), so
+// a faulted run overshoots those budgets by at most RunOptions::
+// chunk_records records — and the epilogue flush can never throw. The
+// step guard is per-instruction and exact, which is what bounds a
+// record-free spin loop.
+#include <gtest/gtest.h>
+
+#include "foray/pipeline.h"
+#include "instrument/annotator.h"
+#include "minic/parser.h"
+#include "sim/interpreter.h"
+#include "trace/sink.h"
+#include "util/status.h"
+
+namespace foray::sim {
+namespace {
+
+// Non-terminating, with data traffic on every iteration — the record
+// budget and the deadline both get chunk boundaries to trip at.
+const char* kSpinWithTraffic =
+    "int buf[256];\n"
+    "int main(void) {\n"
+    "  int i = 0;\n"
+    "  while (1) { buf[i & 255] = i; i = i + 1; }\n"
+    "  return 0;\n"
+    "}\n";
+
+// Non-terminating and record-free: only the step guard can stop it.
+const char* kPureSpin =
+    "int main(void) {\n"
+    "  int i = 0;\n"
+    "  while (1) { i = i + 1; }\n"
+    "  return 0;\n"
+    "}\n";
+
+struct Capture {
+  RunResult result;
+  size_t records = 0;
+};
+
+Capture run_src(std::string_view src, RunOptions opts) {
+  util::DiagList diags;
+  auto prog = minic::parse_and_check(src, &diags);
+  EXPECT_NE(prog, nullptr) << diags.str();
+  Capture out;
+  if (!prog) return out;
+  instrument::annotate_loops(prog.get());
+  trace::VectorSink sink;
+  out.result = run_program(*prog, &sink, opts);
+  out.records = sink.records().size();
+  return out;
+}
+
+const Engine kEngines[] = {Engine::Ast, Engine::Bytecode};
+
+TEST(Budget, DefaultsBoundStepsButNothingElse) {
+  Budget b;
+  EXPECT_EQ(b.effective_max_steps(), 500'000'000u);
+  EXPECT_FALSE(b.has_deadline());
+  EXPECT_FALSE(b.chunk_checked());
+  b.max_steps = 0;
+  EXPECT_EQ(b.effective_max_steps(), UINT64_MAX);
+}
+
+TEST(Budget, StepGuardStopsPureSpinOnBothEngines) {
+  for (Engine engine : kEngines) {
+    RunOptions opts;
+    opts.engine = engine;
+    opts.budget.max_steps = 50'000;
+    Capture c = run_src(kPureSpin, opts);
+    EXPECT_EQ(c.result.status.code(), util::ErrorCode::kResourceExhausted)
+        << c.result.status.message();
+    // The step guard is exact: the engine stops on the first step past
+    // the limit.
+    EXPECT_LE(c.result.steps, opts.budget.max_steps + 1);
+  }
+}
+
+TEST(Budget, RecordBudgetAtExactChunkBoundary) {
+  for (Engine engine : kEngines) {
+    RunOptions opts;
+    opts.engine = engine;
+    opts.chunk_records = 64;
+    opts.budget.max_records = 64;  // trips on the very first flush
+    Capture c = run_src(kSpinWithTraffic, opts);
+    EXPECT_EQ(c.result.status.code(), util::ErrorCode::kResourceExhausted)
+        << c.result.status.message();
+    // Check-after-delivery: the chunk that crossed the budget is already
+    // in the sink, and nothing after it.
+    EXPECT_EQ(c.records, 64u);
+  }
+}
+
+TEST(Budget, RecordBudgetMidChunkOvershootsByAtMostOneChunk) {
+  for (Engine engine : kEngines) {
+    RunOptions opts;
+    opts.engine = engine;
+    opts.chunk_records = 64;
+    opts.budget.max_records = 100;  // not a chunk multiple
+    Capture c = run_src(kSpinWithTraffic, opts);
+    EXPECT_EQ(c.result.status.code(), util::ErrorCode::kResourceExhausted)
+        << c.result.status.message();
+    EXPECT_GE(c.records, opts.budget.max_records);
+    EXPECT_LE(c.records, opts.budget.max_records + opts.chunk_records);
+  }
+}
+
+TEST(Budget, DeadlineTripsOnBothEngines) {
+  for (Engine engine : kEngines) {
+    RunOptions opts;
+    opts.engine = engine;
+    opts.chunk_records = 64;
+    // Already expired at the first chunk check; the run still delivers
+    // the chunk it was filling (budget plus one chunk).
+    opts.budget.timeout_seconds = 1e-9;
+    Capture c = run_src(kSpinWithTraffic, opts);
+    EXPECT_EQ(c.result.status.code(), util::ErrorCode::kDeadlineExceeded)
+        << c.result.status.message();
+    EXPECT_LE(c.records, opts.chunk_records);
+  }
+}
+
+TEST(Budget, CancellationTripsAsCancelled) {
+  for (Engine engine : kEngines) {
+    RunOptions opts;
+    opts.engine = engine;
+    opts.chunk_records = 64;
+    opts.budget.cancel = std::make_shared<CancelToken>();
+    opts.budget.cancel->cancel();  // pre-cancelled: first check trips
+    Capture c = run_src(kSpinWithTraffic, opts);
+    EXPECT_EQ(c.result.status.code(), util::ErrorCode::kCancelled)
+        << c.result.status.message();
+    EXPECT_LE(c.records, opts.chunk_records);
+  }
+}
+
+TEST(Budget, UnbudgetedRunIsUnaffected) {
+  const char* kOk =
+      "int a[16];\n"
+      "int main(void) {\n"
+      "  for (int i = 0; i < 16; i++) a[i] = i;\n"
+      "  return a[3];\n"
+      "}\n";
+  for (Engine engine : kEngines) {
+    RunOptions opts;
+    opts.engine = engine;
+    Capture c = run_src(kOk, opts);
+    EXPECT_TRUE(c.result.ok()) << c.result.status.message();
+    EXPECT_EQ(c.result.exit_code, 3);
+  }
+}
+
+// -- budgets through the pipeline's parallel extraction modes ----------------
+//
+// The acceptance bar: a non-terminating program under --max-steps /
+// --timeout fails with the right class in every mode, not just the
+// plain online run.
+
+core::PipelineOptions mode_opts(int mode, Engine engine) {
+  core::PipelineOptions opts;
+  opts.run.engine = engine;
+  opts.filter.min_exec = 1;
+  opts.filter.min_locations = 1;
+  switch (mode) {
+    case 0: break;                            // online
+    case 1: opts.offline = true; break;       // --offline
+    case 2: opts.profile_shards = 2; break;   // --shards 2
+    case 3: opts.profile_pipeline = true; break;   // --pipeline
+    case 4: opts.profile_timeshards = 2; break;    // --timeshards 2
+  }
+  return opts;
+}
+
+TEST(Budget, StepBudgetFaultsEveryExtractionMode) {
+  for (Engine engine : kEngines) {
+    for (int mode = 0; mode < 5; ++mode) {
+      core::PipelineOptions opts = mode_opts(mode, engine);
+      opts.run.budget.max_steps = 50'000;
+      auto res = core::run_pipeline(kSpinWithTraffic, opts);
+      EXPECT_FALSE(res.ok()) << "mode " << mode;
+      EXPECT_EQ(res.status.code(), util::ErrorCode::kResourceExhausted)
+          << "mode " << mode << ": " << res.status.message();
+    }
+  }
+}
+
+TEST(Budget, DeadlineFaultsEveryExtractionMode) {
+  for (Engine engine : kEngines) {
+    for (int mode = 0; mode < 5; ++mode) {
+      core::PipelineOptions opts = mode_opts(mode, engine);
+      opts.run.chunk_records = 64;
+      opts.run.budget.timeout_seconds = 1e-9;
+      auto res = core::run_pipeline(kSpinWithTraffic, opts);
+      EXPECT_FALSE(res.ok()) << "mode " << mode;
+      EXPECT_EQ(res.status.code(), util::ErrorCode::kDeadlineExceeded)
+          << "mode " << mode << ": " << res.status.message();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace foray::sim

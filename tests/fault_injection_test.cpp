@@ -1,0 +1,294 @@
+// The fault-injection harness (util/fault.h) and what it proves: every
+// registered site can be armed, fires with the documented trigger
+// semantics, surfaces as the *right* error class with no crash, leaves a
+// valid partial artifact, and — for the sweep sink — a journal that
+// `--resume` completes to output byte-identical to an unfaulted run.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/sweep.h"
+#include "foray/pipeline.h"
+#include "instrument/annotator.h"
+#include "minic/parser.h"
+#include "sim/interpreter.h"
+#include "trace/io.h"
+#include "trace/sink.h"
+#include "util/fault.h"
+#include "util/status.h"
+
+namespace foray {
+namespace {
+
+const char* kAlpha =
+    "int a[256];\n"
+    "int main(void) {\n"
+    "  for (int r = 0; r < 40; r++)\n"
+    "    for (int i = 0; i < 256; i++) a[i] = a[i] + r;\n"
+    "  return a[0] & 255;\n"
+    "}\n";
+
+const char* kBeta =
+    "char buf[4096];\n"
+    "int main(void) {\n"
+    "  char *p = buf;\n"
+    "  int t = 0;\n"
+    "  while (t < 30) {\n"
+    "    t++;\n"
+    "    p += 64;\n"
+    "    for (int i = 0; i < 32; i++) *p++ = (i + t) % 256;\n"
+    "  }\n"
+    "  return 0;\n"
+    "}\n";
+
+std::vector<driver::SweepJob> jobs() {
+  return {{"alpha", kAlpha}, {"beta", kBeta}};
+}
+
+driver::SweepOptions sweep_opts() {
+  driver::SweepOptions o;
+  o.threads = 1;  // deterministic solve order for count-limited faults
+  o.pipeline.filter.min_exec = 1;
+  o.pipeline.filter.min_locations = 1;
+  // Two capacities so the grid has solve groups beyond the base
+  // configuration: point 0 reuses Phase I's solve, so "spm.solve" only
+  // fires on the extra groups' solve_point calls.
+  EXPECT_TRUE(o.spec.parse_axis("capacity", "1024,4096").ok());
+  return o;
+}
+
+// Every test disarms on the way out — the registry is process-global.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::fault::reset(); }
+};
+
+sim::RunResult run_sim(const char* src, sim::RunOptions opts = {}) {
+  util::DiagList diags;
+  auto prog = minic::parse_and_check(src, &diags);
+  EXPECT_NE(prog, nullptr) << diags.str();
+  if (!prog) return {};
+  instrument::annotate_loops(prog.get());
+  trace::VectorSink sink;
+  return sim::run_program(*prog, &sink, opts);
+}
+
+// -- the registry itself ------------------------------------------------------
+
+TEST_F(FaultInjectionTest, EverySiteArmsFiresAndDisarms) {
+  const std::vector<std::string> sites = util::fault::all_sites();
+  ASSERT_FALSE(sites.empty());
+  for (const std::string& site : sites) {
+    ASSERT_TRUE(util::fault::configure(site + ":count=1:param=3").ok())
+        << site;
+    EXPECT_TRUE(util::fault::enabled()) << site;
+    util::fault::Hit h = util::fault::hit(site);
+    EXPECT_TRUE(h.fired) << site;
+    EXPECT_EQ(h.param, 3u) << site;
+    // count=1: consumed.
+    EXPECT_FALSE(util::fault::hit(site).fired) << site;
+    util::fault::reset();
+    EXPECT_FALSE(util::fault::enabled()) << site;
+  }
+}
+
+TEST_F(FaultInjectionTest, SkipAndCountTriggerSemantics) {
+  ASSERT_TRUE(util::fault::configure("sim.slow:skip=1:count=2:param=7").ok());
+  EXPECT_FALSE(util::fault::hit("sim.slow").fired);  // skipped
+  util::fault::Hit h = util::fault::hit("sim.slow");
+  EXPECT_TRUE(h.fired);
+  EXPECT_EQ(h.param, 7u);
+  EXPECT_TRUE(util::fault::hit("sim.slow").fired);
+  EXPECT_FALSE(util::fault::hit("sim.slow").fired);  // count exhausted
+}
+
+TEST_F(FaultInjectionTest, BadSpecsAreInvalidInputByName) {
+  util::Status st = util::fault::configure("no.such.site");
+  EXPECT_EQ(st.code(), util::ErrorCode::kInvalidInput);
+  EXPECT_NE(st.message().find("no.such.site"), std::string::npos);
+  EXPECT_FALSE(util::fault::enabled());  // a typo must inject nothing
+  st = util::fault::configure("sim.slow:bogus=1");
+  EXPECT_EQ(st.code(), util::ErrorCode::kInvalidInput);
+  st = util::fault::configure("sim.slow:skip=abc");
+  EXPECT_EQ(st.code(), util::ErrorCode::kInvalidInput);
+}
+
+// -- per-site behavior through the real call paths ----------------------------
+
+TEST_F(FaultInjectionTest, TraceBufferAllocIsResourceExhausted) {
+  ASSERT_TRUE(util::fault::configure("trace.buffer.alloc:count=1").ok());
+  sim::RunResult r = run_sim(kAlpha);
+  EXPECT_EQ(r.status.code(), util::ErrorCode::kResourceExhausted)
+      << r.status.message();
+}
+
+TEST_F(FaultInjectionTest, TraceChunkCorruptIsIoError) {
+  // An intact binary trace plus an armed corruption site = a clean,
+  // classified read failure rather than garbage records.
+  std::vector<trace::Record> records;
+  {
+    util::DiagList diags;
+    auto prog = minic::parse_and_check(kAlpha, &diags);
+    ASSERT_NE(prog, nullptr) << diags.str();
+    instrument::annotate_loops(prog.get());
+    trace::VectorSink sink;
+    ASSERT_TRUE(sim::run_program(*prog, &sink, {}).ok());
+    records = sink.take();
+  }
+  std::stringstream buf;
+  trace::write_binary(buf, records);
+
+  ASSERT_TRUE(util::fault::configure("trace.chunk.corrupt:count=1").ok());
+  std::vector<trace::Record> out;
+  util::Status st = trace::read_binary(buf, &out);
+  EXPECT_EQ(st.code(), util::ErrorCode::kIoError) << st.message();
+
+  // Disarmed, the same bytes read back fine.
+  util::fault::reset();
+  buf.clear();
+  buf.seekg(0);
+  out.clear();
+  ASSERT_TRUE(trace::read_binary(buf, &out).ok());
+  EXPECT_EQ(out.size(), records.size());
+}
+
+TEST_F(FaultInjectionTest, SimSlowTripsAWallClockDeadline) {
+  // "sim.slow" stalls each chunk flush by param ms, so a generous-looking
+  // deadline trips deterministically without a flaky real sleep race.
+  ASSERT_TRUE(util::fault::configure("sim.slow:param=50").ok());
+  sim::RunOptions opts;
+  opts.chunk_records = 64;
+  opts.budget.timeout_seconds = 0.01;
+  sim::RunResult r = run_sim(kAlpha, opts);
+  EXPECT_EQ(r.status.code(), util::ErrorCode::kDeadlineExceeded)
+      << r.status.message();
+}
+
+TEST_F(FaultInjectionTest, SpmSolveInternalFaultIsIsolatedToOnePoint) {
+  driver::SweepDriver sweep(sweep_opts());
+  // param=0 → kInternal: deterministic, never retried.
+  ASSERT_TRUE(util::fault::configure("spm.solve:count=1").ok());
+  driver::SweepReport report = sweep.run(jobs());
+  // count=1: the trigger was consumed by exactly one solve.
+  EXPECT_FALSE(util::fault::hit("spm.solve").fired);
+  util::fault::reset();
+
+  // 2 jobs × 2 capacities. The fault hit exactly one solve — that point
+  // carries the internal class, every other point is clean.
+  ASSERT_EQ(report.items.size(), 4u);
+  int failed = 0;
+  for (const auto& item : report.items) {
+    if (item.status.ok()) continue;
+    ++failed;
+    EXPECT_EQ(item.status.code(), util::ErrorCode::kInternal)
+        << item.status.message();
+  }
+  EXPECT_EQ(failed, 1);
+}
+
+TEST_F(FaultInjectionTest, TransientSolveFaultIsRetriedToSuccess) {
+  driver::SweepDriver sweep(sweep_opts());
+  std::ostringstream baseline;
+  ASSERT_TRUE(sweep.run_ndjson(jobs(), baseline).ok());
+
+  // param != 0 → kIoError, the one transient class: the bounded retry
+  // absorbs a single injected failure and the output is byte-identical.
+  ASSERT_TRUE(util::fault::configure("spm.solve:count=1:param=1").ok());
+  std::ostringstream retried;
+  util::Status st = sweep.run_ndjson(jobs(), retried);
+  // Guard against the test passing vacuously: the injected failure must
+  // actually have been consumed by a solve before being retried.
+  EXPECT_FALSE(util::fault::hit("spm.solve").fired);
+  util::fault::reset();
+  EXPECT_TRUE(st.ok()) << st.message();
+  EXPECT_EQ(retried.str(), baseline.str());
+}
+
+TEST_F(FaultInjectionTest, SinkIoFaultLeavesAResumableJournal) {
+  driver::SweepDriver sweep(sweep_opts());
+  std::ostringstream baseline;
+  ASSERT_TRUE(sweep.run_ndjson(jobs(), baseline).ok());
+
+  // Fail the sink after the first job's block: the partial journal holds
+  // the header plus whole job blocks only — a valid checkpoint.
+  ASSERT_TRUE(util::fault::configure("sweep.sink.io:skip=1:count=1").ok());
+  std::ostringstream partial;
+  util::Status st = sweep.run_ndjson(jobs(), partial);
+  util::fault::reset();
+  EXPECT_EQ(st.code(), util::ErrorCode::kIoError) << st.message();
+  EXPECT_LT(partial.str().size(), baseline.str().size());
+  // The partial journal is a byte-prefix of the uninterrupted run.
+  EXPECT_EQ(baseline.str().compare(0, partial.str().size(), partial.str()),
+            0);
+
+  driver::SweepCheckpoint checkpoint;
+  ASSERT_TRUE(sweep.parse_resume(partial.str(), &checkpoint).ok());
+  EXPECT_FALSE(checkpoint.points.empty());
+
+  std::ostringstream resumed;
+  st = sweep.run_ndjson(jobs(), resumed, &checkpoint);
+  EXPECT_TRUE(st.ok()) << st.message();
+  EXPECT_EQ(resumed.str(), baseline.str());
+}
+
+TEST_F(FaultInjectionTest, SinkIoBeforeAnyBlockStillResumes) {
+  driver::SweepDriver sweep(sweep_opts());
+  std::ostringstream baseline;
+  ASSERT_TRUE(sweep.run_ndjson(jobs(), baseline).ok());
+
+  ASSERT_TRUE(util::fault::configure("sweep.sink.io:count=1").ok());
+  std::ostringstream partial;
+  util::Status st = sweep.run_ndjson(jobs(), partial);
+  util::fault::reset();
+  EXPECT_EQ(st.code(), util::ErrorCode::kIoError);
+
+  // Header-only journal: everything re-runs, output still identical.
+  driver::SweepCheckpoint checkpoint;
+  ASSERT_TRUE(sweep.parse_resume(partial.str(), &checkpoint).ok());
+  std::ostringstream resumed;
+  st = sweep.run_ndjson(jobs(), resumed, &checkpoint);
+  EXPECT_TRUE(st.ok()) << st.message();
+  EXPECT_EQ(resumed.str(), baseline.str());
+}
+
+// -- resume validation --------------------------------------------------------
+
+TEST_F(FaultInjectionTest, ResumeRejectsAForeignJournal) {
+  driver::SweepDriver sweep(sweep_opts());
+  std::ostringstream journal;
+  ASSERT_TRUE(sweep.run_ndjson(jobs(), journal).ok());
+  driver::SweepCheckpoint checkpoint;
+  ASSERT_TRUE(sweep.parse_resume(journal.str(), &checkpoint).ok());
+
+  // A driver with a different grid must refuse to stitch that journal in.
+  driver::SweepOptions other = sweep_opts();
+  ASSERT_TRUE(other.spec.parse_axis("capacity", "512,1024").ok());
+  driver::SweepDriver sweep2(other);
+  std::ostringstream out;
+  util::Status st = sweep2.run_ndjson(jobs(), out, &checkpoint);
+  EXPECT_EQ(st.code(), util::ErrorCode::kInvalidInput) << st.message();
+}
+
+TEST_F(FaultInjectionTest, ParseResumeRejectsGarbage) {
+  driver::SweepDriver sweep(sweep_opts());
+  driver::SweepCheckpoint checkpoint;
+  util::Status st = sweep.parse_resume("not json at all\n", &checkpoint);
+  EXPECT_EQ(st.code(), util::ErrorCode::kInvalidInput) << st.message();
+}
+
+TEST_F(FaultInjectionTest, ParseResumeToleratesATornTailLine) {
+  driver::SweepDriver sweep(sweep_opts());
+  std::ostringstream journal;
+  ASSERT_TRUE(sweep.run_ndjson(jobs(), journal).ok());
+  // Chop the journal mid-line — the crash shape — and it still parses;
+  // the torn line is simply not cached.
+  std::string torn = journal.str().substr(0, journal.str().size() - 7);
+  ASSERT_FALSE(torn.empty());
+  ASSERT_NE(torn.back(), '\n');
+  driver::SweepCheckpoint checkpoint;
+  util::Status st = sweep.parse_resume(torn, &checkpoint);
+  EXPECT_TRUE(st.ok()) << st.message();
+}
+
+}  // namespace
+}  // namespace foray

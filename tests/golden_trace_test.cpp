@@ -105,8 +105,8 @@ TEST(GoldenTrace, FixturesRoundTripThroughTraceIo) {
     ASSERT_FALSE(fixture.empty()) << fixture_path(kernel);
     std::istringstream is(fixture);
     std::vector<trace::Record> records;
-    util::DiagList diags;
-    ASSERT_TRUE(trace::read_binary(is, &records, &diags)) << diags.str();
+    util::Status st = trace::read_binary(is, &records);
+    ASSERT_TRUE(st.ok()) << st.message();
     ASSERT_EQ(records.size(), kGoldenRecords) << kernel;
     std::ostringstream os;
     trace::write_binary(os, records.data(), records.size());

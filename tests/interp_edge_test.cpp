@@ -174,7 +174,7 @@ TEST(InterpEdge, MallocZeroBytesDistinctFromNull) {
 
 TEST(InterpEdge, StepLimitCountsConditionEvaluations) {
   RunOptions opts;
-  opts.max_steps = 100;
+  opts.budget.max_steps = 100;
   RunResult r = run_src("int main(void) { for (;;) {} return 0; }", opts);
   EXPECT_FALSE(r.ok());
 }

@@ -257,10 +257,11 @@ TEST(Interp, OutOfBoundsReported) {
 
 TEST(Interp, StepLimitGuards) {
   RunOptions opts;
-  opts.max_steps = 1000;
+  opts.budget.max_steps = 1000;
   RunCapture r = run_src("int main(void) { while (1) {} return 0; }", opts);
   EXPECT_FALSE(r.result.ok());
   EXPECT_NE(r.result.error().find("step limit"), std::string::npos);
+  EXPECT_EQ(r.result.status.code(), util::ErrorCode::kResourceExhausted);
 }
 
 // -- trace emission ----------------------------------------------------------

@@ -356,6 +356,70 @@ TEST(SweepDriver, FailingJobIsIsolatedAndSkippedInAggregate) {
   EXPECT_EQ(os.str(), report.ndjson());
 }
 
+TEST(SweepDriver, BrokenProgramYieldsClassifiedRowsOthersUnchanged) {
+  // One broken program in the job list: its points become structured
+  // error rows (error_class + phase), identical whatever the thread
+  // count, and every other program's rows are byte-identical to a run
+  // that never included the broken program at all.
+  SweepOptions o = sweep_opts(1);
+  ASSERT_TRUE(o.spec.parse_axis("capacity", "256,1024").ok());
+  const std::vector<SweepJob> with_bad = {
+      {"ok", kGood}, {"ok2", kGood2}, {"bad", kParseError}};
+  const std::vector<SweepJob> without_bad = {{"ok", kGood},
+                                             {"ok2", kGood2}};
+
+  std::ostringstream faulty1, faulty4, clean;
+  EXPECT_FALSE(SweepDriver(o).run_ndjson(with_bad, faulty1).ok());
+  SweepOptions o4 = sweep_opts(4);
+  ASSERT_TRUE(o4.spec.parse_axis("capacity", "256,1024").ok());
+  EXPECT_FALSE(SweepDriver(o4).run_ndjson(with_bad, faulty4).ok());
+  EXPECT_EQ(faulty1.str(), faulty4.str());
+  ASSERT_TRUE(SweepDriver(o).run_ndjson(without_bad, clean).ok());
+
+  auto lines_of = [](const std::string& text) {
+    std::vector<std::string> lines;
+    size_t pos = 0;
+    while (pos < text.size()) {
+      size_t nl = text.find('\n', pos);
+      if (nl == std::string::npos) nl = text.size();
+      lines.push_back(text.substr(pos, nl - pos));
+      pos = nl + 1;
+    }
+    return lines;
+  };
+  auto rows_mentioning = [&](const std::string& text, const char* name) {
+    std::vector<std::string> rows;
+    // Matches point and pareto rows alike; the closing quote keeps "ok"
+    // from matching "ok2".
+    const std::string needle =
+        std::string("\"program\":\"") + name + "\"";
+    for (const std::string& line : lines_of(text)) {
+      if (line.find(needle) != std::string::npos) rows.push_back(line);
+    }
+    return rows;
+  };
+
+  // Error rows exist, only for "bad", and carry class + phase.
+  int error_rows = 0;
+  for (const std::string& line : lines_of(faulty1.str())) {
+    if (line.find("\"ok\":false") == std::string::npos) continue;
+    ++error_rows;
+    EXPECT_NE(line.find("\"program\":\"bad\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"error_class\":\"invalid_input\""),
+              std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"phase\":\"parse\""), std::string::npos) << line;
+  }
+  EXPECT_EQ(error_rows, 2);  // one per capacity
+
+  // The healthy programs' rows are byte-identical with and without the
+  // broken job (it is last, so their job indices agree).
+  EXPECT_EQ(rows_mentioning(faulty1.str(), "ok"),
+            rows_mentioning(clean.str(), "ok"));
+  EXPECT_EQ(rows_mentioning(faulty1.str(), "ok2"),
+            rows_mentioning(clean.str(), "ok2"));
+}
+
 TEST(SweepDriver, NdjsonEscapesHostileProgramNames) {
   SweepOptions o = sweep_opts(1);
   ASSERT_TRUE(o.spec.parse_axis("capacity", "1024").ok());

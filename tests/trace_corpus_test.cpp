@@ -1,0 +1,171 @@
+// Hardening corpus for the binary trace reader (trace/io.cpp): every
+// systematic mutation of the checked-in golden traces — truncations at
+// every interesting offset, flipped magic bytes, lying header counts,
+// unknown record tags — must come back as a clean, classified Status
+// (kInvalidInput for malformed bytes, kIoError for bytes that end too
+// early), never a crash, hang or silently-wrong record list.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/io.h"
+#include "util/status.h"
+
+namespace foray::trace {
+namespace {
+
+const char* kKernels[] = {"adpcm", "gsm", "jpeg"};
+
+std::string golden_path(const std::string& kernel) {
+  return std::string(FORAY_SOURCE_DIR) + "/tests/golden/" + kernel +
+         ".trace";
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+util::Status read(const std::string& bytes, std::vector<Record>* out) {
+  std::istringstream is(bytes);
+  return read_binary(is, out);
+}
+
+/// Every mutation must land in one of the two reader failure classes.
+void expect_clean_failure(const std::string& bytes, const char* what) {
+  std::vector<Record> out;
+  util::Status st = read(bytes, &out);
+  ASSERT_FALSE(st.ok()) << what;
+  EXPECT_TRUE(st.code() == util::ErrorCode::kInvalidInput ||
+              st.code() == util::ErrorCode::kIoError)
+      << what << ": classified as " << st.code_name();
+  EXPECT_FALSE(st.message().empty()) << what;
+}
+
+uint32_t header_count(const std::string& bytes) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(bytes[4])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(bytes[5])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(bytes[6])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(bytes[7])) << 24;
+}
+
+void set_header_count(std::string* bytes, uint32_t count) {
+  (*bytes)[4] = static_cast<char>(count & 0xff);
+  (*bytes)[5] = static_cast<char>((count >> 8) & 0xff);
+  (*bytes)[6] = static_cast<char>((count >> 16) & 0xff);
+  (*bytes)[7] = static_cast<char>((count >> 24) & 0xff);
+}
+
+TEST(TraceCorpus, GoldenTracesReadClean) {
+  for (const char* kernel : kKernels) {
+    const std::string bytes = read_bytes(golden_path(kernel));
+    ASSERT_GE(bytes.size(), 8u) << kernel;
+    std::vector<Record> out;
+    util::Status st = read(bytes, &out);
+    ASSERT_TRUE(st.ok()) << kernel << ": " << st.message();
+    EXPECT_EQ(out.size(), header_count(bytes)) << kernel;
+  }
+}
+
+TEST(TraceCorpus, TruncationAtEveryInterestingOffset) {
+  for (const char* kernel : kKernels) {
+    const std::string bytes = read_bytes(golden_path(kernel));
+    // Every header prefix, the first few record boundaries, and cuts
+    // through the middle and the last byte of the body.
+    std::vector<size_t> cuts;
+    for (size_t n = 0; n <= 16 && n < bytes.size(); ++n) cuts.push_back(n);
+    cuts.push_back(bytes.size() / 2);
+    cuts.push_back(bytes.size() - 1);
+    for (size_t n : cuts) {
+      SCOPED_TRACE(std::string(kernel) + " truncated to " +
+                   std::to_string(n) + " bytes");
+      expect_clean_failure(bytes.substr(0, n), "truncation");
+    }
+  }
+}
+
+TEST(TraceCorpus, FlippedMagicBytesAreInvalidInput) {
+  for (const char* kernel : kKernels) {
+    const std::string bytes = read_bytes(golden_path(kernel));
+    for (size_t i = 0; i < 4; ++i) {
+      std::string mutated = bytes;
+      mutated[i] = static_cast<char>(mutated[i] ^ 0x20);
+      std::vector<Record> out;
+      util::Status st = read(mutated, &out);
+      ASSERT_FALSE(st.ok()) << kernel << " magic byte " << i;
+      EXPECT_EQ(st.code(), util::ErrorCode::kInvalidInput)
+          << kernel << " magic byte " << i;
+    }
+  }
+}
+
+TEST(TraceCorpus, LyingHeaderCounts) {
+  for (const char* kernel : kKernels) {
+    const std::string bytes = read_bytes(golden_path(kernel));
+    const uint32_t count = header_count(bytes);
+
+    // One record more than the body holds: the reader must report the
+    // truncation, not walk off the end.
+    std::string one_extra = bytes;
+    set_header_count(&one_extra, count + 1);
+    {
+      std::vector<Record> out;
+      util::Status st = read(one_extra, &out);
+      ASSERT_FALSE(st.ok()) << kernel;
+      EXPECT_EQ(st.code(), util::ErrorCode::kIoError) << kernel;
+    }
+
+    // An absurd count: rejected up front by the size plausibility check
+    // (seekable stream), long before any allocation is attempted.
+    std::string absurd = bytes;
+    set_header_count(&absurd, 0x80000000u);
+    {
+      std::vector<Record> out;
+      util::Status st = read(absurd, &out);
+      ASSERT_FALSE(st.ok()) << kernel;
+      EXPECT_EQ(st.code(), util::ErrorCode::kInvalidInput) << kernel;
+    }
+  }
+}
+
+TEST(TraceCorpus, UnknownRecordTagIsInvalidInput) {
+  for (const char* kernel : kKernels) {
+    std::string bytes = read_bytes(golden_path(kernel));
+    ASSERT_GT(bytes.size(), 8u) << kernel;
+    bytes[8] = static_cast<char>(0xee);  // first record's tag byte
+    std::vector<Record> out;
+    util::Status st = read(bytes, &out);
+    ASSERT_FALSE(st.ok()) << kernel;
+    EXPECT_EQ(st.code(), util::ErrorCode::kInvalidInput) << kernel;
+  }
+}
+
+TEST(TraceCorpus, EmptyAndTinyInputs) {
+  expect_clean_failure("", "empty file");
+  expect_clean_failure("F", "one byte");
+  expect_clean_failure("FTRC", "magic only");
+  expect_clean_failure(std::string("FTRC\x01", 5), "truncated count");
+  // A header declaring zero records over an empty body is a valid trace.
+  std::vector<Record> out;
+  util::Status st = read(std::string("FTRC\0\0\0\0", 8), &out);
+  EXPECT_TRUE(st.ok()) << st.message();
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TraceCorpus, TextReaderClassifiesMalformedLinesWithTheLine) {
+  std::istringstream is("A 1 2\nwhat even is this\n");
+  std::vector<Record> out;
+  util::Status st = read_text(is, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::ErrorCode::kInvalidInput);
+}
+
+}  // namespace
+}  // namespace foray::trace

@@ -52,8 +52,8 @@ TEST(TextIo, RoundTrip) {
   std::stringstream ss;
   write_text(ss, records);
   std::vector<Record> back;
-  util::DiagList diags;
-  ASSERT_TRUE(read_text(ss, &back, &diags)) << diags.str();
+  util::Status st = read_text(ss, &back);
+  ASSERT_TRUE(st.ok()) << st.message();
   ASSERT_EQ(back.size(), records.size());
   for (size_t i = 0; i < records.size(); ++i) {
     EXPECT_EQ(back[i], records[i]) << "record " << i;
@@ -62,24 +62,26 @@ TEST(TextIo, RoundTrip) {
 
 TEST(TextIo, RejectsMalformedLines) {
   std::vector<Record> out;
-  util::DiagList diags;
   std::stringstream ss("Checkpoint: nonsense 12\n");
-  EXPECT_FALSE(read_text(ss, &out, &diags));
-  EXPECT_FALSE(diags.empty());
+  util::Status st = read_text(ss, &out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::ErrorCode::kInvalidInput);
+  EXPECT_EQ(st.first_line(), 1);
 }
 
 TEST(TextIo, RejectsUnknownRecord) {
   std::vector<Record> out;
-  util::DiagList diags;
-  std::stringstream ss("Bogus: 1 2 3\n");
-  EXPECT_FALSE(read_text(ss, &out, &diags));
+  std::stringstream ss("Call: 1\nBogus: 1 2 3\n");
+  util::Status st = read_text(ss, &out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::ErrorCode::kInvalidInput);
+  EXPECT_EQ(st.first_line(), 2);
 }
 
 TEST(TextIo, SkipsBlankLines) {
   std::vector<Record> out;
-  util::DiagList diags;
   std::stringstream ss("\nCall: 1\n\nRet: 1\n");
-  ASSERT_TRUE(read_text(ss, &out, &diags));
+  ASSERT_TRUE(read_text(ss, &out).ok());
   EXPECT_EQ(out.size(), 2u);
 }
 
@@ -88,8 +90,8 @@ TEST(BinaryIo, RoundTrip) {
   std::stringstream ss;
   write_binary(ss, records);
   std::vector<Record> back;
-  util::DiagList diags;
-  ASSERT_TRUE(read_binary(ss, &back, &diags)) << diags.str();
+  util::Status st = read_binary(ss, &back);
+  ASSERT_TRUE(st.ok()) << st.message();
   ASSERT_EQ(back.size(), records.size());
   for (size_t i = 0; i < records.size(); ++i) {
     EXPECT_EQ(back[i], records[i]) << "record " << i;
@@ -125,8 +127,7 @@ TEST(BinaryIo, RandomizedRoundTripProperty) {
   std::stringstream bin;
   write_binary(bin, records);
   std::vector<Record> back;
-  util::DiagList diags;
-  ASSERT_TRUE(read_binary(bin, &back, &diags));
+  ASSERT_TRUE(read_binary(bin, &back).ok());
   ASSERT_EQ(back.size(), records.size());
   for (size_t i = 0; i < records.size(); ++i) {
     ASSERT_EQ(back[i], records[i]) << "record " << i;
@@ -135,7 +136,8 @@ TEST(BinaryIo, RandomizedRoundTripProperty) {
   std::stringstream txt;
   write_text(txt, records);
   std::vector<Record> back2;
-  ASSERT_TRUE(read_text(txt, &back2, &diags)) << diags.str();
+  util::Status st = read_text(txt, &back2);
+  ASSERT_TRUE(st.ok()) << st.message();
   ASSERT_EQ(back2.size(), records.size());
   for (size_t i = 0; i < records.size(); ++i) {
     ASSERT_EQ(back2[i], records[i]) << "record " << i;
@@ -145,8 +147,9 @@ TEST(BinaryIo, RandomizedRoundTripProperty) {
 TEST(BinaryIo, RejectsBadMagic) {
   std::stringstream ss("NOPE....");
   std::vector<Record> out;
-  util::DiagList diags;
-  EXPECT_FALSE(read_binary(ss, &out, &diags));
+  util::Status st = read_binary(ss, &out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::ErrorCode::kInvalidInput);
 }
 
 TEST(BinaryIo, RejectsTruncatedBody) {
@@ -156,8 +159,35 @@ TEST(BinaryIo, RejectsTruncatedBody) {
   data.resize(data.size() - 3);
   std::stringstream cut(data);
   std::vector<Record> out;
-  util::DiagList diags;
-  EXPECT_FALSE(read_binary(cut, &out, &diags));
+  util::Status st = read_binary(cut, &out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::ErrorCode::kIoError);
+}
+
+TEST(BinaryIo, RejectsOversizedHeaderCount) {
+  // A header claiming 2^31 records backed by a handful of bytes must be
+  // rejected before any allocation is sized from the claimed count.
+  std::stringstream ss;
+  write_binary(ss, sample_records());
+  std::string data = ss.str();
+  const uint32_t lying = 0x80000000u;
+  data[4] = static_cast<char>(lying & 0xff);
+  data[5] = static_cast<char>((lying >> 8) & 0xff);
+  data[6] = static_cast<char>((lying >> 16) & 0xff);
+  data[7] = static_cast<char>((lying >> 24) & 0xff);
+  std::stringstream lie(data);
+  std::vector<Record> out;
+  util::Status st = read_binary(lie, &out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::ErrorCode::kInvalidInput);
+}
+
+TEST(BinaryIo, RejectsTruncatedHeader) {
+  std::stringstream ss("FTRC\x01");
+  std::vector<Record> out;
+  util::Status st = read_binary(ss, &out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::ErrorCode::kIoError);
 }
 
 TEST(Sinks, ChunkDeliveryMatchesRecordDelivery) {

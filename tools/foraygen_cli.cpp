@@ -55,6 +55,31 @@
 //   --ndjson PATH        sweep: stream the grid as NDJSON to PATH
 //                        ('-' for stdout) instead of printing tables;
 //                        byte-identical whatever --threads is
+//   --resume JOURNAL     sweep (with --ndjson): re-emit the points
+//                        already completed in a previous run's NDJSON
+//                        journal verbatim and run only the missing or
+//                        failed ones; output is byte-identical to an
+//                        uninterrupted run
+//   --max-steps N        execution budget: evaluation steps per run
+//                        (0 = unlimited; default 500000000)
+//   --max-records N      execution budget: trace records per run
+//                        (0 = unlimited)
+//   --timeout SECONDS    execution budget: wall clock per simulation
+//                        (0 = no deadline); checked at trace-chunk
+//                        boundaries, so a run can overshoot by at most
+//                        one chunk
+//   --fault SPEC         arm fault-injection sites, e.g.
+//                        sweep.sink.io:skip=1:count=1 (testing aid; the
+//                        FORAY_FAULT env var is the equivalent)
+//
+// Exit codes (the error *class* decides, never the message):
+//   0  success
+//   1  analysis negative: transform-replay counter mismatch
+//   2  usage/option error
+//   3  invalid input (program/trace/spec failed to parse or check)
+//   4  budget exhausted, deadline exceeded, or cancelled
+//   5  internal error (a bug in this library)
+//   6  I/O error (unreadable/unwritable/truncated file)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -76,6 +101,7 @@
 #include "staticforay/static_analysis.h"
 #include "trace/io.h"
 #include "trace/sink.h"
+#include "util/fault.h"
 #include "util/strings.h"
 
 namespace {
@@ -95,8 +121,12 @@ int usage() {
       "       foraygen sweep [program.mc] [--threads N] "
       "[--capacity-sweep a,b,c] [--energy-sweep a,b] [--cache-sweep "
       "off,32x2,...] [--algo-sweep dp,greedy] [--replay-sweep off,on] "
-      "[--spec FILE] [--ndjson PATH|-] [--engine ast|bytecode] "
-      "[--nexec N] [--nloc N] [--seed S] [--shards N] [--replay]\n");
+      "[--spec FILE] [--ndjson PATH|-] [--resume JOURNAL] "
+      "[--engine ast|bytecode] [--nexec N] [--nloc N] [--seed S] "
+      "[--shards N] [--replay]\n"
+      "  every command also accepts the execution-budget options "
+      "[--max-steps N] [--max-records N] [--timeout SECONDS] and the "
+      "fault-injection aid [--fault SPEC]\n");
   return 2;
 }
 
@@ -106,6 +136,38 @@ int usage() {
 int option_error(const std::string& message) {
   std::fprintf(stderr, "foraygen: %s\n", message.c_str());
   return 2;
+}
+
+/// The documented Status-class → exit-code mapping (see the header
+/// comment). Exit 1 (replay mismatch) and 2 (usage) never come from a
+/// Status; everything that does goes through here.
+int exit_code_for(const util::Status& st) {
+  switch (st.code()) {
+    case util::ErrorCode::kOk: return 0;
+    case util::ErrorCode::kInvalidInput: return 3;
+    case util::ErrorCode::kResourceExhausted:
+    case util::ErrorCode::kDeadlineExceeded:
+    case util::ErrorCode::kCancelled: return 4;
+    case util::ErrorCode::kInternal: return 5;
+    case util::ErrorCode::kIoError: return 6;
+  }
+  return 5;
+}
+
+/// Prints the failure and converts it to the documented exit code.
+int fail_with(const util::Status& st) {
+  std::fprintf(stderr, "%s\n", st.message().c_str());
+  return exit_code_for(st);
+}
+
+util::Status unreadable(const std::string& path) {
+  return util::Status::failure(util::ErrorCode::kIoError, "io", 0,
+                               "cannot read " + path);
+}
+
+util::Status unwritable(const std::string& path) {
+  return util::Status::failure(util::ErrorCode::kIoError, "io", 0,
+                               "cannot write " + path);
 }
 
 /// Flags that only make sense for specific commands; everything not
@@ -131,6 +193,7 @@ bool flag_applies(const std::string& command, const std::string& flag) {
       {"--replay-sweep", {"sweep"}},
       {"--spec", {"sweep"}},
       {"--ndjson", {"sweep"}},
+      {"--resume", {"sweep"}},
   };
   for (const auto& s : kScoped) {
     if (flag == s.flag) {
@@ -156,8 +219,8 @@ int cmd_annotate(const std::string& source) {
   util::DiagList diags;
   auto prog = minic::parse_and_check(source, &diags);
   if (!prog) {
-    std::fprintf(stderr, "%s", diags.str().c_str());
-    return 1;
+    return fail_with(util::Status::failure(util::ErrorCode::kInvalidInput,
+                                           "frontend", std::move(diags)));
   }
   instrument::annotate_loops(prog.get());
   minic::PrintOptions opts;
@@ -170,15 +233,14 @@ int cmd_trace(const std::string& source, const sim::RunOptions& ropts) {
   util::DiagList diags;
   auto prog = minic::parse_and_check(source, &diags);
   if (!prog) {
-    std::fprintf(stderr, "%s", diags.str().c_str());
-    return 1;
+    return fail_with(util::Status::failure(util::ErrorCode::kInvalidInput,
+                                           "frontend", std::move(diags)));
   }
   instrument::annotate_loops(prog.get());
   trace::VectorSink sink;
   sim::RunResult run = sim::run_program(*prog, &sink, ropts);
   if (!run.ok()) {
-    std::fprintf(stderr, "simulation error: %s\n", run.error().c_str());
-    return 1;
+    return fail_with(run.status);
   }
   for (const auto& r : sink.records()) {
     std::printf("%s\n", trace::record_to_text(r).c_str());
@@ -258,6 +320,7 @@ int main(int argc, char** argv) {
   driver::SweepSpec spec;
   std::string json_path;
   std::string ndjson_path;
+  std::string resume_path;
   for (int i = takes_path ? 3 : 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (!util::starts_with(arg, "--")) {
@@ -351,6 +414,43 @@ int main(int argc, char** argv) {
         return option_error("option '--ndjson' requires a path (or -)");
       }
       ndjson_path = s;
+    } else if (arg == "--resume") {
+      const char* s = nullptr;
+      if (!next_value(&s)) {
+        return option_error("option '--resume' requires a journal path");
+      }
+      resume_path = s;
+    } else if (arg == "--max-steps") {
+      if (!next_u64(&opts.run.budget.max_steps)) {
+        return option_error(
+            "option '--max-steps' requires a number (0 = unlimited)");
+      }
+    } else if (arg == "--max-records") {
+      if (!next_u64(&opts.run.budget.max_records)) {
+        return option_error(
+            "option '--max-records' requires a number (0 = unlimited)");
+      }
+    } else if (arg == "--timeout") {
+      const char* s = nullptr;
+      if (!next_value(&s)) {
+        return option_error("option '--timeout' requires seconds");
+      }
+      char* end = nullptr;
+      const double secs = std::strtod(s, &end);
+      if (end == s || *end != '\0' || !(secs >= 0.0)) {
+        return option_error(
+            "option '--timeout' requires non-negative seconds");
+      }
+      opts.run.budget.timeout_seconds = secs;
+    } else if (arg == "--fault") {
+      const char* s = nullptr;
+      if (!next_value(&s)) {
+        return option_error("option '--fault' requires a site spec");
+      }
+      util::Status st = util::fault::configure(s);
+      if (!st.ok()) {
+        return option_error("--fault: " + st.message());
+      }
     } else if (arg == "--spec") {
       const char* s = nullptr;
       if (!next_value(&s)) {
@@ -400,15 +500,32 @@ int main(int argc, char** argv) {
     if (!path.empty()) {
       std::string source;
       if (!read_file(path, &source)) {
-        std::fprintf(stderr, "cannot read %s\n", path.c_str());
-        return 1;
+        return fail_with(unreadable(path));
       }
       jobs.push_back(driver::SweepJob{path, source});
     } else {
       jobs = driver::SweepDriver::benchsuite_jobs();
     }
 
+    if (!resume_path.empty() && ndjson_path.empty()) {
+      return option_error("option '--resume' requires --ndjson");
+    }
+
     if (!ndjson_path.empty()) {
+      // Resume: parse the prior journal BEFORE opening the output —
+      // the two paths are usually the same file, and ofstream::open
+      // truncates.
+      driver::SweepCheckpoint checkpoint;
+      const driver::SweepCheckpoint* resume = nullptr;
+      if (!resume_path.empty()) {
+        std::string journal;
+        if (!read_file(resume_path, &journal)) {
+          return fail_with(unreadable(resume_path));
+        }
+        util::Status st = sweep.parse_resume(journal, &checkpoint);
+        if (!st.ok()) return fail_with(st);
+        resume = &checkpoint;
+      }
       // Streaming mode: the grid is written point by point in
       // deterministic order while it runs; nothing is retained.
       std::ofstream file;
@@ -416,15 +533,19 @@ int main(int argc, char** argv) {
       if (ndjson_path != "-") {
         file.open(ndjson_path, std::ios::binary);
         if (!file) {
-          std::fprintf(stderr, "cannot write %s\n", ndjson_path.c_str());
-          return 1;
+          return fail_with(unwritable(ndjson_path));
         }
         out = &file;
       }
-      util::Status st = sweep.run_ndjson(jobs, *out);
+      util::Status st = sweep.run_ndjson(jobs, *out, resume);
       if (!st.ok()) {
-        std::fprintf(stderr, "%s\n", st.message().c_str());
-        return 1;
+        // A transform-replay counter mismatch is the analysis-negative
+        // outcome (exit 1), not an error class.
+        if (st.phase() == "replay") {
+          std::fprintf(stderr, "%s\n", st.message().c_str());
+          return 1;
+        }
+        return fail_with(st);
       }
       return 0;
     }
@@ -454,7 +575,7 @@ int main(int argc, char** argv) {
     std::string last_error;
     for (const auto& item : report.items) {
       if (!item.status.ok()) {
-        rc = 1;
+        if (rc == 0 || rc == 1) rc = exit_code_for(item.status);
         std::string error = item.program + ": " + item.status.message();
         if (error != last_error) {
           std::fprintf(stderr, "%s\n", error.c_str());
@@ -463,7 +584,7 @@ int main(int argc, char** argv) {
       } else if (item.replay_ran && !item.replay.matches()) {
         std::fprintf(stderr, "%s @%uB: transform-replay mismatch\n",
                      item.program.c_str(), item.point.capacity_bytes);
-        rc = 1;
+        if (rc == 0) rc = 1;
       }
     }
     return rc;
@@ -483,8 +604,7 @@ int main(int argc, char** argv) {
     if (!json_path.empty()) {
       std::ofstream out(json_path, std::ios::binary);
       if (!out) {
-        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-        return 1;
+        return fail_with(unwritable(json_path));
       }
       out << report.to_json() << "\n";
     }
@@ -492,7 +612,7 @@ int main(int argc, char** argv) {
       if (!item.status.ok()) {
         std::fprintf(stderr, "%s: %s\n", item.program.c_str(),
                      item.status.message().c_str());
-        return 1;
+        return exit_code_for(item.status);
       }
       if (item.replay_ran && !item.replay.matches()) {
         std::fprintf(stderr, "%s @%uB: transform-replay mismatch\n",
@@ -505,8 +625,7 @@ int main(int argc, char** argv) {
 
   std::string source;
   if (!read_file(path, &source)) {
-    std::fprintf(stderr, "cannot read %s\n", path.c_str());
-    return 1;
+    return fail_with(unreadable(path));
   }
 
   if (command == "annotate") return cmd_annotate(source);
@@ -516,8 +635,7 @@ int main(int argc, char** argv) {
     opts.with_spm = true;
     driver::Session session(path, source, driver::SessionOptions{opts});
     if (!session.run().ok()) {
-      std::fprintf(stderr, "%s\n", session.status().message().c_str());
-      return 1;
+      return fail_with(session.status());
     }
     const auto& res = session.result();
     std::printf("model: %zu reference(s), %zu buffer candidate(s)\n",
@@ -534,8 +652,7 @@ int main(int argc, char** argv) {
 
   auto res = core::run_pipeline(source, opts);
   if (!res.ok()) {
-    std::fprintf(stderr, "%s\n", res.error().c_str());
-    return 1;
+    return fail_with(res.status);
   }
 
   if (command == "run") {
