@@ -1,0 +1,170 @@
+#include "driver/model_cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include "foray/model_io.h"
+#include "util/hash.h"
+
+namespace foray::driver {
+
+namespace {
+
+/// Process id for temp-file uniqueness without pulling in <unistd.h>
+/// everywhere; getpid is POSIX, and this tree already assumes it.
+uint64_t process_id() {
+#if defined(_WIN32)
+  return 0;
+#else
+  return static_cast<uint64_t>(::getpid());
+#endif
+}
+
+}  // namespace
+
+ModelCache::ModelCache(ModelCacheOptions opts) : opts_(std::move(opts)) {}
+
+std::string ModelCache::fingerprint(const core::PipelineOptions& opts) {
+  // Everything that can change the extracted model, and nothing that
+  // cannot: engine and the parallel extraction modes are bit-identical
+  // by contract (engine_equivalence / shard / pipeline / timeshard
+  // harnesses), budgets never produce a partial model, and the emit /
+  // Phase II options run downstream of extraction.
+  std::string fp;
+  fp.reserve(192);
+  const auto flag = [&](const char* name, bool v) {
+    fp += name;
+    fp += v ? "=1;" : "=0;";
+  };
+  const auto num = [&](const char* name, uint64_t v) {
+    fp += name;
+    fp += '=';
+    fp += std::to_string(v);
+    fp += ';';
+  };
+  num("fmt", core::kModelFormatVersion);
+  num("seed", opts.run.rng_seed);
+  flag("checkpoints", opts.run.emit_checkpoints);
+  flag("calls", opts.run.emit_calls);
+  flag("scalars", opts.run.trace_scalars);
+  flag("data", opts.run.trace_data);
+  flag("system", opts.run.trace_system);
+  num("heap", opts.run.heap_capacity);
+  num("stack", opts.run.stack_capacity);
+  flag("hash_index", opts.extractor.hash_index);
+  num("fpcap", opts.extractor.footprint_cap);
+  num("nexec", opts.filter.min_exec);
+  num("nloc", opts.filter.min_locations);
+  flag("reqiter", opts.filter.require_iterator);
+  flag("partial", opts.filter.keep_partial);
+  flag("nosys", opts.filter.exclude_system);
+  return fp;
+}
+
+std::string ModelCache::key(std::string_view source,
+                            const core::PipelineOptions& opts) {
+  return util::hex64(util::fnv1a(source)) + "-" +
+         util::hex64(util::fnv1a(fingerprint(opts)));
+}
+
+std::string ModelCache::entry_path(const std::string& key) const {
+  return opts_.dir + "/" + key + ".fmodel";
+}
+
+bool ModelCache::lookup(const std::string& key, core::ForayModel* model,
+                        util::Status* why) {
+  *why = util::Status();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = memory_.find(key);
+    if (it != memory_.end()) {
+      *model = it->second;
+      ++stats_.hits;
+      ++stats_.memory_hits;
+      return true;
+    }
+  }
+  if (opts_.dir.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return false;
+  }
+  const std::string path = entry_path(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return false;
+  }
+  util::Status st = core::read_model(in, model);
+  if (!st.ok()) {
+    // Detected, classified, and left for store() to atomically replace
+    // once the caller has recomputed — never deleted in place (another
+    // process may be mid-replace already).
+    *why = util::Status::failure(st.code(), "model-cache", 0,
+                                 path + ": " + st.message());
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected;
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (opts_.memory) memory_.emplace(key, *model);
+  ++stats_.hits;
+  return true;
+}
+
+void ModelCache::store(const std::string& key,
+                       const core::ForayModel& model) {
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (opts_.memory) memory_[key] = model;
+    ++stats_.stores;
+    seq = ++tmp_seq_;
+  }
+  if (opts_.dir.empty()) return;
+
+  const auto failed = [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.store_failures;
+  };
+  std::error_code ec;
+  std::filesystem::create_directories(opts_.dir, ec);
+  const std::string path = entry_path(key);
+  const std::string tmp = path + ".tmp." + std::to_string(process_id()) +
+                          "." + std::to_string(seq);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      failed();
+      return;
+    }
+    core::write_model(out, model);
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      failed();
+      return;
+    }
+  }
+  // rename(2) atomically replaces the destination: readers see either the
+  // old complete entry or the new complete entry, never a torn one.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    failed();
+  }
+}
+
+ModelCache::Stats ModelCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace foray::driver

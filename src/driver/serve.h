@@ -1,0 +1,67 @@
+// `foraygen serve`: a long-lived sweep service over NDJSON.
+//
+// One request per input line, one NDJSON response stream per request:
+//
+//   request  {"id":1,"axes":{"capacity":"1024,4096"},"program":"adpcm"}
+//   ack      {"kind":"request","id":1,"programs":["adpcm"],"points":2}
+//   body     the ordinary sweep NDJSON (header, point, pareto lines —
+//            byte-identical to `foraygen sweep --ndjson` over the same
+//            spec and jobs)
+//   done     {"kind":"done","id":1,"ok":true}
+//
+// Request fields (all optional except `axes` may be empty):
+//   id       number or string, echoed on the ack and done rows; rows for
+//            an id-less request carry the input line number instead
+//   axes     object: axis name -> comma-separated values, exactly the
+//            strings `foraygen sweep --axis` accepts
+//   program  one benchsuite kernel by name; "source" (+"name") sweeps an
+//            inline MiniC program instead; absent = the whole benchsuite
+//   threads  worker threads for this request, clamped to the server's
+//            --threads
+//   budget   {"max_steps":N,"max_records":N,"timeout_seconds":S} — per-
+//            request execution bounds layered over the server defaults
+//
+// A malformed request never kills the loop: it produces a single done
+// row with ok:false and the classified error. Admission control bounds
+// each request's grid (`ServeOptions::max_points`); a request over the
+// cap is refused as resource_exhausted before any work runs. Every
+// request gets its own sim::CancelToken, wired to the output stream: the
+// moment a response write fails (client went away) the token trips and
+// in-flight simulations die cooperatively at the next chunk boundary.
+//
+// Phase I models are reused across requests through the shared
+// ModelCache — the whole point of serving: request 2 for the same
+// program under the same profile options is pure Phase II.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "foray/pipeline.h"
+#include "util/status.h"
+
+namespace foray::driver {
+
+class ModelCache;
+
+struct ServeOptions {
+  /// Worker-thread ceiling; each request may ask for fewer.
+  int threads = 1;
+  /// Server-side Phase I/II defaults (engine, filter, budgets); requests
+  /// layer axes and budget overrides on top.
+  core::PipelineOptions pipeline;
+  /// Per-request grid-size cap (jobs x points); 0 = unlimited.
+  uint64_t max_points = 4096;
+  /// Shared across requests (not owned; may be null for no caching).
+  ModelCache* model_cache = nullptr;
+  /// Transient-failure retries, as SweepOptions::transient_retries.
+  int transient_retries = 2;
+};
+
+/// Runs the request loop until `in` reaches EOF (ok) or `out` stops
+/// accepting bytes (kIoError, phase "serve" — the client disconnected).
+/// Per-request failures are reported on their done rows, never returned.
+util::Status serve_loop(std::istream& in, std::ostream& out,
+                        const ServeOptions& opts);
+
+}  // namespace foray::driver

@@ -30,6 +30,14 @@ const util::Status& Session::run() {
   return result_.status;
 }
 
+void Session::adopt_model(core::ForayModel model) {
+  FORAY_CHECK(!ran_, "adopt_model on a session that already ran");
+  ran_ = true;
+  adopted_ = true;
+  result_.model = std::move(model);
+  result_.model_built = true;
+}
+
 const core::SpmReport& Session::resolve(const core::SpmPhaseOptions& opts) {
   return resolve(opts, opts_.pipeline.with_replay);
 }

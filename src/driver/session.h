@@ -37,6 +37,14 @@ class Session {
   /// session never takes down a batch.
   const util::Status& run();
 
+  /// Installs a previously-extracted model (a model-cache hit) instead of
+  /// running Phase I. The session becomes ran() with an ok status and
+  /// model_built, so resolve() works immediately; the simulator-side
+  /// artifacts (run counters, trace, extractor) stay empty — from_cache()
+  /// tells reporting code apart. Only legal before run().
+  void adopt_model(core::ForayModel model);
+  bool from_cache() const { return adopted_; }
+
   bool ran() const { return ran_; }
   const util::Status& status() const { return result_.status; }
   const core::PipelineResult& result() const { return result_; }
@@ -79,6 +87,7 @@ class Session {
   SessionOptions opts_;
   core::PipelineResult result_;
   bool ran_ = false;
+  bool adopted_ = false;  ///< model came from the cache, not a pipeline run
   /// Buffer candidates memoized across resolve() calls, with the reuse
   /// filter they were enumerated under (the only Phase II options they
   /// depend on besides the — immutable — model).

@@ -53,6 +53,8 @@
 
 namespace foray::driver {
 
+class ModelCache;
+
 /// One program to sweep.
 struct SweepJob {
   std::string name;
@@ -163,6 +165,12 @@ struct SweepOptions {
   /// final. Deterministic classes (invalid_input, internal, budget
   /// trips) are never retried: rerunning them reproduces the failure.
   int transient_retries = 2;
+  /// Optional content-addressed Phase I model cache (not owned; must
+  /// outlive the driver). A hit skips profiling and extraction entirely —
+  /// the job becomes pure Phase II — and a miss stores the freshly
+  /// extracted model for the next run. Output is byte-identical either
+  /// way; a corrupt or stale entry is reported on stderr and recomputed.
+  ModelCache* model_cache = nullptr;
 };
 
 /// One (program, grid point) cell.

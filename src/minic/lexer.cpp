@@ -1,6 +1,7 @@
 #include "minic/lexer.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <unordered_map>
 
@@ -279,12 +280,23 @@ Token Lexer::lex_number() {
   }
   if (is_float) {
     t.float_val = std::strtod(spelling.c_str(), nullptr);
-  } else if (is_hex) {
-    t.int_val = static_cast<long long>(
-        std::strtoull(spelling.c_str() + 2, nullptr, 16));
   } else {
-    t.int_val = static_cast<long long>(
-        std::strtoull(spelling.c_str(), nullptr, 10));
+    // strtoull saturates out-of-range input to ULLONG_MAX with only
+    // errno to show for it — unchecked, "18446744073709551616" would
+    // silently become a different (maximal) constant. A bare "0x" is
+    // caught by the end-pointer check.
+    const char* begin = spelling.c_str() + (is_hex ? 2 : 0);
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(begin, &end, is_hex ? 16 : 10);
+    if (end == begin || *end != '\0') {
+      return error_token("malformed integer literal '" + spelling + "'");
+    }
+    if (errno == ERANGE) {
+      return error_token("integer literal '" + spelling +
+                         "' overflows 64 bits");
+    }
+    t.int_val = static_cast<long long>(value);
   }
   return t;
 }

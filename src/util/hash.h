@@ -1,0 +1,36 @@
+// Content hashing for cache keys.
+//
+// FNV-1a 64-bit: the same tiny, dependency-free hash the simulator
+// already uses for memory digests. It is NOT cryptographic — a cache
+// keyed by it trusts its inputs (local program sources and option
+// fingerprints), and every entry is still format-validated on load, so
+// a collision costs a recompute, never a wrong answer.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace foray::util {
+
+inline constexpr uint64_t kFnv1aOffset = 14695981039346656037ull;
+inline constexpr uint64_t kFnv1aPrime = 1099511628211ull;
+
+inline uint64_t fnv1a(std::string_view data, uint64_t h = kFnv1aOffset) {
+  for (const char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+/// Fixed-width (16 digit) lower-case hex — stable, filesystem-safe.
+inline std::string hex64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf, 16);
+}
+
+}  // namespace foray::util

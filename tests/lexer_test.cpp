@@ -55,6 +55,54 @@ TEST(Lexer, IntLiterals) {
   for (int i = 0; i < 5; ++i) EXPECT_EQ(t[i].kind, Tok::kIntLit);
 }
 
+// Lex a source expected to produce at least one diagnostic; returns the
+// diagnostic text for content checks. The offending token must surface
+// as Tok::kError, never as a silently-wrong literal.
+std::string lex_err(std::string_view src) {
+  util::DiagList diags;
+  Lexer lexer(src, &diags);
+  auto toks = lexer.lex_all();
+  EXPECT_FALSE(diags.empty()) << "expected a diagnostic for: " << src;
+  bool saw_error = false;
+  for (const auto& t : toks) saw_error |= t.kind == Tok::kError;
+  EXPECT_TRUE(saw_error) << "expected a kError token for: " << src;
+  return diags.str();
+}
+
+TEST(Lexer, IntLiteralOverflowIsDiagnosed) {
+  // 2^64: strtoull would saturate this to ULLONG_MAX with only errno to
+  // show for it. It must be rejected, not silently become a different
+  // constant.
+  EXPECT_NE(lex_err("18446744073709551616").find("overflows 64 bits"),
+            std::string::npos);
+  // Same via hex (2^64 as 0x1 followed by sixteen zeros).
+  EXPECT_NE(lex_err("0x10000000000000000").find("overflows 64 bits"),
+            std::string::npos);
+  // A grotesquely long literal, nowhere near representable.
+  EXPECT_NE(lex_err("99999999999999999999999999999").find("overflows"),
+            std::string::npos);
+}
+
+TEST(Lexer, IntLiteralMaxValuesStillLex) {
+  // 2^64 - 1 fits in the uint64 parse; it wraps to -1 when stored in the
+  // signed token value, matching the simulator's 64-bit wraparound
+  // semantics.
+  auto t = lex_ok("18446744073709551615 0xFFFFFFFFFFFFFFFF "
+                  "9223372036854775807");
+  EXPECT_EQ(t[0].kind, Tok::kIntLit);
+  EXPECT_EQ(t[0].int_val, -1);
+  EXPECT_EQ(t[1].int_val, -1);
+  EXPECT_EQ(t[2].int_val, 9223372036854775807LL);
+}
+
+TEST(Lexer, BareHexPrefixIsMalformed) {
+  // "0x" with no digits: the scanner consumes the prefix, leaving an
+  // empty digit string for the converter.
+  EXPECT_NE(lex_err("0x").find("malformed integer literal"),
+            std::string::npos);
+  EXPECT_NE(lex_err("int v = 0x;").find("malformed"), std::string::npos);
+}
+
 TEST(Lexer, FloatLiterals) {
   auto t = lex_ok("1.5 0.25 2e3 1.5e-2 3f 2.0f");
   EXPECT_EQ(t[0].kind, Tok::kFloatLit);

@@ -1,0 +1,270 @@
+// The content-addressed model cache (driver/model_cache.h) and its sweep
+// integration: a warm sweep must be byte-identical to a cold one across
+// thread counts, a corrupt or stale entry must be detected, classified
+// and transparently recomputed (never trusted), and the cache key must
+// include exactly the options that can change the extracted model.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/model_cache.h"
+#include "driver/sweep.h"
+#include "foray/model_io.h"
+#include "foray/pipeline.h"
+#include "sim/interpreter.h"
+#include "util/status.h"
+
+namespace foray::driver {
+namespace {
+
+const char* kGood =
+    "int a[256];\n"
+    "int main(void) {\n"
+    "  for (int r = 0; r < 40; r++)\n"
+    "    for (int i = 0; i < 256; i++) a[i] = a[i] + r;\n"
+    "  return a[0] & 255;\n"
+    "}\n";
+
+const char* kGood2 =
+    "char buf[4096];\n"
+    "int main(void) {\n"
+    "  char *p = buf;\n"
+    "  int t = 0;\n"
+    "  while (t < 30) {\n"
+    "    t++;\n"
+    "    p += 64;\n"
+    "    for (int i = 0; i < 32; i++) *p++ = (i + t) % 256;\n"
+    "  }\n"
+    "  return 0;\n"
+    "}\n";
+
+std::vector<SweepJob> jobs() {
+  return {{"alpha", kGood}, {"beta", kGood2}};
+}
+
+SweepOptions sweep_opts(int threads, ModelCache* cache) {
+  SweepOptions o;
+  o.threads = threads;
+  o.pipeline.filter.min_exec = 1;
+  o.pipeline.filter.min_locations = 1;
+  o.spec.capacities = {1024, 4096};
+  o.model_cache = cache;
+  return o;
+}
+
+std::string run_ndjson(int threads, ModelCache* cache) {
+  SweepDriver driver(sweep_opts(threads, cache));
+  std::ostringstream out;
+  util::Status st = driver.run_ndjson(jobs(), out);
+  EXPECT_TRUE(st.ok()) << st.message();
+  return out.str();
+}
+
+class ModelCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("foray_model_cache_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::vector<std::string> entries() const {
+    std::vector<std::string> out;
+    std::error_code ec;
+    for (const auto& e : std::filesystem::directory_iterator(dir_, ec)) {
+      out.push_back(e.path().string());
+    }
+    return out;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ModelCacheTest, WarmSweepIsPurePhaseTwoAndByteIdentical) {
+  ModelCache cold_cache(ModelCacheOptions{dir_, true});
+  const std::string cold = run_ndjson(/*threads=*/1, &cold_cache);
+  {
+    const ModelCache::Stats s = cold_cache.stats();
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.misses, 2u);
+    EXPECT_EQ(s.stores, 2u);
+    EXPECT_EQ(s.rejected, 0u);
+    EXPECT_EQ(s.store_failures, 0u);
+  }
+  EXPECT_EQ(entries().size(), 2u);
+
+  // A fresh process (fresh cache object, same directory), different
+  // thread count: all hits, no Phase I, and the same bytes out.
+  ModelCache warm_cache(ModelCacheOptions{dir_, true});
+  const std::string warm = run_ndjson(/*threads=*/3, &warm_cache);
+  EXPECT_EQ(warm, cold);
+  {
+    const ModelCache::Stats s = warm_cache.stats();
+    EXPECT_EQ(s.hits, 2u);
+    EXPECT_EQ(s.misses, 0u);
+    EXPECT_EQ(s.stores, 0u);
+  }
+
+  // An uncached run agrees too — the cache only moves work, never
+  // results.
+  EXPECT_EQ(run_ndjson(/*threads=*/2, nullptr), cold);
+}
+
+TEST_F(ModelCacheTest, MemoryLayerServesRepeatRunsWithoutDisk) {
+  ModelCache cache(ModelCacheOptions{/*dir=*/"", /*memory=*/true});
+  const std::string first = run_ndjson(1, &cache);
+  const std::string second = run_ndjson(2, &cache);
+  EXPECT_EQ(first, second);
+  const ModelCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 2u);   // first run
+  EXPECT_EQ(s.hits, 2u);     // second run
+  EXPECT_EQ(s.memory_hits, 2u);
+  EXPECT_EQ(s.store_failures, 0u);  // no dir: disk writes not attempted
+}
+
+TEST_F(ModelCacheTest, CorruptEntryIsRejectedRecomputedAndOverwritten) {
+  ModelCache seed(ModelCacheOptions{dir_, true});
+  const std::string cold = run_ndjson(1, &seed);
+  auto files = entries();
+  ASSERT_EQ(files.size(), 2u);
+
+  for (const char* mutation : {"truncate", "magic", "version"}) {
+    SCOPED_TRACE(mutation);
+    // Corrupt the first entry in this round's chosen way.
+    std::string bytes;
+    {
+      std::ifstream in(files[0], std::ios::binary);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      bytes = ss.str();
+    }
+    ASSERT_GE(bytes.size(), 12u);
+    std::string mutated = bytes;
+    if (std::string(mutation) == "truncate") {
+      mutated = bytes.substr(0, bytes.size() / 2);
+    } else if (std::string(mutation) == "magic") {
+      mutated[0] = static_cast<char>(mutated[0] ^ 0x20);
+    } else {
+      mutated[4] = static_cast<char>(mutated[4] + 1);  // version bump
+    }
+    {
+      std::ofstream out(files[0], std::ios::binary | std::ios::trunc);
+      out << mutated;
+    }
+
+    // The direct lookup reports the classified rejection...
+    {
+      ModelCache probe(ModelCacheOptions{dir_, true});
+      const std::string key =
+          std::filesystem::path(files[0]).stem().string();
+      core::ForayModel model;
+      util::Status why;
+      EXPECT_FALSE(probe.lookup(key, &model, &why));
+      ASSERT_FALSE(why.ok());
+      EXPECT_EQ(why.phase(), "model-cache");
+      EXPECT_TRUE(why.code() == util::ErrorCode::kInvalidInput ||
+                  why.code() == util::ErrorCode::kIoError)
+          << why.code_name();
+      // ...naming the offending file.
+      EXPECT_NE(why.message().find(files[0]), std::string::npos);
+      EXPECT_EQ(probe.stats().rejected, 1u);
+    }
+
+    // ...and a sweep over the poisoned cache recomputes transparently:
+    // same bytes out, one rejection, one re-store.
+    ModelCache cache(ModelCacheOptions{dir_, true});
+    EXPECT_EQ(run_ndjson(2, &cache), cold);
+    const ModelCache::Stats s = cache.stats();
+    EXPECT_EQ(s.rejected, 1u);
+    EXPECT_EQ(s.hits, 1u);    // the untouched entry
+    EXPECT_EQ(s.stores, 1u);  // the recomputed one, rewritten
+
+    // The rewrite healed the entry for the next fresh cache.
+    ModelCache healed(ModelCacheOptions{dir_, true});
+    EXPECT_EQ(run_ndjson(1, &healed), cold);
+    EXPECT_EQ(healed.stats().hits, 2u);
+    EXPECT_EQ(healed.stats().rejected, 0u);
+  }
+}
+
+TEST_F(ModelCacheTest, StoreRoundTripsThroughLookup) {
+  core::PipelineOptions popts;
+  popts.filter.min_exec = 1;
+  popts.filter.min_locations = 1;
+  core::PipelineResult res = core::run_pipeline(kGood, popts);
+  ASSERT_TRUE(res.status.ok());
+
+  ModelCache cache(ModelCacheOptions{dir_, true});
+  const std::string key = ModelCache::key(kGood, popts);
+  cache.store(key, res.model);
+
+  // A different cache object must read it back from disk, byte-equal.
+  ModelCache other(ModelCacheOptions{dir_, true});
+  core::ForayModel loaded;
+  util::Status why;
+  ASSERT_TRUE(other.lookup(key, &loaded, &why)) << why.message();
+  EXPECT_EQ(core::model_to_bytes(loaded), core::model_to_bytes(res.model));
+}
+
+TEST(ModelCacheKey, TracksModelChangingOptionsOnly) {
+  core::PipelineOptions base;
+  const std::string k = ModelCache::key(kGood, base);
+
+  // The engine is bit-identical by the equivalence harness: flipping it
+  // must NOT invalidate the cache.
+  core::PipelineOptions engine = base;
+  engine.run.engine = sim::Engine::Ast;
+  EXPECT_EQ(ModelCache::key(kGood, engine), k);
+
+  // Parallel-extraction modes are likewise locked bit-identical.
+  core::PipelineOptions shards = base;
+  shards.profile_shards = 4;
+  EXPECT_EQ(ModelCache::key(kGood, shards), k);
+
+  // Budgets never produce a model to store.
+  core::PipelineOptions budget = base;
+  budget.run.budget.max_steps = 123;
+  EXPECT_EQ(ModelCache::key(kGood, budget), k);
+
+  // Phase II options run downstream of extraction.
+  core::PipelineOptions spm = base;
+  spm.spm.dse.spm_capacity = 512;
+  EXPECT_EQ(ModelCache::key(kGood, spm), k);
+
+  // But the Step 4 filter, the seed and the extractor options DO shape
+  // the model.
+  core::PipelineOptions filter = base;
+  filter.filter.min_exec = 1;
+  EXPECT_NE(ModelCache::key(kGood, filter), k);
+
+  core::PipelineOptions seed = base;
+  seed.run.rng_seed += 1;
+  EXPECT_NE(ModelCache::key(kGood, seed), k);
+
+  core::PipelineOptions fpcap = base;
+  fpcap.extractor.footprint_cap += 1;
+  EXPECT_NE(ModelCache::key(kGood, fpcap), k);
+
+  // And of course the program source.
+  EXPECT_NE(ModelCache::key(kGood2, base), k);
+
+  // The fingerprint is pinned to the model format version, so a format
+  // bump invalidates wholesale.
+  EXPECT_NE(ModelCache::fingerprint(base).find(
+                "fmt=" + std::to_string(core::kModelFormatVersion)),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace foray::driver

@@ -1,0 +1,333 @@
+// The `foraygen serve` loop (driver/serve.h): per-request sweep
+// streaming, structured error rows for malformed requests (the loop
+// never dies on bad input), admission control, per-request budgets,
+// model-cache reuse across requests, and the kIoError exit when the
+// response stream fails.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/model_cache.h"
+#include "driver/serve.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace foray::driver {
+namespace {
+
+const char* kGood =
+    "int a[256];\n"
+    "int main(void) {\n"
+    "  for (int r = 0; r < 40; r++)\n"
+    "    for (int i = 0; i < 256; i++) a[i] = a[i] + r;\n"
+    "  return a[0] & 255;\n"
+    "}\n";
+
+ServeOptions serve_opts(ModelCache* cache = nullptr) {
+  ServeOptions o;
+  o.threads = 2;
+  o.pipeline.filter.min_exec = 1;
+  o.pipeline.filter.min_locations = 1;
+  o.model_cache = cache;
+  return o;
+}
+
+/// One request asking for a 2-point capacity sweep of the inline kGood.
+std::string good_request(int id) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(static_cast<int64_t>(id));
+  w.key("name").value("alpha");
+  w.key("source").value(kGood);
+  w.key("axes").begin_object();
+  w.key("capacity").value("1024,4096");
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+struct ServeRun {
+  util::Status status;
+  std::vector<std::string> lines;
+  std::vector<util::JsonValue> rows;
+};
+
+ServeRun run_serve(const std::string& requests, const ServeOptions& opts) {
+  ServeRun r;
+  std::istringstream in(requests);
+  std::ostringstream out;
+  r.status = serve_loop(in, out, opts);
+  std::istringstream split(out.str());
+  std::string line;
+  while (std::getline(split, line)) {
+    r.lines.push_back(line);
+    util::JsonValue v;
+    std::string err;
+    EXPECT_TRUE(util::parse_json(line, &v, &err)) << line << ": " << err;
+    r.rows.push_back(std::move(v));
+  }
+  return r;
+}
+
+std::string kind(const util::JsonValue& v) {
+  const util::JsonValue* k = v.find("kind");
+  return k != nullptr && k->is_string() ? k->str : "";
+}
+
+TEST(Serve, StreamsSweepBetweenAckAndDoneRows) {
+  const ServeRun r = run_serve(good_request(7) + "\n", serve_opts());
+  EXPECT_TRUE(r.status.ok()) << r.status.message();
+  // ack, sweep header, 2 points, program pareto, aggregate pareto, done.
+  ASSERT_EQ(r.rows.size(), 7u);
+  EXPECT_EQ(kind(r.rows[0]), "request");
+  EXPECT_EQ(kind(r.rows[1]), "sweep");
+  EXPECT_EQ(kind(r.rows[2]), "point");
+  EXPECT_EQ(kind(r.rows[3]), "point");
+  EXPECT_EQ(kind(r.rows[4]), "pareto");
+  EXPECT_EQ(kind(r.rows[5]), "pareto");
+  EXPECT_EQ(kind(r.rows[6]), "done");
+
+  // The ack names the job and grid size; the done row carries ok:true.
+  const util::JsonValue* programs = r.rows[0].find("programs");
+  ASSERT_NE(programs, nullptr);
+  ASSERT_EQ(programs->items.size(), 1u);
+  EXPECT_EQ(programs->items[0].str, "alpha");
+  EXPECT_EQ(r.rows[0].find("points")->num, 2.0);
+  EXPECT_EQ(r.rows[0].find("id")->num, 7.0);
+  EXPECT_TRUE(r.rows[6].find("ok")->b);
+  for (size_t i = 2; i <= 3; ++i) {
+    EXPECT_TRUE(r.rows[i].find("ok")->b) << i;
+    EXPECT_EQ(r.rows[i].find("program")->str, "alpha") << i;
+  }
+}
+
+TEST(Serve, BadRequestsGetErrorRowsAndTheLoopSurvives) {
+  // Four broken requests then one good one: the loop must answer all
+  // five and exit ok at EOF.
+  const std::string requests =
+      "this is not json\n"
+      "[1,2,3]\n"
+      "{\"id\":2,\"axes\":{\"capacity\":\"bogus\"}}\n"
+      "{\"id\":3,\"program\":\"no-such-kernel\"}\n" +
+      good_request(4) + "\n";
+  std::istringstream in(requests);
+  std::ostringstream out;
+  const util::Status st = serve_loop(in, out, serve_opts());
+  EXPECT_TRUE(st.ok()) << st.message();
+
+  std::vector<util::JsonValue> rows;
+  std::istringstream split(out.str());
+  std::string line;
+  while (std::getline(split, line)) {
+    util::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(util::parse_json(line, &v, &err)) << line << ": " << err;
+    rows.push_back(std::move(v));
+  }
+
+  // Row 0: bad JSON — a done row keyed by input line, not id.
+  ASSERT_GE(rows.size(), 2u);
+  EXPECT_EQ(kind(rows[0]), "done");
+  EXPECT_FALSE(rows[0].find("ok")->b);
+  EXPECT_EQ(rows[0].find("error_class")->str, "invalid_input");
+  ASSERT_NE(rows[0].find("line"), nullptr);
+  EXPECT_EQ(rows[0].find("line")->num, 1.0);
+  EXPECT_EQ(rows[0].find("id"), nullptr);
+
+  // Row 1: a JSON array is not a request object.
+  EXPECT_EQ(kind(rows[1]), "done");
+  EXPECT_FALSE(rows[1].find("ok")->b);
+  EXPECT_EQ(rows[1].find("line")->num, 2.0);
+
+  // id 2: bad axis value, classified invalid_input, echoing the id.
+  int done_rows = 0;
+  for (const auto& row : rows) {
+    if (kind(row) == "done") ++done_rows;
+  }
+  EXPECT_EQ(done_rows, 5);
+  const util::JsonValue* bad_axis = nullptr;
+  const util::JsonValue* bad_prog = nullptr;
+  const util::JsonValue* good = nullptr;
+  for (const auto& row : rows) {
+    if (kind(row) != "done") continue;
+    const util::JsonValue* id = row.find("id");
+    if (id == nullptr || !id->is_number()) continue;
+    if (id->num == 2.0) bad_axis = &row;
+    if (id->num == 3.0) bad_prog = &row;
+    if (id->num == 4.0) good = &row;
+  }
+  ASSERT_NE(bad_axis, nullptr);
+  EXPECT_FALSE(bad_axis->find("ok")->b);
+  EXPECT_EQ(bad_axis->find("error_class")->str, "invalid_input");
+  EXPECT_NE(bad_axis->find("error")->str.find("bogus"), std::string::npos);
+  ASSERT_NE(bad_prog, nullptr);
+  EXPECT_EQ(bad_prog->find("error_class")->str, "invalid_input");
+  EXPECT_NE(bad_prog->find("error")->str.find("no-such-kernel"),
+            std::string::npos);
+  // ...and the good request after them still ran to completion.
+  ASSERT_NE(good, nullptr);
+  EXPECT_TRUE(good->find("ok")->b);
+}
+
+TEST(Serve, AdmissionControlRefusesOversizedGrids) {
+  ServeOptions opts = serve_opts();
+  opts.max_points = 1;  // the good request expands to 2 points
+  std::istringstream in(good_request(9) + "\n");
+  std::ostringstream out;
+  ASSERT_TRUE(serve_loop(in, out, opts).ok());
+
+  // Refused before any work: exactly one response row, the done row.
+  std::vector<std::string> lines;
+  std::istringstream split(out.str());
+  std::string line;
+  while (std::getline(split, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 1u);
+  util::JsonValue row;
+  std::string err;
+  ASSERT_TRUE(util::parse_json(lines[0], &row, &err)) << err;
+  EXPECT_EQ(kind(row), "done");
+  EXPECT_FALSE(row.find("ok")->b);
+  EXPECT_EQ(row.find("error_class")->str, "resource_exhausted");
+  EXPECT_EQ(row.find("phase")->str, "serve-admission");
+}
+
+TEST(Serve, PerRequestBudgetTripsAsResourceExhausted) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(static_cast<int64_t>(1));
+  w.key("source").value(kGood);
+  w.key("budget").begin_object();
+  w.key("max_steps").value(static_cast<int64_t>(50));
+  w.end_object();
+  w.end_object();
+  std::istringstream in(w.take() + "\n");
+  std::ostringstream out;
+  ASSERT_TRUE(serve_loop(in, out, serve_opts()).ok());
+
+  // Phase I trips the 50-step budget; the point rows and the done row
+  // all report resource_exhausted, and the loop is ready for the next
+  // request.
+  bool saw_failed_point = false;
+  bool saw_done = false;
+  std::istringstream split(out.str());
+  std::string line;
+  while (std::getline(split, line)) {
+    util::JsonValue row;
+    std::string err;
+    ASSERT_TRUE(util::parse_json(line, &row, &err)) << line << ": " << err;
+    if (kind(row) == "point" && !row.find("ok")->b) {
+      saw_failed_point = true;
+      EXPECT_EQ(row.find("error_class")->str, "resource_exhausted");
+    }
+    if (kind(row) == "done") {
+      saw_done = true;
+      EXPECT_FALSE(row.find("ok")->b);
+      EXPECT_EQ(row.find("error_class")->str, "resource_exhausted");
+    }
+  }
+  EXPECT_TRUE(saw_failed_point);
+  EXPECT_TRUE(saw_done);
+}
+
+TEST(Serve, InvalidBudgetAndUnknownFieldsAreRejected) {
+  const std::string requests =
+      "{\"id\":1,\"source\":\"int main(void){return 0;}\","
+      "\"budget\":{\"max_steps\":-5}}\n"
+      "{\"id\":2,\"source\":\"int main(void){return 0;}\","
+      "\"budget\":{\"warp_speed\":1}}\n"
+      "{\"id\":3,\"frobnicate\":true}\n"
+      "{\"id\":4,\"threads\":0}\n";
+  std::istringstream in(requests);
+  std::ostringstream out;
+  ASSERT_TRUE(serve_loop(in, out, serve_opts()).ok());
+  std::istringstream split(out.str());
+  std::string line;
+  int done_rows = 0;
+  while (std::getline(split, line)) {
+    util::JsonValue row;
+    std::string err;
+    ASSERT_TRUE(util::parse_json(line, &row, &err)) << err;
+    ASSERT_EQ(kind(row), "done") << line;
+    ++done_rows;
+    EXPECT_FALSE(row.find("ok")->b);
+    EXPECT_EQ(row.find("error_class")->str, "invalid_input");
+  }
+  EXPECT_EQ(done_rows, 4);
+}
+
+TEST(Serve, ModelCacheMakesRepeatRequestsPurePhaseTwo) {
+  ModelCache cache(ModelCacheOptions{/*dir=*/"", /*memory=*/true});
+  const std::string requests =
+      good_request(1) + "\n" + good_request(2) + "\n";
+  std::istringstream in(requests);
+  std::ostringstream out;
+  ASSERT_TRUE(serve_loop(in, out, serve_opts(&cache)).ok());
+
+  const ModelCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);       // request 1 extracted
+  EXPECT_EQ(s.hits, 1u);         // request 2 reused it
+  EXPECT_EQ(s.memory_hits, 1u);  // without touching disk
+
+  // And the two responses' sweep bodies are byte-identical: extract the
+  // lines between each ack and done row and compare.
+  std::vector<std::vector<std::string>> bodies;
+  std::istringstream split(out.str());
+  std::string line;
+  while (std::getline(split, line)) {
+    if (line.find("\"kind\":\"request\"") != std::string::npos) {
+      bodies.emplace_back();
+    } else if (line.find("\"kind\":\"done\"") != std::string::npos) {
+      continue;
+    } else if (!bodies.empty()) {
+      bodies.back().push_back(line);
+    }
+  }
+  ASSERT_EQ(bodies.size(), 2u);
+  EXPECT_EQ(bodies[0], bodies[1]);
+  EXPECT_FALSE(bodies[0].empty());
+}
+
+/// An ostream whose buffer accepts `budget` bytes, then fails forever —
+/// the shape of a client that disconnected mid-response.
+class FailAfterBuf : public std::streambuf {
+ public:
+  explicit FailAfterBuf(size_t budget) : budget_(budget) {}
+  const std::string& written() const { return written_; }
+
+ protected:
+  int overflow(int ch) override {
+    if (budget_ == 0) return traits_type::eof();
+    --budget_;
+    written_ += static_cast<char>(ch);
+    return ch;
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    const std::streamsize take =
+        std::min<std::streamsize>(n, static_cast<std::streamsize>(budget_));
+    written_.append(s, static_cast<size_t>(take));
+    budget_ -= static_cast<size_t>(take);
+    return take;
+  }
+
+ private:
+  size_t budget_;
+  std::string written_;
+};
+
+TEST(Serve, DisconnectedClientEndsTheLoopWithIoError) {
+  FailAfterBuf sink(64);  // enough for the ack, not the sweep
+  std::ostream out(&sink);
+  std::istringstream in(good_request(1) + "\n" + good_request(2) + "\n");
+  const util::Status st = serve_loop(in, out, serve_opts());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::ErrorCode::kIoError);
+  EXPECT_EQ(st.phase(), "serve");
+  // The loop died on the first request; the second was never served.
+  EXPECT_EQ(sink.written().find("\"id\":2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace foray::driver

@@ -4,6 +4,7 @@
 //   foraygen <command> <program.mc> [options]
 //   foraygen batch [options]
 //   foraygen sweep [program.mc] [options]
+//   foraygen serve [options]
 //
 // Commands:
 //   model      extract and print the FORAY model (paper display form)
@@ -21,6 +22,10 @@
 //              geometry × algorithm × replay) over the benchsuite, or
 //              over one program when a path is given; emits Pareto
 //              frontiers and optionally streaming NDJSON
+//   serve      long-lived sweep service: one NDJSON request per stdin
+//              line, one sweep NDJSON stream + done row per request
+//              (driver/serve.h documents the protocol); Phase I models
+//              are cached across requests
 //
 // Options:
 //   --nexec N   Step 4 filter: minimum executions   (default 20)
@@ -60,6 +65,17 @@
 //                        journal verbatim and run only the missing or
 //                        failed ones; output is byte-identical to an
 //                        uninterrupted run
+//   --cache-dir DIR      batch/sweep/serve: content-addressed Phase I
+//                        model cache. A warm run skips profiling and
+//                        extraction entirely and is byte-identical to a
+//                        cold one; corrupt or stale entries are detected,
+//                        reported and recomputed. The FORAY_CACHE_DIR
+//                        env var supplies a default.
+//   --no-cache           batch/sweep/serve: ignore FORAY_CACHE_DIR and
+//                        run uncached
+//   --max-points N       serve: refuse requests whose grid exceeds N
+//                        points (admission control; 0 = unlimited,
+//                        default 4096)
 //   --max-steps N        execution budget: evaluation steps per run
 //                        (0 = unlimited; default 500000000)
 //   --max-records N      execution budget: trace records per run
@@ -80,15 +96,20 @@
 //   4  budget exhausted, deadline exceeded, or cancelled
 //   5  internal error (a bug in this library)
 //   6  I/O error (unreadable/unwritable/truncated file)
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "driver/model_cache.h"
+#include "driver/serve.h"
 #include "driver/session.h"
 #include "driver/sweep.h"
 #include "foray/inline_advisor.h"
@@ -124,6 +145,11 @@ int usage() {
       "[--spec FILE] [--ndjson PATH|-] [--resume JOURNAL] "
       "[--engine ast|bytecode] [--nexec N] [--nloc N] [--seed S] "
       "[--shards N] [--replay]\n"
+      "       foraygen serve [--threads N] [--max-points N] "
+      "[--engine ast|bytecode] [--nexec N] [--nloc N] [--seed S]\n"
+      "  batch/sweep/serve also accept the model-cache options "
+      "[--cache-dir DIR] [--no-cache] (FORAY_CACHE_DIR is the default "
+      "directory)\n"
       "  every command also accepts the execution-budget options "
       "[--max-steps N] [--max-records N] [--timeout SECONDS] and the "
       "fault-injection aid [--fault SPEC]\n");
@@ -184,7 +210,10 @@ bool flag_applies(const std::string& command, const std::string& flag) {
       // grid point whose cache axis is undeclared.
       {"--compare-cache", {"spm", "batch", "sweep"}},
       {"--replay", {"spm", "batch", "sweep"}},
-      {"--threads", {"batch", "sweep"}},
+      {"--threads", {"batch", "sweep", "serve"}},
+      {"--cache-dir", {"batch", "sweep", "serve"}},
+      {"--no-cache", {"batch", "sweep", "serve"}},
+      {"--max-points", {"serve"}},
       {"--capacity-sweep", {"batch", "sweep"}},
       {"--json", {"batch"}},
       {"--energy-sweep", {"sweep"}},
@@ -301,15 +330,15 @@ int main(int argc, char** argv) {
       command == "model" || command == "emit" || command == "annotate" ||
       command == "trace" || command == "stats" || command == "hints" ||
       command == "run" || command == "profile" || command == "spm" ||
-      command == "batch" || command == "sweep";
+      command == "batch" || command == "sweep" || command == "serve";
   if (!known_command) {
     usage();
     return option_error("unknown command '" + command + "'");
   }
-  // batch has no program argument; sweep's is optional (default: the
-  // whole benchsuite).
+  // batch and serve have no program argument; sweep's is optional
+  // (default: the whole benchsuite).
   const bool takes_path =
-      command != "batch" &&
+      command != "batch" && command != "serve" &&
       !(command == "sweep" &&
         (argc < 3 || util::starts_with(argv[2], "--")));
   if (takes_path && command != "sweep" && argc < 3) return usage();
@@ -321,6 +350,10 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string ndjson_path;
   std::string resume_path;
+  std::string cache_dir;
+  if (const char* env = std::getenv("FORAY_CACHE_DIR")) cache_dir = env;
+  bool no_cache = false;
+  uint64_t max_points = 4096;
   for (int i = takes_path ? 3 : 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (!util::starts_with(arg, "--")) {
@@ -342,9 +375,14 @@ int main(int argc, char** argv) {
     auto next_u64 = [&](uint64_t* out) {
       const char* s = nullptr;
       if (!next_value(&s)) return false;
+      // strtoull silently wraps a leading '-' (so "--max-steps -1" would
+      // become a ~1.8e19-step budget) and saturates out-of-range values
+      // to ULLONG_MAX; both must be usage errors, not huge numbers.
+      if (*s == '+' || *s == '-') return false;
       char* end = nullptr;
+      errno = 0;
       *out = std::strtoull(s, &end, 10);
-      return end != s && *end == '\0';
+      return end != s && *end == '\0' && errno != ERANGE;
     };
     auto parse_axis = [&](const char* axis) -> int {
       const char* s = nullptr;
@@ -475,6 +513,19 @@ int main(int argc, char** argv) {
         return option_error("option '--threads' requires a number");
       }
       threads = static_cast<int>(v);
+    } else if (arg == "--cache-dir") {
+      const char* s = nullptr;
+      if (!next_value(&s) || *s == '\0') {
+        return option_error("option '--cache-dir' requires a directory");
+      }
+      cache_dir = s;
+    } else if (arg == "--no-cache") {
+      no_cache = true;
+    } else if (arg == "--max-points") {
+      if (!next_u64(&max_points)) {
+        return option_error(
+            "option '--max-points' requires a number (0 = unlimited)");
+      }
     } else if (arg == "--capacity-sweep") {
       if (int rc = parse_axis("capacity")) return rc;
     } else if (arg == "--energy-sweep") {
@@ -490,11 +541,54 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The model cache: explicit --cache-dir (or FORAY_CACHE_DIR) enables
+  // it for batch/sweep; serve always gets at least the in-memory layer —
+  // reusing Phase I across requests is the point of serving.
+  std::unique_ptr<driver::ModelCache> cache;
+  if (!no_cache && (!cache_dir.empty() || command == "serve")) {
+    cache = std::make_unique<driver::ModelCache>(
+        driver::ModelCacheOptions{cache_dir, /*memory=*/true});
+  }
+  auto print_cache_stats = [&cache] {
+    if (cache == nullptr) return;
+    const driver::ModelCache::Stats s = cache->stats();
+    std::fprintf(
+        stderr,
+        "foraygen: model cache: %llu hit(s) (%llu in-memory), "
+        "%llu miss(es), %llu rejected, %llu store(s), %llu store "
+        "failure(s)\n",
+        static_cast<unsigned long long>(s.hits),
+        static_cast<unsigned long long>(s.memory_hits),
+        static_cast<unsigned long long>(s.misses),
+        static_cast<unsigned long long>(s.rejected),
+        static_cast<unsigned long long>(s.stores),
+        static_cast<unsigned long long>(s.store_failures));
+  };
+
+  if (command == "serve") {
+#if !defined(_WIN32)
+    // A client that vanishes mid-response must surface as a write error
+    // on the response stream (which cancels that request), not as a
+    // process-killing SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+#endif
+    driver::ServeOptions svopts;
+    svopts.threads = threads;
+    svopts.pipeline = opts;
+    svopts.max_points = max_points;
+    svopts.model_cache = cache.get();
+    util::Status st = driver::serve_loop(std::cin, std::cout, svopts);
+    print_cache_stats();
+    if (!st.ok()) return fail_with(st);
+    return 0;
+  }
+
   if (command == "sweep") {
     driver::SweepOptions sopts;
     sopts.threads = threads;
     sopts.pipeline = opts;
     sopts.spec = spec;
+    sopts.model_cache = cache.get();
     driver::SweepDriver sweep(sopts);
     std::vector<driver::SweepJob> jobs;
     if (!path.empty()) {
@@ -538,6 +632,7 @@ int main(int argc, char** argv) {
         out = &file;
       }
       util::Status st = sweep.run_ndjson(jobs, *out, resume);
+      print_cache_stats();
       if (!st.ok()) {
         // A transform-replay counter mismatch is the analysis-negative
         // outcome (exit 1), not an error class.
@@ -551,6 +646,7 @@ int main(int argc, char** argv) {
     }
 
     auto report = sweep.run(jobs);
+    print_cache_stats();
     std::fputs(report.table().c_str(), stdout);
     std::printf("\n-- Pareto frontier (SPM bytes used -> nJ saved) --\n");
     auto print_frontier = [&](const std::string& label,
@@ -598,8 +694,10 @@ int main(int argc, char** argv) {
     sopts.threads = threads;
     sopts.spec.capacities = spec.capacities;
     sopts.pipeline = opts;
+    sopts.model_cache = cache.get();
     driver::SweepDriver batch(sopts);
     auto report = batch.run(driver::SweepDriver::benchsuite_jobs());
+    print_cache_stats();
     std::fputs(report.table().c_str(), stdout);
     if (!json_path.empty()) {
       std::ofstream out(json_path, std::ios::binary);
