@@ -1,9 +1,11 @@
 #include "driver/model_cache.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <utility>
+#include <vector>
 
 #if !defined(_WIN32)
 #include <unistd.h>
@@ -159,6 +161,56 @@ void ModelCache::store(const std::string& key,
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     failed();
+    return;
+  }
+  enforce_disk_bound();
+}
+
+void ModelCache::enforce_disk_bound() {
+  if (opts_.dir.empty() || opts_.max_bytes == 0) return;
+  struct Entry {
+    std::filesystem::path path;
+    std::filesystem::file_time_type mtime;
+    uint64_t size = 0;
+  };
+  std::vector<Entry> entries;
+  uint64_t total = 0;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(opts_.dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const std::filesystem::directory_entry& de = *it;
+    if (de.path().extension() != ".fmodel") continue;
+    std::error_code fec;
+    if (!de.is_regular_file(fec) || fec) continue;
+    Entry e;
+    e.path = de.path();
+    e.size = de.file_size(fec);
+    if (fec) continue;
+    e.mtime = de.last_write_time(fec);
+    if (fec) continue;
+    total += e.size;
+    entries.push_back(std::move(e));
+  }
+  if (total <= opts_.max_bytes) return;
+  // Oldest-modified first; path breaks mtime ties so the victim order is
+  // deterministic on filesystems with coarse timestamps.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.mtime != b.mtime) return a.mtime < b.mtime;
+              return a.path < b.path;
+            });
+  uint64_t evicted = 0;
+  for (const Entry& e : entries) {
+    if (total <= opts_.max_bytes) break;
+    std::error_code rec;
+    if (std::filesystem::remove(e.path, rec) && !rec) {
+      total -= e.size;
+      ++evicted;
+    }
+  }
+  if (evicted != 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.evictions += evicted;
   }
 }
 

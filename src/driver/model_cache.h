@@ -41,6 +41,13 @@ struct ModelCacheOptions {
   std::string dir;
   /// Retain looked-up / stored models in memory for this process.
   bool memory = true;
+  /// Bound on the directory's total entry bytes (0 = unbounded). After
+  /// each successful store, entries are evicted oldest-modified first
+  /// until the directory fits; the freshly renamed entry is the newest,
+  /// so it only goes when the bound is smaller than the entry itself.
+  /// Eviction is best-effort across processes (a concurrent replace of
+  /// the victim just wins the rename race) and counted in Stats.
+  uint64_t max_bytes = 0;
 };
 
 class ModelCache {
@@ -52,6 +59,7 @@ class ModelCache {
     uint64_t rejected = 0;     ///< entry present but corrupt/stale
     uint64_t stores = 0;          ///< store() calls (memory and/or disk)
     uint64_t store_failures = 0;  ///< disk writes that failed (non-fatal)
+    uint64_t evictions = 0;  ///< disk entries deleted by the size bound
   };
 
   explicit ModelCache(ModelCacheOptions opts = {});
@@ -80,6 +88,7 @@ class ModelCache {
 
  private:
   std::string entry_path(const std::string& key) const;
+  void enforce_disk_bound();
 
   ModelCacheOptions opts_;
   mutable std::mutex mu_;

@@ -13,6 +13,7 @@
 #include "driver/model_cache.h"
 #include "driver/sweep.h"
 #include "sim/budget.h"
+#include "staticforay/checker.h"
 #include "util/json.h"
 
 namespace foray::driver {
@@ -188,6 +189,37 @@ util::Status parse_request(const util::JsonValue& req,
   return util::Status();
 }
 
+/// `--static-admission`: refuses a request whose static *minimum* cost
+/// bound already exceeds the request's effective execution budget — the
+/// run provably cannot finish inside it, so simulating would only burn
+/// the budget to learn what the checker already knows. Runs before any
+/// Phase I work or response row. Programs the frontend rejects pass
+/// (the sweep classifies them itself), so admitted requests stream
+/// byte-identical responses with or without admission.
+util::Status admit_static(const std::vector<SweepJob>& jobs,
+                          const sim::Budget& budget) {
+  for (const SweepJob& job : jobs) {
+    staticforay::CheckReport rep;
+    if (!staticforay::lint_source(job.source, &rep).ok()) continue;
+    const staticforay::StaticCost& cost = rep.cost;
+    const bool over_records =
+        budget.max_records != 0 && cost.min_records > budget.max_records;
+    const bool over_steps =
+        budget.max_steps != 0 && cost.min_steps > budget.max_steps;
+    if (!over_records && !over_steps) continue;
+    const uint64_t need = over_records ? cost.min_records : cost.min_steps;
+    const uint64_t cap =
+        over_records ? budget.max_records : budget.max_steps;
+    return util::Status::failure(
+        util::ErrorCode::kResourceExhausted, "lint-admission", 0,
+        job.name + ": static bound of at least " + std::to_string(need) +
+            (over_records ? " trace records" : " steps") +
+            " exceeds the request budget of " + std::to_string(cap) +
+            " (raise the budget or drop the program)");
+  }
+  return util::Status();
+}
+
 void done_row(std::ostream& out, const RequestTag& tag,
               const util::Status& st) {
   util::JsonWriter w;
@@ -241,6 +273,9 @@ util::Status serve_loop(std::istream& in, std::ostream& out,
     std::vector<SweepJob> jobs;
     if (st.ok() && req.is_object()) {
       st = parse_request(req, opts, &sopts, &jobs);
+    }
+    if (st.ok() && opts.static_admission) {
+      st = admit_static(jobs, sopts.pipeline.run.budget);
     }
     if (st.ok()) {
       auto token = std::make_shared<sim::CancelToken>();

@@ -56,6 +56,16 @@ struct ServeOptions {
   ModelCache* model_cache = nullptr;
   /// Transient-failure retries, as SweepOptions::transient_retries.
   int transient_retries = 2;
+  /// Static cost-bound admission (`--static-admission`): run the
+  /// staticforay checker over each requested program and refuse the
+  /// request — resource_exhausted, phase "lint-admission", before any
+  /// Phase I work or response row — when a program's *minimum* static
+  /// step or record bound already exceeds the request's effective budget
+  /// (server defaults + the request's "budget" overrides). Programs the
+  /// frontend rejects are not refused here: the normal sweep path
+  /// classifies them, so admitted requests stream byte-identical
+  /// responses whether this flag is on or off.
+  bool static_admission = false;
 };
 
 /// Runs the request loop until `in` reaches EOF (ok) or `out` stops

@@ -15,6 +15,7 @@
 #include "benchsuite/suite.h"
 #include "driver/model_cache.h"
 #include "spm/replay.h"
+#include "staticforay/checker.h"
 #include "spm/reuse.h"
 #include "spm/spm_sim.h"
 #include "util/fault.h"
@@ -535,6 +536,41 @@ SweepItem build_item(const SweepJob& job, size_t job_index,
   return item;
 }
 
+/// Pre-Phase-I static check for SweepOptions::lint_first: a kInvalidInput
+/// status (phase "lint") naming the first proven fault when the checker
+/// *proves* the program faults, ok for anything else. Frontend failures
+/// deliberately pass — Phase I classifies those itself, keeping linted
+/// and unlinted runs byte-identical on them.
+util::Status lint_job(const SweepJob& job) {
+  staticforay::CheckReport rep;
+  const util::Status st = staticforay::lint_source(job.source, &rep);
+  if (!st.ok() || !rep.must_fault()) return util::Status();
+  std::string msg = job.name + ": static checker proves a fault";
+  for (const auto& d : rep.diags) {
+    if (d.severity != staticforay::Severity::MustFault) continue;
+    msg += ": " + std::string(staticforay::check_kind_name(d.kind)) +
+           " at line " + std::to_string(d.line) + ": " + d.message;
+    break;
+  }
+  return util::Status::failure(util::ErrorCode::kInvalidInput, "lint", 0,
+                               std::move(msg));
+}
+
+/// The streaming NDJSON row for a lint-refused program: one structured
+/// error line standing in for the job's whole point block.
+std::string lint_line(const std::string& program, const util::Status& st) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("kind").value("lint");
+  w.key("program").value(program);
+  w.key("ok").value(false);
+  w.key("error_class").value(st.code_name());
+  w.key("phase").value(st.phase());
+  w.key("error").value(st.message());
+  w.end_object();
+  return w.take();
+}
+
 /// What --resume already has, projected onto the grid: per job, which
 /// flat points carry cached results and therefore must not be re-run or
 /// re-delivered through on_item.
@@ -570,18 +606,22 @@ struct ResumePlan {
 /// all of the job's items have been delivered. Under a resume plan,
 /// cached points are skipped (no on_item call) and a fully-cached job
 /// skips Phase I entirely — its on_job_done receives a null session.
-template <typename OnItem, typename OnJobDone>
+/// Under lint_first, a program the checker proves faulty gets exactly one
+/// `on_lint(job, status)` call and nothing else — the lint hook IS that
+/// job's completion; neither on_item nor on_job_done runs for it.
+template <typename OnItem, typename OnLint, typename OnJobDone>
 class SweepExec {
  public:
   SweepExec(const std::vector<SweepJob>& jobs, const SweepOptions& opts,
             const SweepGrid& grid, bool retain_full, ResumePlan plan,
-            OnItem on_item, OnJobDone on_job_done)
+            OnItem on_item, OnLint on_lint, OnJobDone on_job_done)
       : jobs_(jobs),
         opts_(opts),
         grid_(grid),
         retain_full_(retain_full),
         plan_(plan),
         on_item_(std::move(on_item)),
+        on_lint_(std::move(on_lint)),
         on_job_done_(std::move(on_job_done)),
         groups_(solve_groups(grid)),
         pool_(static_cast<size_t>(opts.threads)) {
@@ -605,6 +645,13 @@ class SweepExec {
       // no solves, no items — just the job-completion hook.
       on_job_done_(j, nullptr);
       return;
+    }
+    if (opts_.lint_first) {
+      const util::Status lint = lint_job(jobs_[j]);
+      if (!lint.ok()) {
+        on_lint_(j, lint);
+        return;
+      }
     }
     run_phase1(jobs_[j], opts_, grid_, &js);
     if (!js.phase1_ok) {
@@ -663,6 +710,7 @@ class SweepExec {
   const bool retain_full_;
   const ResumePlan plan_;
   OnItem on_item_;
+  OnLint on_lint_;
   OnJobDone on_job_done_;
   std::vector<std::unique_ptr<JobState>> states_;
   const std::vector<SolveGroup> groups_;
@@ -1092,6 +1140,19 @@ SweepReport SweepDriver::run(const std::vector<SweepJob>& jobs) const {
       [&report, per_job](size_t j, SweepItem&& item, size_t i) {
         report.items[j * per_job + i] = std::move(item);
       },
+      [this, &report, &jobs, per_job](size_t j, const util::Status& st) {
+        // The buffered report keeps the grid shape, so every cell of a
+        // lint-refused job carries the same per-program status.
+        for (size_t i = 0; i < per_job; ++i) {
+          SweepItem item;
+          item.program = jobs[j].name;
+          item.key = grid_.points[i].key;
+          item.key.job = j;
+          item.point = grid_.points[i];
+          item.status = st;
+          report.items[j * per_job + i] = std::move(item);
+        }
+      },
       [&report](size_t j, std::unique_ptr<Session> session) {
         report.sessions[j] = std::move(session);
       });
@@ -1183,6 +1244,29 @@ util::Status SweepDriver::run_ndjson(const std::vector<SweepJob>& jobs,
                   std::to_string(item.point.capacity_bytes) +
                   "B: transform-replay mismatch");
         }
+      },
+      [per_job, &jobs, &blocks, &mu, &cv](size_t j,
+                                          const util::Status& st) {
+        // One `lint` row plus the program's (empty) pareto line stands in
+        // for the whole point block — the single-row contract of
+        // lint_first.
+        Block block;
+        block.agg.resize(per_job);
+        for (AggCell& cell : block.agg) {
+          ++cell.jobs_seen;
+          cell.all_ok = false;
+        }
+        block.text = lint_line(jobs[j].name, st);
+        block.text += '\n';
+        block.text += pareto_line("program", jobs[j].name, {});
+        block.text += '\n';
+        block.first_failure = st;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          block.ready = true;
+          blocks[j] = std::move(block);
+        }
+        cv.notify_all();
       },
       [this, per_job, &jobs, &slots, &blocks, &mu, &cv](
           size_t j, std::unique_ptr<Session>) {

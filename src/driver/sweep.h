@@ -171,6 +171,17 @@ struct SweepOptions {
   /// extracted model for the next run. Output is byte-identical either
   /// way; a corrupt or stale entry is reported on stderr and recomputed.
   ModelCache* model_cache = nullptr;
+  /// Run the static checker (staticforay/checker.h) over each program
+  /// before its Phase I. A program the checker *proves* will fault is
+  /// failed up front with a single per-program diagnostic instead of N
+  /// identical per-point failure rows: the streaming NDJSON emits one
+  /// `lint` row (plus the program's empty pareto line) in place of the
+  /// job's point block, and the buffered report marks every cell of the
+  /// job with the same kInvalidInput / phase "lint" status. Programs the
+  /// checker cannot prove faulty — including ones that fail the frontend,
+  /// which Phase I classifies on its own — run normally, byte-identical
+  /// to lint_first = false.
+  bool lint_first = false;
 };
 
 /// One (program, grid point) cell.

@@ -145,8 +145,8 @@ class LoopNode {
 /// affine-recovery state of Algorithm 3 and the footprint set used by the
 /// Step 4 filter and Table III.
 struct RefNode {
-  RefNode(uint32_t instr, LoopNode* owner, size_t footprint_cap)
-      : instr(instr), owner(owner), footprint_cap_(footprint_cap) {}
+  RefNode(uint32_t instr_id, LoopNode* owner_node, size_t footprint_cap)
+      : instr(instr_id), owner(owner_node), footprint_cap_(footprint_cap) {}
 
   // Hot-first layout: everything the extractor touches per access
   // (identity, counters, the affine fast-path head) packs into the

@@ -283,9 +283,9 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepParam{3, 31}, SweepParam{3, 32},
                       SweepParam{4, 41}, SweepParam{4, 42},
                       SweepParam{5, 51}, SweepParam{6, 61}),
-    [](const ::testing::TestParamInfo<SweepParam>& info) {
-      return "depth" + std::to_string(info.param.depth) + "_seed" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<SweepParam>& pi) {
+      return "depth" + std::to_string(pi.param.depth) + "_seed" +
+             std::to_string(pi.param.seed);
     });
 
 // -- property sweep: partial recovery at every split point ------------------
@@ -323,8 +323,8 @@ TEST_P(PartialRecovery, OuterIrregularityYieldsCorrectM) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Splits, PartialRecovery, ::testing::Values(1, 2, 3),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "m" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& pi) {
+                           return "m" + std::to_string(pi.param);
                          });
 
 }  // namespace

@@ -1,0 +1,458 @@
+// The soundness lock for the static checker (staticforay/checker.h).
+//
+// The checker's contract is directional, and this harness pins both
+// directions against the *real* engines over the benchsuite plus 200
+// seeded generator programs:
+//
+//   clean()        =>  both engines run the program fault-free;
+//   must_fault()   =>  both engines fault;
+//   cost.max_*     >=  the observed dynamic steps / trace records,
+//                      whether the run completed or faulted;
+//   cost.min_*     <=  the observed counts on fault-free completed runs;
+//   cost.exact     =>  max_records equals the observed record count.
+//
+// Any violation is a test failure — loosening a max bound or tightening
+// a min bound in the checker is the fix, never weakening this harness.
+// Unit tests below pin the interval domain, trip-count extraction, each
+// diagnostic kind's fixture, and the sweep driver's lint_first wiring.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchsuite/generator.h"
+#include "benchsuite/suite.h"
+#include "driver/sweep.h"
+#include "instrument/annotator.h"
+#include "minic/parser.h"
+#include "sim/interpreter.h"
+#include "staticforay/checker.h"
+#include "staticforay/cost.h"
+#include "trace/sink.h"
+#include "util/json.h"
+
+namespace foray::staticforay {
+namespace {
+
+struct Observed {
+  sim::RunResult run;
+  uint64_t records = 0;
+};
+
+/// Runs `source` on one engine under the default (full-tracing) options
+/// the checker's cost model assumes.
+Observed observe(const std::string& source, sim::Engine engine) {
+  util::DiagList diags;
+  auto prog = minic::parse_and_check(source, &diags);
+  EXPECT_NE(prog, nullptr) << diags.str();
+  Observed o;
+  if (!prog) return o;
+  instrument::annotate_loops(prog.get());
+  trace::VectorSink sink;
+  sim::RunOptions ropts;
+  ropts.engine = engine;
+  o.run = sim::run_program(*prog, &sink, ropts);
+  o.records = sink.records().size();
+  return o;
+}
+
+CheckReport lint(const std::string& source) {
+  CheckReport rep;
+  const util::Status st = lint_source(source, &rep);
+  EXPECT_TRUE(st.ok()) << st.message();
+  return rep;
+}
+
+/// The core soundness assertion, applied to both engines.
+void expect_sound(const std::string& source, const std::string& label) {
+  CheckReport rep;
+  const util::Status st = lint_source(source, &rep);
+  ASSERT_TRUE(st.ok()) << label << ": " << st.message();
+  for (sim::Engine engine : {sim::Engine::Ast, sim::Engine::Bytecode}) {
+    const std::string what =
+        label + (engine == sim::Engine::Ast ? " [ast]" : " [bytecode]");
+    const Observed o = observe(source, engine);
+    if (rep.clean()) {
+      EXPECT_TRUE(o.run.ok())
+          << what << ": checker-clean program faulted: " << o.run.error()
+          << "\n" << rep.str();
+    }
+    if (rep.must_fault()) {
+      EXPECT_FALSE(o.run.ok())
+          << what << ": checker proved a fault but the run completed\n"
+          << rep.str();
+    }
+    EXPECT_GE(rep.cost.max_steps, o.run.steps)
+        << what << ": static step bound below the dynamic count\n"
+        << rep.str();
+    EXPECT_GE(rep.cost.max_records, o.records)
+        << what << ": static record bound below the dynamic count\n"
+        << rep.str();
+    if (o.run.ok()) {
+      EXPECT_LE(rep.cost.min_steps, o.run.steps)
+          << what << ": static step floor above a completed run\n"
+          << rep.str();
+      EXPECT_LE(rep.cost.min_records, o.records)
+          << what << ": static record floor above a completed run\n"
+          << rep.str();
+      if (rep.cost.exact) {
+        EXPECT_EQ(rep.cost.max_records, o.records)
+            << what << ": cost claims exact records but they differ\n"
+            << rep.str();
+      }
+    }
+  }
+}
+
+bool has_diag(const CheckReport& rep, CheckKind kind, Severity sev) {
+  for (const CheckDiag& d : rep.diags) {
+    if (d.kind == kind && d.severity == sev) return true;
+  }
+  return false;
+}
+
+// -- interval domain ----------------------------------------------------------
+
+TEST(Intervals, ArithmeticAndWrapping) {
+  const Interval a = Interval::range(2, 5);
+  const Interval b = Interval::range(-3, 4);
+  EXPECT_EQ(iv_add(a, b), Interval::range(-1, 9));
+  EXPECT_EQ(iv_sub(a, b), Interval::range(-2, 8));
+  EXPECT_EQ(iv_mul(a, b), Interval::range(-15, 20));
+  EXPECT_EQ(iv_neg(a), Interval::range(-5, -2));
+  // int64 overflow must widen to top, never wrap.
+  const Interval big = Interval::range(INT64_MAX - 1, INT64_MAX);
+  EXPECT_TRUE(iv_add(big, Interval::singleton(2)).is_top());
+  EXPECT_TRUE(iv_mul(big, big).is_top());
+}
+
+TEST(Intervals, DivisionModuloAndAbs) {
+  EXPECT_EQ(iv_div(Interval::range(10, 20), Interval::singleton(3)),
+            Interval::range(3, 6));
+  const Interval m = iv_mod(Interval::range(0, 100), Interval::singleton(7));
+  EXPECT_TRUE(m.contains(0));
+  EXPECT_TRUE(m.contains(6));
+  EXPECT_FALSE(m.contains(7));
+  EXPECT_EQ(iv_abs(Interval::range(-4, 3)), Interval::range(0, 4));
+}
+
+TEST(Intervals, JoinWidenMeetTruncate) {
+  const Interval a = Interval::range(0, 4);
+  const Interval b = Interval::range(2, 9);
+  EXPECT_EQ(iv_join(a, b), Interval::range(0, 9));
+  // Widening jumps grown ends to the int64 extremes.
+  const Interval w = iv_widen(a, iv_join(a, b));
+  EXPECT_EQ(w.lo, 0);
+  EXPECT_EQ(w.hi, INT64_MAX);
+  Interval meet;
+  ASSERT_TRUE(iv_meet(a, b, &meet));
+  EXPECT_EQ(meet, Interval::range(2, 4));
+  EXPECT_FALSE(iv_meet(Interval::range(0, 1), Interval::range(5, 9), &meet));
+  // Truncation to a narrower type clamps to the type range only when the
+  // value may overflow it.
+  EXPECT_EQ(iv_truncate(Interval::range(0, 100), 1), Interval::range(0, 100));
+  EXPECT_EQ(iv_truncate(Interval::range(0, 300), 1),
+            Interval::range(-128, 127));
+}
+
+TEST(Intervals, SaturatingCostArithmetic) {
+  EXPECT_EQ(sat_add(kUnbounded, 1), kUnbounded);
+  EXPECT_EQ(sat_add(kUnbounded - 1, 5), kUnbounded);
+  EXPECT_EQ(sat_mul(kUnbounded, 0), 0u);
+  EXPECT_EQ(sat_mul(1u << 20, kUnbounded), kUnbounded);
+  EXPECT_EQ(cost_bound_str(kUnbounded), "unbounded");
+  EXPECT_EQ(cost_bound_str(42), "42");
+}
+
+// -- diagnostics --------------------------------------------------------------
+
+TEST(CheckerDiags, ProvableDivByZeroIsMustFault) {
+  const CheckReport rep = lint(
+      "int main(void) { int z = 0; return 10 / z; }\n");
+  EXPECT_TRUE(rep.must_fault());
+  EXPECT_TRUE(has_diag(rep, CheckKind::DivByZero, Severity::MustFault));
+}
+
+TEST(CheckerDiags, MaybeZeroDivisorIsOnlyAWarning) {
+  const CheckReport rep = lint(
+      "int main(void) {\n"
+      "  int z = rand() & 3;\n"
+      "  return 10 / z;\n"
+      "}\n");
+  EXPECT_FALSE(rep.must_fault());
+  EXPECT_TRUE(has_diag(rep, CheckKind::DivByZero, Severity::Warning));
+}
+
+TEST(CheckerDiags, FailingAssertIsMustFault) {
+  const CheckReport rep = lint(
+      "int main(void) { int x = 3; assert(x > 5); return 0; }\n");
+  EXPECT_TRUE(rep.must_fault());
+  EXPECT_TRUE(has_diag(rep, CheckKind::AssertFail, Severity::MustFault));
+}
+
+TEST(CheckerDiags, ProvableOutOfBoundsSubscript) {
+  // A provably-outside subscript can still land in a *neighboring*
+  // mapped object at runtime (the simulator faults on unmapped
+  // addresses, not on declared extents), so this is a warning, not a
+  // must-fault — soundness over severity.
+  const CheckReport rep = lint(
+      "int a[8];\n"
+      "int main(void) { int i = 9; return a[i]; }\n");
+  EXPECT_FALSE(rep.must_fault());
+  EXPECT_TRUE(has_diag(rep, CheckKind::OutOfBounds, Severity::Warning));
+}
+
+TEST(CheckerDiags, InBoundsSubscriptAfterNarrowingIsClean) {
+  const CheckReport rep = lint(
+      "int a[8];\n"
+      "int main(void) {\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < 8; i++) s = s + a[i];\n"
+      "  return s;\n"
+      "}\n");
+  EXPECT_FALSE(has_diag(rep, CheckKind::OutOfBounds, Severity::Warning));
+  EXPECT_TRUE(rep.clean()) << rep.str();
+}
+
+TEST(CheckerDiags, UseBeforeInitIsAWarning) {
+  // `int x; return x;` reads an uninitialized slot; the engines bind the
+  // slot (zero-filled frame) and do not fault, so this must stay a
+  // warning.
+  const CheckReport rep = lint(
+      "int main(void) { int x; return x; }\n");
+  EXPECT_FALSE(rep.must_fault());
+  EXPECT_TRUE(has_diag(rep, CheckKind::UseBeforeInit, Severity::Warning));
+}
+
+TEST(CheckerDiags, UnreachableStatementAfterReturn) {
+  const CheckReport rep = lint(
+      "int main(void) {\n"
+      "  return 1;\n"
+      "  return 2;\n"
+      "}\n");
+  EXPECT_TRUE(has_diag(rep, CheckKind::Unreachable, Severity::Warning));
+}
+
+TEST(CheckerDiags, UnreachableBranchOfConstantCondition) {
+  const CheckReport rep = lint(
+      "int main(void) {\n"
+      "  int x = 1;\n"
+      "  if (x) { return 1; } else { return 2; }\n"
+      "}\n");
+  EXPECT_TRUE(has_diag(rep, CheckKind::Unreachable, Severity::Warning));
+}
+
+TEST(CheckerDiags, CanonicalIteratorWriteInBody) {
+  const CheckReport rep = lint(
+      "int main(void) {\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < 10; i++) { if (s > 3) i = i + 2; s++; }\n"
+      "  return s;\n"
+      "}\n");
+  EXPECT_TRUE(
+      has_diag(rep, CheckKind::CanonicalIterWrite, Severity::Warning));
+}
+
+TEST(CheckerDiags, FrontendFailureIsAClassifiedStatus) {
+  CheckReport rep;
+  const util::Status st = lint_source("int main( {", &rep);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::ErrorCode::kInvalidInput);
+  EXPECT_EQ(st.phase(), "frontend");
+}
+
+// -- cost bounds --------------------------------------------------------------
+
+TEST(CheckerCost, StraightLineProgramIsExact) {
+  const CheckReport rep = lint(
+      "int main(void) { int x = 4; int y = x + 1; return y; }\n");
+  ASSERT_TRUE(rep.cost.bounded()) << rep.cost.str();
+  EXPECT_TRUE(rep.cost.exact) << rep.cost.str();
+  EXPECT_EQ(rep.cost.min_records, rep.cost.max_records);
+}
+
+TEST(CheckerCost, ConstantTripLoopIsBoundedAndExact) {
+  const std::string src =
+      "int a[64];\n"
+      "int main(void) {\n"
+      "  for (int i = 0; i < 64; i++) a[i] = i;\n"
+      "  return 0;\n"
+      "}\n";
+  const CheckReport rep = lint(src);
+  ASSERT_TRUE(rep.cost.bounded()) << rep.cost.str();
+  EXPECT_TRUE(rep.cost.exact) << rep.cost.str();
+  // The exact claim is verified against the real engines too.
+  expect_sound(src, "constant-trip loop");
+}
+
+TEST(CheckerCost, DataDependentLoopKeepsAnUnboundedMax) {
+  const CheckReport rep = lint(
+      "int main(void) {\n"
+      "  int n = rand();\n"
+      "  int s = 0;\n"
+      "  while (n > 0) { n = n - 1; s++; }\n"
+      "  return s;\n"
+      "}\n");
+  EXPECT_EQ(rep.cost.max_steps, kUnbounded);
+  EXPECT_TRUE(has_diag(rep, CheckKind::UnboundedLoop, Severity::Warning));
+}
+
+TEST(CheckerCost, MinBoundCollapsesUnderEarlyBreak) {
+  const std::string src =
+      "int main(void) {\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < 100; i++) { if (i == 2) break; s++; }\n"
+      "  return s;\n"
+      "}\n";
+  const CheckReport rep = lint(src);
+  ASSERT_TRUE(rep.cost.bounded()) << rep.cost.str();
+  // The checker cannot know which iteration breaks; the floor must stay
+  // below the real (3-iteration) run.
+  expect_sound(src, "early-break loop");
+}
+
+// -- soundness over the corpora ----------------------------------------------
+
+TEST(CheckerSoundness, Benchsuite) {
+  for (const auto& b : benchsuite::all_benchmarks()) {
+    expect_sound(b.source, b.name);
+  }
+}
+
+TEST(CheckerSoundness, AffineGeneratorPrograms) {
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    benchsuite::GeneratorOptions gopts;
+    gopts.seed = seed;
+    expect_sound(benchsuite::generate_affine_program(gopts).source,
+                 "affine seed " + std::to_string(seed));
+  }
+}
+
+TEST(CheckerSoundness, StressGeneratorPrograms) {
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    benchsuite::StressOptions sopts;
+    sopts.seed = seed;
+    expect_sound(benchsuite::generate_stress_program(sopts),
+                 "stress seed " + std::to_string(seed));
+  }
+}
+
+TEST(CheckerSoundness, MustFaultFixturesFaultForReal) {
+  const char* fixtures[] = {
+      "int main(void) { int z = 0; return 10 / z; }\n",
+      "int main(void) { int x = 0; return x % x; }\n",
+      "int main(void) { int x = 3; assert(x > 5); return 0; }\n",
+      "int main(void) {\n"
+      "  int a = 4;\n"
+      "  int b = a - 4;\n"
+      "  return 7 % b;\n"
+      "}\n",
+  };
+  for (const char* src : fixtures) {
+    const CheckReport rep = lint(src);
+    EXPECT_TRUE(rep.must_fault()) << src << "\n" << rep.str();
+    expect_sound(src, "must-fault fixture");
+  }
+}
+
+// -- sweep lint_first ---------------------------------------------------------
+
+const char kMustFaultSource[] =
+    "int main(void) { int z = 0; return 10 / z; }\n";
+const char kCleanSource[] =
+    "int a[64];\n"
+    "int main(void) {\n"
+    "  for (int r = 0; r < 8; r++)\n"
+    "    for (int i = 0; i < 64; i++) a[i] = a[i] + r;\n"
+    "  return a[0];\n"
+    "}\n";
+
+driver::SweepOptions lint_first_opts() {
+  driver::SweepOptions sopts;
+  sopts.lint_first = true;
+  sopts.pipeline.filter.min_exec = 1;
+  sopts.pipeline.filter.min_locations = 1;
+  return sopts;
+}
+
+TEST(SweepLintFirst, OneLintRowReplacesThePointBlock) {
+  const driver::SweepDriver sweep(lint_first_opts());
+  const std::vector<driver::SweepJob> jobs = {
+      {"bad", kMustFaultSource}, {"good", kCleanSource}};
+  std::ostringstream out;
+  const util::Status st = sweep.run_ndjson(jobs, out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::ErrorCode::kInvalidInput);
+  EXPECT_EQ(st.phase(), "lint");
+
+  int lint_rows = 0;
+  int bad_point_rows = 0;
+  int good_point_rows = 0;
+  std::istringstream split(out.str());
+  std::string line;
+  while (std::getline(split, line)) {
+    util::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(util::parse_json(line, &v, &err)) << line << ": " << err;
+    const util::JsonValue* kind = v.find("kind");
+    ASSERT_NE(kind, nullptr) << line;
+    const util::JsonValue* prog = v.find("program");
+    if (kind->str == "lint") {
+      ++lint_rows;
+      ASSERT_NE(prog, nullptr);
+      EXPECT_EQ(prog->str, "bad");
+      EXPECT_FALSE(v.find("ok")->b);
+      EXPECT_EQ(v.find("error_class")->str, "invalid_input");
+      EXPECT_EQ(v.find("phase")->str, "lint");
+      EXPECT_NE(v.find("error")->str.find("div-by-zero"),
+                std::string::npos);
+    } else if (kind->str == "point") {
+      ASSERT_NE(prog, nullptr);
+      if (prog->str == "bad") ++bad_point_rows;
+      if (prog->str == "good") ++good_point_rows;
+    }
+  }
+  // The must-fault program collapses to exactly one structured row; the
+  // clean program still sweeps its whole grid.
+  EXPECT_EQ(lint_rows, 1);
+  EXPECT_EQ(bad_point_rows, 0);
+  EXPECT_GE(good_point_rows, 1);
+}
+
+TEST(SweepLintFirst, BufferedReportMarksEveryCellOfARefusedJob) {
+  const driver::SweepDriver sweep(lint_first_opts());
+  const driver::SweepReport report =
+      sweep.run({{"bad", kMustFaultSource}, {"good", kCleanSource}});
+  ASSERT_EQ(report.programs.size(), 2u);
+  const size_t per_job = report.grid.points_per_job();
+  for (size_t i = 0; i < per_job; ++i) {
+    const driver::SweepItem& item = report.items[i];
+    EXPECT_EQ(item.program, "bad");
+    EXPECT_FALSE(item.status.ok());
+    EXPECT_EQ(item.status.phase(), "lint");
+  }
+  for (size_t i = 0; i < per_job; ++i) {
+    EXPECT_TRUE(report.items[per_job + i].status.ok())
+        << report.items[per_job + i].status.message();
+  }
+  // A lint-refused job never ran Phase I, so it retains no session.
+  EXPECT_EQ(report.sessions[0], nullptr);
+  EXPECT_NE(report.sessions[1], nullptr);
+}
+
+TEST(SweepLintFirst, CleanProgramsAreByteIdenticalWithAndWithoutLint) {
+  const std::vector<driver::SweepJob> jobs = {{"good", kCleanSource}};
+  std::ostringstream with_lint;
+  std::ostringstream without_lint;
+  ASSERT_TRUE(driver::SweepDriver(lint_first_opts())
+                  .run_ndjson(jobs, with_lint)
+                  .ok());
+  driver::SweepOptions plain = lint_first_opts();
+  plain.lint_first = false;
+  ASSERT_TRUE(driver::SweepDriver(plain).run_ndjson(jobs, without_lint).ok());
+  EXPECT_EQ(with_lint.str(), without_lint.str());
+}
+
+}  // namespace
+}  // namespace foray::staticforay

@@ -326,8 +326,8 @@ TEST_P(EngineEdge, PointerWalkDownward) {
 INSTANTIATE_TEST_SUITE_P(
     Engines, EngineEdge,
     ::testing::Values(Engine::Ast, Engine::Bytecode),
-    [](const ::testing::TestParamInfo<Engine>& info) {
-      return info.param == Engine::Ast ? "ast" : "bytecode";
+    [](const ::testing::TestParamInfo<Engine>& pi) {
+      return pi.param == Engine::Ast ? "ast" : "bytecode";
     });
 
 }  // namespace

@@ -5,6 +5,7 @@
 // include exactly the options that can change the extracted model.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -215,6 +216,71 @@ TEST_F(ModelCacheTest, StoreRoundTripsThroughLookup) {
   util::Status why;
   ASSERT_TRUE(other.lookup(key, &loaded, &why)) << why.message();
   EXPECT_EQ(core::model_to_bytes(loaded), core::model_to_bytes(res.model));
+}
+
+TEST_F(ModelCacheTest, SizeBoundEvictsOldestEntriesFirst) {
+  core::PipelineOptions popts;
+  popts.filter.min_exec = 1;
+  popts.filter.min_locations = 1;
+  core::PipelineResult res = core::run_pipeline(kGood, popts);
+  ASSERT_TRUE(res.status.ok());
+
+  // Measure one entry so the bound can be phrased in whole entries.
+  uint64_t entry_size = 0;
+  {
+    ModelCache probe(ModelCacheOptions{dir_, true});
+    probe.store("probe", res.model);
+    entry_size = std::filesystem::file_size(dir_ + "/probe.fmodel");
+    std::filesystem::remove(dir_ + "/probe.fmodel");
+  }
+  ASSERT_GT(entry_size, 0u);
+
+  // Room for two entries, not three.
+  ModelCache cache(
+      ModelCacheOptions{dir_, /*memory=*/true, entry_size * 2 + 1});
+  const auto age = [&](const char* key, int hours) {
+    std::filesystem::last_write_time(
+        dir_ + "/" + key + ".fmodel",
+        std::filesystem::file_time_type::clock::now() -
+            std::chrono::hours(hours));
+  };
+  cache.store("aa", res.model);
+  age("aa", 3);
+  cache.store("bb", res.model);
+  age("bb", 2);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(entries().size(), 2u);
+
+  // The third store pushes the directory over the bound; the oldest
+  // entry (aa) goes, the fresh one survives.
+  cache.store("cc", res.model);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/aa.fmodel"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/bb.fmodel"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/cc.fmodel"));
+
+  // The evicted entry is still served by the memory layer of the cache
+  // that stored it; a fresh cache object sees a plain miss.
+  core::ForayModel loaded;
+  util::Status why;
+  EXPECT_TRUE(cache.lookup("aa", &loaded, &why));
+  ModelCache fresh(ModelCacheOptions{dir_, true});
+  EXPECT_FALSE(fresh.lookup("aa", &loaded, &why));
+  EXPECT_TRUE(why.ok()) << why.message();
+}
+
+TEST_F(ModelCacheTest, BoundSmallerThanOneEntryEvictsTheFreshStore) {
+  core::PipelineOptions popts;
+  popts.filter.min_exec = 1;
+  popts.filter.min_locations = 1;
+  core::PipelineResult res = core::run_pipeline(kGood, popts);
+  ASSERT_TRUE(res.status.ok());
+
+  ModelCache cache(ModelCacheOptions{dir_, /*memory=*/true, /*max_bytes=*/1});
+  cache.store("aa", res.model);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().store_failures, 0u);  // the write itself worked
+  EXPECT_TRUE(entries().empty());
 }
 
 TEST(ModelCacheKey, TracksModelChangingOptionsOnly) {

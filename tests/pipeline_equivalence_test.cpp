@@ -97,7 +97,9 @@ TEST_P(PipelineEquivalence, OverlappedProfilingMatchesFusedOnline) {
       EXPECT_EQ(fingerprint(ex), want) << what;
       EXPECT_EQ(rep.shards_requested, consumers) << what;
       EXPECT_EQ(rep.records, online.records_processed()) << what;
-      if (rep.records > 0) EXPECT_GE(rep.balance, 1.0) << what;
+      if (rep.records > 0) {
+        EXPECT_GE(rep.balance, 1.0) << what;
+      }
     }
   }
 }

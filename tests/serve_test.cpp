@@ -232,6 +232,48 @@ TEST(Serve, PerRequestBudgetTripsAsResourceExhausted) {
   EXPECT_TRUE(saw_done);
 }
 
+TEST(Serve, StaticAdmissionRefusesProvablyOverBudgetRequests) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(static_cast<int64_t>(1));
+  w.key("name").value("big");
+  w.key("source").value(kGood);
+  w.key("budget").begin_object();
+  w.key("max_records").value(static_cast<int64_t>(10));
+  w.end_object();
+  w.end_object();
+
+  ServeOptions opts = serve_opts();
+  opts.static_admission = true;
+  const ServeRun r = run_serve(w.take() + "\n", opts);
+  EXPECT_TRUE(r.status.ok()) << r.status.message();
+
+  // The static record floor of kGood is far above 10, so the refusal is
+  // the ONLY output: no ack, no sweep rows — nothing ran.
+  ASSERT_EQ(r.rows.size(), 1u) << r.lines[0];
+  EXPECT_EQ(kind(r.rows[0]), "done");
+  EXPECT_FALSE(r.rows[0].find("ok")->b);
+  EXPECT_EQ(r.rows[0].find("error_class")->str, "resource_exhausted");
+  EXPECT_EQ(r.rows[0].find("phase")->str, "lint-admission");
+  EXPECT_NE(r.rows[0].find("error")->str.find("static bound"),
+            std::string::npos);
+}
+
+TEST(Serve, StaticAdmissionKeepsAdmittedResponsesByteIdentical) {
+  // A request the checker admits must produce the exact same byte stream
+  // whether the gate is on or off — admission is a pure filter.
+  const std::string requests = good_request(3) + "\n";
+  std::istringstream in_off(requests);
+  std::istringstream in_on(requests);
+  std::ostringstream out_off;
+  std::ostringstream out_on;
+  ServeOptions gated = serve_opts();
+  gated.static_admission = true;
+  ASSERT_TRUE(serve_loop(in_off, out_off, serve_opts()).ok());
+  ASSERT_TRUE(serve_loop(in_on, out_on, gated).ok());
+  EXPECT_EQ(out_on.str(), out_off.str());
+}
+
 TEST(Serve, InvalidBudgetAndUnknownFieldsAreRejected) {
   const std::string requests =
       "{\"id\":1,\"source\":\"int main(void){return 0;}\","

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "benchsuite/suite.h"
 #include "foray/pipeline.h"
 #include "instrument/annotator.h"
 #include "minic/parser.h"
@@ -237,6 +238,73 @@ TEST(Conversion, RefInNonCanonicalLoopNotStatic) {
   ConversionStats cs = compute_conversion(res.model, an);
   ASSERT_GT(cs.model_refs, 0);
   EXPECT_EQ(cs.refs_not_foray, cs.model_refs);
+}
+
+// -- adversarial Table II cases ----------------------------------------------
+// Near-miss programs that probe exactly where the FORAY-form classifier
+// draws its line. These pin current behavior: the classifier is purely
+// syntactic (literal bounds, declared iterators), deliberately NOT
+// powered by the interval checker — a sharpening of either must show up
+// here as a conscious diff, not an accident.
+
+TEST(Static, ConstantPropagatedLocalBoundNotCanonical) {
+  // `n` is provably 64 (the interval checker knows it), but the Table II
+  // classifier requires a literal bound, so the loop stays non-FORAY.
+  auto a = analyze_src(
+      "int v[64];\n"
+      "int main(void) {\n"
+      "  int n = 64;\n"
+      "  for (int i = 0; i < n; i++) v[i] = i;\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_FALSE(a.analysis.loop_is_canonical(0));
+  EXPECT_EQ(a.analysis.total_loops, 1);
+}
+
+TEST(Static, SubscriptAffineOnlyAfterNarrowingNotAffine) {
+  // Inside the guarded branch, interval narrowing proves k == i, making
+  // v[k] affine in i — but the classifier never narrows, so the ref is
+  // not statically affine. The guard subscript v[i] itself is.
+  auto a = analyze_src(
+      "int v[64];\n"
+      "int main(void) {\n"
+      "  int k = 0;\n"
+      "  for (int i = 0; i < 64; i++) {\n"
+      "    k = i;\n"
+      "    if (v[i] > 0) v[k] = i;\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n");
+  EXPECT_EQ(a.analysis.affine_ref_nodes.size(), 1u);
+  EXPECT_TRUE(a.analysis.loop_is_canonical(0));
+}
+
+TEST(Conversion, BenchsuiteNumbersUnchangedByTheChecker) {
+  // Table II over the shipped benchsuite, pinned exactly: the interval
+  // checker (staticforay/checker.h) shares the subsystem but must not
+  // perturb the paper-facing conversion statistics.
+  struct Row {
+    const char* name;
+    int model_loops, model_refs, loops_not_foray, refs_not_foray;
+  };
+  const Row want[] = {
+      {"jpeg", 25, 38, 12, 26}, {"lame", 21, 32, 19, 28},
+      {"susan", 10, 13, 2, 7},  {"fft", 18, 66, 0, 0},
+      {"gsm", 14, 22, 11, 19},  {"adpcm", 2, 2, 2, 2},
+  };
+  for (const Row& row : want) {
+    SCOPED_TRACE(row.name);
+    const auto& b = benchsuite::get_benchmark(row.name);
+    core::PipelineOptions po;
+    auto res = core::run_pipeline(b.source, po);
+    ASSERT_TRUE(res.ok()) << res.error();
+    Analysis an = analyze(*res.program);
+    ConversionStats cs = compute_conversion(res.model, an);
+    EXPECT_EQ(cs.model_loops, row.model_loops);
+    EXPECT_EQ(cs.model_refs, row.model_refs);
+    EXPECT_EQ(cs.loops_not_foray, row.loops_not_foray);
+    EXPECT_EQ(cs.refs_not_foray, row.refs_not_foray);
+  }
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 //   foraygen <command> <program.mc> [options]
 //   foraygen batch [options]
 //   foraygen sweep [program.mc] [options]
+//   foraygen lint [program.mc] [options]
 //   foraygen serve [options]
 //
 // Commands:
@@ -22,6 +23,13 @@
 //              geometry × algorithm × replay) over the benchsuite, or
 //              over one program when a path is given; emits Pareto
 //              frontiers and optionally streaming NDJSON
+//   lint       sound static check (staticforay/checker.h): interval-
+//              domain diagnostics (use-before-init, provable
+//              out-of-bounds, provable div-by-zero, unreachable code,
+//              canonical-iterator writes) plus static step/record cost
+//              bounds, over one program or the whole benchsuite; a
+//              *proven* fault exits 3, a merely-suspicious program
+//              (warnings only) exits 0
 //   serve      long-lived sweep service: one NDJSON request per stdin
 //              line, one sweep NDJSON stream + done row per request
 //              (driver/serve.h documents the protocol); Phase I models
@@ -45,7 +53,18 @@
 //                        exits nonzero on any counter mismatch
 //   --threads N          batch/sweep: worker threads (default 1)
 //   --capacity-sweep a,b,c  batch/sweep: SPM capacity axis
-//   --json PATH          batch: also write the report as JSON
+//   --json PATH          batch: also write the report as JSON;
+//                        lint: write the diagnostics + cost bounds as
+//                        one JSON document to PATH ('-' for stdout)
+//                        instead of the human-readable report
+//   --lint-first         sweep: statically check every program before
+//                        its Phase I; a program the checker proves
+//                        faulty gets one per-program `lint` error row
+//                        instead of a failure row per grid point
+//   --static-admission   serve: refuse requests whose static *minimum*
+//                        step/record bound exceeds the request budget
+//                        (resource_exhausted, phase "lint-admission")
+//                        before any Phase I work runs
 //   --energy-sweep a,b   sweep: energy-model axis — preset names with
 //                        optional :field=value overrides, e.g.
 //                        default,dram-heavy,default:dram_nj=5.2
@@ -73,6 +92,10 @@
 //                        env var supplies a default.
 //   --no-cache           batch/sweep/serve: ignore FORAY_CACHE_DIR and
 //                        run uncached
+//   --cache-max-bytes N  batch/sweep/serve: bound the on-disk model
+//                        cache; after each store, oldest entries are
+//                        evicted until the directory fits (0 =
+//                        unbounded, the default)
 //   --max-points N       serve: refuse requests whose grid exceeds N
 //                        points (admission control; 0 = unlimited,
 //                        default 4096)
@@ -92,7 +115,8 @@
 //   0  success
 //   1  analysis negative: transform-replay counter mismatch
 //   2  usage/option error
-//   3  invalid input (program/trace/spec failed to parse or check)
+//   3  invalid input (program/trace/spec failed to parse or check;
+//      `lint` also exits 3 when the checker proves a fault)
 //   4  budget exhausted, deadline exceeded, or cancelled
 //   5  internal error (a bug in this library)
 //   6  I/O error (unreadable/unwritable/truncated file)
@@ -118,11 +142,13 @@
 #include "minic/parser.h"
 #include "minic/printer.h"
 #include "sim/interpreter.h"
+#include "staticforay/checker.h"
 #include "staticforay/pointer_conversion.h"
 #include "staticforay/static_analysis.h"
 #include "trace/io.h"
 #include "trace/sink.h"
 #include "util/fault.h"
+#include "util/json.h"
 #include "util/strings.h"
 
 namespace {
@@ -142,14 +168,16 @@ int usage() {
       "       foraygen sweep [program.mc] [--threads N] "
       "[--capacity-sweep a,b,c] [--energy-sweep a,b] [--cache-sweep "
       "off,32x2,...] [--algo-sweep dp,greedy] [--replay-sweep off,on] "
-      "[--spec FILE] [--ndjson PATH|-] [--resume JOURNAL] "
+      "[--spec FILE] [--ndjson PATH|-] [--resume JOURNAL] [--lint-first] "
       "[--engine ast|bytecode] [--nexec N] [--nloc N] [--seed S] "
       "[--shards N] [--replay]\n"
+      "       foraygen lint [program.mc] [--json PATH|-]\n"
       "       foraygen serve [--threads N] [--max-points N] "
+      "[--static-admission] "
       "[--engine ast|bytecode] [--nexec N] [--nloc N] [--seed S]\n"
       "  batch/sweep/serve also accept the model-cache options "
-      "[--cache-dir DIR] [--no-cache] (FORAY_CACHE_DIR is the default "
-      "directory)\n"
+      "[--cache-dir DIR] [--no-cache] [--cache-max-bytes N] "
+      "(FORAY_CACHE_DIR is the default directory)\n"
       "  every command also accepts the execution-budget options "
       "[--max-steps N] [--max-records N] [--timeout SECONDS] and the "
       "fault-injection aid [--fault SPEC]\n");
@@ -213,9 +241,12 @@ bool flag_applies(const std::string& command, const std::string& flag) {
       {"--threads", {"batch", "sweep", "serve"}},
       {"--cache-dir", {"batch", "sweep", "serve"}},
       {"--no-cache", {"batch", "sweep", "serve"}},
+      {"--cache-max-bytes", {"batch", "sweep", "serve"}},
       {"--max-points", {"serve"}},
+      {"--static-admission", {"serve"}},
+      {"--lint-first", {"sweep"}},
       {"--capacity-sweep", {"batch", "sweep"}},
-      {"--json", {"batch"}},
+      {"--json", {"batch", "lint"}},
       {"--energy-sweep", {"sweep"}},
       {"--cache-sweep", {"sweep"}},
       {"--algo-sweep", {"sweep"}},
@@ -321,6 +352,96 @@ int cmd_stats(const core::PipelineResult& res,
   return 0;
 }
 
+/// One static bound as JSON: a number when finite, the string
+/// "unbounded" otherwise (uint64 max would be lossy in double-backed
+/// JSON parsers, and "unbounded" is what the human report prints too).
+void lint_bound_json(util::JsonWriter& w, const char* name, uint64_t v) {
+  if (v == staticforay::kUnbounded) {
+    w.key(name).value("unbounded");
+  } else {
+    w.key(name).value(v);
+  }
+}
+
+/// `foraygen lint`: the static checker over each job. Human report per
+/// program, or one stable JSON document with --json. Exit 3 the moment
+/// any program fails the frontend or carries a *proven* fault;
+/// warnings-only programs are clean (exit 0) — the documented contract
+/// that admission gating keys on the must-fault class, not on style.
+int cmd_lint(const std::vector<driver::SweepJob>& jobs,
+             const std::string& json_path) {
+  const bool json = !json_path.empty();
+  util::JsonWriter w;
+  if (json) {
+    w.begin_object();
+    w.key("kind").value("lint");
+    w.key("programs").begin_array();
+  }
+  bool failed = false;
+  for (const driver::SweepJob& job : jobs) {
+    staticforay::CheckReport rep;
+    const util::Status st = staticforay::lint_source(job.source, &rep);
+    if (!st.ok()) {
+      failed = true;
+      if (json) {
+        w.begin_object();
+        w.key("program").value(job.name);
+        w.key("ok").value(false);
+        w.key("error_class").value(st.code_name());
+        w.key("phase").value(st.phase());
+        w.key("error").value(st.message());
+        w.end_object();
+      } else {
+        std::printf("== %s ==\n%s\n", job.name.c_str(),
+                    st.message().c_str());
+      }
+      continue;
+    }
+    failed = failed || rep.must_fault();
+    if (json) {
+      w.begin_object();
+      w.key("program").value(job.name);
+      w.key("ok").value(!rep.must_fault());
+      w.key("must_fault").value(rep.must_fault());
+      w.key("diags").begin_array();
+      for (const staticforay::CheckDiag& d : rep.diags) {
+        w.begin_object();
+        w.key("kind").value(staticforay::check_kind_name(d.kind));
+        w.key("severity").value(staticforay::severity_name(d.severity));
+        w.key("line").value(static_cast<int64_t>(d.line));
+        w.key("node").value(static_cast<int64_t>(d.node_id));
+        w.key("message").value(d.message);
+        w.end_object();
+      }
+      w.end_array();
+      w.key("cost").begin_object();
+      lint_bound_json(w, "max_steps", rep.cost.max_steps);
+      lint_bound_json(w, "max_records", rep.cost.max_records);
+      w.key("min_steps").value(rep.cost.min_steps);
+      w.key("min_records").value(rep.cost.min_records);
+      w.key("exact").value(rep.cost.exact);
+      w.end_object();
+      w.end_object();
+    } else {
+      std::printf("== %s ==\n%s", job.name.c_str(), rep.str().c_str());
+    }
+  }
+  if (json) {
+    w.end_array();
+    w.key("ok").value(!failed);
+    w.end_object();
+    if (json_path == "-") {
+      std::printf("%s\n", w.take().c_str());
+    } else {
+      std::ofstream out(json_path, std::ios::binary);
+      if (!out) return fail_with(unwritable(json_path));
+      out << w.take() << '\n';
+      if (!out.flush()) return fail_with(unwritable(json_path));
+    }
+  }
+  return failed ? 3 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -330,18 +451,19 @@ int main(int argc, char** argv) {
       command == "model" || command == "emit" || command == "annotate" ||
       command == "trace" || command == "stats" || command == "hints" ||
       command == "run" || command == "profile" || command == "spm" ||
-      command == "batch" || command == "sweep" || command == "serve";
+      command == "batch" || command == "sweep" || command == "lint" ||
+      command == "serve";
   if (!known_command) {
     usage();
     return option_error("unknown command '" + command + "'");
   }
-  // batch and serve have no program argument; sweep's is optional
-  // (default: the whole benchsuite).
+  // batch and serve have no program argument; sweep's and lint's are
+  // optional (default: the whole benchsuite).
+  const bool optional_path = command == "sweep" || command == "lint";
   const bool takes_path =
       command != "batch" && command != "serve" &&
-      !(command == "sweep" &&
-        (argc < 3 || util::starts_with(argv[2], "--")));
-  if (takes_path && command != "sweep" && argc < 3) return usage();
+      !(optional_path && (argc < 3 || util::starts_with(argv[2], "--")));
+  if (takes_path && !optional_path && argc < 3) return usage();
   const std::string path = takes_path ? argv[2] : "";
 
   core::PipelineOptions opts;
@@ -353,7 +475,10 @@ int main(int argc, char** argv) {
   std::string cache_dir;
   if (const char* env = std::getenv("FORAY_CACHE_DIR")) cache_dir = env;
   bool no_cache = false;
+  uint64_t cache_max_bytes = 0;
   uint64_t max_points = 4096;
+  bool static_admission = false;
+  bool lint_first = false;
   for (int i = takes_path ? 3 : 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (!util::starts_with(arg, "--")) {
@@ -521,6 +646,16 @@ int main(int argc, char** argv) {
       cache_dir = s;
     } else if (arg == "--no-cache") {
       no_cache = true;
+    } else if (arg == "--cache-max-bytes") {
+      if (!next_u64(&cache_max_bytes)) {
+        return option_error(
+            "option '--cache-max-bytes' requires a byte count "
+            "(0 = unbounded)");
+      }
+    } else if (arg == "--static-admission") {
+      static_admission = true;
+    } else if (arg == "--lint-first") {
+      lint_first = true;
     } else if (arg == "--max-points") {
       if (!next_u64(&max_points)) {
         return option_error(
@@ -546,8 +681,8 @@ int main(int argc, char** argv) {
   // reusing Phase I across requests is the point of serving.
   std::unique_ptr<driver::ModelCache> cache;
   if (!no_cache && (!cache_dir.empty() || command == "serve")) {
-    cache = std::make_unique<driver::ModelCache>(
-        driver::ModelCacheOptions{cache_dir, /*memory=*/true});
+    cache = std::make_unique<driver::ModelCache>(driver::ModelCacheOptions{
+        cache_dir, /*memory=*/true, cache_max_bytes});
   }
   auto print_cache_stats = [&cache] {
     if (cache == nullptr) return;
@@ -556,14 +691,29 @@ int main(int argc, char** argv) {
         stderr,
         "foraygen: model cache: %llu hit(s) (%llu in-memory), "
         "%llu miss(es), %llu rejected, %llu store(s), %llu store "
-        "failure(s)\n",
+        "failure(s), %llu evicted\n",
         static_cast<unsigned long long>(s.hits),
         static_cast<unsigned long long>(s.memory_hits),
         static_cast<unsigned long long>(s.misses),
         static_cast<unsigned long long>(s.rejected),
         static_cast<unsigned long long>(s.stores),
-        static_cast<unsigned long long>(s.store_failures));
+        static_cast<unsigned long long>(s.store_failures),
+        static_cast<unsigned long long>(s.evictions));
   };
+
+  if (command == "lint") {
+    std::vector<driver::SweepJob> jobs;
+    if (!path.empty()) {
+      std::string source;
+      if (!read_file(path, &source)) {
+        return fail_with(unreadable(path));
+      }
+      jobs.push_back(driver::SweepJob{path, source});
+    } else {
+      jobs = driver::SweepDriver::benchsuite_jobs();
+    }
+    return cmd_lint(jobs, json_path);
+  }
 
   if (command == "serve") {
 #if !defined(_WIN32)
@@ -577,6 +727,7 @@ int main(int argc, char** argv) {
     svopts.pipeline = opts;
     svopts.max_points = max_points;
     svopts.model_cache = cache.get();
+    svopts.static_admission = static_admission;
     util::Status st = driver::serve_loop(std::cin, std::cout, svopts);
     print_cache_stats();
     if (!st.ok()) return fail_with(st);
@@ -589,6 +740,7 @@ int main(int argc, char** argv) {
     sopts.pipeline = opts;
     sopts.spec = spec;
     sopts.model_cache = cache.get();
+    sopts.lint_first = lint_first;
     driver::SweepDriver sweep(sopts);
     std::vector<driver::SweepJob> jobs;
     if (!path.empty()) {
