@@ -1,0 +1,211 @@
+#include "jit/assembler.h"
+
+namespace foray::jit {
+
+namespace {
+uint8_t lo3(R64 r) { return static_cast<uint8_t>(r) & 7; }
+bool ext(R64 r) { return static_cast<uint8_t>(r) >= 8; }
+}  // namespace
+
+void Assembler::u32(uint32_t v) {
+  u8(static_cast<uint8_t>(v));
+  u8(static_cast<uint8_t>(v >> 8));
+  u8(static_cast<uint8_t>(v >> 16));
+  u8(static_cast<uint8_t>(v >> 24));
+}
+
+void Assembler::u64(uint64_t v) {
+  u32(static_cast<uint32_t>(v));
+  u32(static_cast<uint32_t>(v >> 32));
+}
+
+void Assembler::rex(bool wide, bool reg_ext, bool index_ext, bool base_ext) {
+  const uint8_t b = 0x40 | (wide ? 0x08 : 0) | (reg_ext ? 0x04 : 0) |
+                    (index_ext ? 0x02 : 0) | (base_ext ? 0x01 : 0);
+  // A bare 0x40 REX changes nothing for the forms used here; skip it.
+  if (b != 0x40) u8(b);
+}
+
+void Assembler::mem_operand(uint8_t reg_field, R64 base, int32_t disp) {
+  // Uniform mod=10 ([base + disp32]); rsp/r12 bases require a SIB byte
+  // whose base field repeats the register (no index).
+  u8(0x80 | (reg_field << 3) | lo3(base));
+  if (lo3(base) == 4) u8(0x24);
+  u32(static_cast<uint32_t>(disp));
+}
+
+void Assembler::reg_operand(uint8_t reg_field, R64 rm) {
+  u8(0xC0 | (reg_field << 3) | lo3(rm));
+}
+
+void Assembler::mov_rr(R64 dst, R64 src) {
+  rex(true, ext(src), false, ext(dst));
+  u8(0x89);
+  reg_operand(lo3(src), dst);
+}
+
+void Assembler::mov_ri64(R64 dst, uint64_t imm) {
+  rex(true, false, false, ext(dst));
+  u8(0xB8 + lo3(dst));
+  u64(imm);
+}
+
+void Assembler::load_rm(R64 dst, R64 base, int32_t disp) {
+  rex(true, ext(dst), false, ext(base));
+  u8(0x8B);
+  mem_operand(lo3(dst), base, disp);
+}
+
+void Assembler::store_mr(R64 base, int32_t disp, R64 src) {
+  rex(true, ext(src), false, ext(base));
+  u8(0x89);
+  mem_operand(lo3(src), base, disp);
+}
+
+void Assembler::load32_rm(R64 dst, R64 base, int32_t disp) {
+  rex(false, ext(dst), false, ext(base));
+  u8(0x8B);
+  mem_operand(lo3(dst), base, disp);
+}
+
+void Assembler::store_mi32(R64 base, int32_t disp, uint32_t imm) {
+  rex(false, false, false, ext(base));
+  u8(0xC7);
+  mem_operand(0, base, disp);
+  u32(imm);
+}
+
+void Assembler::store_mi32sx(R64 base, int32_t disp, int32_t imm) {
+  rex(true, false, false, ext(base));
+  u8(0xC7);
+  mem_operand(0, base, disp);
+  u32(static_cast<uint32_t>(imm));
+}
+
+void Assembler::add32_ri(R64 dst, uint32_t imm) {
+  rex(false, false, false, ext(dst));
+  u8(0x81);
+  reg_operand(0, dst);
+  u32(imm);
+}
+
+void Assembler::add_ri8(R64 dst, int8_t imm) {
+  rex(true, false, false, ext(dst));
+  u8(0x83);
+  reg_operand(0, dst);
+  u8(static_cast<uint8_t>(imm));
+}
+
+void Assembler::sub_ri8(R64 dst, int8_t imm) {
+  rex(true, false, false, ext(dst));
+  u8(0x83);
+  reg_operand(5, dst);
+  u8(static_cast<uint8_t>(imm));
+}
+
+void Assembler::sub_mi8(R64 base, int32_t disp, int8_t imm) {
+  rex(true, false, false, ext(base));
+  u8(0x83);
+  mem_operand(5, base, disp);
+  u8(static_cast<uint8_t>(imm));
+}
+
+void Assembler::cmp_ri8(R64 reg, int8_t imm) {
+  rex(true, false, false, ext(reg));
+  u8(0x83);
+  reg_operand(7, reg);
+  u8(static_cast<uint8_t>(imm));
+}
+
+void Assembler::cmp32_ri8(R64 reg, int8_t imm) {
+  rex(false, false, false, ext(reg));
+  u8(0x83);
+  reg_operand(7, reg);
+  u8(static_cast<uint8_t>(imm));
+}
+
+void Assembler::cmp_m8_i8(R64 base, int32_t disp, uint8_t imm) {
+  rex(false, false, false, ext(base));
+  u8(0x80);
+  mem_operand(7, base, disp);
+  u8(imm);
+}
+
+void Assembler::cmp32_mi8(R64 base, int32_t disp, int8_t imm) {
+  rex(false, false, false, ext(base));
+  u8(0x83);
+  mem_operand(7, base, disp);
+  u8(static_cast<uint8_t>(imm));
+}
+
+void Assembler::cmp_mi8(R64 base, int32_t disp, int8_t imm) {
+  rex(true, false, false, ext(base));
+  u8(0x83);
+  mem_operand(7, base, disp);
+  u8(static_cast<uint8_t>(imm));
+}
+
+void Assembler::test32_rr(R64 a, R64 b) {
+  rex(false, ext(b), false, ext(a));
+  u8(0x85);
+  reg_operand(lo3(b), a);
+}
+
+void Assembler::call_r(R64 reg) {
+  rex(false, false, false, ext(reg));
+  u8(0xFF);
+  reg_operand(2, reg);
+}
+
+void Assembler::jmp_mem_index8(R64 base, R64 index) {
+  rex(false, false, ext(index), ext(base));
+  u8(0xFF);
+  if (lo3(base) == 5) {
+    // rbp/r13 cannot be a SIB base with mod=00; use disp8 = 0.
+    u8(0x64);  // mod=01, reg=/4, rm=SIB
+    u8(0xC0 | (lo3(index) << 3) | lo3(base));
+    u8(0x00);
+  } else {
+    u8(0x24);  // mod=00, reg=/4, rm=SIB
+    u8(0xC0 | (lo3(index) << 3) | lo3(base));
+  }
+}
+
+void Assembler::push_r(R64 reg) {
+  rex(false, false, false, ext(reg));
+  u8(0x50 + lo3(reg));
+}
+
+void Assembler::pop_r(R64 reg) {
+  rex(false, false, false, ext(reg));
+  u8(0x58 + lo3(reg));
+}
+
+void Assembler::ret() { u8(0xC3); }
+
+size_t Assembler::jcc(Cond cc) {
+  u8(0x0F);
+  u8(0x80 | static_cast<uint8_t>(cc));
+  const size_t at = here();
+  u32(0);
+  return at;
+}
+
+size_t Assembler::jmp() {
+  u8(0xE9);
+  const size_t at = here();
+  u32(0);
+  return at;
+}
+
+void Assembler::patch_rel32(size_t rel32_at, size_t target) {
+  const int64_t rel =
+      static_cast<int64_t>(target) - static_cast<int64_t>(rel32_at + 4);
+  const uint32_t enc = static_cast<uint32_t>(static_cast<int32_t>(rel));
+  buf_[rel32_at + 0] = static_cast<uint8_t>(enc);
+  buf_[rel32_at + 1] = static_cast<uint8_t>(enc >> 8);
+  buf_[rel32_at + 2] = static_cast<uint8_t>(enc >> 16);
+  buf_[rel32_at + 3] = static_cast<uint8_t>(enc >> 24);
+}
+
+}  // namespace foray::jit

@@ -1,0 +1,118 @@
+// A minimal x86-64 instruction encoder for the template JIT.
+//
+// Emits into a growable byte buffer; nothing here knows about pages or
+// protection (jit/exec_memory.h owns that). The instruction menu is
+// exactly what the opcode templates in jit/compiler.cpp need — this is
+// an encoder, not a general assembler: every method maps to one fixed
+// machine-instruction form, memory operands are always [base + disp32]
+// (uniform encodings beat minimal ones for a code generator this
+// small), and control flow uses rel32 with explicit patching so blobs
+// stay position-independent until they are copied into the final
+// mapping.
+//
+// Register conventions are documented in jit/compiler.cpp; encodings
+// follow the Intel SDM (REX prefix, ModRM, optional SIB for rsp/r12
+// bases).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace foray::jit {
+
+/// x86-64 general-purpose registers, numbered as the hardware does
+/// (bit 3 selects the REX extension).
+enum class R64 : uint8_t {
+  rax = 0,
+  rcx = 1,
+  rdx = 2,
+  rbx = 3,
+  rsp = 4,
+  rbp = 5,
+  rsi = 6,
+  rdi = 7,
+  r8 = 8,
+  r9 = 9,
+  r10 = 10,
+  r11 = 11,
+  r12 = 12,
+  r13 = 13,
+  r14 = 14,
+  r15 = 15,
+};
+
+/// Condition codes as the low nibble of the 0F 8x near-jcc opcodes.
+enum class Cond : uint8_t {
+  b = 0x2,   ///< below (CF=1) — the step-counter borrow check
+  ae = 0x3,  ///< above-or-equal (CF=0)
+  e = 0x4,   ///< equal / zero
+  ne = 0x5,  ///< not equal / not zero
+};
+
+class Assembler {
+ public:
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  size_t here() const { return buf_.size(); }
+
+  // -- moves -----------------------------------------------------------------
+
+  void mov_rr(R64 dst, R64 src);            ///< mov dst, src
+  void mov_ri64(R64 dst, uint64_t imm);     ///< movabs dst, imm64
+  void load_rm(R64 dst, R64 base, int32_t disp);     ///< mov dst, [base+disp]
+  void store_mr(R64 base, int32_t disp, R64 src);    ///< mov [base+disp], src
+  void load32_rm(R64 dst, R64 base, int32_t disp);   ///< mov dst32, [..]
+  void store_mi32(R64 base, int32_t disp, uint32_t imm);  ///< mov dword [..], imm
+  /// mov qword [base+disp], imm32 (sign-extended to 64 bits).
+  void store_mi32sx(R64 base, int32_t disp, int32_t imm);
+
+  // -- arithmetic / compares -------------------------------------------------
+
+  void add32_ri(R64 dst, uint32_t imm);           ///< add dst32, imm32
+  void add_ri8(R64 dst, int8_t imm);              ///< add dst, imm8
+  void sub_ri8(R64 dst, int8_t imm);              ///< sub dst, imm8
+  void sub_mi8(R64 base, int32_t disp, int8_t imm);  ///< sub qword [..], imm8
+  void cmp_ri8(R64 reg, int8_t imm);              ///< cmp reg, imm8
+  void cmp32_ri8(R64 reg, int8_t imm);            ///< cmp reg32, imm8
+  void cmp_m8_i8(R64 base, int32_t disp, uint8_t imm);   ///< cmp byte [..], imm
+  void cmp32_mi8(R64 base, int32_t disp, int8_t imm);    ///< cmp dword [..], imm8
+  void cmp_mi8(R64 base, int32_t disp, int8_t imm);      ///< cmp qword [..], imm8
+  void test32_rr(R64 a, R64 b);                   ///< test a32, b32
+
+  // -- control flow ----------------------------------------------------------
+
+  void call_r(R64 reg);                       ///< call reg
+  void jmp_mem_index8(R64 base, R64 index);   ///< jmp [base + index*8]
+  void push_r(R64 reg);
+  void pop_r(R64 reg);
+  void ret();
+
+  /// Emits `jcc rel32` with a zero placeholder; returns the buffer
+  /// offset of the rel32 field for patch_rel32().
+  size_t jcc(Cond cc);
+  /// Emits `jmp rel32` with a zero placeholder; returns the rel32 offset.
+  size_t jmp();
+  /// Resolves a rel32 field emitted by jcc()/jmp() to jump to buffer
+  /// offset `target`.
+  void patch_rel32(size_t rel32_at, size_t target);
+
+  // -- raw bytes -------------------------------------------------------------
+
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u32(uint32_t v);
+  void u64(uint64_t v);
+
+ private:
+  /// REX prefix for an instruction on 64-bit operands; always emitted
+  /// with W=1 unless `wide` is false (32-bit forms that still need
+  /// extension bits).
+  void rex(bool wide, bool reg_ext, bool index_ext, bool base_ext);
+  /// ModRM (+ SIB where the base demands one) for [base + disp32].
+  void mem_operand(uint8_t reg_field, R64 base, int32_t disp);
+  /// ModRM for register-direct (mod=11).
+  void reg_operand(uint8_t reg_field, R64 rm);
+
+  std::vector<uint8_t> buf_;
+};
+
+}  // namespace foray::jit

@@ -1,0 +1,592 @@
+#include "jit/compiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "jit/assembler.h"
+
+namespace foray::jit {
+
+namespace {
+
+bool g_dump_jit = false;
+
+// Register conventions inside emitted code (SysV AMD64):
+//   r13  Vm<SinkT>*                      (callee-saved, live across calls)
+//   r14  remaining-steps down-counter    (borrow on decrement = step fault)
+//   r12  pc -> native-address table      (ReturnOp's indirect dispatch)
+//   rax/rcx/rdx/rsi/rdi                  scratch (caller-saved)
+// The operand stack pointer (Vm::sp_) is deliberately NOT register-
+// cached: handler calls may grow the operand stack and rewrite it.
+constexpr R64 kVm = R64::r13;
+constexpr R64 kSteps = R64::r14;
+constexpr R64 kPcTable = R64::r12;
+
+/// First/second slots of a fusable loop head: cheap, fault-light pushes.
+bool fusable_operand(sim::Op op) {
+  return op == sim::Op::PushInt || op == sim::Op::LoadLocal ||
+         op == sim::Op::LoadGlobal;
+}
+
+/// Opcodes the block fusion may swallow (never redirect the pc).
+bool is_blockable(sim::Op op) {
+  switch (op) {
+#define FORAY_JIT_BLOCK_CASE(name) case sim::Op::name:
+    FORAY_JIT_BLOCK_OPS(FORAY_JIT_BLOCK_CASE)
+#undef FORAY_JIT_BLOCK_CASE
+    return true;
+    default:
+      return false;
+  }
+}
+
+struct PcFixup {
+  size_t rel32_at;
+  uint32_t target_pc;
+};
+
+class Emitter {
+ public:
+  Emitter(const sim::CompiledProgram& code, const JitHandlers& handlers,
+          const JitLayout& layout, JitStats* stats)
+      : code_(code), h_(handlers), l_(layout), stats_(stats) {}
+
+  util::Status emit(std::vector<uint8_t>* out_bytes,
+                    std::vector<size_t>* out_native_off);
+
+ private:
+  util::Status emit_prologue();
+  void emit_epilogue_and_stubs();
+  /// The exact VM dispatch prefix: line store + per-instruction step
+  /// decrement; a borrow means this instruction is one past the budget.
+  void emit_step_prefix(const sim::Insn& insn);
+  /// Default shape: direct call into the shared do_<Op>() body.
+  util::Status emit_handler_call(uint32_t pc, const sim::Insn& insn);
+  util::Status emit_one(uint32_t pc);
+  util::Status emit_fused_head(uint32_t pc);
+  util::Status emit_block(uint32_t pc, uint32_t len);
+  util::Status emit_self_loop(uint32_t pc, uint32_t body_len);
+  /// Body length (>= 1) when `pc` heads a whole fusable self-loop:
+  /// fusable 4-insn head whose branch exits forward, straight-line
+  /// blockable body with no interior jump targets, back-edge Jump to
+  /// `pc` right before the exit target. 0 otherwise.
+  uint32_t self_loop_body_len(uint32_t pc) const;
+  /// Length of the maximal straight-line run at `pc`: consecutive
+  /// blockable opcodes with no interior jump target.
+  uint32_t block_run_len(uint32_t pc) const;
+  void emit_push_prelude();  ///< rax = sp_
+  void emit_push_finish();   ///< sp_ = rax + sizeof(Value)
+  void emit_cond_jump(uint32_t pc, const sim::Insn& insn);
+
+  bool is_fusable_head(uint32_t pc) const;
+
+  const sim::CompiledProgram& code_;
+  const JitHandlers& h_;
+  const JitLayout& l_;
+  JitStats* stats_;
+  Assembler as_;
+  std::vector<char> is_target_;
+  std::vector<PcFixup> pc_fixups_;
+  std::vector<size_t> step_fixups_;
+  std::vector<size_t> epi_fixups_;
+  std::vector<size_t> native_off_;
+};
+
+util::Status Emitter::emit_prologue() {
+  // uint64_t entry(Vm* rdi, void* const* pc_table rsi, uint64_t rem rdx)
+  as_.push_r(R64::rbp);
+  as_.push_r(R64::rbx);
+  as_.push_r(R64::r12);
+  as_.push_r(R64::r13);
+  as_.push_r(R64::r14);
+  as_.push_r(R64::r15);
+  as_.sub_ri8(R64::rsp, 8);  // 6 pushes + ret addr: realign to 16
+  as_.mov_rr(kVm, R64::rdi);
+  as_.mov_rr(kPcTable, R64::rsi);
+  as_.mov_rr(kSteps, R64::rdx);
+  pc_fixups_.push_back({as_.jmp(), code_.start_pc});
+  return util::Status();
+}
+
+void Emitter::emit_epilogue_and_stubs() {
+  // Step-limit stub: park the classified fault on the Vm, then fall
+  // into the epilogue with the borrowed counter (steps = max + 1).
+  const size_t step_stub = as_.here();
+  as_.mov_rr(R64::rdi, kVm);
+  as_.mov_ri64(R64::rax, reinterpret_cast<uint64_t>(h_.step_fault));
+  as_.call_r(R64::rax);
+  const size_t epilogue = as_.here();
+  as_.mov_rr(R64::rax, kSteps);
+  as_.add_ri8(R64::rsp, 8);
+  as_.pop_r(R64::r15);
+  as_.pop_r(R64::r14);
+  as_.pop_r(R64::r13);
+  as_.pop_r(R64::r12);
+  as_.pop_r(R64::rbx);
+  as_.pop_r(R64::rbp);
+  as_.ret();
+  for (size_t at : step_fixups_) as_.patch_rel32(at, step_stub);
+  for (size_t at : epi_fixups_) as_.patch_rel32(at, epilogue);
+}
+
+void Emitter::emit_step_prefix(const sim::Insn& insn) {
+  as_.store_mi32(kVm, static_cast<int32_t>(l_.off_cur_line),
+                 static_cast<uint32_t>(insn.line));
+  as_.sub_ri8(kSteps, 1);
+  step_fixups_.push_back(as_.jcc(Cond::b));
+}
+
+util::Status Emitter::emit_handler_call(uint32_t pc, const sim::Insn& insn) {
+  const void* handler = h_.op[static_cast<size_t>(insn.op)];
+  if (handler == nullptr) {
+    return util::Status::failure(util::ErrorCode::kInternal, "jit", 0,
+                                 "missing handler for opcode");
+  }
+  as_.mov_rr(R64::rdi, kVm);
+  as_.mov_ri64(R64::rsi, reinterpret_cast<uint64_t>(&code_.code[pc]));
+  as_.mov_ri64(R64::rax, reinterpret_cast<uint64_t>(handler));
+  as_.call_r(R64::rax);
+  as_.test32_rr(R64::rax, R64::rax);
+  epi_fixups_.push_back(as_.jcc(Cond::ne));
+  return util::Status();
+}
+
+void Emitter::emit_push_prelude() {
+  as_.load_rm(R64::rax, kVm, static_cast<int32_t>(l_.off_sp));
+}
+
+void Emitter::emit_push_finish() {
+  as_.add_ri8(R64::rax, static_cast<int8_t>(l_.value_size));
+  as_.store_mr(kVm, static_cast<int32_t>(l_.off_sp), R64::rax);
+}
+
+/// Pops the condition value (rax points at it afterwards) and branches:
+/// integers/pointers compare inline against zero; float-typed values go
+/// through the shared value_truthy helper on a cold path.
+void Emitter::emit_cond_jump(uint32_t pc, const sim::Insn& insn) {
+  const bool jump_on_true = insn.op == sim::Op::JumpIfTrue;
+  const Cond take = jump_on_true ? Cond::ne : Cond::e;
+  as_.load_rm(R64::rax, kVm, static_cast<int32_t>(l_.off_sp));
+  as_.sub_ri8(R64::rax, static_cast<int8_t>(l_.value_size));
+  as_.store_mr(kVm, static_cast<int32_t>(l_.off_sp), R64::rax);
+  as_.cmp_m8_i8(R64::rax, static_cast<int32_t>(l_.val_off_base),
+                l_.base_float);
+  const size_t to_int1 = as_.jcc(Cond::ne);
+  as_.cmp32_mi8(R64::rax, static_cast<int32_t>(l_.val_off_ptr), 0);
+  const size_t to_int2 = as_.jcc(Cond::ne);
+  // Float-typed scalar: shared truthiness (f != 0.0, NaN included).
+  as_.mov_rr(R64::rdi, R64::rax);
+  as_.mov_ri64(R64::rax, reinterpret_cast<uint64_t>(h_.value_truthy));
+  as_.call_r(R64::rax);
+  as_.test32_rr(R64::rax, R64::rax);
+  pc_fixups_.push_back({as_.jcc(take), insn.a});
+  pc_fixups_.push_back({as_.jmp(), pc + 1});
+  const size_t int_path = as_.here();
+  as_.patch_rel32(to_int1, int_path);
+  as_.patch_rel32(to_int2, int_path);
+  as_.cmp_mi8(R64::rax, static_cast<int32_t>(l_.val_off_i), 0);
+  pc_fixups_.push_back({as_.jcc(take), insn.a});
+  // Fall through to the pc+1 blob.
+}
+
+util::Status Emitter::emit_one(uint32_t pc) {
+  const sim::Insn& insn = code_.code[pc];
+  emit_step_prefix(insn);
+  switch (insn.op) {
+    case sim::Op::PushInt: {
+      emit_push_prelude();
+      as_.store_mi32sx(R64::rax, 0, l_.base_int);  // type = scalar int
+      as_.mov_ri64(R64::rcx,
+                   static_cast<uint64_t>(code_.int_pool[insn.a]));
+      as_.store_mr(R64::rax, static_cast<int32_t>(l_.val_off_i), R64::rcx);
+      as_.store_mi32sx(R64::rax, static_cast<int32_t>(l_.val_off_f), 0);
+      emit_push_finish();
+      break;
+    }
+    case sim::Op::PushFloat: {
+      uint64_t bits = 0;
+      const double v = code_.float_pool[insn.a];
+      std::memcpy(&bits, &v, sizeof(bits));
+      emit_push_prelude();
+      as_.store_mi32sx(R64::rax, 0, l_.base_float);
+      as_.store_mi32sx(R64::rax, static_cast<int32_t>(l_.val_off_i), 0);
+      as_.mov_ri64(R64::rcx, bits);
+      as_.store_mr(R64::rax, static_cast<int32_t>(l_.val_off_f), R64::rcx);
+      emit_push_finish();
+      break;
+    }
+    case sim::Op::PopV:
+      as_.sub_mi8(kVm, static_cast<int32_t>(l_.off_sp),
+                  static_cast<int8_t>(l_.value_size));
+      break;
+    case sim::Op::PushSlotAddr:
+    case sim::Op::PushGlobalSlotAddr: {
+      if (insn.a > (1u << 20)) return emit_handler_call(pc, insn);
+      const uint32_t base_off = insn.op == sim::Op::PushSlotAddr
+                                    ? l_.off_cur_locals
+                                    : l_.off_globals_raw;
+      as_.load_rm(R64::rcx, kVm, static_cast<int32_t>(base_off));
+      as_.load32_rm(R64::rcx, R64::rcx,
+                    static_cast<int32_t>(insn.a * l_.slot_size +
+                                         l_.slot_off_addr));
+      if (insn.b != 0) as_.add32_ri(R64::rcx, insn.b);
+      emit_push_prelude();
+      as_.store_mi32sx(R64::rax, 0, l_.base_int);
+      as_.store_mr(R64::rax, static_cast<int32_t>(l_.val_off_i), R64::rcx);
+      as_.store_mi32sx(R64::rax, static_cast<int32_t>(l_.val_off_f), 0);
+      emit_push_finish();
+      break;
+    }
+    case sim::Op::Jump:
+      pc_fixups_.push_back({as_.jmp(), insn.a});
+      break;
+    case sim::Op::JumpIfFalse:
+    case sim::Op::JumpIfTrue:
+      emit_cond_jump(pc, insn);
+      break;
+    case sim::Op::CallFn: {
+      if (util::Status st = emit_handler_call(pc, insn); !st.ok()) return st;
+      // The callee entry is static: direct jump, no dispatch.
+      pc_fixups_.push_back({as_.jmp(), code_.funcs[insn.a].entry});
+      break;
+    }
+    case sim::Op::ReturnOp: {
+      as_.mov_rr(R64::rdi, kVm);
+      as_.mov_ri64(R64::rsi, reinterpret_cast<uint64_t>(&code_.code[pc]));
+      as_.mov_ri64(R64::rax, reinterpret_cast<uint64_t>(h_.return_op));
+      as_.call_r(R64::rax);
+      as_.cmp_ri8(R64::rax, -1);
+      epi_fixups_.push_back(as_.jcc(Cond::e));
+      as_.jmp_mem_index8(kPcTable, R64::rax);
+      break;
+    }
+    case sim::Op::Halt: {
+      if (util::Status st = emit_handler_call(pc, insn); !st.ok()) return st;
+      epi_fixups_.push_back(as_.jmp());
+      break;
+    }
+    case sim::Op::ThrowUnbound: {
+      const void* handler = h_.op[static_cast<size_t>(insn.op)];
+      as_.mov_rr(R64::rdi, kVm);
+      as_.mov_ri64(R64::rsi, reinterpret_cast<uint64_t>(&code_.code[pc]));
+      as_.mov_ri64(R64::rax, reinterpret_cast<uint64_t>(handler));
+      as_.call_r(R64::rax);
+      epi_fixups_.push_back(as_.jmp());  // always parks a fault
+      break;
+    }
+    default:
+      return emit_handler_call(pc, insn);
+  }
+  return util::Status();
+}
+
+bool Emitter::is_fusable_head(uint32_t pc) const {
+  const uint32_t n = static_cast<uint32_t>(code_.code.size());
+  if (pc + 4 >= n) return false;
+  const sim::Insn* i = &code_.code[pc];
+  if (!fusable_operand(i[0].op) || !fusable_operand(i[1].op)) return false;
+  if (i[2].op != sim::Op::Binary) return false;
+  if (i[3].op != sim::Op::JumpIfFalse && i[3].op != sim::Op::JumpIfTrue) {
+    return false;
+  }
+  // No interior jump targets: the group dispatches as one unit.
+  return !is_target_[pc + 1] && !is_target_[pc + 2] && !is_target_[pc + 3];
+}
+
+/// A fused loop head: [push/load][push/load][Binary][JumpIf*] behind one
+/// handler call. Guarded by `remaining >= 4`; within 4 steps of the
+/// budget the cold path replays the same four instructions unfused, so
+/// step-limit faults keep per-instruction exactness. (A non-step fault
+/// inside the fused handler leaves up to 3 pre-claimed steps counted —
+/// the run is failing anyway, and step totals are not part of the
+/// engine-equivalence contract.)
+util::Status Emitter::emit_fused_head(uint32_t pc) {
+  const sim::Insn& branch = code_.code[pc + 3];
+  const bool jump_on_true = branch.op == sim::Op::JumpIfTrue;
+  as_.cmp_ri8(kSteps, 4);
+  const size_t to_fast = as_.jcc(Cond::ae);
+  for (uint32_t k = 0; k < 4; ++k) {
+    if (util::Status st = emit_one(pc + k); !st.ok()) return st;
+  }
+  pc_fixups_.push_back({as_.jmp(), pc + 4});
+  as_.patch_rel32(to_fast, as_.here());
+  as_.sub_ri8(kSteps, 4);
+  as_.mov_rr(R64::rdi, kVm);
+  as_.mov_ri64(R64::rsi, reinterpret_cast<uint64_t>(&code_.code[pc]));
+  as_.mov_ri64(R64::rax, reinterpret_cast<uint64_t>(h_.fused_head));
+  as_.call_r(R64::rax);
+  as_.cmp32_ri8(R64::rax, 2);
+  epi_fixups_.push_back(as_.jcc(Cond::e));
+  as_.test32_rr(R64::rax, R64::rax);
+  pc_fixups_.push_back(
+      {as_.jcc(jump_on_true ? Cond::ne : Cond::e), branch.a});
+  // Fall through to the pc+4 blob.
+  return util::Status();
+}
+
+uint32_t Emitter::block_run_len(uint32_t pc) const {
+  const uint32_t n = static_cast<uint32_t>(code_.code.size());
+  uint32_t len = 0;
+  // Capped at 127 so the step guard fits the imm8 compare; longer runs
+  // simply split into consecutive blocks.
+  while (len < 127 && pc + len < n &&
+         is_blockable(code_.code[pc + len].op) &&
+         (len == 0 || !is_target_[pc + len])) {
+    ++len;
+  }
+  return len;
+}
+
+/// A straight-line run behind one handler call. The hot path pre-claims
+/// all `len` steps (`remaining >= len` guard) and calls h_block_fast,
+/// whose loop carries no step accounting at all; within `len` steps of
+/// the budget the cold path calls h_block, which counts and faults per
+/// instruction, exactly like the VM. Lines are stored per instruction
+/// inside both handlers, so trace records and fault lines are exact on
+/// either path.
+util::Status Emitter::emit_block(uint32_t pc, uint32_t len) {
+  as_.cmp_ri8(kSteps, static_cast<int8_t>(len));
+  const size_t to_cold = as_.jcc(Cond::b);
+  as_.sub_ri8(kSteps, static_cast<int8_t>(len));
+  as_.mov_rr(R64::rdi, kVm);
+  as_.mov_ri64(R64::rsi, reinterpret_cast<uint64_t>(&code_.code[pc]));
+  as_.mov_ri64(R64::rdx, len);
+  as_.mov_ri64(R64::rax, reinterpret_cast<uint64_t>(h_.block_fast));
+  as_.call_r(R64::rax);
+  as_.test32_rr(R64::rax, R64::rax);
+  epi_fixups_.push_back(as_.jcc(Cond::ne));
+  const size_t over_cold = as_.jmp();
+  as_.patch_rel32(to_cold, as_.here());
+  as_.mov_rr(R64::rdi, kVm);
+  as_.mov_ri64(R64::rsi, reinterpret_cast<uint64_t>(&code_.code[pc]));
+  as_.mov_ri64(R64::rdx, len);
+  as_.mov_rr(R64::rcx, kSteps);
+  as_.mov_ri64(R64::rax, reinterpret_cast<uint64_t>(h_.block));
+  as_.call_r(R64::rax);
+  as_.mov_rr(kSteps, R64::rax);  // BlockExit.remaining
+  as_.test32_rr(R64::rdx, R64::rdx);  // BlockExit.fault
+  epi_fixups_.push_back(as_.jcc(Cond::ne));
+  as_.patch_rel32(over_cold, as_.here());
+  return util::Status();
+}
+
+uint32_t Emitter::self_loop_body_len(uint32_t pc) const {
+  if (!is_fusable_head(pc)) return 0;
+  const uint32_t n = static_cast<uint32_t>(code_.code.size());
+  const uint32_t exit_pc = code_.code[pc + 3].a;
+  if (exit_pc >= n || exit_pc < pc + 6) return 0;  // need a >= 1-insn body
+  const uint32_t back_pc = exit_pc - 1;
+  const sim::Insn& back = code_.code[back_pc];
+  if (back.op != sim::Op::Jump || back.a != pc) return 0;
+  if (is_target_[back_pc]) return 0;
+  for (uint32_t q = pc + 4; q < back_pc; ++q) {
+    if (!is_blockable(code_.code[q].op) || is_target_[q]) return 0;
+  }
+  return back_pc - (pc + 4);
+}
+
+/// A whole self-loop behind one handler call that iterates in C++: per
+/// full iteration there are zero emitted-code transitions and one bulk
+/// step claim per segment, guarded inside the handler. The handler
+/// returns control when the branch exits (resume at its target), a
+/// fault parks, or the budget is within one iteration — in which case
+/// the exact fallback below (fused head + block runs + back jump, each
+/// already exact at the budget edge) finishes the loop instruction by
+/// instruction. The fallback's back edge re-enters the handler, which
+/// immediately defers again, so the edge path stays exact without ever
+/// looping natively. Sets native_off_ itself: the head pcs resolve to
+/// the handler call, interior pcs to their fallback segments (the fused
+/// head's cold path falls through to pc+4, which must not re-enter the
+/// loop handler).
+util::Status Emitter::emit_self_loop(uint32_t pc, uint32_t body_len) {
+  const uint32_t back_pc = pc + 4 + body_len;
+  const sim::Insn& branch = code_.code[pc + 3];
+  const size_t head = as_.here();
+  for (uint32_t k = 0; k < 4; ++k) native_off_[pc + k] = head;
+  as_.mov_rr(R64::rdi, kVm);
+  as_.mov_ri64(R64::rsi, reinterpret_cast<uint64_t>(&code_.code[pc]));
+  as_.mov_ri64(R64::rdx, body_len);
+  as_.mov_rr(R64::rcx, kSteps);
+  as_.mov_ri64(R64::rax, reinterpret_cast<uint64_t>(h_.loop));
+  as_.call_r(R64::rax);
+  as_.mov_rr(kSteps, R64::rax);  // BlockExit.remaining
+  as_.cmp_ri8(R64::rdx, 1);      // BlockExit.fault: exit kind
+  epi_fixups_.push_back(as_.jcc(Cond::e));  // 1 = fault parked
+  as_.cmp_ri8(R64::rdx, 0);
+  pc_fixups_.push_back({as_.jcc(Cond::e), branch.a});  // 0 = branch taken
+  // Kind 2: within one iteration of the step budget — exact fallback.
+  if (util::Status st = emit_fused_head(pc); !st.ok()) return st;
+  uint32_t q = pc + 4;
+  while (q < back_pc) {
+    const uint32_t chunk = std::min<uint32_t>(127, back_pc - q);
+    const size_t seg = as_.here();
+    for (uint32_t k = 0; k < chunk; ++k) native_off_[q + k] = seg;
+    if (util::Status st = emit_block(q, chunk); !st.ok()) return st;
+    q += chunk;
+  }
+  native_off_[back_pc] = as_.here();
+  emit_step_prefix(code_.code[back_pc]);
+  pc_fixups_.push_back({as_.jmp(), pc});
+  return util::Status();
+}
+
+util::Status Emitter::emit(std::vector<uint8_t>* out_bytes,
+                           std::vector<size_t>* out_native_off) {
+  const uint32_t n = static_cast<uint32_t>(code_.code.size());
+  if (n == 0) {
+    return util::Status::failure(util::ErrorCode::kInternal, "jit", 0,
+                                 "empty bytecode program");
+  }
+  if (h_.return_op == nullptr || h_.fused_head == nullptr ||
+      h_.block == nullptr || h_.block_fast == nullptr ||
+      h_.loop == nullptr || h_.value_truthy == nullptr ||
+      h_.step_fault == nullptr) {
+    return util::Status::failure(util::ErrorCode::kInternal, "jit", 0,
+                                 "incomplete jit handler table");
+  }
+  if (l_.value_size == 0 || l_.value_size > 127 || l_.slot_size == 0) {
+    return util::Status::failure(util::ErrorCode::kInternal, "jit", 0,
+                                 "jit layout not measured");
+  }
+
+  is_target_.assign(n, 0);
+  is_target_[code_.start_pc] = 1;
+  for (uint32_t pc = 0; pc < n; ++pc) {
+    const sim::Insn& insn = code_.code[pc];
+    switch (insn.op) {
+      case sim::Op::Jump:
+      case sim::Op::JumpIfFalse:
+      case sim::Op::JumpIfTrue:
+        if (insn.a < n) is_target_[insn.a] = 1;
+        break;
+      case sim::Op::CallFn:
+        if (pc + 1 < n) is_target_[pc + 1] = 1;  // ReturnOp resumes here
+        break;
+      default:
+        break;
+    }
+  }
+  for (const sim::CompiledFunc& f : code_.funcs) {
+    if (f.entry < n) is_target_[f.entry] = 1;
+  }
+
+  native_off_.assign(n, 0);
+  if (util::Status st = emit_prologue(); !st.ok()) return st;
+  for (uint32_t pc = 0; pc < n;) {
+    const size_t start = as_.here();
+    const sim::Op op = code_.code[pc].op;
+    uint32_t consumed = 1;
+    sim::Op bytes_op = op;  ///< which per_op row gets the emitted bytes
+    bool offsets_set = false;
+    util::Status st;
+    if (const uint32_t body = self_loop_body_len(pc)) {
+      st = emit_self_loop(pc, body);
+      consumed = 4 + body + 1;  // head + body + back-edge Jump
+      bytes_op = code_.code[pc + 3].op;
+      stats_->self_loops++;
+      offsets_set = true;  // emit_self_loop places its own offsets
+    } else if (is_fusable_head(pc)) {
+      st = emit_fused_head(pc);
+      consumed = 4;
+      bytes_op = code_.code[pc + 3].op;  // named after the branch
+      stats_->fused_heads++;
+    } else if (const uint32_t run = block_run_len(pc); run >= 2) {
+      st = emit_block(pc, run);
+      consumed = run;  // bytes stay on the first op's row
+      stats_->block_runs++;
+    } else {
+      st = emit_one(pc);
+    }
+    if (!st.ok()) return st;
+    const uint64_t bytes = as_.here() - start;
+    for (uint32_t k = 0; k < consumed; ++k) {
+      // Interior pcs of a fused group or block run are never jump
+      // targets; their table entries point at the head for safety.
+      if (!offsets_set) native_off_[pc + k] = start;
+      stats_->per_op[static_cast<size_t>(code_.code[pc + k].op)].count++;
+    }
+    stats_->per_op[static_cast<size_t>(bytes_op)].bytes += bytes;
+    stats_->num_insns += consumed;
+    pc += consumed;
+  }
+  emit_epilogue_and_stubs();
+  for (const PcFixup& f : pc_fixups_) {
+    if (f.target_pc >= n) {
+      return util::Status::failure(util::ErrorCode::kInternal, "jit", 0,
+                                   "jump target outside program");
+    }
+    as_.patch_rel32(f.rel32_at, native_off_[f.target_pc]);
+  }
+  stats_->total_code_bytes = as_.here();
+  *out_bytes = as_.bytes();
+  *out_native_off = native_off_;
+  return util::Status();
+}
+
+const char* op_name(size_t op) {
+#define FORAY_JIT_OP_NAME(name) \
+  if (op == static_cast<size_t>(sim::Op::name)) return #name;
+  FORAY_VM_OPS(FORAY_JIT_OP_NAME)
+#undef FORAY_JIT_OP_NAME
+  return "?";
+}
+
+void dump_stats(const JitStats& stats) {
+  std::fprintf(stderr, "jit: %-18s %10s %12s\n", "opcode", "count",
+               "code bytes");
+  for (size_t op = 0; op < sim::kNumOps; ++op) {
+    if (stats.per_op[op].count == 0) continue;
+    std::fprintf(stderr, "jit: %-18s %10llu %12llu\n", op_name(op),
+                 static_cast<unsigned long long>(stats.per_op[op].count),
+                 static_cast<unsigned long long>(stats.per_op[op].bytes));
+  }
+  std::fprintf(
+      stderr,
+      "jit: %llu insns, %llu self-loops, %llu fused loop heads, "
+      "%llu block runs, %llu code bytes\n",
+      static_cast<unsigned long long>(stats.num_insns),
+      static_cast<unsigned long long>(stats.self_loops),
+      static_cast<unsigned long long>(stats.fused_heads),
+      static_cast<unsigned long long>(stats.block_runs),
+      static_cast<unsigned long long>(stats.total_code_bytes));
+}
+
+}  // namespace
+
+void set_dump_jit(bool enabled) { g_dump_jit = enabled; }
+bool dump_jit_enabled() { return g_dump_jit; }
+
+util::Status compile_native(const sim::CompiledProgram& code,
+                            const JitHandlers& handlers,
+                            const JitLayout& layout,
+                            std::unique_ptr<CompiledNative>* out) {
+  if (!jit_supported()) {
+    return util::Status::failure(
+        util::ErrorCode::kInvalidInput, "jit", 0,
+        "the jit engine supports x86-64 Linux/macOS only on this build");
+  }
+  auto native = std::make_unique<CompiledNative>();
+  std::vector<uint8_t> bytes;
+  std::vector<size_t> native_off;
+  Emitter emitter(code, handlers, layout, &native->stats_);
+  if (util::Status st = emitter.emit(&bytes, &native_off); !st.ok()) {
+    return st;
+  }
+  if (util::Status st = ExecMemory::allocate(bytes.size(), &native->mem_);
+      !st.ok()) {
+    return st;
+  }
+  std::memcpy(native->mem_.data(), bytes.data(), bytes.size());
+  if (util::Status st = native->mem_.finalize(); !st.ok()) return st;
+  native->pc_table_.resize(native_off.size());
+  for (size_t pc = 0; pc < native_off.size(); ++pc) {
+    native->pc_table_[pc] = native->mem_.data() + native_off[pc];
+  }
+  if (dump_jit_enabled()) dump_stats(native->stats_);
+  *out = std::move(native);
+  return util::Status();
+}
+
+}  // namespace foray::jit

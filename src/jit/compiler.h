@@ -1,0 +1,165 @@
+// Template-JIT compiler driver: lowers a sim::CompiledProgram to x86-64.
+//
+// The driver is deliberately non-templated: it receives the per-sink
+// handler table (JitHandlers, function pointers into the templated
+// JitOps<SinkT> wrappers from jit/engine.h) and the Vm member offsets
+// (JitLayout, measured per instantiation) as plain data, so one
+// compiled-in code generator serves every sink type.
+//
+// Emission strategy — one blob per bytecode instruction:
+//   * every blob starts with the exact VM dispatch prefix (store the
+//     source line, decrement the step down-counter, borrow = step-limit
+//     fault), so step accounting and fault lines match the VM per
+//     instruction, not per block;
+//   * trivial stack ops (PushInt/PushFloat/PopV, slot-address pushes)
+//     and all control flow (Jump/JumpIf*/Call/Return dispatch) are
+//     emitted inline; everything else is a direct call into the shared
+//     do_<Op>() bodies via the handler table — semantics identical to
+//     the VM by construction;
+//   * 4-instruction loop heads (load/load-or-push, compare, conditional
+//     jump, no interior jump targets) are fused behind a single handler
+//     call guarded by `remaining >= 4`, with an exact unfused copy on
+//     the cold (budget-edge) path.
+//
+// Faults never unwind through emitted frames: handlers catch, park the
+// exception on the Vm, and return a flag; the blob branches to the
+// epilogue and JitOps::run rethrows from C++.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "jit/exec_memory.h"
+#include "sim/bytecode.h"
+#include "util/status.h"
+
+namespace foray::jit {
+
+/// Byte offsets into the concrete Vm<SinkT> instantiation (measured by
+/// JitOps<SinkT>::layout(); Vm is not standard-layout, so offsets come
+/// from a probe instance rather than offsetof) plus the Value/VmSlot
+/// geometry the inline templates bake into loads and stores.
+struct JitLayout {
+  uint32_t off_sp = 0;          ///< Value* sp_
+  uint32_t off_cur_line = 0;    ///< int cur_line_
+  uint32_t off_cur_locals = 0;  ///< VmSlot* cur_locals_
+  uint32_t off_globals_raw = 0; ///< VmSlot* globals_raw_
+  uint32_t value_size = 0;      ///< sizeof(Value)
+  uint32_t val_off_base = 0;    ///< Value::type.base (uint8)
+  uint32_t val_off_ptr = 0;     ///< Value::type.ptr (int32)
+  uint32_t val_off_i = 0;       ///< Value::i (int64)
+  uint32_t val_off_f = 0;       ///< Value::f (double bits)
+  uint32_t slot_size = 0;       ///< sizeof(VmSlot)
+  uint32_t slot_off_addr = 0;   ///< VmSlot::addr (uint32)
+  uint8_t base_int = 0;         ///< BaseType::Int tag
+  uint8_t base_float = 0;       ///< BaseType::Float tag
+};
+
+/// Straight-line opcodes eligible for block fusion: every opcode that
+/// never redirects the pc. The emitter folds maximal runs of these
+/// (with no interior jump targets) behind ONE h_block call; the handler
+/// dispatches them in C++ with the line store and step decrement per
+/// instruction, so semantics — including step-limit faults mid-run —
+/// stay exactly the VM's while the call overhead amortizes over the
+/// whole run.
+#define FORAY_JIT_BLOCK_OPS(X)                                        \
+  X(PushInt) X(PushFloat) X(PushStr) X(LoadGlobal) X(LoadLocal)       \
+  X(PushGlobalPtr) X(PushLocalPtr) X(PushSlotAddr)                    \
+  X(PushGlobalSlotAddr) X(IndexAddr) X(LoadMem) X(IndexLoad)          \
+  X(StoreMem) X(IndexStore) X(StoreInit) X(CompoundLoad) X(StoreBin)  \
+  X(CastToPtr) X(Neg) X(NotOp) X(BitNotOp) X(Truthy) X(Binary)        \
+  X(ConvertOp) X(IncDec) X(IncDecLocal) X(IncDecGlobal) X(PopV)       \
+  X(SaveSp) X(RestoreSp) X(RestoreSpN) X(DeclLocal) X(DeclGlobal)     \
+  X(CallIntr) X(RetValue) X(CheckpointOp)
+
+/// How a fused straight-line run exits, in the SysV two-register return
+/// (rax = remaining, rdx = fault flag).
+struct BlockExit {
+  uint64_t remaining = 0;  ///< step down-counter after the run
+  uint64_t fault = 0;      ///< 1 = exception parked on the Vm
+};
+
+/// Function pointers into JitOps<SinkT> (jit/engine.h). Default handlers
+/// are `uint32_t(Vm*, const Insn*)` returning 0 = continue / 1 = fault
+/// parked on the Vm; the specially-typed entries are documented inline.
+struct JitHandlers {
+  const void* op[sim::kNumOps] = {};
+  /// BlockExit(Vm*, const Insn* ip, uint64_t n, uint64_t remaining):
+  /// executes a straight-line run of n FORAY_JIT_BLOCK_OPS instructions
+  /// with exact per-instruction step accounting (the budget-edge path).
+  const void* block = nullptr;
+  /// uint32_t(Vm*, const Insn* ip, uint64_t n): the same run with the n
+  /// steps pre-claimed by the emitted guard (`remaining >= n`), so the
+  /// loop carries no step checks at all; 0 = done, 1 = fault parked.
+  const void* block_fast = nullptr;
+  /// BlockExit(Vm*, const Insn* head, uint64_t body_len, uint64_t
+  /// remaining): a whole self-loop — fusable 4-insn head whose branch
+  /// exits forward, straight-line body, back-edge Jump — iterated
+  /// entirely in C++. fault = 0 resumes at the branch target, 1 = fault
+  /// parked, 2 = within one iteration of the step budget (the emitted
+  /// exact fallback takes over with the returned remaining).
+  const void* loop = nullptr;
+  /// uint64_t(Vm*, const Insn*): ReturnOp; result is the bytecode pc to
+  /// resume at, or ~0 on fault.
+  const void* return_op = nullptr;
+  /// uint32_t(Vm*, const Insn*): a fused 4-insn loop head; 0 = branch
+  /// not taken, 1 = taken, 2 = fault.
+  const void* fused_head = nullptr;
+  /// uint32_t(const Value*): shared truthiness of a float-typed value
+  /// (the inline conditional-jump template handles int/pointer itself).
+  const void* value_truthy = nullptr;
+  /// void(Vm*): park the step-limit fault (never returns normally a
+  /// value; always parks).
+  const void* step_fault = nullptr;
+};
+
+struct OpStats {
+  uint64_t count = 0;  ///< instructions of this opcode compiled
+  uint64_t bytes = 0;  ///< native bytes emitted for them
+};
+
+struct JitStats {
+  OpStats per_op[sim::kNumOps];
+  uint64_t fused_heads = 0;       ///< 4-insn loop heads fused
+  uint64_t block_runs = 0;        ///< straight-line runs behind one call
+  uint64_t self_loops = 0;        ///< whole loops iterated inside C++
+  uint64_t total_code_bytes = 0;  ///< whole mapping, prologue included
+  uint64_t num_insns = 0;         ///< bytecode instructions compiled
+};
+
+/// A finalized (read-execute) native image of one CompiledProgram.
+/// Independent of RunOptions and of the sink type it was compiled
+/// against only through the handler table burned into the code, so it
+/// is reusable across runs exactly like the CompiledProgram it mirrors.
+class CompiledNative {
+ public:
+  /// uint64_t entry(Vm* vm, void* const* pc_table, uint64_t remaining);
+  /// returns the final value of the step down-counter.
+  const void* entry() const { return mem_.data(); }
+  /// Native address of every bytecode pc (ReturnOp's indirect dispatch).
+  void* const* pc_table() const { return pc_table_.data(); }
+  const JitStats& stats() const { return stats_; }
+
+ private:
+  friend util::Status compile_native(const sim::CompiledProgram&,
+                                     const JitHandlers&, const JitLayout&,
+                                     std::unique_ptr<CompiledNative>*);
+  ExecMemory mem_;
+  std::vector<void*> pc_table_;
+  JitStats stats_;
+};
+
+/// Compiles `code` to native; classified failure (never a throw) when
+/// the platform is unsupported or the executable mapping fails — the
+/// caller falls back to the bytecode VM.
+util::Status compile_native(const sim::CompiledProgram& code,
+                            const JitHandlers& handlers,
+                            const JitLayout& layout,
+                            std::unique_ptr<CompiledNative>* out);
+
+/// When enabled (CLI --dump-jit), every compile_native() prints a
+/// per-opcode blob-size table and the total code bytes to stderr.
+void set_dump_jit(bool enabled);
+bool dump_jit_enabled();
+
+}  // namespace foray::jit

@@ -1,0 +1,470 @@
+// The jit engine: native-code handlers over the shared VM opcode bodies.
+//
+// JitOps<SinkT> is the templated half of the template JIT. For every
+// opcode it wraps the corresponding Vm<SinkT>::do_<Op>() body (the very
+// methods the dispatch-loop VM executes) in an extern-callable function
+// whose frame sits directly below the emitted code. Two rules make that
+// boundary safe:
+//
+//   1. C++ exceptions never unwind through emitted frames (they carry
+//      no unwind tables): every handler catches everything, parks the
+//      exception_ptr on the Vm, and returns a fault flag; the emitted
+//      code branches to its epilogue and run() rethrows from C++, where
+//      execute_guarded applies the same classification as for the VM.
+//   2. Step accounting stays in the emitted per-instruction prefix (a
+//      down-counter in r14); handlers never touch it, mirroring how the
+//      VM keeps its step counter in dispatch-loop locals.
+//
+// Vm member offsets are measured from a probe instance (Vm has
+// reference members, so offsetof would be conditionally-supported) and
+// handed to the non-templated compiler driver as plain data.
+#pragma once
+
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "jit/compiler.h"
+#include "sim/vm.h"
+
+namespace foray::jit {
+
+template <class SinkT>
+struct JitOps {
+  using VmT = sim::internal::Vm<SinkT>;
+  using Insn = sim::Insn;
+  using Op = sim::Op;
+
+  // -- handlers (called from emitted code) -----------------------------------
+
+#define FORAY_JIT_HANDLER(name)                                  \
+  static uint32_t h_##name(VmT* vm, const Insn* ip) noexcept {   \
+    try {                                                        \
+      (void)vm->do_##name(ip);                                   \
+      return 0;                                                  \
+    } catch (...) {                                              \
+      vm->jit_pending_ = std::current_exception();               \
+      return 1;                                                  \
+    }                                                            \
+  }
+  FORAY_JIT_HANDLER(PushInt)
+  FORAY_JIT_HANDLER(PushFloat)
+  FORAY_JIT_HANDLER(PushStr)
+  FORAY_JIT_HANDLER(LoadGlobal)
+  FORAY_JIT_HANDLER(LoadLocal)
+  FORAY_JIT_HANDLER(PushGlobalPtr)
+  FORAY_JIT_HANDLER(PushLocalPtr)
+  FORAY_JIT_HANDLER(PushSlotAddr)
+  FORAY_JIT_HANDLER(PushGlobalSlotAddr)
+  FORAY_JIT_HANDLER(IndexAddr)
+  FORAY_JIT_HANDLER(LoadMem)
+  FORAY_JIT_HANDLER(IndexLoad)
+  FORAY_JIT_HANDLER(StoreMem)
+  FORAY_JIT_HANDLER(IndexStore)
+  FORAY_JIT_HANDLER(StoreInit)
+  FORAY_JIT_HANDLER(CompoundLoad)
+  FORAY_JIT_HANDLER(StoreBin)
+  FORAY_JIT_HANDLER(CastToPtr)
+  FORAY_JIT_HANDLER(Neg)
+  FORAY_JIT_HANDLER(NotOp)
+  FORAY_JIT_HANDLER(BitNotOp)
+  FORAY_JIT_HANDLER(Truthy)
+  FORAY_JIT_HANDLER(Binary)
+  FORAY_JIT_HANDLER(ConvertOp)
+  FORAY_JIT_HANDLER(IncDec)
+  FORAY_JIT_HANDLER(IncDecLocal)
+  FORAY_JIT_HANDLER(IncDecGlobal)
+  FORAY_JIT_HANDLER(SaveSp)
+  FORAY_JIT_HANDLER(RestoreSp)
+  FORAY_JIT_HANDLER(RestoreSpN)
+  FORAY_JIT_HANDLER(DeclLocal)
+  FORAY_JIT_HANDLER(DeclGlobal)
+  FORAY_JIT_HANDLER(CallFn)  // direct jump to the callee follows in code
+  FORAY_JIT_HANDLER(CallIntr)
+  FORAY_JIT_HANDLER(RetValue)
+  FORAY_JIT_HANDLER(CheckpointOp)
+  FORAY_JIT_HANDLER(Halt)
+#undef FORAY_JIT_HANDLER
+
+  static uint32_t h_ThrowUnbound(VmT* vm, const Insn* ip) noexcept {
+    try {
+      vm->do_ThrowUnbound(ip);
+    } catch (...) {
+      vm->jit_pending_ = std::current_exception();
+    }
+    return 1;
+  }
+
+  /// ReturnOp: the resume pc, or ~0 on a parked fault.
+  static uint64_t h_ReturnOp(VmT* vm, const Insn* ip) noexcept {
+    try {
+      return vm->do_ReturnOp(ip);
+    } catch (...) {
+      vm->jit_pending_ = std::current_exception();
+      return ~uint64_t{0};
+    }
+  }
+
+  /// A fused [push/load][push/load][Binary][JumpIf*] loop head. The
+  /// emitted guard has already claimed 4 steps; per-sub-op line stores
+  /// keep fault lines exact. Returns 0 = branch not taken, 1 = taken,
+  /// 2 = fault parked.
+  static uint32_t h_fused_head(VmT* vm, const Insn* ip) noexcept {
+    try {
+      for (int k = 0; k < 2; ++k) {
+        const Insn* p = ip + k;
+        vm->cur_line_ = p->line;
+        switch (p->op) {
+          case Op::PushInt: vm->do_PushInt(p); break;
+          case Op::LoadLocal: vm->do_LoadLocal(p); break;
+          default: vm->do_LoadGlobal(p); break;  // fusable_operand gate
+        }
+      }
+      vm->cur_line_ = ip[2].line;
+      vm->do_Binary(ip + 2);
+      vm->cur_line_ = ip[3].line;
+      return vm->do_pop_truthy() ? 1u : 0u;
+    } catch (...) {
+      vm->jit_pending_ = std::current_exception();
+      return 2;
+    }
+  }
+
+  /// The straight-line core shared by every fused shape: executes
+  /// [ip, end) of FORAY_JIT_BLOCK_OPS with per-instruction line stores
+  /// and NO step accounting (callers pre-claim the steps). May throw —
+  /// callers own the catch/park boundary. (Not ALWAYS_INLINE: the
+  /// computed-goto label table pins this function in place; both
+  /// callers make one direct call per fused run.)
+  static void exec_straight(VmT* vm, const Insn* ip,
+                            const Insn* const end) {
+    if (ip == end) return;
+#if defined(__GNUC__) || defined(__clang__)
+    // Threaded dispatch, the VM's own technique: every body ends in its
+    // own indirect jump, which predicts far better than a single shared
+    // switch site.
+#define FORAY_JIT_BLOCK_LABEL(name) &&L_##name,
+    static const void* const kLabels[] = {
+        FORAY_VM_OPS(FORAY_JIT_BLOCK_LABEL)};
+#undef FORAY_JIT_BLOCK_LABEL
+#define FORAY_JIT_NEXT()                        \
+  do {                                          \
+    if (++ip == end) return;                    \
+    vm->cur_line_ = ip->line;                   \
+    goto* kLabels[static_cast<size_t>(ip->op)]; \
+  } while (0)
+    vm->cur_line_ = ip->line;
+    goto* kLabels[static_cast<size_t>(ip->op)];
+#define FORAY_JIT_BLOCK_BODY(name) \
+  L_##name:                        \
+  vm->do_##name(ip);               \
+  FORAY_JIT_NEXT();
+    FORAY_JIT_BLOCK_OPS(FORAY_JIT_BLOCK_BODY)
+#undef FORAY_JIT_BLOCK_BODY
+#undef FORAY_JIT_NEXT
+  // Control flow never appears inside a fused run; the emitter only
+  // fuses FORAY_JIT_BLOCK_OPS. Unreachable labels satisfy the table.
+  L_Jump:
+  L_JumpIfFalse:
+  L_JumpIfTrue:
+  L_CallFn:
+  L_ReturnOp:
+  L_Halt:
+  L_ThrowUnbound:
+    return;
+#else
+    for (; ip != end; ++ip) {
+      vm->cur_line_ = ip->line;
+      switch (ip->op) {
+#define FORAY_JIT_BLOCK_CASE(name) \
+  case Op::name:                   \
+    vm->do_##name(ip);             \
+    break;
+        FORAY_JIT_BLOCK_OPS(FORAY_JIT_BLOCK_CASE)
+#undef FORAY_JIT_BLOCK_CASE
+        default:
+          break;
+      }
+    }
+#endif
+  }
+
+  /// A fused straight-line run of n FORAY_JIT_BLOCK_OPS instructions
+  /// with the steps PRE-CLAIMED by the emitted `remaining >= n` guard:
+  /// the loop body is line store + threaded dispatch + shared opcode
+  /// body — strictly less per-instruction work than the VM loop, which
+  /// additionally counts steps. Returns 0 = done, 1 = fault parked.
+  /// (A mid-run fault leaves the unexecuted tail of the pre-claimed
+  /// steps counted; the run is failing anyway, and step totals after
+  /// non-step faults are not part of the equivalence contract. Step-
+  /// limit faults never reach this handler — the guard routes runs near
+  /// the budget edge to h_block, which counts exactly.)
+  static uint32_t h_block_fast(VmT* vm, const Insn* ip,
+                               uint64_t n) noexcept {
+    try {
+      exec_straight(vm, ip, ip + n);
+      return 0;
+    } catch (...) {
+      vm->jit_pending_ = std::current_exception();
+      return 1;
+    }
+  }
+
+  /// A whole fused self-loop — [op op Binary JumpIf*][straight body]
+  /// [Jump head] — iterated entirely inside one C++ frame: zero
+  /// emitted-code transitions per iteration, no per-instruction step
+  /// checks (one bulk claim per segment). Exit kinds (BlockExit.fault):
+  /// 0 = branch taken, resume at its target; 1 = fault parked;
+  /// 2 = within one iteration of the step budget — the emitted fallback
+  /// (fused head + block + back jump, all exact at the edge) takes over
+  /// with the returned `remaining`.
+  static BlockExit h_loop(VmT* vm, const Insn* ip, uint64_t body_len,
+                          uint64_t remaining) noexcept {
+    const Insn* const body = ip + 4;
+    const Insn* const back = body + body_len;  // the back-edge Jump
+    const uint64_t need = 4 + body_len + 1;
+    const bool exit_on_true = ip[3].op == Op::JumpIfTrue;
+    try {
+      for (;;) {
+        if (remaining < need) return {remaining, 2};
+        remaining -= 4;
+        for (int k = 0; k < 2; ++k) {
+          const Insn* p = ip + k;
+          vm->cur_line_ = p->line;
+          switch (p->op) {
+            case Op::PushInt: vm->do_PushInt(p); break;
+            case Op::LoadLocal: vm->do_LoadLocal(p); break;
+            default: vm->do_LoadGlobal(p); break;  // fusable_operand gate
+          }
+        }
+        vm->cur_line_ = ip[2].line;
+        vm->do_Binary(ip + 2);
+        vm->cur_line_ = ip[3].line;
+        if (vm->do_pop_truthy() == exit_on_true) return {remaining, 0};
+        remaining -= body_len;
+        exec_straight(vm, body, back);
+        vm->cur_line_ = back->line;
+        remaining -= 1;
+      }
+    } catch (...) {
+      vm->jit_pending_ = std::current_exception();
+      return {remaining, 1};
+    }
+  }
+
+  /// The same run with exact per-instruction step accounting — the
+  /// budget-edge path behind h_block_fast's guard (remaining wraps on
+  /// the faulting decrement, so steps = max + 1 on a step fault,
+  /// exactly like the emitted per-instruction prefix).
+  static BlockExit h_block(VmT* vm, const Insn* ip, uint64_t n,
+                           uint64_t remaining) noexcept {
+    try {
+      for (const Insn* end = ip + n; ip != end; ++ip) {
+        vm->cur_line_ = ip->line;
+        if (remaining-- == 0) vm->step_limit_fault();
+        switch (ip->op) {
+#define FORAY_JIT_BLOCK_CASE(name) \
+  case Op::name:                   \
+    vm->do_##name(ip);             \
+    break;
+          FORAY_JIT_BLOCK_OPS(FORAY_JIT_BLOCK_CASE)
+#undef FORAY_JIT_BLOCK_CASE
+          default:  // unreachable: the emitter never blocks control flow
+            break;
+        }
+      }
+      return {remaining, 0};
+    } catch (...) {
+      vm->jit_pending_ = std::current_exception();
+      return {remaining, 1};
+    }
+  }
+
+  /// Truthiness of a float-typed scalar, shared with Value::truthy().
+  static uint32_t value_truthy(const sim::Value* v) noexcept {
+    return v->truthy() ? 1u : 0u;
+  }
+
+  static void h_step_fault(VmT* vm) noexcept {
+    try {
+      vm->step_limit_fault();
+    } catch (...) {
+      vm->jit_pending_ = std::current_exception();
+    }
+  }
+
+  // -- tables ----------------------------------------------------------------
+
+  static const JitHandlers& handlers() {
+    static const JitHandlers kTable = [] {
+      JitHandlers t;
+#define FORAY_JIT_SET(name)                       \
+  t.op[static_cast<size_t>(Op::name)] =           \
+      reinterpret_cast<const void*>(&h_##name);
+      FORAY_JIT_SET(PushInt)
+      FORAY_JIT_SET(PushFloat)
+      FORAY_JIT_SET(PushStr)
+      FORAY_JIT_SET(LoadGlobal)
+      FORAY_JIT_SET(LoadLocal)
+      FORAY_JIT_SET(PushGlobalPtr)
+      FORAY_JIT_SET(PushLocalPtr)
+      FORAY_JIT_SET(ThrowUnbound)
+      FORAY_JIT_SET(PushSlotAddr)
+      FORAY_JIT_SET(PushGlobalSlotAddr)
+      FORAY_JIT_SET(IndexAddr)
+      FORAY_JIT_SET(LoadMem)
+      FORAY_JIT_SET(IndexLoad)
+      FORAY_JIT_SET(StoreMem)
+      FORAY_JIT_SET(IndexStore)
+      FORAY_JIT_SET(StoreInit)
+      FORAY_JIT_SET(CompoundLoad)
+      FORAY_JIT_SET(StoreBin)
+      FORAY_JIT_SET(CastToPtr)
+      FORAY_JIT_SET(Neg)
+      FORAY_JIT_SET(NotOp)
+      FORAY_JIT_SET(BitNotOp)
+      FORAY_JIT_SET(Truthy)
+      FORAY_JIT_SET(Binary)
+      FORAY_JIT_SET(ConvertOp)
+      FORAY_JIT_SET(IncDec)
+      FORAY_JIT_SET(IncDecLocal)
+      FORAY_JIT_SET(IncDecGlobal)
+      FORAY_JIT_SET(SaveSp)
+      FORAY_JIT_SET(RestoreSp)
+      FORAY_JIT_SET(RestoreSpN)
+      FORAY_JIT_SET(DeclLocal)
+      FORAY_JIT_SET(DeclGlobal)
+      FORAY_JIT_SET(CallFn)
+      FORAY_JIT_SET(CallIntr)
+      FORAY_JIT_SET(RetValue)
+      FORAY_JIT_SET(CheckpointOp)
+      FORAY_JIT_SET(Halt)
+#undef FORAY_JIT_SET
+      t.block = reinterpret_cast<const void*>(&h_block);
+      t.block_fast = reinterpret_cast<const void*>(&h_block_fast);
+      t.loop = reinterpret_cast<const void*>(&h_loop);
+      t.return_op = reinterpret_cast<const void*>(&h_ReturnOp);
+      t.fused_head = reinterpret_cast<const void*>(&h_fused_head);
+      t.value_truthy = reinterpret_cast<const void*>(&value_truthy);
+      t.step_fault = reinterpret_cast<const void*>(&h_step_fault);
+      return t;
+    }();
+    return kTable;
+  }
+
+  /// Vm<SinkT> member offsets, measured once from a probe instance.
+  static const JitLayout& layout() {
+    static const JitLayout kLayout = [] {
+      static const sim::CompiledProgram empty;
+      sim::RunOptions probe_opts;
+      probe_opts.heap_capacity = 64;
+      probe_opts.stack_capacity = 64;
+      VmT probe(empty, nullptr, probe_opts);
+      const char* base = reinterpret_cast<const char*>(&probe);
+      auto off = [base](const void* member) {
+        return static_cast<uint32_t>(reinterpret_cast<const char*>(member) -
+                                     base);
+      };
+      JitLayout lay;
+      lay.off_sp = off(&probe.sp_);
+      lay.off_cur_line = off(&probe.cur_line_);
+      lay.off_cur_locals = off(&probe.cur_locals_);
+      lay.off_globals_raw = off(&probe.globals_raw_);
+      lay.value_size = sizeof(sim::Value);
+      lay.val_off_base = static_cast<uint32_t>(
+          offsetof(sim::Value, type) + offsetof(minic::Type, base));
+      lay.val_off_ptr = static_cast<uint32_t>(offsetof(sim::Value, type) +
+                                              offsetof(minic::Type, ptr));
+      lay.val_off_i = static_cast<uint32_t>(offsetof(sim::Value, i));
+      lay.val_off_f = static_cast<uint32_t>(offsetof(sim::Value, f));
+      lay.slot_size = sizeof(typename VmT::VmSlot);
+      lay.slot_off_addr =
+          static_cast<uint32_t>(offsetof(typename VmT::VmSlot, addr));
+      lay.base_int = static_cast<uint8_t>(minic::BaseType::Int);
+      lay.base_float = static_cast<uint8_t>(minic::BaseType::Float);
+      return lay;
+    }();
+    return kLayout;
+  }
+
+  // -- execution -------------------------------------------------------------
+
+  static sim::RunResult run(VmT& vm, const CompiledNative& native) {
+    return vm.run_guarded([&] {
+      using EntryFn = uint64_t (*)(void*, void* const*, uint64_t);
+      const EntryFn entry = reinterpret_cast<EntryFn>(
+          const_cast<void*>(native.entry()));
+      const uint64_t max_steps = vm.max_steps_;
+      const uint64_t remaining =
+          entry(&vm, native.pc_table(), max_steps - vm.steps_);
+      // Unsigned wrap gives the VM's exact step count in both exits:
+      // normal Halt, and step fault (borrowed counter = max + 1 steps).
+      vm.steps_ = max_steps - remaining;
+      if (vm.jit_pending_) {
+        std::exception_ptr pending = std::exchange(vm.jit_pending_, nullptr);
+        std::rethrow_exception(pending);
+      }
+    });
+  }
+};
+
+/// A program compiled for the jit engine. Owns both halves: the emitted
+/// code holds absolute pointers into `bytecode` (instructions, function
+/// table), so the pair must stay together — moving the struct is fine
+/// (vector moves keep their buffers), copying the bytecode out is not.
+/// When `status` is not ok, `native` is null and runs fall back to the
+/// bytecode VM on the same `bytecode`.
+struct JitProgram {
+  sim::CompiledProgram bytecode;
+  std::unique_ptr<CompiledNative> native;
+  util::Status status;
+};
+
+template <class SinkT>
+JitProgram compile_jit(const minic::Program& prog) {
+  JitProgram jp;
+  jp.bytecode = sim::compile_program(prog);
+  jp.status = compile_native(jp.bytecode, JitOps<SinkT>::handlers(),
+                             JitOps<SinkT>::layout(), &jp.native);
+  return jp;
+}
+
+/// Runs a jit-compiled program. `code` must be the exact CompiledProgram
+/// `native` was compiled from.
+template <class SinkT>
+sim::RunResult run_jit_compiled(const sim::CompiledProgram& code,
+                                const CompiledNative& native, SinkT* sink,
+                                const sim::RunOptions& opts) {
+  sim::internal::Vm<SinkT> vm(code, sink, opts);
+  return JitOps<SinkT>::run(vm, native);
+}
+
+/// One-line stderr note, printed once per process, when --engine jit
+/// degrades to the bytecode VM (unsupported platform / mapping failure).
+inline void note_jit_fallback(const util::Status& why) {
+  static const bool noted = [&why] {
+    std::fprintf(stderr,
+                 "foraygen: jit engine unavailable (%s); running on the "
+                 "bytecode engine\n",
+                 why.message().c_str());
+    return true;
+  }();
+  (void)noted;
+}
+
+/// Compiles and executes `prog` on the jit engine, degrading to the
+/// bytecode VM (identical results, classified stderr note) when native
+/// compilation is unavailable.
+template <class SinkT>
+sim::RunResult run_jit_with(const minic::Program& prog, SinkT* sink,
+                            const sim::RunOptions& opts) {
+  JitProgram jp = compile_jit<SinkT>(prog);
+  if (!jp.status.ok()) {
+    note_jit_fallback(jp.status);
+    return sim::run_compiled_with(jp.bytecode, sink, opts);
+  }
+  return run_jit_compiled(jp.bytecode, *jp.native, sink, opts);
+}
+
+}  // namespace foray::jit

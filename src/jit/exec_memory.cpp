@@ -1,0 +1,94 @@
+#include "jit/exec_memory.h"
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#if defined(__x86_64__) && (defined(__linux__) || defined(__APPLE__))
+#define FORAY_JIT_SUPPORTED 1
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace foray::jit {
+
+bool jit_supported() {
+#ifdef FORAY_JIT_SUPPORTED
+  return true;
+#else
+  return false;
+#endif
+}
+
+#ifdef FORAY_JIT_SUPPORTED
+
+namespace {
+size_t round_to_pages(size_t bytes) {
+  const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return (bytes + page - 1) / page * page;
+}
+}  // namespace
+
+util::Status ExecMemory::allocate(size_t bytes, ExecMemory* out) {
+  if (bytes == 0) {
+    return util::Status::failure(util::ErrorCode::kInternal, "jit", 0,
+                                 "empty code buffer");
+  }
+  const size_t mapped = round_to_pages(bytes);
+  void* p = ::mmap(nullptr, mapped, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) {
+    return util::Status::failure(
+        util::ErrorCode::kIoError, "jit", 0,
+        std::string("mmap of ") + std::to_string(mapped) +
+            " code bytes failed: " + std::strerror(errno));
+  }
+  out->release();
+  out->base_ = p;
+  out->size_ = mapped;
+  return util::Status();
+}
+
+util::Status ExecMemory::finalize() {
+  if (base_ == nullptr) {
+    return util::Status::failure(util::ErrorCode::kInternal, "jit", 0,
+                                 "finalize of unmapped code buffer");
+  }
+  if (::mprotect(base_, size_, PROT_READ | PROT_EXEC) != 0) {
+    return util::Status::failure(
+        util::ErrorCode::kIoError, "jit", 0,
+        std::string("mprotect(rx) failed: ") + std::strerror(errno));
+  }
+  // x86 has coherent instruction caches; this is a no-op there but keeps
+  // the W^X flip correct if the platform gate ever widens.
+  __builtin___clear_cache(static_cast<char*>(base_),
+                          static_cast<char*>(base_) + size_);
+  return util::Status();
+}
+
+void ExecMemory::release() {
+  if (base_ != nullptr) {
+    ::munmap(base_, size_);
+    base_ = nullptr;
+    size_ = 0;
+  }
+}
+
+#else  // !FORAY_JIT_SUPPORTED
+
+util::Status ExecMemory::allocate(size_t, ExecMemory* ) {
+  return util::Status::failure(
+      util::ErrorCode::kInvalidInput, "jit", 0,
+      "the jit engine supports x86-64 Linux/macOS only on this build");
+}
+
+util::Status ExecMemory::finalize() {
+  return util::Status::failure(util::ErrorCode::kInternal, "jit", 0,
+                               "finalize without jit support");
+}
+
+void ExecMemory::release() {}
+
+#endif  // FORAY_JIT_SUPPORTED
+
+}  // namespace foray::jit

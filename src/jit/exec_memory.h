@@ -1,0 +1,66 @@
+// W^X executable-memory allocator for the template JIT.
+//
+// Code is emitted into an ordinary byte vector (every intra-buffer
+// reference is rel32, so the blob is position-independent), then copied
+// into a page-aligned mapping that is writable-XOR-executable over its
+// lifetime: mapped read-write, filled, then flipped to read-execute by
+// finalize(). The mapping is never writable and executable at once.
+//
+// Platform support is deliberately narrow — x86-64 SysV (Linux/macOS),
+// matching the instruction encodings in jit/assembler.h. Everywhere
+// else, and on any mmap/mprotect failure, allocation returns a
+// classified util::Status; the engine layer (jit/engine.h) turns that
+// into a bytecode-VM fallback, never a crash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "util/status.h"
+
+namespace foray::jit {
+
+/// True when this build can emit and run native code (compile-time
+/// platform gate; individual mappings can still fail at runtime).
+bool jit_supported();
+
+class ExecMemory {
+ public:
+  ExecMemory() = default;
+  ~ExecMemory() { release(); }
+
+  ExecMemory(ExecMemory&& other) noexcept { *this = std::move(other); }
+  ExecMemory& operator=(ExecMemory&& other) noexcept {
+    if (this != &other) {
+      release();
+      base_ = other.base_;
+      size_ = other.size_;
+      other.base_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  ExecMemory(const ExecMemory&) = delete;
+  ExecMemory& operator=(const ExecMemory&) = delete;
+
+  /// Maps `bytes` of read-write memory into *this. Classified failure on
+  /// unsupported platforms (kInvalidInput: the caller asked for an
+  /// engine this build cannot provide) and on mapping errors (kIoError).
+  static util::Status allocate(size_t bytes, ExecMemory* out);
+
+  /// Flips the mapping read-execute and syncs the instruction cache.
+  util::Status finalize();
+
+  uint8_t* data() { return static_cast<uint8_t*>(base_); }
+  const uint8_t* data() const { return static_cast<const uint8_t*>(base_); }
+  size_t size() const { return size_; }
+
+ private:
+  void release();
+
+  void* base_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace foray::jit

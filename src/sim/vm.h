@@ -16,9 +16,18 @@
 // stack is a raw pointer into a buffer sized from the compiler's static
 // per-function depth bounds, so the hot push/pop path carries no
 // capacity checks.
+//
+// Each opcode body lives in a private always-inline do_<Op>() method
+// rather than directly in the dispatch loop: the template JIT
+// (src/jit/engine.h) calls the very same methods from its native-code
+// handlers, so the VM and the jit engine agree bit-for-bit by
+// construction. Step accounting and control flow stay in the
+// dispatchers (the VM_NEXT/VM_JUMP glue here, the emitted instruction
+// prefixes there).
 #pragma once
 
 #include <algorithm>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -32,6 +41,11 @@
 #if defined(__GNUC__) || defined(__clang__)
 #define FORAY_VM_COMPUTED_GOTO 1
 #endif
+
+namespace foray::jit {
+template <class SinkT>
+struct JitOps;  // native-code handler set; friend of Vm (src/jit/engine.h)
+}
 
 namespace foray::sim {
 
@@ -65,20 +79,13 @@ class Vm {
   // -- execution -------------------------------------------------------------
 
   RunResult run() {
-    RunResult result;
-    globals_.assign(code_.globals.size(), VmSlot{});
-    interned_.assign(code_.str_pool.size(), InternCell{});
-    stack_.resize(static_cast<size_t>(code_.start_max_stack) + 64);
-    sp_ = stack_.data();
-    execute_guarded(&result, &cur_line_, [&] {
-      exec();
-      result.exit_code = exit_code_;
-    });
-    finalize_result(&result, &emitter_, &mem_, opts_, &output_, steps_);
-    return result;
+    return run_guarded([&] { exec(); });
   }
 
  private:
+  template <class S>
+  friend struct ::foray::jit::JitOps;
+
   using Type = minic::Type;
   using AccessKind = trace::AccessKind;
 
@@ -103,6 +110,25 @@ class Vm {
     uint32_t func = 0;
     Value ret_value = Value::of_int(0);
   };
+
+  /// Shared run scaffolding: slot/stack setup, guarded execution of
+  /// `body` (the dispatch loop here, the native entry call in the jit
+  /// engine), fault classification, and result finalization.
+  template <class Body>
+  RunResult run_guarded(Body&& body) {
+    RunResult result;
+    globals_.assign(code_.globals.size(), VmSlot{});
+    globals_raw_ = globals_.data();
+    interned_.assign(code_.str_pool.size(), InternCell{});
+    stack_.resize(static_cast<size_t>(code_.start_max_stack) + 64);
+    sp_ = stack_.data();
+    execute_guarded(&result, &cur_line_, [&] {
+      body();
+      result.exit_code = exit_code_;
+    });
+    finalize_result(&result, &emitter_, &mem_, opts_, &output_, steps_);
+    return result;
+  }
 
   [[noreturn]] void step_limit_fault() {
     throw RuntimeError("step limit exceeded (" + std::to_string(max_steps_) +
@@ -140,6 +166,311 @@ class Vm {
     }
   }
 
+  // -- opcode bodies ---------------------------------------------------------
+  // One method per opcode; the exact pre-refactor VM_CASE bodies. Jump
+  // decisions are returned to the caller (do_pop_truthy / the pc results
+  // of do_CallFn and do_ReturnOp); nothing here touches the step count.
+
+  FORAY_ALWAYS_INLINE void do_PushInt(const Insn* ip) {
+    *sp_++ = Value::of_int(code_.int_pool[ip->a]);
+  }
+  FORAY_ALWAYS_INLINE void do_PushFloat(const Insn* ip) {
+    *sp_++ = Value::of_float(code_.float_pool[ip->a]);
+  }
+  FORAY_ALWAYS_INLINE void do_PushStr(const Insn* ip) {
+    InternCell& cell = interned_[ip->a];
+    if (!cell.valid) {
+      cell.addr = mem_.alloc_rodata(code_.str_pool[ip->a]);
+      cell.valid = true;
+    }
+    *sp_++ =
+        Value::of_ptr(cell.addr, minic::make_type(minic::BaseType::Char));
+  }
+  FORAY_ALWAYS_INLINE void do_LoadGlobal(const Insn* ip) {
+    const VmSlot s = globals_[ip->a];
+    if (!s.bound) throw_unbound(ip->c);
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    emitter_.emit_access(ip->b, s.addr, sz, false, AccessKind::Scalar);
+    *sp_++ = load_typed(t, s.addr, sz);
+  }
+  FORAY_ALWAYS_INLINE void do_LoadLocal(const Insn* ip) {
+    const VmSlot s = cur_locals_[ip->a];
+    if (!s.bound) throw_unbound(ip->c);
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    emitter_.emit_access(ip->b, s.addr, sz, false, AccessKind::Scalar);
+    *sp_++ = load_typed(t, s.addr, sz);
+  }
+  FORAY_ALWAYS_INLINE void do_PushGlobalPtr(const Insn* ip) {
+    const VmSlot s = globals_[ip->a];
+    if (!s.bound) throw_unbound(ip->c);
+    *sp_++ = Value::of_ptr(s.addr, ip->type());
+  }
+  FORAY_ALWAYS_INLINE void do_PushLocalPtr(const Insn* ip) {
+    const VmSlot s = cur_locals_[ip->a];
+    if (!s.bound) throw_unbound(ip->c);
+    *sp_++ = Value::of_ptr(s.addr, ip->type());
+  }
+  [[noreturn]] FORAY_ALWAYS_INLINE void do_ThrowUnbound(const Insn* ip) {
+    throw_unbound(ip->a);
+  }
+  FORAY_ALWAYS_INLINE void do_PushSlotAddr(const Insn* ip) {
+    *sp_++ = Value::of_int(cur_locals_[ip->a].addr + ip->b);
+  }
+  FORAY_ALWAYS_INLINE void do_PushGlobalSlotAddr(const Insn* ip) {
+    *sp_++ = Value::of_int(globals_[ip->a].addr + ip->b);
+  }
+  FORAY_ALWAYS_INLINE void do_IndexAddr(const Insn* ip) {
+    --sp_;
+    sp_[-1] = Value::of_int(sp_[-1].as_addr() +
+                            static_cast<uint32_t>(sp_[0].as_int()) * ip->a);
+  }
+  FORAY_ALWAYS_INLINE void do_LoadMem(const Insn* ip) {
+    const uint32_t addr = (--sp_)->as_addr();
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    emitter_.emit_access(ip->b, addr, sz, false,
+                         static_cast<AccessKind>(ip->flags & 0x03));
+    *sp_++ = load_typed(t, addr, sz);
+  }
+  FORAY_ALWAYS_INLINE void do_IndexLoad(const Insn* ip) {
+    --sp_;
+    const uint32_t addr = sp_[-1].as_addr() +
+                          static_cast<uint32_t>(sp_[0].as_int()) * ip->a;
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    emitter_.emit_access(ip->b, addr, sz, false,
+                         static_cast<AccessKind>(ip->flags & 0x03));
+    sp_[-1] = load_typed(t, addr, sz);
+  }
+  FORAY_ALWAYS_INLINE void do_StoreMem(const Insn* ip) {
+    const Value v = *--sp_;
+    const uint32_t addr = (--sp_)->as_addr();
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    const Value cv = convert_value(v, t);
+    emitter_.emit_access(ip->b, addr, sz, true,
+                         static_cast<AccessKind>(ip->flags & 0x03));
+    store_typed(t, addr, sz, cv);
+    *sp_++ = cv;
+  }
+  FORAY_ALWAYS_INLINE void do_IndexStore(const Insn* ip) {
+    const Value v = *--sp_;
+    const Value idx = *--sp_;
+    const Value base = *--sp_;
+    const uint32_t addr =
+        base.as_addr() + static_cast<uint32_t>(idx.as_int()) * ip->a;
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    const Value cv = convert_value(v, t);
+    emitter_.emit_access(ip->b, addr, sz, true,
+                         static_cast<AccessKind>(ip->flags & 0x03));
+    store_typed(t, addr, sz, cv);
+    *sp_++ = cv;
+  }
+  FORAY_ALWAYS_INLINE void do_StoreInit(const Insn* ip) {
+    // Initializer stores write unconverted, exactly like the tree
+    // walker's init_slot(): narrowing happens in the memory write.
+    const Value v = *--sp_;
+    const uint32_t addr = (--sp_)->as_addr();
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    emitter_.emit_access(ip->b, addr, sz, true,
+                         static_cast<AccessKind>(ip->flags & 0x03));
+    store_typed(t, addr, sz, v);
+  }
+  FORAY_ALWAYS_INLINE void do_CompoundLoad(const Insn* ip) {
+    const uint32_t addr = sp_[-1].as_addr();
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    emitter_.emit_access(ip->b, addr, sz, false,
+                         static_cast<AccessKind>(ip->flags & 0x03));
+    *sp_++ = load_typed(t, addr, sz);
+  }
+  FORAY_ALWAYS_INLINE void do_StoreBin(const Insn* ip) {
+    const Value rhs = *--sp_;
+    const Value old = *--sp_;
+    const uint32_t addr = (--sp_)->as_addr();
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    const Value v = convert_value(
+        apply_binary_op(static_cast<minic::BinaryOp>(ip->flags >> 2), old,
+                        rhs, t),
+        t);
+    emitter_.emit_access(ip->b, addr, sz, true,
+                         static_cast<AccessKind>(ip->flags & 0x03));
+    store_typed(t, addr, sz, v);
+    *sp_++ = v;
+  }
+  FORAY_ALWAYS_INLINE void do_CastToPtr(const Insn* ip) {
+    const Value v = *--sp_;
+    *sp_++ = Value::of_ptr(v.as_addr(), ip->type());
+  }
+  FORAY_ALWAYS_INLINE void do_Neg(const Insn*) {
+    const Value v = *--sp_;
+    *sp_++ = v.is_float() ? Value::of_float(-v.f)
+                          : Value::of_int(-v.i, v.type);
+  }
+  FORAY_ALWAYS_INLINE void do_NotOp(const Insn*) {
+    sp_[-1] = Value::of_int(sp_[-1].truthy() ? 0 : 1);
+  }
+  FORAY_ALWAYS_INLINE void do_BitNotOp(const Insn*) {
+    sp_[-1] = Value::of_int(~sp_[-1].as_int());
+  }
+  FORAY_ALWAYS_INLINE void do_Truthy(const Insn*) {
+    sp_[-1] = Value::of_int(sp_[-1].truthy() ? 1 : 0);
+  }
+  FORAY_ALWAYS_INLINE void do_Binary(const Insn* ip) {
+    --sp_;
+    sp_[-1] = apply_binary_op(static_cast<minic::BinaryOp>(ip->flags),
+                              sp_[-1], sp_[0], ip->type());
+  }
+  FORAY_ALWAYS_INLINE void do_ConvertOp(const Insn* ip) {
+    sp_[-1] = convert_value(sp_[-1], ip->type());
+  }
+  FORAY_ALWAYS_INLINE void do_IncDec(const Insn* ip) {
+    const uint32_t addr = (--sp_)->as_addr();
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    const AccessKind kind = static_cast<AccessKind>(ip->flags & 0x03);
+    emitter_.emit_access(ip->b, addr, sz, false, kind);
+    const Value old = load_typed(t, addr, sz);
+    const int64_t delta = static_cast<int32_t>(ip->a);
+    const Value updated =
+        convert_value(Value::of_int(old.as_int() + delta, t), t);
+    emitter_.emit_access(ip->b, addr, sz, true, kind);
+    store_typed(t, addr, sz, updated);
+    *sp_++ = (ip->flags & 0x04) != 0 ? old : updated;
+  }
+  FORAY_ALWAYS_INLINE void do_IncDecLocal(const Insn* ip) {
+    const VmSlot s = cur_locals_[ip->a];
+    if (!s.bound) throw_unbound(ip->c);
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    emitter_.emit_access(ip->b, s.addr, sz, false, AccessKind::Scalar);
+    const Value old = load_typed(t, s.addr, sz);
+    const int64_t mag = t.is_pointer() ? t.deref().size() : 1;
+    const int64_t delta = (ip->flags & 0x08) != 0 ? -mag : mag;
+    const Value updated =
+        convert_value(Value::of_int(old.as_int() + delta, t), t);
+    emitter_.emit_access(ip->b, s.addr, sz, true, AccessKind::Scalar);
+    store_typed(t, s.addr, sz, updated);
+    *sp_++ = (ip->flags & 0x04) != 0 ? old : updated;
+  }
+  FORAY_ALWAYS_INLINE void do_IncDecGlobal(const Insn* ip) {
+    const VmSlot s = globals_[ip->a];
+    if (!s.bound) throw_unbound(ip->c);
+    const Type t = ip->type();
+    const uint8_t sz = static_cast<uint8_t>(t.size());
+    emitter_.emit_access(ip->b, s.addr, sz, false, AccessKind::Scalar);
+    const Value old = load_typed(t, s.addr, sz);
+    const int64_t mag = t.is_pointer() ? t.deref().size() : 1;
+    const int64_t delta = (ip->flags & 0x08) != 0 ? -mag : mag;
+    const Value updated =
+        convert_value(Value::of_int(old.as_int() + delta, t), t);
+    emitter_.emit_access(ip->b, s.addr, sz, true, AccessKind::Scalar);
+    store_typed(t, s.addr, sz, updated);
+    *sp_++ = (ip->flags & 0x04) != 0 ? old : updated;
+  }
+  FORAY_ALWAYS_INLINE bool do_pop_truthy() { return (--sp_)->truthy(); }
+  FORAY_ALWAYS_INLINE void do_PopV(const Insn*) { --sp_; }
+  FORAY_ALWAYS_INLINE void do_SaveSp(const Insn*) {
+    sp_scopes_.push_back(mem_.sp());
+  }
+  FORAY_ALWAYS_INLINE void do_RestoreSp(const Insn*) {
+    mem_.set_sp(sp_scopes_.back());
+    sp_scopes_.pop_back();
+  }
+  FORAY_ALWAYS_INLINE void do_RestoreSpN(const Insn* ip) {
+    // Unwinds n block scopes at once (break/continue). Restoring
+    // straight to the outermost popped scope equals restoring each in
+    // turn: set_sp() just moves the pointer.
+    const size_t n = ip->a;
+    mem_.set_sp(sp_scopes_[sp_scopes_.size() - n]);
+    sp_scopes_.resize(sp_scopes_.size() - n);
+  }
+  FORAY_ALWAYS_INLINE void do_DeclLocal(const Insn* ip) {
+    const uint32_t addr = mem_.stack_alloc(ip->b, ip->flags);
+    cur_locals_[ip->a] = VmSlot{addr, true};
+  }
+  FORAY_ALWAYS_INLINE void do_DeclGlobal(const Insn* ip) {
+    const GlobalMeta& m = code_.globals[ip->a];
+    const uint32_t addr = mem_.alloc_global(m.bytes, m.align);
+    globals_[ip->a] = VmSlot{addr, true};
+  }
+  /// Pushes the callee frame and returns the pc to jump to (f.entry).
+  FORAY_ALWAYS_INLINE uint32_t do_CallFn(const Insn* ip) {
+    const CompiledFunc& f = code_.funcs[ip->a];
+    if (frames_.size() >= 512) {
+      throw RuntimeError("simulated call depth limit exceeded in '" +
+                         f.name + "'");
+    }
+    ensure_stack(f.max_stack);
+    if (opts_.emit_calls) emitter_.push(trace::Record::call(f.func_id));
+    Frame fr;
+    fr.return_pc = static_cast<uint32_t>(ip - code_.code.data()) + 1;
+    fr.saved_sp = mem_.sp();
+    fr.locals_base = static_cast<uint32_t>(locals_.size());
+    fr.scope_base = static_cast<uint32_t>(sp_scopes_.size());
+    fr.func = ip->a;
+    frames_.push_back(fr);
+    locals_.resize(fr.locals_base + f.num_slots);
+    cur_locals_ = locals_.data() + fr.locals_base;
+    // Bind parameters: spill each argument to the callee's frame in
+    // declaration order — the Scalar writes the paper's Step 4 filters
+    // out, with the same stack addresses as the tree walker.
+    const size_t nargs = f.params.size();
+    const Value* args = sp_ - nargs;
+    for (size_t i = 0; i < nargs; ++i) {
+      const CompiledFunc::ParamBind& pb = f.params[i];
+      const uint32_t addr = mem_.stack_alloc(pb.bytes, pb.align);
+      cur_locals_[pb.slot] = VmSlot{addr, true};
+      const Value v = convert_value(args[i], pb.type);
+      emitter_.emit_access(pb.instr, addr, static_cast<uint8_t>(pb.bytes),
+                           true, AccessKind::Scalar);
+      store_typed(pb.type, addr, static_cast<uint8_t>(pb.bytes), v);
+    }
+    sp_ -= nargs;
+    return f.entry;
+  }
+  FORAY_ALWAYS_INLINE void do_CallIntr(const Insn* ip) {
+    const size_t argc = ip->flags;
+    const Value* args = sp_ - argc;
+    const Value result =
+        run_intrinsic(*this, static_cast<minic::Intrinsic>(ip->a), ip->b,
+                      ip->line, args, argc);
+    sp_ -= argc;
+    *sp_++ = result;
+  }
+  FORAY_ALWAYS_INLINE void do_RetValue(const Insn*) {
+    frames_.back().ret_value = *--sp_;
+  }
+  /// Pops the callee frame and returns the pc to jump to (return_pc).
+  FORAY_ALWAYS_INLINE uint32_t do_ReturnOp(const Insn*) {
+    const Frame fr = frames_.back();
+    const CompiledFunc& f = code_.funcs[fr.func];
+    Value ret = fr.ret_value;
+    mem_.set_sp(fr.saved_sp);
+    locals_.resize(fr.locals_base);
+    sp_scopes_.resize(fr.scope_base);
+    frames_.pop_back();
+    cur_locals_ = frames_.empty()
+                      ? locals_.data()
+                      : locals_.data() + frames_.back().locals_base;
+    if (opts_.emit_calls) emitter_.push(trace::Record::ret(f.func_id));
+    if (!f.ret.is_void()) ret = convert_value(ret, f.ret);
+    *sp_++ = ret;
+    return fr.return_pc;
+  }
+  FORAY_ALWAYS_INLINE void do_CheckpointOp(const Insn* ip) {
+    emitter_.emit_checkpoint(static_cast<trace::CheckpointType>(ip->flags),
+                             static_cast<int32_t>(ip->a));
+  }
+  FORAY_ALWAYS_INLINE void do_Halt(const Insn*) {
+    exit_code_ = static_cast<int>((--sp_)->as_int());
+  }
+
   void exec();
 
   const CompiledProgram& code_;
@@ -151,6 +482,7 @@ class Vm {
   std::vector<Value> stack_;
   Value* sp_ = nullptr;  ///< next free operand slot
   std::vector<VmSlot> globals_;
+  VmSlot* globals_raw_ = nullptr;  ///< globals_.data(), for jit-emitted code
   std::vector<VmSlot> locals_;
   VmSlot* cur_locals_ = nullptr;  ///< locals_ slice of the active frame
   std::vector<InternCell> interned_;
@@ -160,6 +492,10 @@ class Vm {
   uint64_t steps_ = 0;
   int exit_code_ = 0;
   int cur_line_ = 0;
+  /// A fault a jit handler caught at the native-code boundary; rethrown
+  /// by JitOps::run once control is back in C++ frames (exceptions must
+  /// never unwind through emitted code, which has no unwind tables).
+  std::exception_ptr jit_pending_;
 };
 
 // The handler bodies are shared between the computed-goto and switch
@@ -223,345 +559,163 @@ dispatch:
 #endif
 
   VM_CASE(PushInt) {
-    *sp_++ = Value::of_int(code_.int_pool[ip->a]);
+    do_PushInt(ip);
     VM_NEXT();
   }
   VM_CASE(PushFloat) {
-    *sp_++ = Value::of_float(code_.float_pool[ip->a]);
+    do_PushFloat(ip);
     VM_NEXT();
   }
   VM_CASE(PushStr) {
-    InternCell& cell = interned_[ip->a];
-    if (!cell.valid) {
-      cell.addr = mem_.alloc_rodata(code_.str_pool[ip->a]);
-      cell.valid = true;
-    }
-    *sp_++ =
-        Value::of_ptr(cell.addr, minic::make_type(minic::BaseType::Char));
+    do_PushStr(ip);
     VM_NEXT();
   }
   VM_CASE(LoadGlobal) {
-    const VmSlot s = globals_[ip->a];
-    if (!s.bound) throw_unbound(ip->c);
-    const Type t = ip->type();
-    const uint8_t sz = static_cast<uint8_t>(t.size());
-    emitter_.emit_access(ip->b, s.addr, sz, false, AccessKind::Scalar);
-    *sp_++ = load_typed(t, s.addr, sz);
+    do_LoadGlobal(ip);
     VM_NEXT();
   }
   VM_CASE(LoadLocal) {
-    const VmSlot s = cur_locals_[ip->a];
-    if (!s.bound) throw_unbound(ip->c);
-    const Type t = ip->type();
-    const uint8_t sz = static_cast<uint8_t>(t.size());
-    emitter_.emit_access(ip->b, s.addr, sz, false, AccessKind::Scalar);
-    *sp_++ = load_typed(t, s.addr, sz);
+    do_LoadLocal(ip);
     VM_NEXT();
   }
   VM_CASE(PushGlobalPtr) {
-    const VmSlot s = globals_[ip->a];
-    if (!s.bound) throw_unbound(ip->c);
-    *sp_++ = Value::of_ptr(s.addr, ip->type());
+    do_PushGlobalPtr(ip);
     VM_NEXT();
   }
   VM_CASE(PushLocalPtr) {
-    const VmSlot s = cur_locals_[ip->a];
-    if (!s.bound) throw_unbound(ip->c);
-    *sp_++ = Value::of_ptr(s.addr, ip->type());
+    do_PushLocalPtr(ip);
     VM_NEXT();
   }
-  VM_CASE(ThrowUnbound) { throw_unbound(ip->a); }
+  VM_CASE(ThrowUnbound) { do_ThrowUnbound(ip); }
   VM_CASE(PushSlotAddr) {
-    *sp_++ = Value::of_int(cur_locals_[ip->a].addr + ip->b);
+    do_PushSlotAddr(ip);
     VM_NEXT();
   }
   VM_CASE(PushGlobalSlotAddr) {
-    *sp_++ = Value::of_int(globals_[ip->a].addr + ip->b);
+    do_PushGlobalSlotAddr(ip);
     VM_NEXT();
   }
   VM_CASE(IndexAddr) {
-    --sp_;
-    sp_[-1] = Value::of_int(sp_[-1].as_addr() +
-                            static_cast<uint32_t>(sp_[0].as_int()) * ip->a);
+    do_IndexAddr(ip);
     VM_NEXT();
   }
   VM_CASE(LoadMem) {
-    const uint32_t addr = (--sp_)->as_addr();
-    const Type t = ip->type();
-    const uint8_t sz = static_cast<uint8_t>(t.size());
-    emitter_.emit_access(ip->b, addr, sz, false,
-                         static_cast<AccessKind>(ip->flags & 0x03));
-    *sp_++ = load_typed(t, addr, sz);
+    do_LoadMem(ip);
     VM_NEXT();
   }
   VM_CASE(IndexLoad) {
-    --sp_;
-    const uint32_t addr = sp_[-1].as_addr() +
-                          static_cast<uint32_t>(sp_[0].as_int()) * ip->a;
-    const Type t = ip->type();
-    const uint8_t sz = static_cast<uint8_t>(t.size());
-    emitter_.emit_access(ip->b, addr, sz, false,
-                         static_cast<AccessKind>(ip->flags & 0x03));
-    sp_[-1] = load_typed(t, addr, sz);
+    do_IndexLoad(ip);
     VM_NEXT();
   }
   VM_CASE(StoreMem) {
-    const Value v = *--sp_;
-    const uint32_t addr = (--sp_)->as_addr();
-    const Type t = ip->type();
-    const uint8_t sz = static_cast<uint8_t>(t.size());
-    const Value cv = convert_value(v, t);
-    emitter_.emit_access(ip->b, addr, sz, true,
-                         static_cast<AccessKind>(ip->flags & 0x03));
-    store_typed(t, addr, sz, cv);
-    *sp_++ = cv;
+    do_StoreMem(ip);
     VM_NEXT();
   }
   VM_CASE(IndexStore) {
-    const Value v = *--sp_;
-    const Value idx = *--sp_;
-    const Value base = *--sp_;
-    const uint32_t addr =
-        base.as_addr() + static_cast<uint32_t>(idx.as_int()) * ip->a;
-    const Type t = ip->type();
-    const uint8_t sz = static_cast<uint8_t>(t.size());
-    const Value cv = convert_value(v, t);
-    emitter_.emit_access(ip->b, addr, sz, true,
-                         static_cast<AccessKind>(ip->flags & 0x03));
-    store_typed(t, addr, sz, cv);
-    *sp_++ = cv;
+    do_IndexStore(ip);
     VM_NEXT();
   }
   VM_CASE(StoreInit) {
-    // Initializer stores write unconverted, exactly like the tree
-    // walker's init_slot(): narrowing happens in the memory write.
-    const Value v = *--sp_;
-    const uint32_t addr = (--sp_)->as_addr();
-    const Type t = ip->type();
-    const uint8_t sz = static_cast<uint8_t>(t.size());
-    emitter_.emit_access(ip->b, addr, sz, true,
-                         static_cast<AccessKind>(ip->flags & 0x03));
-    store_typed(t, addr, sz, v);
+    do_StoreInit(ip);
     VM_NEXT();
   }
   VM_CASE(CompoundLoad) {
-    const uint32_t addr = sp_[-1].as_addr();
-    const Type t = ip->type();
-    const uint8_t sz = static_cast<uint8_t>(t.size());
-    emitter_.emit_access(ip->b, addr, sz, false,
-                         static_cast<AccessKind>(ip->flags & 0x03));
-    *sp_++ = load_typed(t, addr, sz);
+    do_CompoundLoad(ip);
     VM_NEXT();
   }
   VM_CASE(StoreBin) {
-    const Value rhs = *--sp_;
-    const Value old = *--sp_;
-    const uint32_t addr = (--sp_)->as_addr();
-    const Type t = ip->type();
-    const uint8_t sz = static_cast<uint8_t>(t.size());
-    const Value v = convert_value(
-        apply_binary_op(static_cast<minic::BinaryOp>(ip->flags >> 2), old,
-                        rhs, t),
-        t);
-    emitter_.emit_access(ip->b, addr, sz, true,
-                         static_cast<AccessKind>(ip->flags & 0x03));
-    store_typed(t, addr, sz, v);
-    *sp_++ = v;
+    do_StoreBin(ip);
     VM_NEXT();
   }
   VM_CASE(CastToPtr) {
-    const Value v = *--sp_;
-    *sp_++ = Value::of_ptr(v.as_addr(), ip->type());
+    do_CastToPtr(ip);
     VM_NEXT();
   }
   VM_CASE(Neg) {
-    const Value v = *--sp_;
-    *sp_++ = v.is_float() ? Value::of_float(-v.f)
-                          : Value::of_int(-v.i, v.type);
+    do_Neg(ip);
     VM_NEXT();
   }
   VM_CASE(NotOp) {
-    sp_[-1] = Value::of_int(sp_[-1].truthy() ? 0 : 1);
+    do_NotOp(ip);
     VM_NEXT();
   }
   VM_CASE(BitNotOp) {
-    sp_[-1] = Value::of_int(~sp_[-1].as_int());
+    do_BitNotOp(ip);
     VM_NEXT();
   }
   VM_CASE(Truthy) {
-    sp_[-1] = Value::of_int(sp_[-1].truthy() ? 1 : 0);
+    do_Truthy(ip);
     VM_NEXT();
   }
   VM_CASE(Binary) {
-    --sp_;
-    sp_[-1] = apply_binary_op(static_cast<minic::BinaryOp>(ip->flags),
-                              sp_[-1], sp_[0], ip->type());
+    do_Binary(ip);
     VM_NEXT();
   }
   VM_CASE(ConvertOp) {
-    sp_[-1] = convert_value(sp_[-1], ip->type());
+    do_ConvertOp(ip);
     VM_NEXT();
   }
   VM_CASE(IncDec) {
-    const uint32_t addr = (--sp_)->as_addr();
-    const Type t = ip->type();
-    const uint8_t sz = static_cast<uint8_t>(t.size());
-    const AccessKind kind = static_cast<AccessKind>(ip->flags & 0x03);
-    emitter_.emit_access(ip->b, addr, sz, false, kind);
-    const Value old = load_typed(t, addr, sz);
-    const int64_t delta = static_cast<int32_t>(ip->a);
-    const Value updated =
-        convert_value(Value::of_int(old.as_int() + delta, t), t);
-    emitter_.emit_access(ip->b, addr, sz, true, kind);
-    store_typed(t, addr, sz, updated);
-    *sp_++ = (ip->flags & 0x04) != 0 ? old : updated;
+    do_IncDec(ip);
     VM_NEXT();
   }
   VM_CASE(IncDecLocal) {
-    const VmSlot s = cur_locals_[ip->a];
-    if (!s.bound) throw_unbound(ip->c);
-    const Type t = ip->type();
-    const uint8_t sz = static_cast<uint8_t>(t.size());
-    emitter_.emit_access(ip->b, s.addr, sz, false, AccessKind::Scalar);
-    const Value old = load_typed(t, s.addr, sz);
-    const int64_t mag = t.is_pointer() ? t.deref().size() : 1;
-    const int64_t delta = (ip->flags & 0x08) != 0 ? -mag : mag;
-    const Value updated =
-        convert_value(Value::of_int(old.as_int() + delta, t), t);
-    emitter_.emit_access(ip->b, s.addr, sz, true, AccessKind::Scalar);
-    store_typed(t, s.addr, sz, updated);
-    *sp_++ = (ip->flags & 0x04) != 0 ? old : updated;
+    do_IncDecLocal(ip);
     VM_NEXT();
   }
   VM_CASE(IncDecGlobal) {
-    const VmSlot s = globals_[ip->a];
-    if (!s.bound) throw_unbound(ip->c);
-    const Type t = ip->type();
-    const uint8_t sz = static_cast<uint8_t>(t.size());
-    emitter_.emit_access(ip->b, s.addr, sz, false, AccessKind::Scalar);
-    const Value old = load_typed(t, s.addr, sz);
-    const int64_t mag = t.is_pointer() ? t.deref().size() : 1;
-    const int64_t delta = (ip->flags & 0x08) != 0 ? -mag : mag;
-    const Value updated =
-        convert_value(Value::of_int(old.as_int() + delta, t), t);
-    emitter_.emit_access(ip->b, s.addr, sz, true, AccessKind::Scalar);
-    store_typed(t, s.addr, sz, updated);
-    *sp_++ = (ip->flags & 0x04) != 0 ? old : updated;
+    do_IncDecGlobal(ip);
     VM_NEXT();
   }
   VM_CASE(Jump) { VM_JUMP(ip->a); }
   VM_CASE(JumpIfFalse) {
-    if ((--sp_)->truthy()) VM_NEXT();
+    if (do_pop_truthy()) VM_NEXT();
     VM_JUMP(ip->a);
   }
   VM_CASE(JumpIfTrue) {
-    if ((--sp_)->truthy()) VM_JUMP(ip->a);
+    if (do_pop_truthy()) VM_JUMP(ip->a);
     VM_NEXT();
   }
   VM_CASE(PopV) {
-    --sp_;
+    do_PopV(ip);
     VM_NEXT();
   }
   VM_CASE(SaveSp) {
-    sp_scopes_.push_back(mem_.sp());
+    do_SaveSp(ip);
     VM_NEXT();
   }
   VM_CASE(RestoreSp) {
-    mem_.set_sp(sp_scopes_.back());
-    sp_scopes_.pop_back();
+    do_RestoreSp(ip);
     VM_NEXT();
   }
   VM_CASE(RestoreSpN) {
-    // Unwinds n block scopes at once (break/continue). Restoring
-    // straight to the outermost popped scope equals restoring each in
-    // turn: set_sp() just moves the pointer.
-    const size_t n = ip->a;
-    mem_.set_sp(sp_scopes_[sp_scopes_.size() - n]);
-    sp_scopes_.resize(sp_scopes_.size() - n);
+    do_RestoreSpN(ip);
     VM_NEXT();
   }
   VM_CASE(DeclLocal) {
-    const uint32_t addr = mem_.stack_alloc(ip->b, ip->flags);
-    cur_locals_[ip->a] = VmSlot{addr, true};
+    do_DeclLocal(ip);
     VM_NEXT();
   }
   VM_CASE(DeclGlobal) {
-    const GlobalMeta& m = code_.globals[ip->a];
-    const uint32_t addr = mem_.alloc_global(m.bytes, m.align);
-    globals_[ip->a] = VmSlot{addr, true};
+    do_DeclGlobal(ip);
     VM_NEXT();
   }
-  VM_CASE(CallFn) {
-    const CompiledFunc& f = code_.funcs[ip->a];
-    if (frames_.size() >= 512) {
-      throw RuntimeError("simulated call depth limit exceeded in '" +
-                         f.name + "'");
-    }
-    ensure_stack(f.max_stack);
-    if (opts_.emit_calls) emitter_.push(trace::Record::call(f.func_id));
-    Frame fr;
-    fr.return_pc = static_cast<uint32_t>(ip - code) + 1;
-    fr.saved_sp = mem_.sp();
-    fr.locals_base = static_cast<uint32_t>(locals_.size());
-    fr.scope_base = static_cast<uint32_t>(sp_scopes_.size());
-    fr.func = ip->a;
-    frames_.push_back(fr);
-    locals_.resize(fr.locals_base + f.num_slots);
-    cur_locals_ = locals_.data() + fr.locals_base;
-    // Bind parameters: spill each argument to the callee's frame in
-    // declaration order — the Scalar writes the paper's Step 4 filters
-    // out, with the same stack addresses as the tree walker.
-    const size_t nargs = f.params.size();
-    const Value* args = sp_ - nargs;
-    for (size_t i = 0; i < nargs; ++i) {
-      const CompiledFunc::ParamBind& pb = f.params[i];
-      const uint32_t addr = mem_.stack_alloc(pb.bytes, pb.align);
-      cur_locals_[pb.slot] = VmSlot{addr, true};
-      const Value v = convert_value(args[i], pb.type);
-      emitter_.emit_access(pb.instr, addr, static_cast<uint8_t>(pb.bytes),
-                           true, AccessKind::Scalar);
-      store_typed(pb.type, addr, static_cast<uint8_t>(pb.bytes), v);
-    }
-    sp_ -= nargs;
-    VM_JUMP(f.entry);
-  }
+  VM_CASE(CallFn) { VM_JUMP(do_CallFn(ip)); }
   VM_CASE(CallIntr) {
-    const size_t argc = ip->flags;
-    const Value* args = sp_ - argc;
-    const Value result =
-        run_intrinsic(*this, static_cast<minic::Intrinsic>(ip->a), ip->b,
-                      ip->line, args, argc);
-    sp_ -= argc;
-    *sp_++ = result;
+    do_CallIntr(ip);
     VM_NEXT();
   }
   VM_CASE(RetValue) {
-    frames_.back().ret_value = *--sp_;
+    do_RetValue(ip);
     VM_NEXT();
   }
-  VM_CASE(ReturnOp) {
-    const Frame fr = frames_.back();
-    const CompiledFunc& f = code_.funcs[fr.func];
-    Value ret = fr.ret_value;
-    mem_.set_sp(fr.saved_sp);
-    locals_.resize(fr.locals_base);
-    sp_scopes_.resize(fr.scope_base);
-    frames_.pop_back();
-    cur_locals_ = frames_.empty()
-                      ? locals_.data()
-                      : locals_.data() + frames_.back().locals_base;
-    if (opts_.emit_calls) emitter_.push(trace::Record::ret(f.func_id));
-    if (!f.ret.is_void()) ret = convert_value(ret, f.ret);
-    *sp_++ = ret;
-    VM_JUMP(fr.return_pc);
-  }
+  VM_CASE(ReturnOp) { VM_JUMP(do_ReturnOp(ip)); }
   VM_CASE(CheckpointOp) {
-    emitter_.emit_checkpoint(static_cast<trace::CheckpointType>(ip->flags),
-                             static_cast<int32_t>(ip->a));
+    do_CheckpointOp(ip);
     VM_NEXT();
   }
   VM_CASE(Halt) {
-    exit_code_ = static_cast<int>((--sp_)->as_int());
+    do_Halt(ip);
     steps_ = steps;
     return;
   }

@@ -56,7 +56,7 @@ Capture run_src(std::string_view src, RunOptions opts) {
   return out;
 }
 
-const Engine kEngines[] = {Engine::Ast, Engine::Bytecode};
+const Engine kEngines[] = {Engine::Ast, Engine::Bytecode, Engine::Jit};
 
 TEST(Budget, DefaultsBoundStepsButNothingElse) {
   Budget b;

@@ -1,12 +1,16 @@
-// The differential harness that locks the bytecode VM to the
-// tree-walking reference interpreter. Every future engine change is
-// gated here: both engines run the full benchsuite plus 200 seeded
-// generated programs (100 affine-by-construction, 100 free-form stress)
+// The differential harness that locks the fast engines to the
+// tree-walking reference interpreter. Every engine change is gated
+// here: the bytecode VM and the native jit engine each run the full
+// benchsuite plus 200 seeded generated programs (100
+// affine-by-construction, 100 free-form stress) against the AST oracle
 // and must agree *bit for bit* on the trace record stream, the program
 // output, the exit code, the access count, and an FNV digest of the
 // final simulated memory image. Option variations (trace filters, chunk
-// sizes) and faulting programs are covered as well, so neither engine
-// can drift even in the corners.
+// sizes), faulting programs, and budget trips at chunk boundaries are
+// covered as well, so no engine can drift even in the corners.
+//
+// On builds without native-code support Engine::Jit degrades to the
+// bytecode VM, so the jit legs still pass (they then re-verify the VM).
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -21,6 +25,18 @@
 
 namespace foray::sim {
 namespace {
+
+/// The engines measured against the Engine::Ast oracle.
+constexpr Engine kFastEngines[] = {Engine::Bytecode, Engine::Jit};
+
+const char* engine_name(Engine e) {
+  switch (e) {
+    case Engine::Ast: return "ast";
+    case Engine::Bytecode: return "bytecode";
+    case Engine::Jit: return "jit";
+  }
+  return "?";
+}
 
 struct Captured {
   RunResult run;
@@ -48,28 +64,28 @@ std::unique_ptr<minic::Program> prepare(const std::string& source) {
 }
 
 /// The core assertion: everything observable must match exactly.
-void expect_identical(const Captured& ast, const Captured& bc,
-                      const std::string& label) {
-  EXPECT_EQ(ast.run.ok(), bc.run.ok())
-      << label << "\nast: " << ast.run.error()
-      << "\nbytecode: " << bc.run.error();
-  EXPECT_EQ(ast.run.exit_code, bc.run.exit_code) << label;
-  EXPECT_EQ(ast.run.output, bc.run.output) << label;
-  EXPECT_EQ(ast.run.accesses, bc.run.accesses) << label;
-  EXPECT_EQ(ast.run.memory_digest, bc.run.memory_digest) << label;
+void expect_identical(const Captured& ref, const Captured& got,
+                      const std::string& label, const char* got_name) {
+  EXPECT_EQ(ref.run.ok(), got.run.ok())
+      << label << "\nreference: " << ref.run.error() << "\n"
+      << got_name << ": " << got.run.error();
+  EXPECT_EQ(ref.run.exit_code, got.run.exit_code) << label;
+  EXPECT_EQ(ref.run.output, got.run.output) << label;
+  EXPECT_EQ(ref.run.accesses, got.run.accesses) << label;
+  EXPECT_EQ(ref.run.memory_digest, got.run.memory_digest) << label;
 
-  ASSERT_EQ(ast.records.size(), bc.records.size()) << label;
-  if (ast.records.empty()) return;
-  if (std::memcmp(ast.records.data(), bc.records.data(),
-                  ast.records.size() * sizeof(trace::Record)) == 0) {
+  ASSERT_EQ(ref.records.size(), got.records.size()) << label;
+  if (ref.records.empty()) return;
+  if (std::memcmp(ref.records.data(), got.records.data(),
+                  ref.records.size() * sizeof(trace::Record)) == 0) {
     return;
   }
   // Byte comparison failed: locate the first divergence for diagnosis.
-  for (size_t i = 0; i < ast.records.size(); ++i) {
-    ASSERT_TRUE(ast.records[i] == bc.records[i])
-        << label << ": first divergence at record " << i << "\nast:      "
-        << trace::record_to_text(ast.records[i]) << "\nbytecode: "
-        << trace::record_to_text(bc.records[i]);
+  for (size_t i = 0; i < ref.records.size(); ++i) {
+    ASSERT_TRUE(ref.records[i] == got.records[i])
+        << label << ": first divergence at record " << i
+        << "\nreference: " << trace::record_to_text(ref.records[i]) << "\n"
+        << got_name << ":  " << trace::record_to_text(got.records[i]);
   }
   FAIL() << label << ": records memcmp differs but no record compares "
             "unequal (padding bytes leaked into the stream?)";
@@ -81,13 +97,17 @@ void expect_engines_agree(const std::string& source,
   auto prog = prepare(source);
   ASSERT_NE(prog, nullptr);
   Captured ast = run_engine(*prog, Engine::Ast, opts);
-  Captured bc = run_engine(*prog, Engine::Bytecode, opts);
   // Generated programs terminate by construction; a step-limit or
   // memory fault here is a generator bug, which would otherwise hide a
   // divergence (the engines count steps differently, so a limit fault
   // truncates their traces at different points).
   ASSERT_TRUE(ast.run.ok()) << label << "\n" << ast.run.error();
-  expect_identical(ast, bc, label);
+  for (Engine engine : kFastEngines) {
+    Captured fast = run_engine(*prog, engine, opts);
+    expect_identical(ast, fast,
+                     label + " [" + engine_name(engine) + " vs ast]",
+                     engine_name(engine));
+  }
 }
 
 // -- the full benchsuite -----------------------------------------------------
@@ -97,10 +117,15 @@ TEST(EngineEquivalence, FullBenchsuiteBitIdentical) {
     auto prog = prepare(bench.source);
     ASSERT_NE(prog, nullptr) << bench.name;
     Captured ast = run_engine(*prog, Engine::Ast);
-    Captured bc = run_engine(*prog, Engine::Bytecode);
     ASSERT_TRUE(ast.run.ok()) << bench.name << ": " << ast.run.error();
     EXPECT_GT(ast.records.size(), 1000u) << bench.name;
-    expect_identical(ast, bc, bench.name);
+    for (Engine engine : kFastEngines) {
+      Captured fast = run_engine(*prog, engine);
+      expect_identical(ast, fast,
+                       std::string(bench.name) + " [" +
+                           engine_name(engine) + " vs ast]",
+                       engine_name(engine));
+    }
   }
 }
 
@@ -223,20 +248,24 @@ TEST(EngineEquivalence, FaultingProgramsAgreeOnTracePrefixAndMessage) {
     auto prog = prepare(src);
     ASSERT_NE(prog, nullptr);
     Captured ast = run_engine(*prog, Engine::Ast);
-    Captured bc = run_engine(*prog, Engine::Bytecode);
     ASSERT_FALSE(ast.run.ok()) << src;
-    ASSERT_FALSE(bc.run.ok()) << src;
-    // The diagnostic text must match (line attribution may differ:
-    // the walker reports the innermost node, ops report their site).
-    EXPECT_EQ(ast.run.status.diags().all().front().message,
-              bc.run.status.diags().all().front().message)
-        << src;
-    // Everything up to the fault is still delivered, identically.
-    EXPECT_EQ(ast.run.exit_code, bc.run.exit_code) << src;
-    EXPECT_EQ(ast.run.output, bc.run.output) << src;
-    ASSERT_EQ(ast.records.size(), bc.records.size()) << src;
-    for (size_t i = 0; i < ast.records.size(); ++i) {
-      ASSERT_TRUE(ast.records[i] == bc.records[i]) << src << " at " << i;
+    for (Engine engine : kFastEngines) {
+      Captured fast = run_engine(*prog, engine);
+      ASSERT_FALSE(fast.run.ok()) << src << " on " << engine_name(engine);
+      // The diagnostic text must match (line attribution may differ:
+      // the walker reports the innermost node, ops report their site).
+      EXPECT_EQ(ast.run.status.diags().all().front().message,
+                fast.run.status.diags().all().front().message)
+          << src << " on " << engine_name(engine);
+      // Everything up to the fault is still delivered, identically.
+      EXPECT_EQ(ast.run.exit_code, fast.run.exit_code) << src;
+      EXPECT_EQ(ast.run.output, fast.run.output) << src;
+      ASSERT_EQ(ast.records.size(), fast.records.size())
+          << src << " on " << engine_name(engine);
+      for (size_t i = 0; i < ast.records.size(); ++i) {
+        ASSERT_TRUE(ast.records[i] == fast.records[i])
+            << src << " on " << engine_name(engine) << " at " << i;
+      }
     }
   }
 }
@@ -249,27 +278,110 @@ TEST(EngineEquivalence, ExitIntrinsicAgrees) {
       "exit intrinsic");
 }
 
+// -- budgets -----------------------------------------------------------------
+
+TEST(EngineEquivalence, RecordBudgetTripsAtChunkBoundariesAgree) {
+  // Record budgets are checked after chunk delivery, so the truncated
+  // stream depends only on the record sequence — which all engines
+  // must produce identically. Trip exactly at a chunk boundary and
+  // mid-chunk, on two chunk sizes.
+  benchsuite::StressOptions sopts;
+  sopts.seed = 13;
+  const std::string source = benchsuite::generate_stress_program(sopts);
+  auto prog = prepare(source);
+  ASSERT_NE(prog, nullptr);
+  const struct {
+    size_t chunk;
+    uint64_t max_records;
+  } cases[] = {{64, 128}, {64, 100}, {7, 21}, {7, 20}};
+  for (const auto& c : cases) {
+    RunOptions opts;
+    opts.chunk_records = c.chunk;
+    opts.budget.max_records = c.max_records;
+    const std::string label = "chunk=" + std::to_string(c.chunk) +
+                              " max_records=" + std::to_string(c.max_records);
+    Captured ast = run_engine(*prog, Engine::Ast, opts);
+    ASSERT_FALSE(ast.run.ok()) << label;
+    EXPECT_EQ(ast.run.status.code(), util::ErrorCode::kResourceExhausted)
+        << label;
+    for (Engine engine : kFastEngines) {
+      Captured fast = run_engine(*prog, engine, opts);
+      ASSERT_FALSE(fast.run.ok())
+          << label << " on " << engine_name(engine);
+      EXPECT_EQ(fast.run.status.code(),
+                util::ErrorCode::kResourceExhausted)
+          << label << " on " << engine_name(engine);
+      ASSERT_EQ(ast.records.size(), fast.records.size())
+          << label << " on " << engine_name(engine);
+      EXPECT_EQ(0, std::memcmp(ast.records.data(), fast.records.data(),
+                               ast.records.size() * sizeof(trace::Record)))
+          << label << " on " << engine_name(engine);
+      EXPECT_EQ(ast.run.output, fast.run.output) << label;
+    }
+  }
+}
+
+TEST(EngineEquivalence, StepLimitFaultsMatchBytecodeExactly) {
+  // The ast engine counts evaluation steps differently, but bytecode
+  // and jit execute the same instruction stream and must fault on the
+  // same instruction with the same step total (max + 1) — including
+  // limits that land inside a fused jit loop head, where the jit takes
+  // its exact unfused cold path.
+  benchsuite::StressOptions sopts;
+  sopts.seed = 5;
+  auto prog = prepare(benchsuite::generate_stress_program(sopts));
+  ASSERT_NE(prog, nullptr);
+  Captured full = run_engine(*prog, Engine::Bytecode);
+  ASSERT_TRUE(full.run.ok()) << full.run.error();
+  ASSERT_GT(full.run.steps, 600u);
+  std::vector<uint64_t> limits = {1,   2,   3,   4,   5,   50,  51,
+                                  52,  53,  54,  299, 300, 301, 500,
+                                  full.run.steps - 1, full.run.steps};
+  for (uint64_t max_steps : limits) {
+    RunOptions opts;
+    opts.budget.max_steps = max_steps;
+    const std::string label = "max_steps=" + std::to_string(max_steps);
+    Captured bc = run_engine(*prog, Engine::Bytecode, opts);
+    Captured jit = run_engine(*prog, Engine::Jit, opts);
+    EXPECT_EQ(bc.run.ok(), jit.run.ok()) << label;
+    EXPECT_EQ(bc.run.steps, jit.run.steps) << label;
+    EXPECT_EQ(bc.run.error(), jit.run.error()) << label;
+    EXPECT_EQ(bc.run.output, jit.run.output) << label;
+    EXPECT_EQ(bc.run.memory_digest, jit.run.memory_digest) << label;
+    ASSERT_EQ(bc.records.size(), jit.records.size()) << label;
+    if (!bc.records.empty()) {
+      EXPECT_EQ(0, std::memcmp(bc.records.data(), jit.records.data(),
+                               bc.records.size() * sizeof(trace::Record)))
+          << label;
+    }
+  }
+}
+
 // -- online-analysis path ----------------------------------------------------
 
 TEST(EngineEquivalence, OnlineExtractorSeesTheSameStream) {
   // The zero-virtual-call path (engine templated directly on the
   // Extractor) must match the materialize-then-replay path across
-  // engines: count records through a CountingSink on both.
+  // engines: count records through a CountingSink on all of them.
   for (const char* name : {"gsm", "adpcm"}) {
     auto prog = prepare(benchsuite::get_benchmark(name).source);
     ASSERT_NE(prog, nullptr);
     RunOptions opts;
-    trace::CountingSink ast_count, bc_count;
+    trace::CountingSink ast_count;
     opts.engine = Engine::Ast;
     auto ra = run_program_with(*prog, &ast_count, opts);
-    opts.engine = Engine::Bytecode;
-    auto rb = run_program_with(*prog, &bc_count, opts);
-    ASSERT_TRUE(ra.ok() && rb.ok()) << name;
-    EXPECT_EQ(ast_count.total(), bc_count.total()) << name;
-    EXPECT_EQ(ast_count.accesses(), bc_count.accesses()) << name;
-    EXPECT_EQ(ast_count.checkpoints(), bc_count.checkpoints()) << name;
-    EXPECT_EQ(ast_count.calls(), bc_count.calls()) << name;
-    EXPECT_EQ(ast_count.rets(), bc_count.rets()) << name;
+    ASSERT_TRUE(ra.ok()) << name;
+    for (Engine engine : kFastEngines) {
+      trace::CountingSink fast_count;
+      opts.engine = engine;
+      auto rf = run_program_with(*prog, &fast_count, opts);
+      ASSERT_TRUE(rf.ok()) << name << " on " << engine_name(engine);
+      EXPECT_EQ(ast_count.total(), fast_count.total()) << name;
+      EXPECT_EQ(ast_count.accesses(), fast_count.accesses()) << name;
+      EXPECT_EQ(ast_count.checkpoints(), fast_count.checkpoints()) << name;
+      EXPECT_EQ(ast_count.calls(), fast_count.calls()) << name;
+      EXPECT_EQ(ast_count.rets(), fast_count.rets()) << name;
+    }
   }
 }
 

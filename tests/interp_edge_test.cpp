@@ -325,9 +325,14 @@ TEST_P(EngineEdge, PointerWalkDownward) {
 
 INSTANTIATE_TEST_SUITE_P(
     Engines, EngineEdge,
-    ::testing::Values(Engine::Ast, Engine::Bytecode),
+    ::testing::Values(Engine::Ast, Engine::Bytecode, Engine::Jit),
     [](const ::testing::TestParamInfo<Engine>& pi) {
-      return pi.param == Engine::Ast ? "ast" : "bytecode";
+      switch (pi.param) {
+        case Engine::Ast: return "ast";
+        case Engine::Bytecode: return "bytecode";
+        case Engine::Jit: return "jit";
+      }
+      return "unknown";
     });
 
 }  // namespace

@@ -1,0 +1,226 @@
+// The jit subsystem in isolation: encoder golden bytes, W^X memory
+// behavior (including classified mapping failures), compiled-image
+// statistics and reuse, and the engine-level degradation contract. The
+// differential harness (engine_equivalence_test) owns semantic
+// equivalence; this file owns the machinery underneath it.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "benchsuite/suite.h"
+#include "instrument/annotator.h"
+#include "jit/assembler.h"
+#include "jit/compiler.h"
+#include "jit/engine.h"
+#include "jit/exec_memory.h"
+#include "minic/parser.h"
+#include "trace/sink.h"
+
+namespace foray::jit {
+namespace {
+
+#if defined(__x86_64__) && (defined(__linux__) || defined(__APPLE__))
+constexpr bool kNativeBuild = true;
+#else
+constexpr bool kNativeBuild = false;
+#endif
+
+TEST(JitSupport, MatchesThePlatformGate) {
+  EXPECT_EQ(jit_supported(), kNativeBuild);
+}
+
+// -- assembler ---------------------------------------------------------------
+
+TEST(JitAssembler, EncodesGoldenBytes) {
+  // Spot-check encodings against hand-assembled forms (Intel SDM);
+  // these run on every platform since the encoder only fills a vector.
+  {
+    Assembler a;
+    a.mov_rr(R64::r13, R64::rdi);  // mov r13, rdi
+    const uint8_t want[] = {0x49, 0x89, 0xFD};
+    ASSERT_EQ(a.bytes().size(), sizeof(want));
+    EXPECT_EQ(0, std::memcmp(a.bytes().data(), want, sizeof(want)));
+  }
+  {
+    Assembler a;
+    a.sub_ri8(R64::r14, 1);  // sub r14, 1
+    const uint8_t want[] = {0x49, 0x83, 0xEE, 0x01};
+    ASSERT_EQ(a.bytes().size(), sizeof(want));
+    EXPECT_EQ(0, std::memcmp(a.bytes().data(), want, sizeof(want)));
+  }
+  {
+    Assembler a;
+    a.load_rm(R64::rax, R64::r13, 0x40);  // mov rax, [r13+0x40]
+    const uint8_t want[] = {0x49, 0x8B, 0x85, 0x40, 0x00, 0x00, 0x00};
+    ASSERT_EQ(a.bytes().size(), sizeof(want));
+    EXPECT_EQ(0, std::memcmp(a.bytes().data(), want, sizeof(want)));
+  }
+  {
+    // rsp-based memory operands must carry the SIB byte.
+    Assembler a;
+    a.store_mr(R64::rsp, 8, R64::rcx);  // mov [rsp+8], rcx
+    const uint8_t want[] = {0x48, 0x89, 0x8C, 0x24, 0x08, 0x00, 0x00, 0x00};
+    ASSERT_EQ(a.bytes().size(), sizeof(want));
+    EXPECT_EQ(0, std::memcmp(a.bytes().data(), want, sizeof(want)));
+  }
+  {
+    Assembler a;
+    a.jmp_mem_index8(R64::r12, R64::rax);  // jmp [r12 + rax*8]
+    const uint8_t want[] = {0x41, 0xFF, 0x24, 0xC4};
+    ASSERT_EQ(a.bytes().size(), sizeof(want));
+    EXPECT_EQ(0, std::memcmp(a.bytes().data(), want, sizeof(want)));
+  }
+}
+
+TEST(JitAssembler, PatchesRelativeJumps) {
+  Assembler a;
+  const size_t fix = a.jmp();      // jmp rel32 (placeholder)
+  const size_t target = a.here();  // lands right after the jump
+  a.ret();
+  a.patch_rel32(fix, target);
+  // rel32 = target - (end of the jump instruction) = 0.
+  ASSERT_EQ(a.bytes().size(), 6u);
+  EXPECT_EQ(a.bytes()[0], 0xE9);
+  uint32_t rel = 0;
+  std::memcpy(&rel, a.bytes().data() + fix, 4);
+  EXPECT_EQ(rel, 0u);
+}
+
+// -- executable memory -------------------------------------------------------
+
+TEST(JitExecMemory, RunsEmittedCodeAfterFinalize) {
+  if (!jit_supported()) GTEST_SKIP() << "no native codegen on this build";
+  // int f(void) { return 42; }  =>  mov eax, 42; ret
+  Assembler a;
+  a.mov_ri64(R64::rax, 42);
+  a.ret();
+
+  ExecMemory mem;
+  ASSERT_TRUE(ExecMemory::allocate(a.bytes().size(), &mem).ok());
+  ASSERT_NE(mem.data(), nullptr);
+  EXPECT_GE(mem.size(), a.bytes().size());
+  std::memcpy(mem.data(), a.bytes().data(), a.bytes().size());
+  ASSERT_TRUE(mem.finalize().ok());
+
+  using Fn = uint64_t (*)();
+  Fn fn = reinterpret_cast<Fn>(mem.data());
+  EXPECT_EQ(fn(), 42u);
+}
+
+TEST(JitExecMemory, ClassifiesMappingFailure) {
+  if (!jit_supported()) GTEST_SKIP() << "no native codegen on this build";
+  // An impossible mapping must come back as a classified status, not a
+  // crash — this is the runtime half of the degradation contract.
+  ExecMemory mem;
+  util::Status st = ExecMemory::allocate(~size_t{0} / 2, &mem);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::ErrorCode::kIoError);
+  EXPECT_EQ(mem.data(), nullptr);
+}
+
+TEST(JitExecMemory, UnsupportedPlatformIsInvalidInput) {
+  if (jit_supported()) {
+    GTEST_SKIP() << "compile-time gate not reachable on a native build";
+  }
+  ExecMemory mem;
+  util::Status st = ExecMemory::allocate(64, &mem);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::ErrorCode::kInvalidInput);
+}
+
+// -- compiled images ---------------------------------------------------------
+
+std::unique_ptr<minic::Program> prepare(const std::string& source) {
+  util::DiagList diags;
+  auto prog = minic::parse_and_check(source, &diags);
+  EXPECT_NE(prog, nullptr) << diags.str();
+  if (prog) instrument::annotate_loops(prog.get());
+  return prog;
+}
+
+TEST(JitCompile, StatsDescribeTheImage) {
+  if (!jit_supported()) GTEST_SKIP() << "no native codegen on this build";
+  auto prog = prepare(benchsuite::get_benchmark("gsm").source);
+  ASSERT_NE(prog, nullptr);
+  JitProgram jp = compile_jit<trace::VectorSink>(*prog);
+  ASSERT_TRUE(jp.status.ok()) << jp.status.message();
+  ASSERT_NE(jp.native, nullptr);
+
+  const JitStats& s = jp.native->stats();
+  EXPECT_EQ(s.num_insns, jp.bytecode.code.size());
+  EXPECT_GT(s.total_code_bytes, 0u);
+  // A loop-heavy kernel must fuse loop heads, straight-line runs, and
+  // whole self-loops.
+  EXPECT_GT(s.fused_heads, 0u);
+  EXPECT_GT(s.block_runs, 0u);
+  EXPECT_GT(s.self_loops, 0u);
+  // Per-op counts must account for every compiled instruction. (Bytes
+  // are attributed to the head op of fused groups and block runs, so
+  // an op can legitimately carry count > 0 with bytes == 0.)
+  uint64_t op_count = 0, op_bytes = 0;
+  for (const OpStats& os : s.per_op) {
+    op_count += os.count;
+    op_bytes += os.bytes;
+  }
+  EXPECT_EQ(op_count, s.num_insns);
+  EXPECT_GT(op_bytes, 0u);
+  EXPECT_LE(op_bytes, s.total_code_bytes);
+  EXPECT_NE(jp.native->entry(), nullptr);
+  EXPECT_NE(jp.native->pc_table(), nullptr);
+}
+
+TEST(JitCompile, ImageIsReusableAcrossRuns) {
+  if (!jit_supported()) GTEST_SKIP() << "no native codegen on this build";
+  // Like the CompiledProgram it mirrors, one native image serves many
+  // runs: results must be identical run to run and must match the VM.
+  auto prog = prepare(benchsuite::get_benchmark("adpcm").source);
+  ASSERT_NE(prog, nullptr);
+  JitProgram jp = compile_jit<trace::VectorSink>(*prog);
+  ASSERT_TRUE(jp.status.ok()) << jp.status.message();
+
+  sim::RunOptions opts;
+  opts.digest_memory = true;
+  trace::VectorSink s1, s2, sv;
+  sim::RunResult r1 = run_jit_compiled(jp.bytecode, *jp.native, &s1, opts);
+  sim::RunResult r2 = run_jit_compiled(jp.bytecode, *jp.native, &s2, opts);
+  sim::RunResult rv = sim::run_compiled_with(jp.bytecode, &sv, opts);
+  ASSERT_TRUE(r1.ok()) << r1.error();
+  EXPECT_EQ(r1.output, r2.output);
+  EXPECT_EQ(r1.steps, r2.steps);
+  EXPECT_EQ(r1.memory_digest, r2.memory_digest);
+  EXPECT_EQ(s1.take(), s2.take());
+  // And the VM agrees (the full matrix lives in engine_equivalence_test).
+  EXPECT_EQ(r1.output, rv.output);
+  EXPECT_EQ(r1.steps, rv.steps);
+  EXPECT_EQ(r1.memory_digest, rv.memory_digest);
+}
+
+TEST(JitEngine, RunFallsBackWhenNativeIsUnavailable) {
+  // run_jit_with on any build — native or not — must produce the
+  // bytecode VM's exact result; on non-native builds that exercises the
+  // degradation path end to end.
+  auto prog = prepare(
+      "int a[16];\n"
+      "int main(void) { for (int i = 0; i < 16; i++) a[i] = i * i; "
+      "return a[7]; }");
+  ASSERT_NE(prog, nullptr);
+  sim::RunOptions opts;
+  opts.digest_memory = true;
+  trace::VectorSink js, bs;
+  opts.engine = sim::Engine::Jit;
+  sim::RunResult rj = jit::run_jit_with(*prog, &js, opts);
+  sim::RunResult rb = [&] {
+    auto code = sim::compile_program(*prog);
+    return sim::run_compiled_with(code, &bs, opts);
+  }();
+  ASSERT_TRUE(rj.ok()) << rj.error();
+  EXPECT_EQ(rj.exit_code, rb.exit_code);
+  EXPECT_EQ(rj.output, rb.output);
+  EXPECT_EQ(rj.memory_digest, rb.memory_digest);
+  EXPECT_EQ(js.take(), bs.take());
+}
+
+}  // namespace
+}  // namespace foray::jit

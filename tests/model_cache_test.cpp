@@ -122,6 +122,36 @@ TEST_F(ModelCacheTest, WarmSweepIsPurePhaseTwoAndByteIdentical) {
   EXPECT_EQ(run_ndjson(/*threads=*/2, nullptr), cold);
 }
 
+TEST_F(ModelCacheTest, JitSweepHitsBytecodePopulatedCache) {
+  // The fingerprint excludes the engine (all engines are locked
+  // bit-identical by the equivalence harness), so a --engine jit sweep
+  // against a cache populated by a bytecode run must be pure hits and
+  // byte-identical output — the jit is a speed choice, never a key.
+  ModelCache bc_cache(ModelCacheOptions{dir_, true});
+  SweepOptions bc_opts = sweep_opts(/*threads=*/1, &bc_cache);
+  bc_opts.pipeline.run.engine = sim::Engine::Bytecode;
+  std::ostringstream bc_out;
+  {
+    SweepDriver driver(bc_opts);
+    ASSERT_TRUE(driver.run_ndjson(jobs(), bc_out).ok());
+  }
+  EXPECT_EQ(bc_cache.stats().stores, 2u);
+
+  ModelCache jit_cache(ModelCacheOptions{dir_, true});
+  SweepOptions jit_opts = sweep_opts(/*threads=*/2, &jit_cache);
+  jit_opts.pipeline.run.engine = sim::Engine::Jit;
+  std::ostringstream jit_out;
+  {
+    SweepDriver driver(jit_opts);
+    ASSERT_TRUE(driver.run_ndjson(jobs(), jit_out).ok());
+  }
+  EXPECT_EQ(jit_out.str(), bc_out.str());
+  const ModelCache::Stats s = jit_cache.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.stores, 0u);
+}
+
 TEST_F(ModelCacheTest, MemoryLayerServesRepeatRunsWithoutDisk) {
   ModelCache cache(ModelCacheOptions{/*dir=*/"", /*memory=*/true});
   const std::string first = run_ndjson(1, &cache);
@@ -291,6 +321,8 @@ TEST(ModelCacheKey, TracksModelChangingOptionsOnly) {
   // must NOT invalidate the cache.
   core::PipelineOptions engine = base;
   engine.run.engine = sim::Engine::Ast;
+  EXPECT_EQ(ModelCache::key(kGood, engine), k);
+  engine.run.engine = sim::Engine::Jit;
   EXPECT_EQ(ModelCache::key(kGood, engine), k);
 
   // Parallel-extraction modes are likewise locked bit-identical.

@@ -137,6 +137,7 @@
 #include "driver/session.h"
 #include "driver/sweep.h"
 #include "foray/inline_advisor.h"
+#include "jit/compiler.h"
 #include "foray/model_diff.h"
 #include "foray/pipeline.h"
 #include "minic/parser.h"
@@ -159,28 +160,29 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: foraygen <model|emit|annotate|trace|stats|hints|run|profile"
-      "|spm> <program.mc> [--engine ast|bytecode] [--nexec N] [--nloc N] "
+      "|spm> <program.mc> [--engine ast|bytecode|jit] [--nexec N] [--nloc N] "
       "[--seed S] [--offline] [--shards N] [--pipeline] [--timeshards N] "
       "[--capacity N] [--compare-cache] [--replay]\n"
       "       foraygen batch [--threads N] [--capacity-sweep a,b,c] "
-      "[--engine ast|bytecode] [--nexec N] [--nloc N] [--seed S] "
+      "[--engine ast|bytecode|jit] [--nexec N] [--nloc N] [--seed S] "
       "[--shards N] [--replay] [--json PATH]\n"
       "       foraygen sweep [program.mc] [--threads N] "
       "[--capacity-sweep a,b,c] [--energy-sweep a,b] [--cache-sweep "
       "off,32x2,...] [--algo-sweep dp,greedy] [--replay-sweep off,on] "
       "[--spec FILE] [--ndjson PATH|-] [--resume JOURNAL] [--lint-first] "
-      "[--engine ast|bytecode] [--nexec N] [--nloc N] [--seed S] "
+      "[--engine ast|bytecode|jit] [--nexec N] [--nloc N] [--seed S] "
       "[--shards N] [--replay]\n"
       "       foraygen lint [program.mc] [--json PATH|-]\n"
       "       foraygen serve [--threads N] [--max-points N] "
       "[--static-admission] "
-      "[--engine ast|bytecode] [--nexec N] [--nloc N] [--seed S]\n"
+      "[--engine ast|bytecode|jit] [--nexec N] [--nloc N] [--seed S]\n"
       "  batch/sweep/serve also accept the model-cache options "
       "[--cache-dir DIR] [--no-cache] [--cache-max-bytes N] "
       "(FORAY_CACHE_DIR is the default directory)\n"
       "  every command also accepts the execution-budget options "
-      "[--max-steps N] [--max-records N] [--timeout SECONDS] and the "
-      "fault-injection aid [--fault SPEC]\n");
+      "[--max-steps N] [--max-records N] [--timeout SECONDS], the "
+      "fault-injection aid [--fault SPEC], and the jit debug aid "
+      "[--dump-jit]\n");
   return 2;
 }
 
@@ -542,12 +544,16 @@ int main(int argc, char** argv) {
         opts.run.engine = sim::Engine::Ast;
       } else if (!std::strcmp(engine, "bytecode")) {
         opts.run.engine = sim::Engine::Bytecode;
+      } else if (!std::strcmp(engine, "jit")) {
+        opts.run.engine = sim::Engine::Jit;
       } else {
         return option_error(std::string("unknown engine '") + engine +
-                            "' (want ast or bytecode)");
+                            "' (want ast, bytecode or jit)");
       }
     } else if (arg == "--offline") {
       opts.offline = true;
+    } else if (arg == "--dump-jit") {
+      jit::set_dump_jit(true);
     } else if (arg == "--shards") {
       if (!next_u64(&v) || v == 0) {
         return option_error("option '--shards' requires a positive number");
